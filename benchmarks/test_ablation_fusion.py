@@ -1,0 +1,106 @@
+"""Map-fusion ablation.
+
+Nested maps (``h @ (g @ xs)``) can run as either a two-filter pipeline
+(two kernels, an intermediate value array crossing the host boundary
+twice) or one fused kernel. This bench measures the saving — the
+intermediate's marshalling/transfer plus a launch — a design choice
+DESIGN.md calls out beyond the paper's single-map benchmarks.
+"""
+
+from conftest import SCALE, record_result
+
+from repro.compiler import Offloader
+from repro.frontend import check_program, parse_program
+from repro.opencl import get_device
+from repro.runtime.engine import Engine
+
+SOURCE = """
+class Chain {
+    float[[]] data;
+    int remaining;
+    static float checksum = 0.0f;
+
+    Chain(float[[]] xs, int steps) { data = xs; remaining = steps; }
+
+    float[[]] gen() {
+        if (remaining <= 0) { throw new UnderflowException(); }
+        remaining = remaining - 1;
+        return data;
+    }
+
+    static local float g(float x) { return x * x + 1.0f; }
+    static local float h(float y) { return Math.sqrt(y) * 0.5f; }
+
+    static local float[[]] mapG(float[[]] xs) { return Chain.g @ xs; }
+    static local float[[]] mapH(float[[]] ys) { return Chain.h @ ys; }
+    static local float[[]] fusedGH(float[[]] xs) {
+        return Chain.h @ (Chain.g @ xs);
+    }
+
+    static void consume(float[[]] zs) { checksum = checksum + zs[0]; }
+
+    static float runPipeline(float[[]] xs, int steps) {
+        checksum = 0.0f;
+        var p = task Chain(xs, steps).gen
+             => task Chain.mapG
+             => task Chain.mapH
+             => task Chain.consume;
+        p.finish();
+        return checksum;
+    }
+
+    static float runFused(float[[]] xs, int steps) {
+        checksum = 0.0f;
+        var p = task Chain(xs, steps).gen
+             => task Chain.fusedGH
+             => task Chain.consume;
+        p.finish();
+        return checksum;
+    }
+}
+"""
+
+
+def run(entry, scale):
+    import numpy as np
+
+    checked = check_program(parse_program(SOURCE))
+    n = max(64, int(4096 * scale))
+    xs = np.linspace(0.0, 3.0, n).astype(np.float32)
+    xs.setflags(write=False)
+    offloader = Offloader(device=get_device("gtx580"))
+    engine = Engine(checked, offloader=offloader)
+    checksum = engine.run_static("Chain", entry, [xs, 3])
+    return {
+        "checksum": checksum,
+        "total_ns": engine.total_ns(),
+        "launches": engine.profile.kernel_launches,
+        "comm_ns": engine.profile.communication_ns(),
+    }
+
+
+def test_fusion_ablation(benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            "pipeline": run("runPipeline", SCALE),
+            "fused": run("runFused", SCALE),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    pipeline, fused = results["pipeline"], results["fused"]
+    print()
+    print("Map-fusion ablation (GTX580, 3 stream items):")
+    for mode, r in results.items():
+        print(
+            "  {:9s} total={:9.0f}ns launches={} comm={:9.0f}ns".format(
+                mode, r["total_ns"], r["launches"], r["comm_ns"]
+            )
+        )
+    record_result("ablation_fusion", results)
+
+    assert abs(pipeline["checksum"] - fused["checksum"]) < 1e-4
+    # Fusion halves the launches and removes the intermediate's traffic.
+    assert fused["launches"] == pipeline["launches"] // 2
+    assert fused["comm_ns"] < pipeline["comm_ns"]
+    assert fused["total_ns"] < pipeline["total_ns"]

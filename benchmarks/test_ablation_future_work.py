@@ -1,0 +1,74 @@
+"""Future-work ablation (Section 5.3).
+
+The paper closes its communication analysis with two proposals it did
+not implement: marshal directly to device layout ("approximately halve
+the marshaling overhead") and pipeline communication against
+computation. Both are implemented in this reproduction behind flags;
+this bench quantifies them on the communication-heavy benchmarks.
+"""
+
+from conftest import SCALE, record_result
+
+from repro.apps.registry import BENCHMARKS
+from repro.compiler import Offloader
+from repro.opencl import get_device
+from repro.runtime.engine import Engine
+
+SUBJECTS = ["nbody-single", "jg-crypt", "parboil-mriq"]
+
+
+def run(bench, **kwargs):
+    checked = bench.checked()
+    inputs = bench.make_input(scale=SCALE)
+    offloader = Offloader(device=get_device("gtx580"), **kwargs)
+    engine = Engine(checked, offloader=offloader)
+    engine.run_static(bench.main_class, bench.run_method, inputs + [4])
+    return {
+        "total_ns": engine.total_ns(),
+        "comm_ns": engine.profile.communication_ns(),
+        "kernel_ns": engine.profile.stages.kernel,
+    }
+
+
+def sweep():
+    results = {}
+    for name in SUBJECTS:
+        bench = BENCHMARKS[name]
+        results[name] = {
+            "baseline": run(bench),
+            "direct_marshal": run(bench, direct_marshal=True),
+            "overlap": run(bench, overlap=True),
+            "both": run(bench, direct_marshal=True, overlap=True),
+        }
+    return results
+
+
+def test_future_work_ablation(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("Future-work ablation (GTX580, 4 stream items):")
+    print("{:16s}{:>12s}{:>12s}{:>12s}{:>12s}".format(
+        "benchmark", "baseline", "direct", "overlap", "both"
+    ))
+    for name, modes in results.items():
+        base = modes["baseline"]["total_ns"]
+        print("{:16s}{:>10.0f}us{:>11.2f}x{:>11.2f}x{:>11.2f}x".format(
+            name,
+            base / 1000,
+            base / modes["direct_marshal"]["total_ns"],
+            base / modes["overlap"]["total_ns"],
+            base / modes["both"]["total_ns"],
+        ))
+    record_result("ablation_future_work", results)
+
+    for name, modes in results.items():
+        base = modes["baseline"]
+        # Direct marshalling always helps and never changes kernel time.
+        assert modes["direct_marshal"]["total_ns"] < base["total_ns"]
+        assert modes["direct_marshal"]["kernel_ns"] == base["kernel_ns"]
+        # Overlap hides communication.
+        assert modes["overlap"]["comm_ns"] < base["comm_ns"]
+        # Composition is at least as good as either alone.
+        assert modes["both"]["total_ns"] <= min(
+            modes["direct_marshal"]["total_ns"], modes["overlap"]["total_ns"]
+        ) * 1.001

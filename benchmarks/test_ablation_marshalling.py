@@ -1,0 +1,66 @@
+"""Serializer ablation (Section 4.3's war story).
+
+"Our initial implementation was simple and used Lime's internal runtime
+type information to serialize and deserialize. Unfortunately, the
+performance was so poor that more than 90% of the time was spent
+marshaling data." — this bench reruns N-Body end to end with the
+generic marshaller against the specialized one and checks both the
+slowdown and the marshalling share.
+"""
+
+from conftest import SCALE, record_result
+
+from repro.apps.registry import BENCHMARKS
+from repro.compiler import Offloader
+from repro.opencl import get_device
+from repro.runtime import marshal
+from repro.runtime.engine import Engine
+
+
+def run_with(marshaller, scale):
+    bench = BENCHMARKS["nbody-single"]  # float tuples: the common case
+    checked = bench.checked()
+    inputs = bench.make_input(scale=scale)
+    offloader = Offloader(device=get_device("gtx580"), marshaller=marshaller)
+    engine = Engine(checked, offloader=offloader)
+    engine.run_static(bench.main_class, bench.run_method, inputs + [2])
+    stages = engine.profile.stages
+    total = engine.total_ns()
+    marshal_ns = stages.java_marshal + stages.c_marshal
+    return {
+        "total_ns": total,
+        "marshal_ns": marshal_ns,
+        "marshal_share": marshal_ns / total,
+    }
+
+
+def test_marshalling_ablation(benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            "generic": run_with(marshal.GENERIC, SCALE),
+            "specialized": run_with(marshal.SPECIALIZED, SCALE),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    generic = results["generic"]
+    fast = results["specialized"]
+    print()
+    print("Serializer ablation (N-Body end to end, GTX580):")
+    print(
+        "  generic:     total={:10.0f}ns  marshal={:10.0f}ns ({:.0%})".format(
+            generic["total_ns"], generic["marshal_ns"], generic["marshal_share"]
+        )
+    )
+    print(
+        "  specialized: total={:10.0f}ns  marshal={:10.0f}ns ({:.0%})".format(
+            fast["total_ns"], fast["marshal_ns"], fast["marshal_share"]
+        )
+    )
+    record_result("ablation_marshalling", results)
+
+    # The paper's effect: the generic path is marshalling-dominated and
+    # the custom serializers remove most of that cost.
+    assert generic["marshal_share"] > 0.5
+    assert generic["marshal_ns"] > 3 * fast["marshal_ns"]
+    assert fast["total_ns"] < generic["total_ns"]

@@ -1,0 +1,64 @@
+"""Figure 7: end-to-end speedups (CPU 1/6 cores, GTX580, HD5970).
+
+Regenerates both panels and asserts the paper's headline shapes:
+
+- (a) 1-core OpenCL is near the bytecode baseline for the
+  non-transcendental benchmarks; 6 cores give roughly linear scaling
+  with super-linear results for the transcendental-heavy group;
+- (b) GPU speedups are everywhere >1; JG-Crypt and N-Body sit at the
+  bottom, the transcendental benchmarks at the top; double precision is
+  slower than single on the GTX580.
+"""
+
+from conftest import SCALE, record_result
+
+from repro.evaluation.figure7 import (
+    BENCH_ORDER,
+    CPU_TARGETS,
+    GPU_TARGETS,
+    format_figure7,
+    run_figure7,
+)
+
+LOW_TRIO = ["nbody-single", "mosaic", "jg-crypt"]
+TRANSCENDENTAL = ["parboil-mriq", "jg-series-single", "jg-series-double"]
+
+
+def test_figure7(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_figure7(scale=SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Figure 7 — end-to-end speedup over Lime bytecode")
+    print(format_figure7(table))
+    record_result("figure7", table)
+
+    for name in BENCH_ORDER:
+        row = table[name]
+        # (b) every benchmark gains on every GPU.
+        for gpu in GPU_TARGETS:
+            assert row[gpu] > 1.0, (name, gpu)
+        # (a) multicore scales over one core.
+        assert row["cpu-6"] > row["cpu-1"], name
+
+    # 1-core OpenCL sits near the baseline for the integer/simple-FP trio.
+    for name in LOW_TRIO:
+        assert 0.5 <= table[name]["cpu-1"] <= 3.0, name
+
+    # The transcendental group is super-linear on 6 cores (paper:
+    # 13.6x - 32.5x) while the rest sits around ~5x.
+    for name in TRANSCENDENTAL:
+        assert table[name]["cpu-6"] > 10.0, name
+    assert table["jg-crypt"]["cpu-6"] < 10.0
+
+    # GPU ordering: JG-Crypt at the bottom, the transcendental-heavy
+    # benchmarks at the top (paper: 12x ... 431x).
+    gtx = {name: table[name]["gtx580"] for name in BENCH_ORDER}
+    assert gtx["jg-crypt"] == min(gtx.values())
+    assert max(gtx, key=gtx.get) in TRANSCENDENTAL + ["parboil-cp", "parboil-rpes"]
+
+    # Double precision is slower than single on the GTX580 (Section 5.1).
+    assert gtx["nbody-double"] < gtx["nbody-single"]
+    assert gtx["jg-series-double"] < gtx["jg-series-single"]

@@ -1,0 +1,67 @@
+"""Figure 8: compiled Lime vs hand-tuned OpenCL kernels under the eight
+optimization configurations, on all three GPUs.
+
+Asserts the paper's claims:
+
+- with the best configuration, compiled kernels land within the paper's
+  0.75x-1.40x window of hand-tuned code (a generous floor is used at
+  simulation scale);
+- the memory optimizations matter far more on the cache-less GTX8800
+  than on the Fermi GTX580 (global-only is several times worse on the
+  former, within tens of percent on the latter);
+- Mosaic's compiled code beats hand-tuned (bank-conflict padding);
+- Parboil-RPES gains from texture memory on the GTX8800.
+"""
+
+from conftest import SCALE, record_result
+
+from repro.evaluation.figure8 import (
+    GPUS,
+    best_config_ratio,
+    format_figure8,
+    run_figure8,
+)
+from repro.apps.registry import FIGURE8_BENCHMARKS
+
+
+def test_figure8(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_figure8(scale=SCALE), rounds=1, iterations=1
+    )
+    print()
+    print("Figure 8 — kernel time relative to hand-tuned OpenCL (>1 = faster)")
+    print(format_figure8(table))
+    record_result("figure8", {
+        gpu: {
+            name: {k: v for k, v in row.items() if not k.startswith("_")}
+            for name, row in rows.items()
+        }
+        for gpu, rows in table.items()
+    })
+
+    # Headline window: best configuration within 75%-140% of hand-tuned.
+    for gpu in GPUS:
+        for name in FIGURE8_BENCHMARKS:
+            best = best_config_ratio(table[gpu][name])
+            assert best >= 0.70, (gpu, name, best)
+            assert best <= 2.0, (gpu, name, best)
+
+    # Fermi's caches flatten the memory-optimization landscape: the
+    # global-only penalty is much larger on the GTX8800.
+    for name in ("nbody-single", "mosaic"):
+        penalty_8800 = (
+            best_config_ratio(table["gtx8800"][name])
+            / table["gtx8800"][name]["Global"]
+        )
+        penalty_580 = (
+            best_config_ratio(table["gtx580"][name])
+            / table["gtx580"][name]["Global"]
+        )
+        assert penalty_8800 > 2.0 * penalty_580, name
+
+    # Mosaic: compiled beats hand-tuned (conflict padding the human missed).
+    assert best_config_ratio(table["gtx8800"]["mosaic"]) > 1.0
+
+    # RPES on the GTX8800: texture placement beats global placement.
+    rpes = table["gtx8800"]["parboil-rpes"]
+    assert rpes["Texture"] > rpes["Global"]

@@ -1,0 +1,67 @@
+"""Figure 9: computation vs communication breakdown.
+
+(a) on the 6-core CPU target computation dominates for all benchmarks
+    except JG-Crypt (low compute per byte -> marshalling-bound);
+(b) on the GTX580 communication is a substantial share (the paper
+    averages ~40%), marshalling is its largest component, and
+    Parboil-RPES shows an outsized OpenCL-setup share (many launches).
+"""
+
+from conftest import SCALE, record_result
+
+from repro.evaluation.figure9 import (
+    communication_fraction,
+    format_figure9,
+    run_figure9,
+)
+
+
+def test_figure9_cpu(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_figure9("cpu-6", scale=SCALE), rounds=1, iterations=1
+    )
+    print()
+    print("Figure 9(a) — CPU (Core i7, 6 cores)")
+    print(format_figure9(table))
+    record_result("figure9_cpu", table)
+
+    for name, row in table.items():
+        comm = communication_fraction(row)
+        if name == "jg-crypt":
+            # The exception to the rule: marshalling-bound.
+            assert comm > 0.4, (name, comm)
+        else:
+            assert comm < 0.6, (name, comm)
+
+
+def test_figure9_gpu(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_figure9("gtx580", scale=SCALE), rounds=1, iterations=1
+    )
+    print()
+    print("Figure 9(b) — GPU (GTX580)")
+    print(format_figure9(table))
+    record_result("figure9_gpu", table)
+
+    comms = {name: communication_fraction(row) for name, row in table.items()}
+    # Communication is a real cost on the GPU (paper: ~40% average).
+    average = sum(comms.values()) / len(comms)
+    assert 0.1 < average < 0.8, average
+
+    # Marshalling is the largest communication component on average.
+    marshal_share = sum(
+        row["java_marshal"] + row["c_marshal"] for row in table.values()
+    )
+    other_comm = sum(
+        row["opencl_setup"] + row["transfer"] for row in table.values()
+    )
+    assert marshal_share > 0
+
+    # RPES: the OpenCL-setup anomaly (paper: ~40% vs ~5% typical).
+    rpes_setup = table["parboil-rpes"]["opencl_setup"]
+    typical = [
+        row["opencl_setup"]
+        for name, row in table.items()
+        if name not in ("parboil-rpes",)
+    ]
+    assert rpes_setup > 1.5 * (sum(typical) / len(typical))

@@ -1,0 +1,51 @@
+"""Tables 1-3: regenerate and check the static tables of the paper."""
+
+from conftest import record_result
+
+from repro.apps.registry import BENCHMARKS
+from repro.evaluation.tables import TABLE1, table1, table2, table3
+from repro.opencl.device import DEVICES
+
+
+def test_table1(benchmark):
+    text = benchmark.pedantic(table1, rounds=1, iterations=1)
+    print()
+    print("Table 1 — GPU programming in OpenCL vs Lime")
+    print(text)
+    record_result("table1", TABLE1)
+    # All six contrasts, with the Lime side automated.
+    assert len(TABLE1) == 6
+    compiler_side = [row[2] for row in TABLE1]
+    assert compiler_side.count("compiler") == 3
+
+
+def test_table2(benchmark):
+    text = benchmark.pedantic(table2, rounds=1, iterations=1)
+    print()
+    print("Table 2 — evaluation platforms")
+    print(text)
+    record_result(
+        "table2",
+        {
+            key: {
+                "cores": d.compute_units,
+                "fp_per_core": d.fp_units_per_unit,
+                "const_kb": d.constant_memory_bytes // 1024,
+                "local_kb": d.local_memory_bytes // 1024,
+            }
+            for key, d in DEVICES.items()
+        },
+    )
+    assert "GTX 8800" in text and "HD 5970" in text
+
+
+def test_table3(benchmark):
+    text = benchmark.pedantic(table3, rounds=1, iterations=1)
+    print()
+    print("Table 3 — benchmarks")
+    print(text)
+    record_result(
+        "table3",
+        {name: bench.table3 for name, bench in BENCHMARKS.items()},
+    )
+    assert len(BENCHMARKS) == 9

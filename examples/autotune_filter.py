@@ -1,0 +1,52 @@
+"""Auto-tune a filter across the optimization space.
+
+The paper tuned kernels by hand ("we conducted an exhaustive systematic
+offline exploration of the tuning parameters"; automating it "falls
+outside the scope of this paper"). This example runs the implemented
+auto-tuner on the MRIQ filter for two GPU generations and shows how the
+winning configuration changes with the memory system — the portability
+argument of Section 5.2 in action.
+
+Run:  python examples/autotune_filter.py
+"""
+
+from repro.apps.parboil_mriq import PARBOIL_MRIQ
+from repro.compiler.autotune import autotune_filter
+from repro.opencl import get_device
+
+
+def main():
+    bench = PARBOIL_MRIQ
+    checked = bench.checked()
+    worker = bench.filter_worker()
+    voxels, kspace = bench.make_input(scale=0.3)
+
+    for device_name in ("gtx8800", "gtx580"):
+        device = get_device(device_name)
+        print("=== {} ===".format(device.name))
+        result = autotune_filter(
+            checked,
+            worker,
+            device,
+            voxels,
+            bound_values={"kspace": kspace},
+            local_sizes=(32, 64, 128),
+        )
+        print(result.report())
+        print()
+        print("winner: {} at work-group size {}".format(
+            result.best.config_name, result.best.local_size
+        ))
+        out = result.compiled(voxels)
+        print("tuned filter output shape:", out.shape)
+        print()
+
+    print(
+        "The cache-less GTX8800 depends on explicit on-chip placement;\n"
+        "Fermi's caches flatten the landscape — the same Lime program,\n"
+        "retuned per device with zero source changes."
+    )
+
+
+if __name__ == "__main__":
+    main()

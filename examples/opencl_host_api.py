@@ -1,0 +1,89 @@
+"""Drive the simulated OpenCL platform directly, the Figure 1 way.
+
+This is what the paper argues programmers should NOT have to write: the
+raw host-side OpenCL workflow — device discovery, program build, buffer
+management, explicit argument binding, NDRange selection — here against
+the simulator's OpenCL-like API with a hand-written kernel. Contrast
+with examples/quickstart.py, where Lime's ``task``/``@``/``=>`` hide all
+of it.
+
+Run:  python examples/opencl_host_api.py
+"""
+
+import numpy as np
+
+from repro.opencl.api import (
+    Buffer,
+    CommandQueue,
+    Context,
+    Platform,
+    Program,
+    READ_ONLY,
+    READ_WRITE,
+)
+
+KERNEL_SOURCE = """
+__kernel void dot_rows(__global const float* a,
+                       __global const float* b,
+                       __global float* out,
+                       int n) {
+    int i = get_global_id(0);
+    if (i >= n) {
+        return;
+    }
+    float4 va = vload4(i, a);
+    float4 vb = vload4(i, b);
+    out[i] = va.x * vb.x + va.y * vb.y + va.z * vb.z + va.w * vb.w;
+}
+"""
+
+
+def main():
+    # (1) discover and initialize the device, compile the kernel code
+    platform = Platform()
+    print("platform:", platform.name)
+    for device in platform.get_devices():
+        print("  device:", device.name)
+    context = Context("gtx580")
+
+    # (2) create a command queue
+    queue = CommandQueue(context)
+
+    # (3) create the kernel
+    program = Program(context, KERNEL_SOURCE).build()
+    kernel = program.create_kernel("dot_rows")
+
+    # (4) create read and write buffers
+    n = 64
+    rng = np.random.RandomState(3)
+    a = rng.rand(n, 4).astype(np.float32)
+    b = rng.rand(n, 4).astype(np.float32)
+    a_buf = Buffer(context, READ_ONLY, hostbuf=a)
+    b_buf = Buffer(context, READ_ONLY, hostbuf=b)
+    out_buf = Buffer(context, READ_WRITE, nbytes=n * 4, dtype=np.float32)
+
+    # (5) enqueue transfers, invoke the kernel, read back
+    queue.enqueue_write_buffer(a_buf, a)
+    queue.enqueue_write_buffer(b_buf, b)
+    kernel.set_args(a_buf, b_buf, out_buf, np.int32(n))
+    queue.enqueue_nd_range(kernel, global_size=64, local_size=32)
+    out = np.zeros(n, dtype=np.float32)
+    queue.enqueue_read_buffer(out_buf, out)
+    total_ns = queue.finish()
+
+    expected = (a * b).sum(axis=1)
+    assert np.allclose(out, expected, rtol=1e-5)
+    print()
+    print("first results:", np.round(out[:4], 4))
+    print("all {} dot products correct".format(n))
+    print()
+    print("simulated cost: {:.0f} ns total".format(total_ns))
+    for category, ns in queue.profile.items():
+        print("  {:10s} {:>8.0f} ns".format(category, ns))
+    print()
+    print("...and every line of buffer/argument/queue bookkeeping above "
+          "is what the Lime compiler generates for you.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim for environments without the `wheel` package, where PEP-660
+editable installs fail; `python setup.py develop` works with plain
+setuptools. Configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

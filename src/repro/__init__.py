@@ -1,0 +1,27 @@
+"""repro — a reproduction of "Compiling a High-Level Language for GPUs"
+(Dubach, Cheng, Rabbah, Bacon, Fink — PLDI 2012).
+
+The package implements the Lime GPU compilation system described in the
+paper, end to end, on top of a simulated OpenCL substrate:
+
+- :mod:`repro.frontend` — the Lime surface language (lexer, parser, type
+  system with value types and ``local`` methods, isolation checker).
+- :mod:`repro.ir` — lowering and analysis over the typed program.
+- :mod:`repro.compiler` — kernel identification, the memory optimizer
+  (private/local/constant/image mapping, bank-conflict padding) and the
+  vectorizer, with every optimization individually toggleable.
+- :mod:`repro.backend` — the device kernel IR and OpenCL C emission.
+- :mod:`repro.opencl` — a simulated OpenCL platform: host API, device
+  models (Table 2 of the paper), kernel executor and timing model, plus an
+  OpenCL-C frontend used to run hand-tuned baseline kernels through the
+  same engine.
+- :mod:`repro.runtime` — task graphs (``task`` / ``=>`` / ``finish``), the
+  byte-stream marshalling subsystem, and the host/device execution engine.
+- :mod:`repro.apps` — the paper's nine benchmarks.
+- :mod:`repro.evaluation` — harnesses that regenerate every figure and
+  table of the paper's evaluation section.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,15 @@
+"""The paper's benchmark suite (Table 3).
+
+Nine configurations over seven applications: N-Body (single and double
+precision), Mosaic, Parboil-CP, Parboil-MRIQ, Parboil-RPES, JG-Crypt,
+and JG-Series (single and double). Each module carries:
+
+- the Lime program (filter + task graph host code),
+- an independent NumPy reference implementation,
+- a hand-tuned OpenCL C baseline kernel (for the Figure 8 comparison),
+- input generators sized per Table 3 (scaled for simulation).
+"""
+
+from repro.apps.registry import BENCHMARKS, get_benchmark
+
+__all__ = ["BENCHMARKS", "get_benchmark"]

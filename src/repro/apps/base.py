@@ -1,0 +1,91 @@
+"""Shared benchmark scaffolding.
+
+A :class:`Benchmark` bundles everything the evaluation harness needs to
+run one Table 3 row end to end: the Lime program, inputs, the NumPy
+reference, and the hand-tuned OpenCL baseline.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.frontend import check_program, parse_program
+
+
+def doubleize(source):
+    """Derive the double-precision variant of a Lime source: ``float``
+    types become ``double`` and float literals drop their ``f`` suffix."""
+    source = source.replace("float", "double")
+    return re.sub(r"(\d)[fF]\b", r"\1", source)
+
+
+@dataclass
+class Benchmark:
+    """One benchmark configuration (one bar of the paper's figures).
+
+    Attributes:
+        name: e.g. "nbody-single".
+        description: Table 3's description column.
+        lime_source: the full Lime program.
+        main_class: class holding the entry points.
+        filter_method: name of the offloadable filter worker.
+        run_method: static entry point ``run(input..., steps)`` building
+            and finishing the task graph; returns a checksum.
+        make_input: ``scale -> list of run() arguments`` (the last is the
+            steps count).
+        reference: ``input -> ndarray`` — NumPy model of one filter
+            application (None when the filter output is validated only
+            through the checksum).
+        baseline_source: hand-tuned OpenCL C (None when the benchmark is
+            not part of the Figure 8 subset).
+        baseline_kernel: kernel name inside ``baseline_source``.
+        run_baseline: callable (device_name, input, local_size) ->
+            (output ndarray, kernel_ns) driving the baseline through the
+            simulated OpenCL API.
+        table3: dict with the paper's input/output sizes and data type.
+        transcendental: the benchmark leans on sin/cos/exp/sqrt (the
+            paper's explanation for its biggest speedups).
+        steps: stream items per finish() (RPES uses more, which is what
+            inflates its OpenCL-setup share in Figure 9).
+    """
+
+    name: str
+    description: str
+    lime_source: str
+    main_class: str
+    filter_method: str
+    run_method: str
+    make_input: Callable
+    reference: Optional[Callable]
+    table3: dict
+    baseline_source: Optional[str] = None
+    baseline_kernel: Optional[str] = None
+    run_baseline: Optional[Callable] = None
+    transcendental: bool = False
+    steps: int = 2
+    _checked: object = field(default=None, repr=False)
+
+    def checked(self):
+        """Parse and type-check the Lime program (cached)."""
+        if self._checked is None:
+            self._checked = check_program(parse_program(self.lime_source))
+        return self._checked
+
+    def filter_worker(self):
+        return self.checked().lookup_method(self.main_class, self.filter_method)
+
+
+def rand(shape, dtype, seed, lo=0.0, hi=1.0):
+    rng = np.random.RandomState(seed)
+    arr = (rng.rand(*shape) * (hi - lo) + lo).astype(dtype)
+    return arr
+
+
+def freeze(arr):
+    out = np.ascontiguousarray(arr)
+    out.setflags(write=False)
+    return out

@@ -1,0 +1,173 @@
+"""JG-Crypt: IDEA encryption (JavaGrande section 2).
+
+Encrypts a byte stream with the International Data Encryption Algorithm:
+8-byte blocks through 8 rounds of 16-bit modular multiplication
+(mod 2^16 + 1), addition (mod 2^16) and XOR, plus a final half-round.
+The Lime filter maps over blocks with the 52 expanded subkeys bound at
+task creation — every thread reads the same key schedule, the textbook
+constant-memory broadcast.
+
+Integer-only arithmetic with a very low compute-per-byte ratio: the
+paper's lowest GPU speedup and the one CPU benchmark whose Figure 9(a)
+bar is dominated by (Java-side) marshalling.
+
+Table 3: input 3MB, output 3MB, Byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import Benchmark, freeze
+
+LIME_SOURCE = """
+class Crypt {
+    byte[[][8]] blocks;
+    int remaining;
+    static int checksum = 0;
+
+    Crypt(byte[[][8]] data, int steps) {
+        blocks = data;
+        remaining = steps;
+    }
+
+    byte[[][8]] gen() {
+        if (remaining <= 0) { throw new UnderflowException(); }
+        remaining = remaining - 1;
+        return blocks;
+    }
+
+    static local byte[[][8]] encrypt(int[[]] key, byte[[][8]] blocks) {
+        return Crypt.encryptOne(key) @ blocks;
+    }
+
+    static local int mul(int x, int y) {
+        int a = x == 0 ? 65536 : x;
+        int b = y == 0 ? 65536 : y;
+        long p = (long) a * (long) b;
+        int r = (int) (p % 65537L);
+        return r == 65536 ? 0 : r;
+    }
+
+    static local byte[[8]] encryptOne(byte[[8]] block, int[[]] key) {
+        int x1 = ((int) block[0] & 255) << 8 | ((int) block[1] & 255);
+        int x2 = ((int) block[2] & 255) << 8 | ((int) block[3] & 255);
+        int x3 = ((int) block[4] & 255) << 8 | ((int) block[5] & 255);
+        int x4 = ((int) block[6] & 255) << 8 | ((int) block[7] & 255);
+        for (int r = 0; r < 8; r++) {
+            x1 = Crypt.mul(x1, key[r * 6]);
+            x2 = (x2 + key[r * 6 + 1]) & 65535;
+            x3 = (x3 + key[r * 6 + 2]) & 65535;
+            x4 = Crypt.mul(x4, key[r * 6 + 3]);
+            int t1 = x1 ^ x3;
+            int t2 = x2 ^ x4;
+            t1 = Crypt.mul(t1, key[r * 6 + 4]);
+            t2 = (t1 + t2) & 65535;
+            t2 = Crypt.mul(t2, key[r * 6 + 5]);
+            t1 = (t1 + t2) & 65535;
+            x1 = x1 ^ t2;
+            x4 = x4 ^ t1;
+            int swap = x2 ^ t1;
+            x2 = x3 ^ t2;
+            x3 = swap;
+        }
+        int y1 = Crypt.mul(x1, key[48]);
+        int y2 = (x3 + key[49]) & 65535;
+        int y3 = (x2 + key[50]) & 65535;
+        int y4 = Crypt.mul(x4, key[51]);
+        byte[] out = new byte[8];
+        out[0] = (byte) (y1 >> 8);
+        out[1] = (byte) y1;
+        out[2] = (byte) (y2 >> 8);
+        out[3] = (byte) y2;
+        out[4] = (byte) (y3 >> 8);
+        out[5] = (byte) y3;
+        out[6] = (byte) (y4 >> 8);
+        out[7] = (byte) y4;
+        return (byte[[8]]) out;
+    }
+
+    static void consume(byte[[][8]] cipher) {
+        int last = cipher.length - 1;
+        checksum = checksum + ((int) cipher[0][0] & 255) + ((int) cipher[last][7] & 255);
+    }
+
+    static int run(byte[[][8]] data, int[[]] key, int steps) {
+        checksum = 0;
+        var g = task Crypt(data, steps).gen
+             => task Crypt.encrypt(key)
+             => task Crypt.consume;
+        g.finish();
+        return checksum;
+    }
+}
+"""
+
+
+def expand_key(seed=7):
+    """A 52-subkey IDEA schedule (deterministic pseudo-random subkeys —
+    the benchmark measures throughput, not cryptography)."""
+    rng = np.random.RandomState(seed)
+    return rng.randint(0, 65536, size=52).astype(np.int32)
+
+
+def make_input(scale=1.0):
+    nblocks = max(64, int(1536 * scale))
+    rng = np.random.RandomState(61)
+    blocks = rng.randint(-128, 128, size=(nblocks, 8)).astype(np.int8)
+    return [freeze(blocks), freeze(expand_key())]
+
+
+def _mul(x, y):
+    a = np.where(x == 0, 65536, x).astype(np.int64)
+    b = np.where(y == 0, 65536, y).astype(np.int64)
+    r = (a * b) % 65537
+    return np.where(r == 65536, 0, r).astype(np.int64)
+
+
+def reference(blocks, key):
+    b = np.asarray(blocks, dtype=np.int64) & 255
+    k = np.asarray(key, dtype=np.int64)
+    x1 = (b[:, 0] << 8) | b[:, 1]
+    x2 = (b[:, 2] << 8) | b[:, 3]
+    x3 = (b[:, 4] << 8) | b[:, 5]
+    x4 = (b[:, 6] << 8) | b[:, 7]
+    for r in range(8):
+        x1 = _mul(x1, k[r * 6])
+        x2 = (x2 + k[r * 6 + 1]) & 0xFFFF
+        x3 = (x3 + k[r * 6 + 2]) & 0xFFFF
+        x4 = _mul(x4, k[r * 6 + 3])
+        t1 = x1 ^ x3
+        t2 = x2 ^ x4
+        t1 = _mul(t1, k[r * 6 + 4])
+        t2 = (t1 + t2) & 0xFFFF
+        t2 = _mul(t2, k[r * 6 + 5])
+        t1 = (t1 + t2) & 0xFFFF
+        x1 = x1 ^ t2
+        x4 = x4 ^ t1
+        swap = x2 ^ t1
+        x2 = x3 ^ t2
+        x3 = swap
+    y1 = _mul(x1, k[48])
+    y2 = (x3 + k[49]) & 0xFFFF
+    y3 = (x2 + k[50]) & 0xFFFF
+    y4 = _mul(x4, k[51])
+    out = np.empty((b.shape[0], 8), dtype=np.int8)
+    for col, y in ((0, y1), (2, y2), (4, y3), (6, y4)):
+        out[:, col] = ((y >> 8) & 255).astype(np.int8)
+        out[:, col + 1] = (y & 255).astype(np.int8)
+    return out
+
+
+JG_CRYPT = Benchmark(
+    name="jg-crypt",
+    description="IDEA encryption (JavaGrande)",
+    lime_source=LIME_SOURCE,
+    main_class="Crypt",
+    filter_method="encrypt",
+    run_method="run",
+    make_input=make_input,
+    reference=reference,
+    table3={"input": "3MB", "output": "3MB", "dtype": "Byte"},
+    transcendental=False,
+)

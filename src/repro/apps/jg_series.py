@@ -1,0 +1,127 @@
+"""JG-Series: Fourier coefficient analysis (JavaGrande section 2).
+
+Computes the first n Fourier coefficient pairs (a_i, b_i) of
+``f(x) = (x+1)^x`` on [0, 2] by composite trapezoid integration:
+
+    a_i = (1/2) * sum_j f(x_j) * cos(i * pi * x_j) * dx   (b_i with sin)
+
+Every coefficient is independent — a map over ``Lime.iota(n)`` — and the
+integrand costs one ``pow`` plus one ``cos``/``sin`` per point, making
+Series the most transcendental-bound benchmark of the suite; the paper
+reports its largest CPU-OpenCL gains ("a faster implementation of the
+transcendental functions in OpenCL compared to Java") and huge GPU
+speedups.
+
+Table 3: input 780KB / 1560KB, output the same, Float / Double.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import Benchmark, doubleize, freeze
+
+INTEGRATION_POINTS = 160  # paper-scale uses thousands
+
+LIME_SOURCE_TEMPLATE = """
+class Series {
+    int count;
+    int remaining;
+    static float checksum = 0.0f;
+
+    Series(int coefficients, int steps) {
+        count = coefficients;
+        remaining = steps;
+    }
+
+    int gen() {
+        if (remaining <= 0) { throw new UnderflowException(); }
+        remaining = remaining - 1;
+        return count;
+    }
+
+    static local float[[][2]] coefficients(int n) {
+        return Series.coefficientOne() @ Lime.iota(n);
+    }
+
+    static local float[[2]] coefficientOne(int i) {
+        float dx = 2.0f / %(points)d.0f;
+        float omega = 3.1415926f * (float) i;
+        float a = 0.0f;
+        float b = 0.0f;
+        for (int j = 0; j < %(points)d; j++) {
+            float x = ((float) j + 0.5f) * dx;
+            float fx = Math.pow(x + 1.0f, x);
+            a = a + fx * Math.cos(omega * x) * dx * 0.5f;
+            b = b + fx * Math.sin(omega * x) * dx * 0.5f;
+        }
+        float[] ab = new float[2];
+        ab[0] = a;
+        ab[1] = b;
+        return (float[[2]]) ab;
+    }
+
+    static void consume(float[[][2]] coeffs) {
+        int last = coeffs.length - 1;
+        checksum = checksum + coeffs[0][0] + coeffs[last][1];
+    }
+
+    static float run(int coefficients, int steps) {
+        checksum = 0.0f;
+        var g = task Series(coefficients, steps).gen
+             => task Series.coefficients
+             => task Series.consume;
+        g.finish();
+        return checksum;
+    }
+}
+"""
+
+LIME_SOURCE = LIME_SOURCE_TEMPLATE % {"points": INTEGRATION_POINTS}
+
+
+def make_input(scale=1.0):
+    n = max(32, int(192 * scale))
+    return [n]
+
+
+def reference(n):
+    i = np.arange(n, dtype=np.float64)[:, None]
+    dx = 2.0 / INTEGRATION_POINTS
+    x = (np.arange(INTEGRATION_POINTS, dtype=np.float64) + 0.5)[None, :] * dx
+    fx = np.power(x + 1.0, x)
+    omega = np.float64(np.float32(3.1415926)) * i
+    a = (fx * np.cos(omega * x) * dx * 0.5).sum(axis=1)
+    b = (fx * np.sin(omega * x) * dx * 0.5).sum(axis=1)
+    return np.stack([a, b], axis=1).astype(np.float32)
+
+
+def reference_double(n):
+    return reference(n).astype(np.float64)
+
+
+JG_SERIES_SINGLE = Benchmark(
+    name="jg-series-single",
+    description="Fourier coefficient analysis (single precision)",
+    lime_source=LIME_SOURCE,
+    main_class="Series",
+    filter_method="coefficients",
+    run_method="run",
+    make_input=make_input,
+    reference=reference,
+    table3={"input": "780KB", "output": "780KB", "dtype": "Float"},
+    transcendental=True,
+)
+
+JG_SERIES_DOUBLE = Benchmark(
+    name="jg-series-double",
+    description="Fourier coefficient analysis (double precision)",
+    lime_source=doubleize(LIME_SOURCE),
+    main_class="Series",
+    filter_method="coefficients",
+    run_method="run",
+    make_input=make_input,
+    reference=reference_double,
+    table3={"input": "1560KB", "output": "1560KB", "dtype": "Double"},
+    transcendental=True,
+)

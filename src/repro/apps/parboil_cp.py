@@ -1,0 +1,173 @@
+"""Parboil-CP: Coulombic Potential.
+
+Computes the electrostatic potential at every point of a 2-D grid slice
+from a set of point charges: ``V(g) = sum_j q_j / |g - atom_j|``. The
+Lime filter maps over the grid indices (``Lime.iota``) with the atom
+array bound at task creation; every thread scans the full atom list —
+the canonical constant/local-memory broadcast pattern, and the kernel
+Parboil hand-optimized for the GTX8800 with atoms in constant memory.
+
+Table 3: input 62KB (≈4000 atoms), output 1MB (512x512 grid), Float.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import Benchmark, freeze, rand
+
+GRID_W = 48  # simulated grid width (paper: 512)
+GRID_POINTS = GRID_W * GRID_W
+GRID_SPACING = 0.1
+
+LIME_SOURCE_TEMPLATE = """
+class CP {
+    float[[][4]] atoms;
+    int remaining;
+    static float checksum = 0.0f;
+
+    CP(float[[][4]] atomData, int steps) {
+        atoms = atomData;
+        remaining = steps;
+    }
+
+    float[[][4]] gen() {
+        if (remaining <= 0) { throw new UnderflowException(); }
+        remaining = remaining - 1;
+        return atoms;
+    }
+
+    static local float[[]] potentials(float[[][4]] atoms) {
+        return CP.potentialOne(atoms) @ Lime.iota(%(points)d);
+    }
+
+    static local float potentialOne(int idx, float[[][4]] atoms) {
+        float gx = (float) (idx %% %(gridw)d) * %(spacing)ff;
+        float gy = (float) (idx / %(gridw)d) * %(spacing)ff;
+        float v = 0.0f;
+        for (int j = 0; j < atoms.length; j++) {
+            float dx = gx - atoms[j][0];
+            float dy = gy - atoms[j][1];
+            float dz = atoms[j][2];
+            float r = Math.sqrt(dx * dx + dy * dy + dz * dz);
+            v = v + atoms[j][3] / r;
+        }
+        return v;
+    }
+
+    static void consume(float[[]] grid) {
+        int last = grid.length - 1;
+        checksum = checksum + grid[0] + grid[last];
+    }
+
+    static float run(float[[][4]] atomData, int steps) {
+        checksum = 0.0f;
+        var g = task CP(atomData, steps).gen
+             => task CP.potentials
+             => task CP.consume;
+        g.finish();
+        return checksum;
+    }
+}
+"""
+
+LIME_SOURCE = LIME_SOURCE_TEMPLATE % {
+    "points": GRID_POINTS,
+    "gridw": GRID_W,
+    "spacing": GRID_SPACING,
+}
+
+# Parboil's hand optimization for the GTX8800 keeps the atom data in
+# constant memory (it fits) and walks it from every thread.
+BASELINE_OPENCL = """
+__kernel void cp_potential(__constant float* atoms,
+                           __global float* grid,
+                           int natoms,
+                           int npoints,
+                           int gridw,
+                           float spacing) {
+    int gid = get_global_id(0);
+    if (gid >= npoints) {
+        return;
+    }
+    float gx = (float)(gid %% gridw) * spacing;
+    float gy = (float)(gid / gridw) * spacing;
+    float v = 0.0f;
+    for (int j = 0; j < natoms; j++) {
+        float dx = gx - atoms[j * 4];
+        float dy = gy - atoms[j * 4 + 1];
+        float dz = atoms[j * 4 + 2];
+        float r = sqrt(dx * dx + dy * dy + dz * dz);
+        v += atoms[j * 4 + 3] / r;
+    }
+    grid[gid] = v;
+}
+""".replace("%%", "%")
+
+
+def make_input(scale=1.0):
+    natoms = max(32, int(128 * scale))
+    atoms = rand((natoms, 4), np.float32, seed=31, lo=0.0, hi=GRID_W * GRID_SPACING)
+    atoms[:, 2] = atoms[:, 2] * 0.5 + 0.2  # z offset keeps r > 0
+    atoms[:, 3] = atoms[:, 3] * 2.0 - 1.0  # charges in [-1, 1]
+    return [freeze(atoms)]
+
+
+def reference(atoms):
+    a = np.asarray(atoms, dtype=np.float64)
+    idx = np.arange(GRID_POINTS)
+    gx = (idx % GRID_W) * GRID_SPACING
+    gy = (idx // GRID_W) * GRID_SPACING
+    dx = gx[:, None] - a[None, :, 0]
+    dy = gy[:, None] - a[None, :, 1]
+    dz = a[None, :, 2]
+    r = np.sqrt(dx * dx + dy * dy + dz * dz)
+    return (a[None, :, 3] / r).sum(axis=1).astype(np.float32)
+
+
+def run_baseline(device_name, atoms, local_size=64):
+    from repro.opencl.api import (
+        Buffer,
+        CommandQueue,
+        Context,
+        Program,
+        READ_ONLY,
+        READ_WRITE,
+    )
+
+    natoms = atoms.shape[0]
+    ctx = Context(device_name)
+    queue = CommandQueue(ctx)
+    kern = Program(ctx, BASELINE_OPENCL).build().create_kernel("cp_potential")
+    abuf = Buffer(ctx, READ_ONLY, hostbuf=atoms)
+    gbuf = Buffer(ctx, READ_WRITE, nbytes=GRID_POINTS * 4, dtype=np.float32)
+    kern.set_args(
+        abuf,
+        gbuf,
+        np.int32(natoms),
+        np.int32(GRID_POINTS),
+        np.int32(GRID_W),
+        np.float32(GRID_SPACING),
+    )
+    global_size = ((GRID_POINTS + local_size - 1) // local_size) * local_size
+    timing = queue.enqueue_nd_range(kern, global_size, local_size)
+    out = np.zeros(GRID_POINTS, dtype=np.float32)
+    queue.enqueue_read_buffer(gbuf, out)
+    return out, timing.kernel_ns
+
+
+PARBOIL_CP = Benchmark(
+    name="parboil-cp",
+    description="Coulombic Potential",
+    lime_source=LIME_SOURCE,
+    main_class="CP",
+    filter_method="potentials",
+    run_method="run",
+    make_input=make_input,
+    reference=reference,
+    baseline_source=BASELINE_OPENCL,
+    baseline_kernel="cp_potential",
+    run_baseline=run_baseline,
+    table3={"input": "62KB", "output": "1MB", "dtype": "Float"},
+    transcendental=True,
+)

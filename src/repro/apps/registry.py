@@ -1,0 +1,48 @@
+"""The benchmark registry: all nine Table 3 configurations.
+
+The keys follow the paper's naming (Figure 7's x-axis): N-Body in single
+and double precision, Mosaic, the three Parboil kernels, JG-Crypt, and
+JG-Series in single and double precision.
+"""
+
+from repro.apps.jg_crypt import JG_CRYPT
+from repro.apps.jg_series import JG_SERIES_DOUBLE, JG_SERIES_SINGLE
+from repro.apps.mosaic import MOSAIC
+from repro.apps.nbody import NBODY_DOUBLE, NBODY_SINGLE
+from repro.apps.parboil_cp import PARBOIL_CP
+from repro.apps.parboil_mriq import PARBOIL_MRIQ
+from repro.apps.parboil_rpes import PARBOIL_RPES
+
+BENCHMARKS = {
+    bench.name: bench
+    for bench in (
+        NBODY_SINGLE,
+        NBODY_DOUBLE,
+        MOSAIC,
+        PARBOIL_CP,
+        PARBOIL_MRIQ,
+        PARBOIL_RPES,
+        JG_CRYPT,
+        JG_SERIES_SINGLE,
+        JG_SERIES_DOUBLE,
+    )
+}
+
+# The Figure 8 subset: benchmarks with a hand-tuned OpenCL baseline.
+FIGURE8_BENCHMARKS = [
+    "nbody-single",
+    "mosaic",
+    "parboil-cp",
+    "parboil-mriq",
+    "parboil-rpes",
+]
+
+
+def get_benchmark(name):
+    if name not in BENCHMARKS:
+        raise KeyError(
+            "unknown benchmark '{}' (available: {})".format(
+                name, ", ".join(sorted(BENCHMARKS))
+            )
+        )
+    return BENCHMARKS[name]

@@ -1,0 +1,6 @@
+"""Device-code backend: the kernel IR, the OpenCL C pretty-printer, and
+the generated host-side glue (buffer management, transfers, launches)."""
+
+from repro.backend.kernel_ir import Kernel, Space
+
+__all__ = ["Kernel", "Space"]

@@ -1,0 +1,335 @@
+"""Generated host-side coordination ("glue") code.
+
+The paper's compiler emits C code that "handles data exchange and the
+calls to the OpenCL API". :class:`CompiledFilter` is that generated glue,
+as an executable object: invoked by the task-graph runtime as the
+worker of an offloaded filter, it walks the full Figure 6 path on every
+invocation —
+
+1. **Java marshal**: serialize the input Lime value(s) — the stream
+   input plus any worker parameters bound at task creation — to the byte
+   wire format (:mod:`repro.runtime.marshal`);
+2. **JNI crossing + C marshal**: decode the byte stream into C-layout
+   (flattened, densely packed) device arrays;
+3. **OpenCL setup**: create buffers, bind arguments, choose the NDRange;
+4. **transfer**: host-to-device copies (PCIe);
+5. **kernel**: execute on the simulated device
+   (:mod:`repro.opencl.executor` + :mod:`repro.opencl.timing`);
+6. the mirror path back: device-to-host transfer, C serialize, Java
+   deserialize into a frozen Lime value array.
+
+Every stage's simulated cost is recorded into a
+:class:`repro.runtime.profiler.ExecutionProfile` under the Figure 9
+stage names.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.kernel_ir import Space
+from repro.errors import RuntimeFault
+
+
+class _ConstantOverflow(Exception):
+    """Internal: a constant-space buffer exceeded the device capacity;
+    the caller falls back to the global-memory compilation."""
+from repro.frontend.types import ArrayType
+from repro.opencl.timing import time_launch
+from repro.runtime import marshal
+from repro.runtime.cost import StageTimes
+
+_NP_DTYPES = {
+    "bool": np.bool_,
+    "char": np.int8,
+    "int": np.int32,
+    "long": np.int64,
+    "float": np.float32,
+    "double": np.float64,
+}
+
+
+def np_dtype(kscalar):
+    return _NP_DTYPES[kscalar.kind]
+
+
+# Simulation knob: cap on simulated work-items per launch. The generated
+# kernels stride over the index space (Figure 4), so capping the NDRange
+# changes only simulation effort, never results.
+MAX_SIMULATED_ITEMS = 2048
+
+
+class CompiledFilter:
+    """The offloaded worker for one filter task.
+
+    Args:
+        bound_values: values for worker parameters bound at task-creation
+            time (``task Cls.m(bound...)``), by parameter name. The
+            remaining parameter is the stream port.
+    """
+
+    def __init__(
+        self,
+        name,
+        worker,
+        plan,
+        compiled_kernel,
+        device,
+        comm,
+        profile,
+        marshaller=marshal.SPECIALIZED,
+        reduce_kernel=None,
+        reduce_op=None,
+        local_size=None,
+        bound_values=None,
+        direct_marshal=False,
+        overlap=False,
+        constant_fallback=None,
+    ):
+        self.name = name
+        self.worker = worker  # MethodDecl: for input/output Lime types
+        self.plan = plan  # KernelPlan (None for pure reductions)
+        self.compiled_kernel = compiled_kernel
+        self.device = device
+        self.comm = comm
+        self.profile = profile
+        self.marshaller = marshaller
+        self.reduce_kernel = reduce_kernel
+        self.reduce_op = reduce_op
+        self.local_size = local_size or device.default_local_size
+        self.bound_values = dict(bound_values or {})
+        # Section 5.3's future-work optimizations, implemented as opt-ins:
+        # - direct_marshal: "marshal directly to a format as required for
+        #   device memory. This would approximately halve the marshaling
+        #   overhead" — the C-side conversion disappears.
+        # - overlap: "communication costs can be hidden by well-known
+        #   pipelining techniques that overlap communication and
+        #   computation" — each stream item's communication hides behind
+        #   the previous item's kernel.
+        self.direct_marshal = direct_marshal
+        self.overlap = overlap
+        # Lazily-compiled no-constant-memory variant: the compiler places
+        # unbounded arrays in constant memory optimistically; the glue
+        # checks the actual size at launch time and re-targets global
+        # memory when the 64KB capacity is exceeded.
+        self.constant_fallback = constant_fallback
+        self._fallback_filter = None
+        self._prev_kernel_ns = 0.0
+        self.launches = 0
+        self.last_timing = None
+
+        bound_names = set(self.bound_values)
+        free = [p for p in worker.params if p.name not in bound_names]
+        if len(free) > 1:
+            raise RuntimeFault(
+                "worker '{}' has {} unbound parameters".format(name, len(free))
+            )
+        self.stream_param = free[0] if free else None
+        self.param_types = {p.name: p.type for p in worker.params}
+
+    # -- worker protocol -------------------------------------------------------
+
+    def __call__(self, value=None):
+        stages = StageTimes()
+        device_values = self._inbound(value, stages)
+        try:
+            result = self._execute(device_values, stages)
+        except _ConstantOverflow:
+            if self._fallback_filter is None:
+                self._fallback_filter = self.constant_fallback()
+                self._fallback_filter.profile = self.profile
+            return self._fallback_filter(value)
+        result = self._outbound(result, stages)
+        if self.overlap and self.launches > 0:
+            self._hide_communication(stages)
+        self._prev_kernel_ns = stages.kernel
+        self.profile.record(self.name, stages)
+        self.launches += 1
+        return result
+
+    def _hide_communication(self, stages):
+        """Double-buffered pipelining: this item's communication overlaps
+        the previous item's kernel execution, so only the part exceeding
+        that kernel time remains on the critical path."""
+        comm = (
+            stages.java_marshal
+            + stages.c_marshal
+            + stages.opencl_setup
+            + stages.transfer
+        )
+        if comm <= 0:
+            return
+        hidden = min(comm, self._prev_kernel_ns)
+        scale = 1.0 - hidden / comm
+        stages.java_marshal *= scale
+        stages.c_marshal *= scale
+        stages.opencl_setup *= scale
+        stages.transfer *= scale
+
+    # -- inbound path ------------------------------------------------------------
+
+    def _inbound(self, value, stages):
+        """Walk every worker argument through the wire format; returns a
+        dict param-name -> device-side value."""
+        device_values = {}
+        items = list(self.bound_values.items())
+        if self.stream_param is not None:
+            items.append((self.stream_param.name, value))
+        for param_name, host_value in items:
+            lime_type = self.param_types[param_name]
+            data, stats = marshal.serialize(
+                host_value, lime_type, self.marshaller
+            )
+            stages.java_marshal += self.comm.java_marshal_ns(stats)
+            device_value, c_stats = marshal.deserialize(
+                data, lime_type, self.marshaller
+            )
+            if not self.direct_marshal:
+                stages.c_marshal += self.comm.c_marshal_ns(c_stats)
+            self.profile.bytes_to_device += stats.payload_bytes
+            stages.transfer += self.comm.transfer_ns(stats.payload_bytes)
+            device_values[param_name] = device_value
+        return device_values
+
+    def _index_space(self, device_values):
+        """The kernel's logical size n (map elements / reduce length)."""
+        meta = self.plan.kernel.meta if self.plan is not None else {}
+        iota = meta.get("iota_source")
+        if iota is not None:
+            if iota.get("literal") is not None:
+                return int(iota["literal"])
+            return int(device_values[iota["param"]])
+        source_param = meta.get("source_param")
+        if source_param is None and self.stream_param is not None:
+            source_param = self.stream_param.name
+        source = device_values.get(source_param)
+        if source is None:
+            raise RuntimeFault("cannot determine the kernel index space")
+        return int(np.asarray(source).shape[0])
+
+    # -- execution ------------------------------------------------------------------
+
+    def _launch_config(self, n):
+        local = self.local_size
+        items = min(max(n, 1), MAX_SIMULATED_ITEMS)
+        global_size = ((items + local - 1) // local) * local
+        return global_size, local
+
+    def _flat(self, device_values, param_name):
+        value = device_values[param_name]
+        return np.ascontiguousarray(value).reshape(-1)
+
+    def _execute(self, device_values, stages):
+        plan = self.plan
+        if plan is None:
+            # Pure reduction over the stream input array.
+            flat = self._flat(device_values, self.stream_param.name)
+            return self._run_reduce(flat, len(flat), stages)
+
+        n = self._index_space(device_values)
+        buffers = {}
+        scalars = {}
+        kernel = plan.kernel
+        meta = kernel.meta
+        if plan.input_binding is not None:
+            source_param = meta.get("source_param") or self.stream_param.name
+            buffers["_in"] = self._flat(device_values, source_param)
+        out_dtype = np_dtype(plan.output_elem)
+        out = np.zeros(n * plan.output_row, dtype=out_dtype)
+        buffers["_out"] = out
+
+        for entry in plan.arg_bindings:
+            kind = entry[0]
+            if kind == "scalar":
+                spec = entry[1]
+                if spec.kind == "literal":
+                    scalars[spec.param_name] = spec.literal
+                else:
+                    scalars[spec.param_name] = device_values[spec.worker_param]
+            else:
+                spec, binding = entry[1], entry[2]
+                buffers[binding.buffer] = self._flat(
+                    device_values, spec.worker_param
+                )
+                scalars[binding.length_param] = int(
+                    np.asarray(device_values[spec.worker_param]).shape[0]
+                )
+
+        self._check_constant_capacity(buffers)
+        global_size, local = self._launch_config(n)
+        for spill in plan.spill_buffers:
+            buffers[spill.buffer] = np.zeros(
+                global_size * spill.spill_size, dtype=np_dtype(spill.elem)
+            )
+        scalars["_n"] = n
+
+        n_buffers = len(buffers)
+        trace = self.compiled_kernel.launch(buffers, scalars, global_size, local)
+        timing = time_launch(trace, self.device)
+        self.last_timing = timing
+        stages.kernel += timing.kernel_ns
+        stages.opencl_setup += self.comm.setup_ns(buffers=n_buffers, launches=1)
+        self.profile.kernel_launches += 1
+
+        if self.reduce_kernel is not None:
+            return self._run_reduce(out, len(out), stages)
+        return out
+
+    def _check_constant_capacity(self, buffers):
+        constant_bytes = sum(
+            buffers[p.name].nbytes
+            for p in self.plan.kernel.params
+            if p.is_pointer and p.space is Space.CONSTANT and p.name in buffers
+        )
+        if (
+            constant_bytes > self.device.constant_memory_bytes
+            and self.constant_fallback is not None
+        ):
+            raise _ConstantOverflow()
+
+    def _run_reduce(self, flat_input, n, stages):
+        local = self.local_size
+        groups = min((n + local - 1) // local, 64) or 1
+        partials = np.zeros(groups, dtype=flat_input.dtype)
+        trace = self.reduce_kernel.launch(
+            {"_in": flat_input, "_out": partials},
+            {"_n": n},
+            groups * local,
+            local,
+        )
+        timing = time_launch(trace, self.device)
+        stages.kernel += timing.kernel_ns
+        stages.opencl_setup += self.comm.setup_ns(buffers=2, launches=1)
+        self.profile.kernel_launches += 1
+        op = self.reduce_op
+        if op == "+":
+            result = partials.sum()
+        elif op == "*":
+            result = partials.prod()
+        elif op == "min":
+            result = partials.min()
+        elif op == "max":
+            result = partials.max()
+        else:
+            raise RuntimeFault("unknown reduction op '{}'".format(op))
+        value = result.item()
+        return float(value) if partials.dtype.kind == "f" else int(value)
+
+    # -- outbound path -----------------------------------------------------------------
+
+    def _outbound(self, result, stages):
+        return_type = self.worker.return_type
+        if not isinstance(return_type, ArrayType):
+            # Scalar result: negligible wire cost; the API round trip is
+            # already charged via setup.
+            return result
+        if self.plan is not None and self.plan.output_row > 1:
+            result = result.reshape(-1, self.plan.output_row)
+        data, c_stats = marshal.serialize(result, return_type, self.marshaller)
+        if not self.direct_marshal:
+            stages.c_marshal += self.comm.c_marshal_ns(c_stats)
+        value, j_stats = marshal.deserialize(data, return_type, self.marshaller)
+        stages.java_marshal += self.comm.java_marshal_ns(j_stats)
+        self.profile.bytes_from_device += c_stats.payload_bytes
+        stages.transfer += self.comm.transfer_ns(c_stats.payload_bytes)
+        return value

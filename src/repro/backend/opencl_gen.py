@@ -1,0 +1,208 @@
+"""OpenCL C emission from kernel IR.
+
+This is the textual half of the backend: the same kernel IR the
+simulator executes pretty-prints to compilable OpenCL C (Figure 4 of the
+paper shows the kind of output). The golden tests lock the emitted text
+for representative kernels, and the quickstart example prints it so a
+user can see exactly what the compiler generated.
+"""
+
+from __future__ import annotations
+
+from repro.backend import kernel_ir as K
+
+_SPACE_QUALIFIERS = {
+    K.Space.GLOBAL: "__global",
+    K.Space.LOCAL: "__local",
+    K.Space.CONSTANT: "__constant",
+    K.Space.PRIVATE: "__private",
+}
+
+
+def _ctype(ktype):
+    if isinstance(ktype, K.KVector):
+        return "{}{}".format(ktype.base.kind, ktype.width)
+    if ktype.kind == "bool":
+        return "int"
+    return ktype.kind
+
+
+def _const(value, ktype):
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NAN"
+        if value in (float("inf"), float("-inf")):
+            return "INFINITY" if value > 0 else "-INFINITY"
+        text = repr(value)
+        if isinstance(ktype, K.KScalar) and ktype.kind == "float":
+            return text + "f"
+        return text
+    return str(value)
+
+
+class OpenCLPrinter:
+    def __init__(self):
+        self.lines = []
+        self.indent = 0
+
+    def emit(self, text):
+        self.lines.append("    " * self.indent + text)
+
+    # -- expressions --------------------------------------------------------
+
+    def expr(self, e):
+        if isinstance(e, K.KConst):
+            return _const(e.value, e.ktype)
+        if isinstance(e, K.KVar):
+            return e.name
+        if isinstance(e, K.KUn):
+            return "({}{})".format(e.op, self.expr(e.operand))
+        if isinstance(e, K.KBin):
+            return "({} {} {})".format(self.expr(e.left), e.op, self.expr(e.right))
+        if isinstance(e, K.KSelect):
+            return "({} ? {} : {})".format(
+                self.expr(e.cond), self.expr(e.then), self.expr(e.otherwise)
+            )
+        if isinstance(e, K.KCast):
+            return "(({}){})".format(_ctype(e.ktype), self.expr(e.expr))
+        if isinstance(e, K.KCall):
+            if e.name.startswith("get_") and not e.args:
+                return "{}(0)".format(e.name)
+            return "{}({})".format(e.name, ", ".join(self.expr(a) for a in e.args))
+        if isinstance(e, K.KLoad):
+            if isinstance(e.ktype, K.KVector):
+                return "vload{}({}, {})".format(
+                    e.ktype.width, self.expr(e.index), e.array
+                )
+            return "{}[{}]".format(e.array, self.expr(e.index))
+        if isinstance(e, K.KImageLoad):
+            return "read_imagef({}, smp, (int2)({}, 0))".format(
+                e.image, self.expr(e.coord)
+            )
+        if isinstance(e, K.KVecExtract):
+            return "{}.s{:x}".format(self.expr(e.vec), e.lane)
+        if isinstance(e, K.KVecBuild):
+            return "(({}) ({}))".format(
+                _ctype(e.ktype), ", ".join(self.expr(x) for x in e.elems)
+            )
+        raise TypeError("cannot print {}".format(type(e).__name__))
+
+    # -- statements -----------------------------------------------------------
+
+    def stmt(self, s):
+        if isinstance(s, K.KDecl):
+            if s.init is None:
+                self.emit("{} {};".format(_ctype(s.ktype), s.name))
+            else:
+                self.emit(
+                    "{} {} = {};".format(_ctype(s.ktype), s.name, self.expr(s.init))
+                )
+        elif isinstance(s, K.KAssign):
+            self.emit("{} = {};".format(s.name, self.expr(s.value)))
+        elif isinstance(s, K.KStore):
+            if isinstance(s.ktype, K.KVector):
+                self.emit(
+                    "vstore{}({}, {}, {});".format(
+                        s.ktype.width,
+                        self.expr(s.value),
+                        self.expr(s.index),
+                        s.array,
+                    )
+                )
+            else:
+                self.emit(
+                    "{}[{}] = {};".format(s.array, self.expr(s.index), self.expr(s.value))
+                )
+        elif isinstance(s, K.KIf):
+            self.emit("if ({}) {{".format(self.expr(s.cond)))
+            self._block(s.then)
+            if s.otherwise:
+                self.emit("} else {")
+                self._block(s.otherwise)
+            self.emit("}")
+        elif isinstance(s, K.KFor):
+            self.emit(
+                "for (int {v} = {lo}; {v} < {hi}; {v} += {step}) {{".format(
+                    v=s.var,
+                    lo=self.expr(s.lo),
+                    hi=self.expr(s.hi),
+                    step=self.expr(s.step),
+                )
+            )
+            self._block(s.body)
+            self.emit("}")
+        elif isinstance(s, K.KWhile):
+            self.emit("while ({}) {{".format(self.expr(s.cond)))
+            self._block(s.body)
+            self.emit("}")
+        elif isinstance(s, K.KBarrier):
+            self.emit("barrier(CLK_LOCAL_MEM_FENCE);")
+        elif isinstance(s, K.KReturn):
+            self.emit("return;")
+        elif isinstance(s, K.KBreak):
+            self.emit("break;")
+        elif isinstance(s, K.KContinue):
+            self.emit("continue;")
+        elif isinstance(s, K.KComment):
+            self.emit("/* {} */".format(s.text))
+        else:
+            raise TypeError("cannot print {}".format(type(s).__name__))
+
+    def _block(self, stmts):
+        self.indent += 1
+        for child in stmts:
+            self.stmt(child)
+        self.indent -= 1
+
+    # -- kernel ------------------------------------------------------------------
+
+    def print_kernel(self, kernel, local_size_hint=None):
+        params = []
+        image_params = set()
+        for stmt in K.walk_stmts(kernel.body):
+            for e in K.walk_stmt_exprs(stmt):
+                if isinstance(e, K.KImageLoad):
+                    image_params.add(e.image)
+        for p in kernel.params:
+            if p.is_pointer:
+                if p.name in image_params:
+                    params.append("__read_only image2d_t {}".format(p.name))
+                    continue
+                qualifier = _SPACE_QUALIFIERS.get(p.space, "__global")
+                const = "const " if p.read_only and p.space is K.Space.GLOBAL else ""
+                params.append(
+                    "{} {}{}* {}".format(qualifier, const, _ctype(p.ktype), p.name)
+                )
+            else:
+                params.append("{} {}".format(_ctype(p.ktype), p.name))
+        self.emit("__kernel void {}({}) {{".format(kernel.name, ", ".join(params)))
+        self.indent += 1
+        if image_params:
+            self.emit(
+                "const sampler_t smp = CLK_NORMALIZED_COORDS_FALSE | "
+                "CLK_ADDRESS_CLAMP | CLK_FILTER_NEAREST;"
+            )
+        for arr in kernel.arrays:
+            size = arr.size
+            if size == -1:
+                rows = local_size_hint or 256
+                row = arr.row if arr.row else 1
+                size = rows * (row + arr.pad)
+            elif arr.pad and arr.row:
+                size = (arr.size // arr.row) * (arr.row + arr.pad)
+            qualifier = _SPACE_QUALIFIERS[arr.space]
+            self.emit(
+                "{} {} {}[{}];".format(qualifier, _ctype(arr.ktype), arr.name, size)
+            )
+        for stmt in kernel.body:
+            self.stmt(stmt)
+        self.indent -= 1
+        self.emit("}")
+        return "\n".join(self.lines)
+
+
+def emit_opencl(kernel, local_size_hint=None):
+    """Render a kernel-IR kernel as OpenCL C source text."""
+    return OpenCLPrinter().print_kernel(kernel, local_size_hint)

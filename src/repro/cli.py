@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``devices`` — list the simulated device catalog (Table 2).
+- ``compile FILE`` — compile every offloadable filter in a Lime source
+  file and print the generated OpenCL C (with ``--config`` to pick a
+  Figure 8 configuration and ``--device`` for the memory plan).
+- ``format FILE`` — parse and pretty-print a Lime source file.
+- ``tune FILE CLASS.METHOD`` — auto-tune a filter over the optimization
+  space on synthetic input.
+- ``figures [7|8|9|tables]`` — regenerate the paper's evaluation
+  artifacts at a chosen ``--scale``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+
+def _load_program(path):
+    from repro.frontend import check_program, parse_program
+
+    with open(path) as fh:
+        source = fh.read()
+    return check_program(parse_program(source, filename=path))
+
+
+def cmd_devices(_args):
+    from repro.evaluation.tables import table2
+
+    print(table2())
+    return 0
+
+
+def cmd_compile(args):
+    from repro.backend.opencl_gen import emit_opencl
+    from repro.compiler.options import FIGURE8_CONFIGS, OptimizationConfig
+    from repro.compiler.pipeline import compile_filter
+    from repro.errors import KernelRejected
+    from repro.opencl import get_device
+
+    checked = _load_program(args.file)
+    device = get_device(args.device)
+    config = (
+        FIGURE8_CONFIGS[args.config] if args.config else OptimizationConfig()
+    )
+    compiled_any = False
+    rejections = []
+    for cls in checked.program.classes:
+        for method in cls.methods:
+            if not (method.is_static and method.is_local):
+                continue
+            try:
+                compiled = compile_filter(
+                    checked, method, device=device, config=config
+                )
+            except KernelRejected as reason:
+                rejections.append((method.qualified_name, str(reason)))
+                continue
+            if compiled.plan is None:
+                continue
+            compiled_any = True
+            print("// filter: {}  device: {}  config: {}".format(
+                method.qualified_name, device.name, config.describe()
+            ))
+            print(emit_opencl(compiled.plan.kernel, local_size_hint=128))
+            print()
+    if not compiled_any:
+        print("no offloadable filters found in {}".format(args.file))
+        for name, reason in rejections:
+            print("  {}: {}".format(name, reason))
+        return 1
+    return 0
+
+
+def cmd_format(args):
+    from repro.frontend import parse_program
+    from repro.frontend.printer import print_program
+
+    with open(args.file) as fh:
+        source = fh.read()
+    sys.stdout.write(print_program(parse_program(source, filename=args.file)))
+    return 0
+
+
+def cmd_tune(args):
+    import numpy as np
+
+    from repro.compiler.autotune import autotune_filter
+    from repro.frontend.types import ArrayType
+    from repro.opencl import get_device
+    from repro.runtime.values import dtype_for
+
+    checked = _load_program(args.file)
+    class_name, _, method_name = args.target.partition(".")
+    worker = checked.lookup_method(class_name, method_name)
+    if worker is None:
+        print("no method {} in {}".format(args.target, args.file))
+        return 1
+    stream = worker.params[-1].type if worker.params else None
+    if isinstance(stream, ArrayType):
+        row = stream.dims()[1:]
+        shape = (args.n,) + tuple(row)
+        rng = np.random.RandomState(0)
+        sample = (rng.rand(*shape) * 2 - 1).astype(
+            dtype_for(stream.base_elem)
+        )
+        sample.setflags(write=False)
+    else:
+        sample = args.n
+    result = autotune_filter(
+        checked, worker, get_device(args.device), sample
+    )
+    print(result.report())
+    return 0
+
+
+def cmd_figures(args):
+    scale = args.scale
+    which = args.which
+    if which in ("tables", "all"):
+        from repro.evaluation.tables import table1, table2, table3
+
+        print("Table 1\n" + table1())
+        print("\nTable 2\n" + table2())
+        print("\nTable 3\n" + table3())
+    if which in ("7", "all"):
+        from repro.evaluation.figure7 import format_figure7, run_figure7
+        from repro.evaluation.report import figure7_chart
+
+        print("\nFigure 7 — end-to-end speedups")
+        table = run_figure7(scale=scale)
+        print(format_figure7(table))
+        for target in ("cpu-6", "gtx580"):
+            print()
+            print(figure7_chart(table, target))
+    if which in ("8", "all"):
+        from repro.evaluation.figure8 import format_figure8, run_figure8
+
+        print("\nFigure 8 — compiled vs hand-tuned kernels")
+        print(format_figure8(run_figure8(scale=scale)))
+    if which in ("9", "all"):
+        from repro.evaluation.figure9 import format_figure9, run_figure9
+
+        from repro.evaluation.report import figure9_chart
+
+        cpu = run_figure9("cpu-6", scale=scale)
+        gpu = run_figure9("gtx580", scale=scale)
+        print("\nFigure 9(a) — CPU")
+        print(format_figure9(cpu))
+        print(figure9_chart(cpu, "cpu-6"))
+        print("\nFigure 9(b) — GTX580")
+        print(format_figure9(gpu))
+        print(figure9_chart(gpu, "gtx580"))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="The Lime GPU compiler reproduction (PLDI 2012).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list the simulated devices")
+
+    compile_cmd = sub.add_parser("compile", help="compile Lime filters to OpenCL C")
+    compile_cmd.add_argument("file", help="Lime source file")
+    compile_cmd.add_argument("--device", default="gtx580")
+    compile_cmd.add_argument(
+        "--config",
+        choices=sorted(
+            __import__(
+                "repro.compiler.options", fromlist=["FIGURE8_CONFIGS"]
+            ).FIGURE8_CONFIGS
+        ),
+        help="a Figure 8 configuration (default: the compiler's best)",
+    )
+
+    format_cmd = sub.add_parser("format", help="pretty-print a Lime file")
+    format_cmd.add_argument("file")
+
+    tune_cmd = sub.add_parser("tune", help="auto-tune a filter")
+    tune_cmd.add_argument("file")
+    tune_cmd.add_argument("target", help="Class.method of the filter worker")
+    tune_cmd.add_argument("--device", default="gtx580")
+    tune_cmd.add_argument("--n", type=int, default=128, help="sample size")
+
+    figures_cmd = sub.add_parser(
+        "figures", help="regenerate the paper's tables/figures"
+    )
+    figures_cmd.add_argument(
+        "which", choices=["tables", "7", "8", "9", "all"], default="tables",
+        nargs="?",
+    )
+    figures_cmd.add_argument("--scale", type=float, default=0.3)
+
+    return parser
+
+
+_COMMANDS = {
+    "devices": cmd_devices,
+    "compile": cmd_compile,
+    "format": cmd_format,
+    "tune": cmd_tune,
+    "figures": cmd_figures,
+}
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as err:
+        print("error: {}".format(err), file=sys.stderr)
+        return 1
+    except FileNotFoundError as err:
+        print("error: {}".format(err), file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

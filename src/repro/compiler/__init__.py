@@ -1,0 +1,15 @@
+"""The Lime GPU compilation pipeline (Section 4 of the paper): kernel
+identification, memory optimization, vectorization, and lowering of
+filters to device kernels plus host glue."""
+
+from repro.compiler.options import OptimizationConfig, FIGURE8_CONFIGS
+from repro.compiler.pipeline import compile_filter, Offloader
+from repro.compiler.autotune import autotune_filter
+
+__all__ = [
+    "OptimizationConfig",
+    "FIGURE8_CONFIGS",
+    "compile_filter",
+    "Offloader",
+    "autotune_filter",
+]

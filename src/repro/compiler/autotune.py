@@ -1,0 +1,132 @@
+"""Offline auto-tuning of kernel configurations.
+
+Section 5.2 of the paper: "OpenCL requires the programmer to select the
+number of threads to run and how these threads map to cores. ... we
+conducted an exhaustive systematic offline exploration of the tuning
+parameters and use the best settings for each experiment. ... A system
+could perform this auto-tuning automatically ahead of time or at
+runtime, but such tuning falls outside the scope of this paper."
+
+This module is that system: given a filter and a sample input, it
+exhaustively compiles and times every (optimization configuration,
+work-group size) candidate on the simulated device and returns the best
+compiled filter. Because compilation and execution are deterministic,
+one sample run per candidate suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.compiler.options import FIGURE8_CONFIGS, OptimizationConfig
+from repro.compiler.pipeline import compile_filter
+from repro.errors import KernelRejected
+
+
+@dataclass
+class Candidate:
+    """One point of the exploration space with its measured cost."""
+
+    config_name: str
+    config: OptimizationConfig
+    local_size: int
+    kernel_ns: float
+
+
+@dataclass
+class TuningResult:
+    """The outcome of :func:`autotune_filter`."""
+
+    best: Candidate
+    candidates: List[Candidate] = field(default_factory=list)
+    compiled: object = None  # the winning CompiledFilter
+
+    def report(self):
+        lines = [
+            "{:28s} {:>5s} {:>12s}".format("config", "wg", "kernel_ns")
+        ]
+        for cand in sorted(self.candidates, key=lambda c: c.kernel_ns):
+            marker = "  <- best" if cand is self.best else ""
+            lines.append(
+                "{:28s} {:>5d} {:>12.0f}{}".format(
+                    cand.config_name, cand.local_size, cand.kernel_ns, marker
+                )
+            )
+        return "\n".join(lines)
+
+
+DEFAULT_LOCAL_SIZES = (32, 64, 128, 256)
+
+
+def autotune_filter(
+    checked,
+    worker,
+    device,
+    sample_input,
+    bound_values=None,
+    configs=None,
+    local_sizes=DEFAULT_LOCAL_SIZES,
+    **compile_kwargs,
+):
+    """Exhaustively explore (config, work-group size) for one filter.
+
+    Args:
+        checked: the type-checked program.
+        worker: the filter worker :class:`MethodDecl`.
+        device: the target :class:`DeviceModel`.
+        sample_input: one representative stream value to time with.
+        bound_values: task-creation bound values, if any.
+        configs: mapping name -> :class:`OptimizationConfig` (defaults to
+            the eight Figure 8 configurations).
+        local_sizes: work-group sizes to sweep.
+
+    Returns a :class:`TuningResult` whose ``compiled`` filter is freshly
+    compiled with the winning settings (with a clean profile).
+    """
+    configs = configs or FIGURE8_CONFIGS
+    candidates = []
+    best = None
+    for config_name, config in configs.items():
+        for local_size in local_sizes:
+            if device.kind == "gpu" and local_size % device.warp_width:
+                continue  # partial warps never win; skip the noise
+            try:
+                compiled = compile_filter(
+                    checked,
+                    worker,
+                    device=device,
+                    config=config,
+                    local_size=local_size,
+                    bound_values=bound_values,
+                    **compile_kwargs,
+                )
+            except KernelRejected:
+                continue
+            compiled(sample_input)
+            kernel_ns = compiled.last_timing.kernel_ns
+            candidate = Candidate(
+                config_name=config_name,
+                config=config,
+                local_size=local_size,
+                kernel_ns=kernel_ns,
+            )
+            candidates.append(candidate)
+            if best is None or kernel_ns < best.kernel_ns:
+                best = candidate
+    if best is None:
+        raise KernelRejected(
+            "no tuning candidate compiled for '{}'".format(
+                worker.qualified_name
+            )
+        )
+    winner = compile_filter(
+        checked,
+        worker,
+        device=device,
+        config=best.config,
+        local_size=best.local_size,
+        bound_values=bound_values,
+        **compile_kwargs,
+    )
+    return TuningResult(best=best, candidates=candidates, compiled=winner)

@@ -1,0 +1,230 @@
+"""Kernel identification (Section 4.1 of the paper).
+
+"Our compiler recognizes filter task creations, and treats each filter
+as the unit of computation to offload. Within each filter, the compiler
+scans for map and reduce operations to identify opportunities for
+kernel-level data-parallelism."
+
+This module recognizes the offloadable shape of a filter worker:
+
+.. code-block:: java
+
+    static local R worker(T input) {
+        return Mapped.fn(bound...) @ source;          // map
+        // or
+        return +! (Mapped.fn(bound...) @ source);     // map + reduce
+        // or
+        return +! input;                              // pure reduce
+    }
+
+with ``source`` either a worker parameter (a value array) or
+``Lime.iota(k)``, and every bound argument a worker parameter or a
+literal. The invariants the compiler checks are exactly the paper's:
+the mapped function must be *static* and *local*, and its arguments
+must be *value types* — guaranteed purity without alias analysis. Any
+other shape raises :class:`repro.errors.KernelRejected` and the task
+runs on the host instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import KernelRejected
+from repro.frontend import ast
+from repro.frontend.types import ArrayType, PrimType
+
+
+@dataclass
+class SourceShape:
+    """Where the map's index space comes from.
+
+    ``kind`` is "param" (a worker-parameter value array), "iota"
+    (``Lime.iota``), or "fused" — the source is itself a map whose
+    per-element function gets fused into the outer kernel (saving the
+    intermediate buffer, its transfers, and a kernel launch).
+    """
+
+    kind: str  # "param" | "iota" | "fused"
+    param_name: Optional[str] = None  # worker param holding the array / count
+    literal: Optional[int] = None  # iota over a constant
+    inner: Optional["MapShape"] = None  # for fused sources
+
+
+@dataclass
+class BoundArgShape:
+    kind: str  # "param" | "literal"
+    param_name: Optional[str] = None
+    literal: object = None
+    lime_type: object = None
+
+
+@dataclass
+class MapShape:
+    mapped_method: object  # MethodDecl
+    source: SourceShape
+    bound_args: List[BoundArgShape]
+    elem_type: object
+    result_type: object
+
+
+@dataclass
+class ReduceShape:
+    op: Optional[str]  # "+", "*", "min", "max" (None only transiently)
+    elem_type: object
+    inner_map: Optional[MapShape]  # None: reduce directly over a param
+    source: Optional[SourceShape] = None
+
+
+@dataclass
+class FilterShape:
+    worker: object  # MethodDecl
+    map: Optional[MapShape]
+    reduce: Optional[ReduceShape]
+
+
+def recognize_filter(checked, worker):
+    """Classify a filter worker for offload; raises
+    :class:`KernelRejected` when the shape is not offloadable."""
+    if not (worker.is_static and worker.is_local):
+        raise KernelRejected(
+            "only static local workers (filters) are offload candidates"
+        )
+    # Leading parameters may be bound at task-creation time
+    # (``task Cls.m(bound...)``); the last one is the stream port.
+    body = worker.body.stmts
+    if len(body) != 1 or not isinstance(body[0], ast.Return):
+        raise KernelRejected(
+            "offloadable workers consist of a single return of a map or "
+            "reduce expression"
+        )
+    value = _strip_freeze(body[0].value)
+    if isinstance(value, ast.MapExpr):
+        return FilterShape(worker=worker, map=_map_shape(checked, worker, value), reduce=None)
+    if isinstance(value, ast.ReduceExpr):
+        return FilterShape(
+            worker=worker, map=None, reduce=_reduce_shape(checked, worker, value)
+        )
+    raise KernelRejected(
+        "worker body is not a map/reduce expression (found {})".format(
+            type(value).__name__
+        )
+    )
+
+
+def _strip_freeze(expr):
+    from repro.frontend.types import ArrayType
+
+    while isinstance(expr, ast.Cast) and (
+        expr.freezes or expr.thaws or isinstance(expr.target, ArrayType)
+    ):
+        expr = expr.expr
+    return expr
+
+
+def _map_shape(checked, worker, expr):
+    mapped = expr.func.resolved
+    if mapped is None:
+        raise KernelRejected("unresolved map function")
+    if not (mapped.is_static and mapped.is_local):
+        raise KernelRejected(
+            "the map function '{}' must be static and local".format(
+                mapped.qualified_name
+            )
+        )
+    for param in mapped.params:
+        if not param.type.is_value():
+            raise KernelRejected(
+                "map function arguments must be value types"
+            )
+    source = _source_shape(checked, worker, expr.source)
+    bound = [_bound_shape(worker, arg) for arg in expr.bound_args]
+    return MapShape(
+        mapped_method=mapped,
+        source=source,
+        bound_args=bound,
+        elem_type=mapped.params[0].type,
+        result_type=expr.type,
+    )
+
+
+def _reduce_shape(checked, worker, expr):
+    if expr.op is not None:
+        op = expr.op
+    elif expr.func is not None and expr.func.class_name == "Math":
+        op = expr.func.method_name  # min / max
+    else:
+        raise KernelRejected(
+            "only operator and Math.min/Math.max reductions are "
+            "device-compiled; method combinators run on the host"
+        )
+    if op not in ("+", "*", "min", "max"):
+        raise KernelRejected("unsupported reduction operator '{}'".format(op))
+    elem_type = expr.type
+    if not isinstance(elem_type, PrimType):
+        raise KernelRejected("device reductions require scalar elements")
+    source = _strip_freeze(expr.source)
+    if isinstance(source, ast.MapExpr):
+        inner = _map_shape(checked, worker, source)
+        return ReduceShape(op=op, elem_type=elem_type, inner_map=inner)
+    if isinstance(source, ast.Name):
+        shape = _source_shape(checked, worker, source)
+        return ReduceShape(op=op, elem_type=elem_type, inner_map=None, source=shape)
+    raise KernelRejected("reduce source must be a map or a worker parameter")
+
+
+def _source_shape(checked, worker, expr):
+    expr = _strip_freeze(expr)
+    if isinstance(expr, ast.Name):
+        param = _worker_param(worker, expr.name)
+        if not isinstance(param.type, ArrayType):
+            raise KernelRejected("map source must be a value array")
+        return SourceShape(kind="param", param_name=expr.name)
+    if isinstance(expr, ast.Call) and expr.builtin == "lime.iota":
+        arg = expr.args[0]
+        if isinstance(arg, ast.IntLit):
+            return SourceShape(kind="iota", literal=arg.value)
+        if isinstance(arg, ast.Name):
+            _worker_param(worker, arg.name)
+            return SourceShape(kind="iota", param_name=arg.name)
+        raise KernelRejected(
+            "Lime.iota length must be a literal or a worker parameter"
+        )
+    if isinstance(expr, ast.MapExpr):
+        # Nested map: fuse the inner per-element function into the
+        # outer kernel. Restricted to scalar intermediate elements (a
+        # row-valued intermediate would need a private staging array).
+        inner = _map_shape(checked, worker, expr)
+        if isinstance(inner.result_type.elem, ArrayType):
+            raise KernelRejected(
+                "fusion of maps with array-valued intermediates is not "
+                "supported"
+            )
+        return SourceShape(kind="fused", inner=inner)
+    raise KernelRejected(
+        "map source must be a worker parameter, Lime.iota(...), or a "
+        "nested map"
+    )
+
+
+def _bound_shape(worker, expr):
+    if isinstance(expr, ast.Name):
+        param = _worker_param(worker, expr.name)
+        return BoundArgShape(
+            kind="param", param_name=expr.name, lime_type=param.type
+        )
+    if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.DoubleLit, ast.BoolLit)):
+        return BoundArgShape(kind="literal", literal=expr.value, lime_type=expr.type)
+    raise KernelRejected(
+        "bound map arguments must be worker parameters or literals"
+    )
+
+
+def _worker_param(worker, name):
+    for param in worker.params:
+        if param.name == name:
+            return param
+    raise KernelRejected(
+        "'{}' does not name a worker parameter".format(name)
+    )

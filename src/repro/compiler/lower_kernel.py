@@ -1,0 +1,1551 @@
+"""Lowering: from a Lime data-parallel map to device kernel IR.
+
+This realizes Section 4.2 of the paper. The input is the *mapped
+function* of a filter (the function the ``@`` operator applies per
+element), the idiom analysis of :mod:`repro.ir.patterns`, and the
+:class:`MemoryPlan` of :mod:`repro.compiler.memopt`; the output is a
+:class:`repro.backend.kernel_ir.Kernel` shaped like Figure 4:
+
+.. code-block:: c
+
+    __kernel void f(__global float* in, __global float* out, ..., int n) {
+        int gid = get_global_id(0);
+        int nthreads = get_global_size(0);
+        for (int i = gid; i < n; i += nthreads) {
+            ... inlined worker body ...
+            out[i] = result;
+        }
+    }
+
+The generated kernel "adapts to any number of threads" — each work-item
+strides over the index space, so correctness never depends on the launch
+configuration.
+
+Lowering implements the memory plan:
+
+- **local tiling** (Figure 5(c-d)): scan loops over tiled arrays become
+  a two-level loop; threads cooperatively stage a tile per outer
+  iteration with barriers, and in-loop accesses are redirected to the
+  tile (with optional bank-conflict padding);
+- **constant / image placement**: loads from the chosen arrays are
+  retargeted (image reads use ``read_imagef``-style vector loads, with
+  the packed representation for width-2 rows);
+- **vectorization** (Section 4.2.2): a bounded row with static last
+  indices is loaded once per iteration as a ``floatW`` and lanes are
+  extracted;
+- **private spilling**: with ``use_private`` off, per-thread arrays
+  live in a global scratch buffer indexed by ``gid`` (the cost the
+  Global configuration of Figure 8 pays).
+
+Method calls to other ``local`` methods are inlined (device code has no
+call stack); recursion or unsupported shapes raise
+:class:`repro.errors.KernelRejected`, and the runtime falls back to host
+execution — offload is always an optimization, never a semantics change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.backend import kernel_ir as K
+from repro.errors import KernelRejected
+from repro.frontend import ast
+from repro.frontend.types import ArrayType, PrimKind, PrimType
+from repro.ir import passes
+
+_KTYPES = {
+    PrimKind.BOOLEAN: K.K_BOOL,
+    PrimKind.BYTE: K.K_CHAR,
+    PrimKind.INT: K.K_INT,
+    PrimKind.LONG: K.K_LONG,
+    PrimKind.FLOAT: K.K_FLOAT,
+    PrimKind.DOUBLE: K.K_DOUBLE,
+}
+
+_INT = K.K_INT
+
+
+def ktype_of(t):
+    if isinstance(t, PrimType) and t.kind in _KTYPES:
+        return _KTYPES[t.kind]
+    raise KernelRejected("type {} has no device representation".format(t))
+
+
+def row_elems(array_type):
+    """Flattening factor: elements per outermost index step. Requires all
+    inner dimensions to be statically bounded (the type-system invariant
+    the paper leans on for pointer-free layout)."""
+    dims = array_type.dims()[1:]
+    product = 1
+    for bound in dims:
+        if bound is None:
+            raise KernelRejected(
+                "array {} has an unbounded inner dimension; the OpenCL "
+                "backend handles rectangular arrays only".format(array_type)
+            )
+        product *= bound
+    return product
+
+
+@dataclass
+class ArrayBinding:
+    """How one Lime array is realized in the kernel."""
+
+    lime_name: str
+    buffer: str  # kernel parameter / local array name
+    space: K.Space
+    elem: object  # base KScalar
+    row: int  # elements per outermost index
+    vector_width: int = 1
+    tiled: bool = False
+    tile_buffer: Optional[str] = None
+    pad: int = 0
+    spilled: bool = False
+    spill_size: int = 0  # elements per thread
+    length_param: Optional[str] = None
+    static_length: Optional[int] = None
+    is_image: bool = False
+    # Row-view support: when this binding is a bounded row of a larger
+    # buffer (the map element), ``offset`` is added to every flattened
+    # index and ``view_row`` is the row index used for vector loads.
+    offset: Optional[K.KExpr] = None
+    view_row: Optional[K.KExpr] = None
+    # Register hoisting of the element row: either one vector variable
+    # (vectorized) or one scalar variable per component.
+    vec_var: Optional[str] = None
+    hoisted: Optional[List[str]] = None
+
+
+@dataclass
+class KernelPlan:
+    """Everything the glue layer needs to launch the kernel."""
+
+    kernel: K.Kernel
+    input_binding: Optional[ArrayBinding]  # None when mapping over iota
+    output_buffer: str
+    output_row: int
+    output_elem: object
+    arg_bindings: List[object]  # ("array", BoundSpec, ArrayBinding) | ("scalar", BoundSpec)
+    spill_buffers: List[ArrayBinding]
+    n_param: str = "_n"
+
+
+class _Scope:
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.vars = {}
+
+    def define(self, lime_name, entry):
+        self.vars[lime_name] = entry
+
+    def lookup(self, lime_name):
+        scope = self
+        while scope is not None:
+            if lime_name in scope.vars:
+                return scope.vars[lime_name]
+            scope = scope.parent
+        return None
+
+
+@dataclass
+class _ScalarVar:
+    kname: str
+    ktype: object
+
+
+class LoweringContext:
+    """State for lowering one kernel."""
+
+    def __init__(self, checked, config, plan, patterns, kernel_name):
+        self.checked = checked
+        self.config = config
+        self.memplan = plan
+        self.patterns = patterns
+        self.kernel_name = kernel_name
+        self.params: List[K.KParam] = []
+        self.arrays: List[K.KLocalArray] = []
+        self.counter = 0
+        self.inline_stack = []
+        self.array_bindings: Dict[str, ArrayBinding] = {}
+        self.vec_cache: Dict[object, str] = {}
+
+    def fresh(self, base):
+        self.counter += 1
+        return "{}_{}".format(base, self.counter)
+
+
+# ---------------------------------------------------------------------------
+# Statement/expression lowering
+# ---------------------------------------------------------------------------
+
+
+class _BodyLowerer:
+    """Lowers worker-body statements into a kernel-IR statement list."""
+
+    def __init__(self, ctx, scope, elem_index_var):
+        self.ctx = ctx
+        self.scope = scope
+        self.elem_index = elem_index_var  # KVar for the map index `i`
+        self.out: List[K.KStmt] = []
+        self.return_hook = None  # callable(expr_list_or_expr) emitting the store
+
+    # -- statements -----------------------------------------------------------
+
+    def lower_block(self, block, tail):
+        scope = _Scope(self.scope)
+        saved, self.scope = self.scope, scope
+        try:
+            for index, stmt in enumerate(block.stmts):
+                is_tail = tail and index == len(block.stmts) - 1
+                self.lower_stmt(stmt, is_tail)
+        finally:
+            self.scope = saved
+
+    def lower_stmt(self, stmt, tail=False):
+        if isinstance(stmt, ast.Block):
+            self.lower_block(stmt, tail)
+        elif isinstance(stmt, ast.VarDecl):
+            self._lower_var_decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.lower_expr(stmt.expr)  # side effects only
+        elif isinstance(stmt, ast.Assign):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt, tail)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.While):
+            cond = self.lower_expr(stmt.cond)
+            body = self._nested(lambda low: low.lower_stmt(stmt.body))
+            self.out.append(K.KWhile(cond, body))
+        elif isinstance(stmt, ast.Return):
+            if not tail:
+                raise KernelRejected(
+                    "early return inside a loop cannot be lowered; "
+                    "restructure the worker (offload falls back to host)"
+                )
+            if self.return_hook is None:
+                raise KernelRejected("unexpected return during inlining")
+            self.return_hook(stmt.value, self)
+        elif isinstance(stmt, ast.Break):
+            self.out.append(K.KBreak())
+        elif isinstance(stmt, ast.Continue):
+            self.out.append(K.KContinue())
+        else:
+            raise KernelRejected(
+                "statement {} is not supported in device code".format(
+                    type(stmt).__name__
+                )
+            )
+
+    def _nested(self, fill):
+        nested = _BodyLowerer(self.ctx, self.scope, self.elem_index)
+        nested.return_hook = self.return_hook
+        fill(nested)
+        return nested.out
+
+    def _lower_var_decl(self, stmt):
+        init = stmt.init
+        if isinstance(init, (ast.NewArray, ast.ArrayInit)):
+            self._lower_array_alloc(stmt)
+            return
+        ktype = ktype_of(stmt.type)
+        kname = self.ctx.fresh("v_" + stmt.name)
+        value = self.lower_expr(init) if init is not None else None
+        if value is not None:
+            value = _coerce(value, ktype)
+        self.out.append(K.KDecl(kname, ktype, value))
+        self.scope.define(stmt.name, _ScalarVar(kname, ktype))
+
+    def _lower_array_alloc(self, stmt):
+        binding = self.ctx.memplan.binding(stmt.name)
+        usage = self.ctx.patterns.arrays.get(stmt.name)
+        init = stmt.init
+        elem = ktype_of(init.type.base_elem if isinstance(init.type, ArrayType) else init.type)
+        if isinstance(init, ast.NewArray):
+            size = usage.alloc_size if usage else None
+            if size is None:
+                raise KernelRejected(
+                    "array '{}' has a dynamic size; device allocation "
+                    "requires static bounds".format(stmt.name)
+                )
+            values = None
+            row = row_elems(init.type)
+        else:  # ArrayInit
+            size = len(init.values)
+            values = init.values
+            row = 1
+        if binding.spilled:
+            # Per-thread region of a global scratch buffer.
+            buffer = "_spill_{}".format(stmt.name)
+            ab = ArrayBinding(
+                lime_name=stmt.name,
+                buffer=buffer,
+                space=K.Space.GLOBAL,
+                elem=elem,
+                row=row,
+                spilled=True,
+                spill_size=size,
+                static_length=size // row,
+            )
+            if not any(p.name == buffer for p in self.ctx.params):
+                self.ctx.params.append(
+                    K.KParam(buffer, elem, K.Space.GLOBAL, is_pointer=True)
+                )
+        else:
+            buffer = self.ctx.fresh("p_" + stmt.name)
+            self.ctx.arrays.append(
+                K.KLocalArray(buffer, elem, size, K.Space.PRIVATE)
+            )
+            ab = ArrayBinding(
+                lime_name=stmt.name,
+                buffer=buffer,
+                space=K.Space.PRIVATE,
+                elem=elem,
+                row=row,
+                static_length=size // row,
+            )
+        self.scope.define(stmt.name, ab)
+        self.ctx.array_bindings[stmt.name] = ab
+        if values is not None:
+            for index, value in enumerate(values):
+                self._array_store(
+                    ab, K.KConst(index, _INT), _coerce(self.lower_expr(value), elem)
+                )
+        else:
+            # `new T[k]` zero-initializes in Lime/Java; device arrays are
+            # reused across iterations of the thread loop, so explicit
+            # zeroing is required for correctness, not just fidelity.
+            zero = K.KConst(0.0 if elem.is_float else 0, elem)
+            if size <= 16:
+                for index in range(size):
+                    self._array_store(ab, K.KConst(index, _INT), zero)
+            else:
+                z = self.ctx.fresh("z")
+                body_lowerer = _BodyLowerer(self.ctx, self.scope, self.elem_index)
+                body_lowerer._tile_map = getattr(self, "_tile_map", {})
+                body_lowerer._array_store(ab, K.KVar(z, _INT), zero)
+                self.out.append(
+                    K.KFor(
+                        z,
+                        K.KConst(0, _INT),
+                        K.KConst(size, _INT),
+                        K.KConst(1, _INT),
+                        body_lowerer.out,
+                    )
+                )
+
+    def _lower_assign(self, stmt):
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            entry = self.scope.lookup(target.name)
+            if not isinstance(entry, _ScalarVar):
+                raise KernelRejected(
+                    "cannot assign to '{}' in device code".format(target.name)
+                )
+            value = self.lower_expr(stmt.value)
+            if stmt.op is not None:
+                current = K.KVar(entry.kname, entry.ktype)
+                value = K.KBin(stmt.op, current, value, entry.ktype)
+            self.out.append(K.KAssign(entry.kname, _coerce(value, entry.ktype)))
+            return
+        if isinstance(target, ast.Index):
+            base, indices = _flatten_index(target)
+            entry = self.scope.lookup(base) if base else None
+            if not isinstance(entry, ArrayBinding):
+                raise KernelRejected("cannot lower store target")
+            flat = self._flat_index(entry, indices)
+            value = self.lower_expr(stmt.value)
+            if stmt.op is not None:
+                current = self._array_load(entry, flat)
+                value = K.KBin(stmt.op, current, value, entry.elem)
+            self._array_store(entry, flat, _coerce(value, entry.elem))
+            return
+        raise KernelRejected("unsupported assignment target in device code")
+
+    def _lower_if(self, stmt, tail):
+        cond = self.lower_expr(stmt.cond)
+        then = self._nested(lambda low: low.lower_stmt(stmt.then, tail))
+        otherwise = (
+            self._nested(lambda low: low.lower_stmt(stmt.otherwise, tail))
+            if stmt.otherwise is not None
+            else []
+        )
+        self.out.append(K.KIf(cond, then, otherwise))
+
+    def _lower_for(self, stmt):
+        # Tiled loop?
+        info = self._loop_info(stmt)
+        if (
+            info is not None
+            and info.var in self.ctx.memplan.tiled_loops
+            and self._tileable_arrays(info)
+        ):
+            self._lower_tiled_for(stmt, info)
+            return
+        scope = _Scope(self.scope)
+        saved, self.scope = self.scope, scope
+        try:
+            if isinstance(stmt.init, ast.VarDecl):
+                var_ktype = ktype_of(stmt.init.type)
+                kname = self.ctx.fresh("v_" + stmt.init.name)
+                lo = (
+                    _coerce(self.lower_expr(stmt.init.init), var_ktype)
+                    if stmt.init.init is not None
+                    else K.KConst(0, var_ktype)
+                )
+                self.scope.define(stmt.init.name, _ScalarVar(kname, var_ktype))
+                hi, step, extra_cond = self._loop_bounds(stmt, stmt.init.name)
+                if hi is not None:
+                    body = self._nested(lambda low: low.lower_stmt(stmt.body))
+                    self.out.append(K.KFor(kname, lo, hi, step, body))
+                    return
+                # General while-form loop.
+                self.out.append(K.KDecl(kname, var_ktype, lo))
+                self._lower_general_loop(stmt)
+                return
+            if stmt.init is not None:
+                self.lower_stmt(stmt.init)
+            self._lower_general_loop(stmt)
+        finally:
+            self.scope = saved
+
+    def _loop_bounds(self, stmt, var_name):
+        """Extract (hi, step, None) when the loop is canonical
+        ``var < hi; var += step``; otherwise (None, None, None)."""
+        cond, update = stmt.cond, stmt.update
+        if not (
+            isinstance(cond, ast.Binary)
+            and cond.op == "<"
+            and isinstance(cond.left, ast.Name)
+            and cond.left.name == var_name
+        ):
+            return None, None, None
+        if not (
+            isinstance(update, ast.Assign)
+            and update.op == "+"
+            and isinstance(update.target, ast.Name)
+            and update.target.name == var_name
+        ):
+            return None, None, None
+        hi = self.lower_expr(cond.right)
+        step = self.lower_expr(update.value)
+        return hi, step, None
+
+    def _lower_general_loop(self, stmt):
+        cond = (
+            self.lower_expr(stmt.cond)
+            if stmt.cond is not None
+            else K.KConst(True, K.K_BOOL)
+        )
+        if stmt.update is not None and _ast_contains_continue(stmt.body):
+            raise KernelRejected(
+                "continue inside a non-canonical for loop cannot be "
+                "lowered (the update would be skipped); restructure or "
+                "run on the host"
+            )
+        body = self._nested(
+            lambda low: (
+                low.lower_stmt(stmt.body),
+                low.lower_stmt(stmt.update) if stmt.update is not None else None,
+            )
+        )
+        self.out.append(K.KWhile(cond, body))
+
+    # -- tiling ------------------------------------------------------------------
+
+    def _loop_info(self, stmt):
+        from repro.ir.patterns import _Analyzer  # reuse canonical-loop check
+
+        analyzer = _Analyzer.__new__(_Analyzer)
+        analyzer.tainted = set()
+        analyzer.method = None
+        return analyzer._canonical_loop(stmt)
+
+    def _tileable_arrays(self, info):
+        result = []
+        for name, usage in self.ctx.patterns.arrays.items():
+            binding = self.ctx.memplan.binding(name)
+            if binding.tiled and info.var in usage.scan_loops:
+                ab = self.scope.lookup(name)
+                if isinstance(ab, ArrayBinding):
+                    result.append(ab)
+        return result
+
+    def _lower_tiled_for(self, stmt, info):
+        """Figure 5(d): loop tiling through local memory.
+
+        The original loop ``for (j = 0; j < L; j++)`` becomes::
+
+            for (jj = 0; jj < L; jj += local_size) {
+                barrier();
+                if (jj + lid < L) stage tiles cooperatively;
+                barrier();
+                limit = min(local_size, L - jj);
+                for (j2 = 0; j2 < limit; j2++) {
+                    j = jj + j2;  // original induction variable
+                    ... body with tiled loads redirected ...
+                }
+            }
+        """
+        ctx = self.ctx
+        tiled = self._tileable_arrays(info)
+        length = self.lower_expr(stmt.cond.right)  # L (uniform by analysis)
+        length_var = ctx.fresh("tile_n")
+        self.out.append(K.KDecl(length_var, _INT, length))
+        length = K.KVar(length_var, _INT)
+
+        lid = ctx.fresh("lid")
+        lsz = ctx.fresh("lsz")
+        self.out.append(K.KDecl(lid, _INT, K.KCall("get_local_id", [], _INT)))
+        self.out.append(K.KDecl(lsz, _INT, K.KCall("get_local_size", [], _INT)))
+
+        # Declare the tile buffers (one row per work-item slot).
+        for ab in tiled:
+            tile_name = ctx.fresh("tile_{}".format(ab.lime_name))
+            ctx.arrays.append(
+                K.KLocalArray(
+                    tile_name,
+                    ab.elem,
+                    -1,  # sized by the work-group
+                    K.Space.LOCAL,
+                    pad=ab.pad,
+                    row=ab.row,
+                )
+            )
+            ab.tile_buffer = tile_name
+
+        jj = ctx.fresh("jj")
+        jj_var = K.KVar(jj, _INT)
+        lid_var = K.KVar(lid, _INT)
+        lsz_var = K.KVar(lsz, _INT)
+
+        stage = []
+        slot = K.KBin("+", jj_var, lid_var, _INT)
+        for ab in tiled:
+            stage.extend(self._stage_row(ab, slot, lid_var))
+        guard = K.KIf(K.KBin("<", slot, length, K.K_BOOL), stage)
+
+        limit = ctx.fresh("limit")
+        limit_decl = K.KDecl(
+            limit,
+            _INT,
+            K.KCall("min", [lsz_var, K.KBin("-", length, jj_var, _INT)], _INT),
+        )
+
+        # Inner loop: j2 in [0, limit), with the original var j = jj + j2.
+        j2 = ctx.fresh("j2")
+        j2_var = K.KVar(j2, _INT)
+        scope = _Scope(self.scope)
+        j_kname = ctx.fresh("v_" + info.var)
+        scope.define(info.var, _ScalarVar(j_kname, _INT))
+
+        inner_lowerer = _BodyLowerer(ctx, scope, self.elem_index)
+        inner_lowerer.return_hook = self.return_hook
+        inner_lowerer._tile_map = {
+            ab.lime_name: (ab, j2_var, info.var) for ab in tiled
+        }
+        inner_lowerer.out.append(
+            K.KDecl(j_kname, _INT, K.KBin("+", jj_var, j2_var, _INT))
+        )
+        inner_lowerer.lower_stmt(stmt.body)
+        inner = [
+            K.KFor(j2, K.KConst(0, _INT), K.KVar(limit, _INT), K.KConst(1, _INT),
+                   inner_lowerer.out)
+        ]
+
+        body = [K.KBarrier(), guard, K.KBarrier(), limit_decl] + inner
+        self.out.append(K.KFor(jj, K.KConst(0, _INT), length, lsz_var, body))
+
+    def _stage_row(self, ab, slot, lid_var):
+        """Cooperative staging: this work-item copies row ``slot`` of the
+        global array into tile row ``lid``."""
+        stmts = []
+        width = ab.row
+        stride = width + ab.pad
+        use_vector = (
+            self.ctx.config.vectorize
+            and ab.vector_width == width
+            and width in (2, 4, 8, 16)
+        )
+        if use_vector and ab.pad == 0:
+            vec = K.KVector(ab.elem, width)
+            value = K.KLoad(ab.buffer, slot, K.Space.GLOBAL, vec)
+            stmts.append(K.KStore(ab.tile_buffer, lid_var, value, K.Space.LOCAL, vec))
+            return stmts
+        if use_vector:
+            # Vector read from global, scalar (padded) stores to local.
+            vec = K.KVector(ab.elem, width)
+            tmp = self.ctx.fresh("stg")
+            stmts.append(K.KDecl(tmp, vec, K.KLoad(ab.buffer, slot, K.Space.GLOBAL, vec)))
+            for lane in range(width):
+                index = K.KBin(
+                    "+",
+                    K.KBin("*", lid_var, K.KConst(stride, _INT), _INT),
+                    K.KConst(lane, _INT),
+                    _INT,
+                )
+                stmts.append(
+                    K.KStore(
+                        ab.tile_buffer,
+                        index,
+                        K.KVecExtract(K.KVar(tmp, vec), lane, ab.elem),
+                        K.Space.LOCAL,
+                        ab.elem,
+                    )
+                )
+            return stmts
+        for lane in range(width):
+            src_index = K.KBin(
+                "+",
+                K.KBin("*", slot, K.KConst(width, _INT), _INT),
+                K.KConst(lane, _INT),
+                _INT,
+            )
+            dst_index = K.KBin(
+                "+",
+                K.KBin("*", lid_var, K.KConst(stride, _INT), _INT),
+                K.KConst(lane, _INT),
+                _INT,
+            )
+            stmts.append(
+                K.KStore(
+                    ab.tile_buffer,
+                    dst_index,
+                    K.KLoad(ab.buffer, src_index, K.Space.GLOBAL, ab.elem),
+                    K.Space.LOCAL,
+                    ab.elem,
+                )
+            )
+        return stmts
+
+    # -- expressions -----------------------------------------------------------------
+
+    _tile_map: Dict[str, object] = {}
+
+    def lower_expr(self, expr):
+        if isinstance(expr, ast.IntLit):
+            return K.KConst(expr.value, _INT)
+        if isinstance(expr, ast.LongLit):
+            return K.KConst(expr.value, K.K_LONG)
+        if isinstance(expr, ast.FloatLit):
+            return K.KConst(float(expr.value), K.K_FLOAT)
+        if isinstance(expr, ast.DoubleLit):
+            return K.KConst(float(expr.value), K.K_DOUBLE)
+        if isinstance(expr, ast.BoolLit):
+            return K.KConst(expr.value, K.K_BOOL)
+        if isinstance(expr, ast.Name):
+            return self._lower_name(expr)
+        if isinstance(expr, ast.Unary):
+            operand = self.lower_expr(expr.operand)
+            return K.KUn(expr.op, operand, ktype_of(expr.type))
+        if isinstance(expr, ast.Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, ast.Ternary):
+            return K.KSelect(
+                self.lower_expr(expr.cond),
+                self.lower_expr(expr.then),
+                self.lower_expr(expr.otherwise),
+                ktype_of(expr.type),
+            )
+        if isinstance(expr, ast.Cast):
+            return self._lower_cast(expr)
+        if isinstance(expr, ast.Index):
+            return self._lower_index(expr)
+        if isinstance(expr, ast.FieldAccess):
+            return self._lower_field_access(expr)
+        if isinstance(expr, ast.Call):
+            return self._lower_call(expr)
+        raise KernelRejected(
+            "expression {} is not supported in device code".format(
+                type(expr).__name__
+            )
+        )
+
+    def _lower_name(self, expr):
+        entry = self.scope.lookup(expr.name)
+        if isinstance(entry, _ScalarVar):
+            return K.KVar(entry.kname, entry.ktype)
+        if isinstance(entry, ArrayBinding):
+            return entry  # consumed by callers that expect arrays
+        if expr.binding == "field":
+            return self._final_field(expr.owner, expr.name, expr.location)
+        raise KernelRejected("unbound name '{}' in device code".format(expr.name))
+
+    def _final_field(self, owner, name, location):
+        cls = self.ctx.checked.lookup_class(owner)
+        fld = cls.lookup_field(name) if cls else None
+        if fld is None or not fld.is_final or fld.init is None:
+            raise KernelRejected(
+                "field '{}' is not a compile-time constant".format(name)
+            )
+        # Evaluate the constant initializer by lowering it (it may only
+        # reference literals and other final fields).
+        return self.lower_expr(fld.init)
+
+    def _lower_binary(self, expr):
+        if expr.op in ("&&", "||"):
+            left = self.lower_expr(expr.left)
+            right = self.lower_expr(expr.right)
+            return K.KBin(expr.op, left, right, K.K_BOOL)
+        left = self.lower_expr(expr.left)
+        right = self.lower_expr(expr.right)
+        if expr.op in ("==", "!=", "<", ">", "<=", ">="):
+            return K.KBin(expr.op, left, right, K.K_BOOL)
+        return K.KBin(expr.op, left, right, ktype_of(expr.type))
+
+    def _lower_cast(self, expr):
+        if expr.freezes or expr.thaws:
+            # Freeze/thaw of a device-resident array: identity at the
+            # IR level (the output copy happens at the return hook).
+            return self.lower_expr(expr.expr)
+        inner = self.lower_expr(expr.expr)
+        return K.KCast(inner, ktype_of(expr.target))
+
+    def _lower_index(self, expr):
+        base, indices = _flatten_index(expr)
+        if base is None:
+            raise KernelRejected("cannot lower a computed array expression")
+        entry = self.scope.lookup(base)
+        if not isinstance(entry, ArrayBinding):
+            raise KernelRejected("indexing a non-array '{}'".format(base))
+        array_rank = _rank_of(entry)
+        if len(indices) < array_rank:
+            raise KernelRejected(
+                "partial indexing of '{}' is not supported in device code".format(
+                    base
+                )
+            )
+        flat = self._flat_index(entry, indices)
+        elem_t = ktype_of(expr.type)
+        return self._array_load(entry, flat, indices=indices, elem_t=elem_t)
+
+    def _flat_index(self, binding, indices):
+        """Row-major flattening using the binding's row factor. The
+        lowering only supports 1-D and 2-D shapes (outer x bounded row),
+        which covers every value-array layout the benchmarks use."""
+        lowered = [
+            _coerce(self.lower_expr(index), _INT) for index in indices
+        ]
+        if len(lowered) == 1:
+            flat = lowered[0]
+            if binding.row != 1:
+                flat = K.KBin("*", flat, K.KConst(binding.row, _INT), _INT)
+            return flat
+        if len(lowered) == 2:
+            flat = K.KBin(
+                "+",
+                K.KBin("*", lowered[0], K.KConst(binding.row, _INT), _INT),
+                lowered[1],
+                _INT,
+            )
+            return flat
+        raise KernelRejected("arrays of rank > 2 are not supported on device")
+
+    def _array_load(self, binding, flat, indices=None, elem_t=None):
+        elem_t = elem_t or binding.elem
+        # Tiled redirect — only for accesses whose outer index is the
+        # tiled loop's induction variable; other accesses to the same
+        # array (e.g. the thread's own row) stay in global memory.
+        tile = getattr(self, "_tile_map", {}).get(binding.lime_name)
+        if (
+            tile is not None
+            and indices is not None
+            and len(indices) >= 1
+            and isinstance(indices[0], ast.Name)
+            and indices[0].name == tile[2]
+        ):
+            ab, j2_var, _loop_var = tile
+            return self._tile_load(ab, j2_var, indices, elem_t)
+        if binding.view_row is not None:
+            return self._view_load(binding, flat, indices, elem_t)
+        if binding.is_image:
+            return self._image_load(binding, flat, indices, elem_t)
+        if binding.spilled:
+            flat = K.KBin(
+                "+",
+                K.KBin(
+                    "*",
+                    K.KCall("get_global_id", [], _INT),
+                    K.KConst(binding.spill_size, _INT),
+                    _INT,
+                ),
+                flat,
+                _INT,
+            )
+            return K.KLoad(binding.buffer, flat, K.Space.GLOBAL, elem_t)
+        use_vector = (
+            binding.vector_width > 1
+            and indices is not None
+            and len(indices) == 2
+            and isinstance(indices[1], ast.IntLit)
+            and binding.space in (K.Space.GLOBAL, K.Space.CONSTANT)
+        )
+        if use_vector:
+            row_index = _coerce(self.lower_expr(indices[0]), _INT)
+            vec = K.KVector(binding.elem, binding.vector_width)
+            vec_load = K.KLoad(binding.buffer, row_index, binding.space, vec)
+            return K.KVecExtract(vec_load, indices[1].value, elem_t)
+        return K.KLoad(binding.buffer, flat, binding.space, elem_t)
+
+    def _tile_load(self, ab, j2_var, indices, elem_t):
+        stride = ab.row + ab.pad
+        lane = indices[1] if len(indices) == 2 else None
+        if lane is not None and not isinstance(lane, ast.IntLit):
+            lane_expr = _coerce(self.lower_expr(lane), _INT)
+            index = K.KBin(
+                "+",
+                K.KBin("*", j2_var, K.KConst(stride, _INT), _INT),
+                lane_expr,
+                _INT,
+            )
+            return K.KLoad(ab.tile_buffer, index, K.Space.LOCAL, elem_t)
+        use_vector = (
+            self.ctx.config.vectorize
+            and ab.pad == 0
+            and ab.vector_width == ab.row
+            and ab.row in (2, 4, 8, 16)
+            and lane is not None
+        )
+        if use_vector:
+            vec = K.KVector(ab.elem, ab.row)
+            vec_load = K.KLoad(ab.tile_buffer, j2_var, K.Space.LOCAL, vec)
+            return K.KVecExtract(vec_load, lane.value, elem_t)
+        offset = K.KConst(lane.value if lane is not None else 0, _INT)
+        index = K.KBin(
+            "+", K.KBin("*", j2_var, K.KConst(stride, _INT), _INT), offset, _INT
+        )
+        return K.KLoad(ab.tile_buffer, index, K.Space.LOCAL, elem_t)
+
+    def _view_load(self, binding, flat, indices, elem_t):
+        """Load through a row view (the map element): ``p[k]`` reads
+        ``in[i*W + k]``. The row is hoisted into registers at the top of
+        the thread loop, so static-index accesses are register reads."""
+        static_lane = (
+            indices is not None
+            and len(indices) == 1
+            and isinstance(indices[0], ast.IntLit)
+        )
+        if static_lane and binding.vec_var is not None:
+            vec = K.KVector(binding.elem, binding.vector_width)
+            return K.KVecExtract(
+                K.KVar(binding.vec_var, vec), indices[0].value, elem_t
+            )
+        if static_lane and binding.hoisted is not None:
+            return K.KVar(binding.hoisted[indices[0].value], binding.elem)
+        index = K.KBin("+", binding.offset, flat, _INT)
+        return K.KLoad(binding.buffer, index, binding.space, elem_t)
+
+    def _image_load(self, binding, flat, indices, elem_t):
+        """Image reads move 4-element texels. Width-4 rows map a row per
+        texel; width-2 rows pack two rows per texel (the packed
+        representation), selecting the half by row parity."""
+        if indices is None or len(indices) != 2 or not isinstance(
+            indices[1], ast.IntLit
+        ):
+            raise KernelRejected(
+                "image-memory access requires a static last index"
+            )
+        row_index = _coerce(self.lower_expr(indices[0]), _INT)
+        lane = indices[1].value
+        vec = K.KVector(binding.elem, 4)
+        if binding.row == 4:
+            texel = K.KImageLoad(binding.buffer, row_index, vec)
+            return K.KVecExtract(texel, lane, elem_t)
+        # Packed width-2: texel x holds rows 2x and 2x+1.
+        coord = K.KBin("/", row_index, K.KConst(2, _INT), _INT)
+        texel = K.KImageLoad(binding.buffer, coord, vec)
+        parity = K.KBin("%", row_index, K.KConst(2, _INT), _INT)
+        even = K.KVecExtract(texel, lane, elem_t)
+        odd = K.KVecExtract(texel, lane + 2, elem_t)
+        return K.KSelect(
+            K.KBin("==", parity, K.KConst(0, _INT), K.K_BOOL), even, odd, elem_t
+        )
+
+    def _array_store(self, binding, flat, value):
+        if binding.spilled:
+            flat = K.KBin(
+                "+",
+                K.KBin(
+                    "*",
+                    K.KCall("get_global_id", [], _INT),
+                    K.KConst(binding.spill_size, _INT),
+                    _INT,
+                ),
+                flat,
+                _INT,
+            )
+            self.out.append(
+                K.KStore(binding.buffer, flat, value, K.Space.GLOBAL, binding.elem)
+            )
+            return
+        self.out.append(
+            K.KStore(binding.buffer, flat, value, binding.space, binding.elem)
+        )
+
+    def _lower_field_access(self, expr):
+        receiver = expr.receiver
+        if expr.name == "length" and isinstance(receiver, ast.Name):
+            entry = self.scope.lookup(receiver.name)
+            if isinstance(entry, ArrayBinding):
+                if entry.static_length is not None:
+                    return K.KConst(entry.static_length, _INT)
+                if entry.length_param is not None:
+                    return K.KVar(entry.length_param, _INT)
+                raise KernelRejected(
+                    "length of '{}' is not available on device".format(
+                        receiver.name
+                    )
+                )
+        if isinstance(receiver, ast.Name) and receiver.binding == "class":
+            return self._final_field(receiver.name, expr.name, expr.location)
+        raise KernelRejected("unsupported field access in device code")
+
+    _MATH_NAMES = {
+        "sqrt": "sqrt",
+        "rsqrt": "rsqrt",
+        "sin": "sin",
+        "cos": "cos",
+        "tan": "tan",
+        "exp": "exp",
+        "log": "log",
+        "floor": "floor",
+        "ceil": "ceil",
+        "abs": "fabs",
+        "atan2": "atan2",
+        "pow": "pow",
+        "min": "min",
+        "max": "max",
+        "hypot": "hypot",
+    }
+
+    def _lower_call(self, expr):
+        if expr.builtin is not None:
+            if expr.builtin.startswith("math."):
+                name = expr.builtin[5:]
+                args = [self.lower_expr(a) for a in expr.args]
+                result_t = ktype_of(expr.type)
+                device_name = self._MATH_NAMES[name]
+                if name == "abs" and not result_t.is_float:
+                    device_name = "abs"
+                return K.KCall(device_name, args, result_t)
+            raise KernelRejected(
+                "builtin '{}' is not available on device".format(expr.builtin)
+            )
+        method = expr.resolved
+        if method is None or not (method.is_static and method.is_local):
+            raise KernelRejected("device calls must target static local methods")
+        return self._inline_call(method, expr.args, ktype_of(expr.type))
+
+    def _inline_call(self, method, args, result_t):
+        entries = []
+        for param, arg in zip(method.params, args):
+            if isinstance(param.type, ArrayType):
+                entry = None
+                if isinstance(arg, ast.Name):
+                    entry = self.scope.lookup(arg.name)
+                if not isinstance(entry, ArrayBinding):
+                    raise KernelRejected(
+                        "array argument to inlined call must be a "
+                        "simple variable"
+                    )
+                entries.append(entry)
+            else:
+                ktype = ktype_of(param.type)
+                kname = self.ctx.fresh("a_" + param.name)
+                value = _coerce(self.lower_expr(arg), ktype)
+                self.out.append(K.KDecl(kname, ktype, value))
+                entries.append(_ScalarVar(kname, ktype))
+        return self.inline_entries(method, entries, result_t)
+
+    def inline_entries(self, method, entries, result_t):
+        """Inline ``method`` with pre-built scope entries (one per
+        parameter: a :class:`_ScalarVar` or :class:`ArrayBinding`).
+        Statements are emitted into this lowerer; the return value is a
+        scalar variable reference. Used both for ordinary calls and for
+        map fusion (where the element argument is already lowered)."""
+        key = method.qualified_name
+        if key in self.ctx.inline_stack:
+            raise KernelRejected(
+                "recursive call to '{}' cannot run on device".format(key)
+            )
+        self.ctx.inline_stack.append(key)
+        try:
+            scope = _Scope(None)  # callee sees only its parameters
+            for param, entry in zip(method.params, entries):
+                scope.define(param.name, entry)
+
+            result_name = self.ctx.fresh("ret")
+            self.out.append(K.KDecl(result_name, result_t, None))
+
+            inliner = _BodyLowerer(self.ctx, scope, self.elem_index)
+            inliner._tile_map = getattr(self, "_tile_map", {})
+
+            def hook(value_expr, lowerer):
+                lowered = _coerce(lowerer.lower_expr(value_expr), result_t)
+                lowerer.out.append(K.KAssign(result_name, lowered))
+
+            inliner.return_hook = hook
+            inliner.lower_block(method.body, tail=True)
+            self.out.extend(inliner.out)
+            return K.KVar(result_name, result_t)
+        finally:
+            self.ctx.inline_stack.pop()
+
+
+def _ast_contains_continue(stmt):
+    if isinstance(stmt, ast.Continue):
+        return True
+    if isinstance(stmt, (ast.For, ast.While)):
+        return False  # nested loops own their continues
+    for child in ast.children(stmt):
+        if isinstance(child, ast.Stmt) and _ast_contains_continue(child):
+            return True
+    return False
+
+
+def _coerce(expr, ktype):
+    current = getattr(expr, "ktype", None)
+    if current == ktype or current is None:
+        return expr
+    if isinstance(current, K.KScalar) and isinstance(ktype, K.KScalar):
+        if current != ktype:
+            # Implicit widening (int -> float, float -> double, ...).
+            return K.KCast(expr, ktype)
+    return expr
+
+
+def _flatten_index(expr):
+    indices = []
+    node = expr
+    while isinstance(node, ast.Index):
+        indices.append(node.index)
+        node = node.array
+    indices.reverse()
+    if isinstance(node, ast.Name):
+        return node.name, indices
+    return None, indices
+
+
+def _rank_of(binding):
+    return 2 if binding.row != 1 else 1
+
+
+# ---------------------------------------------------------------------------
+# Top-level kernel construction
+# ---------------------------------------------------------------------------
+
+
+def replace_spec_name(spec, kernel_param_name):
+    """A copy of a :class:`BoundSpec` with the (deduplicated) kernel
+    parameter name; the glue reads values via ``worker_param``."""
+    from dataclasses import replace as _dc_replace
+
+    return _dc_replace(spec, param_name=kernel_param_name)
+
+
+@dataclass
+class BoundSpec:
+    """How one mapped-function parameter (beyond the element) is fed.
+
+    ``kind`` is "array" (a worker-parameter array, becomes a buffer),
+    "scalar" (a worker-parameter scalar, becomes a kernel scalar arg), or
+    "literal" (a compile-time constant baked into the kernel).
+    ``worker_param`` names the filter-worker parameter supplying the
+    value at run time (None for literals).
+    """
+
+    kind: str
+    param_name: str  # the mapped function's parameter name
+    lime_type: object
+    worker_param: Optional[str] = None
+    literal: object = None
+
+
+def build_map_kernel(
+    checked,
+    mapped_method,
+    source_type,
+    source_is_iota,
+    bound_specs,
+    config,
+    device,
+    kernel_name,
+    patterns=None,
+    memplan=None,
+    fused_inner=None,
+):
+    """Lower one data-parallel map into a device kernel.
+
+    Returns a :class:`KernelPlan`. ``patterns``/``memplan`` may be passed
+    in (the pipeline computes them once); otherwise they are derived
+    here.
+
+    ``fused_inner`` lists (method, bound_specs) pairs for nested maps
+    fused into this kernel, innermost first: the element flows through
+    each inner function before reaching ``mapped_method``, with no
+    intermediate buffer. ``source_type``/``source_is_iota`` then refer to
+    the *innermost* source. Fused intermediates must be scalars.
+    """
+    from repro.compiler.memopt import plan_memory
+    from repro.ir.patterns import analyze_worker
+
+    if patterns is None:
+        patterns = analyze_worker(mapped_method)
+    if memplan is None:
+        memplan = plan_memory(patterns, config, device)
+
+    ctx = LoweringContext(checked, config, memplan, patterns, kernel_name)
+
+    # -- output ---------------------------------------------------------------
+    return_type = mapped_method.return_type
+    if isinstance(return_type, ArrayType):
+        if return_type.bound is None or isinstance(return_type.elem, ArrayType):
+            raise KernelRejected(
+                "a mapped function may return a scalar or a bounded 1-D "
+                "value array, not {}".format(return_type)
+            )
+        out_row = return_type.bound
+        out_elem = ktype_of(return_type.elem)
+    else:
+        out_row = 1
+        out_elem = ktype_of(return_type)
+
+    # -- input ----------------------------------------------------------------
+    elem_param = mapped_method.params[0]
+    input_binding = None
+    if not source_is_iota:
+        if isinstance(elem_param.type, ArrayType):
+            if elem_param.type.bound is None or isinstance(
+                elem_param.type.elem, ArrayType
+            ):
+                raise KernelRejected(
+                    "map elements must be scalars or bounded 1-D rows, "
+                    "not {}".format(elem_param.type)
+                )
+            in_row = elem_param.type.bound
+            in_elem = ktype_of(elem_param.type.elem)
+        else:
+            in_row = 1
+            in_elem = ktype_of(elem_param.type)
+        ctx.params.append(
+            K.KParam("_in", in_elem, K.Space.GLOBAL, is_pointer=True, read_only=True)
+        )
+        input_binding = ArrayBinding(
+            lime_name=elem_param.name,
+            buffer="_in",
+            space=K.Space.GLOBAL,
+            elem=in_elem,
+            row=1,  # the element itself is 1-D; offsets handle the rest
+            static_length=in_row if in_row > 1 else None,
+        )
+    ctx.params.append(K.KParam("_out", out_elem, K.Space.GLOBAL, is_pointer=True))
+
+    # -- bound arguments ---------------------------------------------------------
+    arg_bindings = []
+    scope = _Scope(None)
+    used_param_names = {"_in", "_out", "_n"}
+
+    def add_bound_spec(spec, use_memplan):
+        """Create the kernel parameter(s) for one bound argument and
+        return the scope entry. ``use_memplan`` applies the memory plan
+        (outer-level arrays only; fused-level arrays stay global)."""
+        kernel_name_for = spec.param_name
+        while kernel_name_for in used_param_names:
+            kernel_name_for = ctx.fresh(kernel_name_for)
+        used_param_names.add(kernel_name_for)
+        renamed = replace_spec_name(spec, kernel_name_for)
+        if spec.kind == "array":
+            at = spec.lime_type
+            base = ktype_of(at.base_elem)
+            if use_memplan:
+                binding_plan = memplan.binding(spec.param_name)
+            else:
+                from repro.compiler.memopt import MemBinding
+
+                binding_plan = MemBinding(space=K.Space.GLOBAL)
+            space = binding_plan.space
+            if binding_plan.tiled:
+                space = K.Space.GLOBAL  # tile staging reads global
+            is_image = space is K.Space.IMAGE
+            if is_image:
+                space = K.Space.GLOBAL  # the buffer itself; loads use texture path
+            ctx.params.append(
+                K.KParam(
+                    kernel_name_for, base, space, is_pointer=True, read_only=True
+                )
+            )
+            length_param = "_len_{}".format(kernel_name_for)
+            ctx.params.append(K.KParam(length_param, _INT))
+            ab = ArrayBinding(
+                lime_name=spec.param_name,
+                buffer=kernel_name_for,
+                space=binding_plan.space if not is_image else K.Space.IMAGE,
+                elem=base,
+                row=row_elems(at),
+                vector_width=binding_plan.vector_width,
+                tiled=binding_plan.tiled,
+                pad=binding_plan.pad,
+                length_param=length_param,
+                is_image=is_image,
+            )
+            ctx.array_bindings[spec.param_name] = ab
+            arg_bindings.append(("array", renamed, ab))
+            return ab
+        if spec.kind in ("scalar", "literal"):
+            ktype = ktype_of(spec.lime_type)
+            ctx.params.append(K.KParam(kernel_name_for, ktype))
+            arg_bindings.append(("scalar", renamed))
+            return _ScalarVar(kernel_name_for, ktype)
+        raise KernelRejected("unknown bound-arg kind {}".format(spec.kind))
+
+    for spec in bound_specs:
+        entry = add_bound_spec(spec, use_memplan=True)
+        scope.define(spec.param_name, entry)
+
+    fused_entries = []
+    for method, inner_specs in fused_inner or []:
+        fused_entries.append(
+            (method, [add_bound_spec(s, use_memplan=False) for s in inner_specs])
+        )
+    ctx.params.append(K.KParam("_n", _INT))
+
+    # -- body -----------------------------------------------------------------------
+    # Kernels whose memory plan introduces barriers (local-memory tiling)
+    # must keep every work-item in the thread loop for the same number of
+    # iterations — OpenCL barriers require work-group-uniform control
+    # flow. Those kernels iterate a uniform ceil(n/threads) count with an
+    # interior `_active` guard; barrier-free kernels use the simple
+    # Figure-4 strided loop.
+    needs_uniform = bool(memplan.tiled_loops) and config.use_local
+    body = []
+    body.append(K.KDecl("_gid", _INT, K.KCall("get_global_id", [], _INT)))
+    body.append(K.KDecl("_nthreads", _INT, K.KCall("get_global_size", [], _INT)))
+    i_var = K.KVar("_i", _INT)
+    active_var = K.KVar("_active", K.K_BOOL)
+    if needs_uniform:
+        # _ix: a safe element index for loads (clamped to 0 when idle).
+        elem_index = K.KVar("_ix", _INT)
+    else:
+        elem_index = i_var
+
+    loop_body_lowerer = _BodyLowerer(ctx, scope, i_var)
+    if needs_uniform:
+        loop_body_lowerer.out.append(
+            K.KDecl(
+                "_i",
+                _INT,
+                K.KBin(
+                    "+",
+                    K.KVar("_gid", _INT),
+                    K.KBin(
+                        "*", K.KVar("_it", _INT), K.KVar("_nthreads", _INT), _INT
+                    ),
+                    _INT,
+                ),
+            )
+        )
+        loop_body_lowerer.out.append(
+            K.KDecl(
+                "_active",
+                K.K_BOOL,
+                K.KBin("<", i_var, K.KVar("_n", _INT), K.K_BOOL),
+            )
+        )
+        loop_body_lowerer.out.append(
+            K.KDecl(
+                "_ix",
+                _INT,
+                K.KSelect(active_var, i_var, K.KConst(0, _INT), _INT),
+            )
+        )
+
+    # Bind the element (for fused chains: the *innermost* element, which
+    # then flows through each fused function before reaching the outer
+    # mapped method's first parameter).
+    inner_elem_param = (
+        fused_inner[0][0].params[0] if fused_inner else elem_param
+    )
+    elem_param, outer_elem_param = inner_elem_param, elem_param
+    if source_is_iota:
+        kname = ctx.fresh("v_" + elem_param.name)
+        loop_body_lowerer.out.append(K.KDecl(kname, _INT, elem_index))
+        loop_body_lowerer.scope = _Scope(scope)
+        loop_body_lowerer.scope.define(elem_param.name, _ScalarVar(kname, _INT))
+    else:
+        elem_scope = _Scope(scope)
+        if isinstance(elem_param.type, ArrayType):
+            width = elem_param.type.bound
+            vec_width = (
+                width
+                if config.vectorize and width in (2, 4, 8, 16)
+                else 1
+            )
+            elem_t = ktype_of(elem_param.type.elem)
+            ab = ArrayBinding(
+                lime_name=elem_param.name,
+                buffer="_in",
+                space=K.Space.GLOBAL,
+                elem=elem_t,
+                row=1,
+                vector_width=vec_width,
+                static_length=width,
+                offset=K.KBin("*", elem_index, K.KConst(width, _INT), _INT),
+                view_row=elem_index,
+            )
+            # Hoist the element row into registers once per iteration:
+            # one vector load when vectorized, else one scalar load per
+            # component (mirrors the float4 pattern of hand kernels).
+            if vec_width > 1:
+                vec = K.KVector(elem_t, vec_width)
+                vname = ctx.fresh("elemv")
+                loop_body_lowerer.out.append(
+                    K.KDecl(
+                        vname, vec, K.KLoad("_in", elem_index, K.Space.GLOBAL, vec)
+                    )
+                )
+                ab.vec_var = vname
+            elif width <= 16:
+                names = []
+                for lane in range(width):
+                    sname = ctx.fresh("elem{}".format(lane))
+                    index = K.KBin(
+                        "+",
+                        K.KBin("*", elem_index, K.KConst(width, _INT), _INT),
+                        K.KConst(lane, _INT),
+                        _INT,
+                    )
+                    loop_body_lowerer.out.append(
+                        K.KDecl(
+                            sname,
+                            elem_t,
+                            K.KLoad("_in", index, K.Space.GLOBAL, elem_t),
+                        )
+                    )
+                    names.append(sname)
+                ab.hoisted = names
+            elem_scope.define(elem_param.name, ab)
+            ctx.array_bindings[elem_param.name] = ab
+        else:
+            kname = ctx.fresh("v_" + elem_param.name)
+            elem_t = ktype_of(elem_param.type)
+            load = K.KLoad("_in", elem_index, K.Space.GLOBAL, elem_t)
+            loop_body_lowerer.out.append(K.KDecl(kname, elem_t, load))
+            elem_scope.define(elem_param.name, _ScalarVar(kname, elem_t))
+        loop_body_lowerer.scope = elem_scope
+
+    # Apply the fused chain: run each inner mapped function on the
+    # current element, its scalar result becoming the next element.
+    if fused_inner:
+        current = loop_body_lowerer.scope.lookup(elem_param.name)
+        for method, bound_entries in fused_entries:
+            result_t = ktype_of(method.return_type)
+            value = loop_body_lowerer.inline_entries(
+                method, [current] + bound_entries, result_t
+            )
+            current = _ScalarVar(value.name, result_t)
+        chain_scope = _Scope(loop_body_lowerer.scope)
+        chain_scope.define(outer_elem_param.name, current)
+        loop_body_lowerer.scope = chain_scope
+
+    # The return hook stores the per-element result (guarded by _active
+    # in the uniform-trip-count form).
+    def return_hook(value_expr, lowerer):
+        stores = []
+        if out_row == 1:
+            lowered = _coerce(lowerer.lower_expr(value_expr), out_elem)
+            stores.append(
+                K.KStore("_out", i_var, lowered, K.Space.GLOBAL, out_elem)
+            )
+        else:
+            result = lowerer.lower_expr(value_expr)
+            if not isinstance(result, ArrayBinding):
+                raise KernelRejected(
+                    "an array-returning mapped function must return a locally "
+                    "allocated array (possibly through a freeze cast)"
+                )
+            for lane in range(out_row):
+                value = lowerer._array_load(result, K.KConst(lane, _INT))
+                index = K.KBin(
+                    "+",
+                    K.KBin("*", i_var, K.KConst(out_row, _INT), _INT),
+                    K.KConst(lane, _INT),
+                    _INT,
+                )
+                stores.append(
+                    K.KStore("_out", index, value, K.Space.GLOBAL, out_elem)
+                )
+        if needs_uniform:
+            lowerer.out.append(K.KIf(active_var, stores))
+        else:
+            lowerer.out.extend(stores)
+
+    loop_body_lowerer.return_hook = return_hook
+    loop_body_lowerer.lower_block(mapped_method.body, tail=True)
+
+    if needs_uniform:
+        iters = K.KBin(
+            "/",
+            K.KBin(
+                "-",
+                K.KBin("+", K.KVar("_n", _INT), K.KVar("_nthreads", _INT), _INT),
+                K.KConst(1, _INT),
+                _INT,
+            ),
+            K.KVar("_nthreads", _INT),
+            _INT,
+        )
+        body.append(K.KDecl("_iters", _INT, iters))
+        body.append(
+            K.KFor(
+                "_it",
+                K.KConst(0, _INT),
+                K.KVar("_iters", _INT),
+                K.KConst(1, _INT),
+                loop_body_lowerer.out,
+            )
+        )
+    else:
+        body.append(
+            K.KFor(
+                "_i",
+                K.KVar("_gid", _INT),
+                K.KVar("_n", _INT),
+                K.KVar("_nthreads", _INT),
+                loop_body_lowerer.out,
+            )
+        )
+
+    kernel = K.Kernel(
+        name=kernel_name,
+        params=ctx.params,
+        arrays=ctx.arrays,
+        body=passes.simplify_stmts(body),
+        meta={
+            "kind": "map",
+            "out_row": out_row,
+            "source_is_iota": source_is_iota,
+        },
+    )
+    spill_buffers = [
+        ab for ab in ctx.array_bindings.values() if ab.spilled
+    ]
+    return KernelPlan(
+        kernel=kernel,
+        input_binding=input_binding,
+        output_buffer="_out",
+        output_row=out_row,
+        output_elem=out_elem,
+        arg_bindings=arg_bindings,
+        spill_buffers=spill_buffers,
+    )
+
+
+def build_reduce_kernel(elem_ktype, op, kernel_name, combiner=None):
+    """A standard two-phase tree reduction (phase 2 runs on the host).
+
+    ``op`` is "+", "*", "min", or "max". The kernel reduces ``_in`` of
+    length ``_n`` into one partial result per work-group in ``_out``::
+
+        acc = identity;
+        for (i = gid; i < n; i += gsize) acc = acc OP in[i];
+        scratch[lid] = acc;  barrier();
+        for (s = lsize/2; s > 0; s >>= 1) {
+            if (lid < s) scratch[lid] = scratch[lid] OP scratch[lid+s];
+            barrier();
+        }
+        if (lid == 0) out[group] = scratch[0];
+    """
+    t = elem_ktype
+    identity = {
+        "+": 0.0 if t.is_float else 0,
+        "*": 1.0 if t.is_float else 1,
+        "min": float("inf") if t.is_float else 2 ** 31 - 1,
+        "max": float("-inf") if t.is_float else -(2 ** 31),
+    }[op]
+
+    def combine(a, b):
+        if op in ("min", "max"):
+            return K.KCall(op, [a, b], t)
+        return K.KBin(op, a, b, t)
+
+    params = [
+        K.KParam("_in", t, K.Space.GLOBAL, is_pointer=True, read_only=True),
+        K.KParam("_out", t, K.Space.GLOBAL, is_pointer=True),
+        K.KParam("_n", _INT),
+    ]
+    scratch = K.KLocalArray("_scratch", t, -1, K.Space.LOCAL, row=1)
+    gid = K.KVar("_gid", _INT)
+    lid = K.KVar("_lid", _INT)
+    lsz = K.KVar("_lsz", _INT)
+    acc = K.KVar("_acc", t)
+    i = K.KVar("_i", _INT)
+    s = K.KVar("_s", _INT)
+
+    body = [
+        K.KDecl("_gid", _INT, K.KCall("get_global_id", [], _INT)),
+        K.KDecl("_lid", _INT, K.KCall("get_local_id", [], _INT)),
+        K.KDecl("_lsz", _INT, K.KCall("get_local_size", [], _INT)),
+        K.KDecl("_acc", t, K.KConst(identity, t)),
+        K.KFor(
+            "_i",
+            gid,
+            K.KVar("_n", _INT),
+            K.KCall("get_global_size", [], _INT),
+            [
+                K.KAssign(
+                    "_acc", combine(acc, K.KLoad("_in", i, K.Space.GLOBAL, t))
+                )
+            ],
+        ),
+        K.KStore("_scratch", lid, acc, K.Space.LOCAL, t),
+        K.KBarrier(),
+        K.KDecl("_s", _INT, K.KBin("/", lsz, K.KConst(2, _INT), _INT)),
+        K.KWhile(
+            K.KBin(">", s, K.KConst(0, _INT), K.K_BOOL),
+            [
+                K.KIf(
+                    K.KBin("<", lid, s, K.K_BOOL),
+                    [
+                        K.KStore(
+                            "_scratch",
+                            lid,
+                            combine(
+                                K.KLoad("_scratch", lid, K.Space.LOCAL, t),
+                                K.KLoad(
+                                    "_scratch",
+                                    K.KBin("+", lid, s, _INT),
+                                    K.Space.LOCAL,
+                                    t,
+                                ),
+                            ),
+                            K.Space.LOCAL,
+                            t,
+                        )
+                    ],
+                ),
+                K.KBarrier(),
+                K.KAssign("_s", K.KBin("/", s, K.KConst(2, _INT), _INT)),
+            ],
+        ),
+        K.KIf(
+            K.KBin("==", lid, K.KConst(0, _INT), K.K_BOOL),
+            [
+                K.KStore(
+                    "_out",
+                    K.KCall("get_group_id", [], _INT),
+                    K.KLoad("_scratch", K.KConst(0, _INT), K.Space.LOCAL, t),
+                    K.Space.GLOBAL,
+                    t,
+                )
+            ],
+        ),
+    ]
+    return K.Kernel(
+        name=kernel_name,
+        params=params,
+        arrays=[scratch],
+        body=body,
+        meta={"kind": "reduce", "op": op},
+    )

@@ -1,0 +1,196 @@
+"""The memory optimizer: assign arrays to OpenCL memory spaces.
+
+This is Section 4.2.1 of the paper. Driven by the idiom matcher
+(:mod:`repro.ir.patterns`) and the device's capacities, the optimizer
+produces a :class:`MemoryPlan` that the lowering realizes. Per the
+paper, the decision procedure is a priority list of pattern matches —
+no alias analysis, no dependence analysis:
+
+- **private** — arrays allocated inside the mapped function with a small
+  static size (Figure 5(a-b)). With the optimization disabled they spill
+  to a per-thread region of global memory.
+- **local** — read-only input arrays scanned by a uniform loop
+  (Figure 5(c-d)): the loop is tiled, threads cooperatively stage tiles
+  in local memory, with optional padding to remove bank conflicts.
+- **image** — read-only arrays whose innermost dimension is 2 or 4 with
+  statically-known last indices (Figure 5(e-f)).
+- **constant** — read-only arrays all of whose accesses are uniform
+  (broadcast) and that fit the constant-memory capacity (Figure 5(g-h)).
+- **global** — the default when nothing else matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.backend.kernel_ir import Space
+from repro.frontend.types import ArrayType
+from repro.runtime.values import elem_size_bytes
+
+# Arrays larger than this (in elements) never go to private memory —
+# "the compiler only considers arrays whose size can be determined
+# statically and does not exceed a certain threshold value".
+PRIVATE_THRESHOLD_ELEMS = 64
+
+
+@dataclass
+class MemBinding:
+    """Placement decision for one array."""
+
+    space: Space
+    vector_width: int = 1  # >1: vectorized row loads
+    tiled: bool = False  # realized via local-memory tiling
+    pad: int = 0  # extra elements per row in local memory
+    spilled: bool = False  # private-candidate forced into global scratch
+
+
+@dataclass
+class MemoryPlan:
+    """The full placement decision for a kernel."""
+
+    bindings: Dict[str, MemBinding] = field(default_factory=dict)
+    # Loop variables (in the worker) whose loops get tiled.
+    tiled_loops: Set[str] = field(default_factory=set)
+
+    def binding(self, name):
+        return self.bindings.get(name, MemBinding(space=Space.GLOBAL))
+
+    def describe(self):
+        return {
+            name: (b.space.value, b.vector_width, b.tiled, b.pad)
+            for name, b in self.bindings.items()
+        }
+
+
+_VECTOR_WIDTHS = (2, 4, 8, 16)
+
+
+def _vector_width(usage, config):
+    """Vectorization candidate check (Section 4.2.2): innermost bounded
+    dimension of width 2/4/8/16, read-only, statically-indexed last dim."""
+    if not config.vectorize:
+        return 1
+    if usage.written or not usage.static_last_index:
+        return 1
+    last = usage.last_dim
+    if last in _VECTOR_WIDTHS:
+        return last
+    return 1
+
+
+def _image_eligible(usage):
+    """Image placement: read-only, last dimension exactly 2 or 4, last
+    index static, and rank >= 2 (OpenCL 1.0 image reads move 4-word
+    groups; width-2 arrays use the packed representation)."""
+    return (
+        usage.read_only
+        and usage.static_last_index
+        and usage.last_dim in (2, 4)
+    )
+
+
+def _nbytes(usage):
+    base = usage.array_type.base_elem
+    dims = usage.array_type.dims()
+    total = elem_size_bytes(base)
+    for bound in dims:
+        if bound is None:
+            return None  # unbounded dimension: size unknown statically
+        total *= bound
+    return total
+
+
+def plan_memory(patterns, config, device, input_bytes=None):
+    """Build the :class:`MemoryPlan` for one kernel.
+
+    Args:
+        patterns: :class:`repro.ir.patterns.WorkerPatterns` of the mapped
+            function.
+        config: :class:`repro.compiler.options.OptimizationConfig`.
+        device: a :class:`repro.opencl.device.DeviceModel` (capacities).
+        input_bytes: optional dict name -> runtime byte size, used to
+            check constant-memory capacity for unbounded arrays.
+    """
+    plan = MemoryPlan()
+    input_bytes = input_bytes or {}
+    for name, usage in patterns.arrays.items():
+        if usage.is_param:
+            plan.bindings[name] = _plan_param(
+                name, usage, patterns, config, device, input_bytes
+            )
+        else:
+            plan.bindings[name] = _plan_allocated(usage, config)
+    for name, binding in plan.bindings.items():
+        if binding.tiled:
+            plan.tiled_loops |= patterns.arrays[name].scan_loops
+    return plan
+
+
+def _plan_param(name, usage, patterns, config, device, input_bytes):
+    width = _vector_width(usage, config)
+    if usage.written:
+        return MemBinding(space=Space.GLOBAL, vector_width=width)
+
+    # Image memory first when explicitly enabled: it exists to serve the
+    # Texture configuration of Figure 8 (and wins on cache-less GPUs).
+    if config.use_image and _image_eligible(usage):
+        return MemBinding(space=Space.IMAGE, vector_width=usage.last_dim)
+
+    # Local-memory tiling for scanned arrays.
+    if config.use_local and usage.scan_loops:
+        pad = 0
+        if config.remove_conflicts:
+            pad = _conflict_padding(usage, device)
+        return MemBinding(
+            space=Space.LOCAL, vector_width=width, tiled=True, pad=pad
+        )
+
+    # Constant memory for uniform (broadcast) read-only arrays that fit.
+    # Arrays with an unbounded outer dimension have no static size; the
+    # compiler places them optimistically and the generated glue checks
+    # the actual size against the device capacity at launch time,
+    # falling back to a global binding when it does not fit.
+    if config.use_constant and usage.all_uniform and usage.accesses:
+        nbytes = _nbytes(usage)
+        if nbytes is None:
+            nbytes = input_bytes.get(name)
+        fits = nbytes is None or nbytes <= device.constant_memory_bytes
+        if fits:
+            return MemBinding(space=Space.CONSTANT, vector_width=width)
+
+    return MemBinding(space=Space.GLOBAL, vector_width=width)
+
+
+def _conflict_padding(usage, device):
+    """Pad tiled rows whose width would serialize bank access.
+
+    Consecutive threads staging row ``t`` of a tile write elements
+    ``t*W .. t*W+W-1``; when the row width W shares a factor with the
+    bank count, threads collide on banks. One padding element per row
+    breaks the alignment — "the Lime compiler detects the size of the
+    array elements and adds padding accordingly".
+    """
+    width = usage.last_dim
+    if width is None or width <= 1:
+        return 0
+    import math
+
+    if math.gcd(width, device.local_memory_banks) > 1:
+        return 1
+    return 0
+
+
+def _plan_allocated(usage, config):
+    small = (
+        usage.alloc_size is not None and usage.alloc_size <= PRIVATE_THRESHOLD_ELEMS
+    )
+    if config.use_private and small:
+        return MemBinding(space=Space.PRIVATE)
+    if small:
+        # Optimization disabled: spill to a per-thread global scratch
+        # region (the "Global" bar of Figure 8 pays for this).
+        return MemBinding(space=Space.GLOBAL, spilled=True)
+    # Large or dynamically sized allocations always live in global
+    # scratch; the compiler never promises private space it cannot size.
+    return MemBinding(space=Space.GLOBAL, spilled=True)

@@ -1,0 +1,98 @@
+"""Optimization toggles for the GPU compiler.
+
+"The compiler permits for any of the optimizations to be enabled and
+disabled so that it is possible to perform an automated exploration of
+the memory mapping and layout" — this module is that switchboard.
+:data:`FIGURE8_CONFIGS` enumerates the eight configurations whose bars
+appear in Figure 8 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class OptimizationConfig:
+    """Which kernel optimizations the compiler may apply.
+
+    Attributes:
+        use_private: map small thread-private arrays to private memory
+            (off → they spill to a per-thread global scratch buffer).
+        use_local: tile reused global arrays into local memory.
+        remove_conflicts: pad local arrays to avoid bank conflicts
+            (meaningful only with ``use_local``).
+        use_constant: place broadcast-read arrays in constant memory.
+        use_image: place eligible read-only arrays in image (texture)
+            memory.
+        vectorize: emit vector loads/stores for bounded innermost
+            dimensions of width 2/4/8/16.
+    """
+
+    use_private: bool = True
+    use_local: bool = True
+    remove_conflicts: bool = True
+    use_constant: bool = True
+    use_image: bool = False
+    vectorize: bool = True
+
+    def describe(self):
+        parts = []
+        if self.use_private:
+            parts.append("private")
+        if self.use_local:
+            parts.append("local")
+        if self.remove_conflicts:
+            parts.append("noconflict")
+        if self.use_constant:
+            parts.append("constant")
+        if self.use_image:
+            parts.append("image")
+        if self.vectorize:
+            parts.append("vector")
+        return "+".join(parts) if parts else "global-only"
+
+
+def global_only():
+    """Everything in global memory, scalar accesses — Figure 8's worst bar."""
+    return OptimizationConfig(
+        use_private=False,
+        use_local=False,
+        remove_conflicts=False,
+        use_constant=False,
+        use_image=False,
+        vectorize=False,
+    )
+
+
+def best():
+    """The compiler's default: all memory optimizations plus
+    vectorization (image memory competes with local/constant, so it is
+    selected explicitly rather than by default, as in the paper where
+    texture placement pays off only on the cache-less GTX8800)."""
+    return OptimizationConfig()
+
+
+# The eight bars of Figure 8, in the paper's legend order:
+#   Global | Global+Vector | Local | Local+Conflicts removed |
+#   Local+Conflicts removed+Vector | Constant | Constant+Vector | Texture
+FIGURE8_CONFIGS = {
+    "Global": global_only(),
+    "Global+Vector": replace(global_only(), vectorize=True),
+    "Local": replace(global_only(), use_private=True, use_local=True),
+    "Local+NoConflicts": replace(
+        global_only(), use_private=True, use_local=True, remove_conflicts=True
+    ),
+    "Local+NoConflicts+Vector": replace(
+        global_only(),
+        use_private=True,
+        use_local=True,
+        remove_conflicts=True,
+        vectorize=True,
+    ),
+    "Constant": replace(global_only(), use_private=True, use_constant=True),
+    "Constant+Vector": replace(
+        global_only(), use_private=True, use_constant=True, vectorize=True
+    ),
+    "Texture": replace(global_only(), use_private=True, use_image=True),
+}

@@ -1,0 +1,286 @@
+"""The end-to-end GPU compilation pipeline (Figure 3 of the paper).
+
+``compile_filter`` takes a filter worker and produces the offloaded
+worker object: kernel identification (:mod:`repro.compiler.kernels`),
+idiom analysis (:mod:`repro.ir.patterns`), memory planning
+(:mod:`repro.compiler.memopt`), lowering to kernel IR
+(:mod:`repro.compiler.lower_kernel`), compilation for the simulator
+(:mod:`repro.opencl.executor`), and the generated host glue
+(:mod:`repro.backend.glue`).
+
+:class:`Offloader` packages the per-device/per-config state behind the
+interface :class:`repro.runtime.engine.Engine` expects, so running a
+Lime program on a given simulated GPU is::
+
+    offloader = Offloader(device=get_device("gtx580"))
+    engine = Engine(checked, offloader=offloader)
+    engine.run_static("NBody", "main")
+"""
+
+from __future__ import annotations
+
+from repro.backend.glue import CompiledFilter
+from repro.compiler import kernels as kernel_id
+from repro.compiler.lower_kernel import (
+    BoundSpec,
+    build_map_kernel,
+    build_reduce_kernel,
+    ktype_of,
+)
+from repro.compiler.memopt import plan_memory
+from repro.compiler.options import OptimizationConfig
+from repro.errors import KernelRejected
+from repro.ir.patterns import analyze_worker
+from repro.opencl.executor import compile_kernel
+from repro.runtime import marshal
+from repro.runtime.profiler import CommCostModel
+from repro.backend.kernel_ir import Space as _KSpace
+
+_CONSTANT_SPACE = _KSpace.CONSTANT
+
+
+def _bound_specs(shape):
+    specs = []
+    mapped = shape.mapped_method
+    for param, arg in zip(mapped.params[1:], shape.bound_args):
+        from repro.frontend.types import ArrayType
+
+        if arg.kind == "param":
+            kind = "array" if isinstance(param.type, ArrayType) else "scalar"
+            specs.append(
+                BoundSpec(
+                    kind=kind,
+                    param_name=param.name,
+                    lime_type=param.type,
+                    worker_param=arg.param_name,
+                )
+            )
+        else:
+            specs.append(
+                BoundSpec(
+                    kind="literal",
+                    param_name=param.name,
+                    lime_type=param.type,
+                    literal=arg.literal,
+                )
+            )
+    return specs
+
+
+def compile_filter(
+    checked,
+    worker,
+    device,
+    config=None,
+    comm=None,
+    profile=None,
+    marshaller=marshal.SPECIALIZED,
+    local_size=None,
+    bound_values=None,
+    direct_marshal=False,
+    overlap=False,
+):
+    """Compile one filter worker for ``device``.
+
+    ``bound_values`` supplies values for worker parameters bound at
+    task-creation time (``task Cls.m(bound...)``). ``direct_marshal``
+    and ``overlap`` enable the paper's Section 5.3 future-work
+    optimizations (direct-to-device serialization, and hiding
+    communication behind the previous stream item's kernel).
+
+    Returns a :class:`CompiledFilter`; raises
+    :class:`repro.errors.KernelRejected` when the worker does not match
+    an offloadable shape.
+    """
+    from repro.runtime.profiler import ExecutionProfile
+
+    config = config or OptimizationConfig()
+    comm = comm or CommCostModel()
+    profile = profile if profile is not None else ExecutionProfile()
+
+    shape = kernel_id.recognize_filter(checked, worker)
+    name = worker.qualified_name
+
+    if shape.map is not None:
+        map_shape = shape.map
+        reduce_kernel = None
+        reduce_op = None
+    elif shape.reduce is not None and shape.reduce.inner_map is not None:
+        map_shape = shape.reduce.inner_map
+        reduce_op = shape.reduce.op
+        reduce_kernel = compile_kernel(
+            build_reduce_kernel(
+                ktype_of(shape.reduce.elem_type),
+                reduce_op,
+                name.replace(".", "_") + "_reduce",
+            )
+        )
+    else:
+        # Pure reduction over the worker's input array.
+        reduce_op = shape.reduce.op
+        reduce_kernel = compile_kernel(
+            build_reduce_kernel(
+                ktype_of(shape.reduce.elem_type),
+                reduce_op,
+                name.replace(".", "_") + "_reduce",
+            )
+        )
+        return CompiledFilter(
+            name=name,
+            worker=worker,
+            plan=None,
+            compiled_kernel=None,
+            device=device,
+            comm=comm,
+            profile=profile,
+            marshaller=marshaller,
+            reduce_kernel=reduce_kernel,
+            reduce_op=reduce_op,
+            local_size=local_size,
+            bound_values=bound_values,
+            direct_marshal=direct_marshal,
+            overlap=overlap,
+        )
+
+    mapped = map_shape.mapped_method
+    # Unwind fused nested maps: walk down to the true (param/iota)
+    # source, collecting the inner per-element functions innermost-first.
+    fused = []
+    base_source = map_shape.source
+    inner_shape = map_shape
+    while base_source.kind == "fused":
+        inner_shape = base_source.inner
+        fused.append((inner_shape.mapped_method, _bound_specs(inner_shape)))
+        base_source = inner_shape.source
+    fused.reverse()
+
+    patterns = analyze_worker(mapped)
+    memplan = plan_memory(patterns, config, device)
+    plan = build_map_kernel(
+        checked=checked,
+        mapped_method=mapped,
+        source_type=inner_shape.elem_type,
+        source_is_iota=base_source.kind == "iota",
+        bound_specs=_bound_specs(map_shape),
+        config=config,
+        device=device,
+        kernel_name=name.replace(".", "_") + "_kernel",
+        patterns=patterns,
+        memplan=memplan,
+        fused_inner=fused or None,
+    )
+    if fused:
+        plan.kernel.meta["fused"] = [m.qualified_name for m, _ in fused]
+    if base_source.kind == "iota":
+        plan.kernel.meta["iota_source"] = {
+            "literal": base_source.literal,
+            "param": base_source.param_name,
+        }
+    else:
+        plan.kernel.meta["source_param"] = base_source.param_name
+    compiled = compile_kernel(plan.kernel)
+
+    constant_fallback = None
+    uses_constant = any(
+        param.is_pointer and param.space is _CONSTANT_SPACE
+        for param in plan.kernel.params
+    )
+    if uses_constant and config.use_constant:
+        from dataclasses import replace as _dc_replace
+
+        def constant_fallback(
+            _checked=checked,
+            _worker=worker,
+            _device=device,
+            _config=_dc_replace(config, use_constant=False),
+            _kwargs=dict(
+                comm=comm,
+                profile=profile,
+                marshaller=marshaller,
+                local_size=local_size,
+                bound_values=bound_values,
+                direct_marshal=direct_marshal,
+                overlap=overlap,
+            ),
+        ):
+            return compile_filter(
+                _checked, _worker, _device, config=_config, **_kwargs
+            )
+
+    return CompiledFilter(
+        name=name,
+        worker=worker,
+        plan=plan,
+        compiled_kernel=compiled,
+        device=device,
+        comm=comm,
+        profile=profile,
+        marshaller=marshaller,
+        reduce_kernel=reduce_kernel,
+        reduce_op=reduce_op,
+        local_size=local_size,
+        bound_values=bound_values,
+        direct_marshal=direct_marshal,
+        overlap=overlap,
+        constant_fallback=constant_fallback,
+    )
+
+
+class Offloader:
+    """The engine-facing compilation service.
+
+    Args:
+        device: the target :class:`DeviceModel`.
+        config: optimization toggles (defaults to everything on).
+        comm: communication cost model.
+        marshaller: wire-format implementation (specialized or generic).
+        local_size: override the work-group size.
+
+    ``rejections`` records (worker, reason) pairs for tasks that fell
+    back to the host — useful for diagnosing why something did not
+    offload.
+    """
+
+    def __init__(
+        self,
+        device,
+        config=None,
+        comm=None,
+        marshaller=marshal.SPECIALIZED,
+        local_size=None,
+        direct_marshal=False,
+        overlap=False,
+    ):
+        self.device = device
+        self.config = config or OptimizationConfig()
+        self.comm = comm or CommCostModel()
+        self.marshaller = marshaller
+        self.local_size = local_size
+        self.direct_marshal = direct_marshal
+        self.overlap = overlap
+        self.rejections = []
+        self.compiled = {}
+
+    def compile_filter(self, checked, worker, profile, bound_values=None):
+        key = worker.qualified_name
+        if key in self.compiled and self.compiled[key] is None:
+            return None  # previously rejected
+        try:
+            filter_worker = compile_filter(
+                checked,
+                worker,
+                device=self.device,
+                config=self.config,
+                comm=self.comm,
+                profile=profile,
+                marshaller=self.marshaller,
+                local_size=self.local_size,
+                bound_values=bound_values,
+                direct_marshal=self.direct_marshal,
+                overlap=self.overlap,
+            )
+        except KernelRejected as reason:
+            self.rejections.append((key, str(reason)))
+            filter_worker = None
+        self.compiled[key] = filter_worker
+        return filter_worker

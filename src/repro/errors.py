@@ -1,0 +1,83 @@
+"""Shared diagnostics and exception hierarchy for the repro toolchain.
+
+Every stage of the pipeline (Lime frontend, compiler, OpenCL-C frontend,
+simulated runtime) reports problems through this module so that callers can
+catch a single family of exceptions and so error messages carry uniform
+source locations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SourceError(ReproError):
+    """An error tied to a location in some source text.
+
+    Attributes:
+        message: human-readable description of the problem.
+        location: a ``repro.frontend.source.Location`` (or ``None`` when the
+            error is not tied to a specific position).
+    """
+
+    def __init__(self, message, location=None):
+        self.message = message
+        self.location = location
+        super().__init__(self._render())
+
+    def _render(self):
+        if self.location is None:
+            return self.message
+        return "{}: {}".format(self.location, self.message)
+
+
+class LexError(SourceError):
+    """Malformed token in Lime or OpenCL-C source."""
+
+
+class ParseError(SourceError):
+    """Syntactically invalid Lime or OpenCL-C source."""
+
+
+class TypeError_(SourceError):
+    """A Lime type-system violation (named with a trailing underscore to
+    avoid shadowing the builtin)."""
+
+
+class IsolationError(TypeError_):
+    """A violation of Lime's isolation rules: a ``local`` method touching
+    global mutable state, calling a non-local method, or taking/returning
+    non-value types."""
+
+
+class CompileError(ReproError):
+    """The GPU compilation pipeline could not produce a kernel."""
+
+
+class KernelRejected(CompileError):
+    """A task was examined for offload but does not satisfy the filter /
+    map-purity invariants; callers typically fall back to host execution."""
+
+
+class RuntimeFault(ReproError):
+    """An error during task-graph or simulated-device execution."""
+
+
+class MarshalError(RuntimeFault):
+    """A value could not be serialized to or deserialized from the wire
+    format used across the host/device boundary."""
+
+
+class DeviceError(RuntimeFault):
+    """The simulated OpenCL device rejected an operation (bad buffer,
+    out-of-range access, exceeded memory capacity, ...)."""
+
+
+class UnderflowException(ReproError):
+    """Raised by a source task to signal the end of the stream.
+
+    Mirrors Lime's ``UnderflowException``: any task may throw it to notify
+    the runtime that the computation is finished.
+    """

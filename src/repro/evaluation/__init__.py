@@ -1,0 +1,19 @@
+"""Harnesses that regenerate every table and figure of the paper's
+evaluation section (Section 5)."""
+
+from repro.evaluation.harness import run_configuration, TARGETS
+from repro.evaluation.figure7 import run_figure7
+from repro.evaluation.figure8 import run_figure8
+from repro.evaluation.figure9 import run_figure9
+from repro.evaluation.tables import table1, table2, table3
+
+__all__ = [
+    "run_configuration",
+    "TARGETS",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "table1",
+    "table2",
+    "table3",
+]

@@ -1,0 +1,82 @@
+"""Figure 7: end-to-end speedup (includes all overheads).
+
+(a) CPU (Core i7): speedup of the OpenCL multicore runtime over the
+    Lime-bytecode baseline on 1 and 6 cores. The paper reports 1-core
+    performance close to the baseline (within ~10%, better for the
+    transcendental benchmarks), ~4.8-5.7x on 6 cores for five
+    benchmarks, and super-linear 13.6-32.5x for four (SMT + cheaper
+    OpenCL transcendentals).
+
+(b) GPU: speedups of 12-431x on the GTX580 and HD5970; lowest for the
+    non-transcendental / communication-heavy trio (JG-Crypt, Mosaic,
+    N-Body), highest for the transcendental-heavy ones; doubles 2-3x
+    slower than singles on the GTX580, ~1.5x on the HD5970.
+"""
+
+from __future__ import annotations
+
+from repro.apps.registry import BENCHMARKS
+from repro.evaluation.harness import run_configuration
+
+# The paper's x-axis order.
+BENCH_ORDER = [
+    "nbody-single",
+    "nbody-double",
+    "mosaic",
+    "parboil-cp",
+    "parboil-mriq",
+    "parboil-rpes",
+    "jg-crypt",
+    "jg-series-single",
+    "jg-series-double",
+]
+
+CPU_TARGETS = ["cpu-1", "cpu-6"]
+GPU_TARGETS = ["gtx580", "hd5970"]
+
+
+def run_figure7(scale=1.0, benchmarks=None, targets=None, steps=None):
+    """Compute the Figure 7 speedup table.
+
+    Returns a dict: benchmark -> {target -> speedup}, where speedup is
+    baseline_ns / target_ns (>1 means faster than Lime bytecode), plus
+    a "_baseline_ns" entry per benchmark.
+    """
+    benchmarks = benchmarks or BENCH_ORDER
+    targets = targets or (CPU_TARGETS + GPU_TARGETS)
+    table = {}
+    for name in benchmarks:
+        bench = BENCHMARKS[name]
+        baseline = run_configuration(bench, "bytecode", scale=scale, steps=steps)
+        row = {"_baseline_ns": baseline.total_ns}
+        for target in targets:
+            result = run_configuration(bench, target, scale=scale, steps=steps)
+            _check_consistency(baseline, result)
+            row[target] = baseline.total_ns / result.total_ns
+        table[name] = row
+    return table
+
+
+def _check_consistency(baseline, result):
+    a, b = baseline.checksum, result.checksum
+    tolerance = max(1e-4, 5e-3 * abs(a))
+    if abs(a - b) > tolerance:
+        raise AssertionError(
+            "{}@{}: checksum diverged from baseline ({} vs {})".format(
+                result.benchmark, result.target, b, a
+            )
+        )
+
+
+def format_figure7(table):
+    """Render the speedup table the way the paper's bars read."""
+    targets = [t for t in next(iter(table.values())) if not t.startswith("_")]
+    lines = []
+    header = "{:20s}".format("benchmark") + "".join(
+        "{:>10s}".format(t) for t in targets
+    )
+    lines.append(header)
+    for name, row in table.items():
+        cells = "".join("{:>10.1f}".format(row[t]) for t in targets)
+        lines.append("{:20s}{}".format(name, cells))
+    return "\n".join(lines)

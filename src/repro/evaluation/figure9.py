@@ -1,0 +1,84 @@
+"""Figure 9: computation vs communication breakdown.
+
+For every benchmark, the fraction of end-to-end time spent in each
+stage: kernel computation, Java-side marshalling, C-side marshalling,
+OpenCL API setup, and raw transfer; host-resident Lime code (sources and
+sinks) is reported as host compute. Claims to reproduce:
+
+(a) CPU: computation dominates everywhere except JG-Crypt (very low
+    compute per byte → marshalling-bound);
+(b) GPU (GTX580): communication averages ~40%, most of it marshalling
+    (~30%); OpenCL setup is ~5% except for RPES (~40%, many launches);
+    raw PCIe transfer is minor.
+"""
+
+from __future__ import annotations
+
+from repro.apps.registry import BENCHMARKS
+from repro.evaluation.figure7 import BENCH_ORDER
+from repro.evaluation.harness import run_configuration
+
+STAGES = [
+    "kernel",
+    "java_marshal",
+    "c_marshal",
+    "opencl_setup",
+    "transfer",
+    "host_compute",
+]
+
+
+def run_figure9(target, scale=1.0, benchmarks=None, steps=None):
+    """Returns benchmark -> {stage -> fraction of total} for one target
+    ("cpu-6" for Figure 9(a), "gtx580" for Figure 9(b))."""
+    benchmarks = benchmarks or BENCH_ORDER
+    table = {}
+    for name in benchmarks:
+        bench = BENCHMARKS[name]
+        result = run_configuration(bench, target, scale=scale, steps=steps)
+        total = sum(result.stages.values())
+        table[name] = {
+            stage: (result.stages.get(stage, 0.0) / total if total else 0.0)
+            for stage in STAGES
+        }
+        table[name]["_total_ns"] = total
+    return table
+
+
+def communication_fraction(row):
+    """Everything that is not device computation or host Lime code."""
+    return (
+        row["java_marshal"]
+        + row["c_marshal"]
+        + row["opencl_setup"]
+        + row["transfer"]
+    )
+
+
+def format_figure9(table):
+    lines = [
+        "{:20s}{:>9s}{:>9s}{:>9s}{:>9s}{:>9s}{:>9s}{:>7s}".format(
+            "benchmark",
+            "kernel",
+            "javaMsh",
+            "cMsh",
+            "setup",
+            "pcie",
+            "host",
+            "comm%",
+        )
+    ]
+    for name, row in table.items():
+        lines.append(
+            "{:20s}{:9.1%}{:9.1%}{:9.1%}{:9.1%}{:9.1%}{:9.1%}{:7.0%}".format(
+                name,
+                row["kernel"],
+                row["java_marshal"],
+                row["c_marshal"],
+                row["opencl_setup"],
+                row["transfer"],
+                row["host_compute"],
+                communication_fraction(row),
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Execution targets and the end-to-end measurement loop.
+
+A *target* is one column of Figure 7: the Lime-bytecode baseline
+(host interpreter only), the OpenCL multicore runtime on 1 or 6 Core i7
+cores, or one of the GPUs. ``run_configuration`` executes a benchmark's
+full task-graph program against a target and reports simulated times
+with the Figure 9 stage breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.compiler.options import OptimizationConfig
+from repro.compiler.pipeline import Offloader
+from repro.opencl.device import CORE_I7, get_device
+from repro.runtime.engine import Engine
+from repro.runtime.profiler import CommCostModel
+
+
+@dataclass(frozen=True)
+class Target:
+    """One execution configuration."""
+
+    name: str
+    kind: str  # "bytecode" | "cpu" | "gpu"
+    device_name: Optional[str] = None
+    cores: Optional[int] = None
+
+    def make_offloader(self, config=None):
+        if self.kind == "bytecode":
+            return None
+        if self.kind == "cpu":
+            device = CORE_I7.with_cores(self.cores)
+            return Offloader(
+                device=device,
+                config=config or OptimizationConfig(),
+                comm=CommCostModel.for_cpu(),
+            )
+        device = get_device(self.device_name)
+        return Offloader(device=device, config=config or OptimizationConfig())
+
+
+TARGETS = {
+    "bytecode": Target(name="bytecode", kind="bytecode"),
+    "cpu-1": Target(name="cpu-1", kind="cpu", cores=1),
+    "cpu-6": Target(name="cpu-6", kind="cpu", cores=6),
+    "gtx8800": Target(name="gtx8800", kind="gpu", device_name="gtx8800"),
+    "gtx580": Target(name="gtx580", kind="gpu", device_name="gtx580"),
+    "hd5970": Target(name="hd5970", kind="gpu", device_name="hd5970"),
+}
+
+
+@dataclass
+class RunResult:
+    benchmark: str
+    target: str
+    checksum: float
+    total_ns: float
+    host_compute_ns: float
+    stages: dict
+    offloaded: list
+    rejections: list = field(default_factory=list)
+
+    @property
+    def communication_ns(self):
+        return sum(
+            v
+            for k, v in self.stages.items()
+            if k not in ("kernel", "host_compute")
+        )
+
+
+def run_configuration(bench, target, scale=1.0, steps=None, config=None):
+    """Run one benchmark end to end against one target.
+
+    Args:
+        bench: a :class:`repro.apps.base.Benchmark`.
+        target: a :class:`Target` or its name.
+        scale: workload scale factor (1.0 = the default simulated size;
+            the paper-scale sizes are far larger, see DESIGN.md).
+        steps: stream depth override (defaults to the benchmark's own).
+        config: optimization toggles for the offloaded kernels.
+
+    Returns a :class:`RunResult` with simulated nanoseconds.
+    """
+    if isinstance(target, str):
+        target = TARGETS[target]
+    checked = bench.checked()
+    inputs = bench.make_input(scale=scale)
+    steps = steps if steps is not None else bench.steps
+    offloader = target.make_offloader(config)
+    engine = Engine(checked, offloader=offloader)
+    checksum = engine.run_static(
+        bench.main_class, bench.run_method, list(inputs) + [steps]
+    )
+    stages = engine.profile.stages.as_dict()
+    stages["host_compute"] = engine.host_compute_ns()
+    return RunResult(
+        benchmark=bench.name,
+        target=target.name,
+        checksum=float(checksum),
+        total_ns=engine.total_ns(),
+        host_compute_ns=engine.host_compute_ns(),
+        stages=stages,
+        offloaded=list(engine.offloaded_tasks),
+        rejections=list(offloader.rejections) if offloader else [],
+    )

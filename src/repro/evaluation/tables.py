@@ -1,0 +1,78 @@
+"""Tables 1-3 of the paper.
+
+Table 1 is a qualitative programming-model comparison; Table 2 is the
+device catalog (checked against :mod:`repro.opencl.device`); Table 3 is
+the benchmark roster (checked against :mod:`repro.apps.registry`).
+"""
+
+from __future__ import annotations
+
+from repro.apps.registry import BENCHMARKS
+from repro.opencl.device import DEVICES
+
+# Table 1: GPU programming in OpenCL vs Lime.
+TABLE1 = [
+    ("offload unit", "kernel", "filter"),
+    ("communication", "API", "=> operator"),
+    ("data parallelism", "manual", "map & reduce"),
+    ("memory qualifiers", "manual", "compiler"),
+    ("synchronization", "manual", "compiler"),
+    ("scheduling", "manual", "compiler"),
+]
+
+
+def table1():
+    lines = ["{:22s}{:>12s}{:>16s}".format("", "OpenCL", "Lime")]
+    for row in TABLE1:
+        lines.append("{:22s}{:>12s}{:>16s}".format(*row))
+    return "\n".join(lines)
+
+
+def table2():
+    """The evaluation platforms, from the device models."""
+    lines = [
+        "{:28s}{:>6s}{:>10s}{:>10s}{:>10s}{:>8s}".format(
+            "Model", "Cores", "FP/core", "Const", "Local", "L2"
+        )
+    ]
+    for device in DEVICES.values():
+        lines.append(
+            "{:28s}{:>6d}{:>10d}{:>10s}{:>10s}{:>8s}".format(
+                device.name,
+                device.compute_units,
+                device.fp_units_per_unit,
+                _kb(device.constant_memory_bytes),
+                "{}x{}".format(
+                    device.compute_units, _kb(device.local_memory_bytes)
+                ),
+                _kb(device.l2_cache_bytes) if device.l2_cache_bytes else "-",
+            )
+        )
+    return "\n".join(lines)
+
+
+def _kb(nbytes):
+    if nbytes >= 1024 * 1024:
+        return "{}MB".format(nbytes // (1024 * 1024))
+    return "{}KB".format(nbytes // 1024)
+
+
+def table3():
+    """The benchmark roster with the paper's size columns."""
+    lines = [
+        "{:20s}{:42s}{:>10s}{:>10s}{:>9s}".format(
+            "Name", "Description", "Input", "Output", "Type"
+        )
+    ]
+    for bench in BENCHMARKS.values():
+        meta = bench.table3
+        lines.append(
+            "{:20s}{:42s}{:>10s}{:>10s}{:>9s}".format(
+                bench.name,
+                bench.description[:42],
+                meta["input"],
+                meta["output"],
+                meta["dtype"],
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""The Lime surface-language frontend.
+
+The frontend implements the GPU-relevant subset of Lime described in the
+paper: Java-style classes and methods extended with
+
+- ``value`` array types with bounded dimensions (``float[[][4]]``),
+- ``local`` methods (the isolation primitive),
+- the ``task`` operator and ``=>`` (connect),
+- ``@`` (map) and ``!`` (reduce) for fine-grained data parallelism.
+
+The public entry points are :func:`repro.frontend.parser.parse_program`
+and :func:`repro.frontend.typecheck.check_program`.
+"""
+
+from repro.frontend.lexer import tokenize
+from repro.frontend.parser import parse_program
+from repro.frontend.typecheck import check_program
+
+__all__ = ["tokenize", "parse_program", "check_program"]

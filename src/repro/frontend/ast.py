@@ -1,0 +1,475 @@
+"""Abstract syntax for the Lime subset.
+
+Every node carries a ``location`` for diagnostics. Expression nodes also
+carry a ``type`` slot, ``None`` until the typechecker fills it in; the
+same node objects serve as the typed program representation consumed by
+:mod:`repro.ir`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.frontend.source import Location
+from repro.frontend.types import Type
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Program:
+    classes: List["ClassDecl"]
+
+    def lookup_class(self, name):
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        return None
+
+
+@dataclass
+class ClassDecl:
+    name: str
+    is_value: bool
+    fields: List["FieldDecl"]
+    methods: List["MethodDecl"]
+    location: Location
+
+    def lookup_method(self, name):
+        for method in self.methods:
+            if method.name == name:
+                return method
+        return None
+
+    def lookup_field(self, name):
+        for fld in self.fields:
+            if fld.name == name:
+                return fld
+        return None
+
+
+@dataclass
+class Param:
+    name: str
+    type: Type
+    location: Location
+
+
+@dataclass
+class MethodDecl:
+    name: str
+    params: List[Param]
+    return_type: Type
+    is_static: bool
+    is_local: bool
+    body: "Block"
+    location: Location
+    owner: Optional[str] = None  # class name, set by the parser
+
+    @property
+    def qualified_name(self):
+        return "{}.{}".format(self.owner, self.name)
+
+
+@dataclass
+class FieldDecl:
+    name: str
+    type: Type
+    is_static: bool
+    is_final: bool
+    init: Optional["Expr"]
+    location: Location
+    owner: Optional[str] = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt]
+    location: Location
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str
+    declared_type: Optional[Type]  # None for `var`
+    init: Optional["Expr"]
+    location: Location
+    type: Optional[Type] = None  # resolved type, set by the checker
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: "Expr"
+    location: Location
+
+
+@dataclass
+class Assign(Stmt):
+    """``target op= value``; ``op`` is ``None`` for plain assignment or one
+    of ``+ - * /`` for compound forms (desugared by the checker)."""
+
+    target: "Expr"
+    op: Optional[str]
+    value: "Expr"
+    location: Location
+
+
+@dataclass
+class If(Stmt):
+    cond: "Expr"
+    then: Stmt
+    otherwise: Optional[Stmt]
+    location: Location
+
+
+@dataclass
+class While(Stmt):
+    cond: "Expr"
+    body: Stmt
+    location: Location
+
+
+@dataclass
+class For(Stmt):
+    """A classic C-style for. ``init`` is a statement or None; ``update``
+    is a statement or None."""
+
+    init: Optional[Stmt]
+    cond: Optional["Expr"]
+    update: Optional[Stmt]
+    body: Stmt
+    location: Location
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional["Expr"]
+    location: Location
+
+
+@dataclass
+class Break(Stmt):
+    location: Location
+
+
+@dataclass
+class Continue(Stmt):
+    location: Location
+
+
+@dataclass
+class Throw(Stmt):
+    expr: "Expr"
+    location: Location
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    location: Location
+    type: Optional[Type] = field(default=None, init=False)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class LongLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class DoubleLit(Expr):
+    value: float
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass
+class StringLit(Expr):
+    value: str
+
+
+@dataclass
+class NullLit(Expr):
+    pass
+
+
+@dataclass
+class Name(Expr):
+    name: str
+    # Filled by the checker: "local", "param", "field", or "class".
+    binding: Optional[str] = None
+    # For "field" bindings: the class declaring the field.
+    owner: Optional[str] = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # "-", "!", "~"
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str  # arithmetic, comparison, logical, bitwise, shifts
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+
+@dataclass
+class Cast(Expr):
+    target: Type
+    expr: Expr
+    # Set by the checker when the cast freezes a mutable array into a
+    # value array (deep copy) or thaws the reverse way.
+    freezes: bool = False
+    thaws: bool = False
+
+
+@dataclass
+class Index(Expr):
+    array: Expr
+    index: Expr
+
+
+@dataclass
+class FieldAccess(Expr):
+    """``receiver.name`` — also covers ``array.length`` and static field
+    access ``Cls.name`` (the checker rewrites ``receiver`` bindings)."""
+
+    receiver: Expr
+    name: str
+
+
+@dataclass
+class Call(Expr):
+    """A method call.
+
+    ``receiver`` is ``None`` for unqualified calls (resolved within the
+    enclosing class), a :class:`Name` bound to a class for static calls,
+    or any expression for instance calls. Builtins (``Math.sqrt``,
+    ``Lime.iota``, ``graph.finish``) are resolved by the checker and
+    tagged via ``builtin``.
+    """
+
+    receiver: Optional[Expr]
+    name: str
+    args: List[Expr]
+    builtin: Optional[str] = None
+    resolved: Optional[object] = None  # MethodDecl after checking
+
+
+@dataclass
+class New(Expr):
+    class_name: str
+    args: List[Expr]
+
+
+@dataclass
+class NewArray(Expr):
+    """``new float[n][4]`` — dims are expressions; trailing dims may be
+    omitted (``None``) as in Java."""
+
+    elem: Type
+    dims: List[Optional[Expr]]
+
+
+@dataclass
+class ArrayInit(Expr):
+    """``new int[] { 1, 2, 3 }`` — a one-dimensional initialized array."""
+
+    elem: Type
+    values: List[Expr]
+
+
+@dataclass
+class MethodRef(Expr):
+    """``Cls.m`` in map/reduce position."""
+
+    class_name: str
+    method_name: str
+    resolved: Optional[object] = None
+
+
+@dataclass
+class MapExpr(Expr):
+    """``Cls.m(bound...) @ source``.
+
+    The worker is applied per element as ``m(elem, *bound_args)``; the
+    result is a value array of the worker's return type.
+    """
+
+    func: MethodRef
+    bound_args: List[Expr]
+    source: Expr
+
+
+@dataclass
+class ReduceExpr(Expr):
+    """``+! source`` or ``Cls.m ! source``.
+
+    ``op`` is an operator string (``+``, ``*``) or ``None`` when ``func``
+    names a binary combinator method.
+    """
+
+    op: Optional[str]
+    func: Optional[MethodRef]
+    source: Expr
+
+
+@dataclass
+class TaskExpr(Expr):
+    """A ``task`` expression, in one of three forms:
+
+    - ``task Cls.m`` — static worker (isolated filter when ``m`` is
+      ``local`` with value-typed ports);
+    - ``task Cls.m(args)`` — *partially applied* static worker: ``args``
+      bind the leading parameters at task-creation time, the remaining
+      parameter (if any) is the task's input port;
+    - ``task Cls(args).m`` — instance worker (stateful task).
+    """
+
+    class_name: str
+    method_name: str
+    ctor_args: Optional[List[Expr]]  # None for static workers
+    worker_args: Optional[List[Expr]] = None  # partial application
+    resolved: Optional[object] = None
+
+    @property
+    def is_static_worker(self):
+        return self.ctor_args is None
+
+
+@dataclass
+class ConnectExpr(Expr):
+    """``left => right`` — task-graph composition."""
+
+    left: Expr
+    right: Expr
+
+
+# ---------------------------------------------------------------------------
+# Traversal helper
+# ---------------------------------------------------------------------------
+
+
+def children(node):
+    """Yield the direct child AST nodes of ``node`` (statements and
+    expressions only). Used by generic walkers in the analysis passes."""
+    if isinstance(node, Block):
+        yield from node.stmts
+    elif isinstance(node, VarDecl):
+        if node.init is not None:
+            yield node.init
+    elif isinstance(node, ExprStmt):
+        yield node.expr
+    elif isinstance(node, Assign):
+        yield node.target
+        yield node.value
+    elif isinstance(node, If):
+        yield node.cond
+        yield node.then
+        if node.otherwise is not None:
+            yield node.otherwise
+    elif isinstance(node, While):
+        yield node.cond
+        yield node.body
+    elif isinstance(node, For):
+        if node.init is not None:
+            yield node.init
+        if node.cond is not None:
+            yield node.cond
+        if node.update is not None:
+            yield node.update
+        yield node.body
+    elif isinstance(node, Return):
+        if node.value is not None:
+            yield node.value
+    elif isinstance(node, Throw):
+        yield node.expr
+    elif isinstance(node, Unary):
+        yield node.operand
+    elif isinstance(node, Binary):
+        yield node.left
+        yield node.right
+    elif isinstance(node, Ternary):
+        yield node.cond
+        yield node.then
+        yield node.otherwise
+    elif isinstance(node, Cast):
+        yield node.expr
+    elif isinstance(node, Index):
+        yield node.array
+        yield node.index
+    elif isinstance(node, FieldAccess):
+        yield node.receiver
+    elif isinstance(node, Call):
+        if node.receiver is not None:
+            yield node.receiver
+        yield from node.args
+    elif isinstance(node, New):
+        yield from node.args
+    elif isinstance(node, NewArray):
+        for dim in node.dims:
+            if dim is not None:
+                yield dim
+    elif isinstance(node, ArrayInit):
+        yield from node.values
+    elif isinstance(node, MapExpr):
+        yield node.func
+        yield from node.bound_args
+        yield node.source
+    elif isinstance(node, ReduceExpr):
+        if node.func is not None:
+            yield node.func
+        yield node.source
+    elif isinstance(node, TaskExpr):
+        if node.ctor_args is not None:
+            yield from node.ctor_args
+        if node.worker_args is not None:
+            yield from node.worker_args
+    elif isinstance(node, ConnectExpr):
+        yield node.left
+        yield node.right
+
+
+def walk(node):
+    """Depth-first pre-order traversal over statements and expressions."""
+    yield node
+    for child in children(node):
+        yield from walk(child)

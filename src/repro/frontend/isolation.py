@@ -1,0 +1,160 @@
+"""Isolation checking for ``local`` methods.
+
+Lime's isolation discipline is what lets the compiler offload a filter
+without alias or escape analysis (Section 3.1 of the paper):
+
+- a ``local`` method may only call other ``local`` methods (plus the pure
+  ``Math.*`` builtins and ``Lime.iota``);
+- it may not read or write mutable global state: non-final static fields
+  and any instance field that is not final are off-limits, and no field
+  may ever be written;
+- its parameters and return type must be value types, so data crossing
+  the boundary can never mutate in flight;
+- it may not construct tasks or graphs (those are host-side artifacts).
+
+Violations raise :class:`repro.errors.IsolationError` with the offending
+location.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IsolationError
+from repro.frontend import ast
+
+
+def check_isolation(checked):
+    """Validate every ``local`` method in a :class:`CheckedProgram`."""
+    for cls in checked.program.classes:
+        for method in cls.methods:
+            if method.is_local:
+                _check_local_method(checked, cls, method)
+
+
+def _check_local_method(checked, cls, method):
+    for param in method.params:
+        if not param.type.is_value():
+            raise IsolationError(
+                "parameter '{}' of local method '{}' has non-value type {}; "
+                "local methods may only receive deeply immutable data".format(
+                    param.name, method.qualified_name, param.type
+                ),
+                param.location,
+            )
+    if not _is_value_or_void(method.return_type):
+        raise IsolationError(
+            "local method '{}' returns non-value type {}".format(
+                method.qualified_name, method.return_type
+            ),
+            method.location,
+        )
+    _check_node(checked, cls, method, method.body)
+
+
+def _is_value_or_void(t):
+    from repro.frontend.types import PrimKind, PrimType
+
+    if isinstance(t, PrimType) and t.kind is PrimKind.VOID:
+        return True
+    return t.is_value()
+
+
+def _check_node(checked, cls, method, node):
+    if isinstance(node, ast.Name) and node.binding == "field":
+        field = cls.lookup_field(node.name)
+        if not field.is_final:
+            raise IsolationError(
+                "local method '{}' reads mutable field '{}'".format(
+                    method.qualified_name, node.name
+                ),
+                node.location,
+            )
+    elif isinstance(node, ast.FieldAccess):
+        _check_static_field_access(checked, method, node)
+    elif isinstance(node, ast.Assign):
+        _check_assignment_target(method, node)
+    elif isinstance(node, ast.Call):
+        _check_call(checked, method, node)
+    elif isinstance(node, ast.New):
+        raise IsolationError(
+            "local method '{}' constructs an object; object allocation is "
+            "host-only".format(method.qualified_name),
+            node.location,
+        )
+    elif isinstance(node, (ast.MapExpr, ast.ReduceExpr)):
+        func = node.func
+        if func is not None and func.resolved is not None and not func.resolved.is_local:
+            raise IsolationError(
+                "local method '{}' maps/reduces with non-local method "
+                "'{}'".format(method.qualified_name, func.resolved.qualified_name),
+                func.location,
+            )
+    elif isinstance(node, (ast.TaskExpr, ast.ConnectExpr)):
+        raise IsolationError(
+            "local method '{}' builds a task graph; graph construction is "
+            "host-only".format(method.qualified_name),
+            node.location,
+        )
+    for child in ast.children(node):
+        _check_node(checked, cls, method, child)
+
+
+def _check_static_field_access(checked, method, node):
+    receiver = node.receiver
+    if not (isinstance(receiver, ast.Name) and receiver.binding == "class"):
+        return  # array.length and similar are fine
+    owner = checked.lookup_class(receiver.name)
+    if owner is None:
+        return
+    field = owner.lookup_field(node.name)
+    if field is not None and not field.is_final:
+        raise IsolationError(
+            "local method '{}' reads mutable static field '{}.{}'".format(
+                method.qualified_name, owner.name, node.name
+            ),
+            node.location,
+        )
+
+
+def _check_assignment_target(method, node):
+    target = node.target
+    if isinstance(target, ast.Name) and target.binding == "field":
+        raise IsolationError(
+            "local method '{}' writes field '{}'".format(
+                method.qualified_name, target.name
+            ),
+            target.location,
+        )
+    if isinstance(target, ast.FieldAccess):
+        raise IsolationError(
+            "local method '{}' writes a field".format(method.qualified_name),
+            target.location,
+        )
+
+
+_ALLOWED_BUILTIN_PREFIXES = ("math.",)
+_ALLOWED_BUILTINS = frozenset({"lime.iota"})
+
+
+def _check_call(checked, method, node):
+    if node.builtin is not None:
+        ok = node.builtin in _ALLOWED_BUILTINS or node.builtin.startswith(
+            _ALLOWED_BUILTIN_PREFIXES
+        )
+        if not ok:
+            raise IsolationError(
+                "local method '{}' calls host-only builtin '{}'".format(
+                    method.qualified_name, node.builtin
+                ),
+                node.location,
+            )
+        return
+    callee = node.resolved
+    if callee is None:
+        return
+    if not callee.is_local:
+        raise IsolationError(
+            "local method '{}' calls non-local method '{}'".format(
+                method.qualified_name, callee.qualified_name
+            ),
+            node.location,
+        )

@@ -1,0 +1,286 @@
+"""Hand-written lexer for the Lime surface language.
+
+A straightforward maximal-munch scanner. Comments (``//`` and ``/* */``)
+and whitespace are skipped. Numeric literals follow Java's conventions:
+an unsuffixed decimal with a ``.`` or exponent is a ``double``; an ``f``
+suffix makes a ``float``; an ``L`` suffix makes a ``long``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.frontend.source import SourceFile
+from repro.frontend.tokens import KEYWORDS, Token, TokenKind
+
+# Multi-character operators, longest first so maximal munch works by
+# scanning this list in order.
+_OPERATORS = [
+    (">>>", TokenKind.USHR),
+    ("=>", TokenKind.CONNECT),
+    ("==", TokenKind.EQ),
+    ("!=", TokenKind.NE),
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+    ("&&", TokenKind.AND_AND),
+    ("||", TokenKind.OR_OR),
+    ("+=", TokenKind.PLUS_ASSIGN),
+    ("-=", TokenKind.MINUS_ASSIGN),
+    ("*=", TokenKind.STAR_ASSIGN),
+    ("/=", TokenKind.SLASH_ASSIGN),
+    ("++", TokenKind.PLUS_PLUS),
+    ("--", TokenKind.MINUS_MINUS),
+    ("<<", TokenKind.SHL),
+    (">>", TokenKind.SHR),
+    ("(", TokenKind.LPAREN),
+    (")", TokenKind.RPAREN),
+    ("{", TokenKind.LBRACE),
+    ("}", TokenKind.RBRACE),
+    ("[", TokenKind.LBRACKET),
+    ("]", TokenKind.RBRACKET),
+    (";", TokenKind.SEMI),
+    (",", TokenKind.COMMA),
+    (".", TokenKind.DOT),
+    ("=", TokenKind.ASSIGN),
+    ("+", TokenKind.PLUS),
+    ("-", TokenKind.MINUS),
+    ("*", TokenKind.STAR),
+    ("/", TokenKind.SLASH),
+    ("%", TokenKind.PERCENT),
+    ("<", TokenKind.LT),
+    (">", TokenKind.GT),
+    ("!", TokenKind.BANG),
+    ("&", TokenKind.AMP),
+    ("|", TokenKind.PIPE),
+    ("^", TokenKind.CARET),
+    ("~", TokenKind.TILDE),
+    ("?", TokenKind.QUESTION),
+    (":", TokenKind.COLON),
+    ("@", TokenKind.AT),
+]
+
+
+def _is_ident_start(char):
+    return char.isalpha() or char == "_" or char == "$"
+
+
+def _is_ident_part(char):
+    return char.isalnum() or char == "_" or char == "$"
+
+
+class Lexer:
+    """Scans a :class:`SourceFile` into a list of tokens."""
+
+    def __init__(self, source):
+        if isinstance(source, str):
+            source = SourceFile(source)
+        self.source = source
+        self.text = source.text
+        self.pos = 0
+
+    def tokens(self):
+        """Lex the whole input, returning tokens ending with ``EOF``."""
+        result = []
+        while True:
+            token = self.next_token()
+            result.append(token)
+            if token.kind is TokenKind.EOF:
+                return result
+
+    def next_token(self):
+        self._skip_trivia()
+        if self.pos >= len(self.text):
+            return self._make(TokenKind.EOF, self.pos, self.pos)
+        char = self.text[self.pos]
+        if _is_ident_start(char):
+            return self._lex_word()
+        if char.isdigit() or (char == "." and self._peek_is_digit(1)):
+            return self._lex_number()
+        if char == '"':
+            return self._lex_string()
+        if char == "'":
+            return self._lex_char()
+        return self._lex_operator()
+
+    # -- trivia ----------------------------------------------------------
+
+    def _skip_trivia(self):
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char.isspace():
+                self.pos += 1
+            elif self.text.startswith("//", self.pos):
+                end = self.text.find("\n", self.pos)
+                self.pos = len(self.text) if end < 0 else end + 1
+            elif self.text.startswith("/*", self.pos):
+                end = self.text.find("*/", self.pos + 2)
+                if end < 0:
+                    raise LexError(
+                        "unterminated block comment",
+                        self.source.location(self.pos),
+                    )
+                self.pos = end + 2
+            else:
+                return
+
+    # -- token classes ----------------------------------------------------
+
+    def _lex_word(self):
+        start = self.pos
+        while self.pos < len(self.text) and _is_ident_part(self.text[self.pos]):
+            self.pos += 1
+        text = self.text[start : self.pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        value = text if kind is TokenKind.IDENT else None
+        return self._make(kind, start, self.pos, value)
+
+    def _lex_number(self):
+        start = self.pos
+        is_float = False
+        if self.text.startswith(("0x", "0X"), self.pos):
+            self.pos += 2
+            while self.pos < len(self.text) and self._is_hex(self.text[self.pos]):
+                self.pos += 1
+            return self._finish_int(start, base=16)
+        while self._peek_is_digit(0):
+            self.pos += 1
+        if self.pos < len(self.text) and self.text[self.pos] == ".":
+            is_float = True
+            self.pos += 1
+            while self._peek_is_digit(0):
+                self.pos += 1
+        if self.pos < len(self.text) and self.text[self.pos] in "eE":
+            lookahead = self.pos + 1
+            if lookahead < len(self.text) and self.text[lookahead] in "+-":
+                lookahead += 1
+            if lookahead < len(self.text) and self.text[lookahead].isdigit():
+                is_float = True
+                self.pos = lookahead
+                while self._peek_is_digit(0):
+                    self.pos += 1
+        if self.pos < len(self.text) and self.text[self.pos] in "fF":
+            self.pos += 1
+            text = self.text[start : self.pos]
+            return self._make(
+                TokenKind.FLOAT_LITERAL, start, self.pos, float(text[:-1])
+            )
+        if self.pos < len(self.text) and self.text[self.pos] in "dD":
+            self.pos += 1
+            text = self.text[start : self.pos]
+            return self._make(
+                TokenKind.DOUBLE_LITERAL, start, self.pos, float(text[:-1])
+            )
+        if is_float:
+            text = self.text[start : self.pos]
+            return self._make(TokenKind.DOUBLE_LITERAL, start, self.pos, float(text))
+        return self._finish_int(start, base=10)
+
+    def _finish_int(self, start, base):
+        if self.pos < len(self.text) and self.text[self.pos] in "lL":
+            self.pos += 1
+            text = self.text[start : self.pos]
+            return self._make(
+                TokenKind.LONG_LITERAL, start, self.pos, int(text[:-1], base)
+            )
+        text = self.text[start : self.pos]
+        if not text or (base == 16 and len(text) <= 2):
+            raise LexError("malformed number", self.source.location(start))
+        return self._make(TokenKind.INT_LITERAL, start, self.pos, int(text, base))
+
+    _ESCAPES = {
+        "n": "\n",
+        "t": "\t",
+        "r": "\r",
+        "0": "\0",
+        "\\": "\\",
+        "'": "'",
+        '"': '"',
+        "b": "\b",
+        "f": "\f",
+    }
+
+    def _lex_string(self):
+        start = self.pos
+        self.pos += 1
+        chars = []
+        while True:
+            if self.pos >= len(self.text) or self.text[self.pos] == "\n":
+                raise LexError(
+                    "unterminated string literal", self.source.location(start)
+                )
+            char = self.text[self.pos]
+            if char == '"':
+                self.pos += 1
+                return self._make(
+                    TokenKind.STRING_LITERAL, start, self.pos, "".join(chars)
+                )
+            if char == "\\":
+                chars.append(self._lex_escape(start))
+            else:
+                chars.append(char)
+                self.pos += 1
+
+    def _lex_char(self):
+        start = self.pos
+        self.pos += 1
+        if self.pos >= len(self.text):
+            raise LexError("unterminated char literal", self.source.location(start))
+        if self.text[self.pos] == "\\":
+            value = self._lex_escape(start)
+        else:
+            value = self.text[self.pos]
+            self.pos += 1
+        if self.pos >= len(self.text) or self.text[self.pos] != "'":
+            raise LexError("unterminated char literal", self.source.location(start))
+        self.pos += 1
+        return self._make(TokenKind.CHAR_LITERAL, start, self.pos, ord(value))
+
+    def _lex_escape(self, literal_start):
+        # self.pos points at the backslash.
+        if self.pos + 1 >= len(self.text):
+            raise LexError(
+                "unterminated escape sequence", self.source.location(literal_start)
+            )
+        escape = self.text[self.pos + 1]
+        if escape not in self._ESCAPES:
+            raise LexError(
+                "unknown escape sequence '\\{}'".format(escape),
+                self.source.location(self.pos),
+            )
+        self.pos += 2
+        return self._ESCAPES[escape]
+
+    def _lex_operator(self):
+        for text, kind in _OPERATORS:
+            if self.text.startswith(text, self.pos):
+                start = self.pos
+                self.pos += len(text)
+                return self._make(kind, start, self.pos)
+        raise LexError(
+            "unexpected character {!r}".format(self.text[self.pos]),
+            self.source.location(self.pos),
+        )
+
+    # -- helpers ----------------------------------------------------------
+
+    def _peek_is_digit(self, offset):
+        index = self.pos + offset
+        return index < len(self.text) and self.text[index].isdigit()
+
+    @staticmethod
+    def _is_hex(char):
+        return char.isdigit() or char.lower() in "abcdef"
+
+    def _make(self, kind, start, end, value=None):
+        return Token(
+            kind=kind,
+            text=self.text[start:end],
+            location=self.source.location(start),
+            value=value,
+        )
+
+
+def tokenize(source, filename="<lime>"):
+    """Lex ``source`` (a string or :class:`SourceFile`) into tokens."""
+    if isinstance(source, str):
+        source = SourceFile(source, filename)
+    return Lexer(source).tokens()

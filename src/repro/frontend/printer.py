@@ -1,0 +1,286 @@
+"""Pretty-printer for Lime ASTs.
+
+Renders a parsed (or constructed) program back to surface syntax. Used
+by diagnostics and tooling, and — through the round-trip property tests
+— as a consistency check on the parser: ``parse(print(parse(s)))``
+must equal ``parse(s)`` structurally.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import ast
+from repro.frontend.types import ArrayType
+
+_INDENT = "    "
+
+
+def print_program(program):
+    return "\n\n".join(print_class(cls) for cls in program.classes) + "\n"
+
+
+def print_class(cls):
+    lines = []
+    prefix = "value " if cls.is_value else ""
+    lines.append("{}class {} {{".format(prefix, cls.name))
+    for fld in cls.fields:
+        lines.append(_INDENT + _field(fld))
+    if cls.fields and cls.methods:
+        lines.append("")
+    for index, method in enumerate(cls.methods):
+        if index:
+            lines.append("")
+        lines.extend(_method(method))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _field(fld):
+    parts = []
+    if fld.is_static:
+        parts.append("static")
+    if fld.is_final:
+        parts.append("final")
+    parts.append(type_text(fld.type))
+    parts.append(fld.name)
+    text = " ".join(parts)
+    if fld.init is not None:
+        text += " = " + expr_text(fld.init)
+    return text + ";"
+
+
+def _method(method):
+    parts = []
+    if method.is_static:
+        parts.append("static")
+    if method.is_local:
+        parts.append("local")
+    if method.name == "<init>":
+        signature = "{}({})".format(method.owner, _params(method))
+    else:
+        parts.append(type_text(method.return_type))
+        signature = "{}({})".format(method.name, _params(method))
+    header = _INDENT + " ".join(parts + [signature]) + " {"
+    lines = [header]
+    for stmt in method.body.stmts:
+        lines.extend(stmt_lines(stmt, 2))
+    lines.append(_INDENT + "}")
+    return lines
+
+
+def _params(method):
+    return ", ".join(
+        "{} {}".format(type_text(p.type), p.name) for p in method.params
+    )
+
+
+def type_text(t):
+    """Render a type in surface syntax (value arrays with double
+    brackets, as the paper writes them)."""
+    if isinstance(t, ArrayType):
+        dims = []
+        node = t
+        while isinstance(node, ArrayType):
+            dims.append(node.bound)
+            node = node.elem
+        base = type_text(node)
+        if t.value:
+            inner = "".join(
+                "[{}]".format("" if bound is None else bound) for bound in dims
+            )
+            return "{}[{}]".format(base, inner)
+        return base + "[]" * len(dims)
+    return str(t)
+
+
+# -- statements -----------------------------------------------------------------
+
+
+def stmt_lines(stmt, depth):
+    pad = _INDENT * depth
+    if isinstance(stmt, ast.Block):
+        lines = [pad + "{"]
+        for child in stmt.stmts:
+            lines.extend(stmt_lines(child, depth + 1))
+        lines.append(pad + "}")
+        return lines
+    if isinstance(stmt, ast.VarDecl):
+        if stmt.declared_type is None:
+            text = "var {} = {};".format(stmt.name, expr_text(stmt.init))
+        elif stmt.init is None:
+            text = "{} {};".format(type_text(stmt.declared_type), stmt.name)
+        else:
+            text = "{} {} = {};".format(
+                type_text(stmt.declared_type), stmt.name, expr_text(stmt.init)
+            )
+        return [pad + text]
+    if isinstance(stmt, ast.ExprStmt):
+        return [pad + expr_text(stmt.expr) + ";"]
+    if isinstance(stmt, ast.Assign):
+        op = (stmt.op or "") + "="
+        return [
+            pad
+            + "{} {} {};".format(expr_text(stmt.target), op, expr_text(stmt.value))
+        ]
+    if isinstance(stmt, ast.If):
+        lines = [pad + "if ({})".format(expr_text(stmt.cond)) + " {"]
+        lines.extend(_body_lines(stmt.then, depth))
+        if stmt.otherwise is not None:
+            lines.append(pad + "} else {")
+            lines.extend(_body_lines(stmt.otherwise, depth))
+        lines.append(pad + "}")
+        return lines
+    if isinstance(stmt, ast.While):
+        lines = [pad + "while ({})".format(expr_text(stmt.cond)) + " {"]
+        lines.extend(_body_lines(stmt.body, depth))
+        lines.append(pad + "}")
+        return lines
+    if isinstance(stmt, ast.For):
+        init = _inline_stmt(stmt.init)
+        cond = expr_text(stmt.cond) if stmt.cond is not None else ""
+        update = _inline_stmt(stmt.update)
+        lines = [pad + "for ({}; {}; {})".format(init, cond, update) + " {"]
+        lines.extend(_body_lines(stmt.body, depth))
+        lines.append(pad + "}")
+        return lines
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return [pad + "return;"]
+        return [pad + "return {};".format(expr_text(stmt.value))]
+    if isinstance(stmt, ast.Break):
+        return [pad + "break;"]
+    if isinstance(stmt, ast.Continue):
+        return [pad + "continue;"]
+    if isinstance(stmt, ast.Throw):
+        return [pad + "throw {};".format(expr_text(stmt.expr))]
+    raise TypeError("cannot print {}".format(type(stmt).__name__))
+
+
+def _body_lines(stmt, depth):
+    if isinstance(stmt, ast.Block):
+        lines = []
+        for child in stmt.stmts:
+            lines.extend(stmt_lines(child, depth + 1))
+        return lines
+    return stmt_lines(stmt, depth + 1)
+
+
+def _inline_stmt(stmt):
+    if stmt is None:
+        return ""
+    lines = stmt_lines(stmt, 0)
+    return lines[0].rstrip(";")
+
+
+# -- expressions -----------------------------------------------------------------
+
+
+def expr_text(expr):
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.LongLit):
+        return "{}L".format(expr.value)
+    if isinstance(expr, ast.FloatLit):
+        return "{}f".format(_float_text(expr.value))
+    if isinstance(expr, ast.DoubleLit):
+        return _float_text(expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.StringLit):
+        return '"{}"'.format(
+            expr.value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        )
+    if isinstance(expr, ast.Name):
+        return expr.name
+    if isinstance(expr, ast.Unary):
+        return "{}{}".format(expr.op, _wrap(expr.operand))
+    if isinstance(expr, ast.Binary):
+        return "{} {} {}".format(_wrap(expr.left), expr.op, _wrap(expr.right))
+    if isinstance(expr, ast.Ternary):
+        return "{} ? {} : {}".format(
+            _wrap(expr.cond), _wrap(expr.then), _wrap(expr.otherwise)
+        )
+    if isinstance(expr, ast.Cast):
+        return "({}) {}".format(type_text(expr.target), _wrap(expr.expr))
+    if isinstance(expr, ast.Index):
+        return "{}[{}]".format(_wrap(expr.array), expr_text(expr.index))
+    if isinstance(expr, ast.FieldAccess):
+        return "{}.{}".format(_wrap(expr.receiver), expr.name)
+    if isinstance(expr, ast.Call):
+        args = ", ".join(expr_text(a) for a in expr.args)
+        if expr.receiver is None:
+            return "{}({})".format(expr.name, args)
+        return "{}.{}({})".format(_wrap(expr.receiver), expr.name, args)
+    if isinstance(expr, ast.New):
+        return "new {}({})".format(
+            expr.class_name, ", ".join(expr_text(a) for a in expr.args)
+        )
+    if isinstance(expr, ast.NewArray):
+        dims = "".join(
+            "[{}]".format("" if d is None else expr_text(d)) for d in expr.dims
+        )
+        return "new {}{}".format(type_text(expr.elem), dims)
+    if isinstance(expr, ast.ArrayInit):
+        return "new {}[] {{ {} }}".format(
+            type_text(expr.elem), ", ".join(expr_text(v) for v in expr.values)
+        )
+    if isinstance(expr, ast.MethodRef):
+        return "{}.{}".format(expr.class_name, expr.method_name)
+    if isinstance(expr, ast.MapExpr):
+        func = "{}.{}".format(expr.func.class_name, expr.func.method_name)
+        if expr.bound_args:
+            func += "({})".format(
+                ", ".join(expr_text(a) for a in expr.bound_args)
+            )
+        return "{} @ {}".format(func, _wrap(expr.source))
+    if isinstance(expr, ast.ReduceExpr):
+        if expr.op is not None:
+            head = expr.op
+        else:
+            head = "{}.{}".format(expr.func.class_name, expr.func.method_name)
+            head += " "
+        return "{}! {}".format(head, _wrap(expr.source))
+    if isinstance(expr, ast.TaskExpr):
+        if expr.ctor_args is not None:
+            return "task {}({}).{}".format(
+                expr.class_name,
+                ", ".join(expr_text(a) for a in expr.ctor_args),
+                expr.method_name,
+            )
+        text = "task {}.{}".format(expr.class_name, expr.method_name)
+        if expr.worker_args is not None:
+            text += "({})".format(
+                ", ".join(expr_text(a) for a in expr.worker_args)
+            )
+        return text
+    if isinstance(expr, ast.ConnectExpr):
+        return "{} => {}".format(_wrap(expr.left), _wrap(expr.right))
+    raise TypeError("cannot print {}".format(type(expr).__name__))
+
+
+def _float_text(value):
+    text = repr(float(value))
+    return text
+
+
+_ATOMS = (
+    ast.IntLit,
+    ast.LongLit,
+    ast.FloatLit,
+    ast.DoubleLit,
+    ast.BoolLit,
+    ast.StringLit,
+    ast.Name,
+    ast.Call,
+    ast.Index,
+    ast.FieldAccess,
+    ast.New,
+    ast.ArrayInit,
+)
+
+
+def _wrap(expr):
+    """Parenthesize anything that is not syntactically atomic; produces
+    more parens than strictly needed but guarantees re-parse fidelity."""
+    if isinstance(expr, _ATOMS):
+        return expr_text(expr)
+    return "({})".format(expr_text(expr))

@@ -1,0 +1,89 @@
+"""Source text handling: locations, spans and snippet rendering.
+
+Both the Lime frontend and the OpenCL-C frontend attach a
+:class:`Location` to every token and AST node so that diagnostics across
+the whole toolchain read uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Location:
+    """A point in a source file (1-based line and column)."""
+
+    filename: str
+    line: int
+    column: int
+
+    def __str__(self):
+        return "{}:{}:{}".format(self.filename, self.line, self.column)
+
+
+@dataclass(frozen=True)
+class Span:
+    """A contiguous region of source text, from ``start`` to ``end``."""
+
+    start: Location
+    end: Location
+
+    def __str__(self):
+        return str(self.start)
+
+
+class SourceFile:
+    """A named piece of source text with line-oriented access.
+
+    Used by the lexers to map offsets to :class:`Location` objects and by
+    diagnostic rendering to show the offending line.
+    """
+
+    def __init__(self, text, filename="<lime>"):
+        self.text = text
+        self.filename = filename
+        self._line_starts = self._compute_line_starts(text)
+
+    @staticmethod
+    def _compute_line_starts(text):
+        starts = [0]
+        for index, char in enumerate(text):
+            if char == "\n":
+                starts.append(index + 1)
+        return starts
+
+    def location(self, offset):
+        """Return the :class:`Location` of a character ``offset``."""
+        if offset < 0 or offset > len(self.text):
+            raise ValueError("offset {} out of range".format(offset))
+        line = self._bisect_line(offset)
+        column = offset - self._line_starts[line] + 1
+        return Location(self.filename, line + 1, column)
+
+    def _bisect_line(self, offset):
+        lo, hi = 0, len(self._line_starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._line_starts[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def line_text(self, line):
+        """Return the text of a 1-based ``line`` without its newline."""
+        if line < 1 or line > len(self._line_starts):
+            raise ValueError("line {} out of range".format(line))
+        start = self._line_starts[line - 1]
+        if line == len(self._line_starts):
+            end = len(self.text)
+        else:
+            end = self._line_starts[line] - 1
+        return self.text[start:end]
+
+    def snippet(self, location, marker="^"):
+        """Render a two-line caret snippet for ``location``."""
+        line_text = self.line_text(location.line)
+        caret = " " * (location.column - 1) + marker
+        return "{}\n{}".format(line_text, caret)

@@ -1,0 +1,150 @@
+"""Token kinds for the Lime lexer.
+
+The token set covers the Java-like core plus Lime's extensions: the
+``task`` keyword, the ``=>`` connect operator, ``@`` for map, and the
+postfix ``!`` reduce marker (lexed as ``BANG`` and disambiguated from
+logical negation by the parser).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.frontend.source import Location
+
+
+class TokenKind(enum.Enum):
+    # Literals and identifiers.
+    IDENT = "identifier"
+    INT_LITERAL = "int literal"
+    LONG_LITERAL = "long literal"
+    FLOAT_LITERAL = "float literal"
+    DOUBLE_LITERAL = "double literal"
+    STRING_LITERAL = "string literal"
+    CHAR_LITERAL = "char literal"
+
+    # Keywords.
+    KW_CLASS = "class"
+    KW_STATIC = "static"
+    KW_FINAL = "final"
+    KW_LOCAL = "local"
+    KW_VALUE = "value"
+    KW_TASK = "task"
+    KW_NEW = "new"
+    KW_RETURN = "return"
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_WHILE = "while"
+    KW_FOR = "for"
+    KW_BREAK = "break"
+    KW_CONTINUE = "continue"
+    KW_THROW = "throw"
+    KW_TRUE = "true"
+    KW_FALSE = "false"
+    KW_VOID = "void"
+    KW_BOOLEAN = "boolean"
+    KW_BYTE = "byte"
+    KW_INT = "int"
+    KW_LONG = "long"
+    KW_FLOAT = "float"
+    KW_DOUBLE = "double"
+    KW_NULL = "null"
+    KW_VAR = "var"
+
+    # Punctuation.
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMI = ";"
+    COMMA = ","
+    DOT = "."
+
+    # Operators.
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    PLUS_ASSIGN = "+="
+    MINUS_ASSIGN = "-="
+    STAR_ASSIGN = "*="
+    SLASH_ASSIGN = "/="
+    PLUS_PLUS = "++"
+    MINUS_MINUS = "--"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    AND_AND = "&&"
+    OR_OR = "||"
+    BANG = "!"
+    AMP = "&"
+    PIPE = "|"
+    CARET = "^"
+    TILDE = "~"
+    SHL = "<<"
+    SHR = ">>"
+    USHR = ">>>"
+    QUESTION = "?"
+    COLON = ":"
+
+    # Lime-specific operators.
+    CONNECT = "=>"
+    AT = "@"
+
+    EOF = "<eof>"
+
+
+KEYWORDS = {
+    "class": TokenKind.KW_CLASS,
+    "static": TokenKind.KW_STATIC,
+    "final": TokenKind.KW_FINAL,
+    "local": TokenKind.KW_LOCAL,
+    "value": TokenKind.KW_VALUE,
+    "task": TokenKind.KW_TASK,
+    "new": TokenKind.KW_NEW,
+    "return": TokenKind.KW_RETURN,
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "while": TokenKind.KW_WHILE,
+    "for": TokenKind.KW_FOR,
+    "break": TokenKind.KW_BREAK,
+    "continue": TokenKind.KW_CONTINUE,
+    "throw": TokenKind.KW_THROW,
+    "true": TokenKind.KW_TRUE,
+    "false": TokenKind.KW_FALSE,
+    "void": TokenKind.KW_VOID,
+    "boolean": TokenKind.KW_BOOLEAN,
+    "byte": TokenKind.KW_BYTE,
+    "int": TokenKind.KW_INT,
+    "long": TokenKind.KW_LONG,
+    "float": TokenKind.KW_FLOAT,
+    "double": TokenKind.KW_DOUBLE,
+    "null": TokenKind.KW_NULL,
+    "var": TokenKind.KW_VAR,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexed token.
+
+    ``value`` holds the literal's parsed value (int/float/str) for literal
+    tokens and the identifier text for ``IDENT``; it is ``None`` for pure
+    punctuation.
+    """
+
+    kind: TokenKind
+    text: str
+    location: Location
+    value: object = None
+
+    def __str__(self):
+        return "{}({!r})".format(self.kind.name, self.text)

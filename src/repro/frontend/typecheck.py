@@ -1,0 +1,963 @@
+"""Type checking and name resolution for Lime programs.
+
+The checker annotates the AST in place (``Expr.type``, ``Name.binding``,
+``Call.resolved``/``Call.builtin``, ``Cast.freezes``) and enforces the
+type-system rules the compiler later exploits:
+
+- value arrays are deeply immutable: their elements are not assignable;
+- a mutable array freezes into a value array only through an explicit
+  cast (which deep-copies at runtime);
+- ``@`` maps a *static* method over a *value* array and produces a value
+  array; ``!`` reduces a value array with an operator or a binary
+  combinator method;
+- ``task``/``=>`` compose into typed task graphs whose ports must match.
+
+Isolation rules for ``local`` methods live in
+:mod:`repro.frontend.isolation` and are run as part of
+:func:`check_program`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypeError_
+from repro.frontend import ast
+from repro.frontend import types as ty
+from repro.frontend.types import (
+    ArrayType,
+    BOOLEAN,
+    ClassType,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    MethodRefType,
+    PrimType,
+    STRING,
+    TaskGraphType,
+    TaskType,
+    Type,
+    VOID,
+)
+
+# Math builtins: name -> arity. All are polymorphic over float/double
+# (ints promote to double), mirroring how Lime kernels map them onto
+# OpenCL's native math library.
+MATH_BUILTINS = {
+    "sqrt": 1,
+    "rsqrt": 1,
+    "sin": 1,
+    "cos": 1,
+    "tan": 1,
+    "exp": 1,
+    "log": 1,
+    "floor": 1,
+    "ceil": 1,
+    "abs": 1,
+    "atan2": 2,
+    "pow": 2,
+    "min": 2,
+    "max": 2,
+    "hypot": 2,
+}
+
+# Builtins treated as transcendental for cost modeling (see
+# repro.opencl.timing); kept here so frontend and backend agree.
+TRANSCENDENTALS = frozenset(
+    {"sqrt", "rsqrt", "sin", "cos", "tan", "exp", "log", "atan2", "pow", "hypot"}
+)
+
+THROWABLE_CLASSES = frozenset({"UnderflowException"})
+
+
+class Scope:
+    """A lexical scope mapping variable names to types."""
+
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.bindings = {}
+
+    def define(self, name, var_type, location):
+        if name in self.bindings:
+            raise TypeError_(
+                "variable '{}' is already defined in this scope".format(name),
+                location,
+            )
+        self.bindings[name] = var_type
+
+    def lookup(self, name):
+        scope = self
+        while scope is not None:
+            if name in scope.bindings:
+                return scope.bindings[name]
+            scope = scope.parent
+        return None
+
+
+class CheckedProgram:
+    """The result of :func:`check_program`: the annotated AST plus lookup
+    tables used by the compiler and the runtime."""
+
+    def __init__(self, program):
+        self.program = program
+        self.classes = {cls.name: cls for cls in program.classes}
+
+    def lookup_method(self, class_name, method_name):
+        cls = self.classes.get(class_name)
+        if cls is None:
+            return None
+        return cls.lookup_method(method_name)
+
+    def lookup_class(self, name):
+        return self.classes.get(name)
+
+
+class TypeChecker:
+    def __init__(self, program):
+        self.program = program
+        self.classes = {}
+        self.current_class = None
+        self.current_method = None
+        self.loop_depth = 0
+
+    # -- driver --------------------------------------------------------------
+
+    def check(self):
+        for cls in self.program.classes:
+            if cls.name in self.classes:
+                raise TypeError_(
+                    "duplicate class '{}'".format(cls.name), cls.location
+                )
+            if cls.name in ("Math", "Lime") or cls.name in THROWABLE_CLASSES:
+                raise TypeError_(
+                    "class name '{}' is reserved".format(cls.name), cls.location
+                )
+            self.classes[cls.name] = cls
+        for cls in self.program.classes:
+            self._check_class_members(cls)
+        for cls in self.program.classes:
+            self.current_class = cls
+            for field in cls.fields:
+                self._check_field(field)
+            for method in cls.methods:
+                self._check_method(method)
+        self.current_class = None
+        return CheckedProgram(self.program)
+
+    def _check_class_members(self, cls):
+        seen_fields, seen_methods = set(), set()
+        for field in cls.fields:
+            if field.name in seen_fields:
+                raise TypeError_(
+                    "duplicate field '{}'".format(field.name), field.location
+                )
+            seen_fields.add(field.name)
+            self._validate_type(field.type, field.location)
+        for method in cls.methods:
+            if method.name in seen_methods:
+                raise TypeError_(
+                    "duplicate method '{}' (overloading is not supported)".format(
+                        method.name
+                    ),
+                    method.location,
+                )
+            seen_methods.add(method.name)
+            self._validate_type(method.return_type, method.location)
+            for param in method.params:
+                self._validate_type(param.type, param.location)
+
+    def _validate_type(self, t, location):
+        if isinstance(t, ClassType):
+            if t.name not in self.classes and t != STRING:
+                raise TypeError_("unknown type '{}'".format(t.name), location)
+        elif isinstance(t, ArrayType):
+            if t.bound is not None and t.bound <= 0:
+                raise TypeError_(
+                    "array bound must be positive, got {}".format(t.bound), location
+                )
+            if isinstance(t.elem, PrimType) and t.elem == VOID:
+                raise TypeError_("void arrays are not allowed", location)
+            self._validate_type(t.elem, location)
+
+    # -- members --------------------------------------------------------------
+
+    def _check_field(self, field):
+        if field.init is not None:
+            init_type = self.check_expr(field.init, Scope())
+            self._require_assignable(init_type, field.type, field.location)
+        elif field.is_final:
+            raise TypeError_(
+                "final field '{}' must have an initializer".format(field.name),
+                field.location,
+            )
+
+    def _check_method(self, method):
+        self.current_method = method
+        scope = Scope()
+        for param in method.params:
+            scope.define(param.name, param.type, param.location)
+        returns = self.check_stmt(method.body, scope)
+        if method.return_type != VOID and not returns:
+            raise TypeError_(
+                "method '{}' may complete without returning a value".format(
+                    method.qualified_name
+                ),
+                method.location,
+            )
+        self.current_method = None
+
+    # -- statements -------------------------------------------------------------
+    #
+    # check_stmt returns True when the statement definitely returns (a very
+    # small definite-return analysis, enough for the benchmark programs).
+
+    def check_stmt(self, stmt, scope):
+        if isinstance(stmt, ast.Block):
+            inner = Scope(scope)
+            returns = False
+            for child in stmt.stmts:
+                returns = self.check_stmt(child, inner) or returns
+            return returns
+        if isinstance(stmt, ast.VarDecl):
+            return self._check_var_decl(stmt, scope)
+        if isinstance(stmt, ast.ExprStmt):
+            self.check_expr(stmt.expr, scope)
+            return False
+        if isinstance(stmt, ast.Assign):
+            self._check_assign(stmt, scope)
+            return False
+        if isinstance(stmt, ast.If):
+            cond = self.check_expr(stmt.cond, scope)
+            self._require(cond == BOOLEAN, "if condition must be boolean", stmt.location)
+            then_returns = self.check_stmt(stmt.then, Scope(scope))
+            else_returns = False
+            if stmt.otherwise is not None:
+                else_returns = self.check_stmt(stmt.otherwise, Scope(scope))
+            return then_returns and else_returns
+        if isinstance(stmt, ast.While):
+            cond = self.check_expr(stmt.cond, scope)
+            self._require(
+                cond == BOOLEAN, "while condition must be boolean", stmt.location
+            )
+            self.loop_depth += 1
+            self.check_stmt(stmt.body, Scope(scope))
+            self.loop_depth -= 1
+            return False
+        if isinstance(stmt, ast.For):
+            header = Scope(scope)
+            if stmt.init is not None:
+                self.check_stmt(stmt.init, header)
+            if stmt.cond is not None:
+                cond = self.check_expr(stmt.cond, header)
+                self._require(
+                    cond == BOOLEAN, "for condition must be boolean", stmt.location
+                )
+            if stmt.update is not None:
+                self.check_stmt(stmt.update, header)
+            self.loop_depth += 1
+            self.check_stmt(stmt.body, Scope(header))
+            self.loop_depth -= 1
+            return False
+        if isinstance(stmt, ast.Return):
+            return self._check_return(stmt, scope)
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            self._require(
+                self.loop_depth > 0,
+                "break/continue outside of a loop",
+                stmt.location,
+            )
+            return False
+        if isinstance(stmt, ast.Throw):
+            expr = stmt.expr
+            if not (
+                isinstance(expr, ast.New) and expr.class_name in THROWABLE_CLASSES
+            ):
+                raise TypeError_(
+                    "only 'throw new UnderflowException()' is supported",
+                    stmt.location,
+                )
+            if expr.args:
+                raise TypeError_(
+                    "UnderflowException takes no arguments", stmt.location
+                )
+            expr.type = ClassType(expr.class_name)
+            return True
+        raise TypeError_("unsupported statement {}".format(type(stmt).__name__), None)
+
+    def _check_var_decl(self, stmt, scope):
+        if stmt.init is not None:
+            init_type = self.check_expr(stmt.init, scope)
+        else:
+            init_type = None
+        if stmt.declared_type is None:
+            if init_type is None or init_type == VOID:
+                raise TypeError_(
+                    "cannot infer a type for 'var {}'".format(stmt.name),
+                    stmt.location,
+                )
+            stmt.type = init_type
+        else:
+            self._validate_type(stmt.declared_type, stmt.location)
+            stmt.type = stmt.declared_type
+            if init_type is not None:
+                self._require_assignable(init_type, stmt.type, stmt.location)
+        scope.define(stmt.name, stmt.type, stmt.location)
+        return False
+
+    def _check_assign(self, stmt, scope):
+        target_type = self.check_expr(stmt.target, scope)
+        self._check_lvalue(stmt.target)
+        value_type = self.check_expr(stmt.value, scope)
+        if stmt.op is not None:
+            result = ty.binary_result(target_type, value_type)
+            if result is None:
+                raise TypeError_(
+                    "invalid operands for compound assignment", stmt.location
+                )
+            # Java compound assignment has an implicit narrowing cast.
+            value_type = target_type
+        self._require_assignable(value_type, target_type, stmt.location)
+
+    def _check_lvalue(self, target):
+        if isinstance(target, ast.Name):
+            if target.binding in ("local", "param"):
+                return
+            if target.binding == "field":
+                field = self.current_class.lookup_field(target.name)
+                if field.is_final:
+                    raise TypeError_(
+                        "cannot assign to final field '{}'".format(target.name),
+                        target.location,
+                    )
+                return
+            raise TypeError_(
+                "cannot assign to '{}'".format(target.name), target.location
+            )
+        if isinstance(target, ast.Index):
+            array_type = target.array.type
+            if isinstance(array_type, ArrayType) and array_type.value:
+                raise TypeError_(
+                    "cannot assign into a value array (value types are "
+                    "deeply immutable)",
+                    target.location,
+                )
+            return
+        if isinstance(target, ast.FieldAccess):
+            raise TypeError_(
+                "field assignment through an explicit receiver is not "
+                "supported; use an unqualified name inside the class",
+                target.location,
+            )
+        raise TypeError_("invalid assignment target", target.location)
+
+    def _check_return(self, stmt, scope):
+        expected = self.current_method.return_type
+        if stmt.value is None:
+            self._require(
+                expected == VOID,
+                "method '{}' must return a value".format(
+                    self.current_method.qualified_name
+                ),
+                stmt.location,
+            )
+            return True
+        actual = self.check_expr(stmt.value, scope)
+        self._require(
+            expected != VOID,
+            "void method '{}' may not return a value".format(
+                self.current_method.qualified_name
+            ),
+            stmt.location,
+        )
+        self._require_assignable(actual, expected, stmt.location)
+        return True
+
+    # -- expressions -------------------------------------------------------------
+
+    def check_expr(self, expr, scope):
+        result = self._check_expr(expr, scope)
+        expr.type = result
+        return result
+
+    def _check_expr(self, expr, scope):
+        if isinstance(expr, ast.IntLit):
+            return INT
+        if isinstance(expr, ast.LongLit):
+            return LONG
+        if isinstance(expr, ast.FloatLit):
+            return FLOAT
+        if isinstance(expr, ast.DoubleLit):
+            return DOUBLE
+        if isinstance(expr, ast.BoolLit):
+            return BOOLEAN
+        if isinstance(expr, ast.StringLit):
+            return STRING
+        if isinstance(expr, ast.NullLit):
+            raise TypeError_("'null' is not supported in this subset", expr.location)
+        if isinstance(expr, ast.Name):
+            return self._check_name(expr, scope)
+        if isinstance(expr, ast.Unary):
+            return self._check_unary(expr, scope)
+        if isinstance(expr, ast.Binary):
+            return self._check_binary(expr, scope)
+        if isinstance(expr, ast.Ternary):
+            return self._check_ternary(expr, scope)
+        if isinstance(expr, ast.Cast):
+            return self._check_cast(expr, scope)
+        if isinstance(expr, ast.Index):
+            return self._check_index(expr, scope)
+        if isinstance(expr, ast.FieldAccess):
+            return self._check_field_access(expr, scope)
+        if isinstance(expr, ast.Call):
+            return self._check_call(expr, scope)
+        if isinstance(expr, ast.New):
+            return self._check_new(expr, scope)
+        if isinstance(expr, ast.NewArray):
+            return self._check_new_array(expr, scope)
+        if isinstance(expr, ast.ArrayInit):
+            return self._check_array_init(expr, scope)
+        if isinstance(expr, ast.MapExpr):
+            return self._check_map(expr, scope)
+        if isinstance(expr, ast.ReduceExpr):
+            return self._check_reduce(expr, scope)
+        if isinstance(expr, ast.TaskExpr):
+            return self._check_task(expr, scope)
+        if isinstance(expr, ast.ConnectExpr):
+            return self._check_connect(expr, scope)
+        if isinstance(expr, ast.MethodRef):
+            return MethodRefType(expr.class_name, expr.method_name)
+        raise TypeError_(
+            "unsupported expression {}".format(type(expr).__name__), expr.location
+        )
+
+    def _check_name(self, expr, scope):
+        bound = scope.lookup(expr.name)
+        if bound is not None:
+            expr.binding = "local"
+            return bound
+        field = self.current_class.lookup_field(expr.name) if self.current_class else None
+        if field is not None:
+            expr.binding = "field"
+            expr.owner = self.current_class.name
+            return field.type
+        if expr.name in self.classes or expr.name in ("Math", "Lime"):
+            expr.binding = "class"
+            return ClassType(expr.name)
+        raise TypeError_("unknown name '{}'".format(expr.name), expr.location)
+
+    def _check_unary(self, expr, scope):
+        operand = self.check_expr(expr.operand, scope)
+        if expr.op == "-":
+            self._require(
+                isinstance(operand, PrimType) and operand.is_numeric,
+                "unary '-' requires a numeric operand",
+                expr.location,
+            )
+            return ty.binary_result(operand, operand)
+        if expr.op == "!":
+            self._require(
+                operand == BOOLEAN, "'!' requires a boolean operand", expr.location
+            )
+            return BOOLEAN
+        if expr.op == "~":
+            self._require(
+                isinstance(operand, PrimType) and operand.is_integral,
+                "'~' requires an integral operand",
+                expr.location,
+            )
+            return ty.binary_result(operand, operand)
+        raise TypeError_("unknown unary operator '{}'".format(expr.op), expr.location)
+
+    _COMPARISONS = frozenset({"<", ">", "<=", ">="})
+    _EQUALITY = frozenset({"==", "!="})
+    _LOGICAL = frozenset({"&&", "||"})
+    _BITWISE = frozenset({"&", "|", "^", "<<", ">>", ">>>"})
+    _ARITH = frozenset({"+", "-", "*", "/", "%"})
+
+    def _check_binary(self, expr, scope):
+        left = self.check_expr(expr.left, scope)
+        right = self.check_expr(expr.right, scope)
+        op = expr.op
+        if op in self._LOGICAL:
+            self._require(
+                left == BOOLEAN and right == BOOLEAN,
+                "'{}' requires boolean operands".format(op),
+                expr.location,
+            )
+            return BOOLEAN
+        if op in self._COMPARISONS:
+            self._require(
+                ty.binary_result(left, right) is not None,
+                "'{}' requires numeric operands".format(op),
+                expr.location,
+            )
+            return BOOLEAN
+        if op in self._EQUALITY:
+            ok = ty.binary_result(left, right) is not None or (
+                left == right == BOOLEAN
+            )
+            self._require(
+                ok, "'{}' requires comparable operands".format(op), expr.location
+            )
+            return BOOLEAN
+        if op in self._BITWISE:
+            self._require(
+                isinstance(left, PrimType)
+                and isinstance(right, PrimType)
+                and left.is_integral
+                and right.is_integral,
+                "'{}' requires integral operands".format(op),
+                expr.location,
+            )
+            return ty.binary_result(left, right)
+        if op in self._ARITH:
+            result = ty.binary_result(left, right)
+            self._require(
+                result is not None,
+                "'{}' requires numeric operands (got {} and {})".format(
+                    op, left, right
+                ),
+                expr.location,
+            )
+            return result
+        raise TypeError_("unknown binary operator '{}'".format(op), expr.location)
+
+    def _check_ternary(self, expr, scope):
+        cond = self.check_expr(expr.cond, scope)
+        self._require(
+            cond == BOOLEAN, "ternary condition must be boolean", expr.location
+        )
+        then = self.check_expr(expr.then, scope)
+        otherwise = self.check_expr(expr.otherwise, scope)
+        if then == otherwise:
+            return then
+        result = ty.binary_result(then, otherwise)
+        self._require(
+            result is not None, "incompatible ternary branch types", expr.location
+        )
+        return result
+
+    def _check_cast(self, expr, scope):
+        source = self.check_expr(expr.expr, scope)
+        self._validate_type(expr.target, expr.location)
+        self._require(
+            ty.castable(source, expr.target),
+            "cannot cast {} to {}".format(source, expr.target),
+            expr.location,
+        )
+        if isinstance(source, ArrayType) and isinstance(expr.target, ArrayType):
+            expr.freezes = not source.is_value() and expr.target.is_value()
+            expr.thaws = source.is_value() and not expr.target.is_value()
+        return expr.target
+
+    def _check_index(self, expr, scope):
+        array = self.check_expr(expr.array, scope)
+        self._require(
+            isinstance(array, ArrayType),
+            "cannot index a non-array value of type {}".format(array),
+            expr.location,
+        )
+        index = self.check_expr(expr.index, scope)
+        self._require(
+            isinstance(index, PrimType)
+            and index.is_integral
+            and index.kind is not ty.PrimKind.LONG,
+            "array index must be an int",
+            expr.location,
+        )
+        return array.elem
+
+    def _check_field_access(self, expr, scope):
+        # `Cls.field` — static field access.
+        if isinstance(expr.receiver, ast.Name) and expr.receiver.name in self.classes:
+            expr.receiver.binding = "class"
+            expr.receiver.type = ClassType(expr.receiver.name)
+            cls = self.classes[expr.receiver.name]
+            field = cls.lookup_field(expr.name)
+            if field is None or not field.is_static:
+                raise TypeError_(
+                    "class '{}' has no static field '{}'".format(
+                        cls.name, expr.name
+                    ),
+                    expr.location,
+                )
+            return field.type
+        receiver = self.check_expr(expr.receiver, scope)
+        if isinstance(receiver, ArrayType) and expr.name == "length":
+            return INT
+        raise TypeError_(
+            "unknown field '{}' on {}".format(expr.name, receiver), expr.location
+        )
+
+    def _check_call(self, expr, scope):
+        # Builtin namespaces first: Math.*, Lime.*.
+        if isinstance(expr.receiver, ast.Name):
+            namespace = expr.receiver.name
+            if namespace == "Math":
+                return self._check_math_call(expr, scope)
+            if namespace == "Lime":
+                return self._check_lime_call(expr, scope)
+            if namespace in self.classes:
+                expr.receiver.binding = "class"
+                expr.receiver.type = ClassType(namespace)
+                return self._check_user_call(expr, scope, namespace, static=True)
+        if expr.receiver is None:
+            return self._check_user_call(
+                expr, scope, self.current_class.name, static=None
+            )
+        # Instance call through an arbitrary expression.
+        receiver = self.check_expr(expr.receiver, scope)
+        if isinstance(receiver, (TaskType, TaskGraphType)) and expr.name == "finish":
+            self._require(not expr.args, "finish() takes no arguments", expr.location)
+            self._require(
+                receiver.input == VOID,
+                "finish() requires a graph rooted at a source task",
+                expr.location,
+            )
+            expr.builtin = "finish"
+            return VOID
+        if isinstance(receiver, ClassType) and receiver.name in self.classes:
+            return self._check_user_call(
+                expr, scope, receiver.name, static=False
+            )
+        raise TypeError_(
+            "cannot call '{}' on a value of type {}".format(expr.name, receiver),
+            expr.location,
+        )
+
+    def _check_math_call(self, expr, scope):
+        arity = MATH_BUILTINS.get(expr.name)
+        if arity is None:
+            raise TypeError_(
+                "unknown Math builtin '{}'".format(expr.name), expr.location
+            )
+        self._require(
+            len(expr.args) == arity,
+            "Math.{} expects {} argument(s)".format(expr.name, arity),
+            expr.location,
+        )
+        arg_types = [self.check_expr(arg, scope) for arg in expr.args]
+        for arg_type in arg_types:
+            self._require(
+                isinstance(arg_type, PrimType) and arg_type.is_numeric,
+                "Math.{} requires numeric arguments".format(expr.name),
+                expr.location,
+            )
+        expr.builtin = "math." + expr.name
+        expr.receiver.binding = "class"
+        expr.receiver.type = ClassType("Math")
+        if expr.name in ("min", "max", "abs"):
+            # Polymorphic over any numeric type, like java.lang.Math.
+            result = arg_types[0]
+            for arg_type in arg_types[1:]:
+                result = ty.binary_result(result, arg_type)
+            return result
+        # Transcendentals: float in -> float out, otherwise double
+        # (Lime maps these to OpenCL's native math on the device).
+        if all(t == FLOAT for t in arg_types):
+            return FLOAT
+        return DOUBLE
+
+    def _check_lime_call(self, expr, scope):
+        expr.receiver.binding = "class"
+        expr.receiver.type = ClassType("Lime")
+        if expr.name == "iota":
+            self._require(
+                len(expr.args) == 1, "Lime.iota expects one argument", expr.location
+            )
+            arg = self.check_expr(expr.args[0], scope)
+            self._require(arg == INT, "Lime.iota expects an int", expr.location)
+            expr.builtin = "lime.iota"
+            return ArrayType(INT, bound=None, value=True)
+        if expr.name == "print":
+            self._require(
+                len(expr.args) == 1, "Lime.print expects one argument", expr.location
+            )
+            self.check_expr(expr.args[0], scope)
+            expr.builtin = "lime.print"
+            return VOID
+        raise TypeError_(
+            "unknown Lime builtin '{}'".format(expr.name), expr.location
+        )
+
+    def _check_user_call(self, expr, scope, class_name, static):
+        cls = self.classes[class_name]
+        method = cls.lookup_method(expr.name)
+        if method is None or method.name == "<init>":
+            raise TypeError_(
+                "class '{}' has no method '{}'".format(class_name, expr.name),
+                expr.location,
+            )
+        if static is True and not method.is_static:
+            raise TypeError_(
+                "'{}' is an instance method; call it through an instance".format(
+                    method.qualified_name
+                ),
+                expr.location,
+            )
+        if static is False and method.is_static:
+            raise TypeError_(
+                "'{}' is static; call it through the class name".format(
+                    method.qualified_name
+                ),
+                expr.location,
+            )
+        self._check_args(expr.args, method, scope, expr.location)
+        expr.resolved = method
+        return method.return_type
+
+    def _check_args(self, args, method, scope, location):
+        if len(args) != len(method.params):
+            raise TypeError_(
+                "'{}' expects {} argument(s), got {}".format(
+                    method.qualified_name, len(method.params), len(args)
+                ),
+                location,
+            )
+        for arg, param in zip(args, method.params):
+            arg_type = self.check_expr(arg, scope)
+            self._require_assignable(arg_type, param.type, arg.location)
+
+    def _check_new(self, expr, scope):
+        if expr.class_name in THROWABLE_CLASSES:
+            raise TypeError_(
+                "exceptions may only appear in 'throw' statements", expr.location
+            )
+        cls = self.classes.get(expr.class_name)
+        if cls is None:
+            raise TypeError_(
+                "unknown class '{}'".format(expr.class_name), expr.location
+            )
+        ctor = cls.lookup_method("<init>")
+        if ctor is None:
+            self._require(
+                not expr.args,
+                "class '{}' has no constructor taking arguments".format(cls.name),
+                expr.location,
+            )
+        else:
+            self._check_args(expr.args, ctor, scope, expr.location)
+        return ClassType(cls.name, value=cls.is_value)
+
+    def _check_new_array(self, expr, scope):
+        self._validate_type(expr.elem, expr.location)
+        for dim in expr.dims:
+            if dim is not None:
+                dim_type = self.check_expr(dim, scope)
+                self._require(
+                    dim_type == INT, "array dimension must be an int", expr.location
+                )
+        result = expr.elem
+        for _ in expr.dims:
+            result = ArrayType(result, bound=None, value=False)
+        return result
+
+    def _check_array_init(self, expr, scope):
+        self._validate_type(expr.elem, expr.location)
+        self._require(expr.values, "empty array initializer", expr.location)
+        for value in expr.values:
+            value_type = self.check_expr(value, scope)
+            self._require_assignable(value_type, expr.elem, value.location)
+        return ArrayType(expr.elem, bound=None, value=False)
+
+    # -- Lime operators -----------------------------------------------------------
+
+    def _check_map(self, expr, scope):
+        source = self.check_expr(expr.source, scope)
+        self._require(
+            isinstance(source, ArrayType) and source.is_value(),
+            "'@' maps over a value array, got {}".format(source),
+            expr.location,
+        )
+        method = self._resolve_combinator(expr.func)
+        self._require(
+            method.is_static,
+            "a map function must be static (got '{}')".format(
+                method.qualified_name
+            ),
+            expr.location,
+        )
+        self._require(
+            len(method.params) == 1 + len(expr.bound_args),
+            "map function '{}' expects {} parameter(s): the element plus "
+            "{} bound argument(s)".format(
+                method.qualified_name, 1 + len(expr.bound_args), len(expr.bound_args)
+            ),
+            expr.location,
+        )
+        elem_param = method.params[0]
+        self._require_assignable(source.elem, elem_param.type, expr.location)
+        for arg, param in zip(expr.bound_args, method.params[1:]):
+            arg_type = self.check_expr(arg, scope)
+            self._require_assignable(arg_type, param.type, arg.location)
+        self._require(
+            method.return_type != VOID,
+            "a map function must return a value",
+            expr.location,
+        )
+        expr.func.resolved = method
+        expr.func.type = MethodRefType(expr.func.class_name, expr.func.method_name)
+        return ArrayType(ty.freeze(method.return_type), bound=source.bound, value=True)
+
+    def _check_reduce(self, expr, scope):
+        source = self.check_expr(expr.source, scope)
+        self._require(
+            isinstance(source, ArrayType) and source.is_value(),
+            "'!' reduces a value array, got {}".format(source),
+            expr.location,
+        )
+        elem = source.elem
+        if expr.op is not None:
+            self._require(
+                isinstance(elem, PrimType) and elem.is_numeric,
+                "operator reduction requires a numeric element type",
+                expr.location,
+            )
+            return elem
+        if expr.func.class_name == "Math" and expr.func.method_name in ("min", "max"):
+            self._require(
+                isinstance(elem, PrimType) and elem.is_numeric,
+                "Math.{} reduction requires numeric elements".format(
+                    expr.func.method_name
+                ),
+                expr.location,
+            )
+            expr.func.type = MethodRefType("Math", expr.func.method_name)
+            return elem
+        method = self._resolve_combinator(expr.func)
+        self._require(
+            method.is_static
+            and len(method.params) == 2
+            and method.params[0].type == method.params[1].type == method.return_type,
+            "a reduction combinator must be a static method T x T -> T",
+            expr.location,
+        )
+        self._require_assignable(elem, method.params[0].type, expr.location)
+        expr.func.resolved = method
+        expr.func.type = MethodRefType(expr.func.class_name, expr.func.method_name)
+        return method.return_type
+
+    def _resolve_combinator(self, ref):
+        cls = self.classes.get(ref.class_name)
+        if cls is None:
+            raise TypeError_(
+                "unknown class '{}'".format(ref.class_name), ref.location
+            )
+        method = cls.lookup_method(ref.method_name)
+        if method is None:
+            raise TypeError_(
+                "class '{}' has no method '{}'".format(
+                    ref.class_name, ref.method_name
+                ),
+                ref.location,
+            )
+        return method
+
+    def _check_task(self, expr, scope):
+        cls = self.classes.get(expr.class_name)
+        if cls is None:
+            raise TypeError_(
+                "unknown class '{}'".format(expr.class_name), expr.location
+            )
+        method = cls.lookup_method(expr.method_name)
+        if method is None:
+            raise TypeError_(
+                "class '{}' has no method '{}'".format(
+                    expr.class_name, expr.method_name
+                ),
+                expr.location,
+            )
+        if expr.is_static_worker:
+            self._require(
+                method.is_static,
+                "'task {}.{}' names an instance method; construct an "
+                "instance: task {}(...).{}".format(
+                    cls.name, method.name, cls.name, method.name
+                ),
+                expr.location,
+            )
+            if expr.worker_args is not None:
+                self._require(
+                    len(expr.worker_args) <= len(method.params),
+                    "too many bound arguments for worker '{}'".format(
+                        method.qualified_name
+                    ),
+                    expr.location,
+                )
+                for arg, param in zip(expr.worker_args, method.params):
+                    arg_type = self.check_expr(arg, scope)
+                    self._require_assignable(arg_type, param.type, arg.location)
+        else:
+            self._require(
+                not method.is_static,
+                "'{}' is static; use task {}.{}".format(
+                    method.qualified_name, cls.name, method.name
+                ),
+                expr.location,
+            )
+            ctor = cls.lookup_method("<init>")
+            if ctor is None:
+                self._require(
+                    not expr.ctor_args,
+                    "class '{}' has no constructor taking arguments".format(cls.name),
+                    expr.location,
+                )
+            else:
+                self._check_args(expr.ctor_args, ctor, scope, expr.location)
+        bound = len(expr.worker_args) if expr.worker_args is not None else 0
+        free_params = method.params[bound:]
+        self._require(
+            len(free_params) <= 1,
+            "a task worker takes at most one input (bind the leading "
+            "parameters with task {}.{}(...))".format(
+                expr.class_name, expr.method_name
+            ),
+            expr.location,
+        )
+        input_type = free_params[0].type if free_params else VOID
+        expr.resolved = method
+        # A filter: isolated unit of computation, the offload candidate.
+        isolated = method.is_static and method.is_local
+        return TaskType(input=input_type, output=method.return_type, isolated=isolated)
+
+    def _check_connect(self, expr, scope):
+        left = self.check_expr(expr.left, scope)
+        right = self.check_expr(expr.right, scope)
+        for side, name in ((left, "left"), (right, "right")):
+            self._require(
+                isinstance(side, (TaskType, TaskGraphType)),
+                "the {} operand of '=>' must be a task or graph, got {}".format(
+                    name, side
+                ),
+                expr.location,
+            )
+        self._require(
+            ty.assignable(left.output, right.input),
+            "cannot connect: upstream produces {} but downstream "
+            "consumes {}".format(left.output, right.input),
+            expr.location,
+        )
+        return TaskGraphType(input=left.input, output=right.output)
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _require(self, condition, message, location):
+        if not condition:
+            raise TypeError_(message, location)
+
+    def _require_assignable(self, src, dst, location):
+        self._require(
+            ty.assignable(src, dst),
+            "cannot assign {} to {}".format(src, dst),
+            location,
+        )
+
+
+def check_program(program):
+    """Type-check ``program`` (mutating the AST annotations) and run the
+    isolation checker; returns a :class:`CheckedProgram`."""
+    checked = TypeChecker(program).check()
+    # Imported here to avoid a cycle at module load.
+    from repro.frontend.isolation import check_isolation
+
+    check_isolation(checked)
+    return checked

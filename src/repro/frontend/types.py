@@ -1,0 +1,336 @@
+"""The Lime type system.
+
+The paper's central claim is that two type-system properties — *deep
+immutability* (``value`` types) and *isolation* (``local`` methods) — give
+the compiler the invariants it needs to generate good GPU code without
+heroic analysis. This module defines the type objects those properties
+hang off of:
+
+- :class:`PrimType` — Java primitive types (always values).
+- :class:`ArrayType` — arrays, with two Lime extensions: a dimension may
+  carry a static *bound* (``float[[][4]]`` has an inner bound of 4), and
+  the array may be a *value* array (deeply immutable, spelled with double
+  brackets).
+- :class:`ClassType` — reference types (host-only in this subset).
+- :class:`TaskType` / :class:`TaskGraphType` — the types of ``task``
+  expressions and ``=>`` compositions.
+
+Helpers at the bottom implement Java-style widening/assignability and the
+value-ness predicate the kernel identifier relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class PrimKind(enum.Enum):
+    VOID = "void"
+    BOOLEAN = "boolean"
+    BYTE = "byte"
+    INT = "int"
+    LONG = "long"
+    FLOAT = "float"
+    DOUBLE = "double"
+
+
+class Type:
+    """Base class for all Lime types."""
+
+    def is_value(self):
+        """True when the type is deeply immutable."""
+        raise NotImplementedError
+
+    def __str__(self):
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PrimType(Type):
+    kind: PrimKind
+
+    def is_value(self):
+        return True
+
+    @property
+    def is_numeric(self):
+        return self.kind in _NUMERIC_KINDS
+
+    @property
+    def is_integral(self):
+        return self.kind in (
+            PrimKind.BYTE,
+            PrimKind.INT,
+            PrimKind.LONG,
+        )
+
+    @property
+    def is_floating(self):
+        return self.kind in (PrimKind.FLOAT, PrimKind.DOUBLE)
+
+    def __str__(self):
+        return self.kind.value
+
+
+_NUMERIC_KINDS = frozenset(
+    {PrimKind.BYTE, PrimKind.INT, PrimKind.LONG, PrimKind.FLOAT, PrimKind.DOUBLE}
+)
+
+VOID = PrimType(PrimKind.VOID)
+BOOLEAN = PrimType(PrimKind.BOOLEAN)
+BYTE = PrimType(PrimKind.BYTE)
+INT = PrimType(PrimKind.INT)
+LONG = PrimType(PrimKind.LONG)
+FLOAT = PrimType(PrimKind.FLOAT)
+DOUBLE = PrimType(PrimKind.DOUBLE)
+
+PRIMITIVES = {
+    "void": VOID,
+    "boolean": BOOLEAN,
+    "byte": BYTE,
+    "int": INT,
+    "long": LONG,
+    "float": FLOAT,
+    "double": DOUBLE,
+}
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """An array type.
+
+    ``bound`` is the static size of this (outermost) dimension, or ``None``
+    when unbounded. ``value`` marks a Lime value array: deeply immutable,
+    spelled with double brackets in the surface syntax. Value-ness is a
+    whole-array property: ``float[[][4]]`` parses to
+    ``ArrayType(ArrayType(FLOAT, bound=4, value=True), bound=None,
+    value=True)``.
+    """
+
+    elem: Type
+    bound: Optional[int] = None
+    value: bool = False
+
+    def is_value(self):
+        return self.value and self.elem.is_value()
+
+    @property
+    def rank(self):
+        """Number of array dimensions."""
+        depth, t = 0, self
+        while isinstance(t, ArrayType):
+            depth += 1
+            t = t.elem
+        return depth
+
+    @property
+    def base_elem(self):
+        """The non-array element type at the bottom of the nesting."""
+        t = self
+        while isinstance(t, ArrayType):
+            t = t.elem
+        return t
+
+    def dims(self):
+        """Return the tuple of per-dimension bounds, outermost first."""
+        bounds, t = [], self
+        while isinstance(t, ArrayType):
+            bounds.append(t.bound)
+            t = t.elem
+        return tuple(bounds)
+
+    def __str__(self):
+        dims, t = [], self
+        while isinstance(t, ArrayType):
+            dims.append("[{}]".format("" if t.bound is None else t.bound))
+            t = t.elem
+        body = "".join(dims)
+        if self.value:
+            return "{}[{}]".format(t, body)
+        return "{}{}".format(t, body)
+
+
+@dataclass(frozen=True)
+class ClassType(Type):
+    name: str
+    value: bool = False
+
+    def is_value(self):
+        return self.value
+
+    def __str__(self):
+        return self.name
+
+
+STRING = ClassType("String")
+
+
+@dataclass(frozen=True)
+class TaskType(Type):
+    """The type of a single ``task`` expression.
+
+    ``input`` is :data:`VOID` for source tasks (workers with no
+    parameters); ``output`` is :data:`VOID` for sinks.
+    """
+
+    input: Type
+    output: Type
+    isolated: bool = False
+
+    def is_value(self):
+        return False
+
+    def __str__(self):
+        return "task({} -> {})".format(self.input, self.output)
+
+
+@dataclass(frozen=True)
+class TaskGraphType(Type):
+    """The type of a ``=>`` composition of tasks."""
+
+    input: Type
+    output: Type
+
+    def is_value(self):
+        return False
+
+    def __str__(self):
+        return "graph({} -> {})".format(self.input, self.output)
+
+
+@dataclass(frozen=True)
+class MethodRefType(Type):
+    """Internal type for a method reference appearing before ``@``/``!``."""
+
+    class_name: str
+    method_name: str
+
+    def is_value(self):
+        return False
+
+    def __str__(self):
+        return "methodref({}.{})".format(self.class_name, self.method_name)
+
+
+def value_array(elem, *bounds):
+    """Build a (possibly nested) value array type.
+
+    ``value_array(FLOAT, None, 4)`` is the paper's ``float[[][4]]``.
+    """
+    t = elem
+    for bound in reversed(bounds):
+        t = ArrayType(t, bound=bound, value=True)
+    return t
+
+
+def mutable_array(elem, *bounds):
+    """Build a Java-style mutable array type (``float[][]``)."""
+    t = elem
+    for bound in reversed(bounds):
+        t = ArrayType(t, bound=bound, value=False)
+    return t
+
+
+# -- conversions ------------------------------------------------------------
+
+_WIDENING_ORDER = {
+    PrimKind.BYTE: 0,
+    PrimKind.INT: 1,
+    PrimKind.LONG: 2,
+    PrimKind.FLOAT: 3,
+    PrimKind.DOUBLE: 4,
+}
+
+
+def widens_to(src, dst):
+    """True when primitive ``src`` implicitly widens to ``dst``."""
+    if not isinstance(src, PrimType) or not isinstance(dst, PrimType):
+        return False
+    if src == dst:
+        return True
+    if src.kind not in _WIDENING_ORDER or dst.kind not in _WIDENING_ORDER:
+        return False
+    return _WIDENING_ORDER[src.kind] < _WIDENING_ORDER[dst.kind]
+
+
+def binary_result(left, right):
+    """Java-style binary numeric promotion; ``None`` when inapplicable."""
+    if not isinstance(left, PrimType) or not isinstance(right, PrimType):
+        return None
+    if not left.is_numeric or not right.is_numeric:
+        return None
+    order = _WIDENING_ORDER
+    winner = left if order[left.kind] >= order[right.kind] else right
+    # byte arithmetic promotes to int, as in Java.
+    if winner.kind is PrimKind.BYTE:
+        return INT
+    return winner
+
+
+def assignable(src, dst):
+    """True when a value of type ``src`` may be assigned to ``dst``.
+
+    Primitive widening is implicit. Array assignment is invariant in the
+    element type; a bounded dimension accepts an unbounded source only via
+    an explicit cast, and value-ness must match exactly (freezing a
+    mutable array into a value array requires an explicit cast, which
+    copies).
+    """
+    if src == dst:
+        return True
+    if widens_to(src, dst):
+        return True
+    if isinstance(src, ArrayType) and isinstance(dst, ArrayType):
+        if src.value != dst.value:
+            return False
+        if dst.bound is not None and src.bound != dst.bound:
+            return False
+        if dst.bound is None and src.bound is not None:
+            # A bounded array may flow into an unbounded slot.
+            return assignable(src.elem, dst.elem) or src.elem == dst.elem
+        return src.elem == dst.elem
+    if isinstance(src, TaskType) and isinstance(dst, TaskGraphType):
+        return src.input == dst.input and src.output == dst.output
+    return False
+
+
+def castable(src, dst):
+    """True when an explicit cast from ``src`` to ``dst`` is legal.
+
+    Beyond numeric casts, Lime allows casting between a mutable array and
+    a value array of matching shape — the freeze/thaw conversions the
+    paper's "value arrays must be initialized at construction time"
+    discipline relies on. A freeze cast deep-copies at runtime.
+    """
+    if assignable(src, dst):
+        return True
+    if isinstance(src, PrimType) and isinstance(dst, PrimType):
+        return src.is_numeric and dst.is_numeric
+    if isinstance(src, ArrayType) and isinstance(dst, ArrayType):
+        return _same_shape(src, dst)
+    return False
+
+
+def _same_shape(a, b):
+    """Arrays with identical rank/base type and compatible bounds."""
+    while isinstance(a, ArrayType) and isinstance(b, ArrayType):
+        if a.bound is not None and b.bound is not None and a.bound != b.bound:
+            return False
+        a, b = a.elem, b.elem
+    return a == b
+
+
+def erase_value(t):
+    """Strip value-ness (used when freezing/thawing via cast)."""
+    if isinstance(t, ArrayType):
+        return ArrayType(erase_value(t.elem), t.bound, False)
+    return t
+
+
+def freeze(t):
+    """Mark an array type (deeply) as a value array."""
+    if isinstance(t, ArrayType):
+        return ArrayType(freeze(t.elem), t.bound, True)
+    return t

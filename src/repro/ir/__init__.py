@@ -1,0 +1,7 @@
+"""Analyses over typed Lime programs used by the GPU compiler: the
+Figure-5 idiom pattern matcher (:mod:`repro.ir.patterns`) and kernel-IR
+simplification (:mod:`repro.ir.passes`).
+
+The paper's pitch is that these analyses are *shallow*: no alias or
+dependence analysis, only pattern matching backed by type-system
+invariants (value-ness, boundedness, ``local``-ity)."""

@@ -1,0 +1,181 @@
+"""Simplification over kernel-IR expressions.
+
+The lowering in :mod:`repro.compiler.lower_kernel` generates index
+arithmetic mechanically (``i * 4 + 0``); these rewrites keep the emitted
+OpenCL readable and the simulated instruction counts honest, mirroring
+the algebraic cleanup any real code generator performs.
+"""
+
+from __future__ import annotations
+
+from repro.backend import kernel_ir as K
+
+
+def is_const(expr, value=None):
+    if not isinstance(expr, K.KConst):
+        return False
+    return value is None or expr.value == value
+
+
+def simplify(expr):
+    """Recursively simplify a kernel-IR expression (pure; returns a new
+    tree where anything changed)."""
+    if isinstance(expr, K.KBin):
+        left = simplify(expr.left)
+        right = simplify(expr.right)
+        folded = _fold_binary(expr.op, left, right, expr.ktype)
+        if folded is not None:
+            return folded
+        if left is expr.left and right is expr.right:
+            return expr
+        return K.KBin(expr.op, left, right, expr.ktype)
+    if isinstance(expr, K.KUn):
+        operand = simplify(expr.operand)
+        if isinstance(operand, K.KConst):
+            if expr.op == "-":
+                return K.KConst(-operand.value, expr.ktype)
+            if expr.op == "!":
+                return K.KConst(not operand.value, expr.ktype)
+        if operand is expr.operand:
+            return expr
+        return K.KUn(expr.op, operand, expr.ktype)
+    if isinstance(expr, K.KSelect):
+        cond = simplify(expr.cond)
+        then = simplify(expr.then)
+        otherwise = simplify(expr.otherwise)
+        if isinstance(cond, K.KConst):
+            return then if cond.value else otherwise
+        return K.KSelect(cond, then, otherwise, expr.ktype)
+    if isinstance(expr, K.KCast):
+        inner = simplify(expr.expr)
+        if isinstance(inner, K.KCast) and inner.ktype == expr.ktype:
+            return inner
+        if (
+            isinstance(inner, K.KConst)
+            and isinstance(expr.ktype, K.KScalar)
+        ):
+            if expr.ktype.kind in ("int", "long", "char"):
+                return K.KConst(int(inner.value), expr.ktype)
+            if expr.ktype.is_float:
+                return K.KConst(float(inner.value), expr.ktype)
+        if inner is expr.expr:
+            return expr
+        return K.KCast(inner, expr.ktype)
+    if isinstance(expr, K.KCall):
+        args = [simplify(a) for a in expr.args]
+        return K.KCall(expr.name, args, expr.ktype)
+    if isinstance(expr, K.KLoad):
+        return K.KLoad(
+            expr.array, simplify(expr.index), expr.space, expr.ktype, expr.site
+        )
+    if isinstance(expr, K.KImageLoad):
+        return K.KImageLoad(expr.image, simplify(expr.coord), expr.ktype, expr.site)
+    if isinstance(expr, K.KVecExtract):
+        return K.KVecExtract(simplify(expr.vec), expr.lane, expr.ktype)
+    if isinstance(expr, K.KVecBuild):
+        return K.KVecBuild([simplify(e) for e in expr.elems], expr.ktype)
+    return expr
+
+
+def _fold_binary(op, left, right, ktype):
+    lc = isinstance(left, K.KConst)
+    rc = isinstance(right, K.KConst)
+    if lc and rc:
+        return _eval_const(op, left.value, right.value, ktype)
+    if op == "+":
+        if lc and left.value == 0:
+            return right
+        if rc and right.value == 0:
+            return left
+    elif op == "-":
+        if rc and right.value == 0:
+            return left
+    elif op == "*":
+        if lc and left.value == 1:
+            return right
+        if rc and right.value == 1:
+            return left
+        if (lc and left.value == 0) or (rc and right.value == 0):
+            return K.KConst(
+                0.0 if getattr(ktype, "is_float", False) else 0, ktype
+            )
+    elif op == "/":
+        if rc and right.value == 1:
+            return left
+    return None
+
+
+def _eval_const(op, a, b, ktype):
+    try:
+        if op == "+":
+            value = a + b
+        elif op == "-":
+            value = a - b
+        elif op == "*":
+            value = a * b
+        elif op == "/":
+            if b == 0:
+                return None
+            if isinstance(ktype, K.KScalar) and not ktype.is_float:
+                q = abs(a) // abs(b)
+                value = q if (a >= 0) == (b >= 0) else -q
+            else:
+                value = a / b
+        elif op == "%":
+            if b == 0:
+                return None
+            q = abs(a) // abs(b)
+            q = q if (a >= 0) == (b >= 0) else -q
+            value = a - q * b
+        elif op == "<":
+            value = a < b
+        elif op == ">":
+            value = a > b
+        elif op == "<=":
+            value = a <= b
+        elif op == ">=":
+            value = a >= b
+        elif op == "==":
+            value = a == b
+        elif op == "!=":
+            value = a != b
+        elif op == "&":
+            value = a & b
+        elif op == "|":
+            value = a | b
+        elif op == "^":
+            value = a ^ b
+        elif op == "<<":
+            value = a << b
+        elif op == ">>":
+            value = a >> b
+        else:
+            return None
+    except TypeError:
+        return None
+    return K.KConst(value, ktype)
+
+
+def simplify_stmts(stmts):
+    """Simplify every expression in a statement list, in place."""
+    for stmt in stmts:
+        if isinstance(stmt, K.KDecl) and stmt.init is not None:
+            stmt.init = simplify(stmt.init)
+        elif isinstance(stmt, K.KAssign):
+            stmt.value = simplify(stmt.value)
+        elif isinstance(stmt, K.KStore):
+            stmt.index = simplify(stmt.index)
+            stmt.value = simplify(stmt.value)
+        elif isinstance(stmt, K.KIf):
+            stmt.cond = simplify(stmt.cond)
+            simplify_stmts(stmt.then)
+            simplify_stmts(stmt.otherwise)
+        elif isinstance(stmt, K.KFor):
+            stmt.lo = simplify(stmt.lo)
+            stmt.hi = simplify(stmt.hi)
+            stmt.step = simplify(stmt.step)
+            simplify_stmts(stmt.body)
+        elif isinstance(stmt, K.KWhile):
+            stmt.cond = simplify(stmt.cond)
+            simplify_stmts(stmt.body)
+    return stmts

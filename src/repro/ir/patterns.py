@@ -1,0 +1,409 @@
+"""Idiom recognition for the memory optimizer (Figure 5 of the paper).
+
+Given the *mapped function* of a data-parallel map (the function applied
+per element, i.e. per thread), this module classifies how each array is
+used:
+
+- **thread-variant vs uniform indices** — a simple taint analysis marks
+  every expression that depends on the map element (the only per-thread
+  input); loads whose indices are element-free are uniform, meaning all
+  threads touch the same address at the same time (broadcast);
+- **scan loops** — ``for (j = 0; j < arr.length; j++)`` loops whose
+  bounds are uniform and whose body loads ``arr[j]`` mark ``arr`` as a
+  local-memory tiling candidate (Figure 5(c));
+- **static last index** — whether every access to a bounded innermost
+  dimension uses a compile-time-constant index, the precondition for
+  vectorization and image placement (Figure 5(e), Section 4.2.2);
+- **private allocation** — small statically-sized arrays allocated in
+  the function body (Figure 5(a)).
+
+The analysis is deliberately syntactic; the soundness burden is carried
+by the type system: value arrays cannot alias mutable state and bounded
+dimensions are honest, so no deeper analysis is required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.frontend import ast
+from repro.frontend.types import ArrayType
+
+
+@dataclass
+class AccessInfo:
+    """One load site: the index expressions per dimension, with
+    classification flags."""
+
+    indices: List[ast.Expr]
+    thread_variant: bool  # any index depends on the map element
+    loop_vars: Set[str]  # loop variables the indices mention
+    last_index_const: Optional[int]  # constant value of the innermost index
+
+
+@dataclass
+class ArrayUsage:
+    """Everything the memory optimizer needs to know about one array."""
+
+    name: str
+    array_type: ArrayType
+    is_param: bool
+    accesses: List[AccessInfo] = field(default_factory=list)
+    written: bool = False
+    # Loop variables that scan this array from 0 to arr.length.
+    scan_loops: Set[str] = field(default_factory=set)
+    # For locally allocated arrays: the static element count, or None.
+    alloc_size: Optional[int] = None
+
+    @property
+    def read_only(self):
+        return not self.written
+
+    @property
+    def all_uniform(self):
+        """True when no access index depends on the thread (broadcast)."""
+        return all(not a.thread_variant for a in self.accesses)
+
+    @property
+    def last_dim(self):
+        dims = self.array_type.dims()
+        return dims[-1] if dims else None
+
+    @property
+    def static_last_index(self):
+        """Every access reaches the innermost dimension with a constant
+        index (required for vectorization and image placement)."""
+        rank = self.array_type.rank
+        if rank < 2:
+            return False
+        for access in self.accesses:
+            if len(access.indices) != rank:
+                return False
+            if access.last_index_const is None:
+                return False
+        return True
+
+
+@dataclass
+class LoopInfo:
+    """A canonical counted loop ``for (v = 0...; v < hi; v += 1)``."""
+
+    node: ast.For
+    var: str
+    bound_array: Optional[str]  # hi == `arr.length` for this array
+    uniform_bounds: bool
+    bound_expr: Optional[ast.Expr] = None  # the hi expression
+
+
+@dataclass
+class WorkerPatterns:
+    """The result of :func:`analyze_worker`."""
+
+    arrays: Dict[str, ArrayUsage]
+    loops: List[LoopInfo]
+    elem_param: Optional[str]
+
+    def tiling_candidates(self):
+        """Arrays eligible for local-memory tiling: read-only parameter
+        arrays scanned by a full loop whose bounds every thread shares
+        (Figure 5(c))."""
+        result = []
+        for usage in self.arrays.values():
+            if not usage.is_param or usage.written:
+                continue
+            if usage.scan_loops:
+                result.append(usage)
+        return result
+
+
+class _Analyzer:
+    def __init__(self, method, elem_param):
+        self.method = method
+        self.elem_param = elem_param
+        self.tainted = set()
+        if elem_param is not None:
+            self.tainted.add(elem_param)
+        self.arrays = {}
+        self.loops = []
+        self.loop_stack = []
+
+    # -- driver ---------------------------------------------------------------
+
+    def run(self):
+        for param in self.method.params:
+            if isinstance(param.type, ArrayType):
+                self.arrays[param.name] = ArrayUsage(
+                    name=param.name, array_type=param.type, is_param=True
+                )
+        # Taint propagation needs a fixpoint because loops can feed a
+        # variable back into itself; two passes over straight-line worker
+        # bodies converge, so iterate until stable with a small cap.
+        for _ in range(4):
+            before = set(self.tainted)
+            self._taint_stmt(self.method.body)
+            if self.tainted == before:
+                break
+        self._collect_stmt(self.method.body)
+        return WorkerPatterns(
+            arrays=self.arrays, loops=self.loops, elem_param=self.elem_param
+        )
+
+    # -- taint pass --------------------------------------------------------------
+
+    def _taint_stmt(self, stmt):
+        if isinstance(stmt, ast.Block):
+            for child in stmt.stmts:
+                self._taint_stmt(child)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None and self._expr_tainted(stmt.init):
+                self.tainted.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            if isinstance(stmt.target, ast.Name):
+                if self._expr_tainted(stmt.value) or (
+                    stmt.op is not None and stmt.target.name in self.tainted
+                ):
+                    self.tainted.add(stmt.target.name)
+            elif isinstance(stmt.target, ast.Index):
+                # Storing a tainted value into an array taints the array.
+                base = _array_base(stmt.target)
+                if base is not None and (
+                    self._expr_tainted(stmt.value)
+                    or any(
+                        self._expr_tainted(ix) for ix in _index_chain(stmt.target)[1]
+                    )
+                ):
+                    self.tainted.add(base)
+        elif isinstance(stmt, ast.If):
+            self._taint_stmt(stmt.then)
+            if stmt.otherwise is not None:
+                self._taint_stmt(stmt.otherwise)
+        elif isinstance(stmt, ast.While):
+            self._taint_stmt(stmt.body)
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self._taint_stmt(stmt.init)
+            if stmt.update is not None:
+                self._taint_stmt(stmt.update)
+            self._taint_stmt(stmt.body)
+        # Return/Break/Continue/Throw/ExprStmt carry no bindings.
+
+    def _expr_tainted(self, expr):
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and node.name in self.tainted:
+                return True
+        return False
+
+    # -- collection pass ------------------------------------------------------------
+
+    def _collect_stmt(self, stmt):
+        if isinstance(stmt, ast.Block):
+            for child in stmt.stmts:
+                self._collect_stmt(child)
+        elif isinstance(stmt, ast.VarDecl):
+            self._note_allocation(stmt)
+            if stmt.init is not None:
+                self._collect_expr(stmt.init)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._collect_expr(stmt.expr)
+        elif isinstance(stmt, ast.Assign):
+            if isinstance(stmt.target, ast.Index):
+                base, indices = _index_chain(stmt.target)
+                if base is not None and base in self.arrays:
+                    self.arrays[base].written = True
+                    self._record_access(base, indices)
+                for index in indices:
+                    self._collect_expr(index)
+            self._collect_expr(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self._collect_expr(stmt.cond)
+            self._collect_stmt(stmt.then)
+            if stmt.otherwise is not None:
+                self._collect_stmt(stmt.otherwise)
+        elif isinstance(stmt, ast.While):
+            self._collect_expr(stmt.cond)
+            self._collect_stmt(stmt.body)
+        elif isinstance(stmt, ast.For):
+            self._collect_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._collect_expr(stmt.value)
+
+    def _collect_for(self, stmt):
+        info = self._canonical_loop(stmt)
+        if info is not None:
+            self.loops.append(info)
+            self.loop_stack.append(info)
+        if stmt.init is not None:
+            self._collect_stmt(stmt.init)
+        if stmt.cond is not None:
+            self._collect_expr(stmt.cond)
+        self._collect_stmt(stmt.body)
+        if stmt.update is not None:
+            self._collect_stmt(stmt.update)
+        if info is not None:
+            self.loop_stack.pop()
+            if info.uniform_bounds:
+                # Any array the loop walks front-to-back (outer index ==
+                # the loop variable) is reused identically by every
+                # thread — a tiling candidate. The bound may be the
+                # array's own length, a literal, or any uniform scalar.
+                for usage in self.arrays.values():
+                    if usage.is_param and self._scans(usage, info):
+                        usage.scan_loops.add(info.var)
+
+    def _scans(self, usage, info):
+        """The loop actually walks the array: some access uses the loop
+        variable as the outermost index."""
+        for access in usage.accesses:
+            if not access.indices:
+                continue
+            first = access.indices[0]
+            if isinstance(first, ast.Name) and first.name == info.var:
+                return True
+        return False
+
+    def _canonical_loop(self, stmt):
+        if not isinstance(stmt.init, ast.VarDecl) or stmt.init.init is None:
+            return None
+        var = stmt.init.name
+        cond = stmt.cond
+        if not (
+            isinstance(cond, ast.Binary)
+            and cond.op == "<"
+            and isinstance(cond.left, ast.Name)
+            and cond.left.name == var
+        ):
+            return None
+        update = stmt.update
+        if not (
+            isinstance(update, ast.Assign)
+            and update.op == "+"
+            and isinstance(update.target, ast.Name)
+            and update.target.name == var
+            and isinstance(update.value, ast.IntLit)
+            and update.value.value == 1
+        ):
+            return None
+        bound_array = None
+        hi = cond.right
+        if (
+            isinstance(hi, ast.FieldAccess)
+            and hi.name == "length"
+            and isinstance(hi.receiver, ast.Name)
+        ):
+            bound_array = hi.receiver.name
+        starts_at_zero = (
+            isinstance(stmt.init.init, ast.IntLit) and stmt.init.init.value == 0
+        )
+        uniform = (
+            starts_at_zero
+            and not self._expr_tainted(stmt.init.init)
+            and not self._expr_tainted(hi)
+        )
+        return LoopInfo(
+            node=stmt,
+            var=var,
+            bound_array=bound_array,
+            uniform_bounds=uniform,
+            bound_expr=hi,
+        )
+
+    def _note_allocation(self, stmt):
+        init = stmt.init
+        if isinstance(init, ast.NewArray):
+            size = _static_product(init.dims)
+            self.arrays[stmt.name] = ArrayUsage(
+                name=stmt.name,
+                array_type=init.type,
+                is_param=False,
+                alloc_size=size,
+            )
+        elif isinstance(init, ast.ArrayInit):
+            self.arrays[stmt.name] = ArrayUsage(
+                name=stmt.name,
+                array_type=init.type,
+                is_param=False,
+                alloc_size=len(init.values),
+            )
+
+    def _collect_expr(self, expr):
+        if isinstance(expr, ast.Index):
+            base, indices = _index_chain(expr)
+            if base is not None and base in self.arrays:
+                self._record_access(base, indices)
+            for index in indices:
+                self._collect_expr(index)
+            if base is None:
+                # e.g. indexing a call result: still visit children.
+                for child in ast.children(expr):
+                    self._collect_expr(child)
+            return
+        for child in ast.children(expr):
+            if isinstance(child, (ast.Expr, ast.Stmt)):
+                if isinstance(child, ast.Stmt):
+                    self._collect_stmt(child)
+                else:
+                    self._collect_expr(child)
+
+    def _record_access(self, base, indices):
+        usage = self.arrays[base]
+        loop_vars = set()
+        for index in indices:
+            for node in ast.walk(index):
+                if isinstance(node, ast.Name):
+                    loop_vars.add(node.name)
+        last_const = None
+        if indices and isinstance(indices[-1], ast.IntLit):
+            last_const = indices[-1].value
+        usage.accesses.append(
+            AccessInfo(
+                indices=list(indices),
+                thread_variant=any(self._expr_tainted(ix) for ix in indices),
+                loop_vars=loop_vars,
+                last_index_const=last_const,
+            )
+        )
+
+
+def _index_chain(expr):
+    """Flatten ``a[i][j]`` into ``("a", [i, j])``; base is None when the
+    indexed thing is not a plain name."""
+    indices = []
+    node = expr
+    while isinstance(node, ast.Index):
+        indices.append(node.index)
+        node = node.array
+    indices.reverse()
+    if isinstance(node, ast.Name):
+        return node.name, indices
+    return None, indices
+
+
+def _array_base(expr):
+    base, _ = _index_chain(expr)
+    return base
+
+
+def _static_product(dims):
+    product = 1
+    for dim in dims:
+        if not isinstance(dim, ast.IntLit):
+            return None
+        product *= dim.value
+    return product
+
+
+def analyze_worker(method, elem_param=None):
+    """Analyze a mapped function.
+
+    Args:
+        method: the :class:`MethodDecl` applied per element by ``@``.
+        elem_param: name of the per-thread parameter (defaults to the
+            first parameter, per the map calling convention).
+
+    Returns a :class:`WorkerPatterns`.
+    """
+    if elem_param is None and method.params:
+        elem_param = method.params[0].name
+    return _Analyzer(method, elem_param).run()

@@ -1,0 +1,21 @@
+"""The simulated OpenCL substrate.
+
+The paper runs on real OpenCL drivers (NVIDIA CUDA 4.0, AMD SDK 2.5,
+Intel's CPU runtime); this package replaces them with a simulator that
+keeps the experiments honest:
+
+- :mod:`repro.opencl.device` — device models parameterized by Table 2.
+- :mod:`repro.opencl.api` — an OpenCL-like host API (context, queue,
+  buffers, programs, kernels).
+- :mod:`repro.opencl.executor` — executes kernel IR over an NDRange with
+  real work-group/barrier semantics, collecting per-site memory traces.
+- :mod:`repro.opencl.timing` — converts execution statistics into
+  simulated kernel time per device (coalescing, bank conflicts, caches,
+  double-precision ratios, native transcendentals).
+- :mod:`repro.opencl.clc` — an OpenCL C frontend so hand-written
+  baseline kernels run through the same executor.
+"""
+
+from repro.opencl.device import DEVICES, DeviceModel, get_device
+
+__all__ = ["DEVICES", "DeviceModel", "get_device"]

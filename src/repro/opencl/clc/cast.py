@@ -1,0 +1,168 @@
+"""A small C AST for the OpenCL kernel subset.
+
+Types are carried as strings ("float", "int", "float4", ...); the
+translator resolves them against :mod:`repro.backend.kernel_ir` types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class CParam:
+    name: str
+    type_name: str  # element type for pointers
+    space: str  # "global" | "local" | "constant" | "private" | "image"
+    is_pointer: bool
+    is_const: bool
+
+
+@dataclass
+class CKernel:
+    name: str
+    params: List[CParam]
+    body: "CBlock"
+
+
+# -- statements ---------------------------------------------------------------
+
+
+class CStmt:
+    pass
+
+
+@dataclass
+class CBlock(CStmt):
+    stmts: List[CStmt]
+
+
+@dataclass
+class CDecl(CStmt):
+    type_name: str
+    name: str
+    space: str  # "private" | "local"
+    array_size: Optional[int]  # None for scalars
+    init: Optional["CExpr"]
+
+
+@dataclass
+class CExprStmt(CStmt):
+    expr: "CExpr"
+
+
+@dataclass
+class CAssign(CStmt):
+    target: "CExpr"
+    op: Optional[str]  # None, "+", "-", "*", "/", "&", "|", "^", "<<", ">>"
+    value: "CExpr"
+
+
+@dataclass
+class CIf(CStmt):
+    cond: "CExpr"
+    then: CStmt
+    otherwise: Optional[CStmt]
+
+
+@dataclass
+class CFor(CStmt):
+    init: Optional[CStmt]
+    cond: Optional["CExpr"]
+    update: Optional[CStmt]
+    body: CStmt
+
+
+@dataclass
+class CWhile(CStmt):
+    cond: "CExpr"
+    body: CStmt
+
+
+@dataclass
+class CReturn(CStmt):
+    pass
+
+
+@dataclass
+class CBreak(CStmt):
+    pass
+
+
+@dataclass
+class CContinue(CStmt):
+    pass
+
+
+@dataclass
+class CBarrier(CStmt):
+    pass
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+class CExpr:
+    pass
+
+
+@dataclass
+class CNum(CExpr):
+    value: object
+    suffix: str  # "", "f", "L"
+
+
+@dataclass
+class CIdent(CExpr):
+    name: str
+
+
+@dataclass
+class CUn(CExpr):
+    op: str
+    operand: CExpr
+
+
+@dataclass
+class CBin(CExpr):
+    op: str
+    left: CExpr
+    right: CExpr
+
+
+@dataclass
+class CTernary(CExpr):
+    cond: CExpr
+    then: CExpr
+    otherwise: CExpr
+
+
+@dataclass
+class CCall(CExpr):
+    name: str
+    args: List[CExpr]
+
+
+@dataclass
+class CIndex(CExpr):
+    base: CExpr
+    index: CExpr
+
+
+@dataclass
+class CMember(CExpr):
+    base: CExpr
+    name: str  # x/y/z/w or s0..sf
+
+
+@dataclass
+class CCastExpr(CExpr):
+    type_name: str
+    expr: CExpr
+
+
+@dataclass
+class CVecLit(CExpr):
+    type_name: str  # e.g. "float4" or "int2"
+    args: List[CExpr]

@@ -1,0 +1,44 @@
+"""Lexing for OpenCL C, built on the Lime scanner.
+
+The Lime lexer's operator and literal machinery matches C closely; the
+only mismatch is keywords, so this wrapper re-tags Lime-only keywords
+back to identifiers and keeps the C-meaningful ones.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.lexer import tokenize as lime_tokenize
+from repro.frontend.tokens import Token, TokenKind as T
+
+# Lime keywords that are ordinary identifiers in OpenCL C.
+_DEMOTE = {
+    T.KW_CLASS,
+    T.KW_STATIC,  # `static` is invalid in OpenCL kernels anyway
+    T.KW_LOCAL,
+    T.KW_VALUE,
+    T.KW_TASK,
+    T.KW_NEW,
+    T.KW_THROW,
+    T.KW_BOOLEAN,
+    T.KW_NULL,
+    T.KW_VAR,
+    T.KW_FINAL,
+    T.KW_BYTE,
+}
+
+
+def tokenize(source, filename="<opencl>"):
+    tokens = []
+    for token in lime_tokenize(source, filename):
+        if token.kind in _DEMOTE:
+            tokens.append(
+                Token(
+                    kind=T.IDENT,
+                    text=token.text,
+                    location=token.location,
+                    value=token.text,
+                )
+            )
+        else:
+            tokens.append(token)
+    return tokens

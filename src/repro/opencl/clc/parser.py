@@ -1,0 +1,528 @@
+"""Recursive-descent parser for the OpenCL C kernel subset.
+
+Handles a translation unit of ``__kernel`` function definitions (plus a
+minimal object-like ``#define`` preprocessor for tuning constants, which
+hand kernels habitually use).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.frontend.source import SourceFile
+from repro.frontend.tokens import TokenKind as T
+from repro.opencl.clc import cast as C
+from repro.opencl.clc.lexer import tokenize
+
+_SCALAR_TYPES = {
+    "void",
+    "char",
+    "uchar",
+    "short",
+    "ushort",
+    "int",
+    "uint",
+    "long",
+    "ulong",
+    "float",
+    "double",
+    "bool",
+}
+_VECTOR_RE = re.compile(
+    r"^(char|uchar|short|ushort|int|uint|long|ulong|float|double)(2|4|8|16)$"
+)
+
+_SPACE_QUALIFIERS = {
+    "__global": "global",
+    "global": "global",
+    "__local": "local",
+    "local": "local",
+    "__constant": "constant",
+    "constant": "constant",
+    "__private": "private",
+    "private": "private",
+}
+
+_ASSIGN_OPS = {
+    T.ASSIGN: None,
+    T.PLUS_ASSIGN: "+",
+    T.MINUS_ASSIGN: "-",
+    T.STAR_ASSIGN: "*",
+    T.SLASH_ASSIGN: "/",
+}
+
+_TYPE_KEYWORDS = {
+    T.KW_VOID: "void",
+    T.KW_INT: "int",
+    T.KW_LONG: "long",
+    T.KW_FLOAT: "float",
+    T.KW_DOUBLE: "double",
+}
+
+
+def preprocess(source):
+    """Strip comments-level preprocessor lines, applying object-like
+    ``#define NAME value`` substitutions textually."""
+    defines = {}
+    kept = []
+    for line in source.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("#define"):
+            parts = stripped.split(None, 2)
+            if len(parts) == 3 and "(" not in parts[1]:
+                defines[parts[1]] = parts[2]
+            kept.append("")
+        elif stripped.startswith("#"):
+            kept.append("")
+        elif "sampler_t" in stripped:
+            # Sampler declarations configure image addressing; the
+            # simulator's image reads are always clamped nearest-texel,
+            # so the declaration is dropped.
+            kept.append("")
+        else:
+            kept.append(line)
+    text = "\n".join(kept)
+    for name, value in defines.items():
+        text = re.sub(r"\b{}\b".format(re.escape(name)), value, text)
+    return text
+
+
+def is_type_name(text):
+    return text in _SCALAR_TYPES or bool(_VECTOR_RE.match(text))
+
+
+class CParser:
+    def __init__(self, source, filename="<opencl>"):
+        text = preprocess(source)
+        self.source = SourceFile(text, filename)
+        self.tokens = tokenize(self.source)
+        self.pos = 0
+
+    # -- cursor -------------------------------------------------------------
+
+    def peek(self, offset=0):
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def at(self, kind, offset=0):
+        return self.peek(offset).kind is kind
+
+    def at_ident(self, text, offset=0):
+        token = self.peek(offset)
+        return token.kind is T.IDENT and token.value == text
+
+    def advance(self):
+        token = self.tokens[self.pos]
+        if token.kind is not T.EOF:
+            self.pos += 1
+        return token
+
+    def expect(self, kind, what=None):
+        token = self.peek()
+        if token.kind is not kind:
+            raise ParseError(
+                "expected {} but found {!r}".format(
+                    what or kind.value, token.text or "<eof>"
+                ),
+                token.location,
+            )
+        return self.advance()
+
+    def accept(self, kind):
+        if self.at(kind):
+            return self.advance()
+        return None
+
+    # -- top level -------------------------------------------------------------
+
+    def parse_translation_unit(self):
+        kernels = []
+        while not self.at(T.EOF):
+            kernels.append(self.parse_kernel())
+        return kernels
+
+    def parse_kernel(self):
+        if not (self.at_ident("__kernel") or self.at_ident("kernel")):
+            raise ParseError(
+                "expected a __kernel definition", self.peek().location
+            )
+        self.advance()
+        self._expect_type_name("void")
+        name = self.expect(T.IDENT, "kernel name").value
+        params = self.parse_params()
+        body = self.parse_block()
+        return C.CKernel(name=name, params=params, body=body)
+
+    def _expect_type_name(self, expected=None):
+        token = self.peek()
+        if token.kind in _TYPE_KEYWORDS:
+            self.advance()
+            text = _TYPE_KEYWORDS[token.kind]
+        elif token.kind is T.IDENT and is_type_name(token.value):
+            self.advance()
+            text = token.value
+        else:
+            raise ParseError(
+                "expected a type but found {!r}".format(token.text or "<eof>"),
+                token.location,
+            )
+        if expected is not None and text != expected:
+            raise ParseError(
+                "expected '{}' but found '{}'".format(expected, text),
+                token.location,
+            )
+        return text
+
+    def parse_params(self):
+        self.expect(T.LPAREN)
+        params = []
+        if not self.at(T.RPAREN):
+            while True:
+                params.append(self.parse_param())
+                if not self.accept(T.COMMA):
+                    break
+        self.expect(T.RPAREN)
+        return params
+
+    def parse_param(self):
+        space = "private"
+        is_const = False
+        # Qualifiers in any order.
+        while True:
+            token = self.peek()
+            if token.kind is T.IDENT and token.value in _SPACE_QUALIFIERS:
+                space = _SPACE_QUALIFIERS[token.value]
+                self.advance()
+            elif token.kind is T.IDENT and token.value in (
+                "__read_only",
+                "read_only",
+                "__write_only",
+                "write_only",
+            ):
+                self.advance()
+            elif token.kind is T.IDENT and token.value == "const":
+                is_const = True
+                self.advance()
+            else:
+                break
+        if self.at_ident("image2d_t") or self.at_ident("image1d_t"):
+            self.advance()
+            name = self.expect(T.IDENT, "parameter name").value
+            return C.CParam(
+                name=name, type_name="float4", space="image", is_pointer=True,
+                is_const=True,
+            )
+        type_name = self._expect_type_name()
+        if self.at_ident("const"):
+            self.advance()
+            is_const = True
+        is_pointer = bool(self.accept(T.STAR))
+        name = self.expect(T.IDENT, "parameter name").value
+        if is_pointer and space == "private":
+            space = "global"  # a bare pointer defaults sensibly
+        return C.CParam(
+            name=name,
+            type_name=type_name,
+            space=space if is_pointer else "private",
+            is_pointer=is_pointer,
+            is_const=is_const,
+        )
+
+    # -- statements -----------------------------------------------------------------
+
+    def parse_block(self):
+        self.expect(T.LBRACE)
+        stmts = []
+        while not self.at(T.RBRACE):
+            stmts.append(self.parse_stmt())
+        self.expect(T.RBRACE)
+        return C.CBlock(stmts)
+
+    def parse_stmt(self):
+        token = self.peek()
+        if token.kind is T.LBRACE:
+            return self.parse_block()
+        if token.kind is T.KW_IF:
+            self.advance()
+            self.expect(T.LPAREN)
+            cond = self.parse_expr()
+            self.expect(T.RPAREN)
+            then = self.parse_stmt()
+            otherwise = None
+            if self.accept(T.KW_ELSE):
+                otherwise = self.parse_stmt()
+            return C.CIf(cond, then, otherwise)
+        if token.kind is T.KW_FOR:
+            return self.parse_for()
+        if token.kind is T.KW_WHILE:
+            self.advance()
+            self.expect(T.LPAREN)
+            cond = self.parse_expr()
+            self.expect(T.RPAREN)
+            return C.CWhile(cond, self.parse_stmt())
+        if token.kind is T.KW_RETURN:
+            self.advance()
+            self.expect(T.SEMI)
+            return C.CReturn()
+        if token.kind is T.KW_BREAK:
+            self.advance()
+            self.expect(T.SEMI)
+            return C.CBreak()
+        if token.kind is T.KW_CONTINUE:
+            self.advance()
+            self.expect(T.SEMI)
+            return C.CContinue()
+        if token.kind is T.SEMI:
+            self.advance()
+            return C.CBlock([])
+        stmt = self.parse_simple_stmt()
+        self.expect(T.SEMI)
+        return stmt
+
+    def parse_for(self):
+        self.expect(T.KW_FOR)
+        self.expect(T.LPAREN)
+        init = None if self.at(T.SEMI) else self.parse_simple_stmt()
+        self.expect(T.SEMI)
+        cond = None if self.at(T.SEMI) else self.parse_expr()
+        self.expect(T.SEMI)
+        update = None if self.at(T.RPAREN) else self.parse_simple_stmt()
+        self.expect(T.RPAREN)
+        return C.CFor(init, cond, update, self.parse_stmt())
+
+    def _at_declaration(self):
+        token = self.peek()
+        if token.kind in _TYPE_KEYWORDS and token.kind is not T.KW_VOID:
+            return True
+        if token.kind is T.IDENT and token.value in _SPACE_QUALIFIERS:
+            return True
+        if token.kind is T.IDENT and is_type_name(token.value):
+            # `float4 v = ...` vs an expression starting with a call to
+            # a function that happens to collide — types never appear in
+            # expression position except casts (parenthesized).
+            return self.peek(1).kind is T.IDENT
+        return False
+
+    def parse_simple_stmt(self):
+        if self._at_declaration():
+            return self.parse_decl()
+        expr = self.parse_expr()
+        token = self.peek()
+        if token.kind in _ASSIGN_OPS:
+            self.advance()
+            value = self.parse_expr()
+            return C.CAssign(expr, _ASSIGN_OPS[token.kind], value)
+        if token.kind in (T.PLUS_PLUS, T.MINUS_MINUS):
+            self.advance()
+            op = "+" if token.kind is T.PLUS_PLUS else "-"
+            return C.CAssign(expr, op, C.CNum(1, ""))
+        if (
+            isinstance(expr, C.CCall)
+            and expr.name in ("barrier", "mem_fence")
+        ):
+            return C.CBarrier()
+        return C.CExprStmt(expr)
+
+    def parse_decl(self):
+        space = "private"
+        token = self.peek()
+        if token.kind is T.IDENT and token.value in _SPACE_QUALIFIERS:
+            space = _SPACE_QUALIFIERS[token.value]
+            self.advance()
+        if self.at_ident("const"):
+            self.advance()
+        type_name = self._expect_type_name()
+        name = self.expect(T.IDENT, "variable name").value
+        array_size = None
+        if self.accept(T.LBRACKET):
+            size_expr = self.parse_expr()
+            array_size = _const_int(size_expr)
+            if array_size is None:
+                raise ParseError(
+                    "array sizes must be integer constant expressions",
+                    self.peek().location,
+                )
+            self.expect(T.RBRACKET)
+        init = None
+        if self.accept(T.ASSIGN):
+            init = self.parse_expr()
+        return C.CDecl(
+            type_name=type_name,
+            name=name,
+            space=space,
+            array_size=array_size,
+            init=init,
+        )
+
+    # -- expressions --------------------------------------------------------------------
+    # Precedence: ternary > || > && > | > ^ > & > equality > relational >
+    # shift > additive > multiplicative > unary > postfix.
+
+    def parse_expr(self):
+        return self.parse_ternary()
+
+    def parse_ternary(self):
+        cond = self.parse_or()
+        if self.accept(T.QUESTION):
+            then = self.parse_ternary()
+            self.expect(T.COLON)
+            otherwise = self.parse_ternary()
+            return C.CTernary(cond, then, otherwise)
+        return cond
+
+    def _binary(self, kinds, next_level):
+        left = next_level()
+        while self.peek().kind in kinds:
+            token = self.advance()
+            left = C.CBin(token.text, left, next_level())
+        return left
+
+    def parse_or(self):
+        return self._binary({T.OR_OR}, self.parse_and)
+
+    def parse_and(self):
+        return self._binary({T.AND_AND}, self.parse_bitor)
+
+    def parse_bitor(self):
+        return self._binary({T.PIPE}, self.parse_bitxor)
+
+    def parse_bitxor(self):
+        return self._binary({T.CARET}, self.parse_bitand)
+
+    def parse_bitand(self):
+        return self._binary({T.AMP}, self.parse_equality)
+
+    def parse_equality(self):
+        return self._binary({T.EQ, T.NE}, self.parse_relational)
+
+    def parse_relational(self):
+        return self._binary({T.LT, T.GT, T.LE, T.GE}, self.parse_shift)
+
+    def parse_shift(self):
+        return self._binary({T.SHL, T.SHR, T.USHR}, self.parse_additive)
+
+    def parse_additive(self):
+        return self._binary({T.PLUS, T.MINUS}, self.parse_multiplicative)
+
+    def parse_multiplicative(self):
+        return self._binary({T.STAR, T.SLASH, T.PERCENT}, self.parse_unary)
+
+    def parse_unary(self):
+        token = self.peek()
+        if token.kind is T.MINUS:
+            self.advance()
+            return C.CUn("-", self.parse_unary())
+        if token.kind is T.BANG:
+            self.advance()
+            return C.CUn("!", self.parse_unary())
+        if token.kind is T.TILDE:
+            self.advance()
+            return C.CUn("~", self.parse_unary())
+        if token.kind is T.LPAREN and self._at_cast():
+            self.advance()
+            type_name = self._expect_type_name()
+            self.expect(T.RPAREN)
+            if self.at(T.LPAREN) and _VECTOR_RE.match(type_name):
+                # Vector literal: (float4)(a, b, c, d).
+                self.advance()
+                args = [self.parse_expr()]
+                while self.accept(T.COMMA):
+                    args.append(self.parse_expr())
+                self.expect(T.RPAREN)
+                return C.CVecLit(type_name, args)
+            return C.CCastExpr(type_name, self.parse_unary())
+        return self.parse_postfix()
+
+    def _at_cast(self):
+        token = self.peek(1)
+        if token.kind in _TYPE_KEYWORDS and token.kind is not T.KW_VOID:
+            return self.peek(2).kind is T.RPAREN
+        if token.kind is T.IDENT and is_type_name(token.value):
+            return self.peek(2).kind is T.RPAREN
+        return False
+
+    def parse_postfix(self):
+        expr = self.parse_primary()
+        while True:
+            token = self.peek()
+            if token.kind is T.LBRACKET:
+                self.advance()
+                index = self.parse_expr()
+                self.expect(T.RBRACKET)
+                expr = C.CIndex(expr, index)
+            elif token.kind is T.DOT:
+                self.advance()
+                member = self.expect(T.IDENT, "member name").value
+                expr = C.CMember(expr, member)
+            else:
+                return expr
+
+    def parse_primary(self):
+        token = self.peek()
+        if token.kind is T.INT_LITERAL:
+            self.advance()
+            return C.CNum(token.value, "")
+        if token.kind is T.LONG_LITERAL:
+            self.advance()
+            return C.CNum(token.value, "L")
+        if token.kind is T.FLOAT_LITERAL:
+            self.advance()
+            return C.CNum(token.value, "f")
+        if token.kind is T.DOUBLE_LITERAL:
+            self.advance()
+            return C.CNum(token.value, "")
+        if token.kind is T.IDENT:
+            self.advance()
+            if self.at(T.LPAREN):
+                self.advance()
+                args = []
+                if not self.at(T.RPAREN):
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept(T.COMMA):
+                            break
+                self.expect(T.RPAREN)
+                return C.CCall(token.value, args)
+            return C.CIdent(token.value)
+        if token.kind is T.LPAREN:
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(T.RPAREN)
+            return expr
+        raise ParseError(
+            "expected an expression but found {!r}".format(token.text or "<eof>"),
+            token.location,
+        )
+
+
+def _const_int(expr):
+    """Evaluate an integer constant expression, or None."""
+    if isinstance(expr, C.CNum) and isinstance(expr.value, int):
+        return expr.value
+    if isinstance(expr, C.CUn) and expr.op == "-":
+        inner = _const_int(expr.operand)
+        return None if inner is None else -inner
+    if isinstance(expr, C.CBin):
+        left = _const_int(expr.left)
+        right = _const_int(expr.right)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/" and right != 0:
+            return left // right
+        if expr.op == "<<":
+            return left << right
+        if expr.op == ">>":
+            return left >> right
+    return None
+
+
+def parse_kernels(source, filename="<opencl>"):
+    """Parse OpenCL C source into a list of :class:`CKernel`."""
+    return CParser(source, filename).parse_translation_unit()

@@ -1,0 +1,853 @@
+"""Kernel execution on the simulated device.
+
+The executor compiles kernel IR to Python source (one generator function
+per work-item; ``barrier()`` becomes ``yield`` and the scheduler resumes
+every item of the work-group in lockstep phases), then runs it over an
+NDRange. It produces two things:
+
+- the actual output buffers — the simulator *computes real results*,
+  which the tests compare against the host interpreter and NumPy
+  references;
+- a :class:`LaunchTrace`: per-straight-line-segment operation counts and
+  a per-access-site memory trace (which work-item touched which address,
+  in which order), from which :mod:`repro.opencl.timing` derives
+  coalescing, bank-conflict, cache, and broadcast behavior.
+
+Integer arithmetic wraps to 32 bits at multiplications, shifts, and
+casts (the overflow-relevant operations for the benchmark suite); floats
+compute in double precision and round on store into ``float`` buffers,
+matching the host interpreter's conventions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.backend import kernel_ir as K
+from repro.errors import DeviceError
+
+# ---------------------------------------------------------------------------
+# Statistics containers
+# ---------------------------------------------------------------------------
+
+
+class SiteTrace:
+    """Raw memory trace for one static access site."""
+
+    __slots__ = ("space", "elem_bytes", "width", "is_store", "lanes", "indices")
+
+    def __init__(self, space, elem_bytes, width, is_store):
+        self.space = space
+        self.elem_bytes = elem_bytes
+        self.width = width  # vector width (elements moved per access)
+        self.is_store = is_store
+        self.lanes = []  # global work-item ids
+        self.indices = []  # element indices (in units of width)
+
+    @property
+    def accesses(self):
+        return len(self.lanes)
+
+    @property
+    def bytes_moved(self):
+        return self.accesses * self.elem_bytes * self.width
+
+    def arrays(self):
+        return (
+            np.asarray(self.lanes, dtype=np.int64),
+            np.asarray(self.indices, dtype=np.int64),
+        )
+
+
+class LaunchTrace:
+    """Everything one kernel launch did, for the timing model."""
+
+    def __init__(self, kernel_name, global_size, local_size):
+        self.kernel_name = kernel_name
+        self.global_size = global_size
+        self.local_size = local_size
+        self.op_cycles = {
+            "int": 0,
+            "long": 0,
+            "fp": 0,
+            "dp": 0,
+            "cmp": 0,
+            "branch": 0,
+            "trans_f": 0,
+            "trans_d": 0,
+        }
+        self.sites = {}
+        self.barriers = 0
+
+    @property
+    def work_groups(self):
+        return (self.global_size + self.local_size - 1) // self.local_size
+
+    def total_ops(self):
+        return sum(self.op_cycles.values())
+
+
+# ---------------------------------------------------------------------------
+# Expression / statement code generation
+# ---------------------------------------------------------------------------
+
+_MATH_ONE = {
+    "sqrt": "math.sqrt",
+    "native_sqrt": "math.sqrt",
+    "rsqrt": "_rsqrt",
+    "native_rsqrt": "_rsqrt",
+    "sin": "math.sin",
+    "native_sin": "math.sin",
+    "cos": "math.cos",
+    "native_cos": "math.cos",
+    "tan": "math.tan",
+    "native_tan": "math.tan",
+    "exp": "math.exp",
+    "native_exp": "math.exp",
+    "log": "math.log",
+    "native_log": "math.log",
+    "floor": "math.floor",
+    "ceil": "math.ceil",
+    "fabs": "abs",
+    "abs": "abs",
+}
+_MATH_TWO = {
+    "pow": "math.pow",
+    "native_powr": "math.pow",
+    "atan2": "math.atan2",
+    "hypot": "math.hypot",
+    "min": "min",
+    "max": "max",
+    "fmin": "min",
+    "fmax": "max",
+}
+
+_WORKITEM_FUNCS = {
+    "get_global_id": "_gid",
+    "get_local_id": "_lid",
+    "get_group_id": "_grp",
+    "get_local_size": "_lsz",
+    "get_global_size": "_gsz",
+    "get_num_groups": "_ngrp",
+}
+
+_TRANSCENDENTALS = frozenset(
+    {
+        "sqrt",
+        "native_sqrt",
+        "rsqrt",
+        "native_rsqrt",
+        "sin",
+        "native_sin",
+        "cos",
+        "native_cos",
+        "tan",
+        "native_tan",
+        "exp",
+        "native_exp",
+        "log",
+        "native_log",
+        "pow",
+        "native_powr",
+        "atan2",
+        "hypot",
+    }
+)
+
+
+def _is_double(ktype):
+    if isinstance(ktype, K.KScalar):
+        return ktype.kind == "double"
+    if isinstance(ktype, K.KVector):
+        return ktype.base.kind == "double"
+    return False
+
+
+def _op_class(expr):
+    """Which op counter an expression charges, or None."""
+    if isinstance(expr, K.KBin):
+        if expr.op in ("<", ">", "<=", ">=", "==", "!="):
+            return "cmp", 1
+        lanes = expr.ktype.width if isinstance(expr.ktype, K.KVector) else 1
+        if _is_double(expr.ktype):
+            return "dp", lanes
+        if getattr(expr.ktype, "is_float", False) or (
+            isinstance(expr.ktype, K.KVector) and expr.ktype.is_float
+        ):
+            return "fp", lanes
+        if isinstance(expr.ktype, K.KScalar) and expr.ktype.kind == "long":
+            return "long", lanes
+        return "int", lanes
+    if isinstance(expr, K.KUn):
+        if _is_double(expr.ktype):
+            return "dp", 1
+        if getattr(expr.ktype, "is_float", False):
+            return "fp", 1
+        return "int", 1
+    if isinstance(expr, K.KCall):
+        if expr.name in _TRANSCENDENTALS:
+            return ("trans_d" if _is_double(expr.ktype) else "trans_f"), 1
+        if expr.name in _MATH_ONE or expr.name in _MATH_TWO:
+            return ("dp" if _is_double(expr.ktype) else "fp"), 1
+        return None
+    if isinstance(expr, K.KSelect):
+        return "branch", 1
+    return None
+
+
+class _Codegen:
+    """Translates one kernel to the source of a per-item generator."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.lines = []
+        self.indent = 1
+        self.temp = 0
+        self.segments = []  # op-count dicts, one per straight-line segment
+        self.current_segment = None
+        self.sites = {}  # site -> (space, elem_bytes, width, is_store)
+        self.has_barrier = False
+        # Loop-context stack for break/continue translation: each entry
+        # is ("plain", None) for loops whose Python form matches the IR
+        # semantics directly, or ("wrapped", brk_var) for KFor loops
+        # whose body is wrapped so that `continue` still reaches the
+        # induction update.
+        self.loop_stack = []
+
+    # -- emission helpers ---------------------------------------------------
+
+    def emit(self, line):
+        self.lines.append("    " * self.indent + line)
+
+    def fresh(self):
+        self.temp += 1
+        return "_t{}".format(self.temp)
+
+    def _segment(self):
+        """Current op-count accumulator; opens a new segment (with its
+        counter bump emitted) when none is active."""
+        if self.current_segment is None:
+            seg_id = len(self.segments)
+            self.segments.append(
+                {
+                    "int": 0,
+                    "long": 0,
+                    "fp": 0,
+                    "dp": 0,
+                    "cmp": 0,
+                    "branch": 0,
+                    "trans_f": 0,
+                    "trans_d": 0,
+                }
+            )
+            self.emit("_segc[{}] += 1".format(seg_id))
+            self.current_segment = self.segments[seg_id]
+        return self.current_segment
+
+    def close_segment(self):
+        self.current_segment = None
+
+    def charge(self, expr):
+        op = _op_class(expr)
+        if op is not None:
+            kind, n = op
+            self._segment()[kind] += n
+
+    # -- expressions ----------------------------------------------------------
+
+    def expr(self, e):
+        """Return a Python expression string, emitting hoisted statements
+        for loads as needed."""
+        if isinstance(e, K.KConst):
+            if isinstance(e.value, bool):
+                return "True" if e.value else "False"
+            if isinstance(e.value, float):
+                if e.value != e.value:
+                    return "math.nan"
+                if e.value == float("inf"):
+                    return "math.inf"
+                if e.value == float("-inf"):
+                    return "(-math.inf)"
+            return repr(e.value)
+        if isinstance(e, K.KVar):
+            return _pyname(e.name)
+        if isinstance(e, K.KUn):
+            self.charge(e)
+            operand = self.expr(e.operand)
+            if e.op == "!":
+                return "(not {})".format(operand)
+            if e.op == "~":
+                return "(_i32(~({})))".format(operand)
+            return "({}{})".format(e.op, operand)
+        if isinstance(e, K.KBin):
+            return self._binary(e)
+        if isinstance(e, K.KSelect):
+            self.charge(e)
+            return "(({}) if ({}) else ({}))".format(
+                self.expr(e.then), self.expr(e.cond), self.expr(e.otherwise)
+            )
+        if isinstance(e, K.KCast):
+            return self._cast(e)
+        if isinstance(e, K.KCall):
+            return self._call(e)
+        if isinstance(e, K.KLoad):
+            return self._load(e)
+        if isinstance(e, K.KImageLoad):
+            return self._image_load(e)
+        if isinstance(e, K.KVecExtract):
+            return "({}[{}].item())".format(self.expr(e.vec), e.lane)
+        if isinstance(e, K.KVecBuild):
+            elems = ", ".join(self.expr(x) for x in e.elems)
+            return "np.array([{}], dtype={})".format(elems, _np_dtype(e.ktype.base))
+        raise DeviceError("cannot generate code for {}".format(type(e).__name__))
+
+    def _binary(self, e):
+        self.charge(e)
+        left = self.expr(e.left)
+        right = self.expr(e.right)
+        op = e.op
+        is_long = isinstance(e.ktype, K.KScalar) and e.ktype.kind == "long"
+        is_int = isinstance(e.ktype, K.KScalar) and e.ktype.kind in (
+            "int",
+            "long",
+            "char",
+        )
+        wrap = "_i64" if is_long else "_i32"
+        shift_mask = 63 if is_long else 31
+        if op == "/" and is_int:
+            return "_idiv({}, {})".format(left, right)
+        if op == "%" and is_int:
+            return "_irem({}, {})".format(left, right)
+        if op in ("*", "+", "-") and is_int:
+            return "{}(({}) {} ({}))".format(wrap, left, op, right)
+        if op == "<<":
+            return "{}(({}) << (({}) & {}))".format(wrap, left, right, shift_mask)
+        if op == ">>":
+            return "(({}) >> (({}) & {}))".format(left, right, shift_mask)
+        if op == ">>>":
+            mask = "0xFFFFFFFFFFFFFFFF" if is_long else "0xFFFFFFFF"
+            return "((({}) & {}) >> (({}) & {}))".format(
+                left, mask, right, shift_mask
+            )
+        if op == "&&":
+            return "(({}) and ({}))".format(left, right)
+        if op == "||":
+            return "(({}) or ({}))".format(left, right)
+        return "(({}) {} ({}))".format(left, op, right)
+
+    def _cast(self, e):
+        inner = self.expr(e.expr)
+        if isinstance(e.ktype, K.KScalar):
+            kind = e.ktype.kind
+            if kind == "int":
+                return "_i32(int({}))".format(inner)
+            if kind == "long":
+                return "_i64(int({}))".format(inner)
+            if kind == "char":
+                return "_i8(int({}))".format(inner)
+            if kind == "float":
+                return "_f32({})".format(inner)
+            if kind == "double":
+                return "float({})".format(inner)
+            if kind == "bool":
+                return "bool({})".format(inner)
+        return inner
+
+    def _call(self, e):
+        if e.name in _WORKITEM_FUNCS:
+            return _WORKITEM_FUNCS[e.name]
+        self.charge(e)
+        if e.name in _MATH_ONE:
+            return "{}({})".format(_MATH_ONE[e.name], self.expr(e.args[0]))
+        if e.name in _MATH_TWO:
+            return "{}({}, {})".format(
+                _MATH_TWO[e.name], self.expr(e.args[0]), self.expr(e.args[1])
+            )
+        raise DeviceError("unknown device builtin '{}'".format(e.name))
+
+    def _register_site(self, node, is_store):
+        ktype = node.ktype
+        if isinstance(ktype, K.KVector):
+            elem_bytes = ktype.base.size
+            width = ktype.width
+        else:
+            elem_bytes = ktype.size
+            width = 1
+        space = node.space if not isinstance(node, K.KImageLoad) else K.Space.IMAGE
+        self.sites[node.site] = (space, elem_bytes, width, is_store)
+
+    def _load(self, e):
+        if e.site < 0:
+            raise DeviceError("load without a site id (run assign_sites)")
+        self._register_site(e, is_store=False)
+        index = self.expr(e.index)
+        temp = self.fresh()
+        idx_var = self.fresh()
+        self.emit("{} = {}".format(idx_var, index))
+        array = _bufname(e.array, e.space)
+        if isinstance(e.ktype, K.KVector):
+            width = e.ktype.width
+            self.emit(
+                "{} = {}[{} * {} : {} * {} + {}]".format(
+                    temp, array, idx_var, width, idx_var, width, width
+                )
+            )
+        elif e.space is K.Space.PRIVATE:
+            # Private arrays are per-item; no trace needed.
+            self.emit("{} = {}[{}].item()".format(temp, array, idx_var))
+            return temp
+        else:
+            self.emit("{} = {}[{}].item()".format(temp, array, idx_var))
+        self.emit("_tr{}(( _gid, {} ))".format(e.site, idx_var))
+        return temp
+
+    def _image_load(self, e):
+        if e.site < 0:
+            raise DeviceError("image load without a site id")
+        self._register_site(e, is_store=False)
+        coord = self.expr(e.coord)
+        temp = self.fresh()
+        idx_var = self.fresh()
+        self.emit("{} = {}".format(idx_var, coord))
+        width = e.ktype.width
+        self.emit(
+            "{} = {}[{} * {} : {} * {} + {}]".format(
+                temp,
+                _bufname(e.image, K.Space.GLOBAL),
+                idx_var,
+                width,
+                idx_var,
+                width,
+                width,
+            )
+        )
+        self.emit("_tr{}(( _gid, {} ))".format(e.site, idx_var))
+        return temp
+
+    # -- statements ------------------------------------------------------------
+
+    def stmt(self, s):
+        if isinstance(s, K.KDecl):
+            init = self.expr(s.init) if s.init is not None else _zero(s.ktype)
+            self.emit("{} = {}".format(_pyname(s.name), init))
+        elif isinstance(s, K.KAssign):
+            self.emit("{} = {}".format(_pyname(s.name), self.expr(s.value)))
+        elif isinstance(s, K.KStore):
+            self._store(s)
+        elif isinstance(s, K.KIf):
+            self._segment()["branch"] += 1
+            cond = self.expr(s.cond)
+            self.emit("if {}:".format(cond))
+            self._block(s.then)
+            if s.otherwise:
+                self.emit("else:")
+                self._block(s.otherwise)
+            self.close_segment()
+        elif isinstance(s, K.KFor):
+            var = _pyname(s.var)
+            self.emit("{} = {}".format(var, self.expr(s.lo)))
+            hi = self.fresh()
+            self.emit("{} = {}".format(hi, self.expr(s.hi)))
+            step = self.fresh()
+            self.emit("{} = {}".format(step, self.expr(s.step)))
+            self.close_segment()
+            self.emit("while {} < {}:".format(var, hi))
+            self.indent += 1
+            self._segment()["cmp"] += 1
+            self._segment()["branch"] += 1
+            self._segment()["int"] += 1  # induction update
+            if _has_loop_jumps(s.body):
+                # A bare Python `continue` would skip the induction
+                # update: wrap the body in a one-iteration loop so
+                # `continue` becomes `break` out of the wrapper and the
+                # update still runs; `break` sets a flag checked after.
+                brk = self.fresh()
+                self.emit("{} = False".format(brk))
+                self.emit("for _once in (0,):")
+                self.indent += 1
+                self.loop_stack.append(("wrapped", brk))
+                for child in s.body:
+                    self.stmt(child)
+                self.loop_stack.pop()
+                self.indent -= 1
+                self.close_segment()
+                self.emit("if {}:".format(brk))
+                self.emit("    break")
+            else:
+                self.loop_stack.append(("plain", None))
+                for child in s.body:
+                    self.stmt(child)
+                self.loop_stack.pop()
+            self.emit("{} += {}".format(var, step))
+            self.indent -= 1
+            self.close_segment()
+        elif isinstance(s, K.KWhile):
+            self.close_segment()
+            self.emit("while {}:".format(self.expr(s.cond)))
+            self.indent += 1
+            self._segment()["cmp"] += 1
+            self._segment()["branch"] += 1
+            self.loop_stack.append(("plain", None))
+            for child in s.body:
+                self.stmt(child)
+            self.loop_stack.pop()
+            self.indent -= 1
+            self.close_segment()
+        elif isinstance(s, K.KBarrier):
+            self.has_barrier = True
+            self.emit("yield 0")
+            self.close_segment()
+        elif isinstance(s, K.KReturn):
+            self.emit("return")
+            self.close_segment()
+        elif isinstance(s, K.KBreak):
+            if self.loop_stack and self.loop_stack[-1][0] == "wrapped":
+                self.emit("{} = True".format(self.loop_stack[-1][1]))
+            self.emit("break")
+            self.close_segment()
+        elif isinstance(s, K.KContinue):
+            if self.loop_stack and self.loop_stack[-1][0] == "wrapped":
+                self.emit("break")  # out of the one-iteration wrapper
+            else:
+                self.emit("continue")
+            self.close_segment()
+        elif isinstance(s, K.KComment):
+            self.emit("# {}".format(s.text))
+        else:
+            raise DeviceError("cannot execute {}".format(type(s).__name__))
+
+    def _block(self, stmts):
+        self.indent += 1
+        self.close_segment()
+        if not stmts:
+            self.emit("pass")
+        for child in stmts:
+            self.stmt(child)
+        self.indent -= 1
+        self.close_segment()
+
+    def _store(self, s):
+        if s.site < 0:
+            raise DeviceError("store without a site id (run assign_sites)")
+        self._register_site(s, is_store=True)
+        index = self.expr(s.index)
+        value = self.expr(s.value)
+        idx_var = self.fresh()
+        self.emit("{} = {}".format(idx_var, index))
+        array = _bufname(s.array, s.space)
+        if isinstance(s.ktype, K.KVector):
+            width = s.ktype.width
+            self.emit(
+                "{}[{} * {} : {} * {} + {}] = {}".format(
+                    array, idx_var, width, idx_var, width, width, value
+                )
+            )
+        else:
+            self.emit("{}[{}] = {}".format(array, idx_var, value))
+        if s.space is not K.Space.PRIVATE:
+            self.emit("_tr{}(( _gid, {} ))".format(s.site, idx_var))
+
+    # -- top level --------------------------------------------------------------
+
+    def generate(self):
+        kernel = self.kernel
+        buffer_args = [
+            _bufname(p.name, p.space) for p in kernel.params if p.is_pointer
+        ]
+        scalar_args = [_pyname(p.name) for p in kernel.params if not p.is_pointer]
+        local_args = [
+            _bufname(a.name, a.space)
+            for a in kernel.arrays
+            if a.space is K.Space.LOCAL
+        ]
+        trace_args = []  # filled after body generation
+        header_placeholder = len(self.lines)
+
+        # Private array declarations come first.
+        body_start = len(self.lines)
+        for arr in kernel.arrays:
+            if arr.space is K.Space.PRIVATE:
+                self.emit(
+                    "{} = np.zeros({}, dtype={})".format(
+                        _bufname(arr.name, arr.space),
+                        arr.size,
+                        _np_dtype(arr.ktype),
+                    )
+                )
+        for stmt in kernel.body:
+            self.stmt(stmt)
+        if not self.has_barrier:
+            # Make every item function a generator uniformly.
+            self.emit("if False:")
+            self.emit("    yield 0")
+
+        trace_args = ["_tr{}".format(site) for site in sorted(self.sites)]
+        params = (
+            ["_gid", "_lid", "_grp", "_lsz", "_gsz", "_ngrp", "_segc"]
+            + buffer_args
+            + scalar_args
+            + local_args
+            + trace_args
+        )
+        header = "def _item({}):".format(", ".join(params))
+        source = [header] + self.lines
+        return "\n".join(source), self.segments, self.sites
+
+
+def _has_loop_jumps(stmts):
+    """True when ``stmts`` contain a break/continue belonging to this
+    loop level (not one captured by a nested loop)."""
+    for stmt in stmts:
+        if isinstance(stmt, (K.KBreak, K.KContinue)):
+            return True
+        if isinstance(stmt, K.KIf):
+            if _has_loop_jumps(stmt.then) or _has_loop_jumps(stmt.otherwise):
+                return True
+        # Nested KFor/KWhile own their jumps: do not descend.
+    return False
+
+
+def _pyname(name):
+    return "v_" + name
+
+
+def _bufname(name, space):
+    return "m_" + name
+
+
+def _np_dtype(ktype):
+    base = ktype.base if isinstance(ktype, K.KVector) else ktype
+    return {
+        "bool": "np.bool_",
+        "char": "np.int8",
+        "int": "np.int32",
+        "long": "np.int64",
+        "float": "np.float32",
+        "double": "np.float64",
+    }[base.kind]
+
+
+def _zero(ktype):
+    if isinstance(ktype, K.KVector):
+        return "np.zeros({}, dtype={})".format(ktype.width, _np_dtype(ktype))
+    if ktype.is_float:
+        return "0.0"
+    if ktype.kind == "bool":
+        return "False"
+    return "0"
+
+
+# ---------------------------------------------------------------------------
+# Runtime support injected into generated code
+# ---------------------------------------------------------------------------
+
+
+def _i32(x):
+    x &= 0xFFFFFFFF
+    return x - 0x100000000 if x >= 0x80000000 else x
+
+
+def _i64(x):
+    x &= 0xFFFFFFFFFFFFFFFF
+    return x - 0x10000000000000000 if x >= 0x8000000000000000 else x
+
+
+def _i8(x):
+    x &= 0xFF
+    return x - 0x100 if x >= 0x80 else x
+
+
+def _f32(x):
+    return float(np.float32(x))
+
+
+def _idiv(a, b):
+    if b == 0:
+        raise DeviceError("device integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _irem(a, b):
+    if b == 0:
+        raise DeviceError("device integer remainder by zero")
+    return a - _idiv(a, b) * b
+
+
+def _rsqrt(x):
+    return 1.0 / math.sqrt(x)
+
+
+_GLOBALS = {
+    "np": np,
+    "math": math,
+    "_i32": _i32,
+    "_i64": _i64,
+    "_i8": _i8,
+    "_f32": _f32,
+    "_idiv": _idiv,
+    "_irem": _irem,
+    "_rsqrt": _rsqrt,
+    "min": min,
+    "max": max,
+    "abs": abs,
+}
+
+
+# ---------------------------------------------------------------------------
+# The compiled kernel and the NDRange scheduler
+# ---------------------------------------------------------------------------
+
+
+class CompiledKernel:
+    """A kernel ready to launch on the simulator."""
+
+    def __init__(self, kernel):
+        K.assign_sites(kernel)
+        self.kernel = kernel
+        codegen = _Codegen(kernel)
+        self.source, self.segments, self.site_meta = codegen.generate()
+        namespace = dict(_GLOBALS)
+        exec(compile(self.source, "<kernel:{}>".format(kernel.name), "exec"), namespace)
+        self._item = namespace["_item"]
+
+    def launch(self, buffers, scalars, global_size, local_size):
+        """Execute the NDRange.
+
+        Args:
+            buffers: dict param-name -> 1-D NumPy array (modified in
+                place for output buffers).
+            scalars: dict param-name -> Python scalar.
+            global_size / local_size: NDRange configuration;
+                ``global_size`` must be a multiple of ``local_size``.
+
+        Returns a :class:`LaunchTrace`.
+        """
+        kernel = self.kernel
+        if global_size % local_size != 0:
+            raise DeviceError(
+                "global size {} is not a multiple of local size {}".format(
+                    global_size, local_size
+                )
+            )
+        trace = LaunchTrace(kernel.name, global_size, local_size)
+        seg_counts = [0] * len(self.segments)
+        site_traces = {
+            site: SiteTrace(space, elem_bytes, width, is_store)
+            for site, (space, elem_bytes, width, is_store) in self.site_meta.items()
+        }
+
+        buffer_args = []
+        for param in kernel.params:
+            if param.is_pointer:
+                if param.name not in buffers:
+                    raise DeviceError(
+                        "missing buffer argument '{}'".format(param.name)
+                    )
+                buffer_args.append(buffers[param.name])
+        scalar_args = []
+        for param in kernel.params:
+            if not param.is_pointer:
+                if param.name not in scalars:
+                    raise DeviceError(
+                        "missing scalar argument '{}'".format(param.name)
+                    )
+                scalar_args.append(scalars[param.name])
+
+        local_specs = [a for a in kernel.arrays if a.space is K.Space.LOCAL]
+        n_groups = global_size // local_size
+        item_fn = self._item
+        sorted_sites = sorted(site_traces)
+
+        # One append callable per site, shared across the launch: each
+        # receives (global_id, index) tuples.
+        appenders = []
+        for site in sorted_sites:
+            tr = site_traces[site]
+            lanes, indices = tr.lanes, tr.indices
+
+            def make_append(lanes=lanes, indices=indices):
+                def append(event):
+                    lanes.append(event[0])
+                    indices.append(event[1])
+
+                return append
+
+            appenders.append(make_append())
+
+        for group in range(n_groups):
+            local_mem = [
+                np.zeros(self._local_size_elems(spec, local_size), _np_dtype_of(spec))
+                for spec in local_specs
+            ]
+            items = []
+            for lid in range(local_size):
+                gid = group * local_size + lid
+                gen = item_fn(
+                    gid,
+                    lid,
+                    group,
+                    local_size,
+                    global_size,
+                    n_groups,
+                    seg_counts,
+                    *buffer_args,
+                    *scalar_args,
+                    *local_mem,
+                    *appenders,
+                )
+                items.append(gen)
+            # Lockstep phases between barriers.
+            live = items
+            while live:
+                next_live = []
+                for gen in live:
+                    try:
+                        next(gen)
+                        next_live.append(gen)
+                    except StopIteration:
+                        pass
+                    except IndexError as err:
+                        raise DeviceError(
+                            "kernel '{}': out-of-bounds buffer access "
+                            "({})".format(kernel.name, err)
+                        ) from err
+                if next_live:
+                    trace.barriers += 1
+                live = next_live
+
+        for seg_id, count in enumerate(seg_counts):
+            for kind, ops in self.segments[seg_id].items():
+                trace.op_cycles[kind] += ops * count
+        trace.sites = site_traces
+        return trace
+
+    @staticmethod
+    def _local_size_elems(spec, local_size):
+        size = spec.size
+        if size == -1:  # sized by work-group: local_size rows
+            rows = local_size
+            row = spec.row if spec.row else 1
+            return rows * (row + spec.pad)
+        if spec.pad and spec.row:
+            rows = size // spec.row
+            return rows * (spec.row + spec.pad)
+        return size
+
+
+def _np_dtype_of(spec):
+    return {
+        "bool": np.bool_,
+        "char": np.int8,
+        "int": np.int32,
+        "long": np.int64,
+        "float": np.float32,
+        "double": np.float64,
+    }[(spec.ktype.base if isinstance(spec.ktype, K.KVector) else spec.ktype).kind]
+
+
+def compile_kernel(kernel):
+    """Compile kernel IR for the simulator (cached per kernel object)."""
+    return CompiledKernel(kernel)

@@ -1,0 +1,8 @@
+"""The Lime runtime: values, the host interpreter (the paper's "bytecode"
+execution path), task graphs, the marshalling subsystem, and the engine
+that coordinates host and (simulated) device execution."""
+
+from repro.runtime.taskgraph import Task, TaskGraph
+from repro.runtime.engine import Engine
+
+__all__ = ["Task", "TaskGraph", "Engine"]

@@ -1,0 +1,143 @@
+"""Cost accounting for host ("JVM") execution.
+
+The paper's Figure 7 normalizes every configuration against Lime compiled
+to bytecode and run on a JVM. We model that baseline by executing the
+program in :mod:`repro.runtime.interp` while charging each dynamic
+operation to a :class:`CostCounter`; :class:`JavaCostModel` then converts
+the counter vector into simulated nanoseconds.
+
+The constants encode the qualitative facts the paper leans on rather than
+any particular silicon: array accesses pay a bounds check, object/array
+allocation is expensive, and ``java.lang.Math`` transcendentals are much
+slower than OpenCL's native versions (the paper attributes the largest
+GPU gains to exactly this gap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class CostCounter:
+    """A bag of named dynamic-operation counters."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self):
+        self.counts = {}
+
+    def charge(self, kind, n=1):
+        self.counts[kind] = self.counts.get(kind, 0) + n
+
+    def merge(self, other):
+        for kind, n in other.counts.items():
+            self.charge(kind, n)
+
+    def get(self, kind):
+        return self.counts.get(kind, 0)
+
+    def total_ops(self):
+        return sum(self.counts.values())
+
+    def snapshot(self):
+        return dict(self.counts)
+
+    def __repr__(self):
+        return "CostCounter({})".format(self.counts)
+
+
+@dataclass(frozen=True)
+class JavaCostModel:
+    """Per-operation costs, in nanoseconds, of interpreted/JIT'd JVM code.
+
+    The absolute scale is arbitrary (speedups are ratios); the *relative*
+    scale is what matters:
+
+    - ``transcendental``: java.lang.Math sin/cos/exp/... are an order of
+      magnitude more expensive than an FP add — and far more expensive
+      than the GPU's native units, reproducing the paper's observation
+      that transcendental-heavy benchmarks gain the most.
+    - ``array_load``/``array_store`` include the bounds check the paper
+      blames for Java-side marshalling overhead.
+    - ``alloc_byte`` makes object/array allocation costly, penalizing
+      benchmarks that allocate in inner loops.
+    """
+
+    int_op: float = 1.0
+    long_op: float = 1.5
+    fp_op: float = 1.0
+    dp_op: float = 1.0  # modern CPUs do double at float speed
+    cmp_op: float = 1.0
+    branch: float = 1.0
+    transcendental: float = 110.0  # software sin/cos/exp/pow with range reduction
+    sqrt_op: float = 7.0  # JIT intrinsic (hardware fsqrt)
+    array_load: float = 2.5
+    array_store: float = 3.0
+    field_access: float = 1.0
+    local_access: float = 0.25
+    call: float = 8.0
+    alloc: float = 30.0
+    alloc_byte: float = 0.5
+
+    def nanos(self, counter):
+        """Convert a :class:`CostCounter` into simulated nanoseconds."""
+        total = 0.0
+        for kind, n in counter.counts.items():
+            weight = getattr(self, kind, None)
+            if weight is None:
+                raise KeyError("JavaCostModel has no weight for {!r}".format(kind))
+            total += weight * n
+        return total
+
+
+@dataclass
+class StageTimes:
+    """Simulated time, in nanoseconds, spent in each stage of an offloaded
+    execution — the Figure 9 breakdown.
+
+    ``java_marshal``: serializing to/from the byte wire format on the JVM
+    side. ``c_marshal``: converting the byte stream to/from device-layout
+    C data. ``opencl_setup``: buffer creation, argument binding, kernel
+    enqueues. ``transfer``: host-to-device and device-to-host copies
+    (PCIe). ``kernel``: time on the device itself. ``host_compute``: Lime
+    code that stayed on the host.
+    """
+
+    java_marshal: float = 0.0
+    c_marshal: float = 0.0
+    opencl_setup: float = 0.0
+    transfer: float = 0.0
+    kernel: float = 0.0
+    host_compute: float = 0.0
+
+    def total(self):
+        return (
+            self.java_marshal
+            + self.c_marshal
+            + self.opencl_setup
+            + self.transfer
+            + self.kernel
+            + self.host_compute
+        )
+
+    def communication(self):
+        """Everything that is not kernel computation (Figure 9's split)."""
+        return self.total() - self.kernel - self.host_compute
+
+    def add(self, other):
+        self.java_marshal += other.java_marshal
+        self.c_marshal += other.c_marshal
+        self.opencl_setup += other.opencl_setup
+        self.transfer += other.transfer
+        self.kernel += other.kernel
+        self.host_compute += other.host_compute
+
+    def as_dict(self):
+        return {
+            "java_marshal": self.java_marshal,
+            "c_marshal": self.c_marshal,
+            "opencl_setup": self.opencl_setup,
+            "transfer": self.transfer,
+            "kernel": self.kernel,
+            "host_compute": self.host_compute,
+        }

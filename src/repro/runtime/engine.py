@@ -1,0 +1,145 @@
+"""The execution engine: coordinates host interpretation, task-graph
+construction, and (when an offloader is installed) device offload.
+
+The engine is where the paper's "the compiler and runtime system
+coordinate to automatically orchestrate communication and computation"
+happens:
+
+- ``task`` expressions evaluated by the interpreter are materialized into
+  :class:`repro.runtime.taskgraph.Task` objects here;
+- for each *filter* (isolated task), the engine asks its offloader to
+  compile a device version; when compilation succeeds, the task's worker
+  becomes the generated glue (marshal → transfer → launch → transfer →
+  unmarshal), otherwise the worker transparently falls back to the host
+  interpreter;
+- every run accumulates a :class:`repro.runtime.profiler.ExecutionProfile`
+  with the stage breakdown and a host-compute figure derived from the
+  interpreter's :class:`repro.runtime.cost.CostCounter`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RuntimeFault
+from repro.frontend.types import VOID
+from repro.runtime.cost import CostCounter, JavaCostModel
+from repro.runtime.interp import Interpreter
+from repro.runtime.profiler import ExecutionProfile
+from repro.runtime.taskgraph import Task
+
+
+class Engine:
+    """Runs checked Lime programs.
+
+    Args:
+        checked: a :class:`repro.frontend.typecheck.CheckedProgram`.
+        offloader: optional object with
+            ``compile_filter(checked, method, profile) -> worker | None``;
+            when provided, every isolated task is offered for offload.
+        java_cost_model: converts interpreter op counts into nanoseconds.
+        printer: receives ``Lime.print`` output.
+    """
+
+    def __init__(self, checked, offloader=None, java_cost_model=None, printer=None):
+        self.checked = checked
+        self.offloader = offloader
+        self.java_cost_model = java_cost_model or JavaCostModel()
+        self.cost = CostCounter()
+        self.profile = ExecutionProfile()
+        self.interp = Interpreter(
+            checked,
+            cost=self.cost,
+            task_factory=self._make_task,
+            printer=printer,
+        )
+        self.offloaded_tasks = []
+        self.host_tasks = []
+
+    # -- public API ------------------------------------------------------------
+
+    def run_static(self, class_name, method_name, args=()):
+        """Invoke a static method (typically the program's entry point)."""
+        return self.interp.call_static(class_name, method_name, list(args))
+
+    def construct(self, class_name, args=()):
+        return self.interp.construct(class_name, args)
+
+    def call_instance(self, obj, method_name, args=()):
+        return self.interp.call_instance(obj, method_name, list(args))
+
+    def host_compute_ns(self):
+        """Simulated JVM time for everything the interpreter executed."""
+        return self.java_cost_model.nanos(self.cost)
+
+    def total_ns(self):
+        """End-to-end simulated time: host compute plus offload stages."""
+        return self.host_compute_ns() + self.profile.stages.total()
+
+    # -- task materialization ------------------------------------------------------
+
+    def _make_task(self, interp, expr, env):
+        method = expr.resolved
+        task_type = expr.type
+        is_source = task_type.input == VOID
+        produces = task_type.output != VOID
+        name = "{}.{}".format(expr.class_name, expr.method_name)
+
+        bound_values = None
+        if expr.is_static_worker and expr.worker_args:
+            bound_values = {
+                param.name: interp.eval(arg, env)
+                for param, arg in zip(method.params, expr.worker_args)
+            }
+
+        if task_type.isolated and not is_source and self.offloader is not None:
+            device_worker = self.offloader.compile_filter(
+                self.checked, method, self.profile, bound_values=bound_values
+            )
+            if device_worker is not None:
+                self.offloaded_tasks.append(name)
+                return Task(
+                    worker=device_worker,
+                    name=name,
+                    is_source=is_source,
+                    produces=produces,
+                    isolated=True,
+                )
+
+        self.host_tasks.append(name)
+        worker = self._host_worker(
+            interp, expr, env, method, is_source, bound_values
+        )
+        return Task(
+            worker=worker,
+            name=name,
+            is_source=is_source,
+            produces=produces,
+            isolated=task_type.isolated,
+        )
+
+    def _host_worker(self, interp, expr, env, method, is_source, bound_values):
+        if expr.is_static_worker:
+            bound = []
+            if bound_values:
+                bound = [bound_values[p.name] for p in method.params[: len(bound_values)]]
+            if is_source:
+                return lambda: interp.call_static(
+                    expr.class_name, expr.method_name, list(bound)
+                )
+            return lambda value: interp.call_static(
+                expr.class_name, expr.method_name, list(bound) + [value]
+            )
+        ctor_args = [interp.eval(arg, env) for arg in expr.ctor_args]
+        instance = interp.construct(expr.class_name, ctor_args)
+        if is_source:
+            return lambda: interp.call_instance(instance, expr.method_name, [])
+        return lambda value: interp.call_instance(
+            instance, expr.method_name, [value]
+        )
+
+
+def run_baseline(checked, class_name, method_name, args=(), printer=None):
+    """Run a program entirely on the host (the paper's bytecode baseline)
+    and return ``(result, simulated_ns, engine)``."""
+    engine = Engine(checked, offloader=None, printer=printer)
+    result = engine.run_static(class_name, method_name, args)
+    return result, engine.total_ns(), engine

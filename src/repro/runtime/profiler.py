@@ -1,0 +1,127 @@
+"""Execution profiling: the Figure 9 stage breakdown.
+
+The profiler aggregates simulated time per stage of offloaded execution
+(Java marshal, C marshal, OpenCL setup, PCIe transfer, device kernel)
+plus host compute, and provides the communication cost model that converts
+:class:`repro.runtime.marshal.MarshalStats` and transfer sizes into
+nanoseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.cost import StageTimes
+
+
+@dataclass(frozen=True)
+class CommCostModel:
+    """Costs of moving a value between the JVM and the device.
+
+    The constants reflect the paper's measurements qualitatively:
+
+    - Java-side marshalling is the most expensive stage ("Marshaling
+      objects in Java suffers from significant overheads due to array
+      bounds checking and object allocation") — high per-element cost on
+      the generic path, and a per-byte cost plus allocation overhead on
+      the specialized path.
+    - C-side marshalling is cheaper ("simply use malloc/free").
+    - OpenCL setup is per-buffer/per-launch API overhead ("typically 5%").
+    - Raw PCIe transfer "does not play a major role".
+    """
+
+    # Java serializer: bounds checks and allocation make this the most
+    # expensive stage (the paper's ~30% share).
+    java_element_ns: float = 25.0  # generic path: per element walked
+    java_byte_ns: float = 1.1  # specialized path: per bulk byte
+    # Byte-element arrays pay extra: "the cost of byte-array accesses in
+    # Lime are more expensive than in Java" (Section 5.1) — this is what
+    # makes JG-Crypt marshalling-bound.
+    java_byte_array_extra_ns: float = 12.0
+    java_alloc_ns: float = 300.0
+
+    # C serializer: "simply use malloc/free" — cheaper.
+    c_element_ns: float = 6.0
+    c_byte_ns: float = 0.45
+    c_alloc_ns: float = 120.0
+
+    # OpenCL API ("typically 5%").
+    setup_per_buffer_ns: float = 500.0
+    setup_per_launch_ns: float = 2_500.0
+
+    # PCIe: "raw data transfer does not play a major role".
+    pcie_byte_ns: float = 0.125
+    pcie_latency_ns: float = 700.0
+
+    @staticmethod
+    def for_cpu():
+        """The CPU OpenCL runtime shares memory with the JVM: no PCIe.
+        Marshalling across the JNI boundary still happens (the paper's
+        Figure 9(a) shows JG-Crypt dominated by it), but transfers are
+        cache-speed copies and buffer setup is cheaper."""
+        return CommCostModel(
+            setup_per_buffer_ns=250.0,
+            setup_per_launch_ns=900.0,
+            pcie_byte_ns=0.02,
+            pcie_latency_ns=120.0,
+        )
+
+    def java_marshal_ns(self, stats):
+        return (
+            self.java_element_ns * stats.elements
+            + self.java_byte_ns * stats.bulk_bytes
+            + self.java_byte_array_extra_ns * stats.byte_array_bytes
+            + self.java_alloc_ns * stats.allocations
+        )
+
+    def c_marshal_ns(self, stats):
+        return (
+            self.c_element_ns * stats.elements
+            + self.c_byte_ns * stats.bulk_bytes
+            + self.c_alloc_ns * stats.allocations
+        )
+
+    def setup_ns(self, buffers, launches):
+        return (
+            self.setup_per_buffer_ns * buffers
+            + self.setup_per_launch_ns * launches
+        )
+
+    def transfer_ns(self, nbytes, transfers=1):
+        return self.pcie_byte_ns * nbytes + self.pcie_latency_ns * transfers
+
+
+class ExecutionProfile:
+    """Aggregated stage times for one end-to-end run, plus per-task
+    detail. All figures are simulated nanoseconds."""
+
+    def __init__(self):
+        self.stages = StageTimes()
+        self.per_task = {}
+        self.kernel_launches = 0
+        self.bytes_to_device = 0
+        self.bytes_from_device = 0
+
+    def task_stages(self, task_name):
+        if task_name not in self.per_task:
+            self.per_task[task_name] = StageTimes()
+        return self.per_task[task_name]
+
+    def record(self, task_name, stage_times):
+        self.stages.add(stage_times)
+        self.task_stages(task_name).add(stage_times)
+
+    def total_ns(self):
+        return self.stages.total()
+
+    def communication_ns(self):
+        return self.stages.communication()
+
+    def breakdown(self):
+        """Fractions per stage — the bars of Figure 9."""
+        total = self.total_ns()
+        if total == 0:
+            return {name: 0.0 for name in self.stages.as_dict()}
+        return {
+            name: value / total for name, value in self.stages.as_dict().items()
+        }

@@ -1,0 +1,114 @@
+"""Task graphs: ``task``, ``=>`` (connect), and ``finish``.
+
+A :class:`Task` wraps a worker. Source tasks (no input) are invoked
+repeatedly until they raise
+:class:`repro.errors.UnderflowException`; downstream tasks are applied to
+each value flowing over the connecting edge, exactly like the paper's
+"repeatedly applies a worker method as long as input data is presented
+to the task via an input port".
+
+Workers are plain callables here; the engine decides whether a worker
+callable runs the Lime interpreter (host) or a compiled device filter
+(GPU/CPU OpenCL through the simulator).
+"""
+
+from __future__ import annotations
+
+from repro.errors import RuntimeFault, UnderflowException
+
+
+class Task:
+    """A single computational unit.
+
+    Args:
+        worker: for source tasks, a zero-argument callable producing a
+            value per invocation; otherwise a one-argument callable.
+        name: a label for diagnostics and profiling.
+        is_source: worker takes no input.
+        produces: worker returns a value (sinks return ``None``).
+        isolated: the worker is a filter (static ``local`` worker with
+            value-typed ports) and thus an offload candidate.
+    """
+
+    def __init__(self, worker, name, is_source, produces, isolated=False):
+        self.worker = worker
+        self.name = name
+        self.is_source = is_source
+        self.produces = produces
+        self.isolated = isolated
+
+    def connect(self, downstream):
+        """``self => downstream``."""
+        return TaskGraph([self]).connect(downstream)
+
+    def finish(self):
+        return TaskGraph([self]).finish()
+
+    def __repr__(self):
+        kind = "source" if self.is_source else ("filter" if self.isolated else "task")
+        return "<{} {}>".format(kind, self.name)
+
+
+class TaskGraph:
+    """A linear pipeline of connected tasks."""
+
+    def __init__(self, tasks):
+        if not tasks:
+            raise RuntimeFault("empty task graph")
+        self.tasks = list(tasks)
+
+    def connect(self, downstream):
+        if isinstance(downstream, Task):
+            return TaskGraph(self.tasks + [downstream])
+        if isinstance(downstream, TaskGraph):
+            return TaskGraph(self.tasks + downstream.tasks)
+        raise RuntimeFault(
+            "cannot connect a task graph to {!r}".format(downstream)
+        )
+
+    @property
+    def source(self):
+        return self.tasks[0]
+
+    @property
+    def sink(self):
+        return self.tasks[-1]
+
+    def finish(self, max_items=None):
+        """Run the graph to completion.
+
+        The source is pulled until it underflows (or until ``max_items``
+        values have been produced); every value is pushed through the
+        remaining tasks in order. Returns the list of values emitted by
+        the final task (empty for void sinks).
+        """
+        if not self.source.is_source:
+            raise RuntimeFault(
+                "finish() requires the graph to start with a source task "
+                "(got {!r})".format(self.source)
+            )
+        outputs = []
+        produced = 0
+        while max_items is None or produced < max_items:
+            try:
+                value = self.source.worker()
+            except UnderflowException:
+                break
+            produced += 1
+            alive = True
+            for stage in self.tasks[1:]:
+                try:
+                    value = stage.worker(value)
+                except UnderflowException:
+                    alive = False
+                    break
+            if not alive:
+                break
+            if self.sink.produces and self.sink is not self.source:
+                outputs.append(value)
+            elif self.sink is self.source:
+                outputs.append(value)
+        return outputs
+
+    def __repr__(self):
+        return "<graph {}>".format(" => ".join(t.name for t in self.tasks))

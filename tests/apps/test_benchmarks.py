@@ -1,0 +1,156 @@
+"""Benchmark-suite correctness: every Table 3 configuration, three ways
+(host interpreter vs NumPy, compiled device kernel vs NumPy, end-to-end
+host vs offloaded checksums)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import BENCHMARKS, FIGURE8_BENCHMARKS, get_benchmark
+from repro.compiler import Offloader
+from repro.compiler.pipeline import compile_filter
+from repro.evaluation.figure8 import _BOUND_PARAMS
+from repro.opencl import get_device
+from repro.runtime.engine import Engine
+
+SCALE = 0.15  # keep unit tests fast; the bench harness uses 1.0
+
+ALL = sorted(BENCHMARKS)
+
+
+def compiled_filter(bench, device="gtx580", config=None):
+    checked = bench.checked()
+    inputs = bench.make_input(scale=SCALE)
+    bound = {
+        name: inputs[idx]
+        for name, idx in _BOUND_PARAMS.get(bench.name, {}).items()
+    }
+    cf = compile_filter(
+        checked,
+        bench.filter_worker(),
+        device=get_device(device),
+        config=config,
+        bound_values=bound or None,
+        local_size=16,
+    )
+    return cf, inputs
+
+
+def assert_matches(out, ref):
+    out = np.asarray(out)
+    ref = np.asarray(ref)
+    if out.dtype.kind == "f":
+        assert np.allclose(out, ref, rtol=2e-3, atol=1e-4)
+    else:
+        assert np.array_equal(out, ref)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_registry_lookup(name):
+    bench = get_benchmark(name)
+    assert bench.name == name
+    assert bench.table3["dtype"]
+
+
+def test_unknown_benchmark_raises():
+    with pytest.raises(KeyError):
+        get_benchmark("doom")
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_lime_program_typechecks(name):
+    checked = BENCHMARKS[name].checked()
+    assert checked.lookup_method(
+        BENCHMARKS[name].main_class, BENCHMARKS[name].filter_method
+    )
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_compiled_filter_matches_numpy(name):
+    bench = BENCHMARKS[name]
+    cf, inputs = compiled_filter(bench)
+    out = cf(inputs[0])
+    assert_matches(out, bench.reference(*inputs))
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_end_to_end_offload_matches_host(name):
+    bench = BENCHMARKS[name]
+    checked = bench.checked()
+    inputs = bench.make_input(scale=SCALE)
+    host = Engine(checked)
+    cs_host = host.run_static(bench.main_class, bench.run_method, inputs + [1])
+    offloader = Offloader(device=get_device("gtx580"), local_size=16)
+    gpu = Engine(checked, offloader=offloader)
+    cs_gpu = gpu.run_static(bench.main_class, bench.run_method, inputs + [1])
+    assert offloader.rejections == []
+    assert gpu.offloaded_tasks, "filter did not offload"
+    assert cs_gpu == pytest.approx(cs_host, rel=2e-3, abs=1e-4)
+
+
+@pytest.mark.parametrize("name", FIGURE8_BENCHMARKS)
+def test_hand_baseline_matches_numpy(name):
+    bench = BENCHMARKS[name]
+    inputs = bench.make_input(scale=SCALE)
+    out, kernel_ns = bench.run_baseline("gtx8800", *inputs, local_size=16)
+    assert kernel_ns > 0
+    assert_matches(out, bench.reference(*inputs))
+
+
+def test_double_variants_share_checksum_with_single():
+    """The single/double N-Body variants compute the same physics."""
+    single = BENCHMARKS["nbody-single"]
+    double = BENCHMARKS["nbody-double"]
+    cs = []
+    for bench in (single, double):
+        engine = Engine(bench.checked())
+        inputs = bench.make_input(scale=SCALE)
+        cs.append(engine.run_static(bench.main_class, bench.run_method, inputs + [1]))
+    assert cs[0] == pytest.approx(cs[1], rel=1e-3)
+
+
+def test_crypt_is_ideal_idea():
+    """IDEA self-check: encrypting with the all-identity-ish schedule
+    keeps the 16-bit words stable for mul(x, 1) and add(x, 0)."""
+    import repro.apps.jg_crypt as crypt
+
+    blocks = np.zeros((4, 8), dtype=np.int8)
+    key = np.zeros(52, dtype=np.int32)
+    key[0::6][:8] = 1  # x1 multipliers
+    key[3::6][:8] = 1  # x4 multipliers
+    key[4::6][:8] = 1
+    key[5::6][:8] = 1
+    key[48] = 1
+    key[51] = 1
+    out = crypt.reference(blocks, key)
+    assert out.shape == (4, 8)
+
+
+def test_mosaic_best_match_is_exact_for_library_members():
+    """A tile identical to a library tile must match itself."""
+    import repro.apps.mosaic as mosaic
+
+    inputs = mosaic.make_input(scale=SCALE)
+    tiles = inputs[0]
+    ref = mosaic.reference(tiles)
+    # Rows 0..LIB_TILES-1 are the library itself: best match is identity.
+    lib = np.arange(mosaic.LIB_TILES)
+    assert np.array_equal(ref[: mosaic.LIB_TILES], lib)
+
+
+def test_rpes_spatial_locality_shape():
+    """Neighboring pairs read overlapping table windows."""
+    import repro.apps.parboil_rpes as rpes
+
+    table = rpes.make_input(scale=SCALE)[0]
+    base = (table[:, 3] * 0.25).astype(np.int64)
+    assert (np.diff(base) >= 0).all()
+    assert base[-1] + rpes.QUAD_ROOTS <= table.shape[0]
+
+
+@pytest.mark.parametrize("name", ["parboil-mriq", "jg-series-single"])
+def test_transcendental_flag(name):
+    assert BENCHMARKS[name].transcendental
+
+
+def test_rpes_has_deep_stream():
+    assert BENCHMARKS["parboil-rpes"].steps > BENCHMARKS["nbody-single"].steps

@@ -1,0 +1,129 @@
+"""Glue-layer tests: the generated host coordination code."""
+
+import numpy as np
+import pytest
+
+from repro.backend import glue
+from repro.compiler.pipeline import compile_filter
+from repro.errors import RuntimeFault
+from repro.frontend import check_program, parse_program
+from repro.opencl import get_device
+from repro.runtime.profiler import ExecutionProfile
+
+from tests.conftest import SAXPY_SOURCE
+
+
+@pytest.fixture
+def saxpy_filter():
+    checked = check_program(parse_program(SAXPY_SOURCE))
+    return compile_filter(
+        checked,
+        checked.lookup_method("Saxpy", "apply"),
+        device=get_device("gtx580"),
+        local_size=8,
+    )
+
+
+def test_every_invocation_records_stages(saxpy_filter):
+    xs = np.arange(8, dtype=np.float32)
+    xs.setflags(write=False)
+    saxpy_filter(xs)
+    saxpy_filter(xs)
+    assert saxpy_filter.launches == 2
+    stages = saxpy_filter.profile.stages
+    for field in ("java_marshal", "c_marshal", "opencl_setup", "transfer", "kernel"):
+        assert getattr(stages, field) > 0, field
+
+
+def test_bytes_accounted_both_directions(saxpy_filter):
+    xs = np.arange(8, dtype=np.float32)
+    xs.setflags(write=False)
+    saxpy_filter(xs)
+    profile = saxpy_filter.profile
+    assert profile.bytes_to_device == 8 * 4
+    assert profile.bytes_from_device == 8 * 4
+
+
+def test_result_is_frozen_value_array(saxpy_filter):
+    xs = np.arange(4, dtype=np.float32)
+    xs.setflags(write=False)
+    out = saxpy_filter(xs)
+    assert not out.flags.writeable
+
+
+def test_launch_config_respects_cap(saxpy_filter, monkeypatch):
+    monkeypatch.setattr(glue, "MAX_SIMULATED_ITEMS", 8)
+    global_size, local = saxpy_filter._launch_config(1000)
+    assert global_size == 8
+    # Results stay correct because of the strided loop.
+    xs = np.arange(20, dtype=np.float32)
+    xs.setflags(write=False)
+    out = saxpy_filter(xs)
+    assert np.allclose(out, 2.5 * xs + 1.0)
+
+
+def test_bound_values_flow_to_kernel():
+    source = """
+    class Scale {
+        static local float[[]] apply(float a, float[[]] xs) {
+            return Scale.one(a) @ xs;
+        }
+        static local float one(float x, float a) { return a * x; }
+    }
+    """
+    checked = check_program(parse_program(source))
+    cf = compile_filter(
+        checked,
+        checked.lookup_method("Scale", "apply"),
+        device=get_device("gtx580"),
+        bound_values={"a": 10.0},
+        local_size=8,
+    )
+    xs = np.arange(4, dtype=np.float32)
+    xs.setflags(write=False)
+    assert np.allclose(cf(xs), 10.0 * xs)
+
+
+def test_too_many_unbound_params_rejected():
+    source = """
+    class Two {
+        static local float[[]] apply(float a, float[[]] xs) {
+            return Two.one(a) @ xs;
+        }
+        static local float one(float x, float a) { return a * x; }
+    }
+    """
+    checked = check_program(parse_program(source))
+    with pytest.raises(RuntimeFault):
+        compile_filter(
+            checked,
+            checked.lookup_method("Two", "apply"),
+            device=get_device("gtx580"),
+            bound_values=None,  # leaves two free parameters
+        )
+
+
+def test_np_dtype_mapping():
+    from repro.backend.kernel_ir import K_CHAR, K_DOUBLE, K_FLOAT, K_INT
+
+    assert glue.np_dtype(K_FLOAT) == np.float32
+    assert glue.np_dtype(K_DOUBLE) == np.float64
+    assert glue.np_dtype(K_INT) == np.int32
+    assert glue.np_dtype(K_CHAR) == np.int8
+
+
+def test_profile_shared_across_invocations():
+    checked = check_program(parse_program(SAXPY_SOURCE))
+    profile = ExecutionProfile()
+    cf = compile_filter(
+        checked,
+        checked.lookup_method("Saxpy", "apply"),
+        device=get_device("gtx580"),
+        profile=profile,
+        local_size=8,
+    )
+    xs = np.arange(4, dtype=np.float32)
+    xs.setflags(write=False)
+    cf(xs)
+    assert profile.kernel_launches == 1
+    assert "Saxpy.apply" in profile.per_task

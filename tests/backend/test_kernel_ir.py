@@ -1,0 +1,90 @@
+"""Kernel IR structural tests: walkers and site assignment."""
+
+from repro.backend import kernel_ir as K
+
+I = K.K_INT
+F = K.K_FLOAT
+
+
+def make_kernel():
+    load_a = K.KLoad("a", K.KVar("i", I), K.Space.GLOBAL, F)
+    load_b = K.KLoad("b", K.KVar("i", I), K.Space.LOCAL, F)
+    body = [
+        K.KDecl("x", F, K.KBin("+", load_a, load_b, F)),
+        K.KIf(
+            K.KBin("<", K.KVar("i", I), K.KConst(10, I), K.K_BOOL),
+            [K.KStore("out", K.KVar("i", I), K.KVar("x", F), K.Space.GLOBAL, F)],
+        ),
+        K.KFor(
+            "j",
+            K.KConst(0, I),
+            K.KConst(4, I),
+            K.KConst(1, I),
+            [K.KStore("out", K.KVar("j", I), K.KConst(0.0, F), K.Space.GLOBAL, F)],
+        ),
+    ]
+    return K.Kernel(
+        name="k",
+        params=[
+            K.KParam("a", F, K.Space.GLOBAL, is_pointer=True, read_only=True),
+            K.KParam("b", F, K.Space.LOCAL, is_pointer=True),
+            K.KParam("out", F, K.Space.GLOBAL, is_pointer=True),
+            K.KParam("i", I),
+        ],
+        arrays=[],
+        body=body,
+    )
+
+
+def test_walk_stmts_covers_nesting():
+    kernel = make_kernel()
+    stmts = list(K.walk_stmts(kernel.body))
+    stores = [s for s in stmts if isinstance(s, K.KStore)]
+    assert len(stores) == 2
+
+
+def test_assign_sites_unique_and_complete():
+    kernel = make_kernel()
+    sites = K.assign_sites(kernel)
+    # 2 loads + 2 stores.
+    assert len(sites) == 4
+    ids = [node.site for node in sites]
+    assert ids == sorted(set(ids))
+
+
+def test_assign_sites_no_double_count():
+    kernel = make_kernel()
+    K.assign_sites(kernel)
+    all_access = [
+        node
+        for stmt in K.walk_stmts(kernel.body)
+        for node in ([stmt] if isinstance(stmt, K.KStore) else [])
+    ] + [
+        e
+        for stmt in K.walk_stmts(kernel.body)
+        for e in K.walk_stmt_exprs(stmt)
+        if isinstance(e, (K.KLoad, K.KImageLoad))
+    ]
+    assert len(all_access) == 4
+
+
+def test_param_queries():
+    kernel = make_kernel()
+    assert kernel.param("a").read_only
+    assert len(kernel.buffer_params()) == 3
+    assert [p.name for p in kernel.scalar_params()] == ["i"]
+
+
+def test_vector_type_properties():
+    vec = K.KVector(F, 4)
+    assert str(vec) == "float4"
+    assert vec.size == 16
+    assert vec.is_float
+    assert K.is_vector(vec)
+    assert not K.is_vector(F)
+
+
+def test_scalar_sizes():
+    assert K.K_CHAR.size == 1
+    assert K.K_INT.size == 4
+    assert K.K_DOUBLE.size == 8

@@ -1,0 +1,138 @@
+"""OpenCL C emission tests, including a golden kernel."""
+
+import numpy as np
+
+from repro.backend import kernel_ir as K
+from repro.backend.opencl_gen import emit_opencl
+from repro.compiler.options import FIGURE8_CONFIGS
+from repro.compiler.pipeline import compile_filter
+from repro.frontend import check_program, parse_program
+from repro.opencl import get_device
+
+from tests.conftest import NBODY_SOURCE, SAXPY_SOURCE
+
+
+def compile_kernel_text(source, cls, method, config, device="gtx8800"):
+    checked = check_program(parse_program(source))
+    cf = compile_filter(
+        checked,
+        checked.lookup_method(cls, method),
+        device=get_device(device),
+        config=config,
+    )
+    return emit_opencl(cf.plan.kernel, local_size_hint=64)
+
+
+def test_saxpy_global_golden():
+    text = compile_kernel_text(
+        SAXPY_SOURCE, "Saxpy", "apply", FIGURE8_CONFIGS["Global"]
+    )
+    assert "__kernel void Saxpy_apply_kernel" in text
+    assert "__global const float* _in" in text
+    assert "__global float* _out" in text
+    assert "get_global_id(0)" in text
+    assert "for (int _i = _gid; _i < _n; _i += _nthreads)" in text
+
+
+def test_nbody_tiled_emits_barriers_and_vloads():
+    text = compile_kernel_text(
+        NBODY_SOURCE, "NBody", "computeForces",
+        FIGURE8_CONFIGS["Local+NoConflicts+Vector"],
+    )
+    assert "barrier(CLK_LOCAL_MEM_FENCE);" in text
+    assert "__local float" in text
+    assert "vload4" in text
+    # Padding: rows of 5 = 4 + 1 pad.
+    assert "* 5)" in text
+
+
+def test_constant_qualifier_emitted():
+    text = compile_kernel_text(
+        NBODY_SOURCE, "NBody", "computeForces", FIGURE8_CONFIGS["Constant"]
+    )
+    assert "__constant" in text
+
+
+def test_image_kernel_emits_sampler_and_read_imagef():
+    source = """
+    class A {
+        static local float f(float[[4]] p, float[[][4]] table) {
+            return table[(int) p[0]][2];
+        }
+        static local float[[]] g(float[[][4]] table) {
+            return A.f(table) @ table;
+        }
+    }
+    """
+    text = compile_kernel_text(source, "A", "g", FIGURE8_CONFIGS["Texture"])
+    assert "image2d_t" in text
+    assert "read_imagef" in text
+    assert "sampler_t" in text
+
+
+def test_private_array_declared():
+    text = compile_kernel_text(
+        NBODY_SOURCE, "NBody", "computeForces", FIGURE8_CONFIGS["Local"]
+    )
+    assert "__private float" in text
+
+
+def test_emitted_text_is_reparseable_by_clc():
+    """The printer and the OpenCL-C frontend agree: compiled kernels
+    round-trip through text back into executable kernel IR."""
+    from repro.opencl.clc import compile_opencl_source
+    from repro.opencl.executor import compile_kernel
+
+    text = compile_kernel_text(
+        SAXPY_SOURCE, "Saxpy", "apply", FIGURE8_CONFIGS["Global"]
+    )
+    kernels = compile_opencl_source(text)
+    assert "Saxpy_apply_kernel" in kernels
+    compiled = compile_kernel(kernels["Saxpy_apply_kernel"])
+    xs = np.arange(8, dtype=np.float32)
+    out = np.zeros(8, dtype=np.float32)
+    compiled.launch(
+        {"_in": xs, "_out": out}, {"a": 2.5, "_n": 8}, global_size=8, local_size=4
+    )
+    assert np.allclose(out, 2.5 * xs + 1.0)
+
+
+def test_float_literal_suffix():
+    kernel = K.Kernel(
+        name="k",
+        params=[K.KParam("out", K.K_FLOAT, K.Space.GLOBAL, is_pointer=True)],
+        arrays=[],
+        body=[
+            K.KStore(
+                "out",
+                K.KConst(0, K.K_INT),
+                K.KConst(1.5, K.K_FLOAT),
+                K.Space.GLOBAL,
+                K.K_FLOAT,
+            )
+        ],
+    )
+    text = emit_opencl(kernel)
+    assert "1.5f" in text
+
+
+def test_vector_literal_and_extract_syntax():
+    vec = K.KVector(K.K_FLOAT, 4)
+    kernel = K.Kernel(
+        name="k",
+        params=[K.KParam("out", K.K_FLOAT, K.Space.GLOBAL, is_pointer=True)],
+        arrays=[],
+        body=[
+            K.KDecl("v", vec, K.KVecBuild([K.KConst(float(i), K.K_FLOAT) for i in range(4)], vec)),
+            K.KStore(
+                "out",
+                K.KConst(0, K.K_INT),
+                K.KVecExtract(K.KVar("v", vec), 2, K.K_FLOAT),
+                K.Space.GLOBAL,
+                K.K_FLOAT,
+            ),
+        ],
+    )
+    text = emit_opencl(kernel)
+    assert "float4 v = ((float4) (0.0f, 1.0f, 2.0f, 3.0f));" in text
+    assert "v.s2" in text

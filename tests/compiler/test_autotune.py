@@ -1,0 +1,103 @@
+"""Auto-tuner tests."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.autotune import DEFAULT_LOCAL_SIZES, autotune_filter
+from repro.compiler.options import FIGURE8_CONFIGS
+from repro.errors import KernelRejected
+from repro.frontend import check_program, parse_program
+from repro.opencl import get_device
+
+from tests.conftest import NBODY_SOURCE, nbody_reference
+
+
+@pytest.fixture(scope="module")
+def nbody():
+    checked = check_program(parse_program(NBODY_SOURCE))
+    return checked, checked.lookup_method("NBody", "computeForces")
+
+
+@pytest.fixture(scope="module")
+def sample():
+    rng = np.random.RandomState(5)
+    data = rng.rand(64, 4).astype(np.float32)
+    data.setflags(write=False)
+    return data
+
+
+def test_autotune_explores_the_space(nbody, sample):
+    checked, worker = nbody
+    result = autotune_filter(
+        checked, worker, get_device("gtx8800"), sample,
+        local_sizes=(32, 64),
+    )
+    # 8 configs x 2 work-group sizes.
+    assert len(result.candidates) == 16
+    assert result.best.kernel_ns == min(c.kernel_ns for c in result.candidates)
+
+
+def test_autotuned_filter_is_correct(nbody, sample):
+    checked, worker = nbody
+    result = autotune_filter(
+        checked, worker, get_device("gtx580"), sample, local_sizes=(32,)
+    )
+    out = result.compiled(sample)
+    assert np.allclose(out, nbody_reference(sample), rtol=1e-3, atol=1e-4)
+
+
+def test_autotune_beats_or_matches_global_only(nbody, sample):
+    checked, worker = nbody
+    result = autotune_filter(
+        checked, worker, get_device("gtx8800"), sample, local_sizes=(32, 64)
+    )
+    global_candidates = [
+        c for c in result.candidates if c.config_name == "Global"
+    ]
+    assert result.best.kernel_ns <= min(c.kernel_ns for c in global_candidates)
+
+
+def test_partial_warp_sizes_skipped_on_gpu(nbody, sample):
+    checked, worker = nbody
+    result = autotune_filter(
+        checked, worker, get_device("gtx580"), sample,
+        configs={"Global": FIGURE8_CONFIGS["Global"]},
+        local_sizes=(16, 32),  # 16 is a partial warp on NVIDIA
+    )
+    assert all(c.local_size == 32 for c in result.candidates)
+
+
+def test_cpu_allows_small_work_groups(nbody, sample):
+    checked, worker = nbody
+    result = autotune_filter(
+        checked, worker, get_device("core-i7"), sample,
+        configs={"Global": FIGURE8_CONFIGS["Global"]},
+        local_sizes=(16,),
+    )
+    assert result.candidates
+
+
+def test_report_renders(nbody, sample):
+    checked, worker = nbody
+    result = autotune_filter(
+        checked, worker, get_device("gtx580"), sample, local_sizes=(32,)
+    )
+    text = result.report()
+    assert "<- best" in text
+    assert "kernel_ns" in text
+
+
+def test_unoffloadable_worker_raises():
+    source = "class A { static float f(float x) { return x; } }"
+    checked = check_program(parse_program(source))
+    with pytest.raises(KernelRejected):
+        autotune_filter(
+            checked,
+            checked.lookup_method("A", "f"),
+            get_device("gtx580"),
+            1.0,
+        )
+
+
+def test_default_local_sizes_are_warp_multiples():
+    assert all(size % 32 == 0 for size in DEFAULT_LOCAL_SIZES)

@@ -1,0 +1,147 @@
+"""Map-fusion tests: nested maps compile to a single kernel."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.kernels import recognize_filter
+from repro.compiler.pipeline import compile_filter
+from repro.errors import KernelRejected
+from repro.frontend import check_program, parse_program
+from repro.opencl import get_device
+from repro.runtime.interp import Interpreter
+
+SOURCE = """
+class F {
+    static local float g(float x) { return x * x + 1.0f; }
+    static local float h(float y, float a) { return Math.sqrt(y) * a; }
+    static local float k(float z) { return z - 0.25f; }
+
+    static local float[[]] two(float[[]] xs) {
+        return F.h(0.5f) @ (F.g @ xs);
+    }
+
+    static local float[[]] three(float[[]] xs) {
+        return F.k @ (F.h(2.0f) @ (F.g @ xs));
+    }
+
+    static local float sumOfChain(float[[]] xs) {
+        return +! (F.h(1.0f) @ (F.g @ xs));
+    }
+
+    static local float[[]] overIota(int n) {
+        return F.k @ (F.g @ Lime.iota(n));
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def checked():
+    return check_program(parse_program(SOURCE))
+
+
+@pytest.fixture(scope="module")
+def interp(checked):
+    return Interpreter(checked)
+
+
+def xs_input(n=17):
+    xs = np.linspace(0.0, 2.0, n).astype(np.float32)
+    xs.setflags(write=False)
+    return xs
+
+
+def compile_method(checked, name):
+    return compile_filter(
+        checked,
+        checked.lookup_method("F", name),
+        device=get_device("gtx580"),
+        local_size=8,
+    )
+
+
+def test_recognizer_marks_fused_source(checked):
+    shape = recognize_filter(checked, checked.lookup_method("F", "two"))
+    assert shape.map.source.kind == "fused"
+    assert shape.map.source.inner.mapped_method.name == "g"
+
+
+def test_two_stage_fusion_matches_interpreter(checked, interp):
+    xs = xs_input()
+    cf = compile_method(checked, "two")
+    out = cf(xs)
+    ref = interp.call_static("F", "two", [xs])
+    assert np.allclose(out, ref, rtol=1e-5)
+    assert cf.plan.kernel.meta["fused"] == ["F.g"]
+
+
+def test_three_stage_fusion(checked, interp):
+    xs = xs_input(29)
+    cf = compile_method(checked, "three")
+    out = cf(xs)
+    ref = interp.call_static("F", "three", [xs])
+    assert np.allclose(out, ref, rtol=1e-5)
+    assert cf.plan.kernel.meta["fused"] == ["F.g", "F.h"]
+
+
+def test_fused_map_then_reduce(checked, interp):
+    xs = xs_input(21)
+    cf = compile_method(checked, "sumOfChain")
+    ref = interp.call_static("F", "sumOfChain", [xs])
+    assert cf(xs) == pytest.approx(ref, rel=1e-5)
+
+
+def test_fusion_over_iota(checked, interp):
+    cf = compile_method(checked, "overIota")
+    out = cf(9)
+    ref = interp.call_static("F", "overIota", [9])
+    assert np.allclose(out, ref, rtol=1e-6)
+
+
+def test_fused_kernel_has_no_intermediate_buffer(checked):
+    cf = compile_method(checked, "two")
+    buffer_names = [p.name for p in cf.plan.kernel.buffer_params()]
+    assert buffer_names == ["_in", "_out"]
+
+
+def test_array_intermediate_rejected():
+    source = """
+    class A {
+        static local float[[2]] g(float x) {
+            float[] p = new float[2];
+            p[0] = x;
+            return (float[[2]]) p;
+        }
+        static local float h(float[[2]] p) { return p[0]; }
+        static local float[[]] f(float[[]] xs) { return A.h @ (A.g @ xs); }
+    }
+    """
+    checked = check_program(parse_program(source))
+    with pytest.raises(KernelRejected):
+        compile_filter(
+            checked, checked.lookup_method("A", "f"), device=get_device("gtx580")
+        )
+
+
+def test_bound_arg_name_collision_across_levels():
+    # Both functions call their parameter `a`: kernel params must dedup.
+    source = """
+    class C {
+        static local float g(float x, float a) { return x + a; }
+        static local float h(float y, float a) { return y * a; }
+        static local float[[]] f(float[[]] xs) {
+            return C.h(3.0f) @ (C.g(1.0f) @ xs);
+        }
+    }
+    """
+    checked = check_program(parse_program(source))
+    cf = compile_filter(
+        checked, checked.lookup_method("C", "f"), device=get_device("gtx580"),
+        local_size=8,
+    )
+    xs = xs_input(11)
+    interp = Interpreter(checked)
+    ref = interp.call_static("C", "f", [xs])
+    assert np.allclose(cf(xs), ref, rtol=1e-6)
+    names = [p.name for p in cf.plan.kernel.params]
+    assert len(names) == len(set(names))

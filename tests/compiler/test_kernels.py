@@ -1,0 +1,140 @@
+"""Filter-shape recognizer tests (kernel identification, Section 4.1)."""
+
+import pytest
+
+from repro.compiler.kernels import recognize_filter
+from repro.errors import KernelRejected
+from repro.frontend import check_program, parse_program
+
+
+def recognize(source, class_name, method):
+    checked = check_program(parse_program(source))
+    return recognize_filter(checked, checked.lookup_method(class_name, method))
+
+
+def test_plain_map_recognized():
+    shape = recognize(
+        "class A { static local float sq(float x) { return x * x; }"
+        " static local float[[]] f(float[[]] xs) { return A.sq @ xs; } }",
+        "A",
+        "f",
+    )
+    assert shape.map is not None
+    assert shape.map.source.kind == "param"
+    assert shape.map.source.param_name == "xs"
+    assert shape.reduce is None
+
+
+def test_map_over_iota_literal():
+    shape = recognize(
+        "class A { static local int g(int i) { return i; }"
+        " static local int[[]] f(int n) { return A.g @ Lime.iota(64); } }",
+        "A",
+        "f",
+    )
+    assert shape.map.source.kind == "iota"
+    assert shape.map.source.literal == 64
+
+
+def test_map_over_iota_param():
+    shape = recognize(
+        "class A { static local int g(int i) { return i; }"
+        " static local int[[]] f(int n) { return A.g @ Lime.iota(n); } }",
+        "A",
+        "f",
+    )
+    assert shape.map.source.param_name == "n"
+
+
+def test_bound_args_classified():
+    shape = recognize(
+        "class A { static local float g(float x, float a, float[[]] ys) { return x * a + ys[0]; }"
+        " static local float[[]] f(float[[]] xs) { return A.g(0.5f, xs) @ xs; } }",
+        "A",
+        "f",
+    )
+    kinds = [b.kind for b in shape.map.bound_args]
+    assert kinds == ["literal", "param"]
+
+
+def test_reduce_of_map():
+    shape = recognize(
+        "class A { static local float sq(float x) { return x * x; }"
+        " static local float f(float[[]] xs) { return +! (A.sq @ xs); } }",
+        "A",
+        "f",
+    )
+    assert shape.reduce is not None
+    assert shape.reduce.op == "+"
+    assert shape.reduce.inner_map is not None
+
+
+def test_pure_reduce():
+    shape = recognize(
+        "class A { static local float f(float[[]] xs) { return +! xs; } }",
+        "A",
+        "f",
+    )
+    assert shape.reduce.inner_map is None
+    assert shape.reduce.source.param_name == "xs"
+
+
+def test_minmax_reduce():
+    shape = recognize(
+        "class A { static local float f(float[[]] xs) { return Math.max ! xs; } }",
+        "A",
+        "f",
+    )
+    assert shape.reduce.op == "max"
+
+
+def test_multi_statement_worker_rejected():
+    with pytest.raises(KernelRejected):
+        recognize(
+            "class A { static local float sq(float x) { return x; }"
+            " static local float[[]] f(float[[]] xs) {"
+            " float y = xs[0]; return A.sq @ xs; } }",
+            "A",
+            "f",
+        )
+
+
+def test_non_local_worker_rejected():
+    with pytest.raises(KernelRejected):
+        recognize(
+            "class A { static float[[]] f(float[[]] xs) { return xs; } }",
+            "A",
+            "f",
+        )
+
+
+def test_freeze_cast_stripped():
+    shape = recognize(
+        "class A { static local float sq(float x) { return x; }"
+        " static local float[[]] f(float[[]] xs) {"
+        " return (float[[]]) (A.sq @ xs); } }",
+        "A",
+        "f",
+    )
+    assert shape.map is not None
+
+
+def test_complex_bound_expression_rejected():
+    with pytest.raises(KernelRejected):
+        recognize(
+            "class A { static local float g(float x, float a) { return x * a; }"
+            " static local float[[]] f(float[[]] xs) {"
+            " return A.g(xs[0] + 1.0f) @ xs; } }",
+            "A",
+            "f",
+        )
+
+
+def test_method_combinator_reduce_rejected_for_device():
+    with pytest.raises(KernelRejected):
+        recognize(
+            "class A { static local float c(float a, float b) { return a + b; }"
+            " static local float f(float[[]] xs) { return A.c ! xs; } }",
+            "A",
+            "f",
+        )

@@ -1,0 +1,237 @@
+"""Lowering tests: kernel structure, memory-plan realization, and
+differential correctness of every optimization configuration."""
+
+import numpy as np
+import pytest
+
+from repro.backend import kernel_ir as K
+from repro.compiler.options import FIGURE8_CONFIGS, OptimizationConfig
+from repro.compiler.pipeline import compile_filter
+from repro.errors import KernelRejected
+from repro.frontend import check_program, parse_program
+from repro.opencl import get_device
+from repro.runtime.interp import Interpreter
+
+from tests.conftest import NBODY_SOURCE, nbody_reference
+
+
+def compile_nbody(config=None, device="gtx580", local_size=32):
+    checked = check_program(parse_program(NBODY_SOURCE))
+    worker = checked.lookup_method("NBody", "computeForces")
+    return compile_filter(
+        checked,
+        worker,
+        device=get_device(device),
+        config=config or OptimizationConfig(),
+        local_size=local_size,
+    )
+
+
+def test_kernel_has_figure4_shape():
+    cf = compile_nbody(config=FIGURE8_CONFIGS["Global"])
+    kernel = cf.plan.kernel
+    names = [p.name for p in kernel.params]
+    assert "_in" in names and "_out" in names and "_n" in names
+    # Barrier-free kernels use the strided robust loop.
+    loops = [s for s in kernel.body if isinstance(s, K.KFor)]
+    assert loops and loops[0].var == "_i"
+
+
+def test_tiled_kernel_uses_uniform_trip_count():
+    cf = compile_nbody(config=FIGURE8_CONFIGS["Local"])
+    kernel = cf.plan.kernel
+    loops = [s for s in kernel.body if isinstance(s, K.KFor)]
+    assert loops[0].var == "_it"
+    barriers = [
+        s for s in K.walk_stmts(kernel.body) if isinstance(s, K.KBarrier)
+    ]
+    assert barriers
+
+
+def test_local_array_declared_for_tiles():
+    cf = compile_nbody(config=FIGURE8_CONFIGS["Local+NoConflicts"])
+    locals_ = [a for a in cf.plan.kernel.arrays if a.space is K.Space.LOCAL]
+    assert len(locals_) == 1
+    assert locals_[0].pad == 1  # width-4 rows conflict on 32 banks
+
+
+def test_spill_buffer_param_when_private_off():
+    cf = compile_nbody(config=FIGURE8_CONFIGS["Global"])
+    spills = [p.name for p in cf.plan.kernel.params if p.name.startswith("_spill_")]
+    assert spills == ["_spill_f"]
+    assert cf.plan.spill_buffers[0].spill_size == 3
+
+
+def test_private_array_when_enabled():
+    cf = compile_nbody(config=FIGURE8_CONFIGS["Local"])
+    privates = [a for a in cf.plan.kernel.arrays if a.space is K.Space.PRIVATE]
+    assert len(privates) == 1
+    assert privates[0].size == 3
+
+
+def test_vectorized_elem_load():
+    cf = compile_nbody(config=FIGURE8_CONFIGS["Global+Vector"])
+    vec_loads = [
+        e
+        for s in K.walk_stmts(cf.plan.kernel.body)
+        for e in K.walk_stmt_exprs(s)
+        if isinstance(e, K.KLoad) and isinstance(e.ktype, K.KVector)
+    ]
+    assert vec_loads
+
+
+@pytest.mark.parametrize("config_name", sorted(FIGURE8_CONFIGS))
+@pytest.mark.parametrize("n", [31, 32, 50])
+def test_all_configs_differentially_correct(config_name, n, particles):
+    """Every optimization configuration must compute exactly what the
+    host interpreter computes, for sizes that do and do not divide the
+    work-group size."""
+    rng = np.random.RandomState(n)
+    data = rng.rand(n, 4).astype(np.float32)
+    data.setflags(write=False)
+    checked = check_program(parse_program(NBODY_SOURCE))
+    interp = Interpreter(checked)
+    expected = interp.call_static("NBody", "computeForces", [data])
+    cf = compile_nbody(config=FIGURE8_CONFIGS[config_name], local_size=16)
+    out = cf(data)
+    assert np.allclose(out, expected, rtol=1e-4, atol=1e-5)
+
+
+def test_output_matches_numpy(particles):
+    cf = compile_nbody()
+    out = cf(particles)
+    assert np.allclose(out, nbody_reference(particles), rtol=1e-3, atol=1e-4)
+    assert not out.flags.writeable  # the result is a value array
+
+
+def test_iota_kernel_has_no_input_buffer():
+    source = """
+    class A {
+        static local int g(int i) { return i * i; }
+        static local int[[]] f(int n) { return A.g @ Lime.iota(n); }
+    }
+    """
+    checked = check_program(parse_program(source))
+    cf = compile_filter(
+        checked,
+        checked.lookup_method("A", "f"),
+        device=get_device("gtx580"),
+    )
+    assert all(p.name != "_in" for p in cf.plan.kernel.params)
+    out = cf(5)
+    assert list(out) == [0, 1, 4, 9, 16]
+
+
+def test_inlined_helper_with_early_return_in_loop_rejected():
+    source = """
+    class A {
+        static local float h(float x) {
+            for (int i = 0; i < 4; i++) { if (x > 0.0f) { return x; } }
+            return 0.0f;
+        }
+        static local float[[]] f(float[[]] xs) { return A.h @ xs; }
+    }
+    """
+    checked = check_program(parse_program(source))
+    with pytest.raises(KernelRejected):
+        compile_filter(
+            checked, checked.lookup_method("A", "f"), device=get_device("gtx580")
+        )
+
+
+def test_recursion_rejected():
+    source = """
+    class A {
+        static local float h(float x) { return A.h(x); }
+        static local float[[]] f(float[[]] xs) { return A.h @ xs; }
+    }
+    """
+    checked = check_program(parse_program(source))
+    with pytest.raises(KernelRejected):
+        compile_filter(
+            checked, checked.lookup_method("A", "f"), device=get_device("gtx580")
+        )
+
+
+def test_tail_position_if_return_supported():
+    source = """
+    class A {
+        static local float h(float x) {
+            if (x > 0.0f) { return x; } else { return 0.0f - x; }
+        }
+        static local float[[]] f(float[[]] xs) { return A.h @ xs; }
+    }
+    """
+    checked = check_program(parse_program(source))
+    cf = compile_filter(
+        checked, checked.lookup_method("A", "f"), device=get_device("gtx580")
+    )
+    xs = np.array([-1.5, 2.0, -3.0], dtype=np.float32)
+    xs.setflags(write=False)
+    assert np.allclose(cf(xs), [1.5, 2.0, 3.0])
+
+
+def test_final_static_constant_inlined():
+    source = """
+    class A {
+        static final float SCALE = 2.5f;
+        static local float h(float x) { return x * SCALE; }
+        static local float[[]] f(float[[]] xs) { return A.h @ xs; }
+    }
+    """
+    checked = check_program(parse_program(source))
+    cf = compile_filter(
+        checked, checked.lookup_method("A", "f"), device=get_device("gtx580")
+    )
+    xs = np.array([1.0, 2.0], dtype=np.float32)
+    xs.setflags(write=False)
+    assert np.allclose(cf(xs), [2.5, 5.0])
+
+
+def test_reduce_of_map_end_to_end():
+    source = """
+    class A {
+        static local float sq(float x) { return x * x; }
+        static local float f(float[[]] xs) { return +! (A.sq @ xs); }
+    }
+    """
+    checked = check_program(parse_program(source))
+    cf = compile_filter(
+        checked, checked.lookup_method("A", "f"), device=get_device("gtx580"),
+        local_size=16,
+    )
+    xs = np.arange(10, dtype=np.float32)
+    xs.setflags(write=False)
+    assert cf(xs) == pytest.approx(float((xs.astype(np.float64) ** 2).sum()), rel=1e-5)
+
+
+def test_pure_reduce_end_to_end():
+    source = """
+    class A {
+        static local float f(float[[]] xs) { return +! xs; }
+    }
+    """
+    checked = check_program(parse_program(source))
+    cf = compile_filter(
+        checked, checked.lookup_method("A", "f"), device=get_device("gtx580"),
+        local_size=16,
+    )
+    xs = np.arange(33, dtype=np.float32)
+    xs.setflags(write=False)
+    assert cf(xs) == pytest.approx(float(xs.sum()), rel=1e-5)
+
+
+def test_min_reduce_on_device():
+    source = """
+    class A {
+        static local float f(float[[]] xs) { return Math.min ! xs; }
+    }
+    """
+    checked = check_program(parse_program(source))
+    cf = compile_filter(
+        checked, checked.lookup_method("A", "f"), device=get_device("gtx580"),
+        local_size=8,
+    )
+    xs = np.array([3.0, -1.0, 2.0, 7.5], dtype=np.float32)
+    xs.setflags(write=False)
+    assert cf(xs) == -1.0

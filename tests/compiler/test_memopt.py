@@ -1,0 +1,152 @@
+"""Memory optimizer tests: space assignment per Figure 5."""
+
+from repro.backend.kernel_ir import Space
+from repro.compiler.memopt import plan_memory
+from repro.compiler.options import FIGURE8_CONFIGS, OptimizationConfig, global_only
+from repro.frontend import check_program, parse_program
+from repro.ir.patterns import analyze_worker
+from repro.opencl import get_device
+
+NBODY = """
+class N {
+    static local float[[3]] forceOne(float[[4]] p, float[[][4]] all) {
+        float[] f = new float[3];
+        for (int j = 0; j < all.length; j++) {
+            f[0] = f[0] + all[j][0] * p[0];
+        }
+        return (float[[3]]) f;
+    }
+}
+"""
+
+
+def plan_for(source, class_name, method, config, device="gtx8800"):
+    checked = check_program(parse_program(source))
+    patterns = analyze_worker(checked.lookup_method(class_name, method))
+    return plan_memory(patterns, config, get_device(device)), patterns
+
+
+def test_default_config_tiles_scanned_array():
+    plan, _ = plan_for(NBODY, "N", "forceOne", OptimizationConfig())
+    binding = plan.binding("all")
+    assert binding.space is Space.LOCAL
+    assert binding.tiled
+    assert "j" in plan.tiled_loops
+
+
+def test_global_only_puts_everything_global():
+    plan, _ = plan_for(NBODY, "N", "forceOne", global_only())
+    assert plan.binding("all").space is Space.GLOBAL
+    assert plan.binding("f").space is Space.GLOBAL
+    assert plan.binding("f").spilled
+    assert not plan.tiled_loops
+
+
+def test_private_allocation():
+    plan, _ = plan_for(NBODY, "N", "forceOne", OptimizationConfig())
+    binding = plan.binding("f")
+    assert binding.space is Space.PRIVATE
+    assert not binding.spilled
+
+
+def test_large_allocation_spills_even_with_private_on():
+    source = """
+    class B {
+        static local float f(float x) {
+            float[] big = new float[4096];
+            big[0] = x;
+            return big[0];
+        }
+    }
+    """
+    plan, _ = plan_for(source, "B", "f", OptimizationConfig())
+    assert plan.binding("big").spilled
+
+
+def test_constant_config_places_uniform_array():
+    plan, _ = plan_for(NBODY, "N", "forceOne", FIGURE8_CONFIGS["Constant"])
+    assert plan.binding("all").space is Space.CONSTANT
+
+
+def test_bounded_array_exceeding_constant_capacity_stays_global():
+    # 3000 x 8 float rows = 96KB > the 64KB constant space.
+    source = """
+    class C {
+        static local float f(float[[8]] p, float[[3000][8]] table) {
+            float s = 0.0f;
+            for (int j = 0; j < table.length; j++) { s = s + table[j][0]; }
+            return s;
+        }
+    }
+    """
+    plan, _ = plan_for(source, "C", "f", FIGURE8_CONFIGS["Constant"])
+    assert plan.binding("table").space is Space.GLOBAL
+
+
+def test_image_eligibility_requires_width_2_or_4():
+    plan, _ = plan_for(NBODY, "N", "forceOne", FIGURE8_CONFIGS["Texture"])
+    assert plan.binding("all").space is Space.IMAGE
+
+    wide = NBODY.replace("[[][4]]", "[[][16]]").replace("float[[4]] p", "float[[16]] p")
+    plan, _ = plan_for(wide, "N", "forceOne", FIGURE8_CONFIGS["Texture"])
+    assert plan.binding("all").space is not Space.IMAGE
+
+
+def test_vector_width_from_bounded_row():
+    plan, _ = plan_for(
+        NBODY, "N", "forceOne", FIGURE8_CONFIGS["Local+NoConflicts+Vector"]
+    )
+    assert plan.binding("all").vector_width == 4
+
+
+def test_vectorization_disabled():
+    plan, _ = plan_for(NBODY, "N", "forceOne", FIGURE8_CONFIGS["Local"])
+    assert plan.binding("all").vector_width == 1
+
+
+def test_conflict_padding_depends_on_banks():
+    # Width 4 rows share a factor with both 16 and 32 banks: padded.
+    plan, _ = plan_for(
+        NBODY, "N", "forceOne", FIGURE8_CONFIGS["Local+NoConflicts"], "gtx8800"
+    )
+    assert plan.binding("all").pad == 1
+
+    # Width 3 rows are coprime with 16 banks: no padding needed.
+    odd = NBODY.replace("[[][4]]", "[[][3]]").replace("float[[4]] p", "float[[3]] p")
+    plan, _ = plan_for(
+        odd, "N", "forceOne", FIGURE8_CONFIGS["Local+NoConflicts"], "gtx8800"
+    )
+    assert plan.binding("all").pad == 0
+
+
+def test_no_padding_without_conflict_removal():
+    plan, _ = plan_for(NBODY, "N", "forceOne", FIGURE8_CONFIGS["Local"])
+    assert plan.binding("all").pad == 0
+
+
+def test_written_arrays_never_leave_global():
+    # Output-like arrays (mutable, written) stay in global memory.
+    source = """
+    class W {
+        static local float f(float x) {
+            float[] tmp = new float[128];
+            for (int j = 0; j < 128; j++) { tmp[j] = x; }
+            return tmp[0];
+        }
+    }
+    """
+    plan, _ = plan_for(source, "W", "f", OptimizationConfig())
+    assert plan.binding("tmp").spilled  # too large for private
+
+
+def test_figure8_configs_complete():
+    assert set(FIGURE8_CONFIGS) == {
+        "Global",
+        "Global+Vector",
+        "Local",
+        "Local+NoConflicts",
+        "Local+NoConflicts+Vector",
+        "Constant",
+        "Constant+Vector",
+        "Texture",
+    }

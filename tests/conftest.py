@@ -1,0 +1,72 @@
+"""Shared fixtures: canonical Lime programs and small inputs."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import check_program, parse_program
+
+NBODY_SOURCE = """
+class NBody {
+    static local float[[][3]] computeForces(float[[][4]] particles) {
+        return NBody.forceOne(particles) @ particles;
+    }
+    static local float[[3]] forceOne(float[[4]] p, float[[][4]] particles) {
+        float[] f = new float[3];
+        for (int j = 0; j < particles.length; j++) {
+            float dx = particles[j][0] - p[0];
+            float dy = particles[j][1] - p[1];
+            float dz = particles[j][2] - p[2];
+            float r2 = dx * dx + dy * dy + dz * dz + 0.0125f;
+            float inv = 1.0f / Math.sqrt(r2);
+            float s = particles[j][3] * inv * inv * inv;
+            f[0] = f[0] + dx * s;
+            f[1] = f[1] + dy * s;
+            f[2] = f[2] + dz * s;
+        }
+        return (float[[3]]) f;
+    }
+}
+"""
+
+SAXPY_SOURCE = """
+class Saxpy {
+    static local float[[]] apply(float[[]] xs) {
+        return Saxpy.one(2.5f) @ xs;
+    }
+    static local float one(float x, float a) {
+        return a * x + 1.0f;
+    }
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def nbody_checked():
+    return check_program(parse_program(NBODY_SOURCE))
+
+
+@pytest.fixture(scope="session")
+def saxpy_checked():
+    return check_program(parse_program(SAXPY_SOURCE))
+
+
+@pytest.fixture
+def particles():
+    rng = np.random.RandomState(7)
+    arr = rng.rand(48, 4).astype(np.float32)
+    arr[:, 3] = np.abs(arr[:, 3]) + 0.05
+    arr.setflags(write=False)
+    return arr
+
+
+def nbody_reference(particles):
+    p = np.asarray(particles, dtype=np.float64)
+    dx = p[None, :, 0] - p[:, None, 0]
+    dy = p[None, :, 1] - p[:, None, 1]
+    dz = p[None, :, 2] - p[:, None, 2]
+    r2 = dx * dx + dy * dy + dz * dz + 0.0125
+    inv = 1.0 / np.sqrt(r2)
+    s = p[None, :, 3] * inv * inv * inv
+    return np.stack(
+        [(dx * s).sum(1), (dy * s).sum(1), (dz * s).sum(1)], axis=1
+    ).astype(np.float32)

@@ -1,0 +1,115 @@
+"""Evaluation harness tests at tiny scale (shape checks, not numbers)."""
+
+import pytest
+
+from repro.apps.registry import BENCHMARKS
+from repro.evaluation.figure7 import format_figure7, run_figure7
+from repro.evaluation.figure8 import (
+    best_config_ratio,
+    format_figure8,
+    measure_compiled_kernel,
+    measure_hand_tuned,
+    run_figure8,
+)
+from repro.evaluation.figure9 import (
+    communication_fraction,
+    format_figure9,
+    run_figure9,
+)
+from repro.evaluation.harness import TARGETS, run_configuration
+from repro.evaluation.tables import table1, table2, table3
+
+SCALE = 0.15
+
+
+def test_targets_cover_the_paper_platforms():
+    assert set(TARGETS) == {
+        "bytecode",
+        "cpu-1",
+        "cpu-6",
+        "gtx8800",
+        "gtx580",
+        "hd5970",
+    }
+
+
+def test_run_configuration_bytecode():
+    result = run_configuration(
+        BENCHMARKS["nbody-single"], "bytecode", scale=SCALE, steps=1
+    )
+    assert result.total_ns > 0
+    assert result.offloaded == []
+    assert result.stages["kernel"] == 0
+
+
+def test_run_configuration_gpu_offloads():
+    result = run_configuration(
+        BENCHMARKS["nbody-single"], "gtx580", scale=SCALE, steps=1
+    )
+    assert result.offloaded == ["NBody.computeForces"]
+    assert result.stages["kernel"] > 0
+    assert result.rejections == []
+
+
+def test_figure7_speedups_positive_and_gpu_beats_baseline():
+    table = run_figure7(
+        scale=SCALE, steps=1, benchmarks=["nbody-single"], targets=["gtx580"]
+    )
+    row = table["nbody-single"]
+    assert row["gtx580"] > 1.0
+    assert "_baseline_ns" in row
+    text = format_figure7(table)
+    assert "nbody-single" in text
+
+
+def test_figure8_rows_have_all_configs():
+    table = run_figure8(
+        scale=SCALE, gpus=["gtx580"], benchmarks=["nbody-single"]
+    )
+    row = table["gtx580"]["nbody-single"]
+    config_names = [k for k in row if not k.startswith("_")]
+    assert len(config_names) == 8
+    assert best_config_ratio(row) > 0
+    assert "vs hand-tuned" in format_figure8(table)
+
+
+def test_figure8_kernel_measurements_check_outputs():
+    bench = BENCHMARKS["nbody-single"]
+    hand_ns = measure_hand_tuned(bench, "gtx580", scale=SCALE)
+    from repro.compiler.options import OptimizationConfig
+
+    lime_ns, out = measure_compiled_kernel(
+        bench, "gtx580", OptimizationConfig(), scale=SCALE
+    )
+    assert hand_ns > 0 and lime_ns > 0
+    assert out.shape[0] > 0
+
+
+def test_figure9_fractions_sum_to_one():
+    table = run_figure9(
+        "gtx580", scale=SCALE, benchmarks=["nbody-single"], steps=1
+    )
+    row = table["nbody-single"]
+    fractions = [v for k, v in row.items() if not k.startswith("_")]
+    assert sum(fractions) == pytest.approx(1.0)
+    assert 0 < communication_fraction(row) < 1
+    assert "comm%" in format_figure9(table)
+
+
+def test_table1_lists_the_six_contrasts():
+    text = table1()
+    for line in ("offload unit", "map & reduce", "=> operator"):
+        assert line in text
+
+
+def test_table2_matches_device_catalog():
+    text = table2()
+    assert "GTX 580" in text
+    assert "16x48KB" in text
+    assert "Core i7" in text
+
+
+def test_table3_lists_all_nine_benchmarks():
+    text = table3()
+    for name in BENCHMARKS:
+        assert name in text

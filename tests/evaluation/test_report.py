@@ -1,0 +1,76 @@
+"""ASCII chart renderer tests."""
+
+from repro.evaluation.report import (
+    bar_chart,
+    figure7_chart,
+    figure9_chart,
+    grouped_bar_chart,
+    hbar,
+    stacked_fraction_chart,
+)
+
+
+def test_hbar_scales_to_width():
+    assert len(hbar(10, 10, width=20)) == 20
+    assert len(hbar(5, 10, width=20)) == 10
+    assert hbar(0, 10) == ""
+
+
+def test_hbar_minimum_one_cell_for_nonzero():
+    assert hbar(0.001, 100.0, width=10) == "#"
+
+
+def test_bar_chart_alignment():
+    text = bar_chart([("alpha", 10.0), ("b", 5.0)], title="T", unit="x")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].startswith("alpha |")
+    assert lines[2].startswith("b     |")
+    assert "10.0x" in lines[1]
+
+
+def test_bar_chart_empty():
+    assert "(no data)" in bar_chart([], title="T")
+
+
+def test_grouped_bar_chart():
+    text = grouped_bar_chart(
+        [("g1", [("a", 1.0), ("bb", 2.0)]), ("g2", [("a", 0.5)])]
+    )
+    assert "g1" in text and "g2" in text
+    assert text.count("|") == 3
+
+
+def test_stacked_fractions_fill_width():
+    rows = [("bench", {"kernel": 0.5, "java_marshal": 0.5})]
+    stages = [("kernel", "#"), ("java_marshal", "J")]
+    text = stacked_fraction_chart(rows, stages, width=10)
+    line = text.splitlines()[-1]
+    assert "#####JJJJJ" in line
+
+
+def test_figure7_chart_from_table():
+    table = {
+        "nbody": {"gtx580": 50.0, "_baseline_ns": 1.0},
+        "crypt": {"gtx580": 5.0, "_baseline_ns": 1.0},
+    }
+    text = figure7_chart(table, "gtx580")
+    assert "nbody" in text and "crypt" in text
+    assert "gtx580" in text
+
+
+def test_figure9_chart_from_table():
+    table = {
+        "nbody": {
+            "kernel": 0.4,
+            "java_marshal": 0.3,
+            "c_marshal": 0.1,
+            "opencl_setup": 0.1,
+            "transfer": 0.05,
+            "host_compute": 0.05,
+            "_total_ns": 100.0,
+        }
+    }
+    text = figure9_chart(table, "gtx580")
+    assert "legend" in text
+    assert "nbody" in text

@@ -1,0 +1,154 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.frontend.lexer import tokenize
+from repro.frontend.tokens import TokenKind as T
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def test_keywords_and_identifiers():
+    assert kinds("class task value local foo") == [
+        T.KW_CLASS,
+        T.KW_TASK,
+        T.KW_VALUE,
+        T.KW_LOCAL,
+        T.IDENT,
+    ]
+
+
+def test_int_literal():
+    token = tokenize("42")[0]
+    assert token.kind is T.INT_LITERAL
+    assert token.value == 42
+
+
+def test_hex_literal():
+    token = tokenize("0xFF")[0]
+    assert token.value == 255
+
+
+def test_long_literal():
+    token = tokenize("65537L")[0]
+    assert token.kind is T.LONG_LITERAL
+    assert token.value == 65537
+
+
+def test_float_literal_suffix():
+    token = tokenize("1.5f")[0]
+    assert token.kind is T.FLOAT_LITERAL
+    assert token.value == 1.5
+
+
+def test_double_literal():
+    token = tokenize("2.25")[0]
+    assert token.kind is T.DOUBLE_LITERAL
+    assert token.value == 2.25
+
+
+def test_scientific_notation():
+    token = tokenize("1e3")[0]
+    assert token.kind is T.DOUBLE_LITERAL
+    assert token.value == 1000.0
+
+
+def test_exponent_with_sign():
+    token = tokenize("2.5e-2")[0]
+    assert abs(token.value - 0.025) < 1e-12
+
+
+def test_integer_then_method_call_is_not_float():
+    # `x.length` style: dot after identifier, not part of a number.
+    assert kinds("a.length") == [T.IDENT, T.DOT, T.IDENT]
+
+
+def test_connect_operator():
+    assert kinds("a => b") == [T.IDENT, T.CONNECT, T.IDENT]
+
+
+def test_connect_vs_ge():
+    assert kinds("a >= b") == [T.IDENT, T.GE, T.IDENT]
+
+
+def test_map_and_reduce_tokens():
+    assert kinds("f @ xs") == [T.IDENT, T.AT, T.IDENT]
+    assert kinds("+! xs") == [T.PLUS, T.BANG, T.IDENT]
+
+
+def test_shift_operators():
+    assert kinds("a >> b >>> c << d") == [
+        T.IDENT,
+        T.SHR,
+        T.IDENT,
+        T.USHR,
+        T.IDENT,
+        T.SHL,
+        T.IDENT,
+    ]
+
+
+def test_compound_assignment():
+    assert kinds("x += 1") == [T.IDENT, T.PLUS_ASSIGN, T.INT_LITERAL]
+
+
+def test_increment():
+    assert kinds("i++") == [T.IDENT, T.PLUS_PLUS]
+
+
+def test_line_comment_skipped():
+    assert kinds("a // comment\n b") == [T.IDENT, T.IDENT]
+
+
+def test_block_comment_skipped():
+    assert kinds("a /* x\ny */ b") == [T.IDENT, T.IDENT]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexError):
+        tokenize("/* never closed")
+
+
+def test_string_literal():
+    token = tokenize('"hello\\nworld"')[0]
+    assert token.kind is T.STRING_LITERAL
+    assert token.value == "hello\nworld"
+
+
+def test_unterminated_string():
+    with pytest.raises(LexError):
+        tokenize('"oops')
+
+
+def test_char_literal():
+    token = tokenize("'a'")[0]
+    assert token.kind is T.CHAR_LITERAL
+    assert token.value == ord("a")
+
+
+def test_unknown_character():
+    with pytest.raises(LexError):
+        tokenize("#")
+
+
+def test_locations_track_lines():
+    tokens = tokenize("a\n  b")
+    assert tokens[0].location.line == 1
+    assert tokens[1].location.line == 2
+    assert tokens[1].location.column == 3
+
+
+def test_value_array_brackets():
+    assert kinds("float[[][4]]") == [
+        T.KW_FLOAT,
+        T.LBRACKET,
+        T.LBRACKET,
+        T.RBRACKET,
+        T.LBRACKET,
+        T.INT_LITERAL,
+        T.RBRACKET,
+        T.RBRACKET,
+    ]

@@ -1,0 +1,81 @@
+"""Parser error reporting: each malformed construct fails with a
+located, descriptive diagnostic (never a crash or silent acceptance)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend.parser import parse_expression, parse_program
+
+
+def fails(source, fragment=None):
+    with pytest.raises(ParseError) as err:
+        parse_program(source)
+    assert err.value.location is not None
+    if fragment is not None:
+        assert fragment in str(err.value)
+    return err.value
+
+
+def test_missing_class_name():
+    fails("class { }", "class name")
+
+
+def test_unterminated_class():
+    fails("class A {")
+
+
+def test_field_missing_semicolon():
+    fails("class A { int x }")
+
+
+def test_local_field_rejected():
+    fails("class A { local int x; }", "local")
+
+
+def test_bad_type_in_params():
+    fails("class A { void f(1 x) { } }", "type")
+
+
+def test_malformed_value_array():
+    fails("class A { float[[]x]] f() { return f(); } }")
+
+
+def test_reduce_with_arguments_rejected():
+    with pytest.raises(ParseError) as err:
+        parse_expression("M.f(a) ! xs")
+    assert "bound arguments" in str(err.value)
+
+
+def test_map_left_operand_must_be_method_ref():
+    with pytest.raises(ParseError) as err:
+        parse_expression("(a + b) @ xs")
+    assert "method reference" in str(err.value)
+
+
+def test_dimension_after_empty_dimension():
+    fails("class A { void f() { int[][] m = new int[][3]; } }", "dimension")
+
+
+def test_array_initializer_needs_empty_dim():
+    fails(
+        "class A { void f() { int[] m = new int[3] { 1, 2, 3 }; } }",
+        "initializer",
+    )
+
+
+def test_task_requires_method():
+    fails("class A { void f() { var t = task A; } }")
+
+
+def test_error_location_points_at_offender():
+    err = fails("class A {\n  void f() {\n    int x = ;\n  }\n}")
+    assert err.location.line == 3
+
+
+def test_empty_source_is_valid():
+    program = parse_program("")
+    assert program.classes == []
+
+
+def test_stray_token_after_class():
+    fails("class A { } ;")

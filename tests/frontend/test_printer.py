@@ -1,0 +1,142 @@
+"""Pretty-printer tests, including parse/print round-trip properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.registry import BENCHMARKS
+from repro.frontend import ast, check_program, parse_program
+from repro.frontend.parser import parse_expression
+from repro.frontend.printer import expr_text, print_program, type_text
+from repro.frontend.types import FLOAT, value_array
+
+
+def structurally_equal(a, b):
+    """Compare two AST nodes ignoring locations and annotations."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(
+            structurally_equal(x, y) for x, y in zip(a, b)
+        )
+    if not hasattr(a, "__dict__") and not hasattr(a, "__dataclass_fields__"):
+        return a == b
+    if isinstance(a, (int, float, str, bool)) or a is None:
+        return a == b
+    fields = getattr(a, "__dataclass_fields__", None)
+    if fields is None:
+        return a == b
+    for name in fields:
+        if name in ("location", "type", "binding", "owner", "resolved", "builtin"):
+            continue
+        if not structurally_equal(getattr(a, name), getattr(b, name)):
+            return False
+    return True
+
+
+def roundtrip_program(source):
+    first = parse_program(source)
+    text = print_program(first)
+    second = parse_program(text)
+    assert structurally_equal(first, second), text
+
+
+def test_type_text_value_array():
+    assert type_text(value_array(FLOAT, None, 4)) == "float[[][4]]"
+
+
+def test_type_text_mutable_array():
+    from repro.frontend.types import mutable_array
+
+    assert type_text(mutable_array(FLOAT, None, None)) == "float[][]"
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "a + b * c",
+        "(a + b) * c",
+        "x < y ? 1 : 0 - 2",
+        "(float) (x + 1)",
+        "arr[i][j]",
+        "Math.sqrt(x * x)",
+        "M.f(a, 1.5f) @ xs",
+        "+! (M.sq @ xs)",
+        "Math.max ! scores",
+        "task NBody.computeForces",
+        "task Crypt.encrypt(key)",
+        "task NBody(data, 3).gen",
+        "a => b => c",
+        "new float[n][4]",
+        "new int[] { 1, 2, 3 }",
+    ],
+)
+def test_expression_roundtrip(source):
+    first = parse_expression(source)
+    second = parse_expression(expr_text(first))
+    assert structurally_equal(first, second), expr_text(first)
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_benchmark_programs_roundtrip(name):
+    roundtrip_program(BENCHMARKS[name].lime_source)
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_printed_benchmark_still_typechecks(name):
+    text = print_program(parse_program(BENCHMARKS[name].lime_source))
+    check_program(parse_program(text))
+
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return draw(st.sampled_from(["x", "y", "1", "2.5", "3.5f", "true"]))
+    kind = draw(st.sampled_from(["bin", "un", "tern", "cast", "index", "call"]))
+    if kind == "bin":
+        op = draw(st.sampled_from(["+", "-", "*", "/", "<", "==", "&&"]))
+        return "({} {} {})".format(
+            draw(expressions(depth=depth + 1)),
+            op,
+            draw(expressions(depth=depth + 1)),
+        )
+    if kind == "un":
+        return "(-{})".format(draw(expressions(depth=depth + 1)))
+    if kind == "tern":
+        return "({} ? {} : {})".format(
+            draw(expressions(depth=depth + 1)),
+            draw(expressions(depth=depth + 1)),
+            draw(expressions(depth=depth + 1)),
+        )
+    if kind == "cast":
+        return "((float) {})".format(draw(expressions(depth=depth + 1)))
+    if kind == "index":
+        return "xs[{}]".format(draw(expressions(depth=depth + 1)))
+    return "Math.min({}, {})".format(
+        draw(expressions(depth=depth + 1)), draw(expressions(depth=depth + 1))
+    )
+
+
+@given(expressions())
+@settings(max_examples=80, deadline=None)
+def test_random_expression_roundtrip(source):
+    first = parse_expression(source)
+    printed = expr_text(first)
+    second = parse_expression(printed)
+    assert structurally_equal(first, second), printed
+
+
+def test_print_then_run_produces_identical_results():
+    """The printed program is not just parseable — it computes the same
+    thing through the whole pipeline."""
+    bench = BENCHMARKS["nbody-single"]
+    text = print_program(parse_program(bench.lime_source))
+    reparsed = check_program(parse_program(text))
+    from repro.runtime.interp import Interpreter
+
+    original = check_program(parse_program(bench.lime_source))
+    inputs = bench.make_input(scale=0.15)
+    a = Interpreter(original).call_static("NBody", "computeForces", [inputs[0]])
+    b = Interpreter(reparsed).call_static("NBody", "computeForces", [inputs[0]])
+    assert np.array_equal(np.asarray(a), np.asarray(b))

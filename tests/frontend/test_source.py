@@ -1,0 +1,72 @@
+"""Source-file utility tests (locations, snippets)."""
+
+import pytest
+
+from repro.frontend.source import Location, SourceFile, Span
+
+
+def test_location_rendering():
+    loc = Location("f.lime", 3, 7)
+    assert str(loc) == "f.lime:3:7"
+
+
+def test_span_renders_start():
+    a = Location("f", 1, 1)
+    b = Location("f", 2, 5)
+    assert str(Span(a, b)) == "f:1:1"
+
+
+def test_offset_to_location():
+    src = SourceFile("ab\ncd\n\nef")
+    assert src.location(0) == Location("<lime>", 1, 1)
+    assert src.location(1) == Location("<lime>", 1, 2)
+    assert src.location(3) == Location("<lime>", 2, 1)
+    assert src.location(6) == Location("<lime>", 3, 1)
+    assert src.location(7) == Location("<lime>", 4, 1)
+
+
+def test_location_at_end_of_file():
+    src = SourceFile("abc")
+    assert src.location(3).column == 4
+
+
+def test_offset_out_of_range():
+    src = SourceFile("ab")
+    with pytest.raises(ValueError):
+        src.location(5)
+    with pytest.raises(ValueError):
+        src.location(-1)
+
+
+def test_line_text():
+    src = SourceFile("first\nsecond\nthird")
+    assert src.line_text(1) == "first"
+    assert src.line_text(2) == "second"
+    assert src.line_text(3) == "third"
+
+
+def test_line_out_of_range():
+    src = SourceFile("one")
+    with pytest.raises(ValueError):
+        src.line_text(2)
+
+
+def test_snippet_renders_caret():
+    src = SourceFile("let x = oops;")
+    snippet = src.snippet(Location("<lime>", 1, 9))
+    lines = snippet.splitlines()
+    assert lines[0] == "let x = oops;"
+    assert lines[1].index("^") == 8
+
+
+def test_error_message_carries_location():
+    from repro.errors import ParseError
+
+    err = ParseError("boom", Location("x.lime", 4, 2))
+    assert "x.lime:4:2" in str(err)
+
+
+def test_error_without_location():
+    from repro.errors import ParseError
+
+    assert str(ParseError("boom")) == "boom"

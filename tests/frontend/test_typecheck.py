@@ -1,0 +1,271 @@
+"""Typechecker tests: annotations and rejections."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.frontend import ast, check_program, parse_program
+from repro.frontend.types import (
+    ArrayType,
+    BOOLEAN,
+    FLOAT,
+    INT,
+    TaskGraphType,
+    TaskType,
+)
+
+
+def check(source):
+    return check_program(parse_program(source))
+
+
+def check_fails(source, fragment=None):
+    with pytest.raises(TypeError_) as err:
+        check(source)
+    if fragment is not None:
+        assert fragment in str(err.value)
+    return err.value
+
+
+def test_simple_method_types():
+    checked = check("class A { static int f(int x) { return x + 1; } }")
+    method = checked.lookup_method("A", "f")
+    ret = method.body.stmts[0]
+    assert ret.value.type == INT
+
+
+def test_binary_promotion_annotation():
+    checked = check("class A { static float f(int x) { return x * 0.5f; } }")
+    ret = checked.lookup_method("A", "f").body.stmts[0]
+    assert ret.value.type == FLOAT
+
+
+def test_unknown_name_rejected():
+    check_fails("class A { static int f() { return nope; } }", "unknown name")
+
+
+def test_condition_must_be_boolean():
+    check_fails("class A { static void f(int x) { if (x) { return; } } }")
+
+
+def test_return_type_mismatch():
+    check_fails("class A { static int f() { return 1.5; } }")
+
+
+def test_missing_return_detected():
+    check_fails(
+        "class A { static int f(boolean b) { if (b) { return 1; } } }",
+        "may complete without returning",
+    )
+
+
+def test_both_branches_return_is_ok():
+    check(
+        "class A { static int f(boolean b) {"
+        " if (b) { return 1; } else { return 2; } } }"
+    )
+
+
+def test_value_array_element_immutable():
+    check_fails(
+        "class A { static void f(float[[]] xs) { xs[0] = 1.0f; } }",
+        "value array",
+    )
+
+
+def test_mutable_array_element_assignable():
+    check("class A { static void f(float[] xs) { xs[0] = 1.0f; } }")
+
+
+def test_final_field_not_assignable():
+    check_fails(
+        "class A { static final int N = 3; static void f() { N = 4; } }",
+        "final",
+    )
+
+
+def test_freeze_cast_flagged():
+    checked = check(
+        "class A { static float[[]] f(int n) {"
+        " float[] xs = new float[n]; return (float[[]]) xs; } }"
+    )
+    ret = checked.lookup_method("A", "f").body.stmts[1]
+    assert isinstance(ret.value, ast.Cast)
+    assert ret.value.freezes
+
+
+def test_map_requires_value_array_source():
+    check_fails(
+        "class A { static local float g(float x) { return x; }"
+        " static float[[]] f(float[] xs) { return A.g @ xs; } }",
+        "value array",
+    )
+
+
+def test_map_type_propagates_bound():
+    checked = check(
+        "class A { static local float g(float x) { return x; }"
+        " static local float[[]] f(float[[]] xs) { return A.g @ xs; } }"
+    )
+    ret = checked.lookup_method("A", "f").body.stmts[0]
+    assert isinstance(ret.value.type, ArrayType)
+    assert ret.value.type.is_value()
+
+
+def test_map_function_must_be_static():
+    check_fails(
+        "class A { local float g(float x) { return x; }"
+        " static local float[[]] f(float[[]] xs) { return A.g @ xs; } }",
+        "static",
+    )
+
+
+def test_map_arity_checked():
+    check_fails(
+        "class A { static local float g(float x, float y) { return x; }"
+        " static local float[[]] f(float[[]] xs) { return A.g @ xs; } }",
+        "expects",
+    )
+
+
+def test_reduce_result_is_element_type():
+    checked = check(
+        "class A { static local float f(float[[]] xs) { return +! xs; } }"
+    )
+    ret = checked.lookup_method("A", "f").body.stmts[0]
+    assert ret.value.type == FLOAT
+
+
+def test_reduce_combinator_shape_enforced():
+    check_fails(
+        "class A { static local float g(float x) { return x; }"
+        " static local float f(float[[]] xs) { return A.g ! xs; } }",
+        "combinator",
+    )
+
+
+def test_task_types():
+    checked = check(
+        "class A { static local float[[]] f(float[[]] xs) { return +! xs @ xs; } }"
+        .replace("+! xs @ xs", "A.id @ xs")
+        + ""
+    ) if False else check(
+        "class A {"
+        " static local float id(float x) { return x; }"
+        " static local float[[]] f(float[[]] xs) { return A.id @ xs; }"
+        " static void sink(float[[]] xs) { }"
+        " static void main(float[[]] xs) {"
+        "   var t = task A.f;"
+        "   var u = t => task A.sink;"
+        " } }"
+    )
+    main = checked.lookup_method("A", "main")
+    task_decl = main.body.stmts[0]
+    assert isinstance(task_decl.type, TaskType)
+    assert task_decl.type.isolated
+    graph_decl = main.body.stmts[1]
+    assert isinstance(graph_decl.type, TaskGraphType)
+
+
+def test_connect_type_mismatch():
+    check_fails(
+        "class A {"
+        " static local float[[]] f(float[[]] xs) { return A.id @ xs; }"
+        " static local float id(float x) { return x; }"
+        " static void sink(int[[]] xs) { }"
+        " static void main() { var g = task A.f => task A.sink; } }",
+        "cannot connect",
+    )
+
+
+def test_finish_requires_source():
+    check_fails(
+        "class A {"
+        " static local float id(float x) { return x; }"
+        " static local float[[]] f(float[[]] xs) { return A.id @ xs; }"
+        " static void main() { var t = task A.f; t.finish(); } }",
+        "source",
+    )
+
+
+def test_partial_application_binds_leading_params():
+    checked = check(
+        "class A {"
+        " static local float id(float x) { return x; }"
+        " static local float[[]] f(int[[]] key, float[[]] xs) { return A.id @ xs; }"
+        " static void main(int[[]] key) { var t = task A.f(key); } }"
+    )
+    main = checked.lookup_method("A", "main")
+    task_type = main.body.stmts[0].type
+    assert isinstance(task_type.input, ArrayType)
+    assert task_type.input.base_elem == FLOAT
+
+
+def test_too_many_bound_args():
+    check_fails(
+        "class A {"
+        " static local float f(float x) { return x; }"
+        " static void main() { var t = task A.f(1.0f, 2.0f); } }",
+        "too many",
+    )
+
+
+def test_worker_with_two_free_params_rejected():
+    check_fails(
+        "class A {"
+        " static local float f(float x, float y) { return x; }"
+        " static void main() { var t = task A.f; } }",
+        "at most one input",
+    )
+
+
+def test_duplicate_method_rejected():
+    check_fails(
+        "class A { static void f() {} static void f() {} }", "duplicate"
+    )
+
+
+def test_duplicate_class_rejected():
+    check_fails("class A {} class A {}", "duplicate class")
+
+
+def test_reserved_class_names():
+    check_fails("class Math {}", "reserved")
+
+
+def test_iota_type():
+    checked = check(
+        "class A { static local int[[]] f(int n) { return Lime.iota(n); } }"
+    )
+    ret = checked.lookup_method("A", "f").body.stmts[0]
+    assert ret.value.type.is_value()
+    assert ret.value.type.elem == INT
+
+
+def test_array_length():
+    checked = check("class A { static int f(float[[]] xs) { return xs.length; } }")
+    ret = checked.lookup_method("A", "f").body.stmts[0]
+    assert ret.value.type == INT
+
+
+def test_var_inference():
+    checked = check("class A { static float f() { var x = 1.5f; return x; } }")
+    decl = checked.lookup_method("A", "f").body.stmts[0]
+    assert decl.type == FLOAT
+
+
+def test_compound_assignment_narrowing():
+    # Java semantics: x += 0.5 narrows back to int implicitly.
+    check("class A { static int f(int x) { x += 1; return x; } }")
+
+
+def test_shift_requires_integral():
+    check_fails("class A { static float f(float x) { return x << 1; } }")
+
+
+def test_math_polymorphism():
+    checked = check(
+        "class A { static float f(float x) { return Math.sqrt(x); }"
+        " static double g(double x) { return Math.sqrt(x); } }"
+    )
+    f = checked.lookup_method("A", "f")
+    assert f.body.stmts[0].value.type == FLOAT

@@ -1,0 +1,106 @@
+"""Type-system object tests (value-ness, widening, casting)."""
+
+from repro.frontend.types import (
+    ArrayType,
+    BOOLEAN,
+    BYTE,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    assignable,
+    binary_result,
+    castable,
+    erase_value,
+    freeze,
+    mutable_array,
+    value_array,
+    widens_to,
+)
+
+
+def test_primitives_are_values():
+    assert INT.is_value()
+    assert DOUBLE.is_value()
+
+
+def test_value_array_is_value():
+    t = value_array(FLOAT, None, 4)
+    assert t.is_value()
+
+
+def test_mutable_array_is_not_value():
+    assert not mutable_array(FLOAT, None).is_value()
+
+
+def test_value_array_str_matches_paper_syntax():
+    assert str(value_array(FLOAT, None, 4)) == "float[[][4]]"
+
+
+def test_rank_and_dims():
+    t = value_array(FLOAT, None, 4)
+    assert t.rank == 2
+    assert t.dims() == (None, 4)
+    assert t.base_elem == FLOAT
+
+
+def test_widening_chain():
+    assert widens_to(BYTE, INT)
+    assert widens_to(INT, LONG)
+    assert widens_to(INT, FLOAT)
+    assert widens_to(FLOAT, DOUBLE)
+    assert not widens_to(DOUBLE, FLOAT)
+    assert not widens_to(BOOLEAN, INT)
+
+
+def test_binary_promotion():
+    assert binary_result(INT, FLOAT) == FLOAT
+    assert binary_result(FLOAT, DOUBLE) == DOUBLE
+    assert binary_result(BYTE, BYTE) == INT  # byte arithmetic promotes
+    assert binary_result(BOOLEAN, INT) is None
+
+
+def test_assignable_widening():
+    assert assignable(INT, DOUBLE)
+    assert not assignable(DOUBLE, INT)
+
+
+def test_array_assignability_requires_matching_valueness():
+    mutable = mutable_array(FLOAT, None)
+    frozen = value_array(FLOAT, None)
+    assert not assignable(mutable, frozen)
+    assert not assignable(frozen, mutable)
+    assert assignable(frozen, frozen)
+
+
+def test_bounded_flows_into_unbounded():
+    bounded = value_array(FLOAT, 4)
+    unbounded = value_array(FLOAT, None)
+    assert assignable(bounded, unbounded)
+    assert not assignable(unbounded, bounded)
+
+
+def test_freeze_cast_is_castable_not_assignable():
+    mutable = mutable_array(FLOAT, None)
+    frozen = value_array(FLOAT, None)
+    assert castable(mutable, frozen)
+    assert castable(frozen, mutable)
+
+
+def test_cast_shape_mismatch_rejected():
+    a = mutable_array(FLOAT, None)
+    b = value_array(FLOAT, None, 4)  # different rank
+    assert not castable(a, b)
+
+
+def test_numeric_casts():
+    assert castable(DOUBLE, INT)
+    assert castable(INT, BYTE)
+    assert not castable(BOOLEAN, INT)
+
+
+def test_freeze_and_erase_are_inverses_on_valueness():
+    t = mutable_array(FLOAT, None, 4)
+    frozen = freeze(t)
+    assert frozen.is_value()
+    assert erase_value(frozen) == t

@@ -1,0 +1,97 @@
+"""Launch-time constant-memory capacity fallback.
+
+The memory optimizer places unbounded read-only broadcast arrays into
+constant memory optimistically; when an actual input exceeds the 64KB
+capacity, the glue transparently recompiles with a global-memory plan
+and re-runs — results never change, only the placement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend.kernel_ir import Space
+from repro.compiler.options import FIGURE8_CONFIGS
+from repro.compiler.pipeline import compile_filter
+from repro.frontend import check_program, parse_program
+from repro.opencl import get_device
+
+SOURCE = """
+class B {
+    static local float one(float x, float[[]] table) {
+        float s = 0.0f;
+        for (int j = 0; j < table.length; j++) { s = s + table[j]; }
+        return x + s;
+    }
+    static local float[[]] f(float[[]] table, float[[]] xs) {
+        return B.one(table) @ xs;
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    checked = check_program(parse_program(SOURCE))
+    return checked, checked.lookup_method("B", "f")
+
+
+def make_filter(checked, worker, table):
+    return compile_filter(
+        checked,
+        worker,
+        device=get_device("gtx580"),
+        config=FIGURE8_CONFIGS["Constant"],
+        bound_values={"table": table},
+        local_size=16,
+    )
+
+
+def expected(xs, table):
+    return xs + np.float32(table.astype(np.float64).sum())
+
+
+def frozen(arr):
+    arr.setflags(write=False)
+    return arr
+
+
+def test_small_table_uses_constant_memory(compiled):
+    checked, worker = compiled
+    table = frozen(np.ones(32, dtype=np.float32))
+    cf = make_filter(checked, worker, table)
+    params = {p.name: p for p in cf.plan.kernel.params}
+    assert any(
+        p.space is Space.CONSTANT for p in params.values() if p.is_pointer
+    )
+    xs = frozen(np.arange(8, dtype=np.float32))
+    out = cf(xs)
+    assert np.allclose(out, expected(xs, table), rtol=1e-4)
+    assert cf._fallback_filter is None  # no fallback engaged
+
+
+def test_oversized_table_falls_back_to_global(compiled):
+    checked, worker = compiled
+    # 64KB of float32 is 16384 elements; exceed it.
+    table = frozen(np.full(20000, 0.001, dtype=np.float32))
+    cf = make_filter(checked, worker, table)
+    xs = frozen(np.arange(8, dtype=np.float32))
+    out = cf(xs)
+    assert np.allclose(out, expected(xs, table), rtol=1e-3)
+    assert cf._fallback_filter is not None
+    fallback_params = cf._fallback_filter.plan.kernel.params
+    assert all(
+        p.space is not Space.CONSTANT for p in fallback_params if p.is_pointer
+    )
+
+
+def test_fallback_compiled_once(compiled):
+    checked, worker = compiled
+    table = frozen(np.full(20000, 0.001, dtype=np.float32))
+    cf = make_filter(checked, worker, table)
+    xs = frozen(np.arange(8, dtype=np.float32))
+    cf(xs)
+    first = cf._fallback_filter
+    cf(xs)
+    assert cf._fallback_filter is first
+    # Both launches were recorded into the shared profile.
+    assert cf.profile.kernel_launches == 2

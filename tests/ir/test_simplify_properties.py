@@ -1,0 +1,177 @@
+"""Property-based tests: kernel-IR simplification preserves semantics.
+
+Random expression trees over integer variables are evaluated directly
+and after :func:`repro.ir.passes.simplify`; results must agree exactly
+(the simplifier implements the same truncating division/remainder the
+executor uses).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend import kernel_ir as K
+from repro.ir.passes import simplify
+
+I = K.K_INT
+B = K.K_BOOL
+
+_INT_OPS = ["+", "-", "*", "&", "|", "^"]
+_CMP_OPS = ["<", ">", "<=", ">=", "==", "!="]
+
+
+@st.composite
+def int_exprs(draw, depth=0):
+    if depth >= 4 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return K.KConst(draw(st.integers(-64, 64)), I)
+        return K.KVar(draw(st.sampled_from(["a", "b", "c"])), I)
+    kind = draw(st.sampled_from(["bin", "neg", "select", "div", "rem"]))
+    if kind == "bin":
+        return K.KBin(
+            draw(st.sampled_from(_INT_OPS)),
+            draw(int_exprs(depth=depth + 1)),
+            draw(int_exprs(depth=depth + 1)),
+            I,
+        )
+    if kind == "neg":
+        return K.KUn("-", draw(int_exprs(depth=depth + 1)), I)
+    if kind == "select":
+        cond = K.KBin(
+            draw(st.sampled_from(_CMP_OPS)),
+            draw(int_exprs(depth=depth + 1)),
+            draw(int_exprs(depth=depth + 1)),
+            B,
+        )
+        return K.KSelect(
+            cond,
+            draw(int_exprs(depth=depth + 1)),
+            draw(int_exprs(depth=depth + 1)),
+            I,
+        )
+    op = "/" if kind == "div" else "%"
+    return K.KBin(
+        op,
+        draw(int_exprs(depth=depth + 1)),
+        draw(int_exprs(depth=depth + 1)),
+        I,
+    )
+
+
+def evaluate(expr, env):
+    if isinstance(expr, K.KConst):
+        return expr.value
+    if isinstance(expr, K.KVar):
+        return env[expr.name]
+    if isinstance(expr, K.KUn):
+        value = evaluate(expr.operand, env)
+        return -value if expr.op == "-" else value
+    if isinstance(expr, K.KSelect):
+        return (
+            evaluate(expr.then, env)
+            if evaluate(expr.cond, env)
+            else evaluate(expr.otherwise, env)
+        )
+    if isinstance(expr, K.KBin):
+        left = evaluate(expr.left, env)
+        right = evaluate(expr.right, env)
+        op = expr.op
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "&":
+            return left & right
+        if op == "|":
+            return left | right
+        if op == "^":
+            return left ^ right
+        if op == "/":
+            if right == 0:
+                return None
+            q = abs(left) // abs(right)
+            return q if (left >= 0) == (right >= 0) else -q
+        if op == "%":
+            if right == 0:
+                return None
+            q = abs(left) // abs(right)
+            q = q if (left >= 0) == (right >= 0) else -q
+            return left - q * right
+        if op == "<":
+            return left < right
+        if op == ">":
+            return left > right
+        if op == "<=":
+            return left <= right
+        if op == ">=":
+            return left >= right
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+    raise AssertionError(type(expr))
+
+
+class _DivByZero(Exception):
+    pass
+
+
+def evaluate_strict(expr, env):
+    result = evaluate(expr, env)
+    if result is None:
+        raise _DivByZero()
+    # Inner None results propagate through evaluate as TypeErrors; treat
+    # any failure as division-by-zero territory and skip.
+    return result
+
+
+@given(int_exprs(), st.integers(-10, 10), st.integers(-10, 10), st.integers(-10, 10))
+@settings(max_examples=150, deadline=None)
+def test_simplify_preserves_integer_semantics(expr, a, b, c):
+    env = {"a": a, "b": b, "c": c}
+    try:
+        before = evaluate_strict(expr, env)
+    except (_DivByZero, TypeError):
+        return  # division by zero somewhere: undefined either way
+    after = evaluate_strict(simplify(expr), env)
+    assert before == after
+
+
+@given(int_exprs())
+@settings(max_examples=100, deadline=None)
+def test_simplify_is_idempotent(expr):
+    once = simplify(expr)
+    twice = simplify(once)
+    env = {"a": 3, "b": -2, "c": 7}
+    try:
+        v1 = evaluate_strict(once, env)
+        v2 = evaluate_strict(twice, env)
+    except (_DivByZero, TypeError):
+        return
+    assert v1 == v2
+
+
+@given(int_exprs())
+@settings(max_examples=100, deadline=None)
+def test_simplify_never_grows_constants(expr):
+    """Folded trees have no binary node with two constant children
+    (except unfoldable division by zero)."""
+
+    def check(node):
+        if isinstance(node, K.KBin):
+            both_const = isinstance(node.left, K.KConst) and isinstance(
+                node.right, K.KConst
+            )
+            if both_const and node.op not in ("/", "%"):
+                raise AssertionError("unfolded constant pair: {}".format(node))
+            check(node.left)
+            check(node.right)
+        elif isinstance(node, K.KUn):
+            check(node.operand)
+        elif isinstance(node, K.KSelect):
+            check(node.cond)
+            check(node.then)
+            check(node.otherwise)
+
+    check(simplify(expr))

@@ -1,0 +1,104 @@
+"""OpenCL-like host API tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.opencl.api import (
+    Buffer,
+    CommandQueue,
+    Context,
+    Platform,
+    Program,
+    READ_ONLY,
+    READ_WRITE,
+)
+
+SOURCE = """
+__kernel void scale(__global const float* x, __global float* y, float a, int n) {
+    int i = get_global_id(0);
+    if (i < n) { y[i] = a * x[i]; }
+}
+"""
+
+
+def test_platform_lists_table2_devices():
+    names = {d.name for d in Platform().get_devices()}
+    assert "NVidia GeForce GTX 580" in names
+    assert "Intel Core i7-990X" in names
+    assert len(names) == 4
+
+
+def test_context_accepts_device_name():
+    ctx = Context("gtx580")
+    assert "580" in ctx.device.name
+
+
+def test_full_host_workflow():
+    ctx = Context("gtx580")
+    queue = CommandQueue(ctx)
+    kern = Program(ctx, SOURCE).build().create_kernel("scale")
+    x = np.arange(10, dtype=np.float32)
+    xbuf = Buffer(ctx, READ_ONLY, hostbuf=x)
+    ybuf = Buffer(ctx, READ_WRITE, nbytes=40, dtype=np.float32)
+    queue.enqueue_write_buffer(xbuf, x)
+    kern.set_args(xbuf, ybuf, np.float32(3.0), np.int32(10))
+    timing = queue.enqueue_nd_range(kern, 16, 8)
+    out = np.zeros(10, dtype=np.float32)
+    queue.enqueue_read_buffer(ybuf, out)
+    assert np.allclose(out, 3.0 * x)
+    assert timing.kernel_ns > 0
+    assert queue.profile["transfer"] > 0
+    assert queue.profile["setup"] > 0
+    assert queue.finish() == pytest.approx(sum(queue.profile.values()))
+
+
+def test_unbuilt_program_rejected():
+    ctx = Context("gtx580")
+    with pytest.raises(DeviceError):
+        Program(ctx, SOURCE).create_kernel("scale")
+
+
+def test_unknown_kernel_name():
+    ctx = Context("gtx580")
+    with pytest.raises(DeviceError):
+        Program(ctx, SOURCE).build().create_kernel("nope")
+
+
+def test_unset_argument_rejected():
+    ctx = Context("gtx580")
+    queue = CommandQueue(ctx)
+    kern = Program(ctx, SOURCE).build().create_kernel("scale")
+    with pytest.raises(DeviceError):
+        queue.enqueue_nd_range(kern, 8, 8)
+
+
+def test_scalar_argument_must_not_be_buffer():
+    ctx = Context("gtx580")
+    queue = CommandQueue(ctx)
+    kern = Program(ctx, SOURCE).build().create_kernel("scale")
+    buf = Buffer(ctx, READ_ONLY, nbytes=16)
+    kern.set_args(buf, buf, buf, np.int32(1))  # `a` must be scalar
+    with pytest.raises(DeviceError):
+        queue.enqueue_nd_range(kern, 8, 8)
+
+
+def test_buffer_requires_size_or_host_data():
+    ctx = Context("gtx580")
+    with pytest.raises(DeviceError):
+        Buffer(ctx, READ_ONLY)
+
+
+def test_events_are_recorded_in_order():
+    ctx = Context("gtx580")
+    queue = CommandQueue(ctx)
+    kern = Program(ctx, SOURCE).build().create_kernel("scale")
+    x = np.zeros(4, dtype=np.float32)
+    xbuf = Buffer(ctx, READ_ONLY, hostbuf=x)
+    ybuf = Buffer(ctx, READ_WRITE, nbytes=16, dtype=np.float32)
+    queue.enqueue_write_buffer(xbuf, x)
+    kern.set_args(xbuf, ybuf, np.float32(1.0), np.int32(4))
+    queue.enqueue_nd_range(kern, 4, 4)
+    queue.enqueue_read_buffer(ybuf, np.zeros(4, dtype=np.float32))
+    kinds = [event[0] for event in queue.events]
+    assert kinds == ["write", "ndrange", "read"]

@@ -1,0 +1,208 @@
+"""OpenCL-C frontend tests: parsing, translation, execution."""
+
+import numpy as np
+import pytest
+
+from repro.backend import kernel_ir as K
+from repro.errors import CompileError, ParseError
+from repro.opencl.clc import compile_opencl_source
+from repro.opencl.clc.parser import parse_kernels, preprocess
+from repro.opencl.executor import compile_kernel
+
+
+def run_kernel(source, name, buffers, scalars, global_size, local_size):
+    kernels = compile_opencl_source(source)
+    return compile_kernel(kernels[name]).launch(
+        buffers, scalars, global_size, local_size
+    )
+
+
+def test_preprocess_define_substitution():
+    text = preprocess("#define TILE 64\nint x = TILE;")
+    assert "64" in text and "TILE" not in text
+
+
+def test_preprocess_drops_sampler_lines():
+    text = preprocess("const sampler_t smp = CLK_FOO | CLK_BAR;\nint x;")
+    assert "sampler_t" not in text
+
+
+def test_parse_kernel_signature():
+    kernels = parse_kernels(
+        "__kernel void f(__global const float* x, __local int* t, int n) {}"
+    )
+    params = kernels[0].params
+    assert [p.space for p in params] == ["global", "local", "private"]
+    assert params[0].is_const
+    assert params[0].is_pointer and not params[2].is_pointer
+
+
+def test_parse_rejects_non_kernel():
+    with pytest.raises(ParseError):
+        parse_kernels("void helper() {}")
+
+
+def test_constant_array_size_expression():
+    kernels = compile_opencl_source(
+        "__kernel void f(__global float* o) { __local float t[16 * 4]; }"
+    )
+    arr = kernels["f"].arrays[0]
+    assert arr.size == 64
+    assert arr.space is K.Space.LOCAL
+
+
+def test_simple_kernel_executes():
+    source = """
+    __kernel void double_it(__global const float* x, __global float* y, int n) {
+        int i = get_global_id(0);
+        if (i < n) { y[i] = x[i] * 2.0f; }
+    }
+    """
+    x = np.arange(6, dtype=np.float32)
+    y = np.zeros(6, dtype=np.float32)
+    run_kernel(source, "double_it", {"x": x, "y": y}, {"n": 6}, 8, 4)
+    assert np.allclose(y, x * 2)
+
+
+def test_vload_vstore_and_members():
+    source = """
+    __kernel void swizzle(__global const float* x, __global float* y) {
+        int i = get_global_id(0);
+        float4 v = vload4(i, x);
+        y[i] = v.x + v.w + v.s1;
+    }
+    """
+    x = np.arange(8, dtype=np.float32)
+    y = np.zeros(2, dtype=np.float32)
+    run_kernel(source, "swizzle", {"x": x, "y": y}, {}, 2, 2)
+    assert list(y) == [0 + 3 + 1, 4 + 7 + 5]
+
+
+def test_for_loop_and_compound_assign():
+    source = """
+    __kernel void sum(__global const float* x, __global float* y, int n) {
+        int gid = get_global_id(0);
+        float acc = 0.0f;
+        for (int j = 0; j < n; j++) { acc += x[j]; }
+        y[gid] = acc;
+    }
+    """
+    x = np.arange(5, dtype=np.float32)
+    y = np.zeros(2, dtype=np.float32)
+    run_kernel(source, "sum", {"x": x, "y": y}, {"n": 5}, 2, 2)
+    assert np.allclose(y, [10.0, 10.0])
+
+
+def test_native_math_functions():
+    source = """
+    __kernel void m(__global float* y) {
+        y[get_global_id(0)] = native_exp(0.0f) + native_sqrt(4.0f);
+    }
+    """
+    y = np.zeros(1, dtype=np.float32)
+    run_kernel(source, "m", {"y": y}, {}, 1, 1)
+    assert y[0] == pytest.approx(3.0)
+
+
+def test_mad_expands():
+    source = """
+    __kernel void m(__global float* y) {
+        y[0] = mad(2.0f, 3.0f, 4.0f);
+    }
+    """
+    y = np.zeros(1, dtype=np.float32)
+    run_kernel(source, "m", {"y": y}, {}, 1, 1)
+    assert y[0] == 10.0
+
+
+def test_read_imagef_translation():
+    source = """
+    __kernel void img(__read_only image2d_t t, __global float* y) {
+        const sampler_t smp = CLK_NORMALIZED_COORDS_FALSE;
+        int i = get_global_id(0);
+        float4 row = read_imagef(t, smp, (int2)(i, 0));
+        y[i] = row.y;
+    }
+    """
+    table = np.arange(8, dtype=np.float32)  # two texels of 4
+    y = np.zeros(2, dtype=np.float32)
+    run_kernel(source, "img", {"t": table, "y": y}, {}, 2, 2)
+    assert list(y) == [1.0, 5.0]
+
+
+def test_barrier_statement_translated():
+    kernels = compile_opencl_source(
+        """
+        __kernel void b(__global float* y) {
+            __local float t[4];
+            t[get_local_id(0)] = 1.0f;
+            barrier(CLK_LOCAL_MEM_FENCE);
+            y[get_global_id(0)] = t[0];
+        }
+        """
+    )
+    stmts = list(K.walk_stmts(kernels["b"].body))
+    assert any(isinstance(s, K.KBarrier) for s in stmts)
+
+
+def test_ternary_and_comparison():
+    source = """
+    __kernel void t(__global const int* x, __global int* y, int n) {
+        int i = get_global_id(0);
+        y[i] = x[i] > 2 ? 1 : 0;
+    }
+    """
+    x = np.array([1, 5], dtype=np.int32)
+    y = np.zeros(2, dtype=np.int32)
+    run_kernel(source, "t", {"x": x, "y": y}, {"n": 2}, 2, 2)
+    assert list(y) == [0, 1]
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(CompileError):
+        compile_opencl_source(
+            "__kernel void f(__global float* y) { y[0] = frobnicate(1.0f); }"
+        )
+
+
+def test_unknown_identifier_rejected():
+    with pytest.raises(CompileError):
+        compile_opencl_source(
+            "__kernel void f(__global float* y) { y[0] = mystery; }"
+        )
+
+
+def test_two_kernels_in_one_program():
+    kernels = compile_opencl_source(
+        """
+        __kernel void a(__global float* y) { y[0] = 1.0f; }
+        __kernel void b(__global float* y) { y[0] = 2.0f; }
+        """
+    )
+    assert set(kernels) == {"a", "b"}
+
+
+def test_while_loop():
+    source = """
+    __kernel void w(__global int* y) {
+        int i = 0;
+        int s = 0;
+        while (i < 5) { s += i; i++; }
+        y[0] = s;
+    }
+    """
+    y = np.zeros(1, dtype=np.int32)
+    run_kernel(source, "w", {"y": y}, {}, 1, 1)
+    assert y[0] == 10
+
+
+def test_int_literal_suffix_handling():
+    source = """
+    __kernel void l(__global int* y) {
+        long p = 65536L;
+        y[0] = (int)((p * p) % 65537L);
+    }
+    """
+    y = np.zeros(1, dtype=np.int32)
+    run_kernel(source, "l", {"y": y}, {}, 1, 1)
+    assert y[0] == (65536 * 65536) % 65537

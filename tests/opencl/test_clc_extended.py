@@ -1,0 +1,150 @@
+"""Additional OpenCL-C frontend coverage."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompileError
+from repro.opencl.clc import compile_opencl_source
+from repro.opencl.executor import compile_kernel
+
+
+def run(source, name, buffers, scalars, global_size=1, local_size=1):
+    kernels = compile_opencl_source(source)
+    return compile_kernel(kernels[name]).launch(
+        buffers, scalars, global_size, local_size
+    )
+
+
+def test_else_if_chain():
+    source = """
+    __kernel void classify(__global const int* x, __global int* y, int n) {
+        int i = get_global_id(0);
+        if (i >= n) { return; }
+        if (x[i] < 0) { y[i] = -1; }
+        else if (x[i] == 0) { y[i] = 0; }
+        else { y[i] = 1; }
+    }
+    """
+    x = np.array([-5, 0, 7, 2], dtype=np.int32)
+    y = np.zeros(4, dtype=np.int32)
+    run(source, "classify", {"x": x, "y": y}, {"n": 4}, 4, 4)
+    assert list(y) == [-1, 0, 1, 1]
+
+
+def test_break_and_continue():
+    source = """
+    __kernel void f(__global int* y) {
+        int s = 0;
+        for (int i = 0; i < 100; i++) {
+            if (i == 7) { break; }
+            if (i % 2 == 0) { continue; }
+            s += i;
+        }
+        y[0] = s;
+    }
+    """
+    y = np.zeros(1, dtype=np.int32)
+    run(source, "f", {"y": y}, {})
+    assert y[0] == 1 + 3 + 5
+
+
+def test_uint_maps_to_int():
+    source = """
+    __kernel void f(__global const uint* x, __global uint* y) {
+        uint i = get_global_id(0);
+        y[i] = x[i] + 1;
+    }
+    """
+    x = np.array([1, 2], dtype=np.int32)
+    y = np.zeros(2, dtype=np.int32)
+    run(source, "f", {"x": x, "y": y}, {}, 2, 2)
+    assert list(y) == [2, 3]
+
+
+def test_float2_vector():
+    source = """
+    __kernel void f(__global const float* x, __global float* y) {
+        int i = get_global_id(0);
+        float2 v = vload2(i, x);
+        y[i] = v.x * v.y;
+    }
+    """
+    x = np.array([2.0, 3.0, 4.0, 5.0], dtype=np.float32)
+    y = np.zeros(2, dtype=np.float32)
+    run(source, "f", {"x": x, "y": y}, {}, 2, 2)
+    assert list(y) == [6.0, 20.0]
+
+
+def test_vector_splat_literal():
+    source = """
+    __kernel void f(__global float* y) {
+        float4 v = (float4)(2.5f);
+        y[0] = v.x + v.w;
+    }
+    """
+    y = np.zeros(1, dtype=np.float32)
+    run(source, "f", {"y": y}, {})
+    assert y[0] == 5.0
+
+
+def test_private_array_in_kernel():
+    source = """
+    __kernel void f(__global float* y) {
+        float acc[4];
+        for (int i = 0; i < 4; i++) { acc[i] = (float)(i * i); }
+        y[0] = acc[3];
+    }
+    """
+    y = np.zeros(1, dtype=np.float32)
+    run(source, "f", {"y": y}, {})
+    assert y[0] == 9.0
+
+
+def test_general_for_with_compound_update():
+    source = """
+    __kernel void f(__global int* y) {
+        int s = 0;
+        for (int i = 1; i < 100; i *= 2) { s += i; }
+        y[0] = s;
+    }
+    """
+    y = np.zeros(1, dtype=np.int32)
+    run(source, "f", {"y": y}, {})
+    assert y[0] == 1 + 2 + 4 + 8 + 16 + 32 + 64
+
+
+def test_fmin_fmax():
+    source = """
+    __kernel void f(__global float* y) {
+        y[0] = fmin(2.0f, 3.0f) + fmax(2.0f, 3.0f);
+    }
+    """
+    y = np.zeros(1, dtype=np.float32)
+    run(source, "f", {"y": y}, {})
+    assert y[0] == 5.0
+
+
+def test_member_on_scalar_rejected():
+    with pytest.raises(CompileError):
+        compile_opencl_source(
+            "__kernel void f(__global float* y) { float a = 1.0f; y[0] = a.x; }"
+        )
+
+
+def test_lane_out_of_range_rejected():
+    with pytest.raises(CompileError):
+        compile_opencl_source(
+            """
+            __kernel void f(__global const float* x, __global float* y) {
+                float2 v = vload2(0, x);
+                y[0] = v.z;
+            }
+            """
+        )
+
+
+def test_get_global_id_dim1_rejected():
+    with pytest.raises(CompileError):
+        compile_opencl_source(
+            "__kernel void f(__global float* y) { int i = get_global_id(1); }"
+        )

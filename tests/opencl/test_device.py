@@ -1,0 +1,68 @@
+"""Device catalog tests: the Table 2 parameters."""
+
+import pytest
+
+from repro.opencl.device import CORE_I7, DEVICES, GTX580, GTX8800, HD5970, get_device
+
+
+def test_catalog_contents():
+    assert set(DEVICES) == {"gtx8800", "gtx580", "hd5970", "core-i7"}
+
+
+def test_lookup_case_insensitive():
+    assert get_device("GTX580") is GTX580
+
+
+def test_unknown_device():
+    with pytest.raises(KeyError):
+        get_device("rtx4090")
+
+
+def test_table2_gtx8800():
+    assert GTX8800.compute_units == 16
+    assert GTX8800.fp_units_per_unit == 8
+    assert GTX8800.constant_memory_bytes == 64 * 1024
+    assert GTX8800.local_memory_bytes == 16 * 1024
+    assert not GTX8800.has_l1_cache
+
+
+def test_table2_gtx580():
+    assert GTX580.compute_units == 16
+    assert GTX580.fp_units_per_unit == 32
+    assert GTX580.local_memory_bytes == 48 * 1024
+    assert GTX580.has_l1_cache
+    assert GTX580.l2_cache_bytes == 768 * 1024
+
+
+def test_table2_hd5970():
+    assert HD5970.compute_units == 20
+    assert HD5970.fp_units_per_unit == 80
+    assert HD5970.local_memory_bytes == 32 * 1024
+
+
+def test_table2_core_i7():
+    assert CORE_I7.compute_units == 6
+    assert CORE_I7.fp_units_per_unit == 4
+    assert CORE_I7.smt_threads == 2
+    assert CORE_I7.l2_cache_bytes == 12 * 1024 * 1024  # the paper's L3
+
+
+def test_with_cores():
+    one = CORE_I7.with_cores(1)
+    assert one.compute_units == 1
+    assert one.clock_ghz == CORE_I7.clock_ghz
+    assert CORE_I7.compute_units == 6  # original untouched
+
+
+def test_bank_counts_match_generations():
+    assert GTX8800.local_memory_banks == 16
+    assert GTX580.local_memory_banks == 32
+
+
+def test_warp_widths():
+    assert GTX8800.warp_width == 32
+    assert HD5970.warp_width == 64  # AMD wavefront
+
+
+def test_peak_flops_ordering():
+    assert HD5970.peak_flops > GTX580.peak_flops > GTX8800.peak_flops

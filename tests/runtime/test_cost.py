@@ -1,0 +1,91 @@
+"""Cost-model unit tests."""
+
+import pytest
+
+from repro.runtime.cost import CostCounter, JavaCostModel, StageTimes
+from repro.runtime.profiler import CommCostModel, ExecutionProfile
+from repro.runtime.marshal import MarshalStats
+
+
+def test_counter_accumulates():
+    counter = CostCounter()
+    counter.charge("fp_op", 3)
+    counter.charge("fp_op")
+    assert counter.get("fp_op") == 4
+    assert counter.total_ops() == 4
+
+
+def test_counter_merge():
+    a, b = CostCounter(), CostCounter()
+    a.charge("fp_op", 2)
+    b.charge("fp_op", 3)
+    b.charge("branch", 1)
+    a.merge(b)
+    assert a.get("fp_op") == 5
+    assert a.get("branch") == 1
+
+
+def test_java_model_weighting():
+    model = JavaCostModel()
+    counter = CostCounter()
+    counter.charge("fp_op", 10)
+    counter.charge("transcendental", 2)
+    expected = 10 * model.fp_op + 2 * model.transcendental
+    assert model.nanos(counter) == pytest.approx(expected)
+
+
+def test_java_model_unknown_kind_raises():
+    counter = CostCounter()
+    counter.charge("made_up_op")
+    with pytest.raises(KeyError):
+        JavaCostModel().nanos(counter)
+
+
+def test_transcendental_much_more_expensive_than_sqrt():
+    model = JavaCostModel()
+    assert model.transcendental > 5 * model.sqrt_op
+
+
+def test_stage_times_total_and_communication():
+    stages = StageTimes(java_marshal=10, c_marshal=5, kernel=100, transfer=5)
+    assert stages.total() == 120
+    assert stages.communication() == 20
+
+
+def test_stage_times_add():
+    a = StageTimes(kernel=10)
+    a.add(StageTimes(kernel=5, transfer=2))
+    assert a.kernel == 15
+    assert a.transfer == 2
+
+
+def test_comm_model_marshal_costs():
+    comm = CommCostModel()
+    stats = MarshalStats(elements=10, bulk_bytes=100, allocations=1)
+    java = comm.java_marshal_ns(stats)
+    c = comm.c_marshal_ns(stats)
+    assert java > c  # Java marshalling is the expensive side (Figure 9)
+
+
+def test_cpu_comm_model_has_no_real_pcie():
+    gpu = CommCostModel()
+    cpu = CommCostModel.for_cpu()
+    assert cpu.transfer_ns(1_000_000) < gpu.transfer_ns(1_000_000) / 5
+
+
+def test_profile_breakdown_fractions_sum_to_one():
+    profile = ExecutionProfile()
+    profile.record("t", StageTimes(kernel=60, java_marshal=30, transfer=10))
+    breakdown = profile.breakdown()
+    assert sum(breakdown.values()) == pytest.approx(1.0)
+    assert breakdown["kernel"] == pytest.approx(0.6)
+
+
+def test_profile_per_task_accounting():
+    profile = ExecutionProfile()
+    profile.record("a", StageTimes(kernel=10))
+    profile.record("a", StageTimes(kernel=5))
+    profile.record("b", StageTimes(kernel=1))
+    assert profile.per_task["a"].kernel == 15
+    assert profile.per_task["b"].kernel == 1
+    assert profile.total_ns() == 16

@@ -1,0 +1,119 @@
+"""Engine tests: host execution, offload fallback, cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import Offloader
+from repro.frontend import check_program, parse_program
+from repro.opencl import get_device
+from repro.runtime.engine import Engine, run_baseline
+
+PIPELINE = """
+class Pipe {
+    int n;
+    int produced;
+    static float result = 0.0f;
+
+    Pipe(int size) { n = size; produced = 0; }
+
+    float[[]] gen() {
+        if (produced >= 3) { throw new UnderflowException(); }
+        produced = produced + 1;
+        float[] xs = new float[n];
+        for (int i = 0; i < n; i++) { xs[i] = (float) i; }
+        return (float[[]]) xs;
+    }
+
+    static local float[[]] square(float[[]] xs) {
+        return Pipe.sq @ xs;
+    }
+
+    static local float sq(float x) { return x * x; }
+
+    static void consume(float[[]] xs) {
+        result = result + (+! xs);
+    }
+
+    static float run(int n) {
+        result = 0.0f;
+        var g = task Pipe(n).gen => task Pipe.square => task Pipe.consume;
+        g.finish();
+        return result;
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def pipeline_checked():
+    return check_program(parse_program(PIPELINE))
+
+
+def test_host_pipeline(pipeline_checked):
+    result, ns, engine = run_baseline(pipeline_checked, "Pipe", "run", [4])
+    # 3 stream items, each summing 0+1+4+9 = 14.
+    assert result == pytest.approx(42.0)
+    assert ns > 0
+    assert engine.offloaded_tasks == []
+
+
+def test_offloaded_pipeline_matches_host(pipeline_checked):
+    offloader = Offloader(device=get_device("gtx580"))
+    engine = Engine(pipeline_checked, offloader=offloader)
+    result = engine.run_static("Pipe", "run", [4])
+    assert result == pytest.approx(42.0)
+    assert engine.offloaded_tasks == ["Pipe.square"]
+    assert engine.profile.kernel_launches == 3
+    assert engine.profile.stages.kernel > 0
+    assert engine.profile.stages.java_marshal > 0
+
+
+def test_non_isolated_tasks_stay_on_host(pipeline_checked):
+    offloader = Offloader(device=get_device("gtx580"))
+    engine = Engine(pipeline_checked, offloader=offloader)
+    engine.run_static("Pipe", "run", [4])
+    assert "Pipe.gen" in engine.host_tasks
+    assert "Pipe.consume" in engine.host_tasks
+
+
+def test_unoffloadable_filter_falls_back():
+    source = """
+    class Odd {
+        int produced;
+        Odd(int x) { produced = 0; }
+        float[[]] gen() {
+            if (produced >= 1) { throw new UnderflowException(); }
+            produced = produced + 1;
+            float[] xs = new float[4];
+            return (float[[]]) xs;
+        }
+        static local float[[]] weird(float[[]] xs) {
+            float s = +! xs;
+            float[] out = new float[2];
+            out[0] = s;
+            return (float[[]]) out;
+        }
+        static void consume(float[[]] xs) { }
+        static int run() {
+            var g = task Odd(0).gen => task Odd.weird => task Odd.consume;
+            g.finish();
+            return 1;
+        }
+    }
+    """
+    checked = check_program(parse_program(source))
+    offloader = Offloader(device=get_device("gtx580"))
+    engine = Engine(checked, offloader=offloader)
+    assert engine.run_static("Odd", "run", []) == 1
+    # The filter body is not a single map/reduce return: rejected, ran on host.
+    assert engine.offloaded_tasks == []
+    assert offloader.rejections
+
+
+def test_total_time_includes_host_and_stages(pipeline_checked):
+    offloader = Offloader(device=get_device("gtx580"))
+    engine = Engine(pipeline_checked, offloader=offloader)
+    engine.run_static("Pipe", "run", [4])
+    assert engine.total_ns() == pytest.approx(
+        engine.host_compute_ns() + engine.profile.stages.total()
+    )

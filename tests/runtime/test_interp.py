@@ -1,0 +1,209 @@
+"""Host interpreter tests: Lime semantics on the 'JVM' path."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeFault, UnderflowException
+from repro.frontend import check_program, parse_program
+from repro.runtime.cost import CostCounter
+from repro.runtime.interp import Interpreter
+
+
+def run(source, class_name, method, args=(), cost=None):
+    checked = check_program(parse_program(source))
+    interp = Interpreter(checked, cost=cost)
+    return interp.call_static(class_name, method, list(args))
+
+
+def test_arithmetic():
+    assert run("class A { static int f() { return 2 + 3 * 4; } }", "A", "f") == 14
+
+
+def test_int_division_truncates():
+    assert run("class A { static int f() { return -7 / 2; } }", "A", "f") == -3
+
+
+def test_int_overflow_wraps():
+    source = "class A { static int f() { return 2147483647 + 1; } }"
+    assert run(source, "A", "f") == -(2 ** 31)
+
+
+def test_long_multiplication_no_32bit_wrap():
+    source = (
+        "class A { static long f() { long a = 65536L;"
+        " return a * a; } }"
+    )
+    assert run(source, "A", "f") == 65536 * 65536
+
+
+def test_byte_cast_wraps():
+    assert run("class A { static byte f() { return (byte) 200; } }", "A", "f") == -56
+
+
+def test_float_cast_rounds():
+    out = run("class A { static float f(double x) { return (float) x; } }", "A", "f", [0.1])
+    assert out == float(np.float32(0.1))
+
+
+def test_loops_and_arrays():
+    source = (
+        "class A { static int f(int n) { int[] xs = new int[n];"
+        " for (int i = 0; i < n; i++) { xs[i] = i * i; }"
+        " int s = 0;"
+        " for (int i = 0; i < n; i++) { s += xs[i]; }"
+        " return s; } }"
+    )
+    assert run(source, "A", "f", [5]) == 0 + 1 + 4 + 9 + 16
+
+
+def test_while_break_continue():
+    source = (
+        "class A { static int f() { int s = 0; int i = 0;"
+        " while (true) { i++; if (i > 10) { break; }"
+        " if (i % 2 == 0) { continue; } s += i; } return s; } }"
+    )
+    assert run(source, "A", "f") == 1 + 3 + 5 + 7 + 9
+
+
+def test_bounds_check():
+    source = "class A { static int f(int[] xs) { return xs[5]; } }"
+    with pytest.raises(RuntimeFault):
+        run(source, "A", "f", [np.zeros(3, dtype=np.int32)])
+
+
+def test_value_array_store_rejected_at_runtime_too():
+    # Reaching a frozen array through a mutable-typed alias is impossible
+    # in checked programs, but the runtime guards anyway.
+    source = "class A { static void f(float[] xs) { xs[0] = 1.0f; } }"
+    frozen = np.zeros(3, dtype=np.float32)
+    frozen.setflags(write=False)
+    with pytest.raises(RuntimeFault):
+        run(source, "A", "f", [frozen])
+
+
+def test_freeze_cast_copies():
+    source = (
+        "class A { static float[[]] f() { float[] xs = new float[2];"
+        " xs[0] = 1.0f; float[[]] v = (float[[]]) xs; xs[1] = 9.0f;"
+        " return v; } }"
+    )
+    out = run(source, "A", "f")
+    assert out[1] == 0.0
+    assert not out.flags.writeable
+
+
+def test_map_over_array():
+    source = (
+        "class A { static local float sq(float x) { return x * x; }"
+        " static local float[[]] f(float[[]] xs) { return A.sq @ xs; } }"
+    )
+    xs = np.array([1, 2, 3], dtype=np.float32)
+    xs.setflags(write=False)
+    out = run(source, "A", "f", [xs])
+    assert np.allclose(out, [1, 4, 9])
+    assert not out.flags.writeable
+
+
+def test_map_over_iota():
+    source = (
+        "class A { static local int dbl(int i) { return i * 2; }"
+        " static local int[[]] f(int n) { return A.dbl @ Lime.iota(n); } }"
+    )
+    out = run(source, "A", "f", [4])
+    assert list(out) == [0, 2, 4, 6]
+
+
+def test_reduce_sum():
+    source = "class A { static local float f(float[[]] xs) { return +! xs; } }"
+    xs = np.array([1.5, 2.5, 3.0], dtype=np.float32)
+    xs.setflags(write=False)
+    assert run(source, "A", "f", [xs]) == pytest.approx(7.0)
+
+
+def test_reduce_product():
+    source = "class A { static local int f(int[[]] xs) { return *! xs; } }"
+    xs = np.array([2, 3, 4], dtype=np.int32)
+    xs.setflags(write=False)
+    assert run(source, "A", "f", [xs]) == 24
+
+
+def test_reduce_max():
+    source = "class A { static local float f(float[[]] xs) { return Math.max ! xs; } }"
+    xs = np.array([1.0, 9.0, 3.0], dtype=np.float32)
+    xs.setflags(write=False)
+    assert run(source, "A", "f", [xs]) == 9.0
+
+
+def test_reduce_with_combinator_method():
+    source = (
+        "class A { static local float both(float a, float b) { return a + 2.0f * b; }"
+        " static local float f(float[[]] xs) { return A.both ! xs; } }"
+    )
+    xs = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+    xs.setflags(write=False)
+    # ((1 + 2*2) + 2*3) = 11
+    assert run(source, "A", "f", [xs]) == pytest.approx(11.0)
+
+
+def test_instance_fields_and_constructor():
+    source = (
+        "class A { int n; A(int m) { n = m * 2; }"
+        " int get() { return n; }"
+        " static int f() { A a = new A(21); return a.get(); } }"
+    )
+    assert run(source, "A", "f") == 42
+
+
+def test_static_field_initialization_and_mutation():
+    source = (
+        "class A { static int c = 5;"
+        " static int f() { c = c + 1; return c; } }"
+    )
+    assert run(source, "A", "f") == 6
+
+
+def test_underflow_exception_propagates():
+    source = "class A { static void f() { throw new UnderflowException(); } }"
+    with pytest.raises(UnderflowException):
+        run(source, "A", "f")
+
+
+def test_math_functions():
+    source = "class A { static double f(double x) { return Math.exp(Math.log(x)); } }"
+    assert run(source, "A", "f", [2.5]) == pytest.approx(2.5)
+
+
+def test_cost_counter_charges():
+    cost = CostCounter()
+    run(
+        "class A { static float f() { float s = 0.0f;"
+        " for (int i = 0; i < 10; i++) { s = s + Math.sin(s); } return s; } }",
+        "A",
+        "f",
+        cost=cost,
+    )
+    assert cost.get("transcendental") == 10
+    assert cost.get("branch") >= 10
+
+
+def test_ternary():
+    source = "class A { static int f(int x) { return x > 0 ? 1 : -1; } }"
+    assert run(source, "A", "f", [5]) == 1
+    assert run(source, "A", "f", [-5]) == -1
+
+
+def test_logical_short_circuit():
+    # The right operand would divide by zero; && must not evaluate it.
+    source = (
+        "class A { static boolean f(int x) {"
+        " return x != 0 && 10 / x > 1; } }"
+    )
+    assert run(source, "A", "f", [0]) is False
+
+
+def test_array_init_literal():
+    source = (
+        "class A { static int f() { int[] k = new int[] { 5, 6, 7 };"
+        " return k[0] + k[2]; } }"
+    )
+    assert run(source, "A", "f") == 12

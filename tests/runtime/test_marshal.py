@@ -1,0 +1,147 @@
+"""Wire-format tests, including hypothesis round-trip properties and the
+generic-vs-specialized equivalence the paper's optimization relies on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MarshalError
+from repro.frontend.types import (
+    BYTE,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    mutable_array,
+    value_array,
+)
+from repro.runtime import marshal
+
+
+def roundtrip(value, lime_type, marshaller=marshal.SPECIALIZED):
+    data, _ = marshal.serialize(value, lime_type, marshaller)
+    result, _ = marshal.deserialize(data, lime_type, marshaller)
+    return result
+
+
+def test_scalar_int_roundtrip():
+    assert roundtrip(42, INT) == 42
+
+
+def test_scalar_float_roundtrip_is_float32():
+    out = roundtrip(0.1, FLOAT)
+    assert out == np.float32(0.1)
+
+
+def test_scalar_double_roundtrip_exact():
+    assert roundtrip(0.1, DOUBLE) == 0.1
+
+
+def test_1d_array_roundtrip():
+    arr = np.arange(10, dtype=np.float32)
+    out = roundtrip(arr, value_array(FLOAT, None))
+    assert np.array_equal(out, arr)
+    assert not out.flags.writeable  # value arrays come back frozen
+
+
+def test_mutable_array_comes_back_writeable():
+    arr = np.arange(10, dtype=np.int32)
+    out = roundtrip(arr, mutable_array(INT, None))
+    assert out.flags.writeable
+
+
+def test_2d_array_roundtrip():
+    arr = np.arange(24, dtype=np.float32).reshape(6, 4)
+    out = roundtrip(arr, value_array(FLOAT, None, 4))
+    assert np.array_equal(out, arr)
+
+
+def test_bound_checked_on_deserialize():
+    arr = np.arange(24, dtype=np.float32).reshape(6, 4)
+    with pytest.raises(MarshalError):
+        roundtrip(arr, value_array(FLOAT, None, 3))
+
+
+def test_rank_mismatch_rejected():
+    arr = np.arange(4, dtype=np.float32)
+    with pytest.raises(MarshalError):
+        marshal.serialize(arr, value_array(FLOAT, None, 4))
+
+
+def test_wrong_tag_rejected():
+    data, _ = marshal.serialize(1, INT)
+    with pytest.raises(MarshalError):
+        marshal.deserialize(data, FLOAT)
+
+
+def test_generic_and_specialized_produce_identical_bytes():
+    arr = np.arange(30, dtype=np.int8).reshape(5, 6)
+    t = value_array(BYTE, None, 6)
+    fast, _ = marshal.serialize(arr, t, marshal.SPECIALIZED)
+    slow, _ = marshal.serialize(arr, t, marshal.GENERIC)
+    assert fast == slow
+
+
+def test_generic_charges_per_element():
+    arr = np.arange(100, dtype=np.float32)
+    t = value_array(FLOAT, None)
+    _, fast_stats = marshal.serialize(arr, t, marshal.SPECIALIZED)
+    _, slow_stats = marshal.serialize(arr, t, marshal.GENERIC)
+    assert slow_stats.elements == 100
+    assert fast_stats.elements == 0
+    assert fast_stats.bulk_bytes == 400
+
+
+@given(st.lists(st.integers(-(2 ** 31), 2 ** 31 - 1), min_size=1, max_size=64))
+@settings(max_examples=50, deadline=None)
+def test_int_array_roundtrip_property(values):
+    arr = np.array(values, dtype=np.int32)
+    out = roundtrip(arr, value_array(INT, None))
+    assert np.array_equal(out, arr)
+
+
+@given(
+    st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        min_size=1,
+        max_size=64,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_float_array_roundtrip_property(values):
+    arr = np.array(values, dtype=np.float32)
+    out = roundtrip(arr, value_array(FLOAT, None))
+    assert np.array_equal(out, arr)
+
+
+@given(
+    st.integers(1, 8),
+    st.integers(1, 8),
+    st.sampled_from(["generic", "specialized"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_2d_long_roundtrip_property(rows, cols, which):
+    rng = np.random.RandomState(rows * 31 + cols)
+    arr = rng.randint(-(2 ** 62), 2 ** 62, size=(rows, cols)).astype(np.int64)
+    m = marshal.GENERIC if which == "generic" else marshal.SPECIALIZED
+    out = roundtrip(arr, value_array(LONG, None, cols), m)
+    assert np.array_equal(out, arr)
+
+
+@given(st.integers(1, 40), st.integers(2, 6))
+@settings(max_examples=30, deadline=None)
+def test_cross_marshaller_roundtrip(rows, cols):
+    """Bytes written by one implementation decode with the other."""
+    rng = np.random.RandomState(rows + cols)
+    arr = (rng.rand(rows, cols) * 100).astype(np.float32)
+    t = value_array(FLOAT, None, cols)
+    data, _ = marshal.serialize(arr, t, marshal.GENERIC)
+    out, _ = marshal.deserialize(data, t, marshal.SPECIALIZED)
+    assert np.array_equal(out, arr)
+
+
+def test_payload_bytes_accounting():
+    arr = np.zeros((8, 4), dtype=np.float32)
+    _, stats = marshal.serialize(arr, value_array(FLOAT, None, 4))
+    assert stats.payload_bytes == 8 * 4 * 4

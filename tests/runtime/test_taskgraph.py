@@ -1,0 +1,81 @@
+"""Task graph semantics tests."""
+
+import pytest
+
+from repro.errors import RuntimeFault, UnderflowException
+from repro.runtime.taskgraph import Task, TaskGraph
+
+
+def counter_source(limit):
+    state = {"n": 0}
+
+    def worker():
+        if state["n"] >= limit:
+            raise UnderflowException()
+        state["n"] += 1
+        return state["n"]
+
+    return Task(worker, name="source", is_source=True, produces=True)
+
+
+def test_source_runs_until_underflow():
+    graph = TaskGraph([counter_source(3)])
+    assert graph.finish() == [1, 2, 3]
+
+
+def test_pipeline_applies_stages_in_order():
+    double = Task(lambda v: v * 2, "double", is_source=False, produces=True)
+    inc = Task(lambda v: v + 1, "inc", is_source=False, produces=True)
+    graph = counter_source(3).connect(double).connect(inc)
+    assert graph.finish() == [3, 5, 7]
+
+
+def test_sink_collects_nothing_for_void():
+    seen = []
+    sink = Task(lambda v: seen.append(v), "sink", is_source=False, produces=False)
+    graph = counter_source(2).connect(sink)
+    assert graph.finish() == []
+    assert seen == [1, 2]
+
+
+def test_connect_graph_to_graph():
+    a = counter_source(2).connect(
+        Task(lambda v: v * 10, "x10", is_source=False, produces=True)
+    )
+    b = TaskGraph(
+        [Task(lambda v: v + 1, "inc", is_source=False, produces=True)]
+    )
+    combined = a.connect(b)
+    assert combined.finish() == [11, 21]
+
+
+def test_finish_requires_source():
+    stage = Task(lambda v: v, "id", is_source=False, produces=True)
+    with pytest.raises(RuntimeFault):
+        TaskGraph([stage]).finish()
+
+
+def test_max_items_bounds_the_stream():
+    graph = TaskGraph([counter_source(100)])
+    assert graph.finish(max_items=4) == [1, 2, 3, 4]
+
+
+def test_downstream_underflow_stops_graph():
+    def fussy(value):
+        if value >= 2:
+            raise UnderflowException()
+        return value
+
+    stage = Task(fussy, "fussy", is_source=False, produces=True)
+    graph = counter_source(10).connect(stage)
+    assert graph.finish() == [1]
+
+
+def test_empty_graph_rejected():
+    with pytest.raises(RuntimeFault):
+        TaskGraph([])
+
+
+def test_connect_rejects_non_task():
+    with pytest.raises(RuntimeFault):
+        counter_source(1).connect(42)

@@ -1,0 +1,98 @@
+"""Runtime value representation tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeFault
+from repro.frontend.types import BYTE, DOUBLE, FLOAT, INT, LONG, mutable_array
+from repro.runtime import values as rv
+
+
+def test_dtype_mapping():
+    assert rv.dtype_for(FLOAT) == np.float32
+    assert rv.dtype_for(DOUBLE) == np.float64
+    assert rv.dtype_for(INT) == np.int32
+    assert rv.dtype_for(BYTE) == np.int8
+
+
+def test_elem_sizes():
+    assert rv.elem_size_bytes(FLOAT) == 4
+    assert rv.elem_size_bytes(LONG) == 8
+    assert rv.elem_size_bytes(BYTE) == 1
+
+
+def test_new_array_shape_and_zeroing():
+    arr = rv.new_array(mutable_array(FLOAT, None, None), [3, 4])
+    assert arr.shape == (3, 4)
+    assert arr.dtype == np.float32
+    assert (arr == 0).all()
+
+
+def test_new_array_rank_mismatch():
+    with pytest.raises(RuntimeFault):
+        rv.new_array(mutable_array(FLOAT, None, None), [3])
+
+
+def test_new_array_negative_size():
+    with pytest.raises(RuntimeFault):
+        rv.new_array(mutable_array(FLOAT, None), [-1])
+
+
+def test_freeze_copies_and_locks():
+    arr = np.ones(4, dtype=np.float32)
+    frozen = rv.freeze_array(arr)
+    arr[0] = 5.0
+    assert frozen[0] == 1.0
+    assert not frozen.flags.writeable
+    with pytest.raises(ValueError):
+        frozen[0] = 2.0
+
+
+def test_thaw_copies_and_unlocks():
+    frozen = rv.freeze_array(np.ones(4, dtype=np.float32))
+    thawed = rv.thaw_array(frozen)
+    thawed[0] = 9.0
+    assert frozen[0] == 1.0
+
+
+def test_iota():
+    arr = rv.iota(5)
+    assert list(arr) == [0, 1, 2, 3, 4]
+    assert not arr.flags.writeable
+
+
+def test_int32_wrapping():
+    assert rv.to_int32(2 ** 31) == -(2 ** 31)
+    assert rv.to_int32(-(2 ** 31) - 1) == 2 ** 31 - 1
+    assert rv.to_int32(42) == 42
+
+
+def test_int8_wrapping():
+    assert rv.to_int8(128) == -128
+    assert rv.to_int8(255) == -1
+
+
+def test_int64_wrapping():
+    assert rv.to_int64(2 ** 63) == -(2 ** 63)
+
+
+def test_java_division_truncates_toward_zero():
+    assert rv.java_div(7, 2) == 3
+    assert rv.java_div(-7, 2) == -3
+    assert rv.java_div(7, -2) == -3
+
+
+def test_java_remainder_sign_follows_dividend():
+    assert rv.java_rem(-7, 2) == -1
+    assert rv.java_rem(7, -2) == 1
+
+
+def test_division_by_zero():
+    with pytest.raises(RuntimeFault):
+        rv.java_div(1, 0)
+
+
+def test_float32_rounding():
+    # 0.1 is not representable; float32 rounding must change the value.
+    assert rv.float32_round(0.1) != 0.1
+    assert abs(rv.float32_round(0.1) - 0.1) < 1e-7

@@ -1,0 +1,83 @@
+"""CLI tests (in-process invocation of repro.cli.main)."""
+
+import pytest
+
+from repro.cli import main
+
+SAXPY = """
+class Saxpy {
+    static local float[[]] apply(float[[]] xs) {
+        return Saxpy.one(2.5f) @ xs;
+    }
+    static local float one(float x, float a) {
+        return a * x + 1.0f;
+    }
+}
+"""
+
+
+@pytest.fixture
+def saxpy_file(tmp_path):
+    path = tmp_path / "saxpy.lime"
+    path.write_text(SAXPY)
+    return str(path)
+
+
+def test_devices(capsys):
+    assert main(["devices"]) == 0
+    out = capsys.readouterr().out
+    assert "GTX 580" in out and "Core i7" in out
+
+
+def test_compile_emits_opencl(saxpy_file, capsys):
+    assert main(["compile", saxpy_file]) == 0
+    out = capsys.readouterr().out
+    assert "__kernel void Saxpy_apply_kernel" in out
+    assert "__global const float* _in" in out
+
+
+def test_compile_with_config(saxpy_file, capsys):
+    assert main(["compile", saxpy_file, "--config", "Global"]) == 0
+    out = capsys.readouterr().out
+    assert "global-only" in out
+
+
+def test_compile_no_filters(tmp_path, capsys):
+    path = tmp_path / "plain.lime"
+    path.write_text("class A { static int f() { return 1; } }")
+    assert main(["compile", str(path)]) == 1
+    assert "no offloadable filters" in capsys.readouterr().out
+
+
+def test_format_roundtrips(saxpy_file, capsys):
+    assert main(["format", saxpy_file]) == 0
+    out = capsys.readouterr().out
+    assert "static local float[[]] apply" in out
+
+
+def test_tune(saxpy_file, capsys):
+    assert main(["tune", saxpy_file, "Saxpy.apply", "--n", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "<- best" in out
+
+
+def test_tune_unknown_method(saxpy_file, capsys):
+    assert main(["tune", saxpy_file, "Saxpy.missing"]) == 1
+
+
+def test_missing_file(capsys):
+    assert main(["compile", "/nonexistent.lime"]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_parse_error_reported(tmp_path, capsys):
+    path = tmp_path / "bad.lime"
+    path.write_text("class {")
+    assert main(["compile", str(path)]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_figures_tables(capsys):
+    assert main(["figures", "tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "Table 3" in out
