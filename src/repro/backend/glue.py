@@ -25,10 +25,13 @@ stage names.
 
 from __future__ import annotations
 
+import os
+import zlib
+
 import numpy as np
 
 from repro.backend.kernel_ir import Space
-from repro.errors import RuntimeFault
+from repro.errors import RuntimeFault, TransferFault
 
 
 class _ConstantOverflow(Exception):
@@ -55,8 +58,36 @@ def np_dtype(kscalar):
 
 # Simulation knob: cap on simulated work-items per launch. The generated
 # kernels stride over the index space (Figure 4), so capping the NDRange
-# changes only simulation effort, never results.
+# changes only simulation effort, never results. Configurable per filter
+# (Offloader(max_sim_items=...)), per process (REPRO_MAX_SIM_ITEMS), or
+# per CLI invocation (--max-sim-items).
 MAX_SIMULATED_ITEMS = 2048
+
+MAX_SIM_ITEMS_ENV = "REPRO_MAX_SIM_ITEMS"
+
+
+def resolve_max_sim_items(explicit=None):
+    """The effective work-item cap: an explicit value wins, then the
+    ``REPRO_MAX_SIM_ITEMS`` environment variable, then the default.
+    Resolved lazily (per launch) so runtime changes to the environment
+    or the module default take effect immediately."""
+    if explicit is not None:
+        value = int(explicit)
+    else:
+        env = os.environ.get(MAX_SIM_ITEMS_ENV)
+        if env is None:
+            return MAX_SIMULATED_ITEMS
+        try:
+            value = int(env)
+        except ValueError:
+            raise RuntimeFault(
+                "{} must be an integer, got {!r}".format(MAX_SIM_ITEMS_ENV, env)
+            )
+    if value < 1:
+        raise RuntimeFault(
+            "the simulated work-item cap must be >= 1, got {}".format(value)
+        )
+    return value
 
 
 class CompiledFilter:
@@ -85,6 +116,7 @@ class CompiledFilter:
         direct_marshal=False,
         overlap=False,
         constant_fallback=None,
+        max_sim_items=None,
     ):
         self.name = name
         self.worker = worker  # MethodDecl: for input/output Lime types
@@ -113,6 +145,10 @@ class CompiledFilter:
         # checks the actual size at launch time and re-targets global
         # memory when the 64KB capacity is exceeded.
         self.constant_fallback = constant_fallback
+        self.max_sim_items = max_sim_items  # None -> env var -> default
+        # Fault-injection hook: installed by the resilience layer
+        # (repro.runtime.resilience); None means every stage is clean.
+        self.injector = None
         self._fallback_filter = None
         self._prev_kernel_ns = 0.0
         self.launches = 0
@@ -131,15 +167,23 @@ class CompiledFilter:
 
     def __call__(self, value=None):
         stages = StageTimes()
-        device_values = self._inbound(value, stages)
         try:
-            result = self._execute(device_values, stages)
-        except _ConstantOverflow:
-            if self._fallback_filter is None:
-                self._fallback_filter = self.constant_fallback()
-                self._fallback_filter.profile = self.profile
-            return self._fallback_filter(value)
-        result = self._outbound(result, stages)
+            device_values = self._inbound(value, stages)
+            try:
+                result = self._execute(device_values, stages)
+            except _ConstantOverflow:
+                if self._fallback_filter is None:
+                    self._fallback_filter = self.constant_fallback()
+                    self._fallback_filter.profile = self.profile
+                self._fallback_filter.injector = self.injector
+                return self._fallback_filter(value)
+            result = self._outbound(result, stages)
+        except RuntimeFault as err:
+            # A fault mid-path abandons this attempt; expose the stage
+            # time already spent so the resilience layer can account it
+            # as recovery overhead ("time lost").
+            err.partial_stages = stages
+            raise
         if self.overlap and self.launches > 0:
             self._hide_communication(stages)
         self._prev_kernel_ns = stages.kernel
@@ -168,6 +212,21 @@ class CompiledFilter:
 
     # -- inbound path ------------------------------------------------------------
 
+    def _transmit(self, data, direction):
+        """Move wire bytes across the (possibly faulty) link. The
+        receiving end's CRC check — standard on real interconnects —
+        detects injected corruption; the sender still holds the intact
+        value, so the fault is retryable."""
+        if self.injector is None:
+            return data
+        wire = self.injector.transmit(data, direction, self.name)
+        if wire is not data and zlib.crc32(wire) != zlib.crc32(data):
+            raise TransferFault(
+                "task '{}': {} transfer failed the CRC check "
+                "({} bytes)".format(self.name, direction, len(data))
+            )
+        return data
+
     def _inbound(self, value, stages):
         """Walk every worker argument through the wire format; returns a
         dict param-name -> device-side value."""
@@ -181,6 +240,10 @@ class CompiledFilter:
                 host_value, lime_type, self.marshaller
             )
             stages.java_marshal += self.comm.java_marshal_ns(stats)
+            # The marshal cost above is charged before the wire check:
+            # a corrupted transfer still paid for serialization, and the
+            # resilience layer bills that time as recovery overhead.
+            data = self._transmit(data, "h2d")
             device_value, c_stats = marshal.deserialize(
                 data, lime_type, self.marshaller
             )
@@ -211,7 +274,7 @@ class CompiledFilter:
 
     def _launch_config(self, n):
         local = self.local_size
-        items = min(max(n, 1), MAX_SIMULATED_ITEMS)
+        items = min(max(n, 1), resolve_max_sim_items(self.max_sim_items))
         global_size = ((items + local - 1) // local) * local
         return global_size, local
 
@@ -264,7 +327,13 @@ class CompiledFilter:
         scalars["_n"] = n
 
         n_buffers = len(buffers)
-        trace = self.compiled_kernel.launch(buffers, scalars, global_size, local)
+        if self.injector is not None:
+            self.injector.maybe_oom(
+                self.name, sum(buf.nbytes for buf in buffers.values())
+            )
+        trace = self.compiled_kernel.launch(
+            buffers, scalars, global_size, local, injector=self.injector
+        )
         timing = time_launch(trace, self.device)
         self.last_timing = timing
         stages.kernel += timing.kernel_ns
@@ -291,11 +360,16 @@ class CompiledFilter:
         local = self.local_size
         groups = min((n + local - 1) // local, 64) or 1
         partials = np.zeros(groups, dtype=flat_input.dtype)
+        if self.injector is not None:
+            self.injector.maybe_oom(
+                self.name, flat_input.nbytes + partials.nbytes
+            )
         trace = self.reduce_kernel.launch(
             {"_in": flat_input, "_out": partials},
             {"_n": n},
             groups * local,
             local,
+            injector=self.injector,
         )
         timing = time_launch(trace, self.device)
         stages.kernel += timing.kernel_ns
@@ -326,6 +400,7 @@ class CompiledFilter:
         if self.plan is not None and self.plan.output_row > 1:
             result = result.reshape(-1, self.plan.output_row)
         data, c_stats = marshal.serialize(result, return_type, self.marshaller)
+        data = self._transmit(data, "d2h")
         if not self.direct_marshal:
             stages.c_marshal += self.comm.c_marshal_ns(c_stats)
         value, j_stats = marshal.deserialize(data, return_type, self.marshaller)

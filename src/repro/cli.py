@@ -11,6 +11,9 @@ Commands:
   space on synthetic input.
 - ``figures [7|8|9|tables]`` — regenerate the paper's evaluation
   artifacts at a chosen ``--scale``.
+- ``run BENCHMARK`` — run one benchmark end to end against a target,
+  optionally with fault injection (``--faults P --fault-seed N``), and
+  print the stage breakdown plus the failure ledger.
 """
 
 from __future__ import annotations
@@ -119,9 +122,61 @@ def cmd_tune(args):
     return 0
 
 
+def cmd_run(args):
+    from repro.apps.registry import BENCHMARKS
+    from repro.evaluation.harness import TARGETS, run_configuration
+    from repro.evaluation.report import failure_report
+    from repro.runtime.resilience import ResiliencePolicy
+
+    if args.benchmark not in BENCHMARKS:
+        print(
+            "unknown benchmark '{}' (choose from: {})".format(
+                args.benchmark, ", ".join(sorted(BENCHMARKS))
+            ),
+            file=sys.stderr,
+        )
+        return 1
+    if args.target not in TARGETS:
+        print(
+            "unknown target '{}' (choose from: {})".format(
+                args.target, ", ".join(sorted(TARGETS))
+            ),
+            file=sys.stderr,
+        )
+        return 1
+    resilience = ResiliencePolicy.from_flags(
+        fault_rate=args.faults, seed=args.fault_seed
+    )
+    result = run_configuration(
+        BENCHMARKS[args.benchmark],
+        args.target,
+        scale=args.scale,
+        steps=args.steps,
+        resilience=resilience,
+        max_sim_items=args.max_sim_items,
+    )
+    print("benchmark: {}  target: {}".format(result.benchmark, result.target))
+    print("checksum:  {!r}".format(result.checksum))
+    print("total:     {:.0f} simulated ns".format(result.total_ns))
+    print("offloaded: {}".format(", ".join(result.offloaded) or "(none)"))
+    for name, reason in result.rejections:
+        print("  rejected {}: {}".format(name, reason))
+    print("stages:")
+    for stage, ns in result.stages.items():
+        print("  {:14s}{:>16.0f} ns".format(stage, ns))
+    print(failure_report(result.faults))
+    return 0
+
+
 def cmd_figures(args):
     scale = args.scale
     which = args.which
+    if args.max_sim_items is not None:
+        import os
+
+        from repro.backend.glue import MAX_SIM_ITEMS_ENV
+
+        os.environ[MAX_SIM_ITEMS_ENV] = str(args.max_sim_items)
     if which in ("tables", "all"):
         from repro.evaluation.tables import table1, table2, table3
 
@@ -198,6 +253,45 @@ def build_parser():
         nargs="?",
     )
     figures_cmd.add_argument("--scale", type=float, default=0.3)
+    figures_cmd.add_argument(
+        "--max-sim-items",
+        type=int,
+        default=None,
+        help="cap on simulated work-items per launch (default 2048; "
+        "also settable via REPRO_MAX_SIM_ITEMS)",
+    )
+
+    run_cmd = sub.add_parser(
+        "run",
+        help="run one benchmark end to end, optionally with fault "
+        "injection, and print the stage breakdown + failure ledger",
+    )
+    run_cmd.add_argument("benchmark", help="a Table 3 benchmark name")
+    run_cmd.add_argument("--target", default="gtx580")
+    run_cmd.add_argument("--scale", type=float, default=0.3)
+    run_cmd.add_argument(
+        "--steps", type=int, default=None, help="stream depth override"
+    )
+    run_cmd.add_argument(
+        "--faults",
+        type=float,
+        default=0.0,
+        help="per-stage fault-injection probability (0 disables; faults "
+        "are recovered by retry/backoff and transparent host fallback)",
+    )
+    run_cmd.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic fault injector",
+    )
+    run_cmd.add_argument(
+        "--max-sim-items",
+        type=int,
+        default=None,
+        help="cap on simulated work-items per launch (default 2048; "
+        "also settable via REPRO_MAX_SIM_ITEMS)",
+    )
 
     return parser
 
@@ -208,6 +302,7 @@ _COMMANDS = {
     "format": cmd_format,
     "tune": cmd_tune,
     "figures": cmd_figures,
+    "run": cmd_run,
 }
 
 

@@ -79,6 +79,7 @@ def compile_filter(
     bound_values=None,
     direct_marshal=False,
     overlap=False,
+    max_sim_items=None,
 ):
     """Compile one filter worker for ``device``.
 
@@ -140,6 +141,7 @@ def compile_filter(
             bound_values=bound_values,
             direct_marshal=direct_marshal,
             overlap=overlap,
+            max_sim_items=max_sim_items,
         )
 
     mapped = map_shape.mapped_method
@@ -201,6 +203,7 @@ def compile_filter(
                 bound_values=bound_values,
                 direct_marshal=direct_marshal,
                 overlap=overlap,
+                max_sim_items=max_sim_items,
             ),
         ):
             return compile_filter(
@@ -223,6 +226,7 @@ def compile_filter(
         direct_marshal=direct_marshal,
         overlap=overlap,
         constant_fallback=constant_fallback,
+        max_sim_items=max_sim_items,
     )
 
 
@@ -250,6 +254,7 @@ class Offloader:
         local_size=None,
         direct_marshal=False,
         overlap=False,
+        max_sim_items=None,
     ):
         self.device = device
         self.config = config or OptimizationConfig()
@@ -258,6 +263,7 @@ class Offloader:
         self.local_size = local_size
         self.direct_marshal = direct_marshal
         self.overlap = overlap
+        self.max_sim_items = max_sim_items
         self.rejections = []
         self.compiled = {}
 
@@ -278,6 +284,7 @@ class Offloader:
                 bound_values=bound_values,
                 direct_marshal=self.direct_marshal,
                 overlap=self.overlap,
+                max_sim_items=self.max_sim_items,
             )
         except KernelRejected as reason:
             self.rejections.append((key, str(reason)))

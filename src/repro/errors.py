@@ -62,20 +62,88 @@ class KernelRejected(CompileError):
 
 
 class RuntimeFault(ReproError):
-    """An error during task-graph or simulated-device execution."""
+    """An error during task-graph or simulated-device execution.
+
+    Every fault may carry a ``stage`` attribute naming the Figure 6
+    stage that failed (``"marshal"``, ``"transfer"``, ``"launch"``,
+    ``"oom"``, ...) so the resilience layer and the task-graph wrapper
+    can report where in the offload path execution broke.
+    """
+
+    stage = None
+
+
+class TaskFault(RuntimeFault):
+    """A fault annotated with the task it occurred in.
+
+    The task graph wraps any :class:`RuntimeFault` escaping a worker so
+    that a mid-stream failure names the failing task and stage instead
+    of surfacing a bare message. The original fault is preserved as
+    ``__cause__``.
+    """
+
+    def __init__(self, message, task_name=None, stage=None):
+        self.task_name = task_name
+        self.stage = stage
+        super().__init__(message)
+
+    @classmethod
+    def wrap(cls, err, task_name, default_stage):
+        stage = getattr(err, "stage", None) or default_stage
+        return cls(
+            "task '{}' failed in stage '{}': {}".format(task_name, stage, err),
+            task_name=task_name,
+            stage=stage,
+        )
 
 
 class MarshalError(RuntimeFault):
     """A value could not be serialized to or deserialized from the wire
     format used across the host/device boundary."""
 
+    stage = "marshal"
+
 
 class DeviceError(RuntimeFault):
     """The simulated OpenCL device rejected an operation (bad buffer,
     out-of-range access, exceeded memory capacity, ...)."""
 
+    stage = "device"
 
-class UnderflowException(ReproError):
+
+class TransferFault(DeviceError):
+    """A host/device transfer delivered corrupted bytes (the simulated
+    CRC check on the wire payload failed). Retryable: the source value
+    is still intact on the sending side."""
+
+    stage = "transfer"
+
+
+class LaunchFault(DeviceError):
+    """A kernel launch was rejected or aborted by the (simulated)
+    device driver. Retryable."""
+
+    stage = "launch"
+
+
+class DeviceOOM(DeviceError):
+    """The simulated device could not allocate buffers for a launch.
+    Retryable, though a persistently OOM device typically ends in host
+    demotion via the circuit breaker."""
+
+    stage = "oom"
+
+
+class ControlFlowSignal(Exception):
+    """Base for exceptions that are *control flow*, not failures.
+
+    Deliberately NOT a :class:`ReproError`: resilience-layer handlers
+    (``except RuntimeFault`` / ``except ReproError``) must never swallow
+    normal stream termination and mistake it for a device fault.
+    """
+
+
+class UnderflowException(ControlFlowSignal):
     """Raised by a source task to signal the end of the stream.
 
     Mirrors Lime's ``UnderflowException``: any task may throw it to notify

@@ -28,7 +28,7 @@ class Target:
     device_name: Optional[str] = None
     cores: Optional[int] = None
 
-    def make_offloader(self, config=None):
+    def make_offloader(self, config=None, max_sim_items=None):
         if self.kind == "bytecode":
             return None
         if self.kind == "cpu":
@@ -37,9 +37,14 @@ class Target:
                 device=device,
                 config=config or OptimizationConfig(),
                 comm=CommCostModel.for_cpu(),
+                max_sim_items=max_sim_items,
             )
         device = get_device(self.device_name)
-        return Offloader(device=device, config=config or OptimizationConfig())
+        return Offloader(
+            device=device,
+            config=config or OptimizationConfig(),
+            max_sim_items=max_sim_items,
+        )
 
 
 TARGETS = {
@@ -62,6 +67,7 @@ class RunResult:
     stages: dict
     offloaded: list
     rejections: list = field(default_factory=list)
+    faults: dict = field(default_factory=dict)  # FailureLedger.summary()
 
     @property
     def communication_ns(self):
@@ -72,7 +78,15 @@ class RunResult:
         )
 
 
-def run_configuration(bench, target, scale=1.0, steps=None, config=None):
+def run_configuration(
+    bench,
+    target,
+    scale=1.0,
+    steps=None,
+    config=None,
+    resilience=None,
+    max_sim_items=None,
+):
     """Run one benchmark end to end against one target.
 
     Args:
@@ -82,6 +96,10 @@ def run_configuration(bench, target, scale=1.0, steps=None, config=None):
             the paper-scale sizes are far larger, see DESIGN.md).
         steps: stream depth override (defaults to the benchmark's own).
         config: optimization toggles for the offloaded kernels.
+        resilience: optional
+            :class:`repro.runtime.resilience.ResiliencePolicy` enabling
+            fault injection + retry/fallback for the offloaded filters.
+        max_sim_items: override the simulated work-item cap.
 
     Returns a :class:`RunResult` with simulated nanoseconds.
     """
@@ -90,13 +108,14 @@ def run_configuration(bench, target, scale=1.0, steps=None, config=None):
     checked = bench.checked()
     inputs = bench.make_input(scale=scale)
     steps = steps if steps is not None else bench.steps
-    offloader = target.make_offloader(config)
-    engine = Engine(checked, offloader=offloader)
+    offloader = target.make_offloader(config, max_sim_items=max_sim_items)
+    engine = Engine(checked, offloader=offloader, resilience=resilience)
     checksum = engine.run_static(
         bench.main_class, bench.run_method, list(inputs) + [steps]
     )
     stages = engine.profile.stages.as_dict()
     stages["host_compute"] = engine.host_compute_ns()
+    ledger = engine.profile.faults
     return RunResult(
         benchmark=bench.name,
         target=target.name,
@@ -106,4 +125,5 @@ def run_configuration(bench, target, scale=1.0, steps=None, config=None):
         stages=stages,
         offloaded=list(engine.offloaded_tasks),
         rejections=list(offloader.rejections) if offloader else [],
+        faults=ledger.summary() if ledger.any_faults() else {},
     )

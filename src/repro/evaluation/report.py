@@ -128,6 +128,41 @@ FIGURE9_STAGES = [
 ]
 
 
+def failure_report(summary):
+    """Render a :class:`repro.runtime.profiler.FailureLedger` summary
+    dict (``RunResult.faults``) for the CLI."""
+    if not summary:
+        return "failure ledger: no device faults recorded"
+    lines = [
+        "failure ledger: {} fault(s), {} retry(ies), {} host "
+        "fallback(s), {} demotion(s), {:.0f} ns lost".format(
+            summary["faults"],
+            summary["retries"],
+            summary["fallbacks"],
+            len(summary["demotions"]),
+            summary["time_lost_ns"],
+        )
+    ]
+    for name, rec in summary["per_task"].items():
+        stages = ", ".join(
+            "{}={}".format(stage, count)
+            for stage, count in sorted(rec["by_stage"].items())
+        )
+        lines.append(
+            "  {}: faults={} ({}) retries={} fallbacks={}{} "
+            "time_lost={:.0f}ns".format(
+                name,
+                rec["faults"],
+                stages or "-",
+                rec["retries"],
+                rec["fallbacks"],
+                " DEMOTED-TO-HOST" if rec["demoted"] else "",
+                rec["time_lost_ns"],
+            )
+        )
+    return "\n".join(lines)
+
+
 def figure9_chart(table, target):
     rows = [
         (name, {k: v for k, v in row.items() if not k.startswith("_")})

@@ -713,7 +713,7 @@ class CompiledKernel:
         exec(compile(self.source, "<kernel:{}>".format(kernel.name), "exec"), namespace)
         self._item = namespace["_item"]
 
-    def launch(self, buffers, scalars, global_size, local_size):
+    def launch(self, buffers, scalars, global_size, local_size, injector=None):
         """Execute the NDRange.
 
         Args:
@@ -722,10 +722,18 @@ class CompiledKernel:
             scalars: dict param-name -> Python scalar.
             global_size / local_size: NDRange configuration;
                 ``global_size`` must be a multiple of ``local_size``.
+            injector: optional fault injector
+                (:class:`repro.runtime.resilience.FaultInjector`); when
+                set, the launch may be aborted with a
+                :class:`repro.errors.LaunchFault` before any work-item
+                runs — output buffers are untouched, so the launch is
+                safely retryable.
 
         Returns a :class:`LaunchTrace`.
         """
         kernel = self.kernel
+        if injector is not None:
+            injector.maybe_fail_launch(kernel.name)
         if global_size % local_size != 0:
             raise DeviceError(
                 "global size {} is not a multiple of local size {}".format(

@@ -1,8 +1,23 @@
 """The Lime runtime: values, the host interpreter (the paper's "bytecode"
-execution path), task graphs, the marshalling subsystem, and the engine
+execution path), task graphs, the marshalling subsystem, the resilience
+layer (fault injection, retry/backoff, host demotion), and the engine
 that coordinates host and (simulated) device execution."""
 
 from repro.runtime.taskgraph import Task, TaskGraph
 from repro.runtime.engine import Engine
+from repro.runtime.resilience import (
+    FaultInjector,
+    FaultSpec,
+    ResiliencePolicy,
+    RetryPolicy,
+)
 
-__all__ = ["Task", "TaskGraph", "Engine"]
+__all__ = [
+    "Task",
+    "TaskGraph",
+    "Engine",
+    "FaultInjector",
+    "FaultSpec",
+    "ResiliencePolicy",
+    "RetryPolicy",
+]

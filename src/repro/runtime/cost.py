@@ -100,7 +100,9 @@ class StageTimes:
     C data. ``opencl_setup``: buffer creation, argument binding, kernel
     enqueues. ``transfer``: host-to-device and device-to-host copies
     (PCIe). ``kernel``: time on the device itself. ``host_compute``: Lime
-    code that stayed on the host.
+    code that stayed on the host. ``recovery``: time lost to device
+    faults — failed partial attempts plus retry backoff (zero, and
+    absent from :meth:`as_dict`, unless fault recovery happened).
     """
 
     java_marshal: float = 0.0
@@ -109,6 +111,7 @@ class StageTimes:
     transfer: float = 0.0
     kernel: float = 0.0
     host_compute: float = 0.0
+    recovery: float = 0.0
 
     def total(self):
         return (
@@ -118,6 +121,7 @@ class StageTimes:
             + self.transfer
             + self.kernel
             + self.host_compute
+            + self.recovery
         )
 
     def communication(self):
@@ -131,9 +135,10 @@ class StageTimes:
         self.transfer += other.transfer
         self.kernel += other.kernel
         self.host_compute += other.host_compute
+        self.recovery += other.recovery
 
     def as_dict(self):
-        return {
+        out = {
             "java_marshal": self.java_marshal,
             "c_marshal": self.c_marshal,
             "opencl_setup": self.opencl_setup,
@@ -141,3 +146,9 @@ class StageTimes:
             "kernel": self.kernel,
             "host_compute": self.host_compute,
         }
+        # Fault-free runs keep the exact Figure 9 stage set; the
+        # recovery stage only materializes when faults actually cost
+        # time, so figures without injection are unchanged.
+        if self.recovery:
+            out["recovery"] = self.recovery
+        return out

@@ -37,11 +37,25 @@ class Engine:
             when provided, every isolated task is offered for offload.
         java_cost_model: converts interpreter op counts into nanoseconds.
         printer: receives ``Lime.print`` output.
+        resilience: optional
+            :class:`repro.runtime.resilience.ResiliencePolicy`; when
+            provided, every offloaded filter is wrapped with
+            retry/backoff, a per-task circuit breaker, and transparent
+            demotion to its host-interpreter worker. ``None`` (the
+            default) leaves the offload path byte-for-byte as before.
     """
 
-    def __init__(self, checked, offloader=None, java_cost_model=None, printer=None):
+    def __init__(
+        self,
+        checked,
+        offloader=None,
+        java_cost_model=None,
+        printer=None,
+        resilience=None,
+    ):
         self.checked = checked
         self.offloader = offloader
+        self.resilience = resilience
         self.java_cost_model = java_cost_model or JavaCostModel()
         self.cost = CostCounter()
         self.profile = ExecutionProfile()
@@ -95,9 +109,29 @@ class Engine:
                 self.checked, method, self.profile, bound_values=bound_values
             )
             if device_worker is not None:
+                worker = device_worker
+                if self.resilience is not None:
+                    # The host interpreter computes the same results as
+                    # the device, so the fallback is built lazily from
+                    # the same expression and only on first fault.
+                    def host_factory(
+                        interp=interp,
+                        expr=expr,
+                        env=env,
+                        method=method,
+                        is_source=is_source,
+                        bound_values=bound_values,
+                    ):
+                        return self._host_worker(
+                            interp, expr, env, method, is_source, bound_values
+                        )
+
+                    worker = self.resilience.wrap(
+                        name, device_worker, host_factory, self.profile
+                    )
                 self.offloaded_tasks.append(name)
                 return Task(
-                    worker=device_worker,
+                    worker=worker,
                     name=name,
                     is_source=is_source,
                     produces=produces,

@@ -105,15 +105,27 @@ class _MarshallerBase:
         if isinstance(t, PrimType):
             if t.kind not in _SCALAR_PACK:
                 raise MarshalError("cannot marshal a {} scalar".format(t))
-            data = struct.pack("<B", _TAGS[t.kind]) + struct.pack(
-                _SCALAR_PACK[t.kind], value
-            )
+            try:
+                data = struct.pack("<B", _TAGS[t.kind]) + struct.pack(
+                    _SCALAR_PACK[t.kind], value
+                )
+            except (struct.error, TypeError) as err:
+                raise MarshalError(
+                    "cannot marshal {!r} as a {} scalar: {}".format(
+                        value, t, err
+                    )
+                ) from err
             stats.elements += 1
             stats.payload_bytes += len(data) - 1
             return data, stats
         if isinstance(t, ArrayType):
             base = _base_prim(t)
-            arr = np.asarray(value)
+            try:
+                arr = np.asarray(value)
+            except ValueError as err:
+                raise MarshalError(
+                    "cannot marshal {!r} as {}: {}".format(value, t, err)
+                ) from err
             if arr.ndim != t.rank:
                 raise MarshalError(
                     "rank mismatch: value has {} dims, type {} has {}".format(
@@ -124,7 +136,12 @@ class _MarshallerBase:
                 "<BB", _ARRAY_TAG_BASE + _TAGS[base.kind], arr.ndim
             )
             header += b"".join(struct.pack("<I", d) for d in arr.shape)
-            payload = self._encode_payload(arr, base, stats)
+            try:
+                payload = self._encode_payload(arr, base, stats)
+            except (struct.error, TypeError, ValueError) as err:
+                raise MarshalError(
+                    "cannot encode a {} payload: {}".format(t, err)
+                ) from err
             stats.payload_bytes += len(payload)
             return header + payload, stats
         raise MarshalError("cannot marshal a value of type {}".format(t))
@@ -134,10 +151,20 @@ class _MarshallerBase:
         ``(value, stats)``. Value arrays come back frozen."""
         stats = MarshalStats()
         if isinstance(t, PrimType):
+            if len(data) < 1:
+                raise MarshalError(
+                    "empty wire data (expected a {} scalar)".format(t)
+                )
             tag = data[0]
             if tag != _TAGS.get(t.kind):
                 raise MarshalError("wire tag {} does not match type {}".format(tag, t))
-            value = struct.unpack_from(_SCALAR_PACK[t.kind], data, 1)[0]
+            try:
+                value = struct.unpack_from(_SCALAR_PACK[t.kind], data, 1)[0]
+            except struct.error as err:
+                raise MarshalError(
+                    "truncated wire data for a {} scalar ({} bytes): "
+                    "{}".format(t, len(data), err)
+                ) from err
             stats.elements += 1
             if t.is_floating:
                 value = float(value)
@@ -146,7 +173,13 @@ class _MarshallerBase:
             return value, stats
         if isinstance(t, ArrayType):
             base = _base_prim(t)
-            tag, rank = struct.unpack_from("<BB", data, 0)
+            try:
+                tag, rank = struct.unpack_from("<BB", data, 0)
+            except struct.error as err:
+                raise MarshalError(
+                    "truncated wire header for array type {} ({} "
+                    "bytes)".format(t, len(data))
+                ) from err
             if tag != _ARRAY_TAG_BASE + _TAGS[base.kind]:
                 raise MarshalError(
                     "wire tag {} does not match array type {}".format(tag, t)
@@ -155,10 +188,22 @@ class _MarshallerBase:
                 raise MarshalError(
                     "wire rank {} does not match array type {}".format(rank, t)
                 )
-            shape = struct.unpack_from("<{}I".format(rank), data, 2)
+            try:
+                shape = struct.unpack_from("<{}I".format(rank), data, 2)
+            except struct.error as err:
+                raise MarshalError(
+                    "truncated wire shape for array type {} ({} "
+                    "bytes)".format(t, len(data))
+                ) from err
             self._check_bounds(t, shape)
             offset = 2 + 4 * rank
-            arr = self._decode_payload(data, offset, shape, base, stats)
+            try:
+                arr = self._decode_payload(data, offset, shape, base, stats)
+            except (struct.error, ValueError, IndexError) as err:
+                raise MarshalError(
+                    "truncated or malformed wire payload for array type "
+                    "{}: {}".format(t, err)
+                ) from err
             stats.allocations += 1
             if t.is_value():
                 arr.setflags(write=False)

@@ -9,7 +9,7 @@ nanoseconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.runtime.cost import StageTimes
 
@@ -91,9 +91,139 @@ class CommCostModel:
         return self.pcie_byte_ns * nbytes + self.pcie_latency_ns * transfers
 
 
+@dataclass
+class TaskFaultRecord:
+    """Per-task failure-ledger entry.
+
+    ``faults`` counts injected-or-real device faults observed;
+    ``retries`` counts device re-attempts; ``fallbacks`` counts stream
+    items completed on the host after retries were exhausted;
+    ``demoted`` is set when the circuit breaker moved the whole task to
+    its host worker; ``time_lost_ns`` is simulated time burned on failed
+    attempts plus retry backoff; ``by_stage`` splits faults by the
+    Figure 6 stage that failed.
+    """
+
+    faults: int = 0
+    retries: int = 0
+    fallbacks: int = 0
+    demoted: bool = False
+    time_lost_ns: float = 0.0
+    by_stage: dict = field(default_factory=dict)
+
+
+class FailureLedger:
+    """The run's fault accounting: per-task :class:`TaskFaultRecord`
+    entries plus aggregate views, surfaced by the CLI and the
+    evaluation report."""
+
+    def __init__(self):
+        self.tasks = {}
+
+    def _record(self, task_name):
+        if task_name not in self.tasks:
+            self.tasks[task_name] = TaskFaultRecord()
+        return self.tasks[task_name]
+
+    def record_fault(self, task_name, stage):
+        rec = self._record(task_name)
+        rec.faults += 1
+        rec.by_stage[stage] = rec.by_stage.get(stage, 0) + 1
+
+    def record_retry(self, task_name):
+        self._record(task_name).retries += 1
+
+    def record_fallback(self, task_name):
+        self._record(task_name).fallbacks += 1
+
+    def record_demotion(self, task_name):
+        self._record(task_name).demoted = True
+
+    def add_time_lost(self, task_name, ns):
+        self._record(task_name).time_lost_ns += ns
+
+    @property
+    def total_faults(self):
+        return sum(rec.faults for rec in self.tasks.values())
+
+    @property
+    def total_retries(self):
+        return sum(rec.retries for rec in self.tasks.values())
+
+    @property
+    def total_fallbacks(self):
+        return sum(rec.fallbacks for rec in self.tasks.values())
+
+    @property
+    def demotions(self):
+        return [name for name, rec in self.tasks.items() if rec.demoted]
+
+    @property
+    def time_lost_ns(self):
+        return sum(rec.time_lost_ns for rec in self.tasks.values())
+
+    def any_faults(self):
+        return self.total_faults > 0
+
+    def summary(self):
+        """A plain-dict view (stable across runs with the same seed)."""
+        return {
+            "faults": self.total_faults,
+            "retries": self.total_retries,
+            "fallbacks": self.total_fallbacks,
+            "demotions": list(self.demotions),
+            "time_lost_ns": self.time_lost_ns,
+            "per_task": {
+                name: {
+                    "faults": rec.faults,
+                    "retries": rec.retries,
+                    "fallbacks": rec.fallbacks,
+                    "demoted": rec.demoted,
+                    "time_lost_ns": rec.time_lost_ns,
+                    "by_stage": dict(rec.by_stage),
+                }
+                for name, rec in sorted(self.tasks.items())
+            },
+        }
+
+    def report(self):
+        """Render the ledger as text for the CLI."""
+        if not self.tasks:
+            return "failure ledger: no device faults recorded"
+        lines = [
+            "failure ledger: {} fault(s), {} retry(ies), {} host "
+            "fallback(s), {} demotion(s), {:.0f} ns lost".format(
+                self.total_faults,
+                self.total_retries,
+                self.total_fallbacks,
+                len(self.demotions),
+                self.time_lost_ns,
+            )
+        ]
+        for name, rec in sorted(self.tasks.items()):
+            stages = ", ".join(
+                "{}={}".format(stage, count)
+                for stage, count in sorted(rec.by_stage.items())
+            )
+            lines.append(
+                "  {}: faults={} ({}) retries={} fallbacks={}{} "
+                "time_lost={:.0f}ns".format(
+                    name,
+                    rec.faults,
+                    stages or "-",
+                    rec.retries,
+                    rec.fallbacks,
+                    " DEMOTED-TO-HOST" if rec.demoted else "",
+                    rec.time_lost_ns,
+                )
+            )
+        return "\n".join(lines)
+
+
 class ExecutionProfile:
     """Aggregated stage times for one end-to-end run, plus per-task
-    detail. All figures are simulated nanoseconds."""
+    detail and the failure ledger. All figures are simulated
+    nanoseconds."""
 
     def __init__(self):
         self.stages = StageTimes()
@@ -101,6 +231,7 @@ class ExecutionProfile:
         self.kernel_launches = 0
         self.bytes_to_device = 0
         self.bytes_from_device = 0
+        self.faults = FailureLedger()
 
     def task_stages(self, task_name):
         if task_name not in self.per_task:
@@ -110,6 +241,14 @@ class ExecutionProfile:
     def record(self, task_name, stage_times):
         self.stages.add(stage_times)
         self.task_stages(task_name).add(stage_times)
+
+    def record_recovery(self, task_name, ns):
+        """Charge fault-recovery overhead (failed partial attempts,
+        retry backoff) to the ``recovery`` stage."""
+        if ns <= 0:
+            return
+        self.stages.recovery += ns
+        self.task_stages(task_name).recovery += ns
 
     def total_ns(self):
         return self.stages.total()

@@ -1,0 +1,271 @@
+"""Fault-tolerant offload: injection, retry/backoff, and host demotion.
+
+The paper's runtime promise is that host and device execution are
+fungible — "the compiler and runtime system coordinate to automatically
+orchestrate communication and computation", and a filter that cannot run
+on the device transparently runs on the host. The seed honored that
+promise only at *compile* time (:class:`repro.errors.KernelRejected`);
+this module extends it to *run* time, treating a mid-stream device fault
+as a schedulable event rather than a crash (StarPU-style task runtimes,
+TornadoVM-style JIT fallback):
+
+- :class:`FaultInjector` — a deterministic, seedable fault source that
+  corrupts wire transfers, fails kernel launches, and simulates device
+  OOM at configurable per-stage probabilities. It is hooked into the
+  generated glue (:mod:`repro.backend.glue`) and the kernel executor
+  (:mod:`repro.opencl.executor`).
+- :class:`RetryPolicy` — bounded retries with deterministic exponential
+  backoff, accounted in simulated nanoseconds through the
+  :class:`repro.runtime.profiler.ExecutionProfile` ``recovery`` stage.
+- :class:`CircuitBreaker` — per-task: after N *consecutive* device
+  faults the filter is demoted to its host-interpreter worker for the
+  rest of the run (the engine already builds both workers; demotion
+  reuses ``Engine._host_worker``).
+- :class:`ResilientWorker` — the worker wrapper the engine installs
+  around every offloaded filter when resilience is enabled. Because the
+  host interpreter and the simulated device compute identical results,
+  retries and demotions never change program output — only the failure
+  ledger and the recovery stage time.
+
+Everything here is simulation-deterministic: the same seed and the same
+program produce the same faults, the same recovery path, and the same
+ledger, which is what keeps the regenerated figures reproducible even
+under injection.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import DeviceOOM, LaunchFault, RuntimeFault
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-stage fault probabilities plus the RNG seed.
+
+    ``transfer`` is the probability that any one host↔device transfer
+    delivers corrupted bytes; ``launch`` the probability a kernel launch
+    fails; ``oom`` the probability buffer allocation for a launch
+    reports out-of-memory. All default to 0.0 (injection off).
+    """
+
+    transfer: float = 0.0
+    launch: float = 0.0
+    oom: float = 0.0
+    seed: int = 0
+
+    @classmethod
+    def uniform(cls, p, seed=0):
+        """The CLI's ``--faults P`` shape: the same probability at every
+        injection point."""
+        return cls(transfer=p, launch=p, oom=p, seed=seed)
+
+    def enabled(self):
+        return self.transfer > 0 or self.launch > 0 or self.oom > 0
+
+
+class FaultInjector:
+    """Deterministic fault source shared by all of one run's filters.
+
+    The injector draws from a single seeded stream in simulation order,
+    so a run is reproducible fault-for-fault given the same seed and
+    workload. ``injected`` counts fired faults by stage.
+    """
+
+    def __init__(self, spec):
+        self.spec = spec
+        self._rng = random.Random(spec.seed)
+        self.injected = {"transfer": 0, "launch": 0, "oom": 0}
+
+    def _fire(self, p):
+        return p > 0.0 and self._rng.random() < p
+
+    # -- injection points (called from glue.py / executor.py) ---------------
+
+    def transmit(self, data, direction, task_name):
+        """Pass wire bytes through the (faulty) link; may return a copy
+        with a single bit flipped. ``direction`` is "h2d" or "d2h". The
+        receiving side detects corruption via the simulated CRC check in
+        the glue and raises :class:`repro.errors.TransferFault`."""
+        if not self._fire(self.spec.transfer):
+            return data
+        corrupted = bytearray(data)
+        if not corrupted:
+            return data
+        pos = self._rng.randrange(len(corrupted))
+        corrupted[pos] ^= 1 << self._rng.randrange(8)
+        self.injected["transfer"] += 1
+        return bytes(corrupted)
+
+    def maybe_fail_launch(self, kernel_name):
+        """Called by the executor at the top of every launch."""
+        if self._fire(self.spec.launch):
+            self.injected["launch"] += 1
+            raise LaunchFault(
+                "injected launch failure in kernel '{}'".format(kernel_name)
+            )
+
+    def maybe_oom(self, task_name, nbytes):
+        """Called by the glue after sizing a launch's buffers."""
+        if self._fire(self.spec.oom):
+            self.injected["oom"] += 1
+            raise DeviceOOM(
+                "injected device OOM allocating {} bytes for task "
+                "'{}'".format(int(nbytes), task_name)
+            )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with deterministic exponential backoff.
+
+    ``backoff_ns(attempt)`` is the simulated wait before re-attempt
+    ``attempt`` (0-based): ``base_backoff_ns * multiplier ** attempt``.
+    """
+
+    max_retries: int = 2
+    base_backoff_ns: float = 20_000.0
+    multiplier: float = 2.0
+
+    def backoff_ns(self, attempt):
+        return self.base_backoff_ns * self.multiplier ** attempt
+
+
+class CircuitBreaker:
+    """Per-task: opens after ``threshold`` consecutive device faults.
+
+    A successful device completion resets the count; once open, the
+    breaker never closes for the rest of the run (the simulated device
+    is presumed bad for this filter) and the task runs on the host.
+    """
+
+    def __init__(self, threshold=3):
+        self.threshold = threshold
+        self.consecutive = 0
+        self.open = False
+
+    def record_fault(self):
+        self.consecutive += 1
+        if self.consecutive >= self.threshold:
+            self.open = True
+        return self.open
+
+    def record_success(self):
+        self.consecutive = 0
+
+
+class ResilientWorker:
+    """Wraps an offloaded filter worker with retry, breaker, and host
+    fallback.
+
+    Args:
+        name: the task's diagnostic name.
+        device_worker: the :class:`repro.backend.glue.CompiledFilter`.
+        host_factory: zero-argument callable building the host
+            interpreter worker on first use (``Engine._host_worker``).
+        retry: a :class:`RetryPolicy`.
+        breaker: this task's :class:`CircuitBreaker`.
+        profile: the run's :class:`ExecutionProfile` (recovery stage +
+            failure ledger).
+    """
+
+    def __init__(self, name, device_worker, host_factory, retry, breaker, profile):
+        self.name = name
+        self.device_worker = device_worker
+        self._host_factory = host_factory
+        self._host_worker = None
+        self.retry = retry
+        self.breaker = breaker
+        self.profile = profile
+
+    @property
+    def demoted(self):
+        return self.breaker.open
+
+    def _host(self, value):
+        if self._host_worker is None:
+            self._host_worker = self._host_factory()
+        return self._host_worker(value)
+
+    def _charge(self, lost_ns):
+        ledger = self.profile.faults
+        ledger.add_time_lost(self.name, lost_ns)
+        self.profile.record_recovery(self.name, lost_ns)
+
+    def __call__(self, value=None):
+        if self.breaker.open:
+            return self._host(value)
+        ledger = self.profile.faults
+        attempt = 0
+        while True:
+            try:
+                result = self.device_worker(value)
+            except RuntimeFault as err:
+                # ControlFlowSignal (UnderflowException) is deliberately
+                # not a RuntimeFault: stream termination passes through.
+                stage = getattr(err, "stage", None) or "device"
+                partial = getattr(err, "partial_stages", None)
+                ledger.record_fault(self.name, stage)
+                self._charge(partial.total() if partial is not None else 0.0)
+                if self.breaker.record_fault():
+                    ledger.record_demotion(self.name)
+                    return self._host(value)
+                if attempt < self.retry.max_retries:
+                    self._charge(self.retry.backoff_ns(attempt))
+                    ledger.record_retry(self.name)
+                    attempt += 1
+                    continue
+                # Retries exhausted: run this item on the host, keep the
+                # device in play for the next item (the breaker decides
+                # when to give up on it entirely).
+                ledger.record_fallback(self.name)
+                return self._host(value)
+            else:
+                self.breaker.record_success()
+                return result
+
+
+class ResiliencePolicy:
+    """The engine-facing bundle: one injector (optional) plus the retry
+    and breaker configuration applied to every offloaded filter.
+
+    ``Engine(checked, offloader=..., resilience=ResiliencePolicy(...))``
+    wraps each compiled filter in a :class:`ResilientWorker` with its
+    own circuit breaker. Passing ``injector=None`` enables recovery
+    machinery without injection — real (non-injected) device faults are
+    retried and demoted the same way.
+    """
+
+    def __init__(self, injector=None, retry=None, breaker_threshold=3):
+        self.injector = injector
+        self.retry = retry or RetryPolicy()
+        self.breaker_threshold = breaker_threshold
+        self.workers = []
+
+    @classmethod
+    def from_flags(cls, fault_rate=0.0, seed=0, retry=None, breaker_threshold=3):
+        """Build from the CLI's ``--faults``/``--fault-seed`` flags;
+        returns None when the rate is zero (resilience fully off — the
+        seed-identical fast path)."""
+        if fault_rate <= 0.0:
+            return None
+        injector = FaultInjector(FaultSpec.uniform(fault_rate, seed=seed))
+        return cls(
+            injector=injector, retry=retry, breaker_threshold=breaker_threshold
+        )
+
+    def wrap(self, name, device_worker, host_factory, profile):
+        if self.injector is not None and hasattr(device_worker, "injector"):
+            device_worker.injector = self.injector
+        worker = ResilientWorker(
+            name=name,
+            device_worker=device_worker,
+            host_factory=host_factory,
+            retry=self.retry,
+            breaker=CircuitBreaker(self.breaker_threshold),
+            profile=profile,
+        )
+        self.workers.append(worker)
+        return worker

@@ -14,7 +14,7 @@ callable runs the Lime interpreter (host) or a compiled device filter
 
 from __future__ import annotations
 
-from repro.errors import RuntimeFault, UnderflowException
+from repro.errors import RuntimeFault, TaskFault, UnderflowException
 
 
 class Task:
@@ -94,6 +94,8 @@ class TaskGraph:
                 value = self.source.worker()
             except UnderflowException:
                 break
+            except RuntimeFault as err:
+                raise self._wrap(err, self.source, "source") from err
             produced += 1
             alive = True
             for stage in self.tasks[1:]:
@@ -102,6 +104,8 @@ class TaskGraph:
                 except UnderflowException:
                     alive = False
                     break
+                except RuntimeFault as err:
+                    raise self._wrap(err, stage, "worker") from err
             if not alive:
                 break
             if self.sink.produces and self.sink is not self.source:
@@ -109,6 +113,14 @@ class TaskGraph:
             elif self.sink is self.source:
                 outputs.append(value)
         return outputs
+
+    @staticmethod
+    def _wrap(err, task, default_stage):
+        """Annotate a mid-stream fault with the failing task's name and
+        stage (already-wrapped faults pass through untouched)."""
+        if isinstance(err, TaskFault):
+            return err
+        return TaskFault.wrap(err, task.name, default_stage)
 
     def __repr__(self):
         return "<graph {}>".format(" => ".join(t.name for t in self.tasks))

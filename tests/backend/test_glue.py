@@ -127,3 +127,44 @@ def test_profile_shared_across_invocations():
     cf(xs)
     assert profile.kernel_launches == 1
     assert "Saxpy.apply" in profile.per_task
+
+
+def test_resolve_max_sim_items_precedence(monkeypatch):
+    # explicit > environment > module constant
+    monkeypatch.delenv(glue.MAX_SIM_ITEMS_ENV, raising=False)
+    assert glue.resolve_max_sim_items() == glue.MAX_SIMULATED_ITEMS
+    monkeypatch.setenv(glue.MAX_SIM_ITEMS_ENV, "128")
+    assert glue.resolve_max_sim_items() == 128
+    assert glue.resolve_max_sim_items(16) == 16
+
+
+def test_resolve_max_sim_items_rejects_garbage(monkeypatch):
+    monkeypatch.setenv(glue.MAX_SIM_ITEMS_ENV, "not-a-number")
+    with pytest.raises(RuntimeFault):
+        glue.resolve_max_sim_items()
+    monkeypatch.setenv(glue.MAX_SIM_ITEMS_ENV, "0")
+    with pytest.raises(RuntimeFault):
+        glue.resolve_max_sim_items()
+
+
+def test_env_cap_applies_at_launch_time(saxpy_filter, monkeypatch):
+    monkeypatch.setenv(glue.MAX_SIM_ITEMS_ENV, "8")
+    global_size, _local = saxpy_filter._launch_config(1000)
+    assert global_size == 8
+    xs = np.arange(20, dtype=np.float32)
+    xs.setflags(write=False)
+    assert np.allclose(saxpy_filter(xs), 2.5 * xs + 1.0)
+
+
+def test_explicit_cap_wins_over_env(monkeypatch):
+    monkeypatch.setenv(glue.MAX_SIM_ITEMS_ENV, "512")
+    checked = check_program(parse_program(SAXPY_SOURCE))
+    cf = compile_filter(
+        checked,
+        checked.lookup_method("Saxpy", "apply"),
+        device=get_device("gtx580"),
+        local_size=8,
+        max_sim_items=16,
+    )
+    global_size, _local = cf._launch_config(1000)
+    assert global_size == 16

@@ -145,3 +145,73 @@ def test_payload_bytes_accounting():
     arr = np.zeros((8, 4), dtype=np.float32)
     _, stats = marshal.serialize(arr, value_array(FLOAT, None, 4))
     assert stats.payload_bytes == 8 * 4 * 4
+
+
+# -- malformed wire bytes ----------------------------------------------------
+#
+# Truncated or garbage wire data must surface as MarshalError, never as a
+# bare struct.error / ValueError / IndexError from the codec internals.
+
+
+@pytest.fixture(params=[marshal.SPECIALIZED, marshal.GENERIC],
+                ids=["specialized", "generic"])
+def any_marshaller(request):
+    return request.param
+
+
+def test_empty_bytes_rejected_for_scalar(any_marshaller):
+    with pytest.raises(MarshalError):
+        marshal.deserialize(b"", INT, any_marshaller)
+
+
+def test_empty_bytes_rejected_for_array(any_marshaller):
+    with pytest.raises(MarshalError):
+        marshal.deserialize(b"", value_array(FLOAT, None), any_marshaller)
+
+
+def test_truncated_scalar_payload_rejected(any_marshaller):
+    data, _ = marshal.serialize(7, LONG)
+    with pytest.raises(MarshalError):
+        marshal.deserialize(data[:3], LONG, any_marshaller)
+
+
+def test_tag_only_array_header_rejected(any_marshaller):
+    data, _ = marshal.serialize(
+        np.arange(4, dtype=np.float32), value_array(FLOAT, None)
+    )
+    with pytest.raises(MarshalError):
+        marshal.deserialize(data[:1], value_array(FLOAT, None), any_marshaller)
+
+
+def test_truncated_shape_rejected(any_marshaller):
+    arr = np.arange(24, dtype=np.float32).reshape(6, 4)
+    t = value_array(FLOAT, None, 4)
+    data, _ = marshal.serialize(arr, t)
+    # tag + rank survive, the second dimension word is cut short
+    with pytest.raises(MarshalError):
+        marshal.deserialize(data[:5], t, any_marshaller)
+
+
+def test_truncated_payload_rejected(any_marshaller):
+    arr = np.arange(16, dtype=np.int32)
+    t = value_array(INT, None)
+    data, _ = marshal.serialize(arr, t)
+    with pytest.raises(MarshalError):
+        marshal.deserialize(data[:-5], t, any_marshaller)
+
+
+def test_garbage_bytes_rejected(any_marshaller):
+    with pytest.raises(MarshalError):
+        marshal.deserialize(b"\xff" * 16, value_array(INT, None),
+                            any_marshaller)
+
+
+def test_unpackable_scalar_value_rejected_on_serialize():
+    with pytest.raises(MarshalError):
+        marshal.serialize("not a number", INT)
+
+
+def test_unconvertible_array_value_rejected_on_serialize():
+    ragged = [[1, 2], [3]]
+    with pytest.raises(MarshalError):
+        marshal.serialize(ragged, value_array(INT, None, 2))

@@ -1,0 +1,358 @@
+"""Resilience-layer tests: fault injection, retry/backoff, circuit
+breaking, transparent host fallback, and the failure ledger."""
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import BENCHMARKS
+from repro.compiler.pipeline import compile_filter
+from repro.errors import (
+    ControlFlowSignal,
+    DeviceError,
+    DeviceOOM,
+    LaunchFault,
+    ReproError,
+    RuntimeFault,
+    TaskFault,
+    TransferFault,
+    UnderflowException,
+)
+from repro.evaluation.harness import run_configuration
+from repro.frontend import check_program, parse_program
+from repro.opencl import get_device
+from repro.runtime.profiler import ExecutionProfile, FailureLedger
+from repro.runtime.resilience import (
+    CircuitBreaker,
+    FaultInjector,
+    FaultSpec,
+    ResiliencePolicy,
+    ResilientWorker,
+    RetryPolicy,
+)
+
+from tests.conftest import SAXPY_SOURCE
+
+
+def saxpy_filter(**kwargs):
+    checked = check_program(parse_program(SAXPY_SOURCE))
+    return compile_filter(
+        checked,
+        checked.lookup_method("Saxpy", "apply"),
+        device=get_device("gtx580"),
+        local_size=8,
+        **kwargs,
+    )
+
+
+def frozen(n=8):
+    xs = np.arange(n, dtype=np.float32)
+    xs.setflags(write=False)
+    return xs
+
+
+# -- FaultSpec / FaultInjector ---------------------------------------------
+
+
+def test_fault_spec_disabled_by_default():
+    assert not FaultSpec().enabled()
+    assert FaultSpec.uniform(0.1).enabled()
+
+
+def test_injector_is_deterministic_per_seed():
+    def decisions(seed):
+        inj = FaultInjector(FaultSpec.uniform(0.5, seed=seed))
+        out = []
+        for _ in range(32):
+            try:
+                inj.maybe_fail_launch("k")
+                out.append(0)
+            except LaunchFault:
+                out.append(1)
+        return out
+
+    assert decisions(7) == decisions(7)
+    assert decisions(7) != decisions(8)
+
+
+def test_injector_transmit_flips_exactly_one_bit():
+    inj = FaultInjector(FaultSpec(transfer=1.0, seed=1))
+    data = bytes(range(64))
+    wire = inj.transmit(data, "h2d", "t")
+    assert wire != data
+    diff = [a ^ b for a, b in zip(wire, data)]
+    assert sum(1 for d in diff if d) == 1
+    assert bin(max(diff)).count("1") == 1
+    assert inj.injected["transfer"] == 1
+
+
+def test_injector_zero_rate_passes_data_through_unchanged():
+    inj = FaultInjector(FaultSpec())
+    data = b"abc"
+    assert inj.transmit(data, "h2d", "t") is data
+    inj.maybe_fail_launch("k")
+    inj.maybe_oom("t", 1 << 30)
+    assert inj.injected == {"transfer": 0, "launch": 0, "oom": 0}
+
+
+# -- RetryPolicy / CircuitBreaker ------------------------------------------
+
+
+def test_retry_backoff_is_deterministic_exponential():
+    policy = RetryPolicy(max_retries=3, base_backoff_ns=100.0, multiplier=2.0)
+    assert [policy.backoff_ns(a) for a in range(3)] == [100.0, 200.0, 400.0]
+
+
+def test_circuit_breaker_opens_after_consecutive_faults():
+    breaker = CircuitBreaker(threshold=3)
+    assert not breaker.record_fault()
+    assert not breaker.record_fault()
+    breaker.record_success()  # success resets the streak
+    assert not breaker.record_fault()
+    assert not breaker.record_fault()
+    assert breaker.record_fault()
+    assert breaker.open
+
+
+# -- glue / executor injection points --------------------------------------
+
+
+def test_corrupted_transfer_raises_transfer_fault_with_partial_stages():
+    cf = saxpy_filter()
+    cf.injector = FaultInjector(FaultSpec(transfer=1.0, seed=0))
+    with pytest.raises(TransferFault) as exc:
+        cf(frozen())
+    assert exc.value.stage == "transfer"
+    assert exc.value.partial_stages.total() > 0  # java marshal already done
+    assert cf.profile.stages.total() == 0  # failed attempt not recorded
+
+
+def test_injected_launch_fault_comes_from_executor():
+    cf = saxpy_filter()
+    cf.injector = FaultInjector(FaultSpec(launch=1.0, seed=0))
+    with pytest.raises(LaunchFault) as exc:
+        cf(frozen())
+    assert exc.value.stage == "launch"
+
+
+def test_injected_oom():
+    cf = saxpy_filter()
+    cf.injector = FaultInjector(FaultSpec(oom=1.0, seed=0))
+    with pytest.raises(DeviceOOM) as exc:
+        cf(frozen())
+    assert exc.value.stage == "oom"
+
+
+def test_clean_injector_changes_nothing():
+    plain = saxpy_filter()
+    hooked = saxpy_filter()
+    hooked.injector = FaultInjector(FaultSpec(seed=0))
+    xs = frozen()
+    assert np.array_equal(plain(xs), hooked(xs))
+    assert plain.profile.stages.total() == hooked.profile.stages.total()
+
+
+# -- ResilientWorker --------------------------------------------------------
+
+
+class FlakyWorker:
+    """Device stand-in failing the first ``failures`` calls."""
+
+    def __init__(self, failures, exc=None):
+        self.failures = failures
+        self.calls = 0
+        self.exc = exc or LaunchFault("boom")
+
+    def __call__(self, value):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc
+        return value * 2
+
+
+def make_resilient(device, retry=None, threshold=3):
+    profile = ExecutionProfile()
+    worker = ResilientWorker(
+        name="t",
+        device_worker=device,
+        host_factory=lambda: (lambda v: v * 2),
+        retry=retry or RetryPolicy(max_retries=2),
+        breaker=CircuitBreaker(threshold),
+        profile=profile,
+    )
+    return worker, profile
+
+
+def test_retry_then_success_records_ledger_and_recovery():
+    device = FlakyWorker(failures=2)
+    worker, profile = make_resilient(device, threshold=5)
+    assert worker(21) == 42
+    ledger = profile.faults
+    assert ledger.total_faults == 2
+    assert ledger.total_retries == 2
+    assert ledger.total_fallbacks == 0
+    assert ledger.tasks["t"].by_stage == {"launch": 2}
+    assert profile.stages.recovery > 0
+    assert profile.stages.total() == profile.stages.recovery
+    assert not worker.demoted
+
+
+def test_exhausted_retries_fall_back_to_host_for_the_item():
+    device = FlakyWorker(failures=100)
+    worker, profile = make_resilient(
+        device, retry=RetryPolicy(max_retries=1), threshold=10
+    )
+    assert worker(5) == 10  # computed by the host fallback
+    assert device.calls == 2  # initial + 1 retry
+    assert profile.faults.total_fallbacks == 1
+    assert not worker.demoted
+
+
+def test_breaker_demotes_to_host_permanently():
+    device = FlakyWorker(failures=100)
+    worker, profile = make_resilient(
+        device, retry=RetryPolicy(max_retries=0), threshold=2
+    )
+    assert worker(1) == 2  # fault 1 -> item falls back to host
+    assert worker(2) == 4  # fault 2 -> breaker opens -> demotion
+    calls_before = device.calls
+    assert worker(3) == 6  # device never consulted again
+    assert device.calls == calls_before
+    assert worker.demoted
+    assert profile.faults.demotions == ["t"]
+    assert profile.faults.tasks["t"].demoted
+
+
+def test_success_resets_the_breaker_streak():
+    device = FlakyWorker(failures=1)
+    worker, profile = make_resilient(
+        device, retry=RetryPolicy(max_retries=2), threshold=2
+    )
+    assert worker(1) == 2  # one fault, then device succeeds on retry
+    assert worker(2) == 4
+    assert not worker.demoted
+    assert worker.breaker.consecutive == 0
+
+
+def test_underflow_passes_through_the_resilience_layer():
+    def underflowing(value):
+        raise UnderflowException()
+
+    worker, _profile = make_resilient(underflowing)
+    with pytest.raises(UnderflowException):
+        worker(1)
+
+
+def test_backoff_charged_per_attempt():
+    device = FlakyWorker(failures=2)
+    retry = RetryPolicy(max_retries=2, base_backoff_ns=1000.0, multiplier=3.0)
+    worker, profile = make_resilient(device, retry=retry, threshold=10)
+    worker(1)
+    # Two failed attempts: backoff 1000 + 3000 (no partial stage time
+    # from FlakyWorker, which raises without a partial_stages attr).
+    assert profile.stages.recovery == pytest.approx(4000.0)
+    assert profile.faults.time_lost_ns == pytest.approx(4000.0)
+
+
+# -- engine integration ------------------------------------------------------
+
+
+def test_faulted_run_produces_identical_results_and_a_ledger():
+    bench = BENCHMARKS["jg-series-single"]
+    clean = run_configuration(bench, "gtx580", scale=0.2)
+    policy = ResiliencePolicy.from_flags(fault_rate=0.3, seed=7)
+    faulted = run_configuration(bench, "gtx580", scale=0.2, resilience=policy)
+    # Transparent recovery: byte-identical results.
+    assert faulted.checksum == clean.checksum
+    # The ledger saw the injected faults...
+    assert faulted.faults["faults"] > 0
+    # ...and the recovery overhead is visible in the stage totals.
+    assert faulted.stages.get("recovery", 0.0) > 0
+    assert faulted.total_ns > clean.total_ns
+    assert clean.faults == {}
+    assert "recovery" not in clean.stages
+
+
+def test_faulted_runs_are_deterministic_per_seed():
+    bench = BENCHMARKS["jg-series-single"]
+    policy_a = ResiliencePolicy.from_flags(fault_rate=0.25, seed=11)
+    policy_b = ResiliencePolicy.from_flags(fault_rate=0.25, seed=11)
+    a = run_configuration(bench, "gtx580", scale=0.2, resilience=policy_a)
+    b = run_configuration(bench, "gtx580", scale=0.2, resilience=policy_b)
+    assert a.checksum == b.checksum
+    assert a.total_ns == b.total_ns
+    assert a.faults == b.faults
+    assert a.stages == b.stages
+
+
+def test_resilience_disabled_keeps_seed_profile_shape():
+    bench = BENCHMARKS["jg-series-single"]
+    result = run_configuration(bench, "gtx580", scale=0.2)
+    assert set(result.stages) == {
+        "java_marshal",
+        "c_marshal",
+        "opencl_setup",
+        "transfer",
+        "kernel",
+        "host_compute",
+    }
+
+
+def test_from_flags_zero_rate_disables_resilience():
+    assert ResiliencePolicy.from_flags(fault_rate=0.0, seed=1) is None
+
+
+def test_policy_without_injector_still_recovers_real_faults():
+    # ResiliencePolicy(injector=None): no injection, but genuine device
+    # faults still retry and fall back.
+    device = FlakyWorker(failures=100, exc=DeviceError("real fault"))
+    policy = ResiliencePolicy(retry=RetryPolicy(max_retries=1))
+    profile = ExecutionProfile()
+    worker = policy.wrap("t", device, lambda: (lambda v: v + 1), profile)
+    assert worker(1) == 2
+    assert profile.faults.total_faults == 2
+
+
+# -- exception taxonomy ------------------------------------------------------
+
+
+def test_underflow_is_control_flow_not_an_error():
+    assert issubclass(UnderflowException, ControlFlowSignal)
+    assert not issubclass(UnderflowException, ReproError)
+    assert not issubclass(UnderflowException, RuntimeFault)
+
+
+def test_injected_fault_taxonomy():
+    for cls, stage in (
+        (TransferFault, "transfer"),
+        (LaunchFault, "launch"),
+        (DeviceOOM, "oom"),
+    ):
+        assert issubclass(cls, DeviceError)
+        assert cls.stage == stage
+    assert issubclass(TaskFault, RuntimeFault)
+
+
+# -- failure ledger ----------------------------------------------------------
+
+
+def test_ledger_report_renders_all_counters():
+    ledger = FailureLedger()
+    ledger.record_fault("A.f", "transfer")
+    ledger.record_fault("A.f", "launch")
+    ledger.record_retry("A.f")
+    ledger.record_fallback("A.f")
+    ledger.record_demotion("B.g")
+    ledger.add_time_lost("A.f", 1234.0)
+    text = ledger.report()
+    assert "2 fault(s)" in text
+    assert "transfer=1" in text and "launch=1" in text
+    assert "DEMOTED-TO-HOST" in text
+    assert "A.f" in text and "B.g" in text
+    summary = ledger.summary()
+    assert summary["faults"] == 2
+    assert summary["demotions"] == ["B.g"]
+    assert summary["per_task"]["A.f"]["time_lost_ns"] == 1234.0
+
+
+def test_empty_ledger_report():
+    assert "no device faults" in FailureLedger().report()

@@ -79,3 +79,60 @@ def test_empty_graph_rejected():
 def test_connect_rejects_non_task():
     with pytest.raises(RuntimeFault):
         counter_source(1).connect(42)
+
+
+def test_worker_fault_is_wrapped_with_task_name_and_stage():
+    from repro.errors import LaunchFault, TaskFault
+
+    def exploding(v):
+        raise LaunchFault("device gave up")
+
+    graph = counter_source(3).connect(
+        Task(exploding, "Boom.apply", is_source=False, produces=True)
+    )
+    with pytest.raises(TaskFault) as exc:
+        graph.finish()
+    err = exc.value
+    assert err.task_name == "Boom.apply"
+    assert err.stage == "launch"  # inherited from the wrapped LaunchFault
+    assert "Boom.apply" in str(err)
+    assert isinstance(err.__cause__, LaunchFault)
+
+
+def test_source_fault_is_wrapped():
+    from repro.errors import DeviceOOM, TaskFault
+
+    def bad_source():
+        raise DeviceOOM("no memory")
+
+    graph = TaskGraph(
+        [Task(bad_source, "src", is_source=True, produces=True)]
+    )
+    with pytest.raises(TaskFault) as exc:
+        graph.finish()
+    assert exc.value.task_name == "src"
+    assert exc.value.stage == "oom"
+
+
+def test_task_fault_not_double_wrapped():
+    from repro.errors import TaskFault
+
+    original = TaskFault("already wrapped", task_name="inner", stage="kernel")
+
+    def reraising(v):
+        raise original
+
+    graph = counter_source(1).connect(
+        Task(reraising, "outer", is_source=False, produces=True)
+    )
+    with pytest.raises(TaskFault) as exc:
+        graph.finish()
+    assert exc.value is original  # still attributed to the inner task
+    assert exc.value.task_name == "inner"
+
+
+def test_underflow_not_swallowed_by_fault_wrapping():
+    # UnderflowException is stream control flow, not a RuntimeFault; the
+    # wrapping except clauses must let it terminate the stream normally.
+    graph = counter_source(2)
+    assert graph.finish() == [1, 2]

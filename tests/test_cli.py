@@ -81,3 +81,52 @@ def test_figures_tables(capsys):
     assert main(["figures", "tables"]) == 0
     out = capsys.readouterr().out
     assert "Table 1" in out and "Table 3" in out
+
+
+def test_run_clean(capsys):
+    assert main(
+        ["run", "jg-series-single", "--target", "gtx580", "--scale", "0.2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "checksum:" in out
+    assert "kernel" in out
+    assert "no device faults" in out
+    assert "recovery" not in out
+
+
+def test_run_with_faults_matches_clean_checksum(capsys):
+    assert main(
+        ["run", "jg-series-single", "--target", "gtx580", "--scale", "0.2"]
+    ) == 0
+    clean = capsys.readouterr().out
+    assert main(
+        ["run", "jg-series-single", "--target", "gtx580", "--scale", "0.2",
+         "--faults", "0.3", "--fault-seed", "7"]
+    ) == 0
+    faulted = capsys.readouterr().out
+
+    def checksum(text):
+        return [l for l in text.splitlines() if l.startswith("checksum:")][0]
+
+    assert checksum(faulted) == checksum(clean)
+    assert "failure ledger:" in faulted
+    assert "fault(s)" in faulted
+    assert "recovery" in faulted
+
+
+def test_run_unknown_benchmark(capsys):
+    assert main(["run", "no-such-benchmark"]) == 1
+    assert "unknown benchmark" in capsys.readouterr().err
+
+
+def test_run_unknown_target(capsys):
+    assert main(["run", "jg-series-single", "--target", "vaporware"]) == 1
+    assert "unknown target" in capsys.readouterr().err
+
+
+def test_run_max_sim_items_flag(capsys):
+    assert main(
+        ["run", "jg-series-single", "--target", "gtx580", "--scale", "0.2",
+         "--max-sim-items", "64"]
+    ) == 0
+    assert "checksum:" in capsys.readouterr().out
