@@ -41,6 +41,7 @@ from repro.frontend.types import ArrayType
 from repro.opencl.timing import time_launch
 from repro.runtime import marshal
 from repro.runtime.cost import StageTimes
+from repro.runtime.sanitizer import LaunchGuard
 
 _NP_DTYPES = {
     "bool": np.bool_,
@@ -117,6 +118,7 @@ class CompiledFilter:
         overlap=False,
         constant_fallback=None,
         max_sim_items=None,
+        sanitizer=None,
     ):
         self.name = name
         self.worker = worker  # MethodDecl: for input/output Lime types
@@ -146,6 +148,10 @@ class CompiledFilter:
         # memory when the 64KB capacity is exceeded.
         self.constant_fallback = constant_fallback
         self.max_sim_items = max_sim_items  # None -> env var -> default
+        # Guarded execution: a SanitizerConfig
+        # (repro.runtime.sanitizer) arms per-launch bounds/race/
+        # divergence/NaN checks and the watchdog; None is the seed path.
+        self.sanitizer = sanitizer
         # Fault-injection hook: installed by the resilience layer
         # (repro.runtime.resilience); None means every stage is clean.
         self.injector = None
@@ -176,6 +182,7 @@ class CompiledFilter:
                     self._fallback_filter = self.constant_fallback()
                     self._fallback_filter.profile = self.profile
                 self._fallback_filter.injector = self.injector
+                self._fallback_filter.sanitizer = self.sanitizer
                 return self._fallback_filter(value)
             result = self._outbound(result, stages)
         except RuntimeFault as err:
@@ -272,6 +279,13 @@ class CompiledFilter:
 
     # -- execution ------------------------------------------------------------------
 
+    def _make_guard(self, kernel_name):
+        """A fresh per-launch guard (watchdog budget and trip counters
+        are per launch); None when guarded execution is off."""
+        if self.sanitizer is None or not self.sanitizer.instruments_launch():
+            return None
+        return LaunchGuard(self.sanitizer, kernel_name, task=self.name)
+
     def _launch_config(self, n):
         local = self.local_size
         items = min(max(n, 1), resolve_max_sim_items(self.max_sim_items))
@@ -332,13 +346,22 @@ class CompiledFilter:
                 self.name, sum(buf.nbytes for buf in buffers.values())
             )
         trace = self.compiled_kernel.launch(
-            buffers, scalars, global_size, local, injector=self.injector
+            buffers,
+            scalars,
+            global_size,
+            local,
+            injector=self.injector,
+            guard=self._make_guard(kernel.name),
         )
         timing = time_launch(trace, self.device)
         self.last_timing = timing
         stages.kernel += timing.kernel_ns
         stages.opencl_setup += self.comm.setup_ns(buffers=n_buffers, launches=1)
         self.profile.kernel_launches += 1
+        if self.injector is not None:
+            # Silent output corruption: no fault is raised and no CRC
+            # fails — only sampled differential validation catches it.
+            self.injector.maybe_corrupt_output(out, self.name)
 
         if self.reduce_kernel is not None:
             return self._run_reduce(out, len(out), stages)
@@ -370,6 +393,7 @@ class CompiledFilter:
             groups * local,
             local,
             injector=self.injector,
+            guard=self._make_guard(self.reduce_kernel.kernel.name),
         )
         timing = time_launch(trace, self.device)
         stages.kernel += timing.kernel_ns

@@ -12,8 +12,10 @@ Commands:
 - ``figures [7|8|9|tables]`` — regenerate the paper's evaluation
   artifacts at a chosen ``--scale``.
 - ``run BENCHMARK`` — run one benchmark end to end against a target,
-  optionally with fault injection (``--faults P --fault-seed N``), and
-  print the stage breakdown plus the failure ledger.
+  optionally with fault injection (``--faults P --fault-seed N``),
+  guarded execution (``--sanitize --deadline-ns T``), and differential
+  validation (``--validate-every N``), and print the stage breakdown
+  plus the failure ledger.
 """
 
 from __future__ import annotations
@@ -127,6 +129,7 @@ def cmd_run(args):
     from repro.evaluation.harness import TARGETS, run_configuration
     from repro.evaluation.report import failure_report
     from repro.runtime.resilience import ResiliencePolicy
+    from repro.runtime.sanitizer import SanitizerConfig
 
     if args.benchmark not in BENCHMARKS:
         print(
@@ -144,8 +147,18 @@ def cmd_run(args):
             file=sys.stderr,
         )
         return 1
+    sanitizer = SanitizerConfig.from_flags(
+        sanitize=args.sanitize,
+        deadline_ns=args.deadline_ns,
+        validate_every=args.validate_every,
+    )
     resilience = ResiliencePolicy.from_flags(
-        fault_rate=args.faults, seed=args.fault_seed
+        fault_rate=args.faults,
+        seed=args.fault_seed,
+        validate_every=args.validate_every,
+        cooloff=args.breaker_cooloff,
+        silent_rate=args.silent_faults,
+        sanitize=args.sanitize or args.deadline_ns is not None,
     )
     result = run_configuration(
         BENCHMARKS[args.benchmark],
@@ -154,8 +167,18 @@ def cmd_run(args):
         steps=args.steps,
         resilience=resilience,
         max_sim_items=args.max_sim_items,
+        sanitizer=sanitizer,
     )
     print("benchmark: {}  target: {}".format(result.benchmark, result.target))
+    if sanitizer is not None:
+        knobs = []
+        if sanitizer.instruments_launch():
+            knobs.append("bounds/races/divergence/nan")
+        if sanitizer.deadline_ns is not None:
+            knobs.append("deadline={:.0f}ns".format(sanitizer.deadline_ns))
+        if sanitizer.validate_every:
+            knobs.append("validate-every={}".format(sanitizer.validate_every))
+        print("guards:    {}".format(" ".join(knobs)))
     print("checksum:  {!r}".format(result.checksum))
     print("total:     {:.0f} simulated ns".format(result.total_ns))
     print("offloaded: {}".format(", ".join(result.offloaded) or "(none)"))
@@ -284,6 +307,42 @@ def build_parser():
         type=int,
         default=0,
         help="seed for the deterministic fault injector",
+    )
+    run_cmd.add_argument(
+        "--silent-faults",
+        type=float,
+        default=0.0,
+        help="probability a kernel's output buffer is corrupted silently "
+        "(no exception, no CRC mismatch) — only --validate-every "
+        "sampling can catch it",
+    )
+    run_cmd.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run kernels under guarded execution: bounds checks, "
+        "race/divergence detection, and NaN-poisoning traps",
+    )
+    run_cmd.add_argument(
+        "--deadline-ns",
+        type=float,
+        default=None,
+        help="per-launch watchdog deadline in simulated ns (implies "
+        "instrumented launches)",
+    )
+    run_cmd.add_argument(
+        "--validate-every",
+        type=int,
+        default=0,
+        help="differential validation: re-run every Nth stream item on "
+        "the host interpreter and compare (0 disables)",
+    )
+    run_cmd.add_argument(
+        "--breaker-cooloff",
+        type=int,
+        default=None,
+        help="successful host runs after which an open circuit breaker "
+        "half-opens and probes the device again (default: demotion is "
+        "permanent)",
     )
     run_cmd.add_argument(
         "--max-sim-items",

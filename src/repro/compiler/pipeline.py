@@ -80,6 +80,7 @@ def compile_filter(
     direct_marshal=False,
     overlap=False,
     max_sim_items=None,
+    sanitizer=None,
 ):
     """Compile one filter worker for ``device``.
 
@@ -88,6 +89,10 @@ def compile_filter(
     and ``overlap`` enable the paper's Section 5.3 future-work
     optimizations (direct-to-device serialization, and hiding
     communication behind the previous stream item's kernel).
+    ``sanitizer`` is an optional
+    :class:`repro.runtime.sanitizer.SanitizerConfig`; when it
+    instruments launches, the generated glue runs every kernel under a
+    :class:`repro.runtime.sanitizer.LaunchGuard`.
 
     Returns a :class:`CompiledFilter`; raises
     :class:`repro.errors.KernelRejected` when the worker does not match
@@ -142,6 +147,7 @@ def compile_filter(
             direct_marshal=direct_marshal,
             overlap=overlap,
             max_sim_items=max_sim_items,
+            sanitizer=sanitizer,
         )
 
     mapped = map_shape.mapped_method
@@ -204,6 +210,7 @@ def compile_filter(
                 direct_marshal=direct_marshal,
                 overlap=overlap,
                 max_sim_items=max_sim_items,
+                sanitizer=sanitizer,
             ),
         ):
             return compile_filter(
@@ -227,6 +234,7 @@ def compile_filter(
         overlap=overlap,
         constant_fallback=constant_fallback,
         max_sim_items=max_sim_items,
+        sanitizer=sanitizer,
     )
 
 
@@ -255,6 +263,7 @@ class Offloader:
         direct_marshal=False,
         overlap=False,
         max_sim_items=None,
+        sanitizer=None,
     ):
         self.device = device
         self.config = config or OptimizationConfig()
@@ -264,6 +273,7 @@ class Offloader:
         self.direct_marshal = direct_marshal
         self.overlap = overlap
         self.max_sim_items = max_sim_items
+        self.sanitizer = sanitizer
         self.rejections = []
         self.compiled = {}
 
@@ -285,6 +295,7 @@ class Offloader:
                 direct_marshal=self.direct_marshal,
                 overlap=self.overlap,
                 max_sim_items=self.max_sim_items,
+                sanitizer=self.sanitizer,
             )
         except KernelRejected as reason:
             self.rejections.append((key, str(reason)))

@@ -134,6 +134,71 @@ class DeviceOOM(DeviceError):
     stage = "oom"
 
 
+class SanitizerFault(RuntimeFault):
+    """Base class for guarded-execution trips.
+
+    Raised by the :mod:`repro.runtime.sanitizer` layer when an
+    instrumented kernel launch detects a *silent* failure mode — an
+    out-of-bounds access, a data race, barrier divergence, a blown
+    watchdog deadline, NaN poisoning, or a differential-validation
+    mismatch. Sanitizer trips count as device faults for the resilience
+    layer: they are retried, ledgered, and ultimately demote the task to
+    its host worker through the circuit breaker.
+
+    ``trips`` counts how many individual violations the launch observed
+    before raising (races are scanned post-launch and may batch several
+    conflicting addresses into one fault).
+    """
+
+    stage = "sanitizer"
+    trips = 1
+
+
+class BoundsFault(SanitizerFault):
+    """A global/local/constant/private load or store fell outside its
+    buffer. Detected *before* the access executes, so output buffers
+    hold no partially-corrupted data from the trapped instruction."""
+
+    stage = "bounds"
+
+
+class RaceFault(SanitizerFault):
+    """Two work-items touched the same global address within one launch
+    and at least one access was a store (write-write or read-write)."""
+
+    stage = "race"
+
+
+class DivergenceFault(SanitizerFault):
+    """Work-items of one work-group reached different barrier counts —
+    some items finished while their group mates were still waiting at a
+    barrier (undefined behaviour on real devices)."""
+
+    stage = "divergence"
+
+
+class DeadlineFault(SanitizerFault):
+    """The per-launch watchdog deadline (simulated ns) elapsed before
+    the kernel finished: a hung or runaway kernel."""
+
+    stage = "deadline"
+
+
+class NaNPoisonFault(SanitizerFault):
+    """A kernel stored a NaN into a floating-point buffer — the classic
+    silent-poisoning failure that propagates through downstream math."""
+
+    stage = "nan"
+
+
+class ValidationFault(SanitizerFault):
+    """Sampled differential validation re-ran a stream item on the host
+    interpreter and the device result disagreed: the kernel is silently
+    wrong. The host result is the ground truth."""
+
+    stage = "validate"
+
+
 class ControlFlowSignal(Exception):
     """Base for exceptions that are *control flow*, not failures.
 

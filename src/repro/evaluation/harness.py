@@ -28,7 +28,7 @@ class Target:
     device_name: Optional[str] = None
     cores: Optional[int] = None
 
-    def make_offloader(self, config=None, max_sim_items=None):
+    def make_offloader(self, config=None, max_sim_items=None, sanitizer=None):
         if self.kind == "bytecode":
             return None
         if self.kind == "cpu":
@@ -38,12 +38,14 @@ class Target:
                 config=config or OptimizationConfig(),
                 comm=CommCostModel.for_cpu(),
                 max_sim_items=max_sim_items,
+                sanitizer=sanitizer,
             )
         device = get_device(self.device_name)
         return Offloader(
             device=device,
             config=config or OptimizationConfig(),
             max_sim_items=max_sim_items,
+            sanitizer=sanitizer,
         )
 
 
@@ -86,6 +88,7 @@ def run_configuration(
     config=None,
     resilience=None,
     max_sim_items=None,
+    sanitizer=None,
 ):
     """Run one benchmark end to end against one target.
 
@@ -100,6 +103,9 @@ def run_configuration(
             :class:`repro.runtime.resilience.ResiliencePolicy` enabling
             fault injection + retry/fallback for the offloaded filters.
         max_sim_items: override the simulated work-item cap.
+        sanitizer: optional
+            :class:`repro.runtime.sanitizer.SanitizerConfig` — runs the
+            offloaded kernels under guarded (instrumented) execution.
 
     Returns a :class:`RunResult` with simulated nanoseconds.
     """
@@ -108,7 +114,9 @@ def run_configuration(
     checked = bench.checked()
     inputs = bench.make_input(scale=scale)
     steps = steps if steps is not None else bench.steps
-    offloader = target.make_offloader(config, max_sim_items=max_sim_items)
+    offloader = target.make_offloader(
+        config, max_sim_items=max_sim_items, sanitizer=sanitizer
+    )
     engine = Engine(checked, offloader=offloader, resilience=resilience)
     checksum = engine.run_static(
         bench.main_class, bench.run_method, list(inputs) + [steps]
@@ -125,5 +133,5 @@ def run_configuration(
         stages=stages,
         offloaded=list(engine.offloaded_tasks),
         rejections=list(offloader.rejections) if offloader else [],
-        faults=ledger.summary() if ledger.any_faults() else {},
+        faults=ledger.summary() if ledger.any_activity() else {},
     )

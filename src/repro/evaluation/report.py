@@ -143,19 +143,39 @@ def failure_report(summary):
             summary["time_lost_ns"],
         )
     ]
+    trips = summary.get("trips") or {}
+    validations = summary.get("validations", 0)
+    promotions = summary.get("promotions", 0)
+    if trips or validations or promotions:
+        parts = [
+            "{}={}".format(kind, count) for kind, count in sorted(trips.items())
+        ]
+        parts.append("validations={}".format(validations))
+        parts.append("mismatches={}".format(summary.get("mismatches", 0)))
+        if promotions:
+            parts.append("promotions={}".format(promotions))
+        lines.append("  guards: " + " ".join(parts))
     for name, rec in summary["per_task"].items():
         stages = ", ".join(
             "{}={}".format(stage, count)
             for stage, count in sorted(rec["by_stage"].items())
         )
+        extra = ""
+        if rec.get("validations"):
+            extra += " validations={} mismatches={}".format(
+                rec["validations"], rec.get("mismatches", 0)
+            )
+        if rec.get("promotions"):
+            extra += " promotions={}".format(rec["promotions"])
         lines.append(
-            "  {}: faults={} ({}) retries={} fallbacks={}{} "
+            "  {}: faults={} ({}) retries={} fallbacks={}{}{} "
             "time_lost={:.0f}ns".format(
                 name,
                 rec["faults"],
                 stages or "-",
                 rec["retries"],
                 rec["fallbacks"],
+                extra,
                 " DEMOTED-TO-HOST" if rec["demoted"] else "",
                 rec["time_lost_ns"],
             )

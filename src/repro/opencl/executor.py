@@ -36,13 +36,22 @@ from repro.errors import DeviceError
 class SiteTrace:
     """Raw memory trace for one static access site."""
 
-    __slots__ = ("space", "elem_bytes", "width", "is_store", "lanes", "indices")
+    __slots__ = (
+        "space",
+        "elem_bytes",
+        "width",
+        "is_store",
+        "array",
+        "lanes",
+        "indices",
+    )
 
-    def __init__(self, space, elem_bytes, width, is_store):
+    def __init__(self, space, elem_bytes, width, is_store, array=None):
         self.space = space
         self.elem_bytes = elem_bytes
         self.width = width  # vector width (elements moved per access)
         self.is_store = is_store
+        self.array = array  # buffer name (for the race sanitizer)
         self.lanes = []  # global work-item ids
         self.indices = []  # element indices (in units of width)
 
@@ -198,16 +207,24 @@ def _op_class(expr):
 
 
 class _Codegen:
-    """Translates one kernel to the source of a per-item generator."""
+    """Translates one kernel to the source of a per-item generator.
 
-    def __init__(self, kernel):
+    With ``sanitize=True`` the emitted code additionally calls a
+    per-site checker ``_ck<site>(index[, value])`` *before* every memory
+    access and a watchdog tick ``_wd()`` at the top of every loop
+    iteration. The op-count segments and access sites are identical in
+    both modes, so instrumented launches report the same profile.
+    """
+
+    def __init__(self, kernel, sanitize=False):
         self.kernel = kernel
+        self.sanitize = sanitize
         self.lines = []
         self.indent = 1
         self.temp = 0
         self.segments = []  # op-count dicts, one per straight-line segment
         self.current_segment = None
-        self.sites = {}  # site -> (space, elem_bytes, width, is_store)
+        self.sites = {}  # site -> (space, elem_bytes, width, is_store, array)
         self.has_barrier = False
         # Loop-context stack for break/continue translation: each entry
         # is ("plain", None) for loops whose Python form matches the IR
@@ -375,8 +392,11 @@ class _Codegen:
         else:
             elem_bytes = ktype.size
             width = 1
-        space = node.space if not isinstance(node, K.KImageLoad) else K.Space.IMAGE
-        self.sites[node.site] = (space, elem_bytes, width, is_store)
+        if isinstance(node, K.KImageLoad):
+            space, array = K.Space.IMAGE, node.image
+        else:
+            space, array = node.space, node.array
+        self.sites[node.site] = (space, elem_bytes, width, is_store, array)
 
     def _load(self, e):
         if e.site < 0:
@@ -386,6 +406,8 @@ class _Codegen:
         temp = self.fresh()
         idx_var = self.fresh()
         self.emit("{} = {}".format(idx_var, index))
+        if self.sanitize:
+            self.emit("_ck{}({})".format(e.site, idx_var))
         array = _bufname(e.array, e.space)
         if isinstance(e.ktype, K.KVector):
             width = e.ktype.width
@@ -411,6 +433,8 @@ class _Codegen:
         temp = self.fresh()
         idx_var = self.fresh()
         self.emit("{} = {}".format(idx_var, coord))
+        if self.sanitize:
+            self.emit("_ck{}({})".format(e.site, idx_var))
         width = e.ktype.width
         self.emit(
             "{} = {}[{} * {} : {} * {} + {}]".format(
@@ -455,6 +479,8 @@ class _Codegen:
             self.close_segment()
             self.emit("while {} < {}:".format(var, hi))
             self.indent += 1
+            if self.sanitize:
+                self.emit("_wd()")
             self._segment()["cmp"] += 1
             self._segment()["branch"] += 1
             self._segment()["int"] += 1  # induction update
@@ -487,6 +513,8 @@ class _Codegen:
             self.close_segment()
             self.emit("while {}:".format(self.expr(s.cond)))
             self.indent += 1
+            if self.sanitize:
+                self.emit("_wd()")
             self._segment()["cmp"] += 1
             self._segment()["branch"] += 1
             self.loop_stack.append(("plain", None))
@@ -536,6 +564,11 @@ class _Codegen:
         value = self.expr(s.value)
         idx_var = self.fresh()
         self.emit("{} = {}".format(idx_var, index))
+        if self.sanitize:
+            val_var = self.fresh()
+            self.emit("{} = {}".format(val_var, value))
+            self.emit("_ck{}({}, {})".format(s.site, idx_var, val_var))
+            value = val_var
         array = _bufname(s.array, s.space)
         if isinstance(s.ktype, K.KVector):
             width = s.ktype.width
@@ -591,6 +624,10 @@ class _Codegen:
             + local_args
             + trace_args
         )
+        if self.sanitize:
+            params += ["_wd"] + [
+                "_ck{}".format(site) for site in sorted(self.sites)
+            ]
         header = "def _item({}):".format(", ".join(params))
         source = [header] + self.lines
         return "\n".join(source), self.segments, self.sites
@@ -712,8 +749,32 @@ class CompiledKernel:
         namespace = dict(_GLOBALS)
         exec(compile(self.source, "<kernel:{}>".format(kernel.name), "exec"), namespace)
         self._item = namespace["_item"]
+        # The instrumented (sanitized) variant is compiled lazily — a
+        # guard-free launch never even builds it, keeping the fast path
+        # byte-for-byte identical to the seed.
+        self.sanitized_source = None
+        self._sanitized_item_fn = None
 
-    def launch(self, buffers, scalars, global_size, local_size, injector=None):
+    def _sanitized_item(self):
+        if self._sanitized_item_fn is None:
+            codegen = _Codegen(self.kernel, sanitize=True)
+            source, _segments, _sites = codegen.generate()
+            self.sanitized_source = source
+            namespace = dict(_GLOBALS)
+            exec(
+                compile(
+                    source,
+                    "<kernel:{}:sanitized>".format(self.kernel.name),
+                    "exec",
+                ),
+                namespace,
+            )
+            self._sanitized_item_fn = namespace["_item"]
+        return self._sanitized_item_fn
+
+    def launch(
+        self, buffers, scalars, global_size, local_size, injector=None, guard=None
+    ):
         """Execute the NDRange.
 
         Args:
@@ -728,6 +789,14 @@ class CompiledKernel:
                 :class:`repro.errors.LaunchFault` before any work-item
                 runs — output buffers are untouched, so the launch is
                 safely retryable.
+            guard: optional per-launch
+                :class:`repro.runtime.sanitizer.LaunchGuard`; when set,
+                the instrumented item code runs instead — every access
+                is bounds/NaN-checked before executing, loops tick the
+                watchdog, the scheduler flags barrier divergence, and
+                the memory trace is scanned for data races post-launch.
+                Trips raise :class:`repro.errors.SanitizerFault`
+                subclasses.
 
         Returns a :class:`LaunchTrace`.
         """
@@ -743,8 +812,14 @@ class CompiledKernel:
         trace = LaunchTrace(kernel.name, global_size, local_size)
         seg_counts = [0] * len(self.segments)
         site_traces = {
-            site: SiteTrace(space, elem_bytes, width, is_store)
-            for site, (space, elem_bytes, width, is_store) in self.site_meta.items()
+            site: SiteTrace(space, elem_bytes, width, is_store, array)
+            for site, (
+                space,
+                elem_bytes,
+                width,
+                is_store,
+                array,
+            ) in self.site_meta.items()
         }
 
         buffer_args = []
@@ -766,7 +841,6 @@ class CompiledKernel:
 
         local_specs = [a for a in kernel.arrays if a.space is K.Space.LOCAL]
         n_groups = global_size // local_size
-        item_fn = self._item
         sorted_sites = sorted(site_traces)
 
         # One append callable per site, shared across the launch: each
@@ -784,6 +858,16 @@ class CompiledKernel:
                 return append
 
             appenders.append(make_append())
+
+        # Guarded launches run the instrumented item code with one
+        # checker per site plus the watchdog tick.
+        item_fn = self._item
+        guard_args = []
+        if guard is not None:
+            item_fn = self._sanitized_item()
+            guard_args = [guard.tick] + self._make_checkers(
+                guard, sorted_sites, buffers, local_size
+            )
 
         for group in range(n_groups):
             local_mem = [
@@ -805,23 +889,27 @@ class CompiledKernel:
                     *scalar_args,
                     *local_mem,
                     *appenders,
+                    *guard_args,
                 )
                 items.append(gen)
             # Lockstep phases between barriers.
             live = items
             while live:
                 next_live = []
+                stopped = 0
                 for gen in live:
                     try:
                         next(gen)
                         next_live.append(gen)
                     except StopIteration:
-                        pass
+                        stopped += 1
                     except IndexError as err:
                         raise DeviceError(
                             "kernel '{}': out-of-bounds buffer access "
                             "({})".format(kernel.name, err)
                         ) from err
+                if guard is not None:
+                    guard.phase_check(group, len(next_live), stopped)
                 if next_live:
                     trace.barriers += 1
                 live = next_live
@@ -830,7 +918,40 @@ class CompiledKernel:
             for kind, ops in self.segments[seg_id].items():
                 trace.op_cycles[kind] += ops * count
         trace.sites = site_traces
+        if guard is not None:
+            guard.scan_races(site_traces)
         return trace
+
+    def _make_checkers(self, guard, sorted_sites, buffers, local_size):
+        """One bounds/NaN checker per access site, closed over the
+        element capacity of the site's buffer."""
+        kernel = self.kernel
+        local_specs = {
+            a.name: a for a in kernel.arrays if a.space is K.Space.LOCAL
+        }
+        private_specs = {
+            a.name: a for a in kernel.arrays if a.space is K.Space.PRIVATE
+        }
+        limits = {}
+        checkers = []
+        for site in sorted_sites:
+            space, _elem_bytes, width, _is_store, array = self.site_meta[site]
+            if space is K.Space.LOCAL:
+                spec = local_specs[array]
+                limits[site] = self._local_size_elems(spec, local_size)
+                is_float = _np_dtype_of(spec)().dtype.kind == "f"
+            elif space is K.Space.PRIVATE:
+                spec = private_specs[array]
+                limits[site] = spec.size
+                is_float = _np_dtype_of(spec)().dtype.kind == "f"
+            else:  # GLOBAL / CONSTANT / IMAGE buffers come from the host
+                buf = buffers[array]
+                limits[site] = len(buf)
+                is_float = buf.dtype.kind == "f"
+            checkers.append(
+                guard.make_checker(site, space, width, array, limits, is_float)
+            )
+        return checkers
 
     @staticmethod
     def _local_size_elems(spec, local_size):

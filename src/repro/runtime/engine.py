@@ -41,8 +41,15 @@ class Engine:
             :class:`repro.runtime.resilience.ResiliencePolicy`; when
             provided, every offloaded filter is wrapped with
             retry/backoff, a per-task circuit breaker, and transparent
-            demotion to its host-interpreter worker. ``None`` (the
-            default) leaves the offload path byte-for-byte as before.
+            demotion to its host-interpreter worker. With a breaker
+            ``cooloff`` the demotion is reversible (half-open probing),
+            and ``validate_every`` samples differential validation of
+            device results against the host interpreter. Guarded
+            execution (``--sanitize``) composes with this: sanitizer
+            trips raised by instrumented launches (see
+            :mod:`repro.runtime.sanitizer`) flow through the same
+            retry/breaker path. ``None`` (the default) leaves the
+            offload path byte-for-byte as before.
     """
 
     def __init__(

@@ -109,7 +109,9 @@ class _MarshallerBase:
                 data = struct.pack("<B", _TAGS[t.kind]) + struct.pack(
                     _SCALAR_PACK[t.kind], value
                 )
-            except (struct.error, TypeError) as err:
+            except (struct.error, TypeError, OverflowError) as err:
+                # OverflowError: struct raises it (not struct.error) for
+                # doubles outside float32 range, e.g. pack("<f", 1e40).
                 raise MarshalError(
                     "cannot marshal {!r} as a {} scalar: {}".format(
                         value, t, err
@@ -138,7 +140,7 @@ class _MarshallerBase:
             header += b"".join(struct.pack("<I", d) for d in arr.shape)
             try:
                 payload = self._encode_payload(arr, base, stats)
-            except (struct.error, TypeError, ValueError) as err:
+            except (struct.error, TypeError, ValueError, OverflowError) as err:
                 raise MarshalError(
                     "cannot encode a {} payload: {}".format(t, err)
                 ) from err

@@ -102,6 +102,14 @@ class TaskFaultRecord:
     its host worker; ``time_lost_ns`` is simulated time burned on failed
     attempts plus retry backoff; ``by_stage`` splits faults by the
     Figure 6 stage that failed.
+
+    Guarded execution adds: ``trips`` splits sanitizer violations by
+    kind (``bounds``/``race``/``divergence``/``deadline``/``nan``/
+    ``validate`` — may exceed the fault count because one race fault can
+    batch many conflicting addresses); ``validations``/``mismatches``
+    count differential-validation samples and how many disagreed with
+    the host; ``promotions`` counts half-open breaker probes that
+    returned the task from the host to the device.
     """
 
     faults: int = 0
@@ -110,6 +118,10 @@ class TaskFaultRecord:
     demoted: bool = False
     time_lost_ns: float = 0.0
     by_stage: dict = field(default_factory=dict)
+    trips: dict = field(default_factory=dict)
+    validations: int = 0
+    mismatches: int = 0
+    promotions: int = 0
 
 
 class FailureLedger:
@@ -139,6 +151,23 @@ class FailureLedger:
     def record_demotion(self, task_name):
         self._record(task_name).demoted = True
 
+    def record_trip(self, task_name, kind, count=1):
+        """Count ``count`` sanitizer violations of ``kind`` (a
+        :data:`repro.runtime.sanitizer.TRIP_KINDS` key)."""
+        rec = self._record(task_name)
+        rec.trips[kind] = rec.trips.get(kind, 0) + count
+
+    def record_validation(self, task_name, ok):
+        rec = self._record(task_name)
+        rec.validations += 1
+        if not ok:
+            rec.mismatches += 1
+
+    def record_promotion(self, task_name):
+        """A half-open breaker probe succeeded: the task moved back from
+        the host to the device."""
+        self._record(task_name).promotions += 1
+
     def add_time_lost(self, task_name, ns):
         self._record(task_name).time_lost_ns += ns
 
@@ -162,8 +191,38 @@ class FailureLedger:
     def time_lost_ns(self):
         return sum(rec.time_lost_ns for rec in self.tasks.values())
 
+    @property
+    def total_trips(self):
+        totals = {}
+        for rec in self.tasks.values():
+            for kind, count in rec.trips.items():
+                totals[kind] = totals.get(kind, 0) + count
+        return totals
+
+    @property
+    def total_validations(self):
+        return sum(rec.validations for rec in self.tasks.values())
+
+    @property
+    def total_mismatches(self):
+        return sum(rec.mismatches for rec in self.tasks.values())
+
+    @property
+    def total_promotions(self):
+        return sum(rec.promotions for rec in self.tasks.values())
+
     def any_faults(self):
         return self.total_faults > 0
+
+    def any_activity(self):
+        """True when the ledger holds anything worth reporting — faults,
+        sanitizer trips, validation samples, or re-promotions."""
+        return bool(self.tasks) and (
+            self.any_faults()
+            or self.total_trips
+            or self.total_validations
+            or self.total_promotions
+        )
 
     def summary(self):
         """A plain-dict view (stable across runs with the same seed)."""
@@ -173,6 +232,10 @@ class FailureLedger:
             "fallbacks": self.total_fallbacks,
             "demotions": list(self.demotions),
             "time_lost_ns": self.time_lost_ns,
+            "trips": self.total_trips,
+            "validations": self.total_validations,
+            "mismatches": self.total_mismatches,
+            "promotions": self.total_promotions,
             "per_task": {
                 name: {
                     "faults": rec.faults,
@@ -181,6 +244,10 @@ class FailureLedger:
                     "demoted": rec.demoted,
                     "time_lost_ns": rec.time_lost_ns,
                     "by_stage": dict(rec.by_stage),
+                    "trips": dict(rec.trips),
+                    "validations": rec.validations,
+                    "mismatches": rec.mismatches,
+                    "promotions": rec.promotions,
                 }
                 for name, rec in sorted(self.tasks.items())
             },
@@ -190,7 +257,7 @@ class FailureLedger:
         """Render the ledger as text for the CLI."""
         if not self.tasks:
             return "failure ledger: no device faults recorded"
-        lines = [
+        header = (
             "failure ledger: {} fault(s), {} retry(ies), {} host "
             "fallback(s), {} demotion(s), {:.0f} ns lost".format(
                 self.total_faults,
@@ -199,20 +266,40 @@ class FailureLedger:
                 len(self.demotions),
                 self.time_lost_ns,
             )
-        ]
+        )
+        trips = self.total_trips
+        if trips or self.total_validations or self.total_promotions:
+            parts = [
+                "{}={}".format(kind, count)
+                for kind, count in sorted(trips.items())
+            ]
+            parts.append("validations={}".format(self.total_validations))
+            parts.append("mismatches={}".format(self.total_mismatches))
+            if self.total_promotions:
+                parts.append("promotions={}".format(self.total_promotions))
+            header += "\n  guards: " + " ".join(parts)
+        lines = [header]
         for name, rec in sorted(self.tasks.items()):
             stages = ", ".join(
                 "{}={}".format(stage, count)
                 for stage, count in sorted(rec.by_stage.items())
             )
+            extra = ""
+            if rec.validations:
+                extra += " validations={} mismatches={}".format(
+                    rec.validations, rec.mismatches
+                )
+            if rec.promotions:
+                extra += " promotions={}".format(rec.promotions)
             lines.append(
-                "  {}: faults={} ({}) retries={} fallbacks={}{} "
+                "  {}: faults={} ({}) retries={} fallbacks={}{}{} "
                 "time_lost={:.0f}ns".format(
                     name,
                     rec.faults,
                     stages or "-",
                     rec.retries,
                     rec.fallbacks,
+                    extra,
                     " DEMOTED-TO-HOST" if rec.demoted else "",
                     rec.time_lost_ns,
                 )

@@ -38,7 +38,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.errors import DeviceOOM, LaunchFault, RuntimeFault
+from repro.errors import DeviceOOM, LaunchFault, RuntimeFault, SanitizerFault, ValidationFault
+from repro.runtime.sanitizer import values_equal
 
 
 @dataclass(frozen=True)
@@ -48,22 +49,34 @@ class FaultSpec:
     ``transfer`` is the probability that any one host↔device transfer
     delivers corrupted bytes; ``launch`` the probability a kernel launch
     fails; ``oom`` the probability buffer allocation for a launch
-    reports out-of-memory. All default to 0.0 (injection off).
+    reports out-of-memory. ``silent`` is the probability a kernel's
+    output buffer is corrupted *silently* — no exception, no CRC
+    mismatch; only sampled differential validation
+    (``--validate-every``) can catch it. All default to 0.0
+    (injection off).
     """
 
     transfer: float = 0.0
     launch: float = 0.0
     oom: float = 0.0
+    silent: float = 0.0
     seed: int = 0
 
     @classmethod
-    def uniform(cls, p, seed=0):
+    def uniform(cls, p, seed=0, silent=0.0):
         """The CLI's ``--faults P`` shape: the same probability at every
-        injection point."""
-        return cls(transfer=p, launch=p, oom=p, seed=seed)
+        *loud* injection point. Silent corruption stays opt-in
+        (``--silent-faults``) because without validation sampling it is
+        by construction undetectable."""
+        return cls(transfer=p, launch=p, oom=p, silent=silent, seed=seed)
 
     def enabled(self):
-        return self.transfer > 0 or self.launch > 0 or self.oom > 0
+        return (
+            self.transfer > 0
+            or self.launch > 0
+            or self.oom > 0
+            or self.silent > 0
+        )
 
 
 class FaultInjector:
@@ -77,7 +90,7 @@ class FaultInjector:
     def __init__(self, spec):
         self.spec = spec
         self._rng = random.Random(spec.seed)
-        self.injected = {"transfer": 0, "launch": 0, "oom": 0}
+        self.injected = {"transfer": 0, "launch": 0, "oom": 0, "silent": 0}
 
     def _fire(self, p):
         return p > 0.0 and self._rng.random() < p
@@ -116,6 +129,24 @@ class FaultInjector:
                 "'{}'".format(int(nbytes), task_name)
             )
 
+    def maybe_corrupt_output(self, out, task_name):
+        """Called by the glue after a successful kernel launch: may
+        silently perturb one element of the output buffer in place.
+        Nothing raises and no checksum fails — this models the
+        silently-wrong kernel that only differential validation
+        catches."""
+        if not self._fire(self.spec.silent) or out.size == 0:
+            return
+        pos = self._rng.randrange(out.size)
+        flat = out.reshape(-1)
+        if flat.dtype.kind == "f":
+            flat[pos] = flat[pos] * 2.0 + 1.0
+        elif flat.dtype.kind == "b":
+            flat[pos] = not flat[pos]
+        else:
+            flat[pos] = flat[pos] ^ 1
+        self.injected["silent"] += 1
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -136,24 +167,63 @@ class RetryPolicy:
 class CircuitBreaker:
     """Per-task: opens after ``threshold`` consecutive device faults.
 
-    A successful device completion resets the count; once open, the
-    breaker never closes for the rest of the run (the simulated device
-    is presumed bad for this filter) and the task runs on the host.
+    A successful device completion resets the count. Once open, the
+    task runs on the host. With ``cooloff=None`` (the default) the
+    breaker never closes again for the rest of the run — the simulated
+    device is presumed bad for this filter. With an integer ``cooloff``
+    the breaker is *half-open* after that many successful host runs:
+    the next stream item probes the device once; a clean probe closes
+    the breaker (the task is re-promoted to the device), a fault snaps
+    it back open and the cooloff count restarts.
+
+    States: ``closed`` → (threshold consecutive faults) → ``open`` →
+    (cooloff host successes) → ``half_open`` → probe success →
+    ``closed`` / probe fault → ``open``.
     """
 
-    def __init__(self, threshold=3):
+    def __init__(self, threshold=3, cooloff=None):
         self.threshold = threshold
+        self.cooloff = cooloff
         self.consecutive = 0
-        self.open = False
+        self.state = "closed"
+        self.host_successes = 0
+
+    @property
+    def open(self):
+        return self.state == "open"
+
+    @property
+    def half_open(self):
+        return self.state == "half_open"
 
     def record_fault(self):
         self.consecutive += 1
-        if self.consecutive >= self.threshold:
-            self.open = True
+        if self.state == "half_open":
+            # The probe failed: straight back to the host.
+            self.state = "open"
+            self.host_successes = 0
+        elif self.consecutive >= self.threshold:
+            self.state = "open"
+            self.host_successes = 0
         return self.open
 
     def record_success(self):
         self.consecutive = 0
+        if self.state == "half_open":
+            self.state = "closed"  # probe succeeded: re-promoted
+
+    def record_host_success(self):
+        """One stream item completed on the host while the breaker was
+        open; returns True when this transitions the breaker to
+        half-open (the next item probes the device)."""
+        if self.state != "open" or self.cooloff is None:
+            return False
+        self.host_successes += 1
+        if self.host_successes >= self.cooloff:
+            self.state = "half_open"
+            self.host_successes = 0
+            return True
+        return False
 
 
 class ResilientWorker:
@@ -169,9 +239,24 @@ class ResilientWorker:
         breaker: this task's :class:`CircuitBreaker`.
         profile: the run's :class:`ExecutionProfile` (recovery stage +
             failure ledger).
+        validate_every: differential-validation sampling period — every
+            Nth stream item that completed on the device is re-executed
+            through the host interpreter and compared NaN-safely; a
+            mismatch is a ``validate`` fault (the kernel is silently
+            wrong), trips the breaker, and the item returns the host
+            result. 0 disables sampling.
     """
 
-    def __init__(self, name, device_worker, host_factory, retry, breaker, profile):
+    def __init__(
+        self,
+        name,
+        device_worker,
+        host_factory,
+        retry,
+        breaker,
+        profile,
+        validate_every=0,
+    ):
         self.name = name
         self.device_worker = device_worker
         self._host_factory = host_factory
@@ -179,6 +264,8 @@ class ResilientWorker:
         self.retry = retry
         self.breaker = breaker
         self.profile = profile
+        self.validate_every = int(validate_every or 0)
+        self.device_items = 0  # device completions, for the sampler
 
     @property
     def demoted(self):
@@ -194,10 +281,45 @@ class ResilientWorker:
         ledger.add_time_lost(self.name, lost_ns)
         self.profile.record_recovery(self.name, lost_ns)
 
-    def __call__(self, value=None):
-        if self.breaker.open:
-            return self._host(value)
+    def _record_fault(self, err, stage):
         ledger = self.profile.faults
+        ledger.record_fault(self.name, stage)
+        if isinstance(err, SanitizerFault):
+            ledger.record_trip(self.name, stage, getattr(err, "trips", 1))
+
+    def _validate(self, value, result, probing):
+        """Sampled differential validation of a device result; returns
+        ``(trusted_result, ok)``."""
+        self.device_items += 1
+        if (
+            self.validate_every <= 0
+            or (self.device_items - 1) % self.validate_every
+        ):
+            return result, True
+        ledger = self.profile.faults
+        expected = self._host(value)
+        if values_equal(result, expected):
+            ledger.record_validation(self.name, ok=True)
+            return result, True
+        # The device answer is silently wrong: ledger the divergence,
+        # trip the breaker, and return the trusted host result.
+        ledger.record_validation(self.name, ok=False)
+        err = ValidationFault(
+            "task '{}': device result diverged from the host interpreter "
+            "on a sampled stream item".format(self.name)
+        )
+        self._record_fault(err, ValidationFault.stage)
+        if self.breaker.record_fault() and not probing:
+            ledger.record_demotion(self.name)
+        return expected, False
+
+    def __call__(self, value=None):
+        ledger = self.profile.faults
+        if self.breaker.open:
+            result = self._host(value)
+            self.breaker.record_host_success()
+            return result
+        probing = self.breaker.half_open
         attempt = 0
         while True:
             try:
@@ -207,10 +329,11 @@ class ResilientWorker:
                 # not a RuntimeFault: stream termination passes through.
                 stage = getattr(err, "stage", None) or "device"
                 partial = getattr(err, "partial_stages", None)
-                ledger.record_fault(self.name, stage)
+                self._record_fault(err, stage)
                 self._charge(partial.total() if partial is not None else 0.0)
                 if self.breaker.record_fault():
-                    ledger.record_demotion(self.name)
+                    if not probing:
+                        ledger.record_demotion(self.name)
                     return self._host(value)
                 if attempt < self.retry.max_retries:
                     self._charge(self.retry.backoff_ns(attempt))
@@ -223,7 +346,16 @@ class ResilientWorker:
                 ledger.record_fallback(self.name)
                 return self._host(value)
             else:
-                self.breaker.record_success()
+                # Validate before crediting the breaker: a device answer
+                # that diverges from the host is a fault, not a success,
+                # and must not reset the consecutive-fault streak.
+                result, ok = self._validate(value, result, probing)
+                if ok:
+                    self.breaker.record_success()
+                    if probing:
+                        # Half-open probe succeeded: the task is
+                        # re-promoted from the host back to the device.
+                        ledger.record_promotion(self.name)
                 return result
 
 
@@ -238,22 +370,57 @@ class ResiliencePolicy:
     retried and demoted the same way.
     """
 
-    def __init__(self, injector=None, retry=None, breaker_threshold=3):
+    def __init__(
+        self,
+        injector=None,
+        retry=None,
+        breaker_threshold=3,
+        validate_every=0,
+        cooloff=None,
+    ):
         self.injector = injector
         self.retry = retry or RetryPolicy()
         self.breaker_threshold = breaker_threshold
+        self.validate_every = int(validate_every or 0)
+        self.cooloff = cooloff
         self.workers = []
 
     @classmethod
-    def from_flags(cls, fault_rate=0.0, seed=0, retry=None, breaker_threshold=3):
-        """Build from the CLI's ``--faults``/``--fault-seed`` flags;
-        returns None when the rate is zero (resilience fully off — the
-        seed-identical fast path)."""
-        if fault_rate <= 0.0:
+    def from_flags(
+        cls,
+        fault_rate=0.0,
+        seed=0,
+        retry=None,
+        breaker_threshold=3,
+        validate_every=0,
+        cooloff=None,
+        silent_rate=0.0,
+        sanitize=False,
+    ):
+        """Build from the CLI's resilience flags (``--faults``,
+        ``--fault-seed``, ``--silent-faults``, ``--validate-every``,
+        ``--breaker-cooloff``, ``--sanitize``); returns None when every
+        knob is off — the seed-identical fast path. ``sanitize`` alone
+        enables the policy (without injection) so sanitizer trips are
+        retried/demoted instead of crashing the run."""
+        if (
+            fault_rate <= 0.0
+            and silent_rate <= 0.0
+            and validate_every <= 0
+            and not sanitize
+        ):
             return None
-        injector = FaultInjector(FaultSpec.uniform(fault_rate, seed=seed))
+        injector = None
+        if fault_rate > 0.0 or silent_rate > 0.0:
+            injector = FaultInjector(
+                FaultSpec.uniform(fault_rate, seed=seed, silent=silent_rate)
+            )
         return cls(
-            injector=injector, retry=retry, breaker_threshold=breaker_threshold
+            injector=injector,
+            retry=retry,
+            breaker_threshold=breaker_threshold,
+            validate_every=validate_every,
+            cooloff=cooloff,
         )
 
     def wrap(self, name, device_worker, host_factory, profile):
@@ -264,8 +431,9 @@ class ResiliencePolicy:
             device_worker=device_worker,
             host_factory=host_factory,
             retry=self.retry,
-            breaker=CircuitBreaker(self.breaker_threshold),
+            breaker=CircuitBreaker(self.breaker_threshold, cooloff=self.cooloff),
             profile=profile,
+            validate_every=self.validate_every,
         )
         self.workers.append(worker)
         return worker

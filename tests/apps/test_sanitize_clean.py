@@ -1,0 +1,64 @@
+"""Property-style guard check: every registered benchmark runs clean
+under full sanitization.
+
+The sanitizer must produce zero false positives on correct kernels —
+no bounds/race/divergence/NaN trips on any Table 3 configuration — and
+the guarded run's checksum must equal the unguarded run's (the
+instrumentation only observes; it never perturbs results).
+"""
+
+import pytest
+
+from repro.apps.registry import BENCHMARKS
+from repro.evaluation.harness import run_configuration
+from repro.runtime.resilience import ResiliencePolicy
+from repro.runtime.sanitizer import SanitizerConfig
+
+SCALE = 0.1
+MAX_SIM_ITEMS = 128
+ALL = sorted(BENCHMARKS)
+
+FULL_GUARDS = SanitizerConfig(deadline_ns=1e12, validate_every=2)
+
+
+def run(name, sanitizer=None, resilience=None):
+    return run_configuration(
+        BENCHMARKS[name],
+        "gtx580",
+        scale=SCALE,
+        steps=1,
+        resilience=resilience,
+        max_sim_items=MAX_SIM_ITEMS,
+        sanitizer=sanitizer,
+    )
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_benchmark_runs_clean_under_full_sanitize(name):
+    policy = ResiliencePolicy.from_flags(
+        sanitize=True, validate_every=FULL_GUARDS.validate_every
+    )
+    plain = run(name)
+    guarded = run(name, sanitizer=FULL_GUARDS, resilience=policy)
+    # No guard tripped, no validation mismatch, nothing was demoted.
+    faults = guarded.faults
+    assert faults.get("trips", {}) == {}, faults
+    assert faults.get("mismatches", 0) == 0, faults
+    assert faults.get("demotions", []) == [], faults
+    assert faults.get("faults", 0) == 0, faults
+    # Observational only: same tasks offloaded, same checksum.
+    assert guarded.offloaded == plain.offloaded
+    assert guarded.checksum == plain.checksum
+    # Validation actually sampled at least one item per offloaded task.
+    if guarded.offloaded:
+        assert faults.get("validations", 0) >= 1
+
+
+@pytest.mark.parametrize("name", ALL[:2])
+def test_sanitizer_off_run_is_byte_identical(name):
+    """A run with no sanitizer takes the seed code path exactly."""
+    a = run(name)
+    b = run(name)
+    assert a.checksum == b.checksum
+    assert a.stages == b.stages
+    assert a.faults == {}

@@ -215,3 +215,62 @@ def test_unconvertible_array_value_rejected_on_serialize():
     ragged = [[1, 2], [3]]
     with pytest.raises(MarshalError):
         marshal.serialize(ragged, value_array(INT, None, 2))
+
+
+# -- IEEE-754 specials and extreme integers ---------------------------------
+
+
+@pytest.mark.parametrize("marshaller", [marshal.SPECIALIZED, marshal.GENERIC])
+@pytest.mark.parametrize("lime_type", [FLOAT, DOUBLE])
+def test_nan_scalar_roundtrips(marshaller, lime_type):
+    out = roundtrip(float("nan"), lime_type, marshaller)
+    assert isinstance(out, float)
+    assert out != out  # still NaN
+
+
+@pytest.mark.parametrize("marshaller", [marshal.SPECIALIZED, marshal.GENERIC])
+@pytest.mark.parametrize("special", [float("inf"), float("-inf")])
+def test_inf_scalar_roundtrips(marshaller, special):
+    assert roundtrip(special, FLOAT, marshaller) == special
+    assert roundtrip(special, DOUBLE, marshaller) == special
+
+
+@pytest.mark.parametrize("marshaller", [marshal.SPECIALIZED, marshal.GENERIC])
+def test_special_float_array_roundtrips(marshaller):
+    arr = np.array(
+        [np.nan, np.inf, -np.inf, 0.0, -0.0, 1.5], dtype=np.float32
+    )
+    out = roundtrip(arr, value_array(FLOAT, None), marshaller)
+    assert np.array_equal(out, arr, equal_nan=True)
+    # -0.0 keeps its sign bit through the wire.
+    assert np.signbit(out[4])
+
+
+@pytest.mark.parametrize("marshaller", [marshal.SPECIALIZED, marshal.GENERIC])
+def test_extreme_int_scalars_roundtrip(marshaller):
+    for v in (-(2**31), 2**31 - 1):
+        assert roundtrip(v, INT, marshaller) == v
+    for v in (-(2**63), 2**63 - 1):
+        assert roundtrip(v, LONG, marshaller) == v
+
+
+@pytest.mark.parametrize("marshaller", [marshal.SPECIALIZED, marshal.GENERIC])
+def test_extreme_int_array_roundtrips(marshaller):
+    arr = np.array([-(2**63), 2**63 - 1, 0, -1], dtype=np.int64)
+    out = roundtrip(arr, value_array(LONG, None), marshaller)
+    assert np.array_equal(out, arr)
+
+
+def test_float32_overflow_is_a_marshal_error_not_overflow_error():
+    # struct raises OverflowError (not struct.error) for doubles outside
+    # float32 range; it must surface as MarshalError like every other
+    # serialization failure.
+    with pytest.raises(MarshalError):
+        marshal.serialize(1e40, FLOAT)
+
+
+def test_int_overflow_is_a_marshal_error():
+    with pytest.raises(MarshalError):
+        marshal.serialize(2**31, INT)
+    with pytest.raises(MarshalError):
+        marshal.serialize(2**63, LONG)

@@ -91,7 +91,7 @@ def test_injector_zero_rate_passes_data_through_unchanged():
     assert inj.transmit(data, "h2d", "t") is data
     inj.maybe_fail_launch("k")
     inj.maybe_oom("t", 1 << 30)
-    assert inj.injected == {"transfer": 0, "launch": 0, "oom": 0}
+    assert inj.injected == {"transfer": 0, "launch": 0, "oom": 0, "silent": 0}
 
 
 # -- RetryPolicy / CircuitBreaker ------------------------------------------
@@ -169,15 +169,18 @@ class FlakyWorker:
         return value * 2
 
 
-def make_resilient(device, retry=None, threshold=3):
+def make_resilient(
+    device, retry=None, threshold=3, cooloff=None, validate_every=0, host=None
+):
     profile = ExecutionProfile()
     worker = ResilientWorker(
         name="t",
         device_worker=device,
-        host_factory=lambda: (lambda v: v * 2),
+        host_factory=lambda: host or (lambda v: v * 2),
         retry=retry or RetryPolicy(max_retries=2),
-        breaker=CircuitBreaker(threshold),
+        breaker=CircuitBreaker(threshold, cooloff=cooloff),
         profile=profile,
+        validate_every=validate_every,
     )
     return worker, profile
 
@@ -356,3 +359,197 @@ def test_ledger_report_renders_all_counters():
 
 def test_empty_ledger_report():
     assert "no device faults" in FailureLedger().report()
+
+
+# -- half-open circuit breaker ----------------------------------------------
+
+
+def test_breaker_half_opens_after_cooloff_and_recloses():
+    breaker = CircuitBreaker(threshold=2, cooloff=3)
+    assert breaker.record_fault() is False
+    assert breaker.record_fault() is True
+    assert breaker.state == "open"
+    assert breaker.record_host_success() is False
+    assert breaker.record_host_success() is False
+    assert breaker.record_host_success() is True  # open -> half_open
+    assert breaker.half_open and not breaker.open
+    breaker.record_success()  # probe succeeded
+    assert breaker.state == "closed"
+
+
+def test_breaker_probe_failure_reopens():
+    breaker = CircuitBreaker(threshold=1, cooloff=1)
+    breaker.record_fault()
+    breaker.record_host_success()
+    assert breaker.half_open
+    breaker.record_fault()  # probe fails: straight back open
+    assert breaker.open
+    assert breaker.host_successes == 0  # cooloff restarts
+
+
+def test_breaker_without_cooloff_stays_open_forever():
+    breaker = CircuitBreaker(threshold=1)
+    breaker.record_fault()
+    for _ in range(100):
+        assert breaker.record_host_success() is False
+    assert breaker.open
+
+
+def test_worker_repromotes_after_cooloff():
+    device = FlakyWorker(failures=2)
+    worker, profile = make_resilient(
+        device, retry=RetryPolicy(max_retries=0), threshold=2, cooloff=2
+    )
+    worker(1)  # fault 1: host fallback
+    worker(2)  # fault 2: breaker opens, demotion
+    assert worker.demoted
+    worker(3)  # host, cooloff 1
+    worker(4)  # host, cooloff 2 -> half-open
+    assert worker.breaker.half_open
+    calls_before = device.calls
+    assert worker(5) == 10  # probe: device succeeds, re-promoted
+    assert device.calls == calls_before + 1
+    assert not worker.demoted
+    assert worker.breaker.state == "closed"
+    assert profile.faults.total_promotions == 1
+    assert profile.faults.tasks["t"].promotions == 1
+
+
+def test_worker_failed_probe_goes_back_to_host():
+    device = FlakyWorker(failures=100)
+    worker, profile = make_resilient(
+        device, retry=RetryPolicy(max_retries=2), threshold=1, cooloff=1
+    )
+    worker(1)  # breaker opens immediately
+    worker(2)  # host success -> half-open
+    assert worker.breaker.half_open
+    calls_before = device.calls
+    assert worker(3) == 6  # probe fails -> host answers the item
+    # A half-open probe gets exactly one device attempt (no retries).
+    assert device.calls == calls_before + 1
+    assert worker.breaker.open
+    assert profile.faults.total_promotions == 0
+
+
+# -- silent corruption + differential validation -----------------------------
+
+
+def test_silent_corruption_flips_one_element():
+    inj = FaultInjector(FaultSpec(silent=1.0, seed=5))
+    out = np.ones(16, dtype=np.float32)
+    inj.maybe_corrupt_output(out, "t")
+    assert inj.injected["silent"] == 1
+    assert (out != 1.0).sum() == 1
+
+
+def test_silent_corruption_int_and_bool_buffers():
+    inj = FaultInjector(FaultSpec(silent=1.0, seed=5))
+    iout = np.zeros(8, dtype=np.int32)
+    inj.maybe_corrupt_output(iout, "t")
+    assert (iout != 0).sum() == 1
+    bout = np.ones(8, dtype=bool)
+    inj.maybe_corrupt_output(bout, "t")
+    assert (~bout).sum() == 1
+
+
+def test_uniform_spec_keeps_silent_opt_in():
+    spec = FaultSpec.uniform(0.5, seed=1)
+    assert spec.silent == 0.0
+    assert FaultSpec.uniform(0.5, seed=1, silent=0.25).silent == 0.25
+
+
+def test_validation_catches_wrong_device_result():
+    worker, profile = make_resilient(
+        lambda v: v * 2 + 1,  # silently wrong device
+        threshold=10,
+        validate_every=1,
+    )
+    assert worker(5) == 10  # host ground truth wins
+    rec = profile.faults.tasks["t"]
+    assert rec.validations == 1
+    assert rec.mismatches == 1
+    assert rec.by_stage == {"validate": 1}
+    assert rec.trips == {"validate": 1}
+
+
+def test_validation_sampling_period():
+    seen = []
+
+    def device(v):
+        seen.append(v)
+        return v * 2
+
+    worker, profile = make_resilient(device, validate_every=3)
+    for i in range(9):
+        assert worker(i) == i * 2
+    rec = profile.faults.tasks["t"]
+    assert rec.validations == 3  # items 0, 3, 6
+    assert rec.mismatches == 0
+    assert len(seen) == 9
+
+
+def test_validation_mismatches_trip_the_breaker():
+    worker, profile = make_resilient(
+        lambda v: v * 2 + 1, threshold=2, validate_every=1
+    )
+    worker(1)
+    worker(2)  # second mismatch opens the breaker
+    assert worker.demoted
+    assert profile.faults.demotions == ["t"]
+    calls = profile.faults.tasks["t"].validations
+    worker(3)  # host-only now: no further validation
+    assert profile.faults.tasks["t"].validations == calls
+
+
+def test_validation_nan_results_are_not_mismatches():
+    nan = float("nan")
+    worker, profile = make_resilient(
+        lambda v: nan, host=lambda v: nan, validate_every=1
+    )
+    out = worker(1)
+    assert out != out  # NaN propagates
+    rec = profile.faults.tasks["t"]
+    assert rec.validations == 1 and rec.mismatches == 0
+
+
+def test_policy_from_flags_validation_only():
+    policy = ResiliencePolicy.from_flags(validate_every=4, cooloff=2)
+    assert policy is not None
+    assert policy.injector is None
+    assert policy.validate_every == 4
+    assert policy.cooloff == 2
+
+
+def test_policy_from_flags_sanitize_only():
+    policy = ResiliencePolicy.from_flags(sanitize=True)
+    assert policy is not None and policy.injector is None
+
+
+def test_policy_from_flags_silent_rate_builds_injector():
+    policy = ResiliencePolicy.from_flags(silent_rate=0.5, seed=9)
+    assert policy.injector is not None
+    assert policy.injector.spec.silent == 0.5
+    assert policy.injector.spec.transfer == 0.0
+
+
+def test_ledger_guard_counters_render():
+    ledger = FailureLedger()
+    ledger.record_trip("A.f", "bounds", 2)
+    ledger.record_trip("A.f", "race", 3)
+    ledger.record_validation("A.f", ok=True)
+    ledger.record_validation("A.f", ok=False)
+    ledger.record_promotion("A.f")
+    text = ledger.report()
+    assert "bounds=2" in text and "race=3" in text
+    assert "validations=2" in text and "mismatches=1" in text
+    assert "promotions=1" in text
+    summary = ledger.summary()
+    assert summary["trips"] == {"bounds": 2, "race": 3}
+    assert summary["validations"] == 2 and summary["mismatches"] == 1
+    assert summary["per_task"]["A.f"]["promotions"] == 1
+    assert ledger.any_activity()
+    assert not ledger.any_faults()
+
+
+def test_any_activity_false_on_empty_ledger():
+    assert not FailureLedger().any_activity()

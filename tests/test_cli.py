@@ -130,3 +130,58 @@ def test_run_max_sim_items_flag(capsys):
          "--max-sim-items", "64"]
     ) == 0
     assert "checksum:" in capsys.readouterr().out
+
+
+def test_run_sanitize_clean(capsys):
+    assert main(
+        ["run", "jg-series-single", "--target", "gtx580", "--scale", "0.1",
+         "--max-sim-items", "128", "--sanitize", "--validate-every", "4"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "guards:" in out
+    assert "bounds/races/divergence/nan" in out
+    assert "validate-every=4" in out
+    assert "mismatches=0" in out
+    # No trip kind fired on a correct kernel.
+    for kind in ("bounds=", "race=", "divergence=", "nan="):
+        assert kind not in out, out
+
+
+def test_run_deadline_flag(capsys):
+    assert main(
+        ["run", "jg-series-single", "--target", "gtx580", "--scale", "0.1",
+         "--max-sim-items", "128", "--deadline-ns", "1e12"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "deadline=1000000000000ns" in out
+
+
+def test_run_silent_faults_caught_by_validation(capsys):
+    assert main(
+        ["run", "jg-series-single", "--target", "gtx580", "--scale", "0.1",
+         "--max-sim-items", "128"]
+    ) == 0
+    clean = capsys.readouterr().out
+    assert main(
+        ["run", "jg-series-single", "--target", "gtx580", "--scale", "0.1",
+         "--max-sim-items", "128", "--silent-faults", "1.0",
+         "--validate-every", "1", "--fault-seed", "3"]
+    ) == 0
+    faulted = capsys.readouterr().out
+
+    def checksum(text):
+        return [l for l in text.splitlines() if l.startswith("checksum:")][0]
+
+    # Validation replaced every corrupted answer with the host's.
+    assert checksum(faulted) == checksum(clean)
+    assert "validate=" in faulted
+    assert "mismatches=0" not in faulted
+
+
+def test_run_breaker_cooloff_flag(capsys):
+    assert main(
+        ["run", "jg-series-single", "--target", "gtx580", "--scale", "0.1",
+         "--max-sim-items", "128", "--faults", "0.2", "--fault-seed", "2",
+         "--breaker-cooloff", "1"]
+    ) == 0
+    assert "checksum:" in capsys.readouterr().out
