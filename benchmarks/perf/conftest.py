@@ -1,0 +1,23 @@
+"""Perf-harness configuration (see ``benchmarks/conftest.py``).
+
+This sub-directory times the simulator's own wall clock rather than
+simulated nanoseconds, but shares the parent harness's conventions:
+REPRO_BENCH_SCALE sizes the workloads, and results land in
+``benchmarks/results/`` as JSON.
+"""
+
+import json
+import os
+import pathlib
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parents[1] / "results"
+
+
+def record_result(name, payload):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "{}.json".format(name)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+    return path

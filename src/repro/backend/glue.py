@@ -119,6 +119,7 @@ class CompiledFilter:
         constant_fallback=None,
         max_sim_items=None,
         sanitizer=None,
+        exec_tier=None,
     ):
         self.name = name
         self.worker = worker  # MethodDecl: for input/output Lime types
@@ -152,6 +153,9 @@ class CompiledFilter:
         # (repro.runtime.sanitizer) arms per-launch bounds/race/
         # divergence/NaN checks and the watchdog; None is the seed path.
         self.sanitizer = sanitizer
+        # Execution-tier request for kernel launches ("auto"/"batch"/
+        # "per-item"); None defers to REPRO_EXEC_TIER, then auto.
+        self.exec_tier = exec_tier
         # Fault-injection hook: installed by the resilience layer
         # (repro.runtime.resilience); None means every stage is clean.
         self.injector = None
@@ -183,6 +187,7 @@ class CompiledFilter:
                     self._fallback_filter.profile = self.profile
                 self._fallback_filter.injector = self.injector
                 self._fallback_filter.sanitizer = self.sanitizer
+                self._fallback_filter.exec_tier = self.exec_tier
                 return self._fallback_filter(value)
             result = self._outbound(result, stages)
         except RuntimeFault as err:
@@ -352,12 +357,14 @@ class CompiledFilter:
             local,
             injector=self.injector,
             guard=self._make_guard(kernel.name),
+            tier=self.exec_tier,
         )
         timing = time_launch(trace, self.device)
         self.last_timing = timing
         stages.kernel += timing.kernel_ns
         stages.opencl_setup += self.comm.setup_ns(buffers=n_buffers, launches=1)
         self.profile.kernel_launches += 1
+        self.profile.record_tier(trace.tier)
         if self.injector is not None:
             # Silent output corruption: no fault is raised and no CRC
             # fails — only sampled differential validation catches it.
@@ -394,11 +401,13 @@ class CompiledFilter:
             local,
             injector=self.injector,
             guard=self._make_guard(self.reduce_kernel.kernel.name),
+            tier=self.exec_tier,
         )
         timing = time_launch(trace, self.device)
         stages.kernel += timing.kernel_ns
         stages.opencl_setup += self.comm.setup_ns(buffers=2, launches=1)
         self.profile.kernel_launches += 1
+        self.profile.record_tier(trace.tier)
         op = self.reduce_op
         if op == "+":
             result = partials.sum()

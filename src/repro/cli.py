@@ -13,9 +13,13 @@ Commands:
   artifacts at a chosen ``--scale``.
 - ``run BENCHMARK`` — run one benchmark end to end against a target,
   optionally with fault injection (``--faults P --fault-seed N``),
-  guarded execution (``--sanitize --deadline-ns T``), and differential
-  validation (``--validate-every N``), and print the stage breakdown
-  plus the failure ledger.
+  guarded execution (``--sanitize --deadline-ns T``), differential
+  validation (``--validate-every N``), and an execution-tier override
+  (``--exec-tier batch|per-item``), and print the stage breakdown,
+  executor/cache counters, plus the failure ledger.
+- ``bench`` — time the executor tiers (host interpreter vs per-item vs
+  batch) per app with the capture-and-replay micro-harness and write
+  ``BENCH_executor.json``.
 """
 
 from __future__ import annotations
@@ -127,7 +131,7 @@ def cmd_tune(args):
 def cmd_run(args):
     from repro.apps.registry import BENCHMARKS
     from repro.evaluation.harness import TARGETS, run_configuration
-    from repro.evaluation.report import failure_report
+    from repro.evaluation.report import executor_report, failure_report
     from repro.runtime.resilience import ResiliencePolicy
     from repro.runtime.sanitizer import SanitizerConfig
 
@@ -168,6 +172,7 @@ def cmd_run(args):
         resilience=resilience,
         max_sim_items=args.max_sim_items,
         sanitizer=sanitizer,
+        exec_tier=args.exec_tier,
     )
     print("benchmark: {}  target: {}".format(result.benchmark, result.target))
     if sanitizer is not None:
@@ -187,7 +192,38 @@ def cmd_run(args):
     print("stages:")
     for stage, ns in result.stages.items():
         print("  {:14s}{:>16.0f} ns".format(stage, ns))
+    executor = executor_report(result.executor)
+    if executor:
+        print(executor)
     print(failure_report(result.faults))
+    return 0
+
+
+def cmd_bench(args):
+    from repro.apps.registry import BENCHMARKS
+    from repro.evaluation.perfbench import format_bench, run_bench
+
+    apps = args.apps or sorted(BENCHMARKS)
+    unknown = [name for name in apps if name not in BENCHMARKS]
+    if unknown:
+        print(
+            "unknown benchmark(s) {} (choose from: {})".format(
+                ", ".join(unknown), ", ".join(sorted(BENCHMARKS))
+            ),
+            file=sys.stderr,
+        )
+        return 1
+    results = run_bench(
+        apps=apps,
+        scale=args.scale,
+        max_sim_items=args.max_sim_items,
+        repeats=args.repeats,
+        target=args.target,
+        out_path=args.out,
+    )
+    print(format_bench(results))
+    if args.out:
+        print("wrote {}".format(args.out))
     return 0
 
 
@@ -351,6 +387,39 @@ def build_parser():
         help="cap on simulated work-items per launch (default 2048; "
         "also settable via REPRO_MAX_SIM_ITEMS)",
     )
+    run_cmd.add_argument(
+        "--exec-tier",
+        choices=["auto", "batch", "per-item"],
+        default=None,
+        help="execution tier for kernel launches (default: "
+        "REPRO_EXEC_TIER, then auto — batch where eligible)",
+    )
+
+    bench_cmd = sub.add_parser(
+        "bench",
+        help="time the executor tiers (host interpreter vs per-item vs "
+        "batch) and write BENCH_executor.json",
+    )
+    bench_cmd.add_argument(
+        "apps", nargs="*", help="benchmark names (default: all nine)"
+    )
+    bench_cmd.add_argument("--target", default="gtx580")
+    bench_cmd.add_argument("--scale", type=float, default=1.0)
+    bench_cmd.add_argument(
+        "--max-sim-items",
+        type=int,
+        default=4096,
+        help="work-item cap during capture (larger NDRanges show the "
+        "batch tier's advantage; default 4096)",
+    )
+    bench_cmd.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N replay timing"
+    )
+    bench_cmd.add_argument(
+        "--out",
+        default=None,
+        help="write the results JSON here (e.g. BENCH_executor.json)",
+    )
 
     return parser
 
@@ -362,6 +431,7 @@ _COMMANDS = {
     "tune": cmd_tune,
     "figures": cmd_figures,
     "run": cmd_run,
+    "bench": cmd_bench,
 }
 
 

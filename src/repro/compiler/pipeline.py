@@ -31,7 +31,7 @@ from repro.compiler.memopt import plan_memory
 from repro.compiler.options import OptimizationConfig
 from repro.errors import KernelRejected
 from repro.ir.patterns import analyze_worker
-from repro.opencl.executor import compile_kernel
+from repro.opencl.kernel_cache import cached_compile_kernel, sanitizer_key
 from repro.runtime import marshal
 from repro.runtime.profiler import CommCostModel
 from repro.backend.kernel_ir import Space as _KSpace
@@ -81,6 +81,7 @@ def compile_filter(
     overlap=False,
     max_sim_items=None,
     sanitizer=None,
+    exec_tier=None,
 ):
     """Compile one filter worker for ``device``.
 
@@ -106,6 +107,18 @@ def compile_filter(
 
     shape = kernel_id.recognize_filter(checked, worker)
     name = worker.qualified_name
+
+    def compile_kernel(kernel):
+        # Content-addressed: repeated compilations of an identical
+        # kernel (across stream tasks, engine runs, sweeps) reuse the
+        # compiled artifact instead of re-running codegen.
+        return cached_compile_kernel(
+            kernel,
+            options=config.describe(),
+            sanitizer=sanitizer_key(sanitizer),
+            device=device.name,
+            profile=profile,
+        )
 
     if shape.map is not None:
         map_shape = shape.map
@@ -148,6 +161,7 @@ def compile_filter(
             overlap=overlap,
             max_sim_items=max_sim_items,
             sanitizer=sanitizer,
+            exec_tier=exec_tier,
         )
 
     mapped = map_shape.mapped_method
@@ -211,6 +225,7 @@ def compile_filter(
                 overlap=overlap,
                 max_sim_items=max_sim_items,
                 sanitizer=sanitizer,
+                exec_tier=exec_tier,
             ),
         ):
             return compile_filter(
@@ -235,6 +250,7 @@ def compile_filter(
         constant_fallback=constant_fallback,
         max_sim_items=max_sim_items,
         sanitizer=sanitizer,
+        exec_tier=exec_tier,
     )
 
 
@@ -264,6 +280,7 @@ class Offloader:
         overlap=False,
         max_sim_items=None,
         sanitizer=None,
+        exec_tier=None,
     ):
         self.device = device
         self.config = config or OptimizationConfig()
@@ -274,6 +291,7 @@ class Offloader:
         self.overlap = overlap
         self.max_sim_items = max_sim_items
         self.sanitizer = sanitizer
+        self.exec_tier = exec_tier
         self.rejections = []
         self.compiled = {}
 
@@ -296,6 +314,7 @@ class Offloader:
                 overlap=self.overlap,
                 max_sim_items=self.max_sim_items,
                 sanitizer=self.sanitizer,
+                exec_tier=self.exec_tier,
             )
         except KernelRejected as reason:
             self.rejections.append((key, str(reason)))

@@ -28,7 +28,9 @@ class Target:
     device_name: Optional[str] = None
     cores: Optional[int] = None
 
-    def make_offloader(self, config=None, max_sim_items=None, sanitizer=None):
+    def make_offloader(
+        self, config=None, max_sim_items=None, sanitizer=None, exec_tier=None
+    ):
         if self.kind == "bytecode":
             return None
         if self.kind == "cpu":
@@ -39,6 +41,7 @@ class Target:
                 comm=CommCostModel.for_cpu(),
                 max_sim_items=max_sim_items,
                 sanitizer=sanitizer,
+                exec_tier=exec_tier,
             )
         device = get_device(self.device_name)
         return Offloader(
@@ -46,6 +49,7 @@ class Target:
             config=config or OptimizationConfig(),
             max_sim_items=max_sim_items,
             sanitizer=sanitizer,
+            exec_tier=exec_tier,
         )
 
 
@@ -70,6 +74,7 @@ class RunResult:
     offloaded: list
     rejections: list = field(default_factory=list)
     faults: dict = field(default_factory=dict)  # FailureLedger.summary()
+    executor: dict = field(default_factory=dict)  # executor_summary()
 
     @property
     def communication_ns(self):
@@ -89,6 +94,7 @@ def run_configuration(
     resilience=None,
     max_sim_items=None,
     sanitizer=None,
+    exec_tier=None,
 ):
     """Run one benchmark end to end against one target.
 
@@ -106,6 +112,9 @@ def run_configuration(
         sanitizer: optional
             :class:`repro.runtime.sanitizer.SanitizerConfig` — runs the
             offloaded kernels under guarded (instrumented) execution.
+        exec_tier: execution-tier request for kernel launches
+            (``"auto"``/``"batch"``/``"per-item"``); ``None`` defers to
+            the ``REPRO_EXEC_TIER`` environment variable, then ``auto``.
 
     Returns a :class:`RunResult` with simulated nanoseconds.
     """
@@ -115,7 +124,10 @@ def run_configuration(
     inputs = bench.make_input(scale=scale)
     steps = steps if steps is not None else bench.steps
     offloader = target.make_offloader(
-        config, max_sim_items=max_sim_items, sanitizer=sanitizer
+        config,
+        max_sim_items=max_sim_items,
+        sanitizer=sanitizer,
+        exec_tier=exec_tier,
     )
     engine = Engine(checked, offloader=offloader, resilience=resilience)
     checksum = engine.run_static(
@@ -134,4 +146,5 @@ def run_configuration(
         offloaded=list(engine.offloaded_tasks),
         rejections=list(offloader.rejections) if offloader else [],
         faults=ledger.summary() if ledger.any_activity() else {},
+        executor=engine.profile.executor_summary(),
     )

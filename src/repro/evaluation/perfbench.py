@@ -1,0 +1,254 @@
+"""Executor micro-benchmark: host interpreter vs per-item vs batch.
+
+The batch tier's reason to exist is wall-clock speed of the simulator
+itself (the simulated nanoseconds are identical by construction — see
+``tests/integration/test_tier_differential.py``). This module measures
+that speed per app with a capture-and-replay harness:
+
+1. **Capture** — run the app end to end once against a GPU target with
+   ``CompiledKernel.launch`` wrapped to record every launch payload
+   (buffers, scalars, NDRange) before it executes.
+2. **Replay** — for each captured kernel, re-execute the recorded
+   launches under each tier on fresh buffer copies, timing with
+   ``time.perf_counter``. Compilation is warmed (and one untimed replay
+   runs) before timing so codegen and tracing caches are excluded.
+3. **Host interpreter** — the ``bytecode`` target's full-run wall time,
+   as the no-offload baseline for the app.
+
+Results are written as ``BENCH_executor.json`` (see
+``benchmarks/perf/``), which CI's perf-smoke job gates on: the batch
+tier must not be slower than per-item on any eligible kernel.
+
+By default the benchmark compiles with ``use_local=False`` so that
+local-memory tiling does not exclude the compute-heavy apps from the
+batch tier (the tier declines kernels with barriers or LOCAL arrays);
+``config=None`` on the entry points means "nolocal", not the compiler
+default.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import time
+from dataclasses import replace as _dc_replace
+
+from repro.apps.registry import BENCHMARKS
+from repro.compiler.options import OptimizationConfig
+from repro.evaluation.harness import run_configuration
+from repro.opencl import executor as ex
+
+DEFAULT_MAX_SIM_ITEMS = 4096
+
+
+def nolocal_config():
+    """The benchmark's default config: local-memory staging off so the
+    batch tier is eligible for every app's kernels."""
+    return _dc_replace(OptimizationConfig(), use_local=False)
+
+
+@contextlib.contextmanager
+def capture_launches():
+    """Record every ``CompiledKernel.launch`` while the block runs.
+
+    Yields a dict kernel-name -> ``{"kernel": CompiledKernel,
+    "launches": [(buffers, scalars, global_size, local_size), ...]}``
+    with buffer snapshots taken *before* each launch mutates them.
+    """
+    captured = {}
+    orig = ex.CompiledKernel.launch
+
+    def recording(
+        self,
+        buffers,
+        scalars,
+        global_size,
+        local_size,
+        injector=None,
+        guard=None,
+        tier=None,
+    ):
+        rec = captured.setdefault(
+            self.kernel.name, {"kernel": self, "launches": []}
+        )
+        rec["launches"].append(
+            (
+                {name: buf.copy() for name, buf in buffers.items()},
+                dict(scalars),
+                global_size,
+                local_size,
+            )
+        )
+        return orig(
+            self,
+            buffers,
+            scalars,
+            global_size,
+            local_size,
+            injector=injector,
+            guard=guard,
+            tier=tier,
+        )
+
+    ex.CompiledKernel.launch = recording
+    try:
+        yield captured
+    finally:
+        ex.CompiledKernel.launch = orig
+
+
+def _replay_once(compiled, launches, tier):
+    payloads = [
+        ({name: buf.copy() for name, buf in bufs.items()}, scalars, gsz, lsz)
+        for bufs, scalars, gsz, lsz in launches
+    ]
+    start = time.perf_counter()
+    for bufs, scalars, gsz, lsz in payloads:
+        compiled.launch(bufs, scalars, gsz, lsz, tier=tier)
+    return time.perf_counter() - start
+
+
+def _time_replay(compiled, launches, tier, repeats):
+    """Best-of-``repeats`` wall time replaying ``launches`` under
+    ``tier`` (one untimed warm-up pass first)."""
+    _replay_once(compiled, launches, tier)
+    return min(_replay_once(compiled, launches, tier) for _ in range(repeats))
+
+
+def bench_app(
+    name,
+    scale=1.0,
+    max_sim_items=DEFAULT_MAX_SIM_ITEMS,
+    repeats=3,
+    config=None,
+    target="gtx580",
+):
+    """Benchmark one app; returns a plain-dict result."""
+    bench = BENCHMARKS[name]
+    config = config or nolocal_config()
+    with capture_launches() as captured:
+        run_configuration(
+            bench,
+            target,
+            scale=scale,
+            steps=1,
+            config=config,
+            max_sim_items=max_sim_items,
+        )
+    start = time.perf_counter()
+    run_configuration(bench, "bytecode", scale=scale, steps=1)
+    host_s = time.perf_counter() - start
+
+    kernels = {}
+    best = 0.0
+    for kname, rec in sorted(captured.items()):
+        compiled = rec["kernel"]
+        launches = rec["launches"]
+        entry = {
+            "launches": len(launches),
+            "global_size": launches[0][2],
+            "eligible": bool(compiled.batch_supported),
+        }
+        # _batch_callable() can demote after codegen; check it before
+        # trusting the static eligibility bit.
+        if compiled.batch_supported and compiled._batch_callable() is None:
+            entry["eligible"] = False
+        if not entry["eligible"]:
+            entry["reason"] = compiled.batch_reason
+            kernels[kname] = entry
+            continue
+        per_item_s = _time_replay(compiled, launches, "per-item", repeats)
+        batch_s = _time_replay(compiled, launches, "batch", repeats)
+        entry["per_item_s"] = per_item_s
+        entry["batch_s"] = batch_s
+        entry["speedup"] = (
+            per_item_s / batch_s if batch_s > 0 else float("inf")
+        )
+        best = max(best, entry["speedup"])
+        kernels[kname] = entry
+    return {
+        "app": name,
+        "target": target,
+        "scale": scale,
+        "max_sim_items": max_sim_items,
+        "host_interp_s": host_s,
+        "kernels": kernels,
+        "best_batch_speedup": best,
+    }
+
+
+def run_bench(
+    apps=None,
+    scale=1.0,
+    max_sim_items=DEFAULT_MAX_SIM_ITEMS,
+    repeats=3,
+    config=None,
+    target="gtx580",
+    out_path=None,
+):
+    """Benchmark ``apps`` (default: all nine) and optionally write the
+    ``BENCH_executor.json`` payload to ``out_path``."""
+    apps = list(apps) if apps else sorted(BENCHMARKS)
+    results = {
+        "target": target,
+        "scale": scale,
+        "max_sim_items": max_sim_items,
+        "repeats": repeats,
+        "apps": {},
+    }
+    for name in apps:
+        results["apps"][name] = bench_app(
+            name,
+            scale=scale,
+            max_sim_items=max_sim_items,
+            repeats=repeats,
+            config=config,
+            target=target,
+        )
+    results["apps_with_5x_batch_speedup"] = sorted(
+        name
+        for name, app in results["apps"].items()
+        if app["best_batch_speedup"] >= 5.0
+    )
+    if out_path is not None:
+        with open(out_path, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+    return results
+
+
+def format_bench(results):
+    """Human-readable table for the CLI."""
+    lines = [
+        "executor bench — target {}, scale {}, max-sim-items {}".format(
+            results["target"], results["scale"], results["max_sim_items"]
+        )
+    ]
+    for name in sorted(results["apps"]):
+        app = results["apps"][name]
+        lines.append(
+            "{:18s} host-interp {:8.3f}s".format(name, app["host_interp_s"])
+        )
+        for kname in sorted(app["kernels"]):
+            entry = app["kernels"][kname]
+            if not entry["eligible"]:
+                lines.append(
+                    "  {:32s} batch-ineligible: {}".format(
+                        kname, entry.get("reason", "?")
+                    )
+                )
+                continue
+            lines.append(
+                "  {:32s} per-item {:8.3f}s  batch {:8.3f}s  {:6.1f}x".format(
+                    kname,
+                    entry["per_item_s"],
+                    entry["batch_s"],
+                    entry["speedup"],
+                )
+            )
+    winners = results.get("apps_with_5x_batch_speedup", [])
+    lines.append(
+        "apps with >=5x batch speedup: {}".format(
+            ", ".join(winners) if winners else "(none)"
+        )
+    )
+    return "\n".join(lines)

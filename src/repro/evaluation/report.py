@@ -193,3 +193,26 @@ def figure9_chart(table, target):
         FIGURE9_STAGES,
         title="Figure 9 — execution-time breakdown on {}".format(target),
     )
+
+
+def executor_report(summary):
+    """Render an :meth:`ExecutionProfile.executor_summary` dict as one
+    or two text lines: launches per execution tier, then kernel-cache
+    traffic. Returns '' when the run recorded nothing."""
+    if not summary:
+        return ""
+    lines = []
+    tiers = summary.get("tiers") or {}
+    if tiers:
+        parts = [
+            "{}={}".format(tier, count)
+            for tier, count in sorted(tiers.items())
+        ]
+        lines.append("executor tiers: " + " ".join(parts))
+    hits = summary.get("cache_hits", 0)
+    misses = summary.get("cache_misses", 0)
+    if hits or misses:
+        lines.append(
+            "kernel cache: {} hit(s), {} miss(es)".format(hits, misses)
+        )
+    return "\n".join(lines)

@@ -22,11 +22,49 @@ matching the host interpreter's conventions.
 from __future__ import annotations
 
 import math
+import os
 
 import numpy as np
 
 from repro.backend import kernel_ir as K
 from repro.errors import DeviceError
+
+# Execution-tier knob: "auto" runs eligible kernels on the vectorized
+# batch tier and everything else per-item; "batch" is the same
+# preference stated explicitly; "per-item" forces the scalar tier.
+# Guarded (sanitizer-instrumented) launches always run per-item.
+EXEC_TIER_ENV = "REPRO_EXEC_TIER"
+EXEC_TIERS = ("auto", "batch", "per-item")
+
+# Global codegen counter: bumped every time kernel IR is actually
+# translated and exec-compiled (per-item, sanitized, or batch). The
+# compilation cache's acceptance test is that relaunching an identical
+# kernel does not move this counter.
+_codegen_compiles = 0
+
+
+def codegen_compiles():
+    """How many kernel-IR -> Python compilations have run so far."""
+    return _codegen_compiles
+
+
+def _count_codegen():
+    global _codegen_compiles
+    _codegen_compiles += 1
+
+
+def resolve_exec_tier(explicit=None):
+    """The effective tier: an explicit request wins, then the
+    ``REPRO_EXEC_TIER`` environment variable, then ``auto``."""
+    tier = explicit or os.environ.get(EXEC_TIER_ENV) or "auto"
+    if tier not in EXEC_TIERS:
+        raise DeviceError(
+            "unknown execution tier {!r} (choose from: {})".format(
+                tier, ", ".join(EXEC_TIERS)
+            )
+        )
+    return tier
+
 
 # ---------------------------------------------------------------------------
 # Statistics containers
@@ -34,7 +72,15 @@ from repro.errors import DeviceError
 
 
 class SiteTrace:
-    """Raw memory trace for one static access site."""
+    """Raw memory trace for one static access site.
+
+    Accesses arrive either one at a time (the per-item tier appends to
+    the ``lanes``/``indices`` lists) or as whole-ndrange blocks (the
+    batch tier calls :meth:`append_block` once per executed access
+    site per iteration). Both shapes merge in :meth:`arrays`; per-lane
+    access order is preserved in either representation, which is all
+    the timing model depends on.
+    """
 
     __slots__ = (
         "space",
@@ -44,6 +90,7 @@ class SiteTrace:
         "array",
         "lanes",
         "indices",
+        "blocks",
     )
 
     def __init__(self, space, elem_bytes, width, is_store, array=None):
@@ -54,20 +101,36 @@ class SiteTrace:
         self.array = array  # buffer name (for the race sanitizer)
         self.lanes = []  # global work-item ids
         self.indices = []  # element indices (in units of width)
+        self.blocks = []  # (lanes int64 array, indices int64 array) chunks
+
+    def append_block(self, lanes, indices, count=None):
+        """Record one vectorized visit to this site: ``lanes[i]``
+        accessed element ``indices[i]`` (``indices`` may be a scalar,
+        broadcast across ``count`` lanes)."""
+        lanes = np.asarray(lanes, dtype=np.int64)
+        n = len(lanes) if count is None else count
+        idx = np.broadcast_to(np.asarray(indices, dtype=np.int64), (n,))
+        self.blocks.append((lanes, idx))
 
     @property
     def accesses(self):
-        return len(self.lanes)
+        return len(self.lanes) + sum(len(b) for b, _ in self.blocks)
 
     @property
     def bytes_moved(self):
         return self.accesses * self.elem_bytes * self.width
 
     def arrays(self):
-        return (
-            np.asarray(self.lanes, dtype=np.int64),
-            np.asarray(self.indices, dtype=np.int64),
-        )
+        scalar_lanes = np.asarray(self.lanes, dtype=np.int64)
+        scalar_idx = np.asarray(self.indices, dtype=np.int64)
+        if not self.blocks:
+            return scalar_lanes, scalar_idx
+        lane_parts = [b for b, _ in self.blocks]
+        idx_parts = [i for _, i in self.blocks]
+        if len(scalar_lanes):
+            lane_parts.insert(0, scalar_lanes)
+            idx_parts.insert(0, scalar_idx)
+        return np.concatenate(lane_parts), np.concatenate(idx_parts)
 
 
 class LaunchTrace:
@@ -77,6 +140,7 @@ class LaunchTrace:
         self.kernel_name = kernel_name
         self.global_size = global_size
         self.local_size = local_size
+        self.tier = "per-item"  # which execution tier ran this launch
         self.op_cycles = {
             "int": 0,
             "long": 0,
@@ -677,6 +741,676 @@ def _zero(ktype):
 
 
 # ---------------------------------------------------------------------------
+# Batch (whole-ndrange vectorized) tier
+# ---------------------------------------------------------------------------
+#
+# For branch-free, barrier-free kernels — the Figure 4 grid-stride shape
+# every generated map kernel takes — the whole index space can execute
+# as NumPy array expressions: one array op per IR node instead of one
+# Python bytecode walk per node *per work-item*. The lowering keeps bit
+# identity with the per-item tier (NaN-safe): integers compute in int64
+# with the same explicit 32/64-bit wraps, floats compute in float64 and
+# round at float32 stores/casts, and the transcendentals NumPy does not
+# evaluate bit-identically to libm (tan/exp/log/pow/atan2/hypot) run
+# element-wise through ``math``. Kernels using barriers, local memory,
+# data-dependent inner loops, divergent branches, or division on a
+# lazily-evaluated path decline the batch tier and fall back per-item.
+
+_VARYING_WORKITEM = frozenset(
+    {"get_global_id", "get_local_id", "get_group_id"}
+)
+
+
+class _Ineligible(Exception):
+    """The kernel cannot run on the batch tier; ``str`` is the reason."""
+
+
+def _expr_varying(e, varying):
+    """Conservative: may ``e`` evaluate differently across work-items?"""
+    if isinstance(e, K.KConst):
+        return False
+    if isinstance(e, K.KVar):
+        return e.name in varying
+    if isinstance(e, K.KCall):
+        if e.name in _VARYING_WORKITEM:
+            return True
+        if e.name in _WORKITEM_FUNCS:
+            return False
+        return any(_expr_varying(a, varying) for a in e.args)
+    if isinstance(e, (K.KLoad, K.KImageLoad)):
+        return True  # loads are varying unless proven otherwise
+    if isinstance(e, K.KBin):
+        return _expr_varying(e.left, varying) or _expr_varying(
+            e.right, varying
+        )
+    if isinstance(e, K.KUn):
+        return _expr_varying(e.operand, varying)
+    if isinstance(e, K.KCast):
+        return _expr_varying(e.expr, varying)
+    if isinstance(e, K.KSelect):
+        return (
+            _expr_varying(e.cond, varying)
+            or _expr_varying(e.then, varying)
+            or _expr_varying(e.otherwise, varying)
+        )
+    if isinstance(e, K.KVecExtract):
+        return _expr_varying(e.vec, varying)
+    if isinstance(e, K.KVecBuild):
+        return any(_expr_varying(x, varying) for x in e.elems)
+    return True
+
+
+def _varying_vars(kernel):
+    """Fixpoint of the set of variables that may differ across lanes."""
+    varying = set()
+
+    def visit(stmts):
+        changed = False
+        for s in stmts:
+            if isinstance(s, K.KDecl):
+                if (
+                    s.name not in varying
+                    and s.init is not None
+                    and _expr_varying(s.init, varying)
+                ):
+                    varying.add(s.name)
+                    changed = True
+            elif isinstance(s, K.KAssign):
+                if s.name not in varying and _expr_varying(s.value, varying):
+                    varying.add(s.name)
+                    changed = True
+            elif isinstance(s, K.KFor):
+                if s.var not in varying and any(
+                    _expr_varying(b, varying) for b in (s.lo, s.hi, s.step)
+                ):
+                    varying.add(s.var)
+                    changed = True
+                changed |= visit(s.body)
+            elif isinstance(s, K.KIf):
+                changed |= visit(s.then)
+                changed |= visit(s.otherwise)
+            elif isinstance(s, K.KWhile):
+                changed |= visit(s.body)
+        return changed
+
+    while visit(kernel.body):
+        pass
+    return varying
+
+
+def _check_batch_expr(e, varying, lazy):
+    """Reject expressions the batch lowering cannot mirror bit-exactly.
+
+    ``lazy`` marks positions the per-item tier may skip at runtime
+    (select branches, right-hand sides of ``&&``/``||``): the batch
+    tier evaluates them eagerly, so anything that can *fault* there
+    (division, rsqrt, a memory access) must decline."""
+    if isinstance(e, K.KImageLoad):
+        raise _Ineligible("image loads")
+    if isinstance(e, K.KBin):
+        if e.op in ("/", "%") and lazy:
+            raise _Ineligible("division on a lazily-evaluated path")
+        if isinstance(e.ktype, K.KVector):
+            raise _Ineligible("vector arithmetic")
+        if e.op == ">>>" and e.ktype.kind == "long":
+            raise _Ineligible("64-bit unsigned shift")
+        _check_batch_expr(e.left, varying, lazy)
+        _check_batch_expr(
+            e.right, varying, lazy or e.op in ("&&", "||")
+        )
+    elif isinstance(e, K.KUn):
+        _check_batch_expr(e.operand, varying, lazy)
+    elif isinstance(e, K.KCast):
+        _check_batch_expr(e.expr, varying, lazy)
+    elif isinstance(e, K.KSelect):
+        _check_batch_expr(e.cond, varying, lazy)
+        _check_batch_expr(e.then, varying, True)
+        _check_batch_expr(e.otherwise, varying, True)
+    elif isinstance(e, K.KCall):
+        if e.name in ("rsqrt", "native_rsqrt") and lazy:
+            raise _Ineligible("rsqrt on a lazily-evaluated path")
+        if (
+            e.name not in _WORKITEM_FUNCS
+            and e.name not in _MATH_ONE
+            and e.name not in _MATH_TWO
+        ):
+            raise _Ineligible("unknown builtin '{}'".format(e.name))
+        for a in e.args:
+            _check_batch_expr(a, varying, lazy)
+    elif isinstance(e, K.KLoad):
+        if isinstance(e.ktype, K.KVector) and e.space is K.Space.PRIVATE:
+            raise _Ineligible("vector access to a private array")
+        if lazy:
+            raise _Ineligible("memory access on a lazily-evaluated path")
+        _check_batch_expr(e.index, varying, lazy)
+    elif isinstance(e, K.KVecExtract):
+        _check_batch_expr(e.vec, varying, lazy)
+    elif isinstance(e, K.KVecBuild):
+        for x in e.elems:
+            _check_batch_expr(x, varying, lazy)
+
+
+def _check_batch_stmts(stmts, varying, depth, declared, in_loop):
+    for s in stmts:
+        if isinstance(s, K.KBarrier):
+            raise _Ineligible("barrier synchronization")
+        if isinstance(s, K.KWhile):
+            raise _Ineligible("data-dependent while loop")
+        if isinstance(s, K.KIf):
+            raise _Ineligible("divergent branch")
+        if isinstance(s, (K.KBreak, K.KContinue, K.KReturn)):
+            raise _Ineligible("loop control jump")
+        if isinstance(s, K.KDecl):
+            if s.init is not None:
+                _check_batch_expr(s.init, varying, False)
+            if (
+                depth == 0
+                and s.name in varying
+                and isinstance(s.ktype, K.KVector)
+            ):
+                raise _Ineligible("varying vector variable at top level")
+            declared[s.name] = depth
+        elif isinstance(s, K.KAssign):
+            _check_batch_expr(s.value, varying, False)
+            if declared.get(s.name, 0) < depth and s.name in varying:
+                raise _Ineligible(
+                    "cross-iteration assignment to an outer variable"
+                )
+        elif isinstance(s, K.KStore):
+            if isinstance(s.ktype, K.KVector) and s.space is K.Space.PRIVATE:
+                raise _Ineligible("vector access to a private array")
+            _check_batch_expr(s.index, varying, False)
+            _check_batch_expr(s.value, varying, False)
+        elif isinstance(s, K.KFor):
+            for bound in (s.lo, s.hi, s.step):
+                _check_batch_expr(bound, varying, False)
+            stride = any(
+                _expr_varying(b, varying) for b in (s.lo, s.hi, s.step)
+            )
+            if stride:
+                # The grid-stride loop: per-lane trip counts, handled by
+                # masked iteration — but only at the top level.
+                if depth > 0 or in_loop:
+                    raise _Ineligible("nested data-dependent loop")
+                inner = dict(declared)
+                inner[s.var] = 1
+                _check_batch_stmts(s.body, varying, 1, inner, True)
+            else:
+                declared[s.var] = depth
+                _check_batch_stmts(s.body, varying, depth, declared, True)
+        elif isinstance(s, K.KComment):
+            pass
+
+
+def batch_eligibility(kernel):
+    """Can this kernel run on the vectorized batch tier?
+
+    Returns ``(True, "")`` or ``(False, reason)``.
+    """
+    for arr in kernel.arrays:
+        if arr.space is K.Space.LOCAL:
+            return False, "local-memory tiling"
+        if isinstance(arr.ktype, K.KVector) and arr.space is K.Space.PRIVATE:
+            return False, "vector private array"
+    varying = _varying_vars(kernel)
+    try:
+        _check_batch_stmts(kernel.body, varying, 0, {}, False)
+    except _Ineligible as reason:
+        return False, str(reason)
+    return True, ""
+
+
+_BATCH_MATH_ONE = {
+    "sqrt": "_vsqrt",
+    "native_sqrt": "_vsqrt",
+    "rsqrt": "_vrsqrt",
+    "native_rsqrt": "_vrsqrt",
+    "sin": "_vsin",
+    "native_sin": "_vsin",
+    "cos": "_vcos",
+    "native_cos": "_vcos",
+    "tan": "_vtan",
+    "native_tan": "_vtan",
+    "exp": "_vexp",
+    "native_exp": "_vexp",
+    "log": "_vlog",
+    "native_log": "_vlog",
+    "floor": "_vfloor",
+    "ceil": "_vceil",
+    "fabs": "abs",
+    "abs": "abs",
+}
+_BATCH_MATH_TWO = {
+    "pow": "_vpow",
+    "native_powr": "_vpow",
+    "atan2": "_vatan2",
+    "hypot": "_vhypot",
+    "min": "_vmin",
+    "max": "_vmax",
+    "fmin": "_vmin",
+    "fmax": "_vmax",
+}
+
+
+class _BatchCodegen:
+    """Translates one batch-eligible kernel to a whole-ndrange function.
+
+    The traversal mirrors :class:`_Codegen` statement for statement so
+    the straight-line segments and access sites come out *identical* —
+    :class:`CompiledKernel` asserts this at build time — and the op
+    counters/memory trace (hence the simulated timing) match the
+    per-item tier exactly. Values aligned to the active lane set:
+
+    - at depth 0 (outside the grid-stride loop) every lane is active;
+      varying values are full-length arrays aligned to ``_G0``
+      (= ``arange(global_size)``);
+    - inside the stride loop (depth 1) the active set is ``_A1`` (the
+      lanes whose induction value is still below the bound); varying
+      values are arrays aligned to it, and reads of varying variables
+      declared outside re-align via ``[_A1]``.
+    """
+
+    def __init__(self, kernel, varying):
+        self.kernel = kernel
+        self.varying = varying
+        self.lines = []
+        self.indent = 1
+        self.temp = 0
+        self.segments = []
+        self.current_segment = None
+        self.sites = {}
+        self.depth = 0
+        self.var_depth = {}
+        names = set()
+        for stmt in K.walk_stmts(kernel.body):
+            for e in K.walk_stmt_exprs(stmt):
+                if isinstance(e, K.KCall):
+                    names.add(e.name)
+        self.uses_lid = "get_local_id" in names
+        self.uses_grp = "get_group_id" in names
+
+    # -- emission helpers (same shape as _Codegen) --------------------------
+
+    def emit(self, line):
+        self.lines.append("    " * self.indent + line)
+
+    def fresh(self):
+        self.temp += 1
+        return "_t{}".format(self.temp)
+
+    def _segment(self):
+        if self.current_segment is None:
+            seg_id = len(self.segments)
+            self.segments.append(
+                {
+                    "int": 0,
+                    "long": 0,
+                    "fp": 0,
+                    "dp": 0,
+                    "cmp": 0,
+                    "branch": 0,
+                    "trans_f": 0,
+                    "trans_d": 0,
+                }
+            )
+            self.emit("_segc[{}] += _n{}".format(seg_id, self.depth))
+            self.current_segment = self.segments[seg_id]
+        return self.current_segment
+
+    def close_segment(self):
+        self.current_segment = None
+
+    def charge(self, expr):
+        op = _op_class(expr)
+        if op is not None:
+            kind, n = op
+            self._segment()[kind] += n
+
+    def _lanes(self):
+        return "_G{}".format(self.depth)
+
+    # -- expressions --------------------------------------------------------
+
+    def expr(self, e):
+        if isinstance(e, K.KConst):
+            if isinstance(e.value, bool):
+                return "True" if e.value else "False"
+            if isinstance(e.value, float):
+                if e.value != e.value:
+                    return "math.nan"
+                if e.value == float("inf"):
+                    return "math.inf"
+                if e.value == float("-inf"):
+                    return "(-math.inf)"
+            return repr(e.value)
+        if isinstance(e, K.KVar):
+            name = _pyname(e.name)
+            if (
+                self.depth == 1
+                and self.var_depth.get(e.name, 0) == 0
+                and e.name in self.varying
+            ):
+                return "{}[_A1]".format(name)
+            return name
+        if isinstance(e, K.KUn):
+            self.charge(e)
+            operand = self.expr(e.operand)
+            if e.op == "!":
+                return "_vnot({})".format(operand)
+            if e.op == "~":
+                return "(_vi32(~({})))".format(operand)
+            return "({}{})".format(e.op, operand)
+        if isinstance(e, K.KBin):
+            return self._binary(e)
+        if isinstance(e, K.KSelect):
+            self.charge(e)
+            return "_vsel({}, {}, {})".format(
+                self.expr(e.cond), self.expr(e.then), self.expr(e.otherwise)
+            )
+        if isinstance(e, K.KCast):
+            return self._cast(e)
+        if isinstance(e, K.KCall):
+            return self._call(e)
+        if isinstance(e, K.KLoad):
+            return self._load(e)
+        if isinstance(e, K.KVecExtract):
+            return "_vext({}, {})".format(self.expr(e.vec), e.lane)
+        if isinstance(e, K.KVecBuild):
+            elems = ", ".join(self.expr(x) for x in e.elems)
+            return "_vbuild([{}], {}, _n{})".format(
+                elems, _np_dtype(e.ktype.base), self.depth
+            )
+        raise DeviceError(
+            "cannot batch-compile {}".format(type(e).__name__)
+        )
+
+    def _binary(self, e):
+        self.charge(e)
+        left = self.expr(e.left)
+        right = self.expr(e.right)
+        op = e.op
+        is_long = isinstance(e.ktype, K.KScalar) and e.ktype.kind == "long"
+        is_int = isinstance(e.ktype, K.KScalar) and e.ktype.kind in (
+            "int",
+            "long",
+            "char",
+        )
+        wrap = "_vi64" if is_long else "_vi32"
+        shift_mask = 63 if is_long else 31
+        if op == "/" and is_int:
+            return "_vidiv({}, {})".format(left, right)
+        if op == "%" and is_int:
+            return "_virem({}, {})".format(left, right)
+        if op == "/" and not isinstance(e.ktype, K.KVector):
+            return "_vfdiv({}, {})".format(left, right)
+        if op in ("*", "+", "-") and is_int:
+            return "{}(({}) {} ({}))".format(wrap, left, op, right)
+        if op == "<<":
+            return "{}(({}) << (({}) & {}))".format(
+                wrap, left, right, shift_mask
+            )
+        if op == ">>":
+            return "(({}) >> (({}) & {}))".format(left, right, shift_mask)
+        if op == ">>>":
+            if is_long:
+                raise DeviceError("64-bit >>> is not batch-compilable")
+            return "((({}) & 0xFFFFFFFF) >> (({}) & {}))".format(
+                left, right, shift_mask
+            )
+        if op == "&&":
+            return "_vand({}, {})".format(left, right)
+        if op == "||":
+            return "_vor({}, {})".format(left, right)
+        return "(({}) {} ({}))".format(left, op, right)
+
+    def _cast(self, e):
+        inner = self.expr(e.expr)
+        if isinstance(e.ktype, K.KScalar):
+            kind = e.ktype.kind
+            if kind == "int":
+                return "_vci32({})".format(inner)
+            if kind == "long":
+                return "_vci64({})".format(inner)
+            if kind == "char":
+                return "_vci8({})".format(inner)
+            if kind == "float":
+                return "_vcf32({})".format(inner)
+            if kind == "double":
+                return "_vcdbl({})".format(inner)
+            if kind == "bool":
+                return "_vcbool({})".format(inner)
+        return inner
+
+    def _call(self, e):
+        if e.name in _WORKITEM_FUNCS:
+            base = _WORKITEM_FUNCS[e.name]
+            if base == "_gid":
+                return self._lanes()
+            if base == "_lid":
+                return "_L{}".format(self.depth)
+            if base == "_grp":
+                return "_R{}".format(self.depth)
+            return base  # _lsz / _gsz / _ngrp are uniform scalars
+        self.charge(e)
+        if e.name in _BATCH_MATH_ONE:
+            return "{}({})".format(
+                _BATCH_MATH_ONE[e.name], self.expr(e.args[0])
+            )
+        if e.name in _BATCH_MATH_TWO:
+            return "{}({}, {})".format(
+                _BATCH_MATH_TWO[e.name],
+                self.expr(e.args[0]),
+                self.expr(e.args[1]),
+            )
+        raise DeviceError("unknown device builtin '{}'".format(e.name))
+
+    def _register_site(self, node, is_store):
+        ktype = node.ktype
+        if isinstance(ktype, K.KVector):
+            elem_bytes = ktype.base.size
+            width = ktype.width
+        else:
+            elem_bytes = ktype.size
+            width = 1
+        self.sites[node.site] = (
+            node.space,
+            elem_bytes,
+            width,
+            is_store,
+            node.array,
+        )
+
+    def _load(self, e):
+        if e.site < 0:
+            raise DeviceError("load without a site id (run assign_sites)")
+        self._register_site(e, is_store=False)
+        index = self.expr(e.index)
+        temp = self.fresh()
+        idx_var = self.fresh()
+        self.emit("{} = {}".format(idx_var, index))
+        array = _bufname(e.array, e.space)
+        if isinstance(e.ktype, K.KVector):
+            self.emit(
+                "{} = _vload({}, {}, {})".format(
+                    temp, array, idx_var, e.ktype.width
+                )
+            )
+        elif e.space is K.Space.PRIVATE:
+            self.emit(
+                "{} = _pload({}, {}, {})".format(
+                    temp, array, idx_var, self._cols()
+                )
+            )
+            return temp
+        else:
+            self.emit("{} = _gload({}, {})".format(temp, array, idx_var))
+        self.emit(
+            "_tr{}({}, {}, _n{})".format(
+                e.site, self._lanes(), idx_var, self.depth
+            )
+        )
+        return temp
+
+    def _cols(self):
+        # Column selector for private (per-lane) arrays: lane position
+        # == global id, so the active-lane index array doubles as it.
+        return "_G0" if self.depth == 0 else "_A1"
+
+    # -- statements ---------------------------------------------------------
+
+    def stmt(self, s):
+        if isinstance(s, K.KDecl):
+            init = self.expr(s.init) if s.init is not None else _zero(s.ktype)
+            if (
+                self.depth == 0
+                and s.name in self.varying
+                and not isinstance(s.ktype, K.KVector)
+            ):
+                init = "_mat({}, _n0)".format(init)
+            self.emit("{} = {}".format(_pyname(s.name), init))
+            self.var_depth[s.name] = self.depth
+        elif isinstance(s, K.KAssign):
+            rhs = self.expr(s.value)
+            if self.depth == 0 and s.name in self.varying:
+                rhs = "_mat({}, _n0)".format(rhs)
+            self.emit("{} = {}".format(_pyname(s.name), rhs))
+        elif isinstance(s, K.KStore):
+            self._store(s)
+        elif isinstance(s, K.KFor):
+            self._for(s)
+        elif isinstance(s, K.KComment):
+            self.emit("# {}".format(s.text))
+        else:
+            raise DeviceError(
+                "cannot batch-execute {}".format(type(s).__name__)
+            )
+
+    def _for(self, s):
+        stride = any(
+            _expr_varying(b, self.varying) for b in (s.lo, s.hi, s.step)
+        )
+        if stride and self.depth == 0:
+            self._stride_loop(s)
+            return
+        # Uniform trip count: a plain (scalar) Python loop, every
+        # active lane marches through it in lockstep.
+        var = _pyname(s.var)
+        self.emit("{} = {}".format(var, self.expr(s.lo)))
+        hi = self.fresh()
+        self.emit("{} = {}".format(hi, self.expr(s.hi)))
+        step = self.fresh()
+        self.emit("{} = {}".format(step, self.expr(s.step)))
+        self.close_segment()
+        self.emit("while {} < {}:".format(var, hi))
+        self.indent += 1
+        self._segment()["cmp"] += 1
+        self._segment()["branch"] += 1
+        self._segment()["int"] += 1  # induction update
+        self.var_depth[s.var] = self.depth
+        for child in s.body:
+            self.stmt(child)
+        self.emit("{} += {}".format(var, step))
+        self.indent -= 1
+        self.close_segment()
+
+    def _stride_loop(self, s):
+        var = _pyname(s.var)
+        lo = self.expr(s.lo)
+        self.emit("_cur = np.array(_mat({}, _n0), dtype=np.int64)".format(lo))
+        hi = self.fresh()
+        self.emit("{} = {}".format(hi, self.expr(s.hi)))
+        step = self.fresh()
+        self.emit("{} = {}".format(step, self.expr(s.step)))
+        self.close_segment()
+        self.emit("while True:")
+        self.indent += 1
+        self.emit("_A1 = np.nonzero(_cur < {})[0]".format(hi))
+        self.emit("if _A1.size == 0:")
+        self.emit("    break")
+        self.emit("_n1 = _A1.size")
+        self.emit("_G1 = _G0[_A1]")
+        if self.uses_lid:
+            self.emit("_L1 = _L0[_A1]")
+        if self.uses_grp:
+            self.emit("_R1 = _R0[_A1]")
+        self.emit("{} = _cur[_A1]".format(var))
+        self.depth = 1
+        self._segment()["cmp"] += 1
+        self._segment()["branch"] += 1
+        self._segment()["int"] += 1  # induction update
+        self.var_depth[s.var] = 1
+        for child in s.body:
+            self.stmt(child)
+        self.emit("_cur = _cur + ({})".format(step))
+        self.depth = 0
+        self.indent -= 1
+        self.close_segment()
+
+    def _store(self, s):
+        if s.site < 0:
+            raise DeviceError("store without a site id (run assign_sites)")
+        self._register_site(s, is_store=True)
+        index = self.expr(s.index)
+        value = self.expr(s.value)
+        idx_var = self.fresh()
+        self.emit("{} = {}".format(idx_var, index))
+        array = _bufname(s.array, s.space)
+        if isinstance(s.ktype, K.KVector):
+            self.emit(
+                "_vstore({}, {}, {}, {})".format(
+                    array, idx_var, value, s.ktype.width
+                )
+            )
+        elif s.space is K.Space.PRIVATE:
+            self.emit(
+                "_pstore({}, {}, {}, {})".format(
+                    array, idx_var, self._cols(), value
+                )
+            )
+            return
+        else:
+            self.emit("_gstore({}, {}, {})".format(array, idx_var, value))
+        self.emit(
+            "_tr{}({}, {}, _n{})".format(
+                s.site, self._lanes(), idx_var, self.depth
+            )
+        )
+
+    # -- top level ----------------------------------------------------------
+
+    def generate(self):
+        kernel = self.kernel
+        buffer_args = [
+            _bufname(p.name, p.space) for p in kernel.params if p.is_pointer
+        ]
+        scalar_args = [
+            _pyname(p.name) for p in kernel.params if not p.is_pointer
+        ]
+        for arr in kernel.arrays:
+            if arr.space is K.Space.PRIVATE:
+                # Per-lane private storage: one column per work-item.
+                self.emit(
+                    "{} = np.zeros(({}, _gsz), dtype={})".format(
+                        _bufname(arr.name, arr.space),
+                        arr.size,
+                        _np_dtype(arr.ktype),
+                    )
+                )
+        for stmt in kernel.body:
+            self.stmt(stmt)
+        trace_args = ["_tr{}".format(site) for site in sorted(self.sites)]
+        params = (
+            ["_G0", "_L0", "_R0", "_lsz", "_gsz", "_ngrp", "_n0", "_segc"]
+            + buffer_args
+            + scalar_args
+            + trace_args
+        )
+        header = "def _batch({}):".format(", ".join(params))
+        source = [header] + self.lines
+        return "\n".join(source), self.segments, self.sites
+
+
+# ---------------------------------------------------------------------------
 # Runtime support injected into generated code
 # ---------------------------------------------------------------------------
 
@@ -717,6 +1451,287 @@ def _rsqrt(x):
     return 1.0 / math.sqrt(x)
 
 
+# -- batch-tier vectorized runtime ------------------------------------------
+#
+# Each helper accepts both NumPy arrays (varying values) and Python
+# scalars (uniform values) and reproduces the per-item helper's result
+# element for element — including its error behavior, so a kernel that
+# would fault per-item faults identically in batch.
+
+
+def _mat(x, n):
+    """Materialize a uniform value as a full-length lane array."""
+    if isinstance(x, np.ndarray):
+        return x
+    return np.broadcast_to(np.asarray(x), (n,))
+
+
+def _vi32(x):
+    # Pure two's-complement formula: correct for Python ints and for
+    # int64 arrays alike (matches _i32 exactly on scalars).
+    return ((x & 0xFFFFFFFF) ^ 0x80000000) - 0x80000000
+
+
+def _vi64(x):
+    if isinstance(x, np.ndarray):
+        return x  # int64 arithmetic already wraps mod 2**64
+    return _i64(x)
+
+
+def _toint(x):
+    if isinstance(x, np.ndarray):
+        if x.dtype.kind == "f":
+            return np.trunc(x).astype(np.int64)
+        return x.astype(np.int64)
+    return int(x)
+
+
+def _vci32(x):
+    return _vi32(_toint(x))
+
+
+def _vci64(x):
+    return _vi64(_toint(x))
+
+
+def _vci8(x):
+    return ((_toint(x) & 0xFF) ^ 0x80) - 0x80
+
+
+def _vcf32(x):
+    if isinstance(x, np.ndarray):
+        return x.astype(np.float32).astype(np.float64)
+    return _f32(x)
+
+
+def _vcdbl(x):
+    if isinstance(x, np.ndarray):
+        return x.astype(np.float64)
+    return float(x)
+
+
+def _vcbool(x):
+    if isinstance(x, np.ndarray):
+        return x.astype(bool)
+    return bool(x)
+
+
+def _vnot(x):
+    if isinstance(x, np.ndarray):
+        return np.logical_not(x)
+    return not x
+
+
+def _vand(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.logical_and(a, b)
+    return a and b
+
+
+def _vor(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.logical_or(a, b)
+    return a or b
+
+
+def _vsel(c, t, o):
+    if isinstance(c, np.ndarray):
+        if (isinstance(t, np.ndarray) and t.ndim == 2) or (
+            isinstance(o, np.ndarray) and o.ndim == 2
+        ):
+            c = c[:, None]  # lane condition selecting whole vectors
+        return np.where(c, t, o)
+    return t if c else o
+
+
+def _vmin(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.where(b < a, b, a)  # min()'s first-wins NaN behavior
+    return min(a, b)
+
+
+def _vmax(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.where(b > a, b, a)
+    return max(a, b)
+
+
+def _vidiv(a, b):
+    if not isinstance(a, np.ndarray) and not isinstance(b, np.ndarray):
+        return _idiv(a, b)
+    b_arr = np.asarray(b)
+    if not np.all(b_arr != 0):
+        raise DeviceError("device integer division by zero")
+    a_arr = np.asarray(a)
+    q = np.floor_divide(a_arr, b_arr)
+    r = a_arr - q * b_arr
+    # C truncates toward zero; floor_divide floors. They differ by one
+    # exactly when the remainder is nonzero and the signs disagree.
+    return q + ((r != 0) & ((a_arr < 0) != (b_arr < 0)))
+
+
+def _virem(a, b):
+    if not isinstance(a, np.ndarray) and not isinstance(b, np.ndarray):
+        return _irem(a, b)
+    return np.asarray(a) - _vidiv(a, b) * np.asarray(b)
+
+
+def _vfdiv(a, b):
+    if not isinstance(a, np.ndarray) and not isinstance(b, np.ndarray):
+        return a / b
+    if not np.all(np.asarray(b) != 0):
+        raise ZeroDivisionError("float division by zero")
+    return a / b
+
+
+def _vsqrt(x):
+    if not isinstance(x, np.ndarray):
+        return math.sqrt(x)
+    if np.any(x < 0):
+        raise ValueError("math domain error")
+    return np.sqrt(x)  # bit-identical to math.sqrt on float64
+
+
+def _vrsqrt(x):
+    if not isinstance(x, np.ndarray):
+        return _rsqrt(x)
+    if np.any(x < 0):
+        raise ValueError("math domain error")
+    if not np.all(x != 0):
+        raise ZeroDivisionError("float division by zero")
+    return 1.0 / np.sqrt(x)
+
+
+def _vfloor(x):
+    if isinstance(x, np.ndarray):
+        return np.floor(x)  # bit-identical to math.floor on float64
+    return math.floor(x)
+
+
+def _vceil(x):
+    if isinstance(x, np.ndarray):
+        return np.ceil(x)
+    return math.ceil(x)
+
+
+def _lift1(f):
+    """Element-wise lift of a libm function NumPy does not reproduce
+    bit-identically (verified: np.tan/exp/log differ from math.* in the
+    last ulp on a fraction of inputs)."""
+    ufunc = np.frompyfunc(f, 1, 1)
+
+    def lifted(x):
+        if isinstance(x, np.ndarray):
+            return ufunc(x).astype(np.float64)
+        return f(x)
+
+    return lifted
+
+
+def _lift2(f):
+    ufunc = np.frompyfunc(f, 2, 1)
+
+    def lifted(a, b):
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            return ufunc(a, b).astype(np.float64)
+        return f(a, b)
+
+    return lifted
+
+
+# np.sin/np.cos agree with math.sin/math.cos bit for bit on float64;
+# the rest do not and must go through the scalar libm path.
+def _vsin(x):
+    return np.sin(x) if isinstance(x, np.ndarray) else math.sin(x)
+
+
+def _vcos(x):
+    return np.cos(x) if isinstance(x, np.ndarray) else math.cos(x)
+
+
+_vtan = _lift1(math.tan)
+_vexp = _lift1(math.exp)
+_vlog = _lift1(math.log)
+_vpow = _lift2(math.pow)
+_vatan2 = _lift2(math.atan2)
+_vhypot = _lift2(math.hypot)
+
+
+def _gload(buf, ix):
+    """Global/constant gather; mirrors ``buf[ix].item()`` per lane."""
+    if isinstance(ix, np.ndarray):
+        vals = buf[ix]
+        if vals.dtype.kind == "f":
+            return vals.astype(np.float64)
+        if vals.dtype.kind == "b":
+            return vals
+        return vals.astype(np.int64)
+    return buf[ix].item()
+
+
+def _gstore(buf, ix, val):
+    """Global scatter. NumPy fancy assignment resolves duplicate
+    indices last-wins in lane order — the same winner as the per-item
+    tier's ascending-gid sequential stores."""
+    if isinstance(ix, np.ndarray):
+        buf[ix] = val
+    elif isinstance(val, np.ndarray):
+        buf[ix] = val[-1]
+    else:
+        buf[ix] = val
+
+
+def _pload(arr, ix, cols):
+    """Private (per-lane columns) gather with the per-item upcast."""
+    vals = arr[ix, cols]
+    if vals.dtype.kind == "f":
+        return vals.astype(np.float64)
+    if vals.dtype.kind == "b":
+        return vals
+    return vals.astype(np.int64)
+
+
+def _pstore(arr, ix, cols, val):
+    arr[ix, cols] = val
+
+
+def _vload(buf, ix, width):
+    """Vector load; stays in the buffer's native dtype like the
+    per-item tier's slice views."""
+    if isinstance(ix, np.ndarray):
+        return buf[np.asarray(ix)[:, None] * width + np.arange(width)]
+    return buf[ix * width : ix * width + width]
+
+
+def _vstore(buf, ix, val, width):
+    if isinstance(ix, np.ndarray):
+        buf[np.asarray(ix)[:, None] * width + np.arange(width)] = val
+    elif isinstance(val, np.ndarray) and val.ndim == 2:
+        buf[ix * width : ix * width + width] = val[-1]
+    else:
+        buf[ix * width : ix * width + width] = val
+
+
+def _vext(vec, lane):
+    if isinstance(vec, np.ndarray) and vec.ndim == 2:
+        col = vec[:, lane]
+        if col.dtype.kind == "f":
+            return col.astype(np.float64)
+        if col.dtype.kind == "b":
+            return col
+        return col.astype(np.int64)
+    return vec[lane].item()
+
+
+def _vbuild(elems, dtype, n):
+    if any(isinstance(e, np.ndarray) for e in elems):
+        cols = [
+            e if isinstance(e, np.ndarray) else np.full(n, e) for e in elems
+        ]
+        return np.stack(cols, axis=-1).astype(dtype)
+    return np.array(elems, dtype=dtype)
+
+
 _GLOBALS = {
     "np": np,
     "math": math,
@@ -730,6 +1745,45 @@ _GLOBALS = {
     "min": min,
     "max": max,
     "abs": abs,
+    # batch-tier helpers
+    "_mat": _mat,
+    "_vi32": _vi32,
+    "_vi64": _vi64,
+    "_vci32": _vci32,
+    "_vci64": _vci64,
+    "_vci8": _vci8,
+    "_vcf32": _vcf32,
+    "_vcdbl": _vcdbl,
+    "_vcbool": _vcbool,
+    "_vnot": _vnot,
+    "_vand": _vand,
+    "_vor": _vor,
+    "_vsel": _vsel,
+    "_vmin": _vmin,
+    "_vmax": _vmax,
+    "_vidiv": _vidiv,
+    "_virem": _virem,
+    "_vfdiv": _vfdiv,
+    "_vsqrt": _vsqrt,
+    "_vrsqrt": _vrsqrt,
+    "_vfloor": _vfloor,
+    "_vceil": _vceil,
+    "_vsin": _vsin,
+    "_vcos": _vcos,
+    "_vtan": _vtan,
+    "_vexp": _vexp,
+    "_vlog": _vlog,
+    "_vpow": _vpow,
+    "_vatan2": _vatan2,
+    "_vhypot": _vhypot,
+    "_gload": _gload,
+    "_gstore": _gstore,
+    "_pload": _pload,
+    "_pstore": _pstore,
+    "_vload": _vload,
+    "_vstore": _vstore,
+    "_vext": _vext,
+    "_vbuild": _vbuild,
 }
 
 
@@ -749,11 +1803,17 @@ class CompiledKernel:
         namespace = dict(_GLOBALS)
         exec(compile(self.source, "<kernel:{}>".format(kernel.name), "exec"), namespace)
         self._item = namespace["_item"]
+        _count_codegen()
         # The instrumented (sanitized) variant is compiled lazily — a
         # guard-free launch never even builds it, keeping the fast path
         # byte-for-byte identical to the seed.
         self.sanitized_source = None
         self._sanitized_item_fn = None
+        # The batch (vectorized) variant is also lazy; eligibility is
+        # decided up front so callers can report why a kernel fell back.
+        self.batch_supported, self.batch_reason = batch_eligibility(kernel)
+        self.batch_source = None
+        self._batch_fn = None
 
     def _sanitized_item(self):
         if self._sanitized_item_fn is None:
@@ -770,10 +1830,58 @@ class CompiledKernel:
                 namespace,
             )
             self._sanitized_item_fn = namespace["_item"]
+            _count_codegen()
         return self._sanitized_item_fn
 
+    def _batch_callable(self):
+        """Build (once) and return the whole-ndrange function, or None
+        when the kernel must run per-item.
+
+        Safety net: the batch codegen must reproduce the per-item
+        codegen's straight-line segments and access sites exactly —
+        that equivalence is what makes the simulated timing identical.
+        On any mismatch the kernel is permanently demoted to per-item
+        rather than risking a skewed profile.
+        """
+        if not self.batch_supported:
+            return None
+        if self._batch_fn is None:
+            codegen = _BatchCodegen(self.kernel, _varying_vars(self.kernel))
+            try:
+                source, segments, sites = codegen.generate()
+            except DeviceError as err:
+                self.batch_supported = False
+                self.batch_reason = str(err)
+                return None
+            if segments != self.segments or sites != self.site_meta:
+                self.batch_supported = False
+                self.batch_reason = (
+                    "batch codegen diverged from per-item segments/sites"
+                )
+                return None
+            self.batch_source = source
+            namespace = dict(_GLOBALS)
+            exec(
+                compile(
+                    source,
+                    "<kernel:{}:batch>".format(self.kernel.name),
+                    "exec",
+                ),
+                namespace,
+            )
+            self._batch_fn = namespace["_batch"]
+            _count_codegen()
+        return self._batch_fn
+
     def launch(
-        self, buffers, scalars, global_size, local_size, injector=None, guard=None
+        self,
+        buffers,
+        scalars,
+        global_size,
+        local_size,
+        injector=None,
+        guard=None,
+        tier=None,
     ):
         """Execute the NDRange.
 
@@ -796,7 +1904,11 @@ class CompiledKernel:
                 watchdog, the scheduler flags barrier divergence, and
                 the memory trace is scanned for data races post-launch.
                 Trips raise :class:`repro.errors.SanitizerFault`
-                subclasses.
+                subclasses. Guarded launches always run per-item.
+            tier: execution-tier request ("auto"/"batch"/"per-item");
+                None consults ``REPRO_EXEC_TIER`` and defaults to auto.
+                Ineligible kernels fall back per-item either way; the
+                tier that actually ran is recorded in ``trace.tier``.
 
         Returns a :class:`LaunchTrace`.
         """
@@ -839,6 +1951,21 @@ class CompiledKernel:
                     )
                 scalar_args.append(scalars[param.name])
 
+        resolved_tier = resolve_exec_tier(tier)
+        if guard is None and resolved_tier in ("auto", "batch"):
+            batch_fn = self._batch_callable()
+            if batch_fn is not None:
+                return self._launch_batch(
+                    batch_fn,
+                    trace,
+                    seg_counts,
+                    site_traces,
+                    buffer_args,
+                    scalar_args,
+                    global_size,
+                    local_size,
+                )
+
         local_specs = [a for a in kernel.arrays if a.space is K.Space.LOCAL]
         n_groups = global_size // local_size
         sorted_sites = sorted(site_traces)
@@ -864,6 +1991,7 @@ class CompiledKernel:
         item_fn = self._item
         guard_args = []
         if guard is not None:
+            trace.tier = "sanitized"
             item_fn = self._sanitized_item()
             guard_args = [guard.tick] + self._make_checkers(
                 guard, sorted_sites, buffers, local_size
@@ -920,6 +2048,59 @@ class CompiledKernel:
         trace.sites = site_traces
         if guard is not None:
             guard.scan_races(site_traces)
+        return trace
+
+    def _launch_batch(
+        self,
+        batch_fn,
+        trace,
+        seg_counts,
+        site_traces,
+        buffer_args,
+        scalar_args,
+        global_size,
+        local_size,
+    ):
+        """Run the whole NDRange as array operations.
+
+        Semantically identical to the per-item loop for eligible
+        kernels: the same buffers are mutated with the same values
+        (bit for bit, NaN-safe), the same segments are counted the
+        same number of times, and every access site records the same
+        per-lane access order — so the derived timing model sees no
+        difference either.
+        """
+        trace.tier = "batch"
+        lanes = np.arange(global_size, dtype=np.int64)
+        lids = lanes % local_size
+        groups = lanes // local_size
+        n_groups = global_size // local_size
+        appenders = [site_traces[s].append_block for s in sorted(site_traces)]
+        try:
+            with np.errstate(all="ignore"):
+                batch_fn(
+                    lanes,
+                    lids,
+                    groups,
+                    local_size,
+                    global_size,
+                    n_groups,
+                    global_size,
+                    seg_counts,
+                    *buffer_args,
+                    *scalar_args,
+                    *appenders,
+                )
+        except IndexError as err:
+            raise DeviceError(
+                "kernel '{}': out-of-bounds buffer access ({})".format(
+                    self.kernel.name, err
+                )
+            ) from err
+        for seg_id, count in enumerate(seg_counts):
+            for kind, ops in self.segments[seg_id].items():
+                trace.op_cycles[kind] += ops * int(count)
+        trace.sites = site_traces
         return trace
 
     def _make_checkers(self, guard, sorted_sites, buffers, local_size):

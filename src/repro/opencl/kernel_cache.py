@@ -1,0 +1,170 @@
+"""Content-addressed compilation cache for kernel IR.
+
+``compile_filter`` rebuilds kernel IR from scratch for every stream
+task and every :class:`Offloader`, so without a cache the simulator
+re-runs codegen (IR -> Python source -> ``exec``) for kernels it has
+already compiled — across stream items, engine runs, and evaluation
+sweeps. The cache keys compiled artifacts by *content*:
+
+    (IR fingerprint, compiler options, sanitizer config, device)
+
+- The **fingerprint** is a SHA-256 over a canonical serialization of
+  the kernel IR (params, in-kernel arrays, statements, types). Site
+  ids and the free-form ``meta`` dict are excluded: sites are
+  derived deterministically from the structure, and ``meta`` is
+  consumed by the host glue, not by codegen.
+- **Options** (``OptimizationConfig.describe()``) are part of the key
+  because memory-plan toggles change the IR *and* because a future
+  option may change codegen without changing the IR.
+- The **sanitizer config** is part of the key so that toggling
+  ``--sanitize`` can never reuse an artifact compiled for a different
+  instrumentation level (see ``tests/opencl/test_kernel_cache.py``).
+- The **device** name is included because memory plans are
+  device-shaped.
+
+The cache is bounded (LRU) and module-global: hit/miss counts are
+exposed both globally and per :class:`ExecutionProfile` via the
+``profile`` argument of :func:`cached_compile_kernel`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from collections import OrderedDict
+
+from repro.backend import kernel_ir as K
+from repro.opencl.executor import CompiledKernel
+
+DEFAULT_CAPACITY = 128
+
+# Fields that do not affect the compiled artifact.
+_SKIP_FIELDS = frozenset({"site", "meta"})
+
+
+def _serialize(node, out):
+    """Append a canonical token stream for ``node`` to ``out``."""
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        out.append(type(node).__name__)
+        out.append("(")
+        for f in dataclasses.fields(node):
+            if f.name in _SKIP_FIELDS:
+                continue
+            out.append(f.name + "=")
+            _serialize(getattr(node, f.name), out)
+        out.append(")")
+    elif isinstance(node, enum.Enum):
+        out.append(type(node).__name__ + "." + node.name)
+    elif isinstance(node, (list, tuple)):
+        out.append("[")
+        for item in node:
+            _serialize(item, out)
+            out.append(",")
+        out.append("]")
+    elif isinstance(node, float):
+        # repr round-trips floats exactly (incl. -0.0 vs 0.0).
+        out.append("f" + repr(node))
+    elif isinstance(node, bool):
+        out.append("b" + repr(node))
+    elif isinstance(node, int):
+        out.append("i" + repr(node))
+    elif isinstance(node, str):
+        out.append("s" + repr(node))
+    elif node is None:
+        out.append("~")
+    else:
+        raise TypeError(
+            "cannot fingerprint {} in kernel IR".format(type(node).__name__)
+        )
+
+
+def kernel_fingerprint(kernel):
+    """Deterministic SHA-256 hex digest of a kernel's compiled content."""
+    out = []
+    _serialize(kernel, out)
+    return hashlib.sha256("".join(out).encode("utf-8")).hexdigest()
+
+
+def sanitizer_key(sanitizer):
+    """Stable cache-key component for a SanitizerConfig (or None)."""
+    if sanitizer is None:
+        return "none"
+    return "bounds={},races={},divergence={},nan={},deadline={},validate={}".format(
+        sanitizer.bounds,
+        sanitizer.races,
+        sanitizer.divergence,
+        sanitizer.nan_poison,
+        sanitizer.deadline_ns,
+        sanitizer.validate_every,
+    )
+
+
+class KernelCache:
+    """Bounded LRU cache of :class:`CompiledKernel` artifacts."""
+
+    def __init__(self, capacity=DEFAULT_CAPACITY):
+        self.capacity = capacity
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def get_or_compile(self, kernel, options="", sanitizer="", device=""):
+        key = (kernel_fingerprint(kernel), options, sanitizer, device)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry, True
+        self.misses += 1
+        entry = CompiledKernel(kernel)
+        self._entries[key] = entry
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return entry, False
+
+    def clear(self):
+        self._entries.clear()
+
+    def stats(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+        }
+
+
+_GLOBAL_CACHE = KernelCache()
+
+
+def global_kernel_cache():
+    return _GLOBAL_CACHE
+
+
+def reset_global_cache():
+    """Drop all entries and zero the counters (test isolation)."""
+    global _GLOBAL_CACHE
+    _GLOBAL_CACHE = KernelCache()
+    return _GLOBAL_CACHE
+
+
+def cached_compile_kernel(
+    kernel, options="", sanitizer="", device="", profile=None
+):
+    """Compile ``kernel`` through the global cache.
+
+    ``profile`` (an :class:`repro.runtime.profiler.ExecutionProfile`)
+    gets its per-run hit/miss counters bumped when provided.
+    """
+    compiled, hit = _GLOBAL_CACHE.get_or_compile(
+        kernel, options=options, sanitizer=sanitizer, device=device
+    )
+    if profile is not None:
+        profile.record_cache(hit)
+    return compiled

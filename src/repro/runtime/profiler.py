@@ -319,6 +319,29 @@ class ExecutionProfile:
         self.bytes_to_device = 0
         self.bytes_from_device = 0
         self.faults = FailureLedger()
+        # Executor bookkeeping: launches per execution tier
+        # (batch / per-item / sanitized) and kernel-cache traffic.
+        self.tier_launches = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def record_tier(self, tier):
+        """Count one kernel launch against the tier that executed it."""
+        self.tier_launches[tier] = self.tier_launches.get(tier, 0) + 1
+
+    def record_cache(self, hit):
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+
+    def executor_summary(self):
+        """Tier and compilation-cache counters for reports."""
+        return {
+            "tiers": dict(sorted(self.tier_launches.items())),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
 
     def task_stages(self, task_name):
         if task_name not in self.per_task:

@@ -1,0 +1,102 @@
+"""Golden snapshots of the generated OpenCL C.
+
+Every app's map kernel is compiled through the full pipeline and the
+emitted OpenCL C compared byte-for-byte against a checked-in snapshot
+under ``tests/golden/``. Two axes:
+
+- the **default** configuration on the GTX 580 for all nine apps, and
+- **device-varied** memory plans (GTX 8800 and HD 5970) for the
+  local-memory-tiling apps, where the plan's shape depends on the
+  device's shared-memory size and bank count.
+
+The snapshots exist to catch *unintentional* codegen drift — a change
+that shows up here but was not meant to alter generated code is a bug.
+Intentional changes re-bless with::
+
+    REPRO_UPDATE_GOLDEN=1 python -m pytest tests/backend/test_golden_kernels.py
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.apps.registry import BENCHMARKS
+from repro.backend.opencl_gen import emit_opencl
+from repro.compiler.options import FIGURE8_CONFIGS
+from repro.compiler.pipeline import compile_filter
+from repro.opencl import get_device
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[1] / "golden"
+
+DEFAULT_DEVICE = "gtx580"
+
+# Apps whose memory plans are device-shaped (local-memory staging):
+# snapshot them on every device in the catalog. (On the current
+# catalog the plans happen to coincide — bank-conflict padding has the
+# same parity on 16 and 32 banks and the constant capacities are
+# equal — but the snapshots pin that fact down.)
+DEVICE_VARIED = ["nbody-single", "mosaic", "parboil-cp"]
+OTHER_DEVICES = ["gtx8800", "hd5970"]
+
+# Memory-plan variation along the Figure 8 configuration axis, where
+# the generated code genuinely differs (global vs local staging vs
+# constant, with and without vectorized accesses).
+CONFIG_VARIED = [
+    ("nbody-single", "Global"),
+    ("nbody-single", "Local+NoConflicts+Vector"),
+    ("parboil-cp", "Constant+Vector"),
+    ("mosaic", "Local"),
+]
+
+CASES = (
+    [(name, DEFAULT_DEVICE, None) for name in sorted(BENCHMARKS)]
+    + [
+        (name, device, None)
+        for name in DEVICE_VARIED
+        for device in OTHER_DEVICES
+    ]
+    + [(name, DEFAULT_DEVICE, config) for name, config in CONFIG_VARIED]
+)
+
+
+def _emit(name, device_name, config_name):
+    bench = BENCHMARKS[name]
+    checked = bench.checked()
+    worker = checked.lookup_method(bench.main_class, bench.filter_method)
+    compiled = compile_filter(
+        checked,
+        worker,
+        device=get_device(device_name),
+        config=FIGURE8_CONFIGS[config_name] if config_name else None,
+        bound_values={p.name: 4 for p in worker.params[:-1]},
+    )
+    return emit_opencl(compiled.plan.kernel, local_size_hint=128)
+
+
+def _snapshot_name(name, device, config):
+    stem = "{}-{}".format(name, device)
+    if config:
+        stem += "-" + config.lower().replace("+", "-")
+    return stem + ".cl"
+
+
+@pytest.mark.parametrize("name,device,config", CASES)
+def test_golden_opencl(name, device, config):
+    source = _emit(name, device, config)
+    path = GOLDEN_DIR / _snapshot_name(name, device, config)
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(source)
+        return
+    assert path.exists(), (
+        "missing golden snapshot {} — run with REPRO_UPDATE_GOLDEN=1 "
+        "to create it".format(path)
+    )
+    expected = path.read_text()
+    assert source == expected, (
+        "generated OpenCL C for {} on {} drifted from {} — if the "
+        "change is intentional, re-bless with REPRO_UPDATE_GOLDEN=1".format(
+            name, device, path.name
+        )
+    )

@@ -1,0 +1,24 @@
+__kernel void Series_coefficients_kernel(__global float* _out, int _n) {
+    __private float p_ab_9[2];
+    int _gid = get_global_id(0);
+    int _nthreads = get_global_size(0);
+    for (int _i = _gid; _i < _n; _i += _nthreads) {
+        int v_i_1 = _i;
+        float v_dx_2 = 0.0125f;
+        float v_omega_3 = (3.1415926f * ((float)v_i_1));
+        float v_a_4 = 0.0f;
+        float v_b_5 = 0.0f;
+        for (int v_j_6 = 0; v_j_6 < 160; v_j_6 += 1) {
+            float v_x_7 = ((((float)v_j_6) + 0.5f) * v_dx_2);
+            float v_fx_8 = pow((v_x_7 + 1.0f), v_x_7);
+            v_a_4 = (v_a_4 + (((v_fx_8 * cos((v_omega_3 * v_x_7))) * v_dx_2) * 0.5f));
+            v_b_5 = (v_b_5 + (((v_fx_8 * sin((v_omega_3 * v_x_7))) * v_dx_2) * 0.5f));
+        }
+        p_ab_9[0] = 0.0f;
+        p_ab_9[1] = 0.0f;
+        p_ab_9[0] = v_a_4;
+        p_ab_9[1] = v_b_5;
+        _out[(_i * 2)] = p_ab_9[0];
+        _out[((_i * 2) + 1)] = p_ab_9[1];
+    }
+}

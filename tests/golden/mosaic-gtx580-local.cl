@@ -1,0 +1,80 @@
+__kernel void Mosaic_bestMatches_kernel(__global const int* _in, __global int* _out, __global const int* tiles, int _len_tiles, int _n) {
+    __local int tile_tiles_22[2048];
+    int _gid = get_global_id(0);
+    int _nthreads = get_global_size(0);
+    int _iters = (((_n + _nthreads) - 1) / _nthreads);
+    for (int _it = 0; _it < _iters; _it += 1) {
+        int _i = (_gid + (_it * _nthreads));
+        int _active = (_i < _n);
+        int _ix = (_active ? _i : 0);
+        int elem0_1 = _in[(_ix * 16)];
+        int elem1_2 = _in[((_ix * 16) + 1)];
+        int elem2_3 = _in[((_ix * 16) + 2)];
+        int elem3_4 = _in[((_ix * 16) + 3)];
+        int elem4_5 = _in[((_ix * 16) + 4)];
+        int elem5_6 = _in[((_ix * 16) + 5)];
+        int elem6_7 = _in[((_ix * 16) + 6)];
+        int elem7_8 = _in[((_ix * 16) + 7)];
+        int elem8_9 = _in[((_ix * 16) + 8)];
+        int elem9_10 = _in[((_ix * 16) + 9)];
+        int elem10_11 = _in[((_ix * 16) + 10)];
+        int elem11_12 = _in[((_ix * 16) + 11)];
+        int elem12_13 = _in[((_ix * 16) + 12)];
+        int elem13_14 = _in[((_ix * 16) + 13)];
+        int elem14_15 = _in[((_ix * 16) + 14)];
+        int elem15_16 = _in[((_ix * 16) + 15)];
+        int v_best_17 = 2147483647;
+        int v_bestIdx_18 = 0;
+        int tile_n_19 = 96;
+        int lid_20 = get_local_id(0);
+        int lsz_21 = get_local_size(0);
+        for (int jj_23 = 0; jj_23 < tile_n_19; jj_23 += lsz_21) {
+            barrier(CLK_LOCAL_MEM_FENCE);
+            if (((jj_23 + lid_20) < tile_n_19)) {
+                tile_tiles_22[(lid_20 * 16)] = tiles[((jj_23 + lid_20) * 16)];
+                tile_tiles_22[((lid_20 * 16) + 1)] = tiles[(((jj_23 + lid_20) * 16) + 1)];
+                tile_tiles_22[((lid_20 * 16) + 2)] = tiles[(((jj_23 + lid_20) * 16) + 2)];
+                tile_tiles_22[((lid_20 * 16) + 3)] = tiles[(((jj_23 + lid_20) * 16) + 3)];
+                tile_tiles_22[((lid_20 * 16) + 4)] = tiles[(((jj_23 + lid_20) * 16) + 4)];
+                tile_tiles_22[((lid_20 * 16) + 5)] = tiles[(((jj_23 + lid_20) * 16) + 5)];
+                tile_tiles_22[((lid_20 * 16) + 6)] = tiles[(((jj_23 + lid_20) * 16) + 6)];
+                tile_tiles_22[((lid_20 * 16) + 7)] = tiles[(((jj_23 + lid_20) * 16) + 7)];
+                tile_tiles_22[((lid_20 * 16) + 8)] = tiles[(((jj_23 + lid_20) * 16) + 8)];
+                tile_tiles_22[((lid_20 * 16) + 9)] = tiles[(((jj_23 + lid_20) * 16) + 9)];
+                tile_tiles_22[((lid_20 * 16) + 10)] = tiles[(((jj_23 + lid_20) * 16) + 10)];
+                tile_tiles_22[((lid_20 * 16) + 11)] = tiles[(((jj_23 + lid_20) * 16) + 11)];
+                tile_tiles_22[((lid_20 * 16) + 12)] = tiles[(((jj_23 + lid_20) * 16) + 12)];
+                tile_tiles_22[((lid_20 * 16) + 13)] = tiles[(((jj_23 + lid_20) * 16) + 13)];
+                tile_tiles_22[((lid_20 * 16) + 14)] = tiles[(((jj_23 + lid_20) * 16) + 14)];
+                tile_tiles_22[((lid_20 * 16) + 15)] = tiles[(((jj_23 + lid_20) * 16) + 15)];
+            }
+            barrier(CLK_LOCAL_MEM_FENCE);
+            int limit_24 = min(lsz_21, (tile_n_19 - jj_23));
+            for (int j2_25 = 0; j2_25 < limit_24; j2_25 += 1) {
+                int v_j_26 = (jj_23 + j2_25);
+                int v_score_27 = 0;
+                v_score_27 = (v_score_27 + abs((elem0_1 - tile_tiles_22[(j2_25 * 16)])));
+                v_score_27 = (v_score_27 + abs((elem1_2 - tile_tiles_22[((j2_25 * 16) + 1)])));
+                v_score_27 = (v_score_27 + abs((elem2_3 - tile_tiles_22[((j2_25 * 16) + 2)])));
+                v_score_27 = (v_score_27 + abs((elem3_4 - tile_tiles_22[((j2_25 * 16) + 3)])));
+                v_score_27 = (v_score_27 + abs((elem4_5 - tile_tiles_22[((j2_25 * 16) + 4)])));
+                v_score_27 = (v_score_27 + abs((elem5_6 - tile_tiles_22[((j2_25 * 16) + 5)])));
+                v_score_27 = (v_score_27 + abs((elem6_7 - tile_tiles_22[((j2_25 * 16) + 6)])));
+                v_score_27 = (v_score_27 + abs((elem7_8 - tile_tiles_22[((j2_25 * 16) + 7)])));
+                v_score_27 = (v_score_27 + abs((elem8_9 - tile_tiles_22[((j2_25 * 16) + 8)])));
+                v_score_27 = (v_score_27 + abs((elem9_10 - tile_tiles_22[((j2_25 * 16) + 9)])));
+                v_score_27 = (v_score_27 + abs((elem10_11 - tile_tiles_22[((j2_25 * 16) + 10)])));
+                v_score_27 = (v_score_27 + abs((elem11_12 - tile_tiles_22[((j2_25 * 16) + 11)])));
+                v_score_27 = (v_score_27 + abs((elem12_13 - tile_tiles_22[((j2_25 * 16) + 12)])));
+                v_score_27 = (v_score_27 + abs((elem13_14 - tile_tiles_22[((j2_25 * 16) + 13)])));
+                v_score_27 = (v_score_27 + abs((elem14_15 - tile_tiles_22[((j2_25 * 16) + 14)])));
+                v_score_27 = (v_score_27 + abs((elem15_16 - tile_tiles_22[((j2_25 * 16) + 15)])));
+                v_bestIdx_18 = ((v_score_27 < v_best_17) ? v_j_26 : v_bestIdx_18);
+                v_best_17 = ((v_score_27 < v_best_17) ? v_score_27 : v_best_17);
+            }
+        }
+        if (_active) {
+            _out[_i] = v_bestIdx_18;
+        }
+    }
+}

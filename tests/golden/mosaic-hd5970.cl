@@ -1,0 +1,66 @@
+__kernel void Mosaic_bestMatches_kernel(__global const int* _in, __global int* _out, __global const int* tiles, int _len_tiles, int _n) {
+    __local int tile_tiles_7[2176];
+    int _gid = get_global_id(0);
+    int _nthreads = get_global_size(0);
+    int _iters = (((_n + _nthreads) - 1) / _nthreads);
+    for (int _it = 0; _it < _iters; _it += 1) {
+        int _i = (_gid + (_it * _nthreads));
+        int _active = (_i < _n);
+        int _ix = (_active ? _i : 0);
+        int16 elemv_1 = vload16(_ix, _in);
+        int v_best_2 = 2147483647;
+        int v_bestIdx_3 = 0;
+        int tile_n_4 = 96;
+        int lid_5 = get_local_id(0);
+        int lsz_6 = get_local_size(0);
+        for (int jj_8 = 0; jj_8 < tile_n_4; jj_8 += lsz_6) {
+            barrier(CLK_LOCAL_MEM_FENCE);
+            if (((jj_8 + lid_5) < tile_n_4)) {
+                int16 stg_9 = vload16((jj_8 + lid_5), tiles);
+                tile_tiles_7[(lid_5 * 17)] = stg_9.s0;
+                tile_tiles_7[((lid_5 * 17) + 1)] = stg_9.s1;
+                tile_tiles_7[((lid_5 * 17) + 2)] = stg_9.s2;
+                tile_tiles_7[((lid_5 * 17) + 3)] = stg_9.s3;
+                tile_tiles_7[((lid_5 * 17) + 4)] = stg_9.s4;
+                tile_tiles_7[((lid_5 * 17) + 5)] = stg_9.s5;
+                tile_tiles_7[((lid_5 * 17) + 6)] = stg_9.s6;
+                tile_tiles_7[((lid_5 * 17) + 7)] = stg_9.s7;
+                tile_tiles_7[((lid_5 * 17) + 8)] = stg_9.s8;
+                tile_tiles_7[((lid_5 * 17) + 9)] = stg_9.s9;
+                tile_tiles_7[((lid_5 * 17) + 10)] = stg_9.sa;
+                tile_tiles_7[((lid_5 * 17) + 11)] = stg_9.sb;
+                tile_tiles_7[((lid_5 * 17) + 12)] = stg_9.sc;
+                tile_tiles_7[((lid_5 * 17) + 13)] = stg_9.sd;
+                tile_tiles_7[((lid_5 * 17) + 14)] = stg_9.se;
+                tile_tiles_7[((lid_5 * 17) + 15)] = stg_9.sf;
+            }
+            barrier(CLK_LOCAL_MEM_FENCE);
+            int limit_10 = min(lsz_6, (tile_n_4 - jj_8));
+            for (int j2_11 = 0; j2_11 < limit_10; j2_11 += 1) {
+                int v_j_12 = (jj_8 + j2_11);
+                int v_score_13 = 0;
+                v_score_13 = (v_score_13 + abs((elemv_1.s0 - tile_tiles_7[(j2_11 * 17)])));
+                v_score_13 = (v_score_13 + abs((elemv_1.s1 - tile_tiles_7[((j2_11 * 17) + 1)])));
+                v_score_13 = (v_score_13 + abs((elemv_1.s2 - tile_tiles_7[((j2_11 * 17) + 2)])));
+                v_score_13 = (v_score_13 + abs((elemv_1.s3 - tile_tiles_7[((j2_11 * 17) + 3)])));
+                v_score_13 = (v_score_13 + abs((elemv_1.s4 - tile_tiles_7[((j2_11 * 17) + 4)])));
+                v_score_13 = (v_score_13 + abs((elemv_1.s5 - tile_tiles_7[((j2_11 * 17) + 5)])));
+                v_score_13 = (v_score_13 + abs((elemv_1.s6 - tile_tiles_7[((j2_11 * 17) + 6)])));
+                v_score_13 = (v_score_13 + abs((elemv_1.s7 - tile_tiles_7[((j2_11 * 17) + 7)])));
+                v_score_13 = (v_score_13 + abs((elemv_1.s8 - tile_tiles_7[((j2_11 * 17) + 8)])));
+                v_score_13 = (v_score_13 + abs((elemv_1.s9 - tile_tiles_7[((j2_11 * 17) + 9)])));
+                v_score_13 = (v_score_13 + abs((elemv_1.sa - tile_tiles_7[((j2_11 * 17) + 10)])));
+                v_score_13 = (v_score_13 + abs((elemv_1.sb - tile_tiles_7[((j2_11 * 17) + 11)])));
+                v_score_13 = (v_score_13 + abs((elemv_1.sc - tile_tiles_7[((j2_11 * 17) + 12)])));
+                v_score_13 = (v_score_13 + abs((elemv_1.sd - tile_tiles_7[((j2_11 * 17) + 13)])));
+                v_score_13 = (v_score_13 + abs((elemv_1.se - tile_tiles_7[((j2_11 * 17) + 14)])));
+                v_score_13 = (v_score_13 + abs((elemv_1.sf - tile_tiles_7[((j2_11 * 17) + 15)])));
+                v_bestIdx_3 = ((v_score_13 < v_best_2) ? v_j_12 : v_bestIdx_3);
+                v_best_2 = ((v_score_13 < v_best_2) ? v_score_13 : v_best_2);
+            }
+        }
+        if (_active) {
+            _out[_i] = v_bestIdx_3;
+        }
+    }
+}

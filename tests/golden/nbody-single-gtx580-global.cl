@@ -1,0 +1,27 @@
+__kernel void NBody_computeForces_kernel(__global const float* _in, __global float* _out, __global const float* particles, int _len_particles, int _n, __global float* _spill_f) {
+    int _gid = get_global_id(0);
+    int _nthreads = get_global_size(0);
+    for (int _i = _gid; _i < _n; _i += _nthreads) {
+        float elem0_1 = _in[(_i * 4)];
+        float elem1_2 = _in[((_i * 4) + 1)];
+        float elem2_3 = _in[((_i * 4) + 2)];
+        float elem3_4 = _in[((_i * 4) + 3)];
+        _spill_f[(get_global_id(0) * 3)] = 0.0f;
+        _spill_f[((get_global_id(0) * 3) + 1)] = 0.0f;
+        _spill_f[((get_global_id(0) * 3) + 2)] = 0.0f;
+        for (int v_j_5 = 0; v_j_5 < _len_particles; v_j_5 += 1) {
+            float v_dx_6 = (particles[(v_j_5 * 4)] - elem0_1);
+            float v_dy_7 = (particles[((v_j_5 * 4) + 1)] - elem1_2);
+            float v_dz_8 = (particles[((v_j_5 * 4) + 2)] - elem2_3);
+            float v_r2_9 = ((((v_dx_6 * v_dx_6) + (v_dy_7 * v_dy_7)) + (v_dz_8 * v_dz_8)) + 0.0125f);
+            float v_inv_10 = (1.0f / sqrt(v_r2_9));
+            float v_s_11 = (((particles[((v_j_5 * 4) + 3)] * v_inv_10) * v_inv_10) * v_inv_10);
+            _spill_f[(get_global_id(0) * 3)] = (_spill_f[(get_global_id(0) * 3)] + (v_dx_6 * v_s_11));
+            _spill_f[((get_global_id(0) * 3) + 1)] = (_spill_f[((get_global_id(0) * 3) + 1)] + (v_dy_7 * v_s_11));
+            _spill_f[((get_global_id(0) * 3) + 2)] = (_spill_f[((get_global_id(0) * 3) + 2)] + (v_dz_8 * v_s_11));
+        }
+        _out[(_i * 3)] = _spill_f[(get_global_id(0) * 3)];
+        _out[((_i * 3) + 1)] = _spill_f[((get_global_id(0) * 3) + 1)];
+        _out[((_i * 3) + 2)] = _spill_f[((get_global_id(0) * 3) + 2)];
+    }
+}

@@ -1,0 +1,48 @@
+__kernel void NBody_computeForces_kernel(__global const float* _in, __global float* _out, __global const float* particles, int _len_particles, int _n) {
+    __private float p_f_2[3];
+    __local float tile_particles_6[640];
+    int _gid = get_global_id(0);
+    int _nthreads = get_global_size(0);
+    int _iters = (((_n + _nthreads) - 1) / _nthreads);
+    for (int _it = 0; _it < _iters; _it += 1) {
+        int _i = (_gid + (_it * _nthreads));
+        int _active = (_i < _n);
+        int _ix = (_active ? _i : 0);
+        float4 elemv_1 = vload4(_ix, _in);
+        p_f_2[0] = 0.0f;
+        p_f_2[1] = 0.0f;
+        p_f_2[2] = 0.0f;
+        int tile_n_3 = _len_particles;
+        int lid_4 = get_local_id(0);
+        int lsz_5 = get_local_size(0);
+        for (int jj_7 = 0; jj_7 < tile_n_3; jj_7 += lsz_5) {
+            barrier(CLK_LOCAL_MEM_FENCE);
+            if (((jj_7 + lid_4) < tile_n_3)) {
+                float4 stg_8 = vload4((jj_7 + lid_4), particles);
+                tile_particles_6[(lid_4 * 5)] = stg_8.s0;
+                tile_particles_6[((lid_4 * 5) + 1)] = stg_8.s1;
+                tile_particles_6[((lid_4 * 5) + 2)] = stg_8.s2;
+                tile_particles_6[((lid_4 * 5) + 3)] = stg_8.s3;
+            }
+            barrier(CLK_LOCAL_MEM_FENCE);
+            int limit_9 = min(lsz_5, (tile_n_3 - jj_7));
+            for (int j2_10 = 0; j2_10 < limit_9; j2_10 += 1) {
+                int v_j_11 = (jj_7 + j2_10);
+                float v_dx_12 = (tile_particles_6[(j2_10 * 5)] - elemv_1.s0);
+                float v_dy_13 = (tile_particles_6[((j2_10 * 5) + 1)] - elemv_1.s1);
+                float v_dz_14 = (tile_particles_6[((j2_10 * 5) + 2)] - elemv_1.s2);
+                float v_r2_15 = ((((v_dx_12 * v_dx_12) + (v_dy_13 * v_dy_13)) + (v_dz_14 * v_dz_14)) + 0.0125f);
+                float v_inv_16 = (1.0f / sqrt(v_r2_15));
+                float v_s_17 = (((tile_particles_6[((j2_10 * 5) + 3)] * v_inv_16) * v_inv_16) * v_inv_16);
+                p_f_2[0] = (p_f_2[0] + (v_dx_12 * v_s_17));
+                p_f_2[1] = (p_f_2[1] + (v_dy_13 * v_s_17));
+                p_f_2[2] = (p_f_2[2] + (v_dz_14 * v_s_17));
+            }
+        }
+        if (_active) {
+            _out[(_i * 3)] = p_f_2[0];
+            _out[((_i * 3) + 1)] = p_f_2[1];
+            _out[((_i * 3) + 2)] = p_f_2[2];
+        }
+    }
+}

@@ -1,0 +1,18 @@
+__kernel void CP_potentials_kernel(__global float* _out, __constant float* atoms, int _len_atoms, int _n) {
+    int _gid = get_global_id(0);
+    int _nthreads = get_global_size(0);
+    for (int _i = _gid; _i < _n; _i += _nthreads) {
+        int v_idx_1 = _i;
+        float v_gx_2 = (((float)(v_idx_1 % 48)) * 0.1f);
+        float v_gy_3 = (((float)(v_idx_1 / 48)) * 0.1f);
+        float v_v_4 = 0.0f;
+        for (int v_j_5 = 0; v_j_5 < _len_atoms; v_j_5 += 1) {
+            float v_dx_6 = (v_gx_2 - vload4(v_j_5, atoms).s0);
+            float v_dy_7 = (v_gy_3 - vload4(v_j_5, atoms).s1);
+            float v_dz_8 = vload4(v_j_5, atoms).s2;
+            float v_r_9 = sqrt((((v_dx_6 * v_dx_6) + (v_dy_7 * v_dy_7)) + (v_dz_8 * v_dz_8)));
+            v_v_4 = (v_v_4 + (vload4(v_j_5, atoms).s3 / v_r_9));
+        }
+        _out[_i] = v_v_4;
+    }
+}

@@ -1,0 +1,41 @@
+__kernel void CP_potentials_kernel(__global float* _out, __global const float* atoms, int _len_atoms, int _n) {
+    __local float tile_atoms_8[640];
+    int _gid = get_global_id(0);
+    int _nthreads = get_global_size(0);
+    int _iters = (((_n + _nthreads) - 1) / _nthreads);
+    for (int _it = 0; _it < _iters; _it += 1) {
+        int _i = (_gid + (_it * _nthreads));
+        int _active = (_i < _n);
+        int _ix = (_active ? _i : 0);
+        int v_idx_1 = _ix;
+        float v_gx_2 = (((float)(v_idx_1 % 48)) * 0.1f);
+        float v_gy_3 = (((float)(v_idx_1 / 48)) * 0.1f);
+        float v_v_4 = 0.0f;
+        int tile_n_5 = _len_atoms;
+        int lid_6 = get_local_id(0);
+        int lsz_7 = get_local_size(0);
+        for (int jj_9 = 0; jj_9 < tile_n_5; jj_9 += lsz_7) {
+            barrier(CLK_LOCAL_MEM_FENCE);
+            if (((jj_9 + lid_6) < tile_n_5)) {
+                float4 stg_10 = vload4((jj_9 + lid_6), atoms);
+                tile_atoms_8[(lid_6 * 5)] = stg_10.s0;
+                tile_atoms_8[((lid_6 * 5) + 1)] = stg_10.s1;
+                tile_atoms_8[((lid_6 * 5) + 2)] = stg_10.s2;
+                tile_atoms_8[((lid_6 * 5) + 3)] = stg_10.s3;
+            }
+            barrier(CLK_LOCAL_MEM_FENCE);
+            int limit_11 = min(lsz_7, (tile_n_5 - jj_9));
+            for (int j2_12 = 0; j2_12 < limit_11; j2_12 += 1) {
+                int v_j_13 = (jj_9 + j2_12);
+                float v_dx_14 = (v_gx_2 - tile_atoms_8[(j2_12 * 5)]);
+                float v_dy_15 = (v_gy_3 - tile_atoms_8[((j2_12 * 5) + 1)]);
+                float v_dz_16 = tile_atoms_8[((j2_12 * 5) + 2)];
+                float v_r_17 = sqrt((((v_dx_14 * v_dx_14) + (v_dy_15 * v_dy_15)) + (v_dz_16 * v_dz_16)));
+                v_v_4 = (v_v_4 + (tile_atoms_8[((j2_12 * 5) + 3)] / v_r_17));
+            }
+        }
+        if (_active) {
+            _out[_i] = v_v_4;
+        }
+    }
+}

@@ -1,0 +1,45 @@
+__kernel void MRIQ_computeQ_kernel(__global const float* _in, __global float* _out, __global const float* kspace, int _len_kspace, int _n) {
+    __local float tile_kspace_7[640];
+    __private float p_q_15[2];
+    int _gid = get_global_id(0);
+    int _nthreads = get_global_size(0);
+    int _iters = (((_n + _nthreads) - 1) / _nthreads);
+    for (int _it = 0; _it < _iters; _it += 1) {
+        int _i = (_gid + (_it * _nthreads));
+        int _active = (_i < _n);
+        int _ix = (_active ? _i : 0);
+        float4 elemv_1 = vload4(_ix, _in);
+        float v_qr_2 = 0.0f;
+        float v_qi_3 = 0.0f;
+        int tile_n_4 = _len_kspace;
+        int lid_5 = get_local_id(0);
+        int lsz_6 = get_local_size(0);
+        for (int jj_8 = 0; jj_8 < tile_n_4; jj_8 += lsz_6) {
+            barrier(CLK_LOCAL_MEM_FENCE);
+            if (((jj_8 + lid_5) < tile_n_4)) {
+                float4 stg_9 = vload4((jj_8 + lid_5), kspace);
+                tile_kspace_7[(lid_5 * 5)] = stg_9.s0;
+                tile_kspace_7[((lid_5 * 5) + 1)] = stg_9.s1;
+                tile_kspace_7[((lid_5 * 5) + 2)] = stg_9.s2;
+                tile_kspace_7[((lid_5 * 5) + 3)] = stg_9.s3;
+            }
+            barrier(CLK_LOCAL_MEM_FENCE);
+            int limit_10 = min(lsz_6, (tile_n_4 - jj_8));
+            for (int j2_11 = 0; j2_11 < limit_10; j2_11 += 1) {
+                int v_j_12 = (jj_8 + j2_11);
+                float v_arg_13 = (6.2831853f * (((tile_kspace_7[(j2_11 * 5)] * elemv_1.s0) + (tile_kspace_7[((j2_11 * 5) + 1)] * elemv_1.s1)) + (tile_kspace_7[((j2_11 * 5) + 2)] * elemv_1.s2)));
+                float v_phi_14 = tile_kspace_7[((j2_11 * 5) + 3)];
+                v_qr_2 = (v_qr_2 + (v_phi_14 * cos(v_arg_13)));
+                v_qi_3 = (v_qi_3 + (v_phi_14 * sin(v_arg_13)));
+            }
+        }
+        p_q_15[0] = 0.0f;
+        p_q_15[1] = 0.0f;
+        p_q_15[0] = v_qr_2;
+        p_q_15[1] = v_qi_3;
+        if (_active) {
+            _out[(_i * 2)] = p_q_15[0];
+            _out[((_i * 2) + 1)] = p_q_15[1];
+        }
+    }
+}

@@ -1,0 +1,20 @@
+__kernel void RPES_integrals_kernel(__global const float* _in, __global float* _out, __global const float* table, int _len_table, int _n) {
+    int _gid = get_global_id(0);
+    int _nthreads = get_global_size(0);
+    for (int _i = _gid; _i < _n; _i += _nthreads) {
+        float4 elemv_1 = vload4(_i, _in);
+        float v_alpha_2 = ((elemv_1.s0 * elemv_1.s0) + 0.25f);
+        float v_beta_3 = (elemv_1.s1 + 1.5f);
+        float v_acc_4 = 0.0f;
+        int v_base_5 = ((int)(elemv_1.s3 * 0.25f));
+        for (int v_k_6 = 0; v_k_6 < 48; v_k_6 += 1) {
+            float v_t0_7 = vload4((v_base_5 + v_k_6), table).s0;
+            float v_t1_8 = vload4((v_base_5 + v_k_6), table).s1;
+            float v_t2_9 = vload4((v_base_5 + v_k_6), table).s2;
+            float v_weight_10 = exp((0.0f - (v_alpha_2 * ((v_t0_7 * v_t0_7) + 0.1f))));
+            float v_root_11 = sqrt(((v_beta_3 + (v_t1_8 * v_t1_8)) + ((float)v_k_6)));
+            v_acc_4 = (v_acc_4 + ((v_weight_10 * v_t2_9) / v_root_11));
+        }
+        _out[_i] = v_acc_4;
+    }
+}

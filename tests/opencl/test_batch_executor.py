@@ -1,0 +1,209 @@
+"""The vectorized batch tier: eligibility, fallback, and guards.
+
+The batch tier executes a whole NDRange as NumPy array operations, but
+only for kernels whose semantics survive the lowering: no barriers, no
+divergent branches, no data-dependent *inner* loops, no local-memory
+tiling. These tests pin down both sides of that contract:
+
+- ineligible kernels **decline** with a specific reason and fall back
+  to per-item execution even when ``tier="batch"`` is requested;
+- eligible kernels run batched, bit-identically to per-item;
+- a sanitizer guard always forces the instrumented per-item path —
+  bounds faults still fire when the caller asked for ``batch``;
+- tier resolution: explicit argument beats the ``REPRO_EXEC_TIER``
+  environment variable beats ``auto``; unknown names are structured
+  errors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import BoundsFault, DeviceError
+from repro.opencl.clc import compile_opencl_source
+from repro.opencl.executor import (
+    EXEC_TIER_ENV,
+    batch_eligibility,
+    compile_kernel,
+    resolve_exec_tier,
+)
+from repro.runtime.sanitizer import LaunchGuard, SanitizerConfig
+
+ELIGIBLE = """
+__kernel void saxpy(__global float* out, __global const float* x,
+                    float a, int n) {
+    int i = get_global_id(0);
+    out[i] = a * x[i] + 1.0f;
+}
+"""
+
+BARRIER_TILED = """
+__kernel void tiled(__global float* out, __global const float* in, int n) {
+    __local float tile[8];
+    int lid = get_local_id(0);
+    int gid = get_global_id(0);
+    tile[lid] = in[gid];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[gid] = tile[7 - lid];
+}
+"""
+
+DIVERGENT = """
+__kernel void branchy(__global float* out, __global const float* x, int n) {
+    int i = get_global_id(0);
+    if (x[i] > 0.5f) {
+        out[i] = x[i] * 2.0f;
+    } else {
+        out[i] = 0.0f;
+    }
+}
+"""
+
+NESTED_DATA_DEPENDENT = """
+__kernel void nested(__global int* out, __global const int* bounds, int n) {
+    int i = get_global_id(0);
+    int acc = 0;
+    for (int j = 0; j < n; j = j + 1) {
+        for (int k = 0; k < bounds[i]; k = k + 1) {
+            acc = acc + k;
+        }
+    }
+    out[i] = acc;
+}
+"""
+
+OOB_WRITE = """
+__kernel void oob(__global float* out, __global const float* x, int n) {
+    int i = get_global_id(0);
+    out[i + n] = x[i];
+}
+"""
+
+
+def _compile(source, name):
+    return compile_kernel(compile_opencl_source(source)[name])
+
+
+def _saxpy_buffers(n=8):
+    return (
+        {
+            "out": np.zeros(n, dtype=np.float32),
+            "x": np.linspace(0.0, 1.0, n).astype(np.float32),
+        },
+        {"a": 3.0, "n": n},
+    )
+
+
+# -- eligibility ---------------------------------------------------------
+
+
+def test_eligible_kernel_is_batch_supported():
+    ck = _compile(ELIGIBLE, "saxpy")
+    assert ck.batch_supported
+    assert ck._batch_callable() is not None
+
+
+@pytest.mark.parametrize(
+    "source,name,reason_contains",
+    [
+        (BARRIER_TILED, "tiled", "local-memory tiling"),
+        (DIVERGENT, "branchy", "divergent branch"),
+        # (the clc frontend lowers the inner data-dependent for into a
+        # while loop; either spelling is the same decline)
+        (NESTED_DATA_DEPENDENT, "nested", "data-dependent"),
+    ],
+)
+def test_ineligible_kernels_decline_with_reason(source, name, reason_contains):
+    ck = _compile(source, name)
+    assert not ck.batch_supported
+    assert reason_contains in ck.batch_reason
+    assert ck._batch_callable() is None
+    # The standalone predicate agrees with the compiled artifact.
+    supported, reason = batch_eligibility(ck.kernel)
+    assert not supported and reason_contains in reason
+
+
+# -- fallback semantics --------------------------------------------------
+
+
+def test_batch_request_on_ineligible_kernel_falls_back_per_item():
+    ck = _compile(BARRIER_TILED, "tiled")
+    n = 8
+    buffers = {
+        "out": np.zeros(n, dtype=np.float32),
+        "in": np.arange(n, dtype=np.float32),
+    }
+    trace = ck.launch(buffers, {"n": n}, n, 8, tier="batch")
+    assert trace.tier == "per-item"
+    assert np.array_equal(buffers["out"], np.arange(n, dtype=np.float32)[::-1])
+
+
+def test_batch_runs_batched_and_matches_per_item():
+    ck = _compile(ELIGIBLE, "saxpy")
+    bufs_a, scalars = _saxpy_buffers()
+    bufs_b = {k: v.copy() for k, v in bufs_a.items()}
+    t_item = ck.launch(bufs_a, scalars, 8, 4, tier="per-item")
+    t_batch = ck.launch(bufs_b, scalars, 8, 4, tier="batch")
+    assert t_item.tier == "per-item"
+    assert t_batch.tier == "batch"
+    assert np.array_equal(bufs_a["out"], bufs_b["out"])
+    assert t_item.op_cycles == t_batch.op_cycles
+
+
+# -- sanitizer guards force the instrumented path ------------------------
+
+
+def test_guard_overrides_batch_request():
+    ck = _compile(ELIGIBLE, "saxpy")
+    buffers, scalars = _saxpy_buffers()
+    guard = LaunchGuard(SanitizerConfig(), "saxpy")
+    trace = ck.launch(buffers, scalars, 8, 4, guard=guard, tier="batch")
+    assert trace.tier == "sanitized"
+
+
+def test_bounds_fault_fires_despite_batch_request():
+    ck = _compile(OOB_WRITE, "oob")
+    buffers, scalars = _saxpy_buffers()
+    guard = LaunchGuard(SanitizerConfig(), "oob")
+    with pytest.raises(BoundsFault):
+        ck.launch(buffers, scalars, 8, 4, guard=guard, tier="batch")
+    assert guard.trips.get("bounds")
+
+
+def test_unguarded_oob_is_a_device_error_on_both_tiers():
+    ck = _compile(OOB_WRITE, "oob")
+    for tier in ("per-item", "batch"):
+        buffers, scalars = _saxpy_buffers()
+        with pytest.raises(DeviceError):
+            ck.launch(buffers, scalars, 8, 4, tier=tier)
+
+
+# -- tier resolution -----------------------------------------------------
+
+
+def test_resolve_explicit_beats_env(monkeypatch):
+    monkeypatch.setenv(EXEC_TIER_ENV, "per-item")
+    assert resolve_exec_tier("batch") == "batch"
+
+
+def test_resolve_env_beats_auto(monkeypatch):
+    monkeypatch.setenv(EXEC_TIER_ENV, "per-item")
+    assert resolve_exec_tier(None) == "per-item"
+    monkeypatch.delenv(EXEC_TIER_ENV)
+    assert resolve_exec_tier(None) == "auto"
+
+
+def test_resolve_unknown_tier_raises(monkeypatch):
+    with pytest.raises(DeviceError):
+        resolve_exec_tier("warp-speed")
+    monkeypatch.setenv(EXEC_TIER_ENV, "bogus")
+    with pytest.raises(DeviceError):
+        resolve_exec_tier(None)
+
+
+def test_env_var_drives_launch_tier(monkeypatch):
+    ck = _compile(ELIGIBLE, "saxpy")
+    buffers, scalars = _saxpy_buffers()
+    monkeypatch.setenv(EXEC_TIER_ENV, "per-item")
+    assert ck.launch(buffers, scalars, 8, 4).tier == "per-item"
+    monkeypatch.setenv(EXEC_TIER_ENV, "batch")
+    assert ck.launch(buffers, scalars, 8, 4).tier == "batch"

@@ -1,0 +1,157 @@
+"""Fuzzing the OpenCL-C frontend: structured errors, never crashes.
+
+The ``repro.opencl.clc`` lexer/parser/translator consumes text from
+two sources it does not control — the hand-tuned baselines and the
+compiler's own emitted kernels — so malformed input must surface as
+the structured source errors (:class:`repro.errors.ReproError`
+subclasses: LexError, ParseError, CompileError), never as a raw
+IndexError/KeyError/AttributeError/RecursionError escaping the
+frontend.
+
+Three properties:
+
+- seeded random **mutations** of valid kernels (character deletion,
+  insertion, duplication, truncation, token swaps) either compile or
+  raise a structured error;
+- **garbage token streams** built from the lexer's own vocabulary do
+  the same;
+- **parse -> print -> parse is a fixpoint**: emitting a parsed kernel
+  as OpenCL C and re-parsing it reproduces the identical text, for
+  every golden snapshot in ``tests/golden/``.
+"""
+
+import pathlib
+import random
+import string
+
+import pytest
+
+from repro.backend.opencl_gen import emit_opencl
+from repro.errors import ReproError
+from repro.opencl.clc import compile_opencl_source
+from repro.opencl.clc.lexer import tokenize
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[1] / "golden"
+GOLDEN_SOURCES = sorted(GOLDEN_DIR.glob("*.cl"))
+
+SAMPLE = """
+__kernel void saxpy(__global float* y, __global const float* x,
+                    float a, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        y[i] = a * x[i] + y[i];
+    }
+}
+"""
+
+TILED = """
+__kernel void tile_sum(__global float* out, __global const float* in,
+                       int n) {
+    __local float tile[64];
+    int lid = get_local_id(0);
+    int gid = get_global_id(0);
+    tile[lid] = in[gid];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float acc = 0.0f;
+    for (int k = 0; k < 64; k = k + 1) {
+        acc = acc + tile[k];
+    }
+    out[gid] = acc;
+}
+"""
+
+BASES = [SAMPLE, TILED] + [p.read_text() for p in GOLDEN_SOURCES[:4]]
+
+_ALPHABET = (
+    string.ascii_letters + string.digits + "{}()[];,.*&|^%+-<>=!~ \n\t\"'#/"
+)
+
+
+def _mutate(source, rng):
+    kind = rng.randrange(5)
+    if not source:
+        return source
+    pos = rng.randrange(len(source))
+    if kind == 0:  # delete a span
+        return source[:pos] + source[pos + rng.randrange(1, 8) :]
+    if kind == 1:  # insert random characters
+        junk = "".join(
+            rng.choice(_ALPHABET) for _ in range(rng.randrange(1, 6))
+        )
+        return source[:pos] + junk + source[pos:]
+    if kind == 2:  # truncate
+        return source[:pos]
+    if kind == 3:  # duplicate a span
+        end = min(len(source), pos + rng.randrange(1, 30))
+        return source[:pos] + source[pos:end] + source[pos:]
+    # swap two spans
+    other = rng.randrange(len(source))
+    lo, hi = sorted((pos, other))
+    return source[:lo] + source[hi:] + source[lo:hi]
+
+
+def _frontend(source):
+    """Run the full frontend; success or a structured error both pass."""
+    try:
+        kernels = compile_opencl_source(source)
+    except ReproError:
+        return None
+    except RecursionError:
+        pytest.fail("frontend recursed without depth limit")
+    return kernels
+
+
+@pytest.mark.parametrize("base_index", range(len(BASES)))
+def test_mutated_sources_never_crash(base_index):
+    base = BASES[base_index]
+    rng = random.Random(1000 + base_index)
+    for round_no in range(150):
+        source = base
+        for _ in range(rng.randrange(1, 4)):
+            source = _mutate(source, rng)
+        _frontend(source)  # must not raise anything unstructured
+
+
+def test_garbage_token_streams_never_crash():
+    vocab = [
+        "__kernel", "__global", "__local", "void", "float", "int",
+        "if", "else", "for", "while", "return", "barrier", "x", "y",
+        "42", "3.5f", "(", ")", "{", "}", "[", "]", ";", ",", "+",
+        "-", "*", "/", "%", "=", "==", "<", ">", "&&", "||", "!",
+        "->", ".", "0x1F", "get_global_id",
+    ]
+    rng = random.Random(7)
+    for _ in range(200):
+        source = " ".join(
+            rng.choice(vocab) for _ in range(rng.randrange(1, 60))
+        )
+        _frontend(source)
+
+
+def test_random_character_soup_never_crashes_lexer():
+    rng = random.Random(11)
+    for _ in range(200):
+        source = "".join(
+            rng.choice(_ALPHABET) for _ in range(rng.randrange(0, 120))
+        )
+        try:
+            tokenize(source)
+        except ReproError:
+            pass
+
+
+@pytest.mark.parametrize(
+    "path", GOLDEN_SOURCES, ids=[p.name for p in GOLDEN_SOURCES]
+)
+def test_parse_print_parse_roundtrip_stable(path):
+    kernels = compile_opencl_source(path.read_text())
+    assert kernels, "golden snapshot {} parsed to no kernels".format(path.name)
+    for name, kernel in sorted(kernels.items()):
+        printed = emit_opencl(kernel, local_size_hint=128)
+        reparsed = compile_opencl_source(printed)
+        assert name in reparsed
+        reprinted = emit_opencl(reparsed[name], local_size_hint=128)
+        assert printed == reprinted, (
+            "parse -> print -> parse is not a fixpoint for kernel "
+            "{} of {}".format(name, path.name)
+        )
