@@ -177,26 +177,37 @@ class CompiledFilter:
 
     def __call__(self, value=None):
         stages = StageTimes()
-        try:
-            device_values = self._inbound(value, stages)
+        # One "item" span per stream-item invocation; the stage charges
+        # below nest under it, advancing the simulated clock by exactly
+        # the nanoseconds the profiler records — so trace and profile
+        # can never disagree. When tracing is off this is the
+        # NULL_TRACER and every call here is a no-op.
+        with self.profile.tracer.span(
+            "item", cat="task", task=self.name, seq=self.launches
+        ):
             try:
-                result = self._execute(device_values, stages)
-            except _ConstantOverflow:
-                if self._fallback_filter is None:
-                    self._fallback_filter = self.constant_fallback()
-                    self._fallback_filter.profile = self.profile
-                self._fallback_filter.injector = self.injector
-                self._fallback_filter.sanitizer = self.sanitizer
-                self._fallback_filter.exec_tier = self.exec_tier
-                return self._fallback_filter(value)
-            result = self._outbound(result, stages)
-        except RuntimeFault as err:
-            # A fault mid-path abandons this attempt; expose the stage
-            # time already spent so the resilience layer can account it
-            # as recovery overhead ("time lost").
-            err.partial_stages = stages
-            raise
+                device_values = self._inbound(value, stages)
+                try:
+                    result = self._execute(device_values, stages)
+                except _ConstantOverflow:
+                    if self._fallback_filter is None:
+                        self._fallback_filter = self.constant_fallback()
+                        self._fallback_filter.profile = self.profile
+                    self._fallback_filter.injector = self.injector
+                    self._fallback_filter.sanitizer = self.sanitizer
+                    self._fallback_filter.exec_tier = self.exec_tier
+                    return self._fallback_filter(value)
+                result = self._outbound(result, stages)
+            except RuntimeFault as err:
+                # A fault mid-path abandons this attempt; expose the
+                # stage time already spent so the resilience layer can
+                # account it as recovery overhead ("time lost").
+                err.partial_stages = stages
+                raise
         if self.overlap and self.launches > 0:
+            # Note: the trace keeps the unhidden stage charges — span
+            # durations are recorded as time is spent, before this
+            # rescaling (see docs/OBSERVABILITY.md, "Limitations").
             self._hide_communication(stages)
         self._prev_kernel_ns = stages.kernel
         self.profile.record(self.name, stages)
@@ -243,6 +254,7 @@ class CompiledFilter:
         """Walk every worker argument through the wire format; returns a
         dict param-name -> device-side value."""
         device_values = {}
+        tracer = self.profile.tracer
         items = list(self.bound_values.items())
         if self.stream_param is not None:
             items.append((self.stream_param.name, value))
@@ -251,7 +263,9 @@ class CompiledFilter:
             data, stats = marshal.serialize(
                 host_value, lime_type, self.marshaller
             )
-            stages.java_marshal += self.comm.java_marshal_ns(stats)
+            jns = self.comm.java_marshal_ns(stats)
+            stages.java_marshal += jns
+            tracer.charge("java_marshal", jns, cat="stage", param=param_name)
             # The marshal cost above is charged before the wire check:
             # a corrupted transfer still paid for serialization, and the
             # resilience layer bills that time as recovery overhead.
@@ -260,9 +274,23 @@ class CompiledFilter:
                 data, lime_type, self.marshaller
             )
             if not self.direct_marshal:
-                stages.c_marshal += self.comm.c_marshal_ns(c_stats)
+                cns = self.comm.c_marshal_ns(c_stats)
+                stages.c_marshal += cns
+                tracer.charge("c_marshal", cns, cat="stage", param=param_name)
             self.profile.bytes_to_device += stats.payload_bytes
-            stages.transfer += self.comm.transfer_ns(stats.payload_bytes)
+            self.profile.metrics.inc(
+                "transfer.bytes_to_device", stats.payload_bytes
+            )
+            tns = self.comm.transfer_ns(stats.payload_bytes)
+            stages.transfer += tns
+            tracer.charge(
+                "transfer",
+                tns,
+                cat="stage",
+                param=param_name,
+                bytes=stats.payload_bytes,
+                direction="h2d",
+            )
             device_values[param_name] = device_value
         return device_values
 
@@ -350,6 +378,7 @@ class CompiledFilter:
             self.injector.maybe_oom(
                 self.name, sum(buf.nbytes for buf in buffers.values())
             )
+        tracer = self.profile.tracer
         trace = self.compiled_kernel.launch(
             buffers,
             scalars,
@@ -358,13 +387,27 @@ class CompiledFilter:
             injector=self.injector,
             guard=self._make_guard(kernel.name),
             tier=self.exec_tier,
+            tracer=tracer,
         )
         timing = time_launch(trace, self.device)
         self.last_timing = timing
         stages.kernel += timing.kernel_ns
-        stages.opencl_setup += self.comm.setup_ns(buffers=n_buffers, launches=1)
+        tracer.charge(
+            "kernel",
+            timing.kernel_ns,
+            cat="stage",
+            kernel=kernel.name,
+            tier=trace.tier,
+            global_size=global_size,
+        )
+        setup_ns = self.comm.setup_ns(buffers=n_buffers, launches=1)
+        stages.opencl_setup += setup_ns
+        tracer.charge("opencl_setup", setup_ns, cat="stage", buffers=n_buffers)
         self.profile.kernel_launches += 1
         self.profile.record_tier(trace.tier)
+        self.profile.metrics.histogram("kernel.launch_ns").observe(
+            timing.kernel_ns
+        )
         if self.injector is not None:
             # Silent output corruption: no fault is raised and no CRC
             # fails — only sampled differential validation catches it.
@@ -394,6 +437,7 @@ class CompiledFilter:
             self.injector.maybe_oom(
                 self.name, flat_input.nbytes + partials.nbytes
             )
+        tracer = self.profile.tracer
         trace = self.reduce_kernel.launch(
             {"_in": flat_input, "_out": partials},
             {"_n": n},
@@ -402,12 +446,26 @@ class CompiledFilter:
             injector=self.injector,
             guard=self._make_guard(self.reduce_kernel.kernel.name),
             tier=self.exec_tier,
+            tracer=tracer,
         )
         timing = time_launch(trace, self.device)
         stages.kernel += timing.kernel_ns
-        stages.opencl_setup += self.comm.setup_ns(buffers=2, launches=1)
+        tracer.charge(
+            "kernel",
+            timing.kernel_ns,
+            cat="stage",
+            kernel=self.reduce_kernel.kernel.name,
+            tier=trace.tier,
+            global_size=groups * local,
+        )
+        setup_ns = self.comm.setup_ns(buffers=2, launches=1)
+        stages.opencl_setup += setup_ns
+        tracer.charge("opencl_setup", setup_ns, cat="stage", buffers=2)
         self.profile.kernel_launches += 1
         self.profile.record_tier(trace.tier)
+        self.profile.metrics.histogram("kernel.launch_ns").observe(
+            timing.kernel_ns
+        )
         op = self.reduce_op
         if op == "+":
             result = partials.sum()
@@ -432,12 +490,28 @@ class CompiledFilter:
             return result
         if self.plan is not None and self.plan.output_row > 1:
             result = result.reshape(-1, self.plan.output_row)
+        tracer = self.profile.tracer
         data, c_stats = marshal.serialize(result, return_type, self.marshaller)
         data = self._transmit(data, "d2h")
         if not self.direct_marshal:
-            stages.c_marshal += self.comm.c_marshal_ns(c_stats)
+            cns = self.comm.c_marshal_ns(c_stats)
+            stages.c_marshal += cns
+            tracer.charge("c_marshal", cns, cat="stage", direction="d2h")
         value, j_stats = marshal.deserialize(data, return_type, self.marshaller)
-        stages.java_marshal += self.comm.java_marshal_ns(j_stats)
+        jns = self.comm.java_marshal_ns(j_stats)
+        stages.java_marshal += jns
+        tracer.charge("java_marshal", jns, cat="stage", direction="d2h")
         self.profile.bytes_from_device += c_stats.payload_bytes
-        stages.transfer += self.comm.transfer_ns(c_stats.payload_bytes)
+        self.profile.metrics.inc(
+            "transfer.bytes_from_device", c_stats.payload_bytes
+        )
+        tns = self.comm.transfer_ns(c_stats.payload_bytes)
+        stages.transfer += tns
+        tracer.charge(
+            "transfer",
+            tns,
+            cat="stage",
+            bytes=c_stats.payload_bytes,
+            direction="d2h",
+        )
         return value

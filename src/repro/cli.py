@@ -20,6 +20,9 @@ Commands:
 - ``bench`` — time the executor tiers (host interpreter vs per-item vs
   batch) per app with the capture-and-replay micro-harness and write
   ``BENCH_executor.json``.
+- ``trace FILE [FILE2]`` — pretty-print a trace written by
+  ``run --trace-out`` / ``bench --trace-out`` as a terminal flame
+  summary, or diff two trace files span-name by span-name.
 """
 
 from __future__ import annotations
@@ -164,6 +167,11 @@ def cmd_run(args):
         silent_rate=args.silent_faults,
         sanitize=args.sanitize or args.deadline_ns is not None,
     )
+    tracer = None
+    if args.trace_out is not None:
+        from repro.runtime.tracing import Tracer
+
+        tracer = Tracer()
     result = run_configuration(
         BENCHMARKS[args.benchmark],
         args.target,
@@ -173,6 +181,7 @@ def cmd_run(args):
         max_sim_items=args.max_sim_items,
         sanitizer=sanitizer,
         exec_tier=args.exec_tier,
+        tracer=tracer,
     )
     print("benchmark: {}  target: {}".format(result.benchmark, result.target))
     if sanitizer is not None:
@@ -196,6 +205,20 @@ def cmd_run(args):
     if executor:
         print(executor)
     print(failure_report(result.faults))
+    if tracer is not None:
+        if str(args.trace_out).endswith(".jsonl"):
+            tracer.write_jsonl(args.trace_out, metrics=result.metrics)
+        else:
+            tracer.write_chrome(args.trace_out, metrics=result.metrics)
+        n_spans = sum(1 for e in tracer.events if e.kind == "span")
+        print(
+            "trace:     wrote {} ({} spans, {:.1f}% of total simulated "
+            "time covered)".format(
+                args.trace_out,
+                n_spans,
+                tracer.coverage(result.total_ns) * 100.0,
+            )
+        )
     return 0
 
 
@@ -220,10 +243,39 @@ def cmd_bench(args):
         repeats=args.repeats,
         target=args.target,
         out_path=args.out,
+        trace_out=args.trace_out,
     )
     print(format_bench(results))
     if args.out:
         print("wrote {}".format(args.out))
+    if args.trace_out:
+        print("wrote {}".format(args.trace_out))
+    return 0
+
+
+def cmd_trace(args):
+    from repro.runtime.tracing import diff_traces, flame_summary, read_trace
+
+    events = read_trace(args.file)
+    if not events:
+        print("no trace events in {}".format(args.file), file=sys.stderr)
+        return 1
+    if args.file2 is not None:
+        other = read_trace(args.file2)
+        if not other:
+            print("no trace events in {}".format(args.file2), file=sys.stderr)
+            return 1
+        print(
+            diff_traces(
+                events,
+                other,
+                label_a=args.file,
+                label_b=args.file2,
+                top=args.top,
+            )
+        )
+        return 0
+    print(flame_summary(events, top=args.top))
     return 0
 
 
@@ -394,6 +446,13 @@ def build_parser():
         help="execution tier for kernel launches (default: "
         "REPRO_EXEC_TIER, then auto — batch where eligible)",
     )
+    run_cmd.add_argument(
+        "--trace-out",
+        default=None,
+        help="write a structured trace of the run: Chrome "
+        "chrome://tracing JSON, or a flat JSONL event log when the "
+        "path ends in .jsonl (render with 'repro trace FILE')",
+    )
 
     bench_cmd = sub.add_parser(
         "bench",
@@ -420,6 +479,33 @@ def build_parser():
         default=None,
         help="write the results JSON here (e.g. BENCH_executor.json)",
     )
+    bench_cmd.add_argument(
+        "--trace-out",
+        default=None,
+        help="write a structured trace of the capture runs (Chrome "
+        "JSON, or JSONL when the path ends in .jsonl)",
+    )
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="pretty-print a trace file as a flame summary, or diff "
+        "two trace files",
+    )
+    trace_cmd.add_argument(
+        "file", help="a trace written by run/bench --trace-out"
+    )
+    trace_cmd.add_argument(
+        "file2",
+        nargs="?",
+        default=None,
+        help="optional second trace: print a span-by-span diff instead",
+    )
+    trace_cmd.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        help="show only the top N spans by self time",
+    )
 
     return parser
 
@@ -432,6 +518,7 @@ _COMMANDS = {
     "figures": cmd_figures,
     "run": cmd_run,
     "bench": cmd_bench,
+    "trace": cmd_trace,
 }
 
 

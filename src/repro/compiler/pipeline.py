@@ -105,7 +105,53 @@ def compile_filter(
     comm = comm or CommCostModel()
     profile = profile if profile is not None else ExecutionProfile()
 
-    shape = kernel_id.recognize_filter(checked, worker)
+    # Compile-stage spans carry no simulated time (the paper's timing
+    # model starts at the glue); their wall_ns shows where the
+    # compiler itself spends time. A rejection closes the "compile"
+    # span with an error arg.
+    tracer = profile.tracer
+    with tracer.span(
+        "compile", cat="compile",
+        worker=worker.qualified_name, device=device.name,
+    ):
+        return _compile_filter_traced(
+            checked,
+            worker,
+            device,
+            config,
+            comm,
+            profile,
+            marshaller,
+            local_size,
+            bound_values,
+            direct_marshal,
+            overlap,
+            max_sim_items,
+            sanitizer,
+            exec_tier,
+            tracer,
+        )
+
+
+def _compile_filter_traced(
+    checked,
+    worker,
+    device,
+    config,
+    comm,
+    profile,
+    marshaller,
+    local_size,
+    bound_values,
+    direct_marshal,
+    overlap,
+    max_sim_items,
+    sanitizer,
+    exec_tier,
+    tracer,
+):
+    with tracer.span("recognize", cat="compile"):
+        shape = kernel_id.recognize_filter(checked, worker)
     name = worker.qualified_name
 
     def compile_kernel(kernel):
@@ -127,23 +173,23 @@ def compile_filter(
     elif shape.reduce is not None and shape.reduce.inner_map is not None:
         map_shape = shape.reduce.inner_map
         reduce_op = shape.reduce.op
-        reduce_kernel = compile_kernel(
-            build_reduce_kernel(
+        with tracer.span("lower", cat="compile", kernel="reduce"):
+            reduce_ir = build_reduce_kernel(
                 ktype_of(shape.reduce.elem_type),
                 reduce_op,
                 name.replace(".", "_") + "_reduce",
             )
-        )
+        reduce_kernel = compile_kernel(reduce_ir)
     else:
         # Pure reduction over the worker's input array.
         reduce_op = shape.reduce.op
-        reduce_kernel = compile_kernel(
-            build_reduce_kernel(
+        with tracer.span("lower", cat="compile", kernel="reduce"):
+            reduce_ir = build_reduce_kernel(
                 ktype_of(shape.reduce.elem_type),
                 reduce_op,
                 name.replace(".", "_") + "_reduce",
             )
-        )
+        reduce_kernel = compile_kernel(reduce_ir)
         return CompiledFilter(
             name=name,
             worker=worker,
@@ -176,21 +222,24 @@ def compile_filter(
         base_source = inner_shape.source
     fused.reverse()
 
-    patterns = analyze_worker(mapped)
-    memplan = plan_memory(patterns, config, device)
-    plan = build_map_kernel(
-        checked=checked,
-        mapped_method=mapped,
-        source_type=inner_shape.elem_type,
-        source_is_iota=base_source.kind == "iota",
-        bound_specs=_bound_specs(map_shape),
-        config=config,
-        device=device,
-        kernel_name=name.replace(".", "_") + "_kernel",
-        patterns=patterns,
-        memplan=memplan,
-        fused_inner=fused or None,
-    )
+    with tracer.span("analyze", cat="compile"):
+        patterns = analyze_worker(mapped)
+    with tracer.span("memplan", cat="compile"):
+        memplan = plan_memory(patterns, config, device)
+    with tracer.span("lower", cat="compile", kernel="map"):
+        plan = build_map_kernel(
+            checked=checked,
+            mapped_method=mapped,
+            source_type=inner_shape.elem_type,
+            source_is_iota=base_source.kind == "iota",
+            bound_specs=_bound_specs(map_shape),
+            config=config,
+            device=device,
+            kernel_name=name.replace(".", "_") + "_kernel",
+            patterns=patterns,
+            memplan=memplan,
+            fused_inner=fused or None,
+        )
     if fused:
         plan.kernel.meta["fused"] = [m.qualified_name for m, _ in fused]
     if base_source.kind == "iota":

@@ -75,6 +75,7 @@ class RunResult:
     rejections: list = field(default_factory=list)
     faults: dict = field(default_factory=dict)  # FailureLedger.summary()
     executor: dict = field(default_factory=dict)  # executor_summary()
+    metrics: dict = field(default_factory=dict)  # MetricsRegistry.as_dict()
 
     @property
     def communication_ns(self):
@@ -95,6 +96,7 @@ def run_configuration(
     max_sim_items=None,
     sanitizer=None,
     exec_tier=None,
+    tracer=None,
 ):
     """Run one benchmark end to end against one target.
 
@@ -115,6 +117,11 @@ def run_configuration(
         exec_tier: execution-tier request for kernel launches
             (``"auto"``/``"batch"``/``"per-item"``); ``None`` defers to
             the ``REPRO_EXEC_TIER`` environment variable, then ``auto``.
+        tracer: optional :class:`repro.runtime.tracing.Tracer`; the run
+            emits spans for every offload stage, and a final synthetic
+            ``host_compute`` span (interpreter time is only known at
+            the end of the run) so the trace covers the full reported
+            simulated total.
 
     Returns a :class:`RunResult` with simulated nanoseconds.
     """
@@ -129,12 +136,20 @@ def run_configuration(
         sanitizer=sanitizer,
         exec_tier=exec_tier,
     )
-    engine = Engine(checked, offloader=offloader, resilience=resilience)
+    engine = Engine(
+        checked, offloader=offloader, resilience=resilience, tracer=tracer
+    )
     checksum = engine.run_static(
         bench.main_class, bench.run_method, list(inputs) + [steps]
     )
     stages = engine.profile.stages.as_dict()
     stages["host_compute"] = engine.host_compute_ns()
+    engine.profile.tracer.charge(
+        "host_compute",
+        engine.host_compute_ns(),
+        cat="host",
+        benchmark=bench.name,
+    )
     ledger = engine.profile.faults
     return RunResult(
         benchmark=bench.name,
@@ -147,4 +162,5 @@ def run_configuration(
         rejections=list(offloader.rejections) if offloader else [],
         faults=ledger.summary() if ledger.any_activity() else {},
         executor=engine.profile.executor_summary(),
+        metrics=engine.profile.metrics.as_dict(),
     )

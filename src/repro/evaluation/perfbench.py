@@ -67,6 +67,7 @@ def capture_launches():
         injector=None,
         guard=None,
         tier=None,
+        tracer=None,
     ):
         rec = captured.setdefault(
             self.kernel.name, {"kernel": self, "launches": []}
@@ -88,6 +89,7 @@ def capture_launches():
             injector=injector,
             guard=guard,
             tier=tier,
+            tracer=tracer,
         )
 
     ex.CompiledKernel.launch = recording
@@ -122,8 +124,15 @@ def bench_app(
     repeats=3,
     config=None,
     target="gtx580",
+    tracer=None,
 ):
-    """Benchmark one app; returns a plain-dict result."""
+    """Benchmark one app; returns a plain-dict result.
+
+    ``tracer`` traces the capture run (the end-to-end pass that records
+    the launch payloads) — one shared tracer across apps gives
+    ``bench --trace-out`` a per-app view of where the simulator spends
+    its time.
+    """
     bench = BENCHMARKS[name]
     config = config or nolocal_config()
     with capture_launches() as captured:
@@ -134,6 +143,7 @@ def bench_app(
             steps=1,
             config=config,
             max_sim_items=max_sim_items,
+            tracer=tracer,
         )
     start = time.perf_counter()
     run_configuration(bench, "bytecode", scale=scale, steps=1)
@@ -185,9 +195,17 @@ def run_bench(
     config=None,
     target="gtx580",
     out_path=None,
+    trace_out=None,
 ):
     """Benchmark ``apps`` (default: all nine) and optionally write the
-    ``BENCH_executor.json`` payload to ``out_path``."""
+    ``BENCH_executor.json`` payload to ``out_path``.
+
+    ``trace_out`` writes one trace file covering every app's capture
+    run (Chrome JSON, or JSONL when the path ends in ``.jsonl``).
+    """
+    from repro.runtime.tracing import Tracer
+
+    tracer = Tracer() if trace_out is not None else None
     apps = list(apps) if apps else sorted(BENCHMARKS)
     results = {
         "target": target,
@@ -204,6 +222,7 @@ def run_bench(
             repeats=repeats,
             config=config,
             target=target,
+            tracer=tracer,
         )
     results["apps_with_5x_batch_speedup"] = sorted(
         name
@@ -213,6 +232,11 @@ def run_bench(
     if out_path is not None:
         with open(out_path, "w") as fh:
             json.dump(results, fh, indent=2, sort_keys=True)
+    if tracer is not None:
+        if str(trace_out).endswith(".jsonl"):
+            tracer.write_jsonl(trace_out)
+        else:
+            tracer.write_chrome(trace_out)
     return results
 
 

@@ -130,57 +130,16 @@ FIGURE9_STAGES = [
 
 def failure_report(summary):
     """Render a :class:`repro.runtime.profiler.FailureLedger` summary
-    dict (``RunResult.faults``) for the CLI."""
-    if not summary:
-        return "failure ledger: no device faults recorded"
-    lines = [
-        "failure ledger: {} fault(s), {} retry(ies), {} host "
-        "fallback(s), {} demotion(s), {:.0f} ns lost".format(
-            summary["faults"],
-            summary["retries"],
-            summary["fallbacks"],
-            len(summary["demotions"]),
-            summary["time_lost_ns"],
-        )
-    ]
-    trips = summary.get("trips") or {}
-    validations = summary.get("validations", 0)
-    promotions = summary.get("promotions", 0)
-    if trips or validations or promotions:
-        parts = [
-            "{}={}".format(kind, count) for kind, count in sorted(trips.items())
-        ]
-        parts.append("validations={}".format(validations))
-        parts.append("mismatches={}".format(summary.get("mismatches", 0)))
-        if promotions:
-            parts.append("promotions={}".format(promotions))
-        lines.append("  guards: " + " ".join(parts))
-    for name, rec in summary["per_task"].items():
-        stages = ", ".join(
-            "{}={}".format(stage, count)
-            for stage, count in sorted(rec["by_stage"].items())
-        )
-        extra = ""
-        if rec.get("validations"):
-            extra += " validations={} mismatches={}".format(
-                rec["validations"], rec.get("mismatches", 0)
-            )
-        if rec.get("promotions"):
-            extra += " promotions={}".format(rec["promotions"])
-        lines.append(
-            "  {}: faults={} ({}) retries={} fallbacks={}{}{} "
-            "time_lost={:.0f}ns".format(
-                name,
-                rec["faults"],
-                stages or "-",
-                rec["retries"],
-                rec["fallbacks"],
-                extra,
-                " DEMOTED-TO-HOST" if rec["demoted"] else "",
-                rec["time_lost_ns"],
-            )
-        )
-    return "\n".join(lines)
+    dict (``RunResult.faults``) for the CLI.
+
+    Delegates to the canonical renderer in
+    :mod:`repro.runtime.profiler` — the ledger's own ``report()``, this
+    function, and the ``run`` command now all emit the identical
+    format, keyed by the canonical ``recovery.*`` metric names.
+    """
+    from repro.runtime.profiler import render_failure_summary
+
+    return render_failure_summary(summary)
 
 
 def figure9_chart(table, target):
@@ -197,22 +156,12 @@ def figure9_chart(table, target):
 
 def executor_report(summary):
     """Render an :meth:`ExecutionProfile.executor_summary` dict as one
-    or two text lines: launches per execution tier, then kernel-cache
-    traffic. Returns '' when the run recorded nothing."""
-    if not summary:
-        return ""
-    lines = []
-    tiers = summary.get("tiers") or {}
-    if tiers:
-        parts = [
-            "{}={}".format(tier, count)
-            for tier, count in sorted(tiers.items())
-        ]
-        lines.append("executor tiers: " + " ".join(parts))
-    hits = summary.get("cache_hits", 0)
-    misses = summary.get("cache_misses", 0)
-    if hits or misses:
-        lines.append(
-            "kernel cache: {} hit(s), {} miss(es)".format(hits, misses)
-        )
-    return "\n".join(lines)
+    text line keyed by the canonical ``executor.launches.*`` /
+    ``cache.*`` metric names. Returns '' when the run recorded nothing.
+
+    Delegates to the canonical renderer in
+    :mod:`repro.runtime.profiler`.
+    """
+    from repro.runtime.profiler import render_executor_summary
+
+    return render_executor_summary(summary)

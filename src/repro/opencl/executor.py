@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.backend import kernel_ir as K
 from repro.errors import DeviceError
+from repro.runtime.tracing import NULL_TRACER
 
 # Execution-tier knob: "auto" runs eligible kernels on the vectorized
 # batch tier and everything else per-item; "batch" is the same
@@ -1882,6 +1883,7 @@ class CompiledKernel:
         injector=None,
         guard=None,
         tier=None,
+        tracer=None,
     ):
         """Execute the NDRange.
 
@@ -1909,9 +1911,17 @@ class CompiledKernel:
                 None consults ``REPRO_EXEC_TIER`` and defaults to auto.
                 Ineligible kernels fall back per-item either way; the
                 tier that actually ran is recorded in ``trace.tier``.
+            tracer: optional :class:`repro.runtime.tracing.Tracer`; the
+                launch runs inside a "device" span (zero simulated
+                duration — the timing model charges the kernel stage
+                afterwards — but real wall-clock cost), and the
+                post-launch race scan gets its own "sanitizer_scan"
+                span.
 
         Returns a :class:`LaunchTrace`.
         """
+        if tracer is None:
+            tracer = NULL_TRACER
         kernel = self.kernel
         if injector is not None:
             injector.maybe_fail_launch(kernel.name)
@@ -1955,16 +1965,24 @@ class CompiledKernel:
         if guard is None and resolved_tier in ("auto", "batch"):
             batch_fn = self._batch_callable()
             if batch_fn is not None:
-                return self._launch_batch(
-                    batch_fn,
-                    trace,
-                    seg_counts,
-                    site_traces,
-                    buffer_args,
-                    scalar_args,
-                    global_size,
-                    local_size,
-                )
+                with tracer.span(
+                    "device",
+                    cat="executor",
+                    kernel=kernel.name,
+                    tier="batch",
+                    global_size=global_size,
+                    local_size=local_size,
+                ):
+                    return self._launch_batch(
+                        batch_fn,
+                        trace,
+                        seg_counts,
+                        site_traces,
+                        buffer_args,
+                        scalar_args,
+                        global_size,
+                        local_size,
+                    )
 
         local_specs = [a for a in kernel.arrays if a.space is K.Space.LOCAL]
         n_groups = global_size // local_size
@@ -1997,57 +2015,71 @@ class CompiledKernel:
                 guard, sorted_sites, buffers, local_size
             )
 
-        for group in range(n_groups):
-            local_mem = [
-                np.zeros(self._local_size_elems(spec, local_size), _np_dtype_of(spec))
-                for spec in local_specs
-            ]
-            items = []
-            for lid in range(local_size):
-                gid = group * local_size + lid
-                gen = item_fn(
-                    gid,
-                    lid,
-                    group,
-                    local_size,
-                    global_size,
-                    n_groups,
-                    seg_counts,
-                    *buffer_args,
-                    *scalar_args,
-                    *local_mem,
-                    *appenders,
-                    *guard_args,
-                )
-                items.append(gen)
-            # Lockstep phases between barriers.
-            live = items
-            while live:
-                next_live = []
-                stopped = 0
-                for gen in live:
-                    try:
-                        next(gen)
-                        next_live.append(gen)
-                    except StopIteration:
-                        stopped += 1
-                    except IndexError as err:
-                        raise DeviceError(
-                            "kernel '{}': out-of-bounds buffer access "
-                            "({})".format(kernel.name, err)
-                        ) from err
-                if guard is not None:
-                    guard.phase_check(group, len(next_live), stopped)
-                if next_live:
-                    trace.barriers += 1
-                live = next_live
+        with tracer.span(
+            "device",
+            cat="executor",
+            kernel=kernel.name,
+            tier=trace.tier,
+            global_size=global_size,
+            local_size=local_size,
+        ):
+            for group in range(n_groups):
+                local_mem = [
+                    np.zeros(
+                        self._local_size_elems(spec, local_size),
+                        _np_dtype_of(spec),
+                    )
+                    for spec in local_specs
+                ]
+                items = []
+                for lid in range(local_size):
+                    gid = group * local_size + lid
+                    gen = item_fn(
+                        gid,
+                        lid,
+                        group,
+                        local_size,
+                        global_size,
+                        n_groups,
+                        seg_counts,
+                        *buffer_args,
+                        *scalar_args,
+                        *local_mem,
+                        *appenders,
+                        *guard_args,
+                    )
+                    items.append(gen)
+                # Lockstep phases between barriers.
+                live = items
+                while live:
+                    next_live = []
+                    stopped = 0
+                    for gen in live:
+                        try:
+                            next(gen)
+                            next_live.append(gen)
+                        except StopIteration:
+                            stopped += 1
+                        except IndexError as err:
+                            raise DeviceError(
+                                "kernel '{}': out-of-bounds buffer access "
+                                "({})".format(kernel.name, err)
+                            ) from err
+                    if guard is not None:
+                        guard.phase_check(group, len(next_live), stopped)
+                    if next_live:
+                        trace.barriers += 1
+                    live = next_live
 
         for seg_id, count in enumerate(seg_counts):
             for kind, ops in self.segments[seg_id].items():
                 trace.op_cycles[kind] += ops * count
         trace.sites = site_traces
         if guard is not None:
-            guard.scan_races(site_traces)
+            with tracer.span(
+                "sanitizer_scan", cat="executor", kernel=kernel.name
+            ):
+                guard.scan_races(site_traces)
         return trace
 
     def _launch_batch(

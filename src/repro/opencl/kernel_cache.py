@@ -36,6 +36,7 @@ from collections import OrderedDict
 
 from repro.backend import kernel_ir as K
 from repro.opencl.executor import CompiledKernel
+from repro.runtime.tracing import NULL_TRACER
 
 DEFAULT_CAPACITY = 128
 
@@ -160,10 +161,18 @@ def cached_compile_kernel(
     """Compile ``kernel`` through the global cache.
 
     ``profile`` (an :class:`repro.runtime.profiler.ExecutionProfile`)
-    gets its per-run hit/miss counters bumped when provided.
+    gets its per-run hit/miss counters bumped when provided, and its
+    tracer records a "cache_lookup" span (wall time covers codegen on a
+    miss) plus a hit/miss instant.
     """
-    compiled, hit = _GLOBAL_CACHE.get_or_compile(
-        kernel, options=options, sanitizer=sanitizer, device=device
+    tracer = profile.tracer if profile is not None else NULL_TRACER
+    with tracer.span("cache_lookup", cat="compile", kernel=kernel.name) as sp:
+        compiled, hit = _GLOBAL_CACHE.get_or_compile(
+            kernel, options=options, sanitizer=sanitizer, device=device
+        )
+        sp.set(hit=hit)
+    tracer.instant(
+        "cache_hit" if hit else "cache_miss", cat="compile", kernel=kernel.name
     )
     if profile is not None:
         profile.record_cache(hit)

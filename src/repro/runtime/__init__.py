@@ -1,7 +1,8 @@
 """The Lime runtime: values, the host interpreter (the paper's "bytecode"
 execution path), task graphs, the marshalling subsystem, the resilience
-layer (fault injection, retry/backoff, host demotion), and the engine
-that coordinates host and (simulated) device execution."""
+layer (fault injection, retry/backoff, host demotion), the tracing and
+metrics subsystem, and the engine that coordinates host and (simulated)
+device execution."""
 
 from repro.runtime.taskgraph import Task, TaskGraph
 from repro.runtime.engine import Engine
@@ -10,6 +11,11 @@ from repro.runtime.resilience import (
     FaultSpec,
     ResiliencePolicy,
     RetryPolicy,
+)
+from repro.runtime.tracing import (
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
 )
 
 __all__ = [
@@ -20,4 +26,7 @@ __all__ = [
     "FaultSpec",
     "ResiliencePolicy",
     "RetryPolicy",
+    "Tracer",
+    "MetricsRegistry",
+    "NULL_TRACER",
 ]

@@ -50,6 +50,12 @@ class Engine:
             :mod:`repro.runtime.sanitizer`) flow through the same
             retry/breaker path. ``None`` (the default) leaves the
             offload path byte-for-byte as before.
+        tracer: optional :class:`repro.runtime.tracing.Tracer`; when
+            provided, every instrumented layer below (compile pipeline,
+            glue, executor, resilience, kernel cache) emits spans on
+            the run's simulated timeline through ``profile.tracer``.
+            ``None`` installs the zero-overhead
+            :data:`~repro.runtime.tracing.NULL_TRACER`.
     """
 
     def __init__(
@@ -59,13 +65,14 @@ class Engine:
         java_cost_model=None,
         printer=None,
         resilience=None,
+        tracer=None,
     ):
         self.checked = checked
         self.offloader = offloader
         self.resilience = resilience
         self.java_cost_model = java_cost_model or JavaCostModel()
         self.cost = CostCounter()
-        self.profile = ExecutionProfile()
+        self.profile = ExecutionProfile(tracer=tracer)
         self.interp = Interpreter(
             checked,
             cost=self.cost,
@@ -137,6 +144,13 @@ class Engine:
                         name, device_worker, host_factory, self.profile
                     )
                 self.offloaded_tasks.append(name)
+                self.profile.tracer.instant(
+                    "task_created",
+                    cat="taskgraph",
+                    task=name,
+                    offloaded=True,
+                    resilient=self.resilience is not None,
+                )
                 return Task(
                     worker=worker,
                     name=name,
@@ -146,6 +160,9 @@ class Engine:
                 )
 
         self.host_tasks.append(name)
+        self.profile.tracer.instant(
+            "task_created", cat="taskgraph", task=name, offloaded=False
+        )
         worker = self._host_worker(
             interp, expr, env, method, is_source, bound_values
         )

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.runtime.cost import StageTimes
+from repro.runtime.tracing import NULL_TRACER, MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -127,10 +128,14 @@ class TaskFaultRecord:
 class FailureLedger:
     """The run's fault accounting: per-task :class:`TaskFaultRecord`
     entries plus aggregate views, surfaced by the CLI and the
-    evaluation report."""
+    evaluation report. Every ``record_*`` call also bumps the matching
+    canonical counter (``recovery.*`` / ``guards.*``) on the shared
+    :class:`~repro.runtime.tracing.MetricsRegistry`, so ledger totals
+    and metric values can never drift apart."""
 
-    def __init__(self):
+    def __init__(self, metrics=None):
         self.tasks = {}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     def _record(self, task_name):
         if task_name not in self.tasks:
@@ -141,35 +146,47 @@ class FailureLedger:
         rec = self._record(task_name)
         rec.faults += 1
         rec.by_stage[stage] = rec.by_stage.get(stage, 0) + 1
+        self.metrics.inc("recovery.faults")
+        self.metrics.inc("recovery.faults.{}".format(stage))
 
     def record_retry(self, task_name):
         self._record(task_name).retries += 1
+        self.metrics.inc("recovery.retries")
 
     def record_fallback(self, task_name):
         self._record(task_name).fallbacks += 1
+        self.metrics.inc("recovery.fallbacks")
 
     def record_demotion(self, task_name):
-        self._record(task_name).demoted = True
+        rec = self._record(task_name)
+        if not rec.demoted:
+            self.metrics.inc("recovery.demotions")
+        rec.demoted = True
 
     def record_trip(self, task_name, kind, count=1):
         """Count ``count`` sanitizer violations of ``kind`` (a
         :data:`repro.runtime.sanitizer.TRIP_KINDS` key)."""
         rec = self._record(task_name)
         rec.trips[kind] = rec.trips.get(kind, 0) + count
+        self.metrics.inc("guards.trips.{}".format(kind), count)
 
     def record_validation(self, task_name, ok):
         rec = self._record(task_name)
         rec.validations += 1
+        self.metrics.inc("guards.validations")
         if not ok:
             rec.mismatches += 1
+            self.metrics.inc("guards.mismatches")
 
     def record_promotion(self, task_name):
         """A half-open breaker probe succeeded: the task moved back from
         the host to the device."""
         self._record(task_name).promotions += 1
+        self.metrics.inc("recovery.promotions")
 
     def add_time_lost(self, task_name, ns):
         self._record(task_name).time_lost_ns += ns
+        self.metrics.inc("recovery.time_lost_ns", ns)
 
     @property
     def total_faults(self):
@@ -225,8 +242,25 @@ class FailureLedger:
         )
 
     def summary(self):
-        """A plain-dict view (stable across runs with the same seed)."""
+        """A plain-dict view (stable across runs with the same seed).
+
+        Canonical ``recovery.*`` / ``guards.*`` keys mirror the
+        :class:`~repro.runtime.tracing.MetricsRegistry` names; the bare
+        legacy keys (``faults``, ``retries``, ...) are aliases kept for
+        one release (see docs/OBSERVABILITY.md).
+        """
         return {
+            # Canonical metric names.
+            "recovery.faults": self.total_faults,
+            "recovery.retries": self.total_retries,
+            "recovery.fallbacks": self.total_fallbacks,
+            "recovery.demotions": len(self.demotions),
+            "recovery.promotions": self.total_promotions,
+            "recovery.time_lost_ns": self.time_lost_ns,
+            "guards.trips": self.total_trips,
+            "guards.validations": self.total_validations,
+            "guards.mismatches": self.total_mismatches,
+            # Legacy aliases (deprecated, one release).
             "faults": self.total_faults,
             "retries": self.total_retries,
             "fallbacks": self.total_fallbacks,
@@ -254,71 +288,119 @@ class FailureLedger:
         }
 
     def report(self):
-        """Render the ledger as text for the CLI."""
-        if not self.tasks:
-            return "failure ledger: no device faults recorded"
-        header = (
-            "failure ledger: {} fault(s), {} retry(ies), {} host "
-            "fallback(s), {} demotion(s), {:.0f} ns lost".format(
-                self.total_faults,
-                self.total_retries,
-                self.total_fallbacks,
-                len(self.demotions),
-                self.time_lost_ns,
+        """Render the ledger as text for the CLI — one format,
+        shared with :func:`render_failure_summary` (the evaluation
+        report renders the identical text from the summary dict)."""
+        return render_failure_summary(self.summary())
+
+
+def render_failure_summary(summary):
+    """The single canonical text rendering of a failure-ledger summary.
+
+    Used by ``FailureLedger.report()``, the ``run`` CLI, and
+    ``repro.evaluation.report.failure_report`` — previously three
+    near-duplicate formats. The header keys are the canonical
+    ``recovery.*`` metric leaf names.
+    """
+    per_task = (summary or {}).get("per_task") or {}
+    if not per_task:
+        return "failure ledger: no device faults recorded"
+
+    def _get(canonical, legacy, default=0):
+        if canonical in summary:
+            return summary[canonical]
+        return summary.get(legacy, default)
+
+    demotions = _get("recovery.demotions", "demotions", 0)
+    if isinstance(demotions, list):
+        demotions = len(demotions)
+    header = (
+        "failure ledger: faults={} retries={} fallbacks={} demotions={} "
+        "time_lost_ns={:.0f}".format(
+            _get("recovery.faults", "faults"),
+            _get("recovery.retries", "retries"),
+            _get("recovery.fallbacks", "fallbacks"),
+            demotions,
+            _get("recovery.time_lost_ns", "time_lost_ns", 0.0),
+        )
+    )
+    trips = _get("guards.trips", "trips", {}) or {}
+    validations = _get("guards.validations", "validations")
+    mismatches = _get("guards.mismatches", "mismatches")
+    promotions = _get("recovery.promotions", "promotions")
+    if trips or validations or promotions:
+        parts = [
+            "{}={}".format(kind, count) for kind, count in sorted(trips.items())
+        ]
+        parts.append("validations={}".format(validations))
+        parts.append("mismatches={}".format(mismatches))
+        if promotions:
+            parts.append("promotions={}".format(promotions))
+        header += "\n  guards: " + " ".join(parts)
+    lines = [header]
+    for name, rec in sorted(per_task.items()):
+        stages = ", ".join(
+            "{}={}".format(stage, count)
+            for stage, count in sorted(rec.get("by_stage", {}).items())
+        )
+        extra = ""
+        if rec.get("validations"):
+            extra += " validations={} mismatches={}".format(
+                rec["validations"], rec.get("mismatches", 0)
+            )
+        if rec.get("promotions"):
+            extra += " promotions={}".format(rec["promotions"])
+        lines.append(
+            "  {}: faults={} ({}) retries={} fallbacks={}{}{} "
+            "time_lost={:.0f}ns".format(
+                name,
+                rec.get("faults", 0),
+                stages or "-",
+                rec.get("retries", 0),
+                rec.get("fallbacks", 0),
+                extra,
+                " DEMOTED-TO-HOST" if rec.get("demoted") else "",
+                rec.get("time_lost_ns", 0.0),
             )
         )
-        trips = self.total_trips
-        if trips or self.total_validations or self.total_promotions:
-            parts = [
-                "{}={}".format(kind, count)
-                for kind, count in sorted(trips.items())
-            ]
-            parts.append("validations={}".format(self.total_validations))
-            parts.append("mismatches={}".format(self.total_mismatches))
-            if self.total_promotions:
-                parts.append("promotions={}".format(self.total_promotions))
-            header += "\n  guards: " + " ".join(parts)
-        lines = [header]
-        for name, rec in sorted(self.tasks.items()):
-            stages = ", ".join(
-                "{}={}".format(stage, count)
-                for stage, count in sorted(rec.by_stage.items())
-            )
-            extra = ""
-            if rec.validations:
-                extra += " validations={} mismatches={}".format(
-                    rec.validations, rec.mismatches
-                )
-            if rec.promotions:
-                extra += " promotions={}".format(rec.promotions)
-            lines.append(
-                "  {}: faults={} ({}) retries={} fallbacks={}{}{} "
-                "time_lost={:.0f}ns".format(
-                    name,
-                    rec.faults,
-                    stages or "-",
-                    rec.retries,
-                    rec.fallbacks,
-                    extra,
-                    " DEMOTED-TO-HOST" if rec.demoted else "",
-                    rec.time_lost_ns,
-                )
-            )
-        return "\n".join(lines)
+    return "\n".join(lines)
+
+
+def render_executor_summary(summary):
+    """The single canonical text rendering of executor-tier and
+    kernel-cache counters, keyed by the canonical metric names."""
+    if not summary:
+        return ""
+    tiers = summary.get("executor.launches", summary.get("tiers", {})) or {}
+    hits = summary.get("cache.hits", summary.get("cache_hits", 0))
+    misses = summary.get("cache.misses", summary.get("cache_misses", 0))
+    if not tiers and not hits and not misses:
+        return ""
+    parts = [
+        "launches.{}={}".format(tier, count)
+        for tier, count in sorted(tiers.items())
+    ]
+    parts.append("cache.hits={}".format(hits))
+    parts.append("cache.misses={}".format(misses))
+    return "executor: " + " ".join(parts)
 
 
 class ExecutionProfile:
     """Aggregated stage times for one end-to-end run, plus per-task
-    detail and the failure ledger. All figures are simulated
-    nanoseconds."""
+    detail, the failure ledger, the run's metrics registry, and the
+    tracer every instrumented layer reaches through ``profile.tracer``
+    (the :data:`~repro.runtime.tracing.NULL_TRACER` no-op unless the
+    run asked for a trace). All figures are simulated nanoseconds."""
 
-    def __init__(self):
+    def __init__(self, tracer=None):
         self.stages = StageTimes()
         self.per_task = {}
         self.kernel_launches = 0
         self.bytes_to_device = 0
         self.bytes_from_device = 0
-        self.faults = FailureLedger()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = MetricsRegistry()
+        self.faults = FailureLedger(metrics=self.metrics)
         # Executor bookkeeping: launches per execution tier
         # (batch / per-item / sanitized) and kernel-cache traffic.
         self.tier_launches = {}
@@ -328,17 +410,28 @@ class ExecutionProfile:
     def record_tier(self, tier):
         """Count one kernel launch against the tier that executed it."""
         self.tier_launches[tier] = self.tier_launches.get(tier, 0) + 1
+        self.metrics.inc("executor.launches.{}".format(tier))
 
     def record_cache(self, hit):
         if hit:
             self.cache_hits += 1
+            self.metrics.inc("cache.hits")
         else:
             self.cache_misses += 1
+            self.metrics.inc("cache.misses")
 
     def executor_summary(self):
-        """Tier and compilation-cache counters for reports."""
+        """Tier and compilation-cache counters for reports. Canonical
+        metric names, with the pre-tracing keys (``tiers``,
+        ``cache_hits``, ``cache_misses``) kept as aliases for one
+        release."""
+        tiers = dict(sorted(self.tier_launches.items()))
         return {
-            "tiers": dict(sorted(self.tier_launches.items())),
+            "executor.launches": tiers,
+            "cache.hits": self.cache_hits,
+            "cache.misses": self.cache_misses,
+            # Legacy aliases (deprecated, one release).
+            "tiers": tiers,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
         }
@@ -351,6 +444,7 @@ class ExecutionProfile:
     def record(self, task_name, stage_times):
         self.stages.add(stage_times)
         self.task_stages(task_name).add(stage_times)
+        self.metrics.histogram("task.invoke_ns").observe(stage_times.total())
 
     def record_recovery(self, task_name, ns):
         """Charge fault-recovery overhead (failed partial attempts,

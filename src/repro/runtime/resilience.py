@@ -297,13 +297,17 @@ class ResilientWorker:
         ):
             return result, True
         ledger = self.profile.faults
-        expected = self._host(value)
-        if values_equal(result, expected):
+        tracer = self.profile.tracer
+        with tracer.span("validate", cat="recovery", task=self.name):
+            expected = self._host(value)
+            ok = values_equal(result, expected)
+        if ok:
             ledger.record_validation(self.name, ok=True)
             return result, True
         # The device answer is silently wrong: ledger the divergence,
         # trip the breaker, and return the trusted host result.
         ledger.record_validation(self.name, ok=False)
+        tracer.instant("validation_mismatch", cat="recovery", task=self.name)
         err = ValidationFault(
             "task '{}': device result diverged from the host interpreter "
             "on a sampled stream item".format(self.name)
@@ -311,10 +315,12 @@ class ResilientWorker:
         self._record_fault(err, ValidationFault.stage)
         if self.breaker.record_fault() and not probing:
             ledger.record_demotion(self.name)
+            tracer.instant("demotion", cat="recovery", task=self.name)
         return expected, False
 
     def __call__(self, value=None):
         ledger = self.profile.faults
+        tracer = self.profile.tracer
         if self.breaker.open:
             result = self._host(value)
             self.breaker.record_host_success()
@@ -330,13 +336,34 @@ class ResilientWorker:
                 stage = getattr(err, "stage", None) or "device"
                 partial = getattr(err, "partial_stages", None)
                 self._record_fault(err, stage)
+                tracer.instant(
+                    "fault",
+                    cat="recovery",
+                    task=self.name,
+                    stage=stage,
+                    attempt=attempt,
+                )
+                # The failed attempt's stage time already advanced the
+                # trace clock inside the glue's "item" span; only the
+                # backoff wait below adds new simulated time here.
                 self._charge(partial.total() if partial is not None else 0.0)
                 if self.breaker.record_fault():
                     if not probing:
                         ledger.record_demotion(self.name)
+                        tracer.instant(
+                            "demotion", cat="recovery", task=self.name
+                        )
                     return self._host(value)
                 if attempt < self.retry.max_retries:
-                    self._charge(self.retry.backoff_ns(attempt))
+                    backoff_ns = self.retry.backoff_ns(attempt)
+                    self._charge(backoff_ns)
+                    tracer.charge(
+                        "retry_backoff",
+                        backoff_ns,
+                        cat="recovery",
+                        task=self.name,
+                        attempt=attempt,
+                    )
                     ledger.record_retry(self.name)
                     attempt += 1
                     continue
@@ -344,6 +371,7 @@ class ResilientWorker:
                 # device in play for the next item (the breaker decides
                 # when to give up on it entirely).
                 ledger.record_fallback(self.name)
+                tracer.instant("host_fallback", cat="recovery", task=self.name)
                 return self._host(value)
             else:
                 # Validate before crediting the breaker: a device answer
@@ -356,6 +384,9 @@ class ResilientWorker:
                         # Half-open probe succeeded: the task is
                         # re-promoted from the host back to the device.
                         ledger.record_promotion(self.name)
+                        tracer.instant(
+                            "promotion", cat="recovery", task=self.name
+                        )
                 return result
 
 

@@ -347,7 +347,7 @@ def test_ledger_report_renders_all_counters():
     ledger.record_demotion("B.g")
     ledger.add_time_lost("A.f", 1234.0)
     text = ledger.report()
-    assert "2 fault(s)" in text
+    assert "faults=2" in text
     assert "transfer=1" in text and "launch=1" in text
     assert "DEMOTED-TO-HOST" in text
     assert "A.f" in text and "B.g" in text
@@ -355,6 +355,10 @@ def test_ledger_report_renders_all_counters():
     assert summary["faults"] == 2
     assert summary["demotions"] == ["B.g"]
     assert summary["per_task"]["A.f"]["time_lost_ns"] == 1234.0
+    # Canonical metric-name keys ride along with the legacy aliases.
+    assert summary["recovery.faults"] == 2
+    assert summary["recovery.demotions"] == 1
+    assert summary["recovery.time_lost_ns"] == 1234.0
 
 
 def test_empty_ledger_report():

@@ -110,7 +110,7 @@ def test_run_with_faults_matches_clean_checksum(capsys):
 
     assert checksum(faulted) == checksum(clean)
     assert "failure ledger:" in faulted
-    assert "fault(s)" in faulted
+    assert "faults=" in faulted
     assert "recovery" in faulted
 
 
@@ -185,3 +185,50 @@ def test_run_breaker_cooloff_flag(capsys):
          "--breaker-cooloff", "1"]
     ) == 0
     assert "checksum:" in capsys.readouterr().out
+
+
+def test_run_trace_out_chrome_and_flame(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "trace.json"
+    assert main(
+        ["run", "jg-series-single", "--target", "gtx580", "--scale", "0.1",
+         "--max-sim-items", "128", "--trace-out", str(trace)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "trace:" in out and str(trace) in out
+    # The acceptance bar: spans cover >= 95% of reported wall time.
+    pct_line = [l for l in out.splitlines() if "time covered" in l][0]
+    pct = float(pct_line.split("(")[1].split("spans,")[1].split("%")[0])
+    assert pct >= 95.0
+    payload = json.loads(trace.read_text())
+    assert payload["traceEvents"]
+
+    assert main(["trace", str(trace)]) == 0
+    flame = capsys.readouterr().out
+    assert "flame summary" in flame
+    assert "kernel" in flame
+
+
+def test_run_trace_out_jsonl_and_diff(tmp_path, capsys):
+    a = tmp_path / "a.jsonl"
+    b = tmp_path / "b.jsonl"
+    for path, extra in ((a, []), (b, ["--faults", "0.3",
+                                      "--fault-seed", "7"])):
+        assert main(
+            ["run", "jg-series-single", "--target", "gtx580",
+             "--scale", "0.1", "--max-sim-items", "128",
+             "--trace-out", str(path)] + extra
+        ) == 0
+        capsys.readouterr()
+    assert main(["trace", str(a), str(b), "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "trace diff" in out
+    assert "retry_backoff" in out
+
+
+def test_trace_missing_or_empty_file(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["trace", str(empty)]) == 1
+    assert "no trace events" in capsys.readouterr().err

@@ -1,0 +1,137 @@
+"""Documentation drift guards.
+
+The README's CLI flag reference and the argparse definitions in
+``repro.cli`` must agree: every subcommand and every long flag that
+``repro <cmd> --help`` reports has to appear in README.md, and the
+README must not document flags that no longer exist. DESIGN.md's
+package-layout section likewise has to name every runtime-layer module.
+CI runs this as the docs-consistency job.
+"""
+
+import argparse
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+ROOT = Path(__file__).parent.parent
+README = (ROOT / "README.md").read_text()
+DESIGN = (ROOT / "DESIGN.md").read_text()
+
+
+def _subcommands():
+    parser = build_parser()
+    (sub,) = [
+        a
+        for a in parser._actions
+        if isinstance(a, argparse._SubParsersAction)
+    ]
+    return sub.choices  # {name: subparser}
+
+
+def _long_flags(subparser):
+    flags = set()
+    for action in subparser._actions:
+        for opt in action.option_strings:
+            if opt.startswith("--"):
+                flags.add(opt)
+    flags.discard("--help")
+    return flags
+
+
+def test_every_subcommand_documented_in_readme():
+    for name in _subcommands():
+        assert "`{}".format(name) in README or "repro {}".format(
+            name
+        ) in README, "subcommand '{}' missing from README.md".format(name)
+
+
+def test_every_cli_flag_documented_in_readme():
+    missing = []
+    for name, subparser in _subcommands().items():
+        for flag in _long_flags(subparser):
+            if flag not in README:
+                missing.append("{} {}".format(name, flag))
+    assert not missing, (
+        "flags in `repro <cmd> --help` but not README.md: "
+        + ", ".join(sorted(missing))
+    )
+
+
+def test_readme_flag_table_has_no_stale_flags():
+    """Every flag named in the README's reference table must still
+    exist on the corresponding subcommand."""
+    section = README.split("Full flag reference", 1)[1]
+    rows, in_table = [], False
+    for line in section.splitlines():
+        if line.startswith("|"):
+            in_table = True
+            rows.append(line)
+        elif in_table:
+            break  # first table after the heading only
+    table_rows = re.findall(
+        r"^\| `(\w+)[^`]*` \| (.+) \|$", "\n".join(rows), re.M
+    )
+    assert table_rows, "README flag-reference table not found"
+    commands = _subcommands()
+    for name, flags_cell in table_rows:
+        assert name in commands, (
+            "README documents unknown subcommand '{}'".format(name)
+        )
+        documented = set(re.findall(r"--[\w-]+", flags_cell))
+        actual = _long_flags(commands[name])
+        stale = documented - actual
+        assert not stale, "README documents stale flags for '{}': {}".format(
+            name, sorted(stale)
+        )
+        assert documented == actual, (
+            "README flag table incomplete for '{}': missing {}".format(
+                name, sorted(actual - documented)
+            )
+        )
+
+
+@pytest.mark.parametrize(
+    "module",
+    sorted(
+        p.name
+        for p in (ROOT / "src" / "repro" / "runtime").glob("*.py")
+        if p.name != "__init__.py"
+    ),
+)
+def test_design_names_every_runtime_module(module):
+    assert module in DESIGN, (
+        "runtime module {} missing from DESIGN.md package layout".format(
+            module
+        )
+    )
+
+
+def test_design_names_satellite_modules():
+    for module in ("kernel_cache.py", "perfbench.py", "sanitizer.py",
+                   "tracing.py", "resilience.py"):
+        assert module in DESIGN
+
+
+def test_observability_doc_exists_and_covers_span_taxonomy():
+    doc = (ROOT / "docs" / "OBSERVABILITY.md").read_text()
+    # Span names emitted by the instrumentation.
+    for span in ("item", "kernel", "java_marshal", "c_marshal",
+                 "transfer", "opencl_setup", "compile", "cache_lookup",
+                 "device", "sanitizer_scan", "retry_backoff",
+                 "host_compute", "validate"):
+        assert "`{}`".format(span) in doc, (
+            "span '{}' undocumented in OBSERVABILITY.md".format(span)
+        )
+    # Canonical metric names.
+    for metric in ("recovery.faults", "recovery.retries",
+                   "recovery.demotions", "guards.validations",
+                   "guards.mismatches", "executor.launches.",
+                   "cache.hits", "cache.misses",
+                   "transfer.bytes_to_device", "task.invoke_ns",
+                   "kernel.launch_ns"):
+        assert metric in doc, (
+            "metric '{}' undocumented in OBSERVABILITY.md".format(metric)
+        )
