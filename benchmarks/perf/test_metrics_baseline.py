@@ -1,0 +1,89 @@
+"""Canonical-counter regression gate.
+
+Every run accumulates typed metrics under canonical dotted names
+(``executor.launches.batch``, ``cache.hits``,
+``transfer.bytes_to_device``, ``kernel.launch_ns.count``, ...). Those
+counts are deterministic at a pinned configuration, so any drift means
+the execution *shape* changed — a kernel stopped batching, the cache
+started missing, an extra launch appeared — which should be a
+deliberate, reviewed change rather than a silent regression.
+
+This test captures the counters for every app at the pinned config
+(:func:`repro.evaluation.perfbench.collect_metrics` — independent of
+the REPRO_BENCH_* env knobs), persists them as
+``benchmarks/results/BENCH_metrics.json`` (uploaded by CI's perf-smoke
+job so counters can be diffed across commits), and compares them
+key-by-key against the committed baseline
+``benchmarks/results/BENCH_metrics_baseline.json``.
+
+To accept an intentional change, regenerate the baseline and commit it:
+
+    REPRO_UPDATE_METRICS_BASELINE=1 \
+        python -m pytest benchmarks/perf/test_metrics_baseline.py -q
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from conftest import record_result
+
+from repro.evaluation.perfbench import collect_metrics
+
+BASELINE_PATH = (
+    pathlib.Path(__file__).resolve().parents[1]
+    / "results"
+    / "BENCH_metrics_baseline.json"
+)
+
+
+def test_metrics_match_baseline():
+    current = collect_metrics()
+    record_result("BENCH_metrics", current)
+
+    if os.environ.get("REPRO_UPDATE_METRICS_BASELINE") == "1":
+        with open(BASELINE_PATH, "w") as fh:
+            json.dump(current, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        pytest.skip("baseline regenerated at {}".format(BASELINE_PATH))
+
+    assert BASELINE_PATH.exists(), (
+        "no committed baseline at {} — run with "
+        "REPRO_UPDATE_METRICS_BASELINE=1 to create it".format(BASELINE_PATH)
+    )
+    with open(BASELINE_PATH) as fh:
+        baseline = json.load(fh)
+
+    # The capture configs must agree or the diff below is meaningless.
+    for pin in ("target", "scale", "max_sim_items"):
+        assert baseline[pin] == current[pin], (
+            "baseline pinned {}={!r} but the harness now uses {!r}".format(
+                pin, baseline[pin], current[pin]
+            )
+        )
+
+    diffs = []
+    apps = set(baseline["apps"]) | set(current["apps"])
+    for app in sorted(apps):
+        base = baseline["apps"].get(app)
+        cur = current["apps"].get(app)
+        if base is None:
+            diffs.append("{}: new app (regenerate the baseline)".format(app))
+            continue
+        if cur is None:
+            diffs.append("{}: app disappeared".format(app))
+            continue
+        for key in sorted(set(base) | set(cur)):
+            if base.get(key) != cur.get(key):
+                diffs.append(
+                    "{}: {} changed {} -> {}".format(
+                        app, key, base.get(key), cur.get(key)
+                    )
+                )
+    assert not diffs, (
+        "canonical counters drifted from the committed baseline "
+        "(REPRO_UPDATE_METRICS_BASELINE=1 accepts intentional changes):\n"
+        + "\n".join(diffs)
+    )

@@ -31,7 +31,7 @@ import zlib
 import numpy as np
 
 from repro.backend.kernel_ir import Space
-from repro.errors import RuntimeFault, TransferFault
+from repro.errors import DeviceOOM, LaunchFault, RuntimeFault, TransferFault
 
 
 class _ConstantOverflow(Exception):
@@ -91,6 +91,66 @@ def resolve_max_sim_items(explicit=None):
     return value
 
 
+# Stage names whose charges the overlap optimization hides behind the
+# previous item's kernel time.
+_COMM_STAGES = frozenset(
+    ("java_marshal", "c_marshal", "opencl_setup", "transfer")
+)
+
+
+class _DeferredCharges:
+    """Buffers ``tracer.charge`` calls during an overlap-mode item.
+
+    ``Offloader(overlap=True)`` rescales the communication stage times
+    *after* they are known (the hidden fraction depends on the previous
+    item's kernel time), so live charges would put the unhidden values
+    on the trace. Overlap items charge into this buffer instead and
+    flush post-rescale — the trace clock then advances by exactly the
+    nanoseconds the profiler records, same as non-overlap runs.
+    """
+
+    __slots__ = ("pending",)
+
+    def __init__(self):
+        self.pending = []
+
+    def charge(self, name, ns, cat="stage", **args):
+        self.pending.append((name, ns, cat, args))
+
+    def flush(self, tracer, scale=1.0):
+        """Emit (and drain) the buffered charges, applying ``scale`` to
+        the communication stages only — kernel time is never hidden."""
+        for name, ns, cat, args in self.pending:
+            if scale != 1.0 and name in _COMM_STAGES:
+                ns *= scale
+            tracer.charge(name, ns, cat=cat, **args)
+        self.pending = []
+
+
+class LaunchRecord:
+    """One stream item's marshalled inputs plus its accumulating stage
+    times — the replayable unit of fleet failover.
+
+    :meth:`CompiledFilter.prepare` builds the record (Java marshal →
+    wire → C marshal → transfer, charged once);
+    :meth:`CompiledFilter.run_prepared` executes from it. When the
+    placed device faults mid-item, the fleet worker replays the *same*
+    record on the next device — the marshal work is reused, only the
+    bus transfer is paid again (:meth:`CompiledFilter.charge_failover`).
+    """
+
+    __slots__ = ("value", "device_values", "stages", "payload_bytes",
+                 "deferred", "seq")
+
+    def __init__(self, value=None, seq=0):
+        self.value = value
+        self.device_values = None
+        self.stages = StageTimes()
+        self.payload_bytes = 0
+        self.deferred = None  # _DeferredCharges on overlap filters
+        self.seq = seq
+
+
 class CompiledFilter:
     """The offloaded worker for one filter task.
 
@@ -120,6 +180,7 @@ class CompiledFilter:
         max_sim_items=None,
         sanitizer=None,
         exec_tier=None,
+        device_key=None,
     ):
         self.name = name
         self.worker = worker  # MethodDecl: for input/output Lime types
@@ -156,9 +217,19 @@ class CompiledFilter:
         # Execution-tier request for kernel launches ("auto"/"batch"/
         # "per-item"); None defers to REPRO_EXEC_TIER, then auto.
         self.exec_tier = exec_tier
+        # Fleet identity: the short device key ("gtx580") this filter's
+        # launches run on. None outside fleet runs, which keeps kernel
+        # charges arg-free and single-device traces byte-identical.
+        self.device_key = device_key
         # Fault-injection hook: installed by the resilience layer
         # (repro.runtime.resilience); None means every stage is clean.
         self.injector = None
+        # Retry policy for partitioned-relaunch chunks; the resilience
+        # layer installs its own, otherwise defaults apply on first use.
+        self.retry = None
+        # Maximum binary-split depth for OOM-partitioned relaunch
+        # (2**depth chunks at most); fleet runs set it from FleetPolicy.
+        self.partition_depth = 4
         self._fallback_filter = None
         self._prev_kernel_ns = 0.0
         self.launches = 0
@@ -176,48 +247,103 @@ class CompiledFilter:
     # -- worker protocol -------------------------------------------------------
 
     def __call__(self, value=None):
-        stages = StageTimes()
         # One "item" span per stream-item invocation; the stage charges
-        # below nest under it, advancing the simulated clock by exactly
-        # the nanoseconds the profiler records — so trace and profile
-        # can never disagree. When tracing is off this is the
-        # NULL_TRACER and every call here is a no-op.
+        # nest under it, advancing the simulated clock by exactly the
+        # nanoseconds the profiler records — so trace and profile can
+        # never disagree. When tracing is off this is the NULL_TRACER
+        # and every call here is a no-op.
         with self.profile.tracer.span(
             "item", cat="task", task=self.name, seq=self.launches
         ):
+            record = self.prepare(value)
+            return self.run_prepared(record)
+
+    def prepare(self, value=None):
+        """Marshal the worker's arguments once, returning a replayable
+        :class:`LaunchRecord`. The fleet worker calls this on the first
+        placed device's filter, then :meth:`run_prepared` — possibly on
+        another device's filter after a failover."""
+        record = LaunchRecord(value=value, seq=self.launches)
+        if self.overlap:
+            record.deferred = _DeferredCharges()
+        sink = record.deferred or self.profile.tracer
+        try:
+            record.device_values = self._inbound(value, record, sink)
+        except RuntimeFault as err:
+            self._abandon(record, err)
+            raise
+        return record
+
+    def run_prepared(self, record):
+        """Execute + return path from an already-marshalled record. On
+        a fault the record stays replayable: another device's filter
+        can pick it up via :meth:`charge_failover` + this method."""
+        stages = record.stages
+        sink = record.deferred or self.profile.tracer
+        try:
             try:
-                device_values = self._inbound(value, stages)
-                try:
-                    result = self._execute(device_values, stages)
-                except _ConstantOverflow:
-                    if self._fallback_filter is None:
-                        self._fallback_filter = self.constant_fallback()
-                        self._fallback_filter.profile = self.profile
-                    self._fallback_filter.injector = self.injector
-                    self._fallback_filter.sanitizer = self.sanitizer
-                    self._fallback_filter.exec_tier = self.exec_tier
-                    return self._fallback_filter(value)
-                result = self._outbound(result, stages)
-            except RuntimeFault as err:
-                # A fault mid-path abandons this attempt; expose the
-                # stage time already spent so the resilience layer can
-                # account it as recovery overhead ("time lost").
-                err.partial_stages = stages
-                raise
+                result = self._execute(record.device_values, stages, sink)
+            except _ConstantOverflow:
+                if self._fallback_filter is None:
+                    self._fallback_filter = self.constant_fallback()
+                    self._fallback_filter.profile = self.profile
+                self._fallback_filter.injector = self.injector
+                self._fallback_filter.sanitizer = self.sanitizer
+                self._fallback_filter.exec_tier = self.exec_tier
+                if record.deferred is not None:
+                    record.deferred.flush(self.profile.tracer)
+                return self._fallback_filter(record.value)
+            result = self._outbound(result, stages, sink)
+        except RuntimeFault as err:
+            self._abandon(record, err)
+            raise
+        scale = 1.0
         if self.overlap and self.launches > 0:
-            # Note: the trace keeps the unhidden stage charges — span
-            # durations are recorded as time is spent, before this
-            # rescaling (see docs/OBSERVABILITY.md, "Limitations").
-            self._hide_communication(stages)
+            scale = self._hide_communication(stages)
+        if record.deferred is not None:
+            record.deferred.flush(self.profile.tracer, scale)
         self._prev_kernel_ns = stages.kernel
         self.profile.record(self.name, stages)
         self.launches += 1
         return result
 
+    def _abandon(self, record, err):
+        """A fault mid-path abandons this attempt: flush any deferred
+        charges unscaled (the time was genuinely spent, and a hidden
+        fraction is unknowable for an incomplete item) and expose the
+        stage time already spent so the resilience layer can account it
+        as recovery overhead ("time lost")."""
+        if record.deferred is not None:
+            record.deferred.flush(self.profile.tracer)
+        err.partial_stages = record.stages
+
+    def charge_failover(self, record):
+        """Account the re-transfer when ``record`` is replayed on this
+        filter's device after a failover: the marshalled wire payload
+        crosses the bus again, but the marshal work itself is reused."""
+        if record.payload_bytes <= 0:
+            return
+        sink = record.deferred or self.profile.tracer
+        tns = self.comm.transfer_ns(record.payload_bytes)
+        record.stages.transfer += tns
+        sink.charge(
+            "transfer",
+            tns,
+            cat="stage",
+            bytes=record.payload_bytes,
+            direction="h2d",
+            failover=True,
+        )
+        self.profile.bytes_to_device += record.payload_bytes
+        self.profile.metrics.inc(
+            "transfer.bytes_to_device", record.payload_bytes
+        )
+
     def _hide_communication(self, stages):
         """Double-buffered pipelining: this item's communication overlaps
         the previous item's kernel execution, so only the part exceeding
-        that kernel time remains on the critical path."""
+        that kernel time remains on the critical path. Returns the scale
+        applied so deferred trace charges can match."""
         comm = (
             stages.java_marshal
             + stages.c_marshal
@@ -225,13 +351,14 @@ class CompiledFilter:
             + stages.transfer
         )
         if comm <= 0:
-            return
+            return 1.0
         hidden = min(comm, self._prev_kernel_ns)
         scale = 1.0 - hidden / comm
         stages.java_marshal *= scale
         stages.c_marshal *= scale
         stages.opencl_setup *= scale
         stages.transfer *= scale
+        return scale
 
     # -- inbound path ------------------------------------------------------------
 
@@ -242,7 +369,9 @@ class CompiledFilter:
         value, so the fault is retryable."""
         if self.injector is None:
             return data
-        wire = self.injector.transmit(data, direction, self.name)
+        wire = self.injector.transmit(
+            data, direction, self.name, device=self.device_key
+        )
         if wire is not data and zlib.crc32(wire) != zlib.crc32(data):
             raise TransferFault(
                 "task '{}': {} transfer failed the CRC check "
@@ -250,11 +379,13 @@ class CompiledFilter:
             )
         return data
 
-    def _inbound(self, value, stages):
+    def _inbound(self, value, record, sink):
         """Walk every worker argument through the wire format; returns a
-        dict param-name -> device-side value."""
+        dict param-name -> device-side value. ``sink`` receives the
+        stage charges (the tracer, or the record's deferred buffer in
+        overlap mode)."""
         device_values = {}
-        tracer = self.profile.tracer
+        stages = record.stages
         items = list(self.bound_values.items())
         if self.stream_param is not None:
             items.append((self.stream_param.name, value))
@@ -265,7 +396,7 @@ class CompiledFilter:
             )
             jns = self.comm.java_marshal_ns(stats)
             stages.java_marshal += jns
-            tracer.charge("java_marshal", jns, cat="stage", param=param_name)
+            sink.charge("java_marshal", jns, cat="stage", param=param_name)
             # The marshal cost above is charged before the wire check:
             # a corrupted transfer still paid for serialization, and the
             # resilience layer bills that time as recovery overhead.
@@ -276,14 +407,15 @@ class CompiledFilter:
             if not self.direct_marshal:
                 cns = self.comm.c_marshal_ns(c_stats)
                 stages.c_marshal += cns
-                tracer.charge("c_marshal", cns, cat="stage", param=param_name)
+                sink.charge("c_marshal", cns, cat="stage", param=param_name)
             self.profile.bytes_to_device += stats.payload_bytes
             self.profile.metrics.inc(
                 "transfer.bytes_to_device", stats.payload_bytes
             )
+            record.payload_bytes += stats.payload_bytes
             tns = self.comm.transfer_ns(stats.payload_bytes)
             stages.transfer += tns
-            tracer.charge(
+            sink.charge(
                 "transfer",
                 tns,
                 cat="stage",
@@ -329,12 +461,20 @@ class CompiledFilter:
         value = device_values[param_name]
         return np.ascontiguousarray(value).reshape(-1)
 
-    def _execute(self, device_values, stages):
+    def _device_args(self):
+        """Extra tracer-charge args in fleet runs: tagging kernel time
+        with the device key gives each device its own Perfetto track.
+        Empty outside fleet runs so single-device traces are unchanged."""
+        if self.device_key is None:
+            return {}
+        return {"device": self.device_key}
+
+    def _execute(self, device_values, stages, sink):
         plan = self.plan
         if plan is None:
             # Pure reduction over the stream input array.
             flat = self._flat(device_values, self.stream_param.name)
-            return self._run_reduce(flat, len(flat), stages)
+            return self._run_reduce(flat, len(flat), stages, sink)
 
         n = self._index_space(device_values)
         buffers = {}
@@ -374,11 +514,41 @@ class CompiledFilter:
         scalars["_n"] = n
 
         n_buffers = len(buffers)
+        total_bytes = sum(buf.nbytes for buf in buffers.values())
+        oom = None
         if self.injector is not None:
-            self.injector.maybe_oom(
-                self.name, sum(buf.nbytes for buf in buffers.values())
+            try:
+                self.injector.maybe_oom(
+                    self.name, total_bytes, device=self.device_key
+                )
+            except DeviceOOM:
+                if not self._can_partition(n):
+                    raise
+                oom = True
+        if oom:
+            self._partitioned_launch(
+                kernel, buffers, scalars, n, total_bytes, stages, sink
             )
-        tracer = self.profile.tracer
+        else:
+            self._launch_once(
+                kernel, buffers, scalars, global_size, local, stages, sink
+            )
+        if self.injector is not None:
+            # Silent output corruption: no fault is raised and no CRC
+            # fails — only sampled differential validation catches it.
+            self.injector.maybe_corrupt_output(
+                out, self.name, device=self.device_key
+            )
+
+        if self.reduce_kernel is not None:
+            return self._run_reduce(out, len(out), stages, sink)
+        return out
+
+    def _launch_once(
+        self, kernel, buffers, scalars, global_size, local, stages, sink,
+        index_base=0,
+    ):
+        """One NDRange launch plus its simulated-time accounting."""
         trace = self.compiled_kernel.launch(
             buffers,
             scalars,
@@ -387,35 +557,145 @@ class CompiledFilter:
             injector=self.injector,
             guard=self._make_guard(kernel.name),
             tier=self.exec_tier,
-            tracer=tracer,
+            tracer=self.profile.tracer,
+            index_base=index_base,
+            device=self.device_key,
         )
         timing = time_launch(trace, self.device)
         self.last_timing = timing
         stages.kernel += timing.kernel_ns
-        tracer.charge(
+        charge_args = self._device_args()
+        if index_base:
+            charge_args["index_base"] = index_base
+        sink.charge(
             "kernel",
             timing.kernel_ns,
             cat="stage",
             kernel=kernel.name,
             tier=trace.tier,
             global_size=global_size,
+            **charge_args,
         )
-        setup_ns = self.comm.setup_ns(buffers=n_buffers, launches=1)
+        setup_ns = self.comm.setup_ns(buffers=len(buffers), launches=1)
         stages.opencl_setup += setup_ns
-        tracer.charge("opencl_setup", setup_ns, cat="stage", buffers=n_buffers)
+        sink.charge(
+            "opencl_setup", setup_ns, cat="stage", buffers=len(buffers)
+        )
         self.profile.kernel_launches += 1
         self.profile.record_tier(trace.tier)
         self.profile.metrics.histogram("kernel.launch_ns").observe(
             timing.kernel_ns
         )
-        if self.injector is not None:
-            # Silent output corruption: no fault is raised and no CRC
-            # fails — only sampled differential validation catches it.
-            self.injector.maybe_corrupt_output(out, self.name)
+        if self.device_key is not None:
+            self.profile.metrics.histogram(
+                "kernel.launch_ns.{}".format(self.device_key)
+            ).observe(timing.kernel_ns)
+        return timing
 
-        if self.reduce_kernel is not None:
-            return self._run_reduce(out, len(out), stages)
-        return out
+    def _can_partition(self, n):
+        """OOM-partitioned relaunch is safe only for kernels with no
+        group-level structure (barriers, local-memory tiling): chunk
+        launches offset the global id via ``index_base``, which keeps
+        absolute indexing (iota values, spill rows) correct but changes
+        group shapes. ``batch_supported`` is exactly that conservative
+        eligibility bit."""
+        return (
+            self.plan is not None
+            and n >= 2
+            and bool(self.compiled_kernel.batch_supported)
+        )
+
+    def _partitioned_launch(
+        self, kernel, buffers, scalars, n, total_bytes, stages, sink
+    ):
+        """Device OOM recovery: split the index space ``[0, n)`` in half
+        recursively (binary, at most ``partition_depth`` deep) until each
+        chunk's estimated footprint fits, and launch the chunks
+        back-to-back on the same buffers with ``index_base`` offsets.
+        The union of grid-stride chunk launches covers exactly the
+        original index space, so results are bit-identical. Chunks that
+        hit transient launch faults retry under the retry policy."""
+        from repro.runtime.resilience import RetryPolicy
+
+        plan = self.plan
+        retry = self.retry or RetryPolicy()
+        ledger = self.profile.faults
+        chunks = [0]
+
+        def launch_chunk(lo, hi):
+            global_size, local = self._launch_config(hi - lo)
+            chunk_scalars = dict(scalars)
+            chunk_scalars["_n"] = hi
+            chunk_buffers = dict(buffers)
+            for spill in plan.spill_buffers:
+                # Spill rows are indexed by absolute global id, so a
+                # chunk needs (index_base + global_size) rows.
+                chunk_buffers[spill.buffer] = np.zeros(
+                    (lo + global_size) * spill.spill_size,
+                    dtype=np_dtype(spill.elem),
+                )
+            attempt = 0
+            while True:
+                try:
+                    self._launch_once(
+                        kernel,
+                        chunk_buffers,
+                        chunk_scalars,
+                        global_size,
+                        local,
+                        stages,
+                        sink,
+                        index_base=lo,
+                    )
+                except LaunchFault as err:
+                    ledger.record_fault(self.name, err.stage)
+                    if attempt >= retry.max_retries:
+                        raise
+                    backoff = retry.backoff_ns(attempt)
+                    ledger.record_retry(self.name)
+                    ledger.add_time_lost(self.name, backoff)
+                    self.profile.record_recovery(self.name, backoff)
+                    sink.charge(
+                        "retry_backoff",
+                        backoff,
+                        cat="recovery",
+                        task=self.name,
+                        attempt=attempt + 1,
+                        chunk=lo,
+                    )
+                    attempt += 1
+                    continue
+                chunks[0] += 1
+                return
+
+        def run_range(lo, hi, depth):
+            frac = (hi - lo) / float(n)
+            try:
+                self.injector.maybe_oom(
+                    self.name, total_bytes * frac, device=self.device_key
+                )
+            except DeviceOOM:
+                if depth >= self.partition_depth or hi - lo <= 1:
+                    raise
+                mid = (lo + hi) // 2
+                run_range(lo, mid, depth + 1)
+                run_range(mid, hi, depth + 1)
+                return
+            launch_chunk(lo, hi)
+
+        mid = (n + 1) // 2
+        run_range(0, mid, 1)
+        run_range(mid, n, 1)
+        ledger.record_partition(self.name, chunks[0])
+        self.profile.tracer.instant(
+            "partitioned_relaunch",
+            cat="recovery",
+            task=self.name,
+            kernel=kernel.name,
+            chunks=chunks[0],
+            n=n,
+            **self._device_args(),
+        )
 
     def _check_constant_capacity(self, buffers):
         constant_bytes = sum(
@@ -429,15 +709,16 @@ class CompiledFilter:
         ):
             raise _ConstantOverflow()
 
-    def _run_reduce(self, flat_input, n, stages):
+    def _run_reduce(self, flat_input, n, stages, sink):
         local = self.local_size
         groups = min((n + local - 1) // local, 64) or 1
         partials = np.zeros(groups, dtype=flat_input.dtype)
         if self.injector is not None:
             self.injector.maybe_oom(
-                self.name, flat_input.nbytes + partials.nbytes
+                self.name,
+                flat_input.nbytes + partials.nbytes,
+                device=self.device_key,
             )
-        tracer = self.profile.tracer
         trace = self.reduce_kernel.launch(
             {"_in": flat_input, "_out": partials},
             {"_n": n},
@@ -446,26 +727,32 @@ class CompiledFilter:
             injector=self.injector,
             guard=self._make_guard(self.reduce_kernel.kernel.name),
             tier=self.exec_tier,
-            tracer=tracer,
+            tracer=self.profile.tracer,
+            device=self.device_key,
         )
         timing = time_launch(trace, self.device)
         stages.kernel += timing.kernel_ns
-        tracer.charge(
+        sink.charge(
             "kernel",
             timing.kernel_ns,
             cat="stage",
             kernel=self.reduce_kernel.kernel.name,
             tier=trace.tier,
             global_size=groups * local,
+            **self._device_args(),
         )
         setup_ns = self.comm.setup_ns(buffers=2, launches=1)
         stages.opencl_setup += setup_ns
-        tracer.charge("opencl_setup", setup_ns, cat="stage", buffers=2)
+        sink.charge("opencl_setup", setup_ns, cat="stage", buffers=2)
         self.profile.kernel_launches += 1
         self.profile.record_tier(trace.tier)
         self.profile.metrics.histogram("kernel.launch_ns").observe(
             timing.kernel_ns
         )
+        if self.device_key is not None:
+            self.profile.metrics.histogram(
+                "kernel.launch_ns.{}".format(self.device_key)
+            ).observe(timing.kernel_ns)
         op = self.reduce_op
         if op == "+":
             result = partials.sum()
@@ -482,7 +769,7 @@ class CompiledFilter:
 
     # -- outbound path -----------------------------------------------------------------
 
-    def _outbound(self, result, stages):
+    def _outbound(self, result, stages, sink):
         return_type = self.worker.return_type
         if not isinstance(return_type, ArrayType):
             # Scalar result: negligible wire cost; the API round trip is
@@ -490,24 +777,23 @@ class CompiledFilter:
             return result
         if self.plan is not None and self.plan.output_row > 1:
             result = result.reshape(-1, self.plan.output_row)
-        tracer = self.profile.tracer
         data, c_stats = marshal.serialize(result, return_type, self.marshaller)
         data = self._transmit(data, "d2h")
         if not self.direct_marshal:
             cns = self.comm.c_marshal_ns(c_stats)
             stages.c_marshal += cns
-            tracer.charge("c_marshal", cns, cat="stage", direction="d2h")
+            sink.charge("c_marshal", cns, cat="stage", direction="d2h")
         value, j_stats = marshal.deserialize(data, return_type, self.marshaller)
         jns = self.comm.java_marshal_ns(j_stats)
         stages.java_marshal += jns
-        tracer.charge("java_marshal", jns, cat="stage", direction="d2h")
+        sink.charge("java_marshal", jns, cat="stage", direction="d2h")
         self.profile.bytes_from_device += c_stats.payload_bytes
         self.profile.metrics.inc(
             "transfer.bytes_from_device", c_stats.payload_bytes
         )
         tns = self.comm.transfer_ns(c_stats.payload_bytes)
         stages.transfer += tns
-        tracer.charge(
+        sink.charge(
             "transfer",
             tns,
             cat="stage",

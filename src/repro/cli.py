@@ -154,6 +154,33 @@ def cmd_run(args):
             file=sys.stderr,
         )
         return 1
+    devices = None
+    if args.devices:
+        from repro.opencl.device import DEVICES
+
+        devices = [d.strip() for d in args.devices.split(",") if d.strip()]
+        unknown = [d for d in devices if d not in DEVICES]
+        if unknown:
+            print(
+                "unknown device(s) {} (choose from: {})".format(
+                    ", ".join(unknown), ", ".join(sorted(DEVICES))
+                ),
+                file=sys.stderr,
+            )
+            return 1
+    kill_devices = {}
+    for spec in args.kill_device or []:
+        name, _, after = spec.partition(":")
+        try:
+            kill_devices[name] = int(after) if after else 0
+        except ValueError:
+            print(
+                "bad --kill-device spec '{}' (want NAME or NAME:N)".format(
+                    spec
+                ),
+                file=sys.stderr,
+            )
+            return 1
     sanitizer = SanitizerConfig.from_flags(
         sanitize=args.sanitize,
         deadline_ns=args.deadline_ns,
@@ -166,6 +193,8 @@ def cmd_run(args):
         cooloff=args.breaker_cooloff,
         silent_rate=args.silent_faults,
         sanitize=args.sanitize or args.deadline_ns is not None,
+        kill_devices=kill_devices,
+        oom_bytes=args.oom_bytes,
     )
     tracer = None
     if args.trace_out is not None:
@@ -182,6 +211,8 @@ def cmd_run(args):
         sanitizer=sanitizer,
         exec_tier=args.exec_tier,
         tracer=tracer,
+        devices=devices,
+        fleet_policy=args.fleet_policy,
     )
     print("benchmark: {}  target: {}".format(result.benchmark, result.target))
     if sanitizer is not None:
@@ -205,6 +236,22 @@ def cmd_run(args):
     if executor:
         print(executor)
     print(failure_report(result.faults))
+    if result.fleet:
+        print("fleet:")
+        for key in sorted(result.fleet):
+            h = result.fleet[key]
+            print(
+                "  {:12s} {:8s} launches={} faults={} demotions={} "
+                "promotions={} median_launch={:.0f}ns".format(
+                    key,
+                    h["state"],
+                    h["launches"],
+                    h["faults"],
+                    h["demotions"],
+                    h["promotions"],
+                    h["median_launch_ns"],
+                )
+            )
     if tracer is not None:
         if str(args.trace_out).endswith(".jsonl"):
             tracer.write_jsonl(args.trace_out, metrics=result.metrics)
@@ -275,7 +322,11 @@ def cmd_trace(args):
             )
         )
         return 0
-    print(flame_summary(events, top=args.top))
+    print(
+        flame_summary(
+            events, top=args.top, sort="wall" if args.wall else "self"
+        )
+    )
     return 0
 
 
@@ -379,6 +430,37 @@ def build_parser():
     )
     run_cmd.add_argument("benchmark", help="a Table 3 benchmark name")
     run_cmd.add_argument("--target", default="gtx580")
+    run_cmd.add_argument(
+        "--devices",
+        default=None,
+        help="comma-separated device keys (e.g. gtx580,hd5970): offload "
+        "to a health-scheduled multi-device fleet with transparent "
+        "failover instead of the single --target device",
+    )
+    run_cmd.add_argument(
+        "--fleet-policy",
+        choices=["health", "round-robin"],
+        default="health",
+        help="fleet placement strategy: rank devices by observed health "
+        "(median kernel time + fault history) or rotate round-robin",
+    )
+    run_cmd.add_argument(
+        "--kill-device",
+        action="append",
+        default=None,
+        metavar="NAME[:N]",
+        help="fault injection: device NAME fails every launch after its "
+        "first N (default 0 = from the start); repeatable, for fleet "
+        "failover drills",
+    )
+    run_cmd.add_argument(
+        "--oom-bytes",
+        type=int,
+        default=0,
+        help="fault injection: deterministic device memory ceiling — any "
+        "single launch allocating more bytes raises a device OOM, which "
+        "the glue recovers via NDRange-partitioned relaunch (0 = off)",
+    )
     run_cmd.add_argument("--scale", type=float, default=0.3)
     run_cmd.add_argument(
         "--steps", type=int, default=None, help="stream depth override"
@@ -505,6 +587,13 @@ def build_parser():
         type=int,
         default=None,
         help="show only the top N spans by self time",
+    )
+    trace_cmd.add_argument(
+        "--wall",
+        action="store_true",
+        help="sort the flame summary by wall-clock self-profiling time "
+        "(where the simulator itself spends real time) instead of "
+        "simulated self time",
     )
 
     return parser

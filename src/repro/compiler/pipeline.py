@@ -82,6 +82,7 @@ def compile_filter(
     max_sim_items=None,
     sanitizer=None,
     exec_tier=None,
+    device_key=None,
 ):
     """Compile one filter worker for ``device``.
 
@@ -110,10 +111,13 @@ def compile_filter(
     # compiler itself spends time. A rejection closes the "compile"
     # span with an error arg.
     tracer = profile.tracer
-    with tracer.span(
-        "compile", cat="compile",
-        worker=worker.qualified_name, device=device.name,
-    ):
+    # The ``device`` arg carries the fleet short key (it selects the
+    # Perfetto device track); single-device compiles report the model
+    # under ``target`` and stay on the main simulated-time track.
+    span_args = {"worker": worker.qualified_name, "target": device.name}
+    if device_key is not None:
+        span_args["device"] = device_key
+    with tracer.span("compile", cat="compile", **span_args):
         return _compile_filter_traced(
             checked,
             worker,
@@ -129,6 +133,7 @@ def compile_filter(
             max_sim_items,
             sanitizer,
             exec_tier,
+            device_key,
             tracer,
         )
 
@@ -148,6 +153,7 @@ def _compile_filter_traced(
     max_sim_items,
     sanitizer,
     exec_tier,
+    device_key,
     tracer,
 ):
     with tracer.span("recognize", cat="compile"):
@@ -208,6 +214,7 @@ def _compile_filter_traced(
             max_sim_items=max_sim_items,
             sanitizer=sanitizer,
             exec_tier=exec_tier,
+            device_key=device_key,
         )
 
     mapped = map_shape.mapped_method
@@ -275,6 +282,7 @@ def _compile_filter_traced(
                 max_sim_items=max_sim_items,
                 sanitizer=sanitizer,
                 exec_tier=exec_tier,
+                device_key=device_key,
             ),
         ):
             return compile_filter(
@@ -300,6 +308,7 @@ def _compile_filter_traced(
         max_sim_items=max_sim_items,
         sanitizer=sanitizer,
         exec_tier=exec_tier,
+        device_key=device_key,
     )
 
 
@@ -370,3 +379,102 @@ class Offloader:
             filter_worker = None
         self.compiled[key] = filter_worker
         return filter_worker
+
+
+class FleetOffloader:
+    """The engine-facing compilation service for a device *fleet*.
+
+    Same interface as :class:`Offloader`, but ``compile_filter``
+    compiles the worker once per fleet device (per-device timing models
+    and ``device_key`` tagging; the kernel cache keys on the device
+    name, so shared codegen is reused where models agree) and returns a
+    :class:`repro.runtime.fleet.FleetWorker` that health-routes every
+    stream item across the devices with transparent failover.
+
+    Args:
+        devices: device short keys in registration order, e.g.
+            ``["gtx580", "hd5970"]``.
+        policy: a :class:`repro.runtime.resilience.FleetPolicy` (or
+            None for the defaults: health-ranked placement).
+
+    The remaining keyword arguments mirror :class:`Offloader`.
+    """
+
+    def __init__(
+        self,
+        devices,
+        policy=None,
+        config=None,
+        comm=None,
+        marshaller=marshal.SPECIALIZED,
+        local_size=None,
+        direct_marshal=False,
+        overlap=False,
+        max_sim_items=None,
+        sanitizer=None,
+        exec_tier=None,
+    ):
+        from repro.runtime.fleet import DeviceFleet
+
+        self.fleet = DeviceFleet(devices, policy=policy)
+        self.config = config or OptimizationConfig()
+        self.comm = comm or CommCostModel()
+        self.marshaller = marshaller
+        self.local_size = local_size
+        self.direct_marshal = direct_marshal
+        self.overlap = overlap
+        self.max_sim_items = max_sim_items
+        self.sanitizer = sanitizer
+        self.exec_tier = exec_tier
+        self.rejections = []
+        self.compiled = {}
+
+    @property
+    def device(self):
+        """The first fleet device, for callers that report a primary
+        target (the harness result header)."""
+        return self.fleet.devices[self.fleet.keys[0]]
+
+    def compile_filter(self, checked, worker, profile, bound_values=None):
+        from repro.runtime.fleet import FleetWorker
+
+        key = worker.qualified_name
+        if key in self.compiled and self.compiled[key] is None:
+            return None  # previously rejected
+        self.fleet.monitor.bind(profile)
+        filters = {}
+        try:
+            for device_key in self.fleet.keys:
+                filters[device_key] = compile_filter(
+                    checked,
+                    worker,
+                    device=self.fleet.devices[device_key],
+                    config=self.config,
+                    comm=self.comm,
+                    profile=profile,
+                    marshaller=self.marshaller,
+                    local_size=self.local_size,
+                    bound_values=bound_values,
+                    direct_marshal=self.direct_marshal,
+                    overlap=self.overlap,
+                    max_sim_items=self.max_sim_items,
+                    sanitizer=self.sanitizer,
+                    exec_tier=self.exec_tier,
+                    device_key=device_key,
+                )
+        except KernelRejected as reason:
+            # Offloadability is shape-based, so a rejection on one
+            # device is a rejection for the whole fleet.
+            self.rejections.append((key, str(reason)))
+            self.compiled[key] = None
+            return None
+        for filt in filters.values():
+            filt.partition_depth = self.fleet.policy.partition_depth
+        fleet_worker = FleetWorker(
+            name=key,
+            filters=filters,
+            monitor=self.fleet.monitor,
+            profile=profile,
+        )
+        self.compiled[key] = fleet_worker
+        return fleet_worker

@@ -76,6 +76,7 @@ class RunResult:
     faults: dict = field(default_factory=dict)  # FailureLedger.summary()
     executor: dict = field(default_factory=dict)  # executor_summary()
     metrics: dict = field(default_factory=dict)  # MetricsRegistry.as_dict()
+    fleet: dict = field(default_factory=dict)  # HealthMonitor.snapshot()
 
     @property
     def communication_ns(self):
@@ -97,6 +98,8 @@ def run_configuration(
     sanitizer=None,
     exec_tier=None,
     tracer=None,
+    devices=None,
+    fleet_policy=None,
 ):
     """Run one benchmark end to end against one target.
 
@@ -122,6 +125,14 @@ def run_configuration(
             ``host_compute`` span (interpreter time is only known at
             the end of the run) so the trace covers the full reported
             simulated total.
+        devices: optional list of device short keys — offload to a
+            health-scheduled multi-device fleet
+            (:class:`repro.compiler.pipeline.FleetOffloader`) instead
+            of the single-device ``target``; the target is then only
+            the fallback label.
+        fleet_policy: placement strategy for ``devices`` — a
+            :class:`repro.runtime.resilience.FleetPolicy`, or the
+            strategy name (``"health"`` / ``"round-robin"``).
 
     Returns a :class:`RunResult` with simulated nanoseconds.
     """
@@ -130,12 +141,30 @@ def run_configuration(
     checked = bench.checked()
     inputs = bench.make_input(scale=scale)
     steps = steps if steps is not None else bench.steps
-    offloader = target.make_offloader(
-        config,
-        max_sim_items=max_sim_items,
-        sanitizer=sanitizer,
-        exec_tier=exec_tier,
-    )
+    if devices:
+        from repro.compiler.pipeline import FleetOffloader
+        from repro.runtime.resilience import FleetPolicy
+
+        policy = fleet_policy
+        if isinstance(policy, str):
+            policy = FleetPolicy(policy=policy)
+        offloader = FleetOffloader(
+            devices,
+            policy=policy,
+            config=config or OptimizationConfig(),
+            max_sim_items=max_sim_items,
+            sanitizer=sanitizer,
+            exec_tier=exec_tier,
+        )
+        target_name = "fleet:" + "+".join(devices)
+    else:
+        offloader = target.make_offloader(
+            config,
+            max_sim_items=max_sim_items,
+            sanitizer=sanitizer,
+            exec_tier=exec_tier,
+        )
+        target_name = target.name
     engine = Engine(
         checked, offloader=offloader, resilience=resilience, tracer=tracer
     )
@@ -153,7 +182,7 @@ def run_configuration(
     ledger = engine.profile.faults
     return RunResult(
         benchmark=bench.name,
-        target=target.name,
+        target=target_name,
         checksum=float(checksum),
         total_ns=engine.total_ns(),
         host_compute_ns=engine.host_compute_ns(),
@@ -163,4 +192,5 @@ def run_configuration(
         faults=ledger.summary() if ledger.any_activity() else {},
         executor=engine.profile.executor_summary(),
         metrics=engine.profile.metrics.as_dict(),
+        fleet=offloader.fleet.snapshot() if devices else {},
     )

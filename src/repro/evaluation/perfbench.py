@@ -68,6 +68,8 @@ def capture_launches():
         guard=None,
         tier=None,
         tracer=None,
+        index_base=0,
+        device=None,
     ):
         rec = captured.setdefault(
             self.kernel.name, {"kernel": self, "launches": []}
@@ -90,6 +92,8 @@ def capture_launches():
             guard=guard,
             tier=tier,
             tracer=tracer,
+            index_base=index_base,
+            device=device,
         )
 
     ex.CompiledKernel.launch = recording
@@ -238,6 +242,51 @@ def run_bench(
         else:
             tracer.write_chrome(trace_out)
     return results
+
+
+METRICS_PIN_SCALE = 0.3
+METRICS_PIN_SIM_ITEMS = 256
+
+
+def collect_metrics(
+    apps=None,
+    scale=METRICS_PIN_SCALE,
+    max_sim_items=METRICS_PIN_SIM_ITEMS,
+    target="gtx580",
+):
+    """Capture every app's canonical counters at a *pinned* config.
+
+    Runs each app end to end (default compiler config, fixed scale and
+    work-item cap — deliberately independent of the REPRO_BENCH_* env
+    knobs) and keeps the integer-valued metrics from
+    ``RunResult.metrics``: ``executor.launches.*``, ``cache.*``,
+    ``transfer.bytes_*``, histogram ``.count``s, and any ``recovery.*``
+    / ``guards.*`` activity. Simulated-nanosecond floats are dropped —
+    they move legitimately with cost-model tuning, while a count that
+    changes means the execution shape changed and should be an explicit
+    commit (see ``benchmarks/perf/test_metrics_baseline.py``).
+    """
+    apps = list(apps) if apps else sorted(BENCHMARKS)
+    out = {
+        "target": target,
+        "scale": scale,
+        "max_sim_items": max_sim_items,
+        "apps": {},
+    }
+    for name in apps:
+        result = run_configuration(
+            BENCHMARKS[name],
+            target,
+            scale=scale,
+            steps=1,
+            max_sim_items=max_sim_items,
+        )
+        out["apps"][name] = {
+            key: value
+            for key, value in sorted(result.metrics.items())
+            if isinstance(value, int) and not isinstance(value, bool)
+        }
+    return out
 
 
 def format_bench(results):

@@ -11,9 +11,11 @@ using the same device/communication models the Lime runtime uses.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
-from repro.errors import DeviceError
+from repro.errors import DeviceError, TransferFault
 from repro.opencl.clc import compile_opencl_source
 from repro.opencl.device import DEVICES, get_device
 from repro.opencl.executor import compile_kernel
@@ -148,17 +150,43 @@ class CommandQueue:
     ``profile`` accumulates per-category nanoseconds:
     ``transfer`` (reads+writes), ``setup`` (API overhead), ``kernel``
     (device execution). ``events`` lists every operation in order.
+
+    Hand-tuned baselines get the same fault model as the Lime runtime:
+    pass an ``injector`` (:class:`repro.runtime.resilience.FaultInjector`)
+    and every transfer is CRC-checked over the (possibly corrupted)
+    wire — a flipped bit raises :class:`repro.errors.TransferFault` —
+    while launches route through the injector's launch/OOM points.
+    ``device_key`` names this queue's device for the injector's
+    per-device specs and kill switch, one queue per fleet device.
     """
 
-    def __init__(self, context, comm=None):
+    def __init__(self, context, comm=None, injector=None, device_key=None):
         self.context = context
         self.comm = comm or CommCostModel()
+        self.injector = injector
+        self.device_key = device_key
         self.profile = {"transfer": 0.0, "setup": 0.0, "kernel": 0.0}
         self.events = []
         self.last_timing = None
 
+    def _transmit(self, payload, direction, label):
+        if self.injector is None:
+            return payload
+        sent_crc = zlib.crc32(payload)
+        received = self.injector.transmit(
+            payload, direction, label, device=self.device_key
+        )
+        if zlib.crc32(received) != sent_crc:
+            raise TransferFault(
+                "CRC mismatch on {} transfer for '{}'".format(direction, label)
+            )
+        return received
+
     def enqueue_write_buffer(self, buffer, data):
         flat = np.ascontiguousarray(data).reshape(-1)
+        wire = self._transmit(flat.tobytes(), "h2d", "write_buffer")
+        if self.injector is not None:
+            flat = np.frombuffer(wire, dtype=flat.dtype)
         if flat.nbytes != buffer.array.nbytes:
             buffer.array = flat.copy()
         else:
@@ -169,7 +197,13 @@ class CommandQueue:
 
     def enqueue_read_buffer(self, buffer, out):
         flat = out.reshape(-1)
-        flat[:] = buffer.array[: flat.size]
+        wire = self._transmit(
+            buffer.array[: flat.size].tobytes(), "d2h", "read_buffer"
+        )
+        if self.injector is not None:
+            flat[:] = np.frombuffer(wire, dtype=buffer.array.dtype)[: flat.size]
+        else:
+            flat[:] = buffer.array[: flat.size]
         ns = self.comm.transfer_ns(flat.nbytes)
         self.profile["transfer"] += ns
         self.events.append(("read", flat.nbytes, ns))
@@ -178,7 +212,20 @@ class CommandQueue:
         device = self.context.device.model
         local_size = local_size or device.default_local_size
         buffers, scalars = kernel.bound_arguments()
-        trace = kernel.compiled.launch(buffers, scalars, global_size, local_size)
+        if self.injector is not None:
+            self.injector.maybe_oom(
+                kernel.kernel_ir.name,
+                sum(buf.nbytes for buf in buffers.values()),
+                device=self.device_key,
+            )
+        trace = kernel.compiled.launch(
+            buffers,
+            scalars,
+            global_size,
+            local_size,
+            injector=self.injector,
+            device=self.device_key,
+        )
         timing = time_launch(trace, device)
         self.last_timing = timing
         self.profile["kernel"] += timing.kernel_ns

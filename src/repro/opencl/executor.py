@@ -1884,6 +1884,8 @@ class CompiledKernel:
         guard=None,
         tier=None,
         tracer=None,
+        index_base=0,
+        device=None,
     ):
         """Execute the NDRange.
 
@@ -1917,6 +1919,18 @@ class CompiledKernel:
                 afterwards — but real wall-clock cost), and the
                 post-launch race scan gets its own "sanitizer_scan"
                 span.
+            index_base: offset added to every work-item's global id —
+                the glue's OOM-partitioned relaunch covers the index
+                range ``[index_base, index_base + coverage)`` of a
+                split NDRange with otherwise-identical per-index
+                computation (grid-stride kernels stride from
+                ``get_global_id(0)`` by ``global_size``). Offset
+                launches always run per-item: the batch codegen assumes
+                lane ids start at 0.
+            device: fleet device key, if any — routed to the injector
+                (per-device fault specs and the kill switch) and tagged
+                on the "device" span so the Chrome exporter can give
+                each fleet member its own track.
 
         Returns a :class:`LaunchTrace`.
         """
@@ -1924,7 +1938,7 @@ class CompiledKernel:
             tracer = NULL_TRACER
         kernel = self.kernel
         if injector is not None:
-            injector.maybe_fail_launch(kernel.name)
+            injector.maybe_fail_launch(kernel.name, device=device)
         if global_size % local_size != 0:
             raise DeviceError(
                 "global size {} is not a multiple of local size {}".format(
@@ -1961,8 +1975,14 @@ class CompiledKernel:
                     )
                 scalar_args.append(scalars[param.name])
 
+        extra_span_args = {}
+        if device is not None:
+            extra_span_args["device"] = device
+        if index_base:
+            extra_span_args["index_base"] = index_base
+
         resolved_tier = resolve_exec_tier(tier)
-        if guard is None and resolved_tier in ("auto", "batch"):
+        if guard is None and index_base == 0 and resolved_tier in ("auto", "batch"):
             batch_fn = self._batch_callable()
             if batch_fn is not None:
                 with tracer.span(
@@ -1972,6 +1992,7 @@ class CompiledKernel:
                     tier="batch",
                     global_size=global_size,
                     local_size=local_size,
+                    **extra_span_args,
                 ):
                     return self._launch_batch(
                         batch_fn,
@@ -2022,6 +2043,7 @@ class CompiledKernel:
             tier=trace.tier,
             global_size=global_size,
             local_size=local_size,
+            **extra_span_args,
         ):
             for group in range(n_groups):
                 local_mem = [
@@ -2033,7 +2055,7 @@ class CompiledKernel:
                 ]
                 items = []
                 for lid in range(local_size):
-                    gid = group * local_size + lid
+                    gid = index_base + group * local_size + lid
                     gen = item_fn(
                         gid,
                         lid,

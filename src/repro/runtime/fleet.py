@@ -1,0 +1,151 @@
+"""Health-aware multi-device scheduling with transparent failover.
+
+A :class:`DeviceFleet` registers several simulated devices behind one
+offloaded task. Each stream item is placed on the healthiest eligible
+device (:class:`repro.runtime.resilience.HealthMonitor` scores devices
+from their observed ``kernel.launch_ns`` and fault history); when the
+placed device faults mid-item, the :class:`FleetWorker` replays the
+item's already-marshalled :class:`repro.backend.glue.LaunchRecord` on
+the next-best device — the marshal work is reused, only the bus
+transfer is paid again. Only when *every* fleet device fails does the
+fault surface to the wrapping
+:class:`repro.runtime.resilience.ResilientWorker`, whose retry/breaker/
+host-interpreter fallback remains the terminal tier.
+
+The degradation ladder for one stream item is therefore::
+
+    best device -> next-best device -> ... -> retry -> host interpreter
+
+with every rung accounted in simulated time (failover re-transfers,
+retry backoff) and in the run's :class:`FailureLedger`
+(``recovery.failovers``, ``recovery.failovers.from.<device>``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import RuntimeFault
+from repro.opencl.device import get_device
+from repro.runtime.resilience import FleetPolicy, HealthMonitor
+
+
+class DeviceFleet:
+    """A named set of simulated devices plus their shared health state.
+
+    Args:
+        keys: device short keys (``repro.opencl.device.DEVICES``), in
+            registration order — the deterministic tiebreak for equal
+            health scores.
+        policy: a :class:`repro.runtime.resilience.FleetPolicy`.
+    """
+
+    def __init__(self, keys, policy=None):
+        self.keys = list(keys)
+        self.devices = {key: get_device(key) for key in self.keys}
+        self.policy = policy or FleetPolicy()
+        self.monitor = HealthMonitor(self.keys, policy=self.policy)
+
+    def snapshot(self):
+        return self.monitor.snapshot()
+
+
+class FleetWorker:
+    """The offloaded worker for one filter task across a device fleet.
+
+    Holds one compiled :class:`~repro.backend.glue.CompiledFilter` per
+    device (same kernel, device-specific timing model and ``device_key``
+    tagging) and walks the monitor's placement order per stream item.
+    Drop-in replacement for a single ``CompiledFilter`` as the engine's
+    device worker: exposes the same ``injector``/``retry`` attributes
+    (fanned out to every per-device filter) so
+    ``ResiliencePolicy.wrap`` composes unchanged.
+    """
+
+    def __init__(self, name, filters, monitor, profile):
+        self.name = name
+        self.filters = dict(filters)  # device key -> CompiledFilter
+        self.monitor = monitor
+        self.profile = profile
+        self._injector = None
+        self._retry = None
+        self.items = 0
+
+    @property
+    def injector(self):
+        return self._injector
+
+    @injector.setter
+    def injector(self, value):
+        self._injector = value
+        for filt in self.filters.values():
+            filt.injector = value
+
+    @property
+    def retry(self):
+        return self._retry
+
+    @retry.setter
+    def retry(self, value):
+        self._retry = value
+        for filt in self.filters.values():
+            filt.retry = value
+
+    def __call__(self, value=None):
+        ledger = self.profile.faults
+        tracer = self.profile.tracer
+        # One "item" span per stream item, owned by the fleet worker so
+        # failover attempts on several devices nest under a single span.
+        with tracer.span(
+            "item", cat="task", task=self.name, seq=self.items
+        ):
+            order = [k for k in self.monitor.placement_order()
+                     if k in self.filters]
+            record = None
+            last_err = None
+            failed = None
+            for key in order:
+                filt = self.filters[key]
+                if failed is not None:
+                    ledger.record_failover(self.name, failed, key)
+                    tracer.instant(
+                        "failover",
+                        cat="recovery",
+                        task=self.name,
+                        device=failed,
+                        to=key,
+                    )
+                try:
+                    if record is None:
+                        record = filt.prepare(value)
+                    elif failed is not None:
+                        # Replaying marshalled inputs on a new device:
+                        # pay the bus transfer again, skip the marshal.
+                        filt.charge_failover(record)
+                    kernel_before = record.stages.kernel
+                    result = filt.run_prepared(record)
+                except RuntimeFault as err:
+                    stage = getattr(err, "stage", None) or "device"
+                    self.monitor.observe_fault(key, stage)
+                    ledger.record_fault(self.name, stage)
+                    last_err = err
+                    failed = key
+                    if record is None or record.device_values is None:
+                        # The marshal itself failed; its time is lost
+                        # (the next device re-marshals from scratch).
+                        partial = getattr(err, "partial_stages", None)
+                        if partial is not None:
+                            ledger.add_time_lost(self.name, partial.total())
+                            self.profile.record_recovery(
+                                self.name, partial.total()
+                            )
+                        record = None
+                    continue
+                # Score this device on its own kernel time, not on time
+                # accumulated by earlier failed attempts.
+                self.monitor.observe_success(
+                    key, record.stages.kernel - kernel_before
+                )
+                self.items += 1
+                return result
+        # Every fleet device failed this item: surface the last fault to
+        # the resilience layer (retry, then host interpreter).
+        raise last_err

@@ -111,6 +111,12 @@ class TaskFaultRecord:
     count differential-validation samples and how many disagreed with
     the host; ``promotions`` counts half-open breaker probes that
     returned the task from the host to the device.
+
+    Fleet scheduling adds: ``failovers`` counts stream items replayed
+    on another fleet device after the placed device faulted (the item
+    still completed on *a* device — not a fallback); and
+    ``partitioned_launches`` counts chunk launches executed because a
+    device OOM forced the NDRange to be split.
     """
 
     faults: int = 0
@@ -123,6 +129,8 @@ class TaskFaultRecord:
     validations: int = 0
     mismatches: int = 0
     promotions: int = 0
+    failovers: int = 0
+    partitioned_launches: int = 0
 
 
 class FailureLedger:
@@ -184,6 +192,22 @@ class FailureLedger:
         self._record(task_name).promotions += 1
         self.metrics.inc("recovery.promotions")
 
+    def record_failover(self, task_name, from_device, to_device):
+        """A stream item was transparently replayed on ``to_device``
+        after ``from_device`` faulted — the fleet absorbed the fault
+        without involving the host."""
+        self._record(task_name).failovers += 1
+        self.metrics.inc("recovery.failovers")
+        self.metrics.inc(
+            "recovery.failovers.from.{}".format(from_device)
+        )
+
+    def record_partition(self, task_name, chunks):
+        """A device-OOM launch completed as ``chunks`` partitioned chunk
+        launches instead of failing the task."""
+        self._record(task_name).partitioned_launches += chunks
+        self.metrics.inc("recovery.partitioned_launches", chunks)
+
     def add_time_lost(self, task_name, ns):
         self._record(task_name).time_lost_ns += ns
         self.metrics.inc("recovery.time_lost_ns", ns)
@@ -228,48 +252,53 @@ class FailureLedger:
     def total_promotions(self):
         return sum(rec.promotions for rec in self.tasks.values())
 
+    @property
+    def total_failovers(self):
+        return sum(rec.failovers for rec in self.tasks.values())
+
+    @property
+    def total_partitioned_launches(self):
+        return sum(rec.partitioned_launches for rec in self.tasks.values())
+
     def any_faults(self):
         return self.total_faults > 0
 
     def any_activity(self):
         """True when the ledger holds anything worth reporting — faults,
-        sanitizer trips, validation samples, or re-promotions."""
+        sanitizer trips, validation samples, re-promotions, fleet
+        failovers, or partitioned relaunches."""
         return bool(self.tasks) and (
             self.any_faults()
             or self.total_trips
             or self.total_validations
             or self.total_promotions
+            or self.total_failovers
+            or self.total_partitioned_launches
         )
 
     def summary(self):
         """A plain-dict view (stable across runs with the same seed).
 
-        Canonical ``recovery.*`` / ``guards.*`` keys mirror the
-        :class:`~repro.runtime.tracing.MetricsRegistry` names; the bare
-        legacy keys (``faults``, ``retries``, ...) are aliases kept for
-        one release (see docs/OBSERVABILITY.md).
+        Aggregate keys are the canonical ``recovery.*`` / ``guards.*``
+        metric names, mirroring the
+        :class:`~repro.runtime.tracing.MetricsRegistry`; the bare legacy
+        aliases (``faults``, ``retries``, ...) served their one-release
+        deprecation and are gone. ``demoted_tasks`` lists the tasks the
+        breaker moved to the host (``recovery.demotions`` is the count).
         """
         return {
-            # Canonical metric names.
             "recovery.faults": self.total_faults,
             "recovery.retries": self.total_retries,
             "recovery.fallbacks": self.total_fallbacks,
             "recovery.demotions": len(self.demotions),
             "recovery.promotions": self.total_promotions,
+            "recovery.failovers": self.total_failovers,
+            "recovery.partitioned_launches": self.total_partitioned_launches,
             "recovery.time_lost_ns": self.time_lost_ns,
             "guards.trips": self.total_trips,
             "guards.validations": self.total_validations,
             "guards.mismatches": self.total_mismatches,
-            # Legacy aliases (deprecated, one release).
-            "faults": self.total_faults,
-            "retries": self.total_retries,
-            "fallbacks": self.total_fallbacks,
-            "demotions": list(self.demotions),
-            "time_lost_ns": self.time_lost_ns,
-            "trips": self.total_trips,
-            "validations": self.total_validations,
-            "mismatches": self.total_mismatches,
-            "promotions": self.total_promotions,
+            "demoted_tasks": list(self.demotions),
             "per_task": {
                 name: {
                     "faults": rec.faults,
@@ -282,6 +311,8 @@ class FailureLedger:
                     "validations": rec.validations,
                     "mismatches": rec.mismatches,
                     "promotions": rec.promotions,
+                    "failovers": rec.failovers,
+                    "partitioned_launches": rec.partitioned_launches,
                 }
                 for name, rec in sorted(self.tasks.items())
             },
@@ -305,29 +336,26 @@ def render_failure_summary(summary):
     per_task = (summary or {}).get("per_task") or {}
     if not per_task:
         return "failure ledger: no device faults recorded"
-
-    def _get(canonical, legacy, default=0):
-        if canonical in summary:
-            return summary[canonical]
-        return summary.get(legacy, default)
-
-    demotions = _get("recovery.demotions", "demotions", 0)
-    if isinstance(demotions, list):
-        demotions = len(demotions)
     header = (
         "failure ledger: faults={} retries={} fallbacks={} demotions={} "
         "time_lost_ns={:.0f}".format(
-            _get("recovery.faults", "faults"),
-            _get("recovery.retries", "retries"),
-            _get("recovery.fallbacks", "fallbacks"),
-            demotions,
-            _get("recovery.time_lost_ns", "time_lost_ns", 0.0),
+            summary.get("recovery.faults", 0),
+            summary.get("recovery.retries", 0),
+            summary.get("recovery.fallbacks", 0),
+            summary.get("recovery.demotions", 0),
+            summary.get("recovery.time_lost_ns", 0.0),
         )
     )
-    trips = _get("guards.trips", "trips", {}) or {}
-    validations = _get("guards.validations", "validations")
-    mismatches = _get("guards.mismatches", "mismatches")
-    promotions = _get("recovery.promotions", "promotions")
+    failovers = summary.get("recovery.failovers", 0)
+    partitioned = summary.get("recovery.partitioned_launches", 0)
+    if failovers or partitioned:
+        header += "\n  fleet: failovers={} partitioned_launches={}".format(
+            failovers, partitioned
+        )
+    trips = summary.get("guards.trips", {}) or {}
+    validations = summary.get("guards.validations", 0)
+    mismatches = summary.get("guards.mismatches", 0)
+    promotions = summary.get("recovery.promotions", 0)
     if trips or validations or promotions:
         parts = [
             "{}={}".format(kind, count) for kind, count in sorted(trips.items())
@@ -350,6 +378,10 @@ def render_failure_summary(summary):
             )
         if rec.get("promotions"):
             extra += " promotions={}".format(rec["promotions"])
+        if rec.get("failovers"):
+            extra += " failovers={}".format(rec["failovers"])
+        if rec.get("partitioned_launches"):
+            extra += " partitioned={}".format(rec["partitioned_launches"])
         lines.append(
             "  {}: faults={} ({}) retries={} fallbacks={}{}{} "
             "time_lost={:.0f}ns".format(
@@ -371,9 +403,9 @@ def render_executor_summary(summary):
     kernel-cache counters, keyed by the canonical metric names."""
     if not summary:
         return ""
-    tiers = summary.get("executor.launches", summary.get("tiers", {})) or {}
-    hits = summary.get("cache.hits", summary.get("cache_hits", 0))
-    misses = summary.get("cache.misses", summary.get("cache_misses", 0))
+    tiers = summary.get("executor.launches", {}) or {}
+    hits = summary.get("cache.hits", 0)
+    misses = summary.get("cache.misses", 0)
     if not tiers and not hits and not misses:
         return ""
     parts = [
@@ -421,19 +453,14 @@ class ExecutionProfile:
             self.metrics.inc("cache.misses")
 
     def executor_summary(self):
-        """Tier and compilation-cache counters for reports. Canonical
-        metric names, with the pre-tracing keys (``tiers``,
-        ``cache_hits``, ``cache_misses``) kept as aliases for one
-        release."""
-        tiers = dict(sorted(self.tier_launches.items()))
+        """Tier and compilation-cache counters for reports, keyed by the
+        canonical metric names (the pre-tracing ``tiers`` /
+        ``cache_hits`` / ``cache_misses`` aliases completed their
+        one-release deprecation and are gone)."""
         return {
-            "executor.launches": tiers,
+            "executor.launches": dict(sorted(self.tier_launches.items())),
             "cache.hits": self.cache_hits,
             "cache.misses": self.cache_misses,
-            # Legacy aliases (deprecated, one release).
-            "tiers": tiers,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
         }
 
     def task_stages(self, task_name):

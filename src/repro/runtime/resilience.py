@@ -26,6 +26,12 @@ TornadoVM-style JIT fallback):
   host interpreter and the simulated device compute identical results,
   retries and demotions never change program output — only the failure
   ledger and the recovery stage time.
+- :class:`HealthMonitor` / :class:`FleetPolicy` — the fleet-scheduling
+  brain (StarPU-style): per-device health scored from observed
+  ``kernel.launch_ns`` samples and per-device circuit breakers, with
+  slow-device demotion *before* the breaker trips and cooloff probes
+  that re-promote a recovered device. Consumed by
+  :class:`repro.runtime.fleet.DeviceFleet`.
 
 Everything here is simulation-deterministic: the same seed and the same
 program produce the same faults, the same recovery path, and the same
@@ -36,10 +42,12 @@ under injection.
 from __future__ import annotations
 
 import random
+import statistics
 from dataclasses import dataclass
 
 from repro.errors import DeviceOOM, LaunchFault, RuntimeFault, SanitizerFault, ValidationFault
 from repro.runtime.sanitizer import values_equal
+from repro.runtime.tracing import NULL_TRACER, MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -54,6 +62,13 @@ class FaultSpec:
     mismatch; only sampled differential validation
     (``--validate-every``) can catch it. All default to 0.0
     (injection off).
+
+    ``oom_bytes`` is a *deterministic* OOM mode orthogonal to the
+    probabilistic ``oom``: any single allocation request larger than
+    the threshold reports out-of-memory, every time. This models a
+    device with a hard memory ceiling (rather than a flaky allocator)
+    and is what exercises the glue's partitioned-relaunch path — a
+    launch split into small enough chunks always fits. 0 disables it.
     """
 
     transfer: float = 0.0
@@ -61,6 +76,7 @@ class FaultSpec:
     oom: float = 0.0
     silent: float = 0.0
     seed: int = 0
+    oom_bytes: int = 0
 
     @classmethod
     def uniform(cls, p, seed=0, silent=0.0):
@@ -76,6 +92,7 @@ class FaultSpec:
             or self.launch > 0
             or self.oom > 0
             or self.silent > 0
+            or self.oom_bytes > 0
         )
 
 
@@ -85,24 +102,46 @@ class FaultInjector:
     The injector draws from a single seeded stream in simulation order,
     so a run is reproducible fault-for-fault given the same seed and
     workload. ``injected`` counts fired faults by stage.
+
+    Fleet runs route every injection point through an optional device
+    key: ``device_specs`` overrides the base spec for a named device
+    (so one fleet member can be flaky while the rest stay clean), and
+    ``kill_after`` is a per-device kill switch — launch number N and
+    every launch after it on that device fails with a
+    :class:`repro.errors.LaunchFault`, which is how the chaos tests
+    take a device down mid-stream deterministically.
     """
 
-    def __init__(self, spec):
+    def __init__(self, spec, device_specs=None, kill_after=None):
         self.spec = spec
+        self.device_specs = dict(device_specs or {})
+        self.kill_after = dict(kill_after or {})
         self._rng = random.Random(spec.seed)
+        self._launches = {}  # device key -> launches attempted so far
         self.injected = {"transfer": 0, "launch": 0, "oom": 0, "silent": 0}
 
     def _fire(self, p):
         return p > 0.0 and self._rng.random() < p
 
+    def _spec_for(self, device):
+        if device is not None and device in self.device_specs:
+            return self.device_specs[device]
+        return self.spec
+
+    def kill_device(self, device, after=0):
+        """Arm the kill switch: every launch on ``device`` after the
+        first ``after`` successful ones fails. ``after=0`` kills the
+        device before it ever runs."""
+        self.kill_after[device] = int(after)
+
     # -- injection points (called from glue.py / executor.py) ---------------
 
-    def transmit(self, data, direction, task_name):
+    def transmit(self, data, direction, task_name, device=None):
         """Pass wire bytes through the (faulty) link; may return a copy
         with a single bit flipped. ``direction`` is "h2d" or "d2h". The
         receiving side detects corruption via the simulated CRC check in
         the glue and raises :class:`repro.errors.TransferFault`."""
-        if not self._fire(self.spec.transfer):
+        if not self._fire(self._spec_for(device).transfer):
             return data
         corrupted = bytearray(data)
         if not corrupted:
@@ -112,30 +151,47 @@ class FaultInjector:
         self.injected["transfer"] += 1
         return bytes(corrupted)
 
-    def maybe_fail_launch(self, kernel_name):
+    def maybe_fail_launch(self, kernel_name, device=None):
         """Called by the executor at the top of every launch."""
-        if self._fire(self.spec.launch):
+        count = self._launches.get(device, 0)
+        self._launches[device] = count + 1
+        if device in self.kill_after and count >= self.kill_after[device]:
+            self.injected["launch"] += 1
+            raise LaunchFault(
+                "injected device kill: device '{}' is down (kernel "
+                "'{}')".format(device, kernel_name)
+            )
+        if self._fire(self._spec_for(device).launch):
             self.injected["launch"] += 1
             raise LaunchFault(
                 "injected launch failure in kernel '{}'".format(kernel_name)
             )
 
-    def maybe_oom(self, task_name, nbytes):
+    def maybe_oom(self, task_name, nbytes, device=None):
         """Called by the glue after sizing a launch's buffers."""
-        if self._fire(self.spec.oom):
+        spec = self._spec_for(device)
+        if spec.oom_bytes and nbytes > spec.oom_bytes:
+            self.injected["oom"] += 1
+            raise DeviceOOM(
+                "injected device OOM: {} bytes exceeds the {}-byte device "
+                "ceiling for task '{}'".format(
+                    int(nbytes), int(spec.oom_bytes), task_name
+                )
+            )
+        if self._fire(spec.oom):
             self.injected["oom"] += 1
             raise DeviceOOM(
                 "injected device OOM allocating {} bytes for task "
                 "'{}'".format(int(nbytes), task_name)
             )
 
-    def maybe_corrupt_output(self, out, task_name):
+    def maybe_corrupt_output(self, out, task_name, device=None):
         """Called by the glue after a successful kernel launch: may
         silently perturb one element of the output buffer in place.
         Nothing raises and no checksum fails — this models the
         silently-wrong kernel that only differential validation
         catches."""
-        if not self._fire(self.spec.silent) or out.size == 0:
+        if not self._fire(self._spec_for(device).silent) or out.size == 0:
             return
         pos = self._rng.randrange(out.size)
         flat = out.reshape(-1)
@@ -224,6 +280,251 @@ class CircuitBreaker:
             self.host_successes = 0
             return True
         return False
+
+
+@dataclass(frozen=True)
+class FleetPolicy:
+    """Scheduling and failover knobs for a device fleet.
+
+    ``policy`` selects the placement strategy: ``"health"`` ranks
+    devices by observed median ``kernel.launch_ns`` (unexplored devices
+    are tried first so every fleet member gets scored), while
+    ``"round-robin"`` rotates placements across healthy devices.
+
+    A device is demoted — dropped to failover-target-of-last-resort —
+    either when its per-device circuit breaker trips
+    (``breaker_threshold`` consecutive faults) or *earlier*, when its
+    median launch time over the last ``window`` samples reaches
+    ``slow_factor`` × the median of the rest of the fleet: slow **for
+    this workload** is a health signal the breaker never sees. After
+    ``cooloff`` placements elsewhere, the next stream item probes the
+    demoted device; a clean, fast probe re-promotes it, a faulted or
+    still-slow probe re-demotes it and restarts the cooloff.
+
+    ``partition_depth`` bounds the glue's OOM-partitioned relaunch: an
+    out-of-memory NDRange is split in half at most this many times
+    (≤ 2**depth chunks) before the OOM is surfaced to the retry layer.
+    """
+
+    policy: str = "health"
+    slow_factor: float = 4.0
+    window: int = 8
+    min_samples: int = 3
+    cooloff: int = 4
+    breaker_threshold: int = 3
+    partition_depth: int = 4
+
+
+class DeviceHealth:
+    """Mutable per-device record inside a :class:`HealthMonitor`."""
+
+    def __init__(self, key, index, policy):
+        self.key = key
+        self.index = index  # registration order, the deterministic tiebreak
+        self.window = policy.window
+        self.state = "healthy"  # "healthy" | "demoted"
+        self.probing = False
+        self.reason = None
+        self.samples = []  # sliding window of kernel.launch_ns
+        self.breaker = CircuitBreaker(policy.breaker_threshold)
+        self.launches = 0
+        self.faults = 0
+        self.demotions = 0
+        self.promotions = 0
+        self.idle = 0  # placements elsewhere since demotion
+
+    @property
+    def healthy(self):
+        return self.state == "healthy"
+
+    def observe(self, ns):
+        self.launches += 1
+        self.samples.append(float(ns))
+        if len(self.samples) > self.window:
+            del self.samples[0]
+
+    def median_ns(self):
+        return statistics.median(self.samples) if self.samples else 0.0
+
+
+class HealthMonitor:
+    """Health scoring and placement ordering for a device fleet.
+
+    The monitor is fed by the fleet worker after every launch
+    (:meth:`observe_success` with the item's ``kernel.launch_ns``) and
+    every device fault (:meth:`observe_fault`); :meth:`placement_order`
+    returns the per-item device preference list. All decisions are
+    functions of observed simulated time and fault counts, so a seeded
+    run schedules identically every time.
+
+    Health state is published through the run's
+    :class:`~repro.runtime.tracing.MetricsRegistry` (``fleet.demotions``
+    / ``fleet.promotions`` counters, per-device ``fleet.score.<key>``
+    median gauges) and as tracer instants (``device_demoted``,
+    ``device_promoted``, ``device_probe_failed``) so Perfetto shows
+    scheduling decisions on the timeline.
+    """
+
+    def __init__(self, keys, policy=None):
+        self.policy = policy or FleetPolicy()
+        self.devices = {}
+        for index, key in enumerate(keys):
+            if key in self.devices:
+                raise ValueError("duplicate fleet device '{}'".format(key))
+            self.devices[key] = DeviceHealth(key, index, self.policy)
+        if not self.devices:
+            raise ValueError("a device fleet needs at least one device")
+        self.metrics = MetricsRegistry()
+        self.tracer = NULL_TRACER
+        self._seq = 0
+
+    def bind(self, profile):
+        """Point health bookkeeping at a run's profile (metrics registry
+        and tracer). Called by the fleet offloader at compile time."""
+        self.metrics = profile.metrics
+        self.tracer = profile.tracer
+
+    # -- observations --------------------------------------------------------
+
+    def fleet_median_ns(self, exclude=None):
+        """Median of the per-device median launch times, excluding
+        ``exclude`` — the peer baseline a device is judged against."""
+        medians = [
+            h.median_ns()
+            for key, h in self.devices.items()
+            if key != exclude and h.samples
+        ]
+        return statistics.median(medians) if medians else 0.0
+
+    def _is_slow(self, ns, exclude):
+        fleet = self.fleet_median_ns(exclude=exclude)
+        return fleet > 0.0 and ns >= self.policy.slow_factor * fleet
+
+    def observe_success(self, key, kernel_ns):
+        """A stream item completed on ``key`` with ``kernel_ns`` of
+        simulated kernel time."""
+        h = self.devices[key]
+        probing = h.probing
+        if probing:
+            # Judge the probe on its own launch time, not the stale
+            # pre-demotion window.
+            h.probing = False
+            if self._is_slow(kernel_ns, exclude=key):
+                self._probe_failed(h, "slow")
+                h.observe(kernel_ns)
+                return
+            self._promote(h, kernel_ns)
+            return
+        h.breaker.record_success()
+        h.observe(kernel_ns)
+        self.metrics.gauge("fleet.score.{}".format(key)).set(h.median_ns())
+        if (
+            h.healthy
+            and len(h.samples) >= self.policy.min_samples
+            and self._is_slow(h.median_ns(), exclude=key)
+        ):
+            self._demote(h, "slow")
+
+    def observe_fault(self, key, stage=None):
+        """A device-side fault on ``key`` (any stage)."""
+        h = self.devices[key]
+        h.faults += 1
+        tripped = h.breaker.record_fault()
+        if h.probing:
+            h.probing = False
+            self._probe_failed(h, stage or "faults")
+            return
+        if h.healthy and tripped:
+            self._demote(h, "faults")
+
+    # -- state transitions ---------------------------------------------------
+
+    def _demote(self, h, reason):
+        h.state = "demoted"
+        h.reason = reason
+        h.idle = 0
+        h.probing = False
+        h.demotions += 1
+        self.metrics.inc("fleet.demotions")
+        self.tracer.instant(
+            "device_demoted", cat="fleet", device=h.key, reason=reason
+        )
+
+    def _probe_failed(self, h, reason):
+        h.reason = reason
+        h.idle = 0
+        self.tracer.instant(
+            "device_probe_failed", cat="fleet", device=h.key, reason=reason
+        )
+
+    def _promote(self, h, kernel_ns=None):
+        h.state = "healthy"
+        h.reason = None
+        h.probing = False
+        h.idle = 0
+        h.promotions += 1
+        # Fresh breaker and a fresh sample window: the device earns its
+        # place back from the probe observation onward.
+        h.breaker = CircuitBreaker(self.policy.breaker_threshold)
+        h.samples = [float(kernel_ns)] if kernel_ns is not None else []
+        self.metrics.inc("fleet.promotions")
+        self.tracer.instant("device_promoted", cat="fleet", device=h.key)
+
+    # -- placement -----------------------------------------------------------
+
+    def placement_order(self):
+        """The device preference order for the next stream item: a
+        demoted device due for its cooloff probe first (it gets the real
+        workload as its probe), then healthy devices — unexplored before
+        scored, fastest median first — then the remaining demoted
+        devices as failover targets of last resort."""
+        seq = self._seq
+        self._seq += 1
+        healthy = [h for h in self.devices.values() if h.healthy]
+        demoted = [h for h in self.devices.values() if not h.healthy]
+        for h in demoted:
+            if not h.probing and healthy:
+                h.idle += 1
+                if h.idle >= self.policy.cooloff:
+                    h.probing = True
+                    h.idle = 0
+        probes = [h for h in demoted if h.probing]
+        benched = sorted(
+            (h for h in demoted if not h.probing), key=lambda h: h.index
+        )
+        if self.policy.policy == "round-robin":
+            ring = sorted(healthy, key=lambda h: h.index)
+            if ring:
+                rot = seq % len(ring)
+                ranked = ring[rot:] + ring[:rot]
+            else:
+                ranked = []
+        else:
+            fresh = sorted(
+                (h for h in healthy if len(h.samples) < self.policy.min_samples),
+                key=lambda h: (len(h.samples), h.index),
+            )
+            scored = sorted(
+                (h for h in healthy if len(h.samples) >= self.policy.min_samples),
+                key=lambda h: (h.median_ns(), h.index),
+            )
+            ranked = fresh + scored
+        return [h.key for h in probes[:1] + ranked + probes[1:] + benched]
+
+    def snapshot(self):
+        """JSON-able per-device health summary for RunResult / the CLI."""
+        return {
+            key: {
+                "state": h.state,
+                "reason": h.reason,
+                "launches": h.launches,
+                "faults": h.faults,
+                "demotions": h.demotions,
+                "promotions": h.promotions,
+                "median_launch_ns": h.median_ns(),
+            }
+            for key, h in self.devices.items()
+        }
 
 
 class ResilientWorker:
@@ -427,25 +728,45 @@ class ResiliencePolicy:
         cooloff=None,
         silent_rate=0.0,
         sanitize=False,
+        kill_devices=None,
+        oom_bytes=0,
     ):
         """Build from the CLI's resilience flags (``--faults``,
         ``--fault-seed``, ``--silent-faults``, ``--validate-every``,
-        ``--breaker-cooloff``, ``--sanitize``); returns None when every
-        knob is off — the seed-identical fast path. ``sanitize`` alone
-        enables the policy (without injection) so sanitizer trips are
-        retried/demoted instead of crashing the run."""
+        ``--breaker-cooloff``, ``--sanitize``, ``--kill-device``,
+        ``--oom-bytes``); returns None when every knob is off — the
+        seed-identical fast path. ``sanitize`` alone enables the policy
+        (without injection) so sanitizer trips are retried/demoted
+        instead of crashing the run. ``kill_devices`` maps a fleet
+        device key to the launch count after which it dies;
+        ``oom_bytes`` is the deterministic per-allocation device memory
+        ceiling (0 = unlimited)."""
+        kill_devices = dict(kill_devices or {})
         if (
             fault_rate <= 0.0
             and silent_rate <= 0.0
             and validate_every <= 0
             and not sanitize
+            and not kill_devices
+            and oom_bytes <= 0
         ):
             return None
         injector = None
-        if fault_rate > 0.0 or silent_rate > 0.0:
-            injector = FaultInjector(
-                FaultSpec.uniform(fault_rate, seed=seed, silent=silent_rate)
+        if (
+            fault_rate > 0.0
+            or silent_rate > 0.0
+            or kill_devices
+            or oom_bytes > 0
+        ):
+            spec = FaultSpec(
+                transfer=fault_rate,
+                launch=fault_rate,
+                oom=fault_rate,
+                silent=silent_rate,
+                seed=seed,
+                oom_bytes=int(oom_bytes or 0),
             )
+            injector = FaultInjector(spec, kill_after=kill_devices)
         return cls(
             injector=injector,
             retry=retry,
@@ -457,6 +778,10 @@ class ResiliencePolicy:
     def wrap(self, name, device_worker, host_factory, profile):
         if self.injector is not None and hasattr(device_worker, "injector"):
             device_worker.injector = self.injector
+        # Share the retry policy with the glue's partitioned-relaunch
+        # path so chunk retries follow the same backoff schedule.
+        if hasattr(device_worker, "retry") and device_worker.retry is None:
+            device_worker.retry = self.retry
         worker = ResilientWorker(
             name=name,
             device_worker=device_worker,

@@ -329,7 +329,22 @@ class Tracer:
         the simulated timeline; instants become "i" events; metrics (a
         :class:`MetricsRegistry`), when given, land in the trailing
         metadata event.
+
+        Events carrying a ``device`` arg (fleet runs tag kernel spans
+        and scheduling instants with the device key) are mapped to a
+        per-device thread id so Perfetto renders one parallel track per
+        device; everything else stays on tid 1 (``simulated-time``).
+        Traces with no device args — every single-device run — are
+        byte-identical to the pre-fleet exporter output.
         """
+        devices = sorted(
+            {
+                str(s.args["device"])
+                for s in self.events
+                if s.args.get("device") is not None
+            }
+        )
+        device_tids = {name: tid for tid, name in enumerate(devices, start=2)}
         events = [
             {
                 "ph": "M",
@@ -346,6 +361,16 @@ class Tracer:
                 "args": {"name": "simulated-time"},
             },
         ]
+        for name, tid in sorted(device_tids.items(), key=lambda kv: kv[1]):
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": "device:{}".format(name)},
+                }
+            )
         for span in self.sorted_spans():
             args = dict(span.args)
             args["id"] = span.id
@@ -353,12 +378,13 @@ class Tracer:
                 args["parent"] = span.parent
             args["depth"] = span.depth
             args["wall_ns"] = int(span.wall_ns)
+            tid = device_tids.get(str(span.args.get("device")), 1)
             if span.kind == "instant":
                 events.append(
                     {
                         "ph": "i",
                         "pid": 1,
-                        "tid": 1,
+                        "tid": tid,
                         "s": "t",
                         "name": span.name,
                         "cat": span.cat,
@@ -371,7 +397,7 @@ class Tracer:
                     {
                         "ph": "X",
                         "pid": 1,
-                        "tid": 1,
+                        "tid": tid,
                         "name": span.name,
                         "cat": span.cat,
                         "ts": span.ts_ns / 1000.0,
@@ -737,32 +763,49 @@ def aggregate_spans(events):
     return agg
 
 
-def flame_summary(events, width=40, top=None):
+def span_shares(events):
+    """Per span name, the fraction of total self simulated time —
+    the quantity span-level budget assertions are written against
+    (e.g. "``opencl_setup`` ≤ 10% of the run")."""
+    agg = aggregate_spans(events)
+    total = sum(row["self_ns"] for row in agg.values())
+    if total <= 0:
+        return {name: 0.0 for name in agg}
+    return {name: row["self_ns"] / total for name, row in agg.items()}
+
+
+def flame_summary(events, width=40, top=None, sort="self"):
     """Render a terminal flame summary: per span name, call count,
     total and *self* simulated ns (bars scale on self time), plus
-    accumulated wall-clock ns."""
+    accumulated wall-clock ns. ``sort="wall"`` orders (and scales the
+    bars) by accumulated per-span wall-clock time instead — the
+    simulator's own hot spots rather than the simulated workload's."""
     agg = aggregate_spans(events)
     if not agg:
         return "trace: no spans"
+    key = "wall_ns" if sort == "wall" else "self_ns"
     rows = sorted(
-        agg.items(), key=lambda kv: (-kv[1]["self_ns"], kv[0])
+        agg.items(), key=lambda kv: (-kv[1][key], kv[0])
     )
     if top:
         rows = rows[:top]
     total = sum(row["self_ns"] for _name, row in agg.items())
+    scale_total = sum(row[key] for _name, row in agg.items())
     name_w = max(len(name) for name, _row in rows)
-    peak = max(row["self_ns"] for _name, row in rows) or 1.0
+    peak = max(row[key] for _name, row in rows) or 1.0
     lines = [
-        "flame summary — {:.0f} simulated ns across {} span(s)".format(
-            total, sum(row["count"] for _n, row in agg.items())
+        "flame summary — {:.0f} simulated ns across {} span(s){}".format(
+            total,
+            sum(row["count"] for _n, row in agg.items()),
+            ", sorted by wall time" if key == "wall_ns" else "",
         )
     ]
     for name, row in rows:
         bar = "#" * max(
-            int(round(row["self_ns"] / peak * width)),
-            1 if row["self_ns"] > 0 else 0,
+            int(round(row[key] / peak * width)),
+            1 if row[key] > 0 else 0,
         )
-        share = row["self_ns"] / total if total else 0.0
+        share = row[key] / scale_total if scale_total else 0.0
         lines.append(
             "{:<{nw}s} |{:<{bw}s}| {:5.1f}%  self {:>14.0f} ns  "
             "total {:>14.0f} ns  x{:<6d} wall {:.3f} ms".format(

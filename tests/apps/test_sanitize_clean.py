@@ -42,16 +42,16 @@ def test_benchmark_runs_clean_under_full_sanitize(name):
     guarded = run(name, sanitizer=FULL_GUARDS, resilience=policy)
     # No guard tripped, no validation mismatch, nothing was demoted.
     faults = guarded.faults
-    assert faults.get("trips", {}) == {}, faults
-    assert faults.get("mismatches", 0) == 0, faults
-    assert faults.get("demotions", []) == [], faults
-    assert faults.get("faults", 0) == 0, faults
+    assert faults.get("guards.trips", {}) == {}, faults
+    assert faults.get("guards.mismatches", 0) == 0, faults
+    assert faults.get("demoted_tasks", []) == [], faults
+    assert faults.get("recovery.faults", 0) == 0, faults
     # Observational only: same tasks offloaded, same checksum.
     assert guarded.offloaded == plain.offloaded
     assert guarded.checksum == plain.checksum
     # Validation actually sampled at least one item per offloaded task.
     if guarded.offloaded:
-        assert faults.get("validations", 0) >= 1
+        assert faults.get("guards.validations", 0) >= 1
 
 
 @pytest.mark.parametrize("name", ALL[:2])

@@ -156,12 +156,12 @@ def test_silent_corruption_end_to_end_validated_run_is_correct():
     )
     assert faulty.checksum == clean.checksum
     faults = faulty.faults
-    assert faults["mismatches"] >= 1
+    assert faults["guards.mismatches"] >= 1
     assert faults["per_task"]
     (rec,) = faults["per_task"].values()
     assert rec["trips"].get("validate", 0) >= 1
     # threshold=3 consecutive mismatches opened the breaker mid-stream.
-    assert faults["demotions"], faults
+    assert faults["demoted_tasks"], faults
 
 
 def test_half_open_breaker_repromotes_in_engine_run():
@@ -188,5 +188,5 @@ def test_half_open_breaker_repromotes_in_engine_run():
     )
     assert faulty.checksum == clean.checksum
     faults = faulty.faults
-    assert faults["demotions"]
-    assert faults["promotions"] >= 1, faults
+    assert faults["demoted_tasks"]
+    assert faults["recovery.promotions"] >= 1, faults

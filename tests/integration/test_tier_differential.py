@@ -61,10 +61,10 @@ def test_end_to_end_tiers_and_interpreter_agree(name):
     assert per_item.stages == batch.stages
 
     # The tier request was honored, not silently ignored.
-    assert per_item.executor["tiers"] == {
-        "per-item": sum(per_item.executor["tiers"].values())
+    assert per_item.executor["executor.launches"] == {
+        "per-item": sum(per_item.executor["executor.launches"].values())
     }
-    assert batch.executor["tiers"].get("batch", 0) > 0
+    assert batch.executor["executor.launches"].get("batch", 0) > 0
 
     host = run_configuration(
         BENCHMARKS[name], "bytecode", scale=SCALE, steps=1

@@ -156,14 +156,14 @@ class TestEndToEnd:
         first = run_configuration(
             bench, "gtx580", scale=0.1, steps=1, max_sim_items=64
         )
-        assert first.executor["cache_misses"] >= 1
-        assert first.executor["cache_hits"] == 0
+        assert first.executor["cache.misses"] >= 1
+        assert first.executor["cache.hits"] == 0
         before = codegen_compiles()
         second = run_configuration(
             bench, "gtx580", scale=0.1, steps=1, max_sim_items=64
         )
-        assert second.executor["cache_misses"] == 0
-        assert second.executor["cache_hits"] >= 1
+        assert second.executor["cache.misses"] == 0
+        assert second.executor["cache.hits"] >= 1
         # No codegen ran for the per-item artifact on the warm run.
         assert codegen_compiles() == before
 
@@ -183,8 +183,8 @@ class TestEndToEnd:
             max_sim_items=64,
             sanitizer=SanitizerConfig(),
         )
-        assert guarded.executor["cache_misses"] >= 1
-        assert guarded.executor["tiers"].get("sanitized", 0) > 0
+        assert guarded.executor["cache.misses"] >= 1
+        assert guarded.executor["executor.launches"].get("sanitized", 0) > 0
 
     def test_config_toggle_recompiles_end_to_end(self):
         reset_global_cache()
@@ -200,4 +200,4 @@ class TestEndToEnd:
             max_sim_items=64,
             config=replace(OptimizationConfig(), vectorize=False),
         )
-        assert toggled.executor["cache_misses"] >= 1
+        assert toggled.executor["cache.misses"] >= 1

@@ -1,0 +1,211 @@
+"""Unit tests for fleet health scoring and placement.
+
+The :class:`~repro.runtime.resilience.HealthMonitor` must demote a
+device that is *slow for this workload* before its circuit breaker ever
+sees a fault, probe it again after the cooloff, and re-promote it on a
+clean, fast probe — all as pure functions of the observed simulated
+launch times, so a seeded run schedules identically every time.
+"""
+
+import pytest
+
+from repro.runtime.fleet import DeviceFleet
+from repro.runtime.resilience import FleetPolicy, HealthMonitor
+
+FAST_NS = 100.0
+SLOW_NS = 1000.0  # 10x the fast device — far past slow_factor=4.0
+
+
+def make_monitor(**kwargs):
+    policy = FleetPolicy(**kwargs)
+    return HealthMonitor(["fast", "slow"], policy=policy), policy
+
+
+def warm_up(monitor, policy, slow_ns=SLOW_NS):
+    """Feed ``min_samples`` alternating successes to both devices."""
+    for _ in range(policy.min_samples):
+        monitor.placement_order()
+        monitor.observe_success("fast", FAST_NS)
+        monitor.observe_success("slow", slow_ns)
+
+
+# -- slow-device demotion ----------------------------------------------------
+
+
+def test_slow_device_demoted_before_breaker_trips():
+    monitor, policy = make_monitor()
+    warm_up(monitor, policy)
+    slow = monitor.devices["slow"]
+    assert slow.state == "demoted"
+    assert slow.reason == "slow"
+    # The health signal fired with zero faults: the breaker never saw
+    # anything and is still closed.
+    assert slow.faults == 0
+    assert not slow.breaker.open
+    assert monitor.devices["fast"].state == "healthy"
+    assert monitor.metrics.get("fleet.demotions") == 1
+
+
+def test_demotion_needs_min_samples():
+    monitor, policy = make_monitor(min_samples=3)
+    for _ in range(2):
+        monitor.observe_success("fast", FAST_NS)
+        monitor.observe_success("slow", SLOW_NS)
+    # Two samples each: not enough evidence yet.
+    assert monitor.devices["slow"].state == "healthy"
+    monitor.observe_success("fast", FAST_NS)
+    monitor.observe_success("slow", SLOW_NS)
+    assert monitor.devices["slow"].state == "demoted"
+
+
+def test_comparable_devices_stay_healthy():
+    monitor, policy = make_monitor()
+    warm_up(monitor, policy, slow_ns=FAST_NS * 2)  # 2x < slow_factor 4x
+    assert monitor.devices["slow"].state == "healthy"
+    assert monitor.metrics.get("fleet.demotions", 0) in (0, None)
+
+
+# -- fault-driven demotion ---------------------------------------------------
+
+
+def test_breaker_threshold_faults_demote():
+    monitor, policy = make_monitor(breaker_threshold=3)
+    monitor.observe_fault("slow", "launch")
+    monitor.observe_fault("slow", "launch")
+    assert monitor.devices["slow"].state == "healthy"
+    monitor.observe_fault("slow", "launch")
+    slow = monitor.devices["slow"]
+    assert slow.state == "demoted"
+    assert slow.reason == "faults"
+    assert slow.faults == 3
+
+
+# -- cooloff probe and re-promotion ------------------------------------------
+
+
+def test_clean_probe_repromotes_after_cooloff():
+    monitor, policy = make_monitor(cooloff=2)
+    warm_up(monitor, policy)
+    assert monitor.devices["slow"].state == "demoted"
+    # Two placements elsewhere: the cooloff elapses and the demoted
+    # device is offered first as the probe.
+    monitor.placement_order()
+    order = monitor.placement_order()
+    assert order[0] == "slow"
+    assert monitor.devices["slow"].probing
+    # The probe comes back fast: the device earns its place back.
+    monitor.observe_success("slow", FAST_NS)
+    slow = monitor.devices["slow"]
+    assert slow.state == "healthy"
+    assert slow.promotions == 1
+    # Fresh window: the stale slow samples are gone.
+    assert slow.samples == [FAST_NS]
+    assert monitor.metrics.get("fleet.promotions") == 1
+
+
+def test_still_slow_probe_stays_demoted():
+    monitor, policy = make_monitor(cooloff=1)
+    warm_up(monitor, policy)
+    order = monitor.placement_order()
+    assert order[0] == "slow"
+    # The probe is judged on its own launch time — still 10x slow.
+    monitor.observe_success("slow", SLOW_NS)
+    slow = monitor.devices["slow"]
+    assert slow.state == "demoted"
+    assert slow.promotions == 0
+    assert slow.reason == "slow"
+
+
+def test_faulted_probe_stays_demoted():
+    monitor, policy = make_monitor(cooloff=1)
+    warm_up(monitor, policy)
+    order = monitor.placement_order()
+    assert order[0] == "slow"
+    monitor.observe_fault("slow", "launch")
+    assert monitor.devices["slow"].state == "demoted"
+    assert not monitor.devices["slow"].probing
+
+
+# -- placement order ---------------------------------------------------------
+
+
+def test_unexplored_devices_are_tried_first():
+    policy = FleetPolicy()
+    monitor = HealthMonitor(["a", "b", "c"], policy=policy)
+    for _ in range(policy.min_samples):
+        monitor.observe_success("a", FAST_NS)
+    # "a" is scored; "b" and "c" are unexplored and go first.
+    assert monitor.placement_order()[:2] == ["b", "c"]
+
+
+def test_scored_devices_rank_fastest_first():
+    policy = FleetPolicy()
+    monitor = HealthMonitor(["a", "b"], policy=policy)
+    for _ in range(policy.min_samples):
+        monitor.observe_success("a", 300.0)
+        monitor.observe_success("b", 200.0)
+    assert monitor.placement_order() == ["b", "a"]
+
+
+def test_demoted_devices_are_failover_targets_of_last_resort():
+    monitor, policy = make_monitor()
+    warm_up(monitor, policy)
+    order = monitor.placement_order()
+    # Demoted but not yet probing: last in the preference list.
+    assert order == ["fast", "slow"]
+
+
+def test_round_robin_rotates_across_healthy_devices():
+    policy = FleetPolicy(policy="round-robin")
+    monitor = HealthMonitor(["a", "b", "c"], policy=policy)
+    first = [monitor.placement_order()[0] for _ in range(6)]
+    assert first == ["a", "b", "c", "a", "b", "c"]
+
+
+def test_placement_is_deterministic():
+    def run():
+        monitor, policy = make_monitor(cooloff=2)
+        orders = []
+        for step in range(12):
+            orders.append(tuple(monitor.placement_order()))
+            key = orders[-1][0]
+            ns = FAST_NS if key == "fast" else SLOW_NS
+            monitor.observe_success(key, ns)
+        return orders
+
+    assert run() == run()
+
+
+# -- construction and snapshot -----------------------------------------------
+
+
+def test_duplicate_device_rejected():
+    with pytest.raises(ValueError):
+        HealthMonitor(["gtx580", "gtx580"])
+
+
+def test_empty_fleet_rejected():
+    with pytest.raises(ValueError):
+        HealthMonitor([])
+
+
+def test_device_fleet_resolves_keys_and_snapshots():
+    fleet = DeviceFleet(["gtx580", "hd5970"])
+    assert set(fleet.devices) == {"gtx580", "hd5970"}
+    snap = fleet.snapshot()
+    assert set(snap) == {"gtx580", "hd5970"}
+    for rec in snap.values():
+        assert rec["state"] == "healthy"
+        assert rec["launches"] == 0
+
+
+def test_snapshot_reflects_health_history():
+    monitor, policy = make_monitor(cooloff=1)
+    warm_up(monitor, policy)
+    monitor.placement_order()
+    monitor.observe_success("slow", FAST_NS)  # probe succeeds
+    snap = monitor.snapshot()
+    assert snap["slow"]["demotions"] == 1
+    assert snap["slow"]["promotions"] == 1
+    assert snap["slow"]["state"] == "healthy"
+    assert snap["fast"]["median_launch_ns"] == FAST_NS

@@ -267,7 +267,7 @@ def test_faulted_run_produces_identical_results_and_a_ledger():
     # Transparent recovery: byte-identical results.
     assert faulted.checksum == clean.checksum
     # The ledger saw the injected faults...
-    assert faulted.faults["faults"] > 0
+    assert faulted.faults["recovery.faults"] > 0
     # ...and the recovery overhead is visible in the stage totals.
     assert faulted.stages.get("recovery", 0.0) > 0
     assert faulted.total_ns > clean.total_ns
@@ -352,13 +352,14 @@ def test_ledger_report_renders_all_counters():
     assert "DEMOTED-TO-HOST" in text
     assert "A.f" in text and "B.g" in text
     summary = ledger.summary()
-    assert summary["faults"] == 2
-    assert summary["demotions"] == ["B.g"]
-    assert summary["per_task"]["A.f"]["time_lost_ns"] == 1234.0
-    # Canonical metric-name keys ride along with the legacy aliases.
     assert summary["recovery.faults"] == 2
+    assert summary["demoted_tasks"] == ["B.g"]
     assert summary["recovery.demotions"] == 1
     assert summary["recovery.time_lost_ns"] == 1234.0
+    assert summary["per_task"]["A.f"]["time_lost_ns"] == 1234.0
+    # Legacy alias keys are gone — canonical dotted names only.
+    assert "faults" not in summary
+    assert "demotions" not in summary
 
 
 def test_empty_ledger_report():
@@ -548,8 +549,9 @@ def test_ledger_guard_counters_render():
     assert "validations=2" in text and "mismatches=1" in text
     assert "promotions=1" in text
     summary = ledger.summary()
-    assert summary["trips"] == {"bounds": 2, "race": 3}
-    assert summary["validations"] == 2 and summary["mismatches"] == 1
+    assert summary["guards.trips"] == {"bounds": 2, "race": 3}
+    assert summary["guards.validations"] == 2
+    assert summary["guards.mismatches"] == 1
     assert summary["per_task"]["A.f"]["promotions"] == 1
     assert ledger.any_activity()
     assert not ledger.any_faults()

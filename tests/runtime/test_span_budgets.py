@@ -1,0 +1,119 @@
+"""Span-level budget regression tests.
+
+:func:`repro.runtime.tracing.span_shares` exists so runtime-overhead
+budgets can be asserted against real traces: each stage's share of
+total *self* simulated time is pinned within a band, and any structural
+shift (setup ballooning, kernels vanishing from the trace) fails here
+before it shows up as a benchmark regression.
+
+The overlap tests close the old observability gap: with communication
+overlap enabled, trace charges are deferred and emitted *post-rescale*,
+so the trace agrees with the profile instead of over-reporting the
+hidden communication time.
+"""
+
+import pytest
+
+from repro.apps.registry import BENCHMARKS
+from repro.compiler import Offloader
+from repro.evaluation.harness import run_configuration
+from repro.opencl import get_device
+from repro.runtime.engine import Engine
+from repro.runtime.tracing import Tracer, read_trace, span_shares
+
+SCALE = 0.2
+MAX_ITEMS = 128
+
+COMM_STAGES = ("java_marshal", "c_marshal", "opencl_setup", "transfer")
+
+
+def traced_shares(tmp_path, name, **kwargs):
+    tracer = Tracer(wallclock=lambda: 0)
+    result = run_configuration(
+        BENCHMARKS[name],
+        "gtx580",
+        scale=SCALE,
+        steps=1,
+        max_sim_items=MAX_ITEMS,
+        tracer=tracer,
+        **kwargs,
+    )
+    path = tmp_path / "{}.json".format(name)
+    tracer.write_chrome(str(path))
+    return span_shares(read_trace(str(path))), result
+
+
+# Per-app ceilings for the launch-bookkeeping share at this scale.
+# Simulated time is deterministic, so these are regression pins, not
+# statistical bounds: growth past the band means setup cost structure
+# changed (an extra launch per item, a lost batch, ...).
+SETUP_BUDGET = {"jg-series-single": 0.36, "mosaic": 0.15}
+
+
+@pytest.mark.parametrize("name", sorted(SETUP_BUDGET))
+def test_stage_budgets_hold(tmp_path, name):
+    shares, result = traced_shares(tmp_path, name)
+    assert shares.get("opencl_setup", 0.0) <= SETUP_BUDGET[name], shares
+    # Offloaded kernels actually show up on the timeline, and carry a
+    # substantial share of the run.
+    assert shares.get("kernel", 0.0) >= 0.25
+    # Shares are a partition of self time.
+    assert sum(shares.values()) == pytest.approx(1.0)
+
+
+def test_budget_totals_match_profile(tmp_path):
+    shares, result = traced_shares(tmp_path, "jg-series-single")
+    total = result.total_ns
+    for stage in ("kernel",) + COMM_STAGES:
+        have = result.stages.get(stage, 0.0)
+        if have <= 0:
+            continue
+        assert shares[stage] * total == pytest.approx(have, rel=1e-6), stage
+
+
+# -- overlap-aware tracing ---------------------------------------------------
+
+
+def run_overlap_trace(overlap):
+    bench = BENCHMARKS["nbody-single"]
+    checked = bench.checked()
+    inputs = bench.make_input(scale=0.3)
+    tracer = Tracer(wallclock=lambda: 0)
+    offloader = Offloader(device=get_device("gtx580"), overlap=overlap)
+    engine = Engine(checked, offloader=offloader, tracer=tracer)
+    engine.run_static(bench.main_class, bench.run_method, inputs + [3])
+    return tracer, engine
+
+
+def charged_by_stage(tracer):
+    totals = {}
+    for span in tracer.events:
+        if span.kind == "span":
+            totals[span.name] = totals.get(span.name, 0.0) + span.dur_ns
+    return totals
+
+
+@pytest.mark.parametrize("overlap", [False, True])
+def test_trace_charges_match_profile_stages(overlap):
+    """With or without overlap, per-stage trace totals equal the
+    profile's (rescaled) stage totals — the trace never over-reports
+    communication that overlap hid."""
+    tracer, engine = run_overlap_trace(overlap)
+    totals = charged_by_stage(tracer)
+    stages = engine.profile.stages.as_dict()
+    for stage in ("kernel",) + COMM_STAGES:
+        assert totals.get(stage, 0.0) == pytest.approx(
+            stages.get(stage, 0.0)
+        ), stage
+
+
+def test_overlap_trace_shows_reduced_communication():
+    base, _ = run_overlap_trace(False)
+    hidden, _ = run_overlap_trace(True)
+    base_comm = sum(charged_by_stage(base).get(s, 0.0) for s in COMM_STAGES)
+    over_comm = sum(charged_by_stage(hidden).get(s, 0.0) for s in COMM_STAGES)
+    assert over_comm < base_comm
+    # Kernel time itself is not rescaled by overlap.
+    assert charged_by_stage(hidden)["kernel"] == pytest.approx(
+        charged_by_stage(base)["kernel"]
+    )

@@ -247,38 +247,25 @@ def test_profile_publishes_tier_and_cache_metrics():
     assert profile.metrics.get("cache.hits") == 1
     assert profile.metrics.get("cache.misses") == 1
     summary = profile.executor_summary()
-    # Canonical keys and the legacy aliases agree.
-    assert summary["cache.hits"] == summary["cache_hits"] == 1
-    assert summary["executor.launches"] == summary["tiers"]
+    # Canonical dotted keys only — the legacy aliases are gone.
+    assert summary["cache.hits"] == 1
+    assert summary["executor.launches"] == {"batch": 2, "per-item": 1}
+    assert "cache_hits" not in summary
+    assert "tiers" not in summary
 
 
-def test_render_failure_summary_canonical_and_legacy_keys():
+def test_render_failure_summary_canonical_keys():
     ledger = FailureLedger()
     ledger.record_fault("A.f", "transfer")
     ledger.record_retry("A.f")
     text = render_failure_summary(ledger.summary())
     assert "failure ledger: faults=1 retries=1" in text
     assert "fallbacks=0" in text and "demotions=0" in text
-    # Legacy-only dicts (pre-PR-4 payloads) still render.
-    legacy = {
-        "faults": 3,
-        "retries": 2,
-        "fallbacks": 1,
-        "demotions": ["A.f"],
-        "time_lost_ns": 42.0,
-        "per_task": {
-            "A.f": {
-                "faults": 3,
-                "retries": 2,
-                "fallbacks": 1,
-                "demoted": True,
-                "time_lost_ns": 42.0,
-                "by_stage": {"launch": 3},
-            }
-        },
-    }
-    text = render_failure_summary(legacy)
-    assert "faults=3" in text and "demotions=1" in text
+    ledger.record_failover("A.f", "gtx580", "hd5970")
+    ledger.record_partition("A.f", 4)
+    ledger.record_demotion("A.f")
+    text = render_failure_summary(ledger.summary())
+    assert "fleet: failovers=1 partitioned_launches=4" in text
     assert "DEMOTED-TO-HOST" in text
 
 
@@ -294,11 +281,8 @@ def test_render_executor_summary():
     assert "launches.batch=2" in text
     assert "launches.per-item=1" in text
     assert "cache.hits=1" in text and "cache.misses=1" in text
-    # Legacy alias keys alone are enough.
-    text = render_executor_summary(
-        {"tiers": {"batch": 5}, "cache_hits": 4, "cache_misses": 2}
-    )
-    assert "launches.batch=5" in text and "cache.hits=4" in text
+    # Legacy alias keys no longer render — canonical names only.
+    assert render_executor_summary({"tiers": {"batch": 5}}) == ""
 
 
 # -- exporters: golden files -------------------------------------------------
@@ -466,8 +450,13 @@ def test_mosaic_trace_end_to_end(tmp_path):
     assert kernels
     for charge in kernels:
         assert spans[charge["parent"]]["name"] == "item"
-    # The run's metrics ride along in RunResult.
-    assert result.metrics["cache.misses"] >= 1
+    # The run's metrics ride along in RunResult. (The compile cache is
+    # process-global, so an earlier test may have warmed it: hits and
+    # misses both count as cache activity.)
+    assert (
+        result.metrics.get("cache.hits", 0)
+        + result.metrics.get("cache.misses", 0)
+    ) >= 1
     assert any(k.startswith("executor.launches.") for k in result.metrics)
     assert result.metrics["transfer.bytes_to_device"] > 0
 
