@@ -10,6 +10,8 @@ import json
 import os
 import pathlib
 
+from repro.ioutil import atomic_write
+
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parents[1] / "results"
@@ -18,6 +20,6 @@ RESULTS_DIR = pathlib.Path(__file__).resolve().parents[1] / "results"
 def record_result(name, payload):
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / "{}.json".format(name)
-    with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+    text = json.dumps(payload, indent=2, sort_keys=True, default=str)
+    atomic_write(path, text + "\n")
     return path

@@ -31,6 +31,7 @@ import pytest
 from conftest import record_result
 
 from repro.evaluation.perfbench import collect_metrics
+from repro.ioutil import atomic_write_json
 
 BASELINE_PATH = (
     pathlib.Path(__file__).resolve().parents[1]
@@ -44,9 +45,7 @@ def test_metrics_match_baseline():
     record_result("BENCH_metrics", current)
 
     if os.environ.get("REPRO_UPDATE_METRICS_BASELINE") == "1":
-        with open(BASELINE_PATH, "w") as fh:
-            json.dump(current, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        atomic_write_json(BASELINE_PATH, current)
         pytest.skip("baseline regenerated at {}".format(BASELINE_PATH))
 
     assert BASELINE_PATH.exists(), (

@@ -339,6 +339,51 @@ class CompiledFilter:
             "transfer.bytes_to_device", record.payload_bytes
         )
 
+    # -- journal wire format ---------------------------------------------------
+    #
+    # The recovery journal (repro.runtime.journal) persists stream items
+    # in the exact wire format the marshaller already defines: the input
+    # digest is hashed over the stream parameter's serialized bytes, and
+    # a completed item's output is stored as its marshalled form. None
+    # of these helpers charge simulated time — journalling is a host-
+    # process concern, invisible to the cost model.
+
+    def stream_wire(self, value):
+        """``value`` serialized through the stream parameter's wire
+        format (the journal's input digest / in-flight payload)."""
+        if self.stream_param is None:
+            return b""
+        data, _stats = marshal.serialize(
+            value, self.stream_param.type, self.marshaller
+        )
+        return data
+
+    def stream_value_from_wire(self, data):
+        """Rebuild a stream input from :meth:`stream_wire` bytes."""
+        if self.stream_param is None:
+            return None
+        value, _stats = marshal.deserialize(
+            data, self.stream_param.type, self.marshaller
+        )
+        return value
+
+    def result_wire(self, result):
+        """A completed item's output in marshalled wire form."""
+        data, _stats = marshal.serialize(
+            result, self.worker.return_type, self.marshaller
+        )
+        return data
+
+    def result_from_wire(self, data):
+        """Rebuild an output value from :meth:`result_wire` bytes —
+        the same deserialize path :meth:`_outbound` uses, so a
+        journal-skipped item yields the bit-exact value a recomputed
+        one would."""
+        value, _stats = marshal.deserialize(
+            data, self.worker.return_type, self.marshaller
+        )
+        return value
+
     def _hide_communication(self, stages):
         """Double-buffered pipelining: this item's communication overlaps
         the previous item's kernel execution, so only the part exceeding

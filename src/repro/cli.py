@@ -131,6 +131,43 @@ def cmd_tune(args):
     return 0
 
 
+# Exit status of a run killed by the --wall-deadline-ms watchdog
+# (matches coreutils timeout(1)).
+WALL_DEADLINE_EXIT = 124
+
+
+def _start_wall_watchdog(deadline_ms):
+    """Arm a wall-clock watchdog: after ``deadline_ms`` real
+    milliseconds the process appends an ``aborted`` record to the
+    active journal (if any) and exits with status 124 — a hung run
+    becomes a journaled clean abort a later ``--resume`` picks up
+    from, never an unkillable process. Returns the timer; callers
+    ``cancel()`` it on normal completion."""
+    import os
+    import threading
+
+    def _expire():
+        from repro.runtime.journal import active_journal
+
+        journal = active_journal()
+        if journal is not None:
+            journal.record_aborted(
+                "wall deadline {} ms exceeded".format(deadline_ms)
+            )
+        sys.stderr.write(
+            "repro run: wall deadline of {} ms exceeded, aborting\n".format(
+                deadline_ms
+            )
+        )
+        sys.stderr.flush()
+        os._exit(WALL_DEADLINE_EXIT)
+
+    timer = threading.Timer(deadline_ms / 1000.0, _expire)
+    timer.daemon = True
+    timer.start()
+    return timer
+
+
 def cmd_run(args):
     from repro.apps.registry import BENCHMARKS
     from repro.evaluation.harness import TARGETS, run_configuration
@@ -201,6 +238,21 @@ def cmd_run(args):
         from repro.runtime.tracing import Tracer
 
         tracer = Tracer()
+    if args.resume and not args.journal:
+        print("--resume requires --journal DIR", file=sys.stderr)
+        return 1
+    if args.kernel_cache or args.journal:
+        import os
+
+        from repro.opencl.kernel_cache import configure_disk_store
+
+        configure_disk_store(
+            args.kernel_cache
+            or os.path.join(args.journal, "kernels")
+        )
+    watchdog = None
+    if args.wall_deadline_ms is not None:
+        watchdog = _start_wall_watchdog(args.wall_deadline_ms)
     result = run_configuration(
         BENCHMARKS[args.benchmark],
         args.target,
@@ -213,7 +265,17 @@ def cmd_run(args):
         tracer=tracer,
         devices=devices,
         fleet_policy=args.fleet_policy,
+        journal=args.journal,
+        resume=args.resume,
     )
+    if watchdog is not None:
+        watchdog.cancel()
+    if args.json:
+        import dataclasses
+
+        from repro.ioutil import atomic_write_json
+
+        atomic_write_json(args.json, dataclasses.asdict(result))
     print("benchmark: {}  target: {}".format(result.benchmark, result.target))
     if sanitizer is not None:
         knobs = []
@@ -252,6 +314,21 @@ def cmd_run(args):
                     h["median_launch_ns"],
                 )
             )
+    if result.journal:
+        j = result.journal
+        print(
+            "journal:   dir={} journaled={} skipped={} "
+            "inflight_replayed={} torn_tails={} digest_mismatches={}"
+            "{}".format(
+                j["dir"],
+                j["items_journaled"],
+                j["items_skipped"],
+                j["inflight_replayed"],
+                j["torn_tail_truncated"],
+                j["digest_mismatches"],
+                " (resumed)" if j["resumed"] else "",
+            )
+        )
     if tracer is not None:
         if str(args.trace_out).endswith(".jsonl"):
             tracer.write_jsonl(args.trace_out, metrics=result.metrics)
@@ -534,6 +611,44 @@ def build_parser():
         help="write a structured trace of the run: Chrome "
         "chrome://tracing JSON, or a flat JSONL event log when the "
         "path ends in .jsonl (render with 'repro trace FILE')",
+    )
+    run_cmd.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help="write-ahead-log every offloaded stream item to a "
+        "crash-consistent journal in DIR (CRC-framed, fsynced); also "
+        "defaults the on-disk kernel cache to DIR/kernels",
+    )
+    run_cmd.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --journal: recover the journal (CRC scan + torn-tail "
+        "truncation) and skip already-completed items bit-exactly "
+        "instead of recomputing them",
+    )
+    run_cmd.add_argument(
+        "--kernel-cache",
+        default=None,
+        metavar="DIR",
+        help="content-addressed on-disk kernel store: compiled kernels "
+        "are persisted here and restored without re-running codegen "
+        "(also settable via REPRO_KERNEL_CACHE_DIR)",
+    )
+    run_cmd.add_argument(
+        "--wall-deadline-ms",
+        type=int,
+        default=None,
+        help="wall-clock watchdog: if the run exceeds this many real "
+        "milliseconds, append an 'aborted' journal record and exit "
+        "with status 124 instead of hanging",
+    )
+    run_cmd.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="atomically write the full RunResult (checksum, stages, "
+        "metrics, journal stats) as sorted-key JSON to FILE",
     )
 
     bench_cmd = sub.add_parser(

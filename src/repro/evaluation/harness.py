@@ -77,6 +77,7 @@ class RunResult:
     executor: dict = field(default_factory=dict)  # executor_summary()
     metrics: dict = field(default_factory=dict)  # MetricsRegistry.as_dict()
     fleet: dict = field(default_factory=dict)  # HealthMonitor.snapshot()
+    journal: dict = field(default_factory=dict)  # RunJournal.stats()
 
     @property
     def communication_ns(self):
@@ -100,6 +101,8 @@ def run_configuration(
     tracer=None,
     devices=None,
     fleet_policy=None,
+    journal=None,
+    resume=False,
 ):
     """Run one benchmark end to end against one target.
 
@@ -133,6 +136,12 @@ def run_configuration(
         fleet_policy: placement strategy for ``devices`` — a
             :class:`repro.runtime.resilience.FleetPolicy`, or the
             strategy name (``"health"`` / ``"round-robin"``).
+        journal: optional directory path — write-ahead-log every
+            offloaded stream item to a crash-consistent
+            :class:`repro.runtime.journal.RunJournal` there.
+        resume: with ``journal``, recover the existing WAL (CRC-scan,
+            torn-tail truncation, run-key check) and skip journaled
+            items bit-exactly instead of recomputing them.
 
     Returns a :class:`RunResult` with simulated nanoseconds.
     """
@@ -165,12 +174,47 @@ def run_configuration(
             exec_tier=exec_tier,
         )
         target_name = target.name
-    engine = Engine(
-        checked, offloader=offloader, resilience=resilience, tracer=tracer
-    )
-    checksum = engine.run_static(
-        bench.main_class, bench.run_method, list(inputs) + [steps]
-    )
+    run_journal = None
+    if journal is not None:
+        from repro.opencl.kernel_cache import sanitizer_key
+        from repro.runtime.journal import RunJournal
+
+        # Everything that shapes the item stream goes into the run key:
+        # resuming against a different configuration is refused rather
+        # than producing silently wrong "skips".
+        descriptor = {
+            "benchmark": bench.name,
+            "target": target_name,
+            "scale": scale,
+            "steps": steps,
+            "max_sim_items": max_sim_items,
+            "config": (config or OptimizationConfig()).describe(),
+            "sanitizer": sanitizer_key(sanitizer),
+            "exec_tier": exec_tier,
+            "devices": list(devices) if devices else None,
+            "fleet_policy": str(fleet_policy) if fleet_policy else None,
+            "resilient": resilience is not None,
+        }
+        run_journal = RunJournal.open(journal, descriptor, resume=resume)
+    try:
+        engine = Engine(
+            checked,
+            offloader=offloader,
+            resilience=resilience,
+            tracer=tracer,
+            journal=run_journal,
+        )
+        checksum = engine.run_static(
+            bench.main_class, bench.run_method, list(inputs) + [steps]
+        )
+        if run_journal is not None:
+            run_journal.record_complete(float(checksum))
+            journal_stats = run_journal.stats()
+        else:
+            journal_stats = {}
+    finally:
+        if run_journal is not None:
+            run_journal.close()
     stages = engine.profile.stages.as_dict()
     stages["host_compute"] = engine.host_compute_ns()
     engine.profile.tracer.charge(
@@ -193,4 +237,5 @@ def run_configuration(
         executor=engine.profile.executor_summary(),
         metrics=engine.profile.metrics.as_dict(),
         fleet=offloader.fleet.snapshot() if devices else {},
+        journal=journal_stats,
     )

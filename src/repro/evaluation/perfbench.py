@@ -29,16 +29,21 @@ default.
 from __future__ import annotations
 
 import contextlib
-import json
+import os
+import tempfile
 import time
 from dataclasses import replace as _dc_replace
 
 from repro.apps.registry import BENCHMARKS
 from repro.compiler.options import OptimizationConfig
 from repro.evaluation.harness import run_configuration
+from repro.ioutil import atomic_write_json
 from repro.opencl import executor as ex
 
 DEFAULT_MAX_SIM_ITEMS = 4096
+
+# The app the warm-restart measurement journals and resumes.
+WARM_RESTART_APP = "jg-series-single"
 
 
 def nolocal_config():
@@ -233,9 +238,14 @@ def run_bench(
         for name, app in results["apps"].items()
         if app["best_batch_speedup"] >= 5.0
     )
+    results["warm_restart"] = warm_restart_metrics(
+        app=WARM_RESTART_APP,
+        target=target,
+        scale=METRICS_PIN_SCALE,
+        max_sim_items=METRICS_PIN_SIM_ITEMS,
+    )
     if out_path is not None:
-        with open(out_path, "w") as fh:
-            json.dump(results, fh, indent=2, sort_keys=True)
+        atomic_write_json(out_path, results)
     if tracer is not None:
         if str(trace_out).endswith(".jsonl"):
             tracer.write_jsonl(trace_out)
@@ -246,6 +256,59 @@ def run_bench(
 
 METRICS_PIN_SCALE = 0.3
 METRICS_PIN_SIM_ITEMS = 256
+
+
+def warm_restart_metrics(
+    app=WARM_RESTART_APP,
+    target="gtx580",
+    scale=METRICS_PIN_SCALE,
+    max_sim_items=METRICS_PIN_SIM_ITEMS,
+):
+    """Measure the crash-recovery warm restart: journal a full run into
+    a temp directory (with the on-disk kernel store enabled), drop the
+    in-memory kernel cache as a process restart would, resume, and
+    report the resumed run's integer counters. The interesting ones:
+    ``journal.items_skipped`` (every item served from the WAL) and
+    ``cache.disk_hits`` with ``cache.misses`` absent — zero recompiles.
+    """
+    from repro.opencl import kernel_cache as kc
+
+    bench = BENCHMARKS[app]
+    with tempfile.TemporaryDirectory(prefix="repro-warm-") as tmp:
+        journal_dir = os.path.join(tmp, "journal")
+        kc.configure_disk_store(os.path.join(tmp, "kernels"))
+        try:
+            cold = run_configuration(
+                bench,
+                target,
+                scale=scale,
+                steps=1,
+                max_sim_items=max_sim_items,
+                journal=journal_dir,
+            )
+            kc.reset_global_cache()
+            warm = run_configuration(
+                bench,
+                target,
+                scale=scale,
+                steps=1,
+                max_sim_items=max_sim_items,
+                journal=journal_dir,
+                resume=True,
+            )
+        finally:
+            kc.configure_disk_store(None)
+            kc.reset_global_cache()
+    metrics = {
+        key: value
+        for key, value in sorted(warm.metrics.items())
+        if isinstance(value, int) and not isinstance(value, bool)
+    }
+    return {
+        "app": app,
+        "bit_exact": warm.checksum == cold.checksum,
+        "metrics": metrics,
+    }
 
 
 def collect_metrics(
@@ -286,6 +349,18 @@ def collect_metrics(
             for key, value in sorted(result.metrics.items())
             if isinstance(value, int) and not isinstance(value, bool)
         }
+    # A pseudo-app capturing the journaled warm restart at the same
+    # pinned config: its journal.items_skipped / cache.disk_hits counts
+    # are diffed against the committed baseline like any other app, so
+    # a regression in crash recovery shows up as a CI metrics diff.
+    out["apps"]["warm-restart({})".format(WARM_RESTART_APP)] = (
+        warm_restart_metrics(
+            app=WARM_RESTART_APP,
+            target=target,
+            scale=scale,
+            max_sim_items=max_sim_items,
+        )["metrics"]
+    )
     return out
 
 

@@ -1,0 +1,69 @@
+"""Crash-safe file helpers shared by the journal, the on-disk kernel
+store, and the BENCH_*.json writers.
+
+``atomic_write`` is the single primitive everything durable goes
+through: write to a temp file in the *same directory* as the target,
+flush + fsync the file, then ``os.replace`` it over the destination so
+readers only ever observe the old bytes or the complete new bytes —
+never a torn file. A best-effort fsync of the containing directory
+makes the rename itself durable on POSIX filesystems.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+
+def fsync_dir(path):
+    """Best-effort fsync of a directory (makes renames durable)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(path, data):
+    """Atomically replace ``path`` with ``data`` (bytes or str).
+
+    The temp file lives next to the target so ``os.replace`` stays on
+    one filesystem (rename atomicity does not hold across mounts).
+    """
+    path = os.fspath(path)
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    fsync_dir(directory)
+
+
+def atomic_write_json(path, obj, *, indent=2, sort_keys=True):
+    """Atomically write ``obj`` as JSON.
+
+    Keys are sorted by default so snapshots and CI baseline diffs are
+    byte-stable across runs regardless of dict insertion order.
+    """
+    text = json.dumps(obj, indent=indent, sort_keys=sort_keys)
+    atomic_write(path, text + "\n")

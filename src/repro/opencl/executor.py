@@ -67,6 +67,11 @@ def resolve_exec_tier(explicit=None):
     return tier
 
 
+# Bump when CompiledKernel.artifact()'s shape changes: a mismatched
+# on-disk kernel artifact is treated as a cache miss, never deserialized.
+DISK_ARTIFACT_VERSION = 1
+
+
 # ---------------------------------------------------------------------------
 # Statistics containers
 # ---------------------------------------------------------------------------
@@ -1815,6 +1820,83 @@ class CompiledKernel:
         self.batch_supported, self.batch_reason = batch_eligibility(kernel)
         self.batch_source = None
         self._batch_fn = None
+
+    def artifact(self):
+        """A picklable snapshot for the content-addressed on-disk kernel
+        store: the (site-assigned) kernel IR plus every generated source
+        variant. The batch variant is decided/compiled eagerly so a
+        process restored from this artifact never re-runs codegen."""
+        self._batch_callable()
+        return {
+            "version": DISK_ARTIFACT_VERSION,
+            "kernel": self.kernel,
+            "source": self.source,
+            "segments": self.segments,
+            "site_meta": self.site_meta,
+            "sanitized_source": self.sanitized_source,
+            "batch_supported": self.batch_supported,
+            "batch_reason": self.batch_reason,
+            "batch_source": self.batch_source,
+        }
+
+    @classmethod
+    def from_artifact(cls, art):
+        """Rebuild a launchable kernel from :meth:`artifact` output.
+
+        The stored sources are exec'd directly — codegen never runs, so
+        :func:`codegen_compiles` stays untouched (the warm-restart
+        "zero recompiles" guarantee).
+        """
+        if art.get("version") != DISK_ARTIFACT_VERSION:
+            raise ValueError(
+                "kernel artifact version mismatch: {!r}".format(
+                    art.get("version")
+                )
+            )
+        self = cls.__new__(cls)
+        self.kernel = art["kernel"]
+        self.source = art["source"]
+        self.segments = art["segments"]
+        self.site_meta = art["site_meta"]
+        namespace = dict(_GLOBALS)
+        exec(
+            compile(
+                self.source,
+                "<kernel:{}:disk>".format(self.kernel.name),
+                "exec",
+            ),
+            namespace,
+        )
+        self._item = namespace["_item"]
+        self.sanitized_source = art["sanitized_source"]
+        self._sanitized_item_fn = None
+        if self.sanitized_source is not None:
+            namespace = dict(_GLOBALS)
+            exec(
+                compile(
+                    self.sanitized_source,
+                    "<kernel:{}:sanitized:disk>".format(self.kernel.name),
+                    "exec",
+                ),
+                namespace,
+            )
+            self._sanitized_item_fn = namespace["_item"]
+        self.batch_supported = art["batch_supported"]
+        self.batch_reason = art["batch_reason"]
+        self.batch_source = art["batch_source"]
+        self._batch_fn = None
+        if self.batch_source is not None:
+            namespace = dict(_GLOBALS)
+            exec(
+                compile(
+                    self.batch_source,
+                    "<kernel:{}:batch:disk>".format(self.kernel.name),
+                    "exec",
+                ),
+                namespace,
+            )
+            self._batch_fn = namespace["_batch"]
+        return self
 
     def _sanitized_item(self):
         if self._sanitized_item_fn is None:

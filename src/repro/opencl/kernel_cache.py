@@ -25,6 +25,17 @@ sweeps. The cache keys compiled artifacts by *content*:
 The cache is bounded (LRU) and module-global: hit/miss counts are
 exposed both globally and per :class:`ExecutionProfile` via the
 ``profile`` argument of :func:`cached_compile_kernel`.
+
+The LRU can additionally be backed by a content-addressed **on-disk
+store** (:class:`DiskKernelStore`) keyed by the *same* tuple, so a
+restarted process recompiles nothing: lookups miss the in-memory LRU,
+load the pickled :meth:`CompiledKernel.artifact` from disk, and count
+as ``cache.disk_hits`` (codegen never runs). Enable it with
+:func:`configure_disk_store`, the ``REPRO_KERNEL_CACHE_DIR``
+environment variable, or ``repro run --kernel-cache DIR`` (``--journal
+DIR`` defaults it to ``DIR/kernels``). Artifacts are written with
+:func:`repro.ioutil.atomic_write`; a torn or unpicklable artifact is a
+cache miss, never an error.
 """
 
 from __future__ import annotations
@@ -32,13 +43,18 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
+import os
+import pickle
 from collections import OrderedDict
 
 from repro.backend import kernel_ir as K
-from repro.opencl.executor import CompiledKernel
+from repro.ioutil import atomic_write
+from repro.opencl.executor import DISK_ARTIFACT_VERSION, CompiledKernel
 from repro.runtime.tracing import NULL_TRACER
 
 DEFAULT_CAPACITY = 128
+
+KERNEL_CACHE_DIR_ENV = "REPRO_KERNEL_CACHE_DIR"
 
 # Fields that do not affect the compiled artifact.
 _SKIP_FIELDS = frozenset({"site", "meta"})
@@ -101,6 +117,93 @@ def sanitizer_key(sanitizer):
     )
 
 
+class DiskKernelStore:
+    """Content-addressed on-disk store of pickled
+    :meth:`CompiledKernel.artifact` snapshots.
+
+    Filenames are the SHA-256 of the full cache key, so the same
+    directory safely holds artifacts for every (options, sanitizer,
+    device) combination. Writes go through
+    :func:`repro.ioutil.atomic_write`; loads treat *any* failure —
+    missing file, torn pickle, version or key mismatch — as a miss and
+    count it in :attr:`corrupt` when the file existed but could not be
+    trusted.
+    """
+
+    def __init__(self, root):
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.loads = 0
+        self.stores = 0
+        self.corrupt = 0
+
+    def _path(self, key):
+        digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+        return os.path.join(self.root, digest + ".kpkl")
+
+    def load(self, key):
+        """The stored :class:`CompiledKernel` for ``key``, or None."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            self.corrupt += 1
+            return None
+        try:
+            if payload.get("key") != list(key):
+                raise ValueError("key mismatch")
+            entry = CompiledKernel.from_artifact(payload["artifact"])
+        except Exception:
+            self.corrupt += 1
+            return None
+        self.loads += 1
+        return entry
+
+    def store(self, key, compiled):
+        payload = {
+            "version": DISK_ARTIFACT_VERSION,
+            "key": list(key),
+            "artifact": compiled.artifact(),
+        }
+        atomic_write(self._path(key), pickle.dumps(payload))
+        self.stores += 1
+
+
+_DISK_STORE = None
+_DISK_STORE_CONFIGURED = False
+
+
+def configure_disk_store(root):
+    """Set (or with None, clear) the process-wide on-disk kernel store.
+
+    Overrides the ``REPRO_KERNEL_CACHE_DIR`` environment variable.
+    """
+    global _DISK_STORE, _DISK_STORE_CONFIGURED
+    if root is None:
+        _DISK_STORE = None
+        _DISK_STORE_CONFIGURED = False
+    else:
+        _DISK_STORE = DiskKernelStore(root)
+        _DISK_STORE_CONFIGURED = True
+    return _DISK_STORE
+
+
+def active_disk_store():
+    """The configured store, else one resolved from the environment."""
+    global _DISK_STORE
+    if _DISK_STORE_CONFIGURED:
+        return _DISK_STORE
+    env = os.environ.get(KERNEL_CACHE_DIR_ENV)
+    if not env:
+        return None
+    if _DISK_STORE is None or os.fspath(_DISK_STORE.root) != env:
+        _DISK_STORE = DiskKernelStore(env)
+    return _DISK_STORE
+
+
 class KernelCache:
     """Bounded LRU cache of :class:`CompiledKernel` artifacts."""
 
@@ -108,26 +211,51 @@ class KernelCache:
         self.capacity = capacity
         self._entries = OrderedDict()
         self.hits = 0
+        self.disk_hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self):
         return len(self._entries)
 
-    def get_or_compile(self, kernel, options="", sanitizer="", device=""):
+    def lookup(self, kernel, options="", sanitizer="", device="", store=None):
+        """Resolve ``kernel`` to a compiled entry.
+
+        Returns ``(entry, kind)`` where kind is ``"hit"`` (in-memory
+        LRU), ``"disk"`` (loaded from ``store`` — no codegen ran), or
+        ``"miss"`` (codegen ran; the result is saved to ``store`` when
+        one is given).
+        """
         key = (kernel_fingerprint(kernel), options, sanitizer, device)
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
             self._entries.move_to_end(key)
-            return entry, True
-        self.misses += 1
-        entry = CompiledKernel(kernel)
+            return entry, "hit"
+        kind = "miss"
+        if store is not None:
+            entry = store.load(key)
+            if entry is not None:
+                kind = "disk"
+                self.disk_hits += 1
+        if entry is None:
+            self.misses += 1
+            entry = CompiledKernel(kernel)
+            if store is not None:
+                store.store(key, entry)
         self._entries[key] = entry
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
-        return entry, False
+        return entry, kind
+
+    def get_or_compile(self, kernel, options="", sanitizer="", device=""):
+        """Legacy bool-returning lookup (no disk store): ``(entry,
+        in_memory_hit)``."""
+        entry, kind = self.lookup(
+            kernel, options=options, sanitizer=sanitizer, device=device
+        )
+        return entry, kind == "hit"
 
     def clear(self):
         self._entries.clear()
@@ -135,6 +263,7 @@ class KernelCache:
     def stats(self):
         return {
             "hits": self.hits,
+            "disk_hits": self.disk_hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "entries": len(self._entries),
@@ -166,14 +295,21 @@ def cached_compile_kernel(
     miss) plus a hit/miss instant.
     """
     tracer = profile.tracer if profile is not None else NULL_TRACER
+    store = active_disk_store()
     with tracer.span("cache_lookup", cat="compile", kernel=kernel.name) as sp:
-        compiled, hit = _GLOBAL_CACHE.get_or_compile(
-            kernel, options=options, sanitizer=sanitizer, device=device
+        compiled, kind = _GLOBAL_CACHE.lookup(
+            kernel,
+            options=options,
+            sanitizer=sanitizer,
+            device=device,
+            store=store,
         )
-        sp.set(hit=hit)
+        sp.set(hit=kind != "miss", kind=kind)
     tracer.instant(
-        "cache_hit" if hit else "cache_miss", cat="compile", kernel=kernel.name
+        "cache_hit" if kind != "miss" else "cache_miss",
+        cat="compile",
+        kernel=kernel.name,
     )
     if profile is not None:
-        profile.record_cache(hit)
+        profile.record_cache(kind)
     return compiled

@@ -56,6 +56,12 @@ class Engine:
             the run's simulated timeline through ``profile.tracer``.
             ``None`` installs the zero-overhead
             :data:`~repro.runtime.tracing.NULL_TRACER`.
+        journal: optional :class:`repro.runtime.journal.RunJournal`;
+            when provided, every offloaded task's worker is wrapped in
+            a :class:`repro.runtime.journal.JournaledWorker` that
+            write-ahead-logs each completed stream item and, on a
+            resumed run, serves journaled items without re-executing
+            them. Host tasks recompute deterministically either way.
     """
 
     def __init__(
@@ -66,13 +72,18 @@ class Engine:
         printer=None,
         resilience=None,
         tracer=None,
+        journal=None,
     ):
         self.checked = checked
         self.offloader = offloader
         self.resilience = resilience
+        self.journal = journal
+        self._journal_instances = {}
         self.java_cost_model = java_cost_model or JavaCostModel()
         self.cost = CostCounter()
         self.profile = ExecutionProfile(tracer=tracer)
+        if journal is not None:
+            journal.bind(self.profile)
         self.interp = Interpreter(
             checked,
             cost=self.cost,
@@ -142,6 +153,19 @@ class Engine:
 
                     worker = self.resilience.wrap(
                         name, device_worker, host_factory, self.profile
+                    )
+                if self.journal is not None:
+                    from repro.runtime.journal import JournaledWorker
+
+                    idx = self._journal_instances.get(name, 0)
+                    self._journal_instances[name] = idx + 1
+                    worker = JournaledWorker(
+                        name=name,
+                        key="{}#{}".format(name, idx),
+                        worker=worker,
+                        device_worker=device_worker,
+                        journal=self.journal,
+                        profile=self.profile,
                     )
                 self.offloaded_tasks.append(name)
                 self.profile.tracer.instant(

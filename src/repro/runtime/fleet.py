@@ -68,6 +68,11 @@ class FleetWorker:
         self._injector = None
         self._retry = None
         self.items = 0
+        # When the recovery journal wraps this worker it installs a
+        # list here; the placement events of the current item are
+        # appended so a resumed run can replay them into the
+        # HealthMonitor (repro.runtime.journal).
+        self.journal_log = None
 
     @property
     def injector(self):
@@ -99,6 +104,8 @@ class FleetWorker:
         ):
             order = [k for k in self.monitor.placement_order()
                      if k in self.filters]
+            if self.journal_log is not None:
+                self.journal_log.append(["order"])
             record = None
             last_err = None
             failed = None
@@ -124,6 +131,8 @@ class FleetWorker:
                     result = filt.run_prepared(record)
                 except RuntimeFault as err:
                     stage = getattr(err, "stage", None) or "device"
+                    if self.journal_log is not None:
+                        self.journal_log.append(["fault", key, stage])
                     self.monitor.observe_fault(key, stage)
                     ledger.record_fault(self.name, stage)
                     last_err = err
@@ -141,6 +150,10 @@ class FleetWorker:
                     continue
                 # Score this device on its own kernel time, not on time
                 # accumulated by earlier failed attempts.
+                if self.journal_log is not None:
+                    self.journal_log.append(
+                        ["success", key, record.stages.kernel - kernel_before]
+                    )
                 self.monitor.observe_success(
                     key, record.stages.kernel - kernel_before
                 )

@@ -295,7 +295,7 @@ class FailureLedger:
             "recovery.failovers": self.total_failovers,
             "recovery.partitioned_launches": self.total_partitioned_launches,
             "recovery.time_lost_ns": self.time_lost_ns,
-            "guards.trips": self.total_trips,
+            "guards.trips": dict(sorted(self.total_trips.items())),
             "guards.validations": self.total_validations,
             "guards.mismatches": self.total_mismatches,
             "demoted_tasks": list(self.demotions),
@@ -306,8 +306,8 @@ class FailureLedger:
                     "fallbacks": rec.fallbacks,
                     "demoted": rec.demoted,
                     "time_lost_ns": rec.time_lost_ns,
-                    "by_stage": dict(rec.by_stage),
-                    "trips": dict(rec.trips),
+                    "by_stage": dict(sorted(rec.by_stage.items())),
+                    "trips": dict(sorted(rec.trips.items())),
                     "validations": rec.validations,
                     "mismatches": rec.mismatches,
                     "promotions": rec.promotions,
@@ -323,6 +323,68 @@ class FailureLedger:
         shared with :func:`render_failure_summary` (the evaluation
         report renders the identical text from the summary dict)."""
         return render_failure_summary(self.summary())
+
+    # -- journal support: per-item deltas and silent replay -----------------
+
+    _COUNT_FIELDS = (
+        "faults", "retries", "fallbacks", "time_lost_ns", "validations",
+        "mismatches", "promotions", "failovers", "partitioned_launches",
+    )
+
+    def snapshot_tasks(self):
+        """Opaque capture of every task record, input to :meth:`delta`."""
+        return {
+            name: {
+                "demoted": rec.demoted,
+                "by_stage": dict(rec.by_stage),
+                "trips": dict(rec.trips),
+                **{f: getattr(rec, f) for f in self._COUNT_FIELDS},
+            }
+            for name, rec in self.tasks.items()
+        }
+
+    def delta(self, before):
+        """JSON-able per-task change since ``before``
+        (a :meth:`snapshot_tasks` capture)."""
+        out = {}
+        for name, rec in sorted(self.tasks.items()):
+            prev = before.get(name, {})
+            d = {}
+            for f in self._COUNT_FIELDS:
+                diff = getattr(rec, f) - prev.get(f, 0)
+                if diff:
+                    d[f] = diff
+            if rec.demoted != prev.get("demoted", False):
+                d["demoted"] = rec.demoted
+            for dict_field in ("by_stage", "trips"):
+                pdict = prev.get(dict_field, {})
+                cur = getattr(rec, dict_field)
+                diffs = {
+                    k: v - pdict.get(k, 0)
+                    for k, v in sorted(cur.items())
+                    if v != pdict.get(k, 0)
+                }
+                if diffs:
+                    d[dict_field] = diffs
+            if d:
+                out[name] = d
+        return out
+
+    def merge_task(self, task_name, delta):
+        """Apply a journaled per-task :meth:`delta` entry *without*
+        bumping metrics — the journal restores those separately through
+        :meth:`MetricsRegistry.merge_delta`, so going through the
+        ``record_*`` API here would double-count every fault."""
+        rec = self._record(task_name)
+        for f in self._COUNT_FIELDS:
+            if f in delta:
+                setattr(rec, f, getattr(rec, f) + delta[f])
+        if "demoted" in delta:
+            rec.demoted = delta["demoted"]
+        for dict_field in ("by_stage", "trips"):
+            for k, v in delta.get(dict_field, {}).items():
+                cur = getattr(rec, dict_field)
+                cur[k] = cur.get(k, 0) + v
 
 
 def render_failure_summary(summary):
@@ -406,13 +468,16 @@ def render_executor_summary(summary):
     tiers = summary.get("executor.launches", {}) or {}
     hits = summary.get("cache.hits", 0)
     misses = summary.get("cache.misses", 0)
-    if not tiers and not hits and not misses:
+    disk_hits = summary.get("cache.disk_hits", 0)
+    if not tiers and not hits and not misses and not disk_hits:
         return ""
     parts = [
         "launches.{}={}".format(tier, count)
         for tier, count in sorted(tiers.items())
     ]
     parts.append("cache.hits={}".format(hits))
+    if disk_hits:
+        parts.append("cache.disk_hits={}".format(disk_hits))
     parts.append("cache.misses={}".format(misses))
     return "executor: " + " ".join(parts)
 
@@ -437,6 +502,7 @@ class ExecutionProfile:
         # (batch / per-item / sanitized) and kernel-cache traffic.
         self.tier_launches = {}
         self.cache_hits = 0
+        self.cache_disk_hits = 0
         self.cache_misses = 0
 
     def record_tier(self, tier):
@@ -445,9 +511,23 @@ class ExecutionProfile:
         self.metrics.inc("executor.launches.{}".format(tier))
 
     def record_cache(self, hit):
-        if hit:
+        """Count one kernel-cache lookup. ``hit`` is either the legacy
+        bool (in-memory hit / codegen miss) or a kind string: ``"hit"``
+        (LRU), ``"disk"`` (served from the content-addressed on-disk
+        store — no codegen ran, but it was not in memory either), or
+        ``"miss"`` (codegen ran)."""
+        if hit is True:
+            kind = "hit"
+        elif hit is False:
+            kind = "miss"
+        else:
+            kind = hit
+        if kind == "hit":
             self.cache_hits += 1
             self.metrics.inc("cache.hits")
+        elif kind == "disk":
+            self.cache_disk_hits += 1
+            self.metrics.inc("cache.disk_hits")
         else:
             self.cache_misses += 1
             self.metrics.inc("cache.misses")
@@ -460,6 +540,7 @@ class ExecutionProfile:
         return {
             "executor.launches": dict(sorted(self.tier_launches.items())),
             "cache.hits": self.cache_hits,
+            "cache.disk_hits": self.cache_disk_hits,
             "cache.misses": self.cache_misses,
         }
 
@@ -472,6 +553,29 @@ class ExecutionProfile:
         self.stages.add(stage_times)
         self.task_stages(task_name).add(stage_times)
         self.metrics.histogram("task.invoke_ns").observe(stage_times.total())
+
+    def restore(self, task_name, stage_dict, profile_delta=None):
+        """Journal replay: re-apply a completed item's stage times and
+        executor bookkeeping without re-observing metrics (histograms
+        and counters are restored separately via
+        :meth:`MetricsRegistry.merge_delta`)."""
+        st = StageTimes(
+            **{k: v for k, v in stage_dict.items() if k != "total"}
+        )
+        self.stages.add(st)
+        self.task_stages(task_name).add(st)
+        if profile_delta:
+            self.kernel_launches += profile_delta.get("kernel_launches", 0)
+            self.bytes_to_device += profile_delta.get("bytes_to_device", 0)
+            self.bytes_from_device += profile_delta.get(
+                "bytes_from_device", 0
+            )
+            for tier, count in profile_delta.get(
+                "tier_launches", {}
+            ).items():
+                self.tier_launches[tier] = (
+                    self.tier_launches.get(tier, 0) + count
+                )
 
     def record_recovery(self, task_name, ns):
         """Charge fault-recovery overhead (failed partial attempts,

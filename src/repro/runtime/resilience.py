@@ -526,6 +526,30 @@ class HealthMonitor:
             for key, h in self.devices.items()
         }
 
+    def replay(self, events):
+        """Journal replay: re-apply a recorded placement/observation
+        event stream (``FleetWorker.journal_log``) without re-emitting
+        metrics or trace — those are restored separately from the
+        journaled metrics delta. Every health transition is a
+        deterministic function of the observation stream, so replaying
+        it reproduces windows, breakers, probing, and idle counts
+        exactly."""
+        saved_metrics, saved_tracer = self.metrics, self.tracer
+        self.metrics, self.tracer = MetricsRegistry(), NULL_TRACER
+        try:
+            for ev in events:
+                kind = ev[0]
+                if kind == "order":
+                    self.placement_order()
+                elif kind == "success":
+                    self.observe_success(ev[1], ev[2])
+                elif kind == "fault":
+                    self.observe_fault(
+                        ev[1], ev[2] if len(ev) > 2 else None
+                    )
+        finally:
+            self.metrics, self.tracer = saved_metrics, saved_tracer
+
 
 class ResilientWorker:
     """Wraps an offloaded filter worker with retry, breaker, and host
@@ -571,6 +595,32 @@ class ResilientWorker:
     @property
     def demoted(self):
         return self.breaker.open
+
+    # -- journal support -----------------------------------------------------
+
+    def snapshot_state(self):
+        """Post-item state the recovery journal persists so a resumed
+        run restarts with the breaker and validation sampler exactly
+        where they were."""
+        return {
+            "breaker": {
+                "state": self.breaker.state,
+                "consecutive": self.breaker.consecutive,
+                "host_successes": self.breaker.host_successes,
+            },
+            "device_items": self.device_items,
+        }
+
+    def restore_state(self, state):
+        breaker = state.get("breaker", {})
+        self.breaker.state = breaker.get("state", self.breaker.state)
+        self.breaker.consecutive = breaker.get(
+            "consecutive", self.breaker.consecutive
+        )
+        self.breaker.host_successes = breaker.get(
+            "host_successes", self.breaker.host_successes
+        )
+        self.device_items = state.get("device_items", self.device_items)
 
     def _host(self, value):
         if self._host_worker is None:

@@ -620,6 +620,94 @@ class MetricsRegistry:
                 lines.append("{} = {}".format(name, value))
         return "\n".join(lines)
 
+    # -- journal support: deltas between two points in a run ----------------
+
+    def snapshot(self):
+        """An opaque point-in-time capture, input to :meth:`delta`."""
+        snap = {}
+        for name, inst in self._instruments.items():
+            if isinstance(inst, Histogram):
+                snap[name] = (
+                    inst.count,
+                    inst.total,
+                    list(inst.bucket_counts),
+                )
+            else:
+                snap[name] = inst.value
+        return snap
+
+    def delta(self, before):
+        """The JSON-able change since ``before`` (a :meth:`snapshot`).
+
+        Counters report their increment, gauges their final value,
+        histograms the added counts per bucket plus the cumulative
+        min/max (merging snapshots in order reproduces the registry
+        exactly — see :meth:`merge_delta`).
+        """
+        out = {}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Histogram):
+                prev = before.get(name)
+                if prev is None:
+                    pcount, ptotal = 0, 0.0
+                    pbuckets = [0] * len(inst.bucket_counts)
+                else:
+                    pcount, ptotal, pbuckets = prev
+                if inst.count == pcount:
+                    continue
+                out[name] = {
+                    "kind": "histogram",
+                    "count": inst.count - pcount,
+                    "sum": inst.total - ptotal,
+                    "min": inst.min,
+                    "max": inst.max,
+                    "buckets": [
+                        a - b
+                        for a, b in zip(inst.bucket_counts, pbuckets)
+                    ],
+                    "bounds": list(inst.bounds),
+                }
+            elif isinstance(inst, Gauge):
+                prev = before.get(name)
+                if prev is None or prev != inst.value:
+                    out[name] = {"kind": "gauge", "set": inst.value}
+            else:
+                prev = before.get(name, 0)
+                if inst.value != prev:
+                    out[name] = {
+                        "kind": "counter",
+                        "inc": inst.value - prev,
+                    }
+        return out
+
+    def merge_delta(self, delta):
+        """Apply a :meth:`delta` dict to this registry (journal replay)."""
+        for name, d in delta.items():
+            kind = d["kind"]
+            if kind == "counter":
+                self.counter(name).inc(d["inc"])
+            elif kind == "gauge":
+                self.gauge(name).set(d["set"])
+            else:
+                hist = self.histogram(name, bounds=tuple(d["bounds"]))
+                hist.count += d["count"]
+                hist.total += d["sum"]
+                if d["min"] is not None:
+                    hist.min = (
+                        d["min"]
+                        if hist.min is None
+                        else min(hist.min, d["min"])
+                    )
+                if d["max"] is not None:
+                    hist.max = (
+                        d["max"]
+                        if hist.max is None
+                        else max(hist.max, d["max"])
+                    )
+                for i, n in enumerate(d["buckets"]):
+                    hist.bucket_counts[i] += n
+
 
 # ---------------------------------------------------------------------------
 # Trace files: readers, flame summary, diff

@@ -1,0 +1,200 @@
+"""Process-level crash-recovery chaos tests.
+
+The acceptance bar for the journal layer: SIGKILL a *real* ``repro
+run --journal`` subprocess at a deterministic item boundary (the
+``REPRO_JOURNAL_CRASH_AFTER_ITEMS`` hook fires after the record is
+fsync-durable), resume in a fresh process, and the final checksum must
+be bit-exact against an uninterrupted run — with every journaled item
+skipped and every kernel served from the on-disk store (zero
+recompiles). The ``--wall-deadline-ms`` watchdog must likewise convert
+a wall-clock overrun into a clean, journaled abort with a dedicated
+exit code rather than a hung or half-written run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+SCALE = "0.2"
+STEPS = "4"
+MAX_ITEMS = "128"
+WALL_DEADLINE_EXIT = 124
+
+
+def repro_run(bench, *extra, journal=None, json_out=None, env_extra=None):
+    cmd = [
+        sys.executable, "-m", "repro", "run", bench,
+        "--target", "gtx580",
+        "--scale", SCALE,
+        "--steps", STEPS,
+        "--max-sim-items", MAX_ITEMS,
+    ]
+    if journal is not None:
+        cmd += ["--journal", os.fspath(journal)]
+    if json_out is not None:
+        cmd += ["--json", os.fspath(json_out)]
+    cmd += list(extra)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    env.pop("REPRO_JOURNAL_CRASH_AFTER_ITEMS", None)
+    env.pop("REPRO_KERNEL_CACHE_DIR", None)
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run(
+        cmd, cwd=REPO, env=env, capture_output=True, text=True, timeout=300
+    )
+
+
+def load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize("bench", ["jg-series-single", "mosaic"])
+@pytest.mark.parametrize("kill_after", [1, 2, 3])
+def test_sigkill_then_resume_is_bit_exact(tmp_path, bench, kill_after):
+    clean_json = tmp_path / "clean.json"
+    proc = repro_run(bench, json_out=clean_json)
+    assert proc.returncode == 0, proc.stderr
+    clean = load(clean_json)
+
+    journal = tmp_path / "journal"
+    crashed = repro_run(
+        bench,
+        journal=journal,
+        env_extra={"REPRO_JOURNAL_CRASH_AFTER_ITEMS": str(kill_after)},
+    )
+    # The hook SIGKILLs the process itself after the Nth durable item.
+    assert crashed.returncode == -signal.SIGKILL
+    assert (journal / "journal.wal").exists()
+
+    resumed_json = tmp_path / "resumed.json"
+    proc = repro_run(
+        bench, "--resume", journal=journal, json_out=resumed_json
+    )
+    assert proc.returncode == 0, proc.stderr
+    resumed = load(resumed_json)
+
+    # Bit-exact recovery: checksum, simulated total, and per-stage
+    # breakdown all match the uninterrupted run.
+    assert resumed["checksum"] == clean["checksum"]
+    assert resumed["total_ns"] == clean["total_ns"]
+    assert resumed["stages"] == clean["stages"]
+    # Every durable item was skipped, none recomputed.
+    assert resumed["journal"]["resumed"] is True
+    assert resumed["journal"]["items_skipped"] == kill_after
+    assert resumed["journal"]["digest_mismatches"] == 0
+    # Zero recompiles: the on-disk store (defaulting to
+    # <journal>/kernels) served every kernel.
+    assert resumed["metrics"]["cache.disk_hits"] > 0
+    assert "cache.misses" not in resumed["metrics"]
+
+
+def test_sigkill_mid_fleet_run_recovers_health_state(tmp_path):
+    fleet = ["--devices", "gtx580,hd5970", "--kill-device", "gtx580:0"]
+    clean_json = tmp_path / "clean.json"
+    proc = repro_run("jg-series-single", *fleet, json_out=clean_json)
+    assert proc.returncode == 0, proc.stderr
+    clean = load(clean_json)
+
+    journal = tmp_path / "journal"
+    crashed = repro_run(
+        "jg-series-single",
+        *fleet,
+        journal=journal,
+        env_extra={"REPRO_JOURNAL_CRASH_AFTER_ITEMS": "2"},
+    )
+    assert crashed.returncode == -signal.SIGKILL
+
+    resumed_json = tmp_path / "resumed.json"
+    proc = repro_run(
+        "jg-series-single",
+        *fleet,
+        "--resume",
+        journal=journal,
+        json_out=resumed_json,
+    )
+    assert proc.returncode == 0, proc.stderr
+    resumed = load(resumed_json)
+    assert resumed["checksum"] == clean["checksum"]
+    assert resumed["total_ns"] == clean["total_ns"]
+    assert resumed["faults"] == clean["faults"]
+    # The journal replay reconstructed the fleet's health bookkeeping.
+    assert resumed["fleet"] == clean["fleet"]
+
+
+def test_torn_tail_in_subprocess_journal_is_recovered(tmp_path):
+    journal = tmp_path / "journal"
+    clean_json = tmp_path / "clean.json"
+    proc = repro_run("jg-series-single", journal=journal, json_out=clean_json)
+    assert proc.returncode == 0, proc.stderr
+    clean = load(clean_json)
+
+    with open(journal / "journal.wal", "ab") as fh:
+        fh.write(b"\x00\x00garbage: a frame the crash never finished")
+
+    resumed_json = tmp_path / "resumed.json"
+    proc = repro_run(
+        "jg-series-single", "--resume", journal=journal,
+        json_out=resumed_json,
+    )
+    assert proc.returncode == 0, proc.stderr
+    resumed = load(resumed_json)
+    assert resumed["checksum"] == clean["checksum"]
+    assert resumed["journal"]["torn_tail_truncated"] == 1
+
+
+def test_wall_deadline_exits_with_dedicated_code(tmp_path):
+    # A 1ms deadline cannot be met; the watchdog must fire and exit
+    # with the dedicated code. (At this deadline the timer may beat
+    # the journal's open, so the `aborted` record is asserted in
+    # test_wall_deadline_aborts_into_an_open_journal below.)
+    journal = tmp_path / "journal"
+    proc = repro_run(
+        "jg-series-single", "--wall-deadline-ms", "1", journal=journal
+    )
+    assert proc.returncode == WALL_DEADLINE_EXIT
+
+
+def test_wall_deadline_aborts_into_an_open_journal(tmp_path):
+    # Deterministic watchdog-x-journal interaction: the journal is
+    # already open when the timer expires, so the abort must land as a
+    # durable `aborted` record before the process exits 124.
+    journal = tmp_path / "journal"
+    script = (
+        "import sys, time\n"
+        "from repro.cli import _start_wall_watchdog\n"
+        "from repro.runtime.journal import RunJournal\n"
+        "j = RunJournal.open({!r}, {{'bench': 'hang'}})\n"
+        "_start_wall_watchdog(50)\n"
+        "time.sleep(60)\n"
+    ).format(os.fspath(journal))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        cwd=REPO, env=env, capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == WALL_DEADLINE_EXIT
+    assert "wall deadline" in proc.stderr
+
+    from repro.runtime.journal import scan_frames
+
+    records, _, torn = scan_frames((journal / "journal.wal").read_bytes())
+    assert not torn
+    assert records[-1]["type"] == "aborted"
+    assert "50 ms" in records[-1]["reason"]
+
+
+def test_generous_wall_deadline_does_not_fire(tmp_path):
+    out = tmp_path / "out.json"
+    proc = repro_run(
+        "jg-series-single", "--wall-deadline-ms", "300000", json_out=out
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert load(out)["checksum"]

@@ -1,0 +1,312 @@
+"""The breaker-cooloff x fleet-demotion corner.
+
+Two half-open machines exist in the runtime: the per-task
+:class:`CircuitBreaker` inside a :class:`ResilientWorker` (cooloff
+counted in *host* successes) and the per-device breaker/probe cycle
+inside a fleet's :class:`HealthMonitor` (cooloff counted in
+*placements elsewhere*). These tests pin down each machine's restart
+semantics and the previously untested corner where the same device is
+both fleet-demoted and behind a task breaker that is mid-cooloff.
+"""
+
+import pytest
+
+from repro.errors import LaunchFault
+from repro.runtime.profiler import ExecutionProfile
+from repro.runtime.resilience import (
+    CircuitBreaker,
+    FleetPolicy,
+    HealthMonitor,
+    ResilientWorker,
+    RetryPolicy,
+)
+
+# -- CircuitBreaker half-open lifecycle --------------------------------------
+
+
+class TestCircuitBreakerCooloff:
+    def test_opens_after_threshold_and_half_opens_after_cooloff(self):
+        b = CircuitBreaker(threshold=2, cooloff=3)
+        assert not b.record_fault()
+        assert b.record_fault()
+        assert b.open
+        # Host successes below the cooloff keep it open.
+        assert not b.record_host_success()
+        assert not b.record_host_success()
+        assert b.open
+        # The cooloff-th host success transitions to half-open.
+        assert b.record_host_success()
+        assert b.half_open
+        assert b.host_successes == 0
+
+    def test_probe_success_closes(self):
+        b = CircuitBreaker(threshold=1, cooloff=1)
+        b.record_fault()
+        b.record_host_success()
+        assert b.half_open
+        b.record_success()
+        assert b.state == "closed"
+        assert b.consecutive == 0
+
+    def test_probe_fault_reopens_and_restarts_cooloff(self):
+        b = CircuitBreaker(threshold=1, cooloff=2)
+        b.record_fault()
+        b.record_host_success()
+        b.record_host_success()
+        assert b.half_open
+        # The probe faults: straight back to open, and the cooloff
+        # count restarts from zero — one host success is no longer
+        # enough.
+        b.record_fault()
+        assert b.open
+        assert b.host_successes == 0
+        assert not b.record_host_success()
+        assert b.open
+        assert b.record_host_success()
+        assert b.half_open
+
+    def test_no_cooloff_means_open_forever(self):
+        b = CircuitBreaker(threshold=1, cooloff=None)
+        b.record_fault()
+        for _ in range(100):
+            assert not b.record_host_success()
+        assert b.open
+
+    def test_host_success_while_closed_is_ignored(self):
+        b = CircuitBreaker(threshold=3, cooloff=1)
+        assert not b.record_host_success()
+        assert b.host_successes == 0
+        assert b.state == "closed"
+
+
+# -- HealthMonitor demotion + probe cycle ------------------------------------
+
+
+def make_monitor(cooloff=2, threshold=2, **kw):
+    policy = FleetPolicy(
+        cooloff=cooloff, breaker_threshold=threshold, min_samples=2, **kw
+    )
+    return HealthMonitor(["a", "b"], policy=policy)
+
+
+class TestFleetDemotionCooloff:
+    def test_breaker_trip_demotes_device(self):
+        m = make_monitor()
+        m.observe_fault("a")
+        assert m.devices["a"].healthy
+        m.observe_fault("a")
+        assert m.devices["a"].state == "demoted"
+        assert m.devices["a"].reason == "faults"
+        # A demoted device drops to failover-of-last-resort.
+        assert m.placement_order()[-1] == "a" or not m.devices["a"].probing
+
+    def test_cooloff_placements_arm_the_probe(self):
+        m = make_monitor(cooloff=2)
+        m.observe_fault("a")
+        m.observe_fault("a")
+        # First placement elsewhere: still benched.
+        order = m.placement_order()
+        assert order == ["b", "a"]
+        assert not m.devices["a"].probing
+        # Second placement reaches the cooloff: the next item probes
+        # the demoted device first — it gets the real workload.
+        order = m.placement_order()
+        assert m.devices["a"].probing
+        assert order[0] == "a"
+
+    def test_probe_success_repromotes_with_fresh_breaker(self):
+        m = make_monitor(cooloff=1)
+        m.observe_success("b", 100.0)
+        m.observe_success("b", 100.0)
+        m.observe_fault("a")
+        m.observe_fault("a")
+        m.placement_order()  # arms the probe
+        assert m.devices["a"].probing
+        m.observe_success("a", 100.0)  # clean, fast probe
+        h = m.devices["a"]
+        assert h.healthy
+        assert h.promotions == 1
+        # The breaker and sample window restart from the probe.
+        assert h.breaker.state == "closed"
+        assert h.breaker.consecutive == 0
+        assert h.samples == [100.0]
+
+    def test_probe_fault_restarts_the_cooloff(self):
+        m = make_monitor(cooloff=2)
+        m.observe_fault("a")
+        m.observe_fault("a")
+        m.placement_order()
+        m.placement_order()  # probe armed
+        assert m.devices["a"].probing
+        m.observe_fault("a")  # the probe itself faults
+        h = m.devices["a"]
+        assert h.state == "demoted"
+        assert not h.probing
+        assert h.idle == 0
+        # A full cooloff is required again before the next probe.
+        m.placement_order()
+        assert not h.probing
+        m.placement_order()
+        assert h.probing
+
+    def test_slow_probe_is_a_failed_probe(self):
+        m = make_monitor(cooloff=1, slow_factor=2.0)
+        for _ in range(3):
+            m.observe_success("b", 100.0)
+        m.observe_fault("a")
+        m.observe_fault("a")
+        m.placement_order()
+        assert m.devices["a"].probing
+        # The probe completes without faulting but 4x slower than the
+        # fleet: still demoted, reason recorded, cooloff restarted.
+        m.observe_success("a", 400.0)
+        h = m.devices["a"]
+        assert h.state == "demoted"
+        assert h.reason == "slow"
+        assert h.promotions == 0
+
+
+# -- the corner: fleet demotion x task breaker mid-cooloff -------------------
+
+
+class FlakyDevice:
+    """Stub device worker: faults for the first ``faults`` calls, then
+    succeeds by echoing the value."""
+
+    def __init__(self, faults):
+        self.remaining = faults
+        self.calls = 0
+
+    def __call__(self, value=None):
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise LaunchFault("injected launch fault")
+        return value
+
+
+def make_worker(faults, threshold=2, cooloff=2):
+    profile = ExecutionProfile()
+    device = FlakyDevice(faults)
+    worker = ResilientWorker(
+        name="t",
+        device_worker=device,
+        host_factory=lambda: (lambda value=None: ("host", value)),
+        retry=RetryPolicy(max_retries=0),
+        breaker=CircuitBreaker(threshold, cooloff=cooloff),
+        profile=profile,
+    )
+    return worker, device, profile
+
+
+class TestWorkerFleetCorner:
+    def test_open_breaker_serves_host_through_cooloff_then_probes(self):
+        worker, device, profile = make_worker(faults=2, threshold=2,
+                                              cooloff=2)
+        # Two faulted items trip the breaker (each falls back to host).
+        assert worker(1) == ("host", 1)
+        assert worker(2) == ("host", 2)
+        assert worker.breaker.open
+        assert worker.demoted
+        demotions_at_trip = profile.faults.summary()["recovery.demotions"]
+        # Two host items complete the cooloff; the breaker half-opens.
+        assert worker(3) == ("host", 3)
+        assert worker(4) == ("host", 4)
+        assert worker.breaker.half_open
+        device_calls = device.calls
+        # The next item probes the (now healthy) device and re-promotes.
+        assert worker(5) == 5
+        assert worker.breaker.state == "closed"
+        assert device.calls == device_calls + 1
+        summary = profile.faults.summary()
+        assert summary["recovery.promotions"] == 1
+        assert summary["recovery.demotions"] == demotions_at_trip
+
+    def test_failed_probe_restarts_worker_cooloff_without_redemotion(self):
+        worker, device, profile = make_worker(faults=3, threshold=2,
+                                              cooloff=1)
+        worker(1)
+        worker(2)
+        assert worker.breaker.open
+        worker(3)  # cooloff reached
+        assert worker.breaker.half_open
+        # The probe faults (3rd injected fault): back to open — but it
+        # is NOT ledgered as a second demotion, the task never left the
+        # host.
+        assert worker(4) == ("host", 4)
+        assert worker.breaker.open
+        summary = profile.faults.summary()
+        assert summary["recovery.demotions"] == 1
+        assert summary.get("recovery.promotions", 0) == 0
+        # Cooloff restarts; the next host success re-arms the probe and
+        # the now-stable device wins it.
+        worker(5)
+        assert worker.breaker.half_open
+        assert worker(6) == 6
+        assert worker.breaker.state == "closed"
+
+    def test_demoted_device_and_mid_cooloff_breaker_stay_consistent(self):
+        # The same "device" is fleet-demoted AND behind a task breaker
+        # mid-cooloff. The fleet's probe arming and the task breaker's
+        # half-open transition are independent counters; neither may
+        # reset the other, and their probes can disagree about when to
+        # retry the device.
+        monitor = make_monitor(cooloff=3, threshold=2)
+        worker, device, _ = make_worker(faults=2, threshold=2, cooloff=2)
+
+        # Both machines observe the same two faults.
+        for _ in range(2):
+            monitor.observe_fault("a")
+            worker(0)
+        assert monitor.devices["a"].state == "demoted"
+        assert worker.breaker.open
+
+        # One item placed elsewhere + one host item: fleet idle=1,
+        # breaker host_successes=1 — mid-cooloff on both, no probe yet.
+        monitor.placement_order()
+        worker(1)
+        assert not monitor.devices["a"].probing
+        assert worker.breaker.open
+        assert worker.breaker.host_successes == 1
+
+        # The task breaker reaches its cooloff first (2 < 3) and
+        # half-opens while the fleet still benches the device.
+        worker(2)
+        assert worker.breaker.half_open
+        monitor.placement_order()
+        assert not monitor.devices["a"].probing
+
+        # The fleet's third placement arms its probe; the task probe
+        # succeeding closes the breaker without touching fleet state.
+        monitor.placement_order()
+        assert monitor.devices["a"].probing
+        assert worker(3) == 3
+        assert worker.breaker.state == "closed"
+        assert monitor.devices["a"].probing  # fleet probe still pending
+        monitor.observe_success("a", 100.0)
+        assert monitor.devices["a"].healthy
+
+
+# -- snapshot/restore keeps cooloff position ---------------------------------
+
+
+def test_worker_state_round_trips_mid_cooloff():
+    worker, _, _ = make_worker(faults=2, threshold=2, cooloff=3)
+    worker(1)
+    worker(2)
+    worker(3)  # one host success into the cooloff
+    state = worker.snapshot_state()
+    assert state["breaker"] == {
+        "state": "open",
+        "consecutive": 2,
+        "host_successes": 1,
+    }
+    fresh, _, _ = make_worker(faults=0, threshold=2, cooloff=3)
+    fresh.restore_state(state)
+    assert fresh.breaker.open
+    assert fresh.breaker.host_successes == 1
+    # Two more host items complete the restored cooloff.
+    fresh(4)
+    assert not fresh.breaker.half_open
+    fresh(5)
+    assert fresh.breaker.half_open

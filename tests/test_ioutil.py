@@ -1,0 +1,66 @@
+"""Tests for the shared crash-safe write helpers."""
+
+import json
+import os
+
+import pytest
+
+from repro.ioutil import atomic_write, atomic_write_json
+
+
+def test_atomic_write_bytes_and_str(tmp_path):
+    p = tmp_path / "out.bin"
+    atomic_write(p, b"\x00\x01")
+    assert p.read_bytes() == b"\x00\x01"
+    atomic_write(p, "text")
+    assert p.read_bytes() == b"text"
+
+
+def test_atomic_write_creates_parent_dirs(tmp_path):
+    p = tmp_path / "a" / "b" / "out.txt"
+    atomic_write(p, "x")
+    assert p.read_text() == "x"
+
+
+def test_atomic_write_replaces_existing(tmp_path):
+    p = tmp_path / "out.txt"
+    atomic_write(p, "old")
+    atomic_write(p, "new")
+    assert p.read_text() == "new"
+
+
+def test_atomic_write_leaves_no_temp_files(tmp_path):
+    p = tmp_path / "out.txt"
+    atomic_write(p, "data")
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+def test_atomic_write_cleans_up_on_failure(tmp_path):
+    # A write that fails mid-stream must not leave a temp file behind
+    # or clobber the existing target.
+    target = tmp_path / "out.txt"
+    atomic_write(target, "intact")
+
+    real_replace = os.replace
+
+    def failing_replace(src, dst):
+        raise OSError("simulated crash during rename")
+
+    os.replace = failing_replace
+    try:
+        with pytest.raises(OSError, match="simulated crash"):
+            atomic_write(target, "half-written")
+    finally:
+        os.replace = real_replace
+    assert target.read_text() == "intact"
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+def test_atomic_write_json_is_byte_stable(tmp_path):
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    atomic_write_json(a, {"x": 1, "y": [2, 3]})
+    atomic_write_json(b, {"y": [2, 3], "x": 1})  # different insertion order
+    assert a.read_bytes() == b.read_bytes()
+    assert a.read_text().endswith("\n")
+    assert json.loads(a.read_text()) == {"x": 1, "y": [2, 3]}
