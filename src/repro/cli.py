@@ -11,6 +11,13 @@ Commands:
   space on synthetic input.
 - ``figures [7|8|9|tables]`` — regenerate the paper's evaluation
   artifacts at a chosen ``--scale``.
+- ``serve`` — the multi-tenant serving daemon: many named sessions run
+  concurrently on one shared device fleet with per-tenant admission
+  control, bounded-queue load shedding, session deadlines, and a
+  SIGTERM drain that journals every session for ``--resume``.
+- ``serve-bench`` — the serving load generator: clean vs chaos
+  (fault-injection + device-kill) phases over the same workload;
+  writes ``BENCH_serving.json`` with sessions/sec and p99 latency.
 - ``run BENCHMARK`` — run one benchmark end to end against a target,
   optionally with fault injection (``--faults P --fault-seed N``),
   guarded execution (``--sanitize --deadline-ns T``), differential
@@ -168,6 +175,67 @@ def _start_wall_watchdog(deadline_ms):
     return timer
 
 
+def _install_run_signal_handlers():
+    """Make SIGTERM/SIGINT during ``repro run`` a *journaled* abort:
+    the handler appends an ``aborted`` record to the active journal (so
+    ``--resume`` continues from the last completed item) and exits with
+    the conventional ``128 + signum`` status (143 for SIGTERM, 130 for
+    SIGINT) — mirroring the ``--wall-deadline-ms`` watchdog's 124."""
+    import os
+    import signal
+
+    def _handler(signum, _frame):
+        from repro.runtime.journal import active_journal
+
+        name = signal.Signals(signum).name
+        journal = active_journal()
+        if journal is not None:
+            journal.record_aborted("terminated by {}".format(name))
+        sys.stderr.write(
+            "repro run: {} received, aborting (journaled)\n".format(name)
+        )
+        sys.stderr.flush()
+        os._exit(128 + signum)
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, _handler)
+
+
+def _parse_device_list(text):
+    """Comma-separated device keys -> list, or None + printed error."""
+    from repro.opencl.device import DEVICES
+
+    devices = [d.strip() for d in text.split(",") if d.strip()]
+    unknown = [d for d in devices if d not in DEVICES]
+    if unknown:
+        print(
+            "unknown device(s) {} (choose from: {})".format(
+                ", ".join(unknown), ", ".join(sorted(DEVICES))
+            ),
+            file=sys.stderr,
+        )
+        return None
+    return devices
+
+
+def _parse_kill_specs(specs):
+    """Repeated NAME[:N] kill flags -> dict, or None + printed error."""
+    kill_devices = {}
+    for spec in specs or []:
+        name, _, after = spec.partition(":")
+        try:
+            kill_devices[name] = int(after) if after else 0
+        except ValueError:
+            print(
+                "bad --kill-device spec '{}' (want NAME or NAME:N)".format(
+                    spec
+                ),
+                file=sys.stderr,
+            )
+            return None
+    return kill_devices
+
+
 def cmd_run(args):
     from repro.apps.registry import BENCHMARKS
     from repro.evaluation.harness import TARGETS, run_configuration
@@ -175,6 +243,7 @@ def cmd_run(args):
     from repro.runtime.resilience import ResiliencePolicy
     from repro.runtime.sanitizer import SanitizerConfig
 
+    _install_run_signal_handlers()
     if args.benchmark not in BENCHMARKS:
         print(
             "unknown benchmark '{}' (choose from: {})".format(
@@ -193,31 +262,12 @@ def cmd_run(args):
         return 1
     devices = None
     if args.devices:
-        from repro.opencl.device import DEVICES
-
-        devices = [d.strip() for d in args.devices.split(",") if d.strip()]
-        unknown = [d for d in devices if d not in DEVICES]
-        if unknown:
-            print(
-                "unknown device(s) {} (choose from: {})".format(
-                    ", ".join(unknown), ", ".join(sorted(DEVICES))
-                ),
-                file=sys.stderr,
-            )
+        devices = _parse_device_list(args.devices)
+        if devices is None:
             return 1
-    kill_devices = {}
-    for spec in args.kill_device or []:
-        name, _, after = spec.partition(":")
-        try:
-            kill_devices[name] = int(after) if after else 0
-        except ValueError:
-            print(
-                "bad --kill-device spec '{}' (want NAME or NAME:N)".format(
-                    spec
-                ),
-                file=sys.stderr,
-            )
-            return 1
+    kill_devices = _parse_kill_specs(args.kill_device)
+    if kill_devices is None:
+        return 1
     sanitizer = SanitizerConfig.from_flags(
         sanitize=args.sanitize,
         deadline_ns=args.deadline_ns,
@@ -344,6 +394,199 @@ def cmd_run(args):
             )
         )
     return 0
+
+
+def cmd_serve(args):
+    from repro.apps.registry import BENCHMARKS
+    from repro.evaluation.harness import TARGETS
+    from repro.serving.server import ServeConfig, ServeDaemon
+    from repro.serving.session import SessionSpec
+
+    if args.target not in TARGETS:
+        print(
+            "unknown target '{}' (choose from: {})".format(
+                args.target, ", ".join(sorted(TARGETS))
+            ),
+            file=sys.stderr,
+        )
+        return 1
+    devices = None
+    if args.devices:
+        devices = _parse_device_list(args.devices)
+        if devices is None:
+            return 1
+    kill_devices = _parse_kill_specs(args.kill_device)
+    if kill_devices is None:
+        return 1
+    specs = []
+    for text in args.session or []:
+        try:
+            spec = SessionSpec.parse(
+                text,
+                scale=args.scale,
+                steps=args.steps,
+                deadline_ms=args.session_deadline_ms,
+            )
+        except ValueError as err:
+            print("bad --session: {}".format(err), file=sys.stderr)
+            return 1
+        if spec.benchmark not in BENCHMARKS:
+            print(
+                "unknown benchmark '{}' in --session {} (choose from: "
+                "{})".format(
+                    spec.benchmark, text, ", ".join(sorted(BENCHMARKS))
+                ),
+                file=sys.stderr,
+            )
+            return 1
+        specs.append(spec)
+    if args.serve_dir:
+        import os
+
+        from repro.opencl.kernel_cache import configure_disk_store
+
+        configure_disk_store(os.path.join(args.serve_dir, "kernels"))
+    if args.resume and not args.serve_dir:
+        print("--resume requires --serve-dir DIR", file=sys.stderr)
+        return 1
+    config = ServeConfig(
+        devices=devices,
+        target=args.target,
+        fleet_policy=args.fleet_policy,
+        max_concurrency=args.max_concurrency,
+        queue_depth=args.queue_depth,
+        tenant_max_inflight=args.tenant_max_inflight,
+        tenant_sim_budget_ns=args.tenant_sim_budget_ns,
+        max_sim_items=args.max_sim_items,
+        exec_tier=args.exec_tier,
+        session_deadline_ms=args.session_deadline_ms,
+        fault_rate=args.faults,
+        fault_seed=args.fault_seed,
+        validate_every=args.validate_every,
+        breaker_cooloff=args.breaker_cooloff,
+        kill_devices=kill_devices,
+        oom_bytes=args.oom_bytes,
+        serve_dir=args.serve_dir,
+        resume=args.resume,
+    )
+    daemon = ServeDaemon(config)
+    if args.resume:
+        known = {s.name for s in specs}
+        specs = [
+            s for s in daemon.resume_specs() if s.name not in known
+        ] + specs
+    if not specs:
+        print(
+            "nothing to serve: pass --session NAME:BENCH[:TENANT] "
+            "(or --resume with a populated --serve-dir)",
+            file=sys.stderr,
+        )
+        return 1
+    daemon.install_signal_handlers()
+    try:
+        report = daemon.serve(specs, drain_after_ms=args.drain_after_ms)
+    finally:
+        daemon.restore_signal_handlers()
+    if args.json:
+        from repro.ioutil import atomic_write_json
+
+        atomic_write_json(args.json, report)
+    counts = " ".join(
+        "{}={}".format(state, n) for state, n in sorted(report["counts"].items())
+    )
+    print(
+        "served {} session(s): {}{}".format(
+            len(report["sessions"]), counts,
+            "  (drained)" if report["drained"] else "",
+        )
+    )
+    for name, s in sorted(report["sessions"].items()):
+        if s["state"] == "completed":
+            print(
+                "  {:12s} {:10s} tenant={:8s} {}  wall={:7.1f} ms  "
+                "checksum={!r}".format(
+                    name, s["state"], s["tenant"], s["benchmark"],
+                    s["wall_ms"], s["checksum"],
+                )
+            )
+        else:
+            print(
+                "  {:12s} {:10s} tenant={:8s} {}  {}".format(
+                    name, s["state"], s["tenant"], s["benchmark"],
+                    s["error"] or "",
+                )
+            )
+    for tenant, t in sorted(report["tenants"].items()):
+        print(
+            "  tenant {:8s} admitted={} rejected={} completed={} "
+            "aborted={} sim_ns={:.0f}".format(
+                tenant, t["admitted"], t["rejected"], t["completed"],
+                t["aborted"], t["sim_ns_used"],
+            )
+        )
+    failed = report["counts"].get("failed", 0)
+    return 1 if failed else 0
+
+
+def cmd_serve_bench(args):
+    from repro.apps.registry import BENCHMARKS
+    from repro.serving.loadgen import serving_bench
+
+    unknown = [name for name in args.apps or [] if name not in BENCHMARKS]
+    if unknown:
+        print(
+            "unknown benchmark(s) {} (choose from: {})".format(
+                ", ".join(unknown), ", ".join(sorted(BENCHMARKS))
+            ),
+            file=sys.stderr,
+        )
+        return 1
+    devices = _parse_device_list(args.devices)
+    if devices is None:
+        return 1
+    kill_devices = _parse_kill_specs(args.kill_device)
+    if kill_devices is None:
+        return 1
+    payload = serving_bench(
+        sessions=args.sessions,
+        tenants=args.tenants,
+        apps=args.apps or None,
+        scale=args.scale,
+        devices=devices,
+        target=args.target,
+        max_concurrency=args.max_concurrency,
+        queue_depth=args.queue_depth,
+        max_sim_items=args.max_sim_items,
+        fault_rate=args.faults,
+        fault_seed=args.fault_seed,
+        kill_devices=kill_devices or None,
+        out_path=args.out,
+    )
+    for phase in ("clean", "chaos"):
+        p = payload[phase]
+        print(
+            "{:6s} {:7.2f} sessions/sec  p50={:7.1f} ms  p99={:7.1f} ms  "
+            "failovers={} retries={} rejected={}".format(
+                phase,
+                p["sessions_per_sec"],
+                p["latency_ms"]["p50"] or 0.0,
+                p["latency_ms"]["p99"] or 0.0,
+                p["recovery"]["failovers"],
+                p["recovery"]["retries"],
+                sum(p["rejected"].values()),
+            )
+        )
+    for phase in ("clean", "chaos"):
+        for miss in payload["bit_exact"][phase]:
+            print(
+                "  BIT-EXACT VIOLATION ({}): session {} got {!r} want "
+                "{!r}".format(
+                    phase, miss["session"], miss["got"], miss["want"]
+                )
+            )
+    if args.out:
+        print("wrote {}".format(args.out))
+    return 0 if payload["ok"] else 1
 
 
 def cmd_bench(args):
@@ -651,6 +894,176 @@ def build_parser():
         "metrics, journal stats) as sorted-key JSON to FILE",
     )
 
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="multi-tenant serving daemon: run many named sessions "
+        "concurrently on a shared device fleet with admission control, "
+        "load shedding, and a journaled SIGTERM drain",
+    )
+    serve_cmd.add_argument(
+        "--session",
+        action="append",
+        default=None,
+        metavar="NAME:BENCH[:TENANT]",
+        help="one session to serve (repeatable): a named run of a "
+        "Table 3 benchmark, attributed to TENANT (default 'default')",
+    )
+    serve_cmd.add_argument(
+        "--serve-dir",
+        default=None,
+        metavar="DIR",
+        help="persist per-session descriptors and crash-consistent run "
+        "journals under DIR/sessions/<name>/ (also puts the on-disk "
+        "kernel store at DIR/kernels)",
+    )
+    serve_cmd.add_argument(
+        "--resume",
+        action="store_true",
+        help="re-admit every session persisted in --serve-dir by a "
+        "previous (drained or killed) daemon and replay their journals "
+        "bit-exactly",
+    )
+    serve_cmd.add_argument(
+        "--devices",
+        default=None,
+        help="comma-separated device keys shared by every session as "
+        "one health-scheduled fleet (default: single --target device "
+        "per session)",
+    )
+    serve_cmd.add_argument("--target", default="gtx580")
+    serve_cmd.add_argument(
+        "--fleet-policy", choices=["health", "round-robin"], default="health"
+    )
+    serve_cmd.add_argument("--scale", type=float, default=0.3)
+    serve_cmd.add_argument(
+        "--steps", type=int, default=None, help="stream depth override"
+    )
+    serve_cmd.add_argument(
+        "--max-sim-items",
+        type=int,
+        default=None,
+        help="cap on simulated work-items per launch",
+    )
+    serve_cmd.add_argument(
+        "--exec-tier", choices=["auto", "batch", "per-item"], default=None
+    )
+    serve_cmd.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=4,
+        help="worker threads running sessions concurrently",
+    )
+    serve_cmd.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="bounded admission queue; a full queue sheds new sessions "
+        "with AdmissionRejected(queue_full) instead of buffering them",
+    )
+    serve_cmd.add_argument(
+        "--tenant-max-inflight",
+        type=int,
+        default=4,
+        help="per-tenant cap on admitted-but-unfinished sessions",
+    )
+    serve_cmd.add_argument(
+        "--tenant-sim-budget-ns",
+        type=float,
+        default=None,
+        help="per-tenant cumulative simulated-ns budget; exhaustion "
+        "sheds new sessions and aborts the tenant's running ones at "
+        "the next item boundary",
+    )
+    serve_cmd.add_argument(
+        "--session-deadline-ms",
+        type=float,
+        default=None,
+        help="wall-clock deadline per running session; a slow session "
+        "is aborted (and journaled) at its next item boundary",
+    )
+    serve_cmd.add_argument(
+        "--drain-after-ms",
+        type=float,
+        default=None,
+        help="self-drain after this many wall milliseconds (the "
+        "scripted stand-in for an operator's SIGTERM)",
+    )
+    serve_cmd.add_argument(
+        "--faults",
+        type=float,
+        default=0.0,
+        help="per-stage fault-injection probability per session",
+    )
+    serve_cmd.add_argument("--fault-seed", type=int, default=0)
+    serve_cmd.add_argument(
+        "--validate-every",
+        type=int,
+        default=0,
+        help="differential validation every Nth stream item",
+    )
+    serve_cmd.add_argument("--breaker-cooloff", type=int, default=None)
+    serve_cmd.add_argument(
+        "--kill-device",
+        action="append",
+        default=None,
+        metavar="NAME[:N]",
+        help="chaos: device NAME fails every launch after its first N "
+        "in each session (repeatable)",
+    )
+    serve_cmd.add_argument("--oom-bytes", type=int, default=0)
+    serve_cmd.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="atomically write the full serve report (sessions, "
+        "tenants, metrics, fleet) as JSON to FILE",
+    )
+
+    serve_bench_cmd = sub.add_parser(
+        "serve-bench",
+        help="serving load generator: clean vs chaos phases over the "
+        "same workload; writes BENCH_serving.json",
+    )
+    serve_bench_cmd.add_argument(
+        "apps", nargs="*", help="benchmarks to round-robin sessions over"
+    )
+    serve_bench_cmd.add_argument(
+        "--sessions", type=int, default=8, help="total sessions per phase"
+    )
+    serve_bench_cmd.add_argument(
+        "--tenants", type=int, default=2, help="tenants to spread them over"
+    )
+    serve_bench_cmd.add_argument("--scale", type=float, default=0.2)
+    serve_bench_cmd.add_argument(
+        "--devices",
+        default="gtx580,hd5970",
+        help="comma-separated fleet device keys",
+    )
+    serve_bench_cmd.add_argument("--target", default="gtx580")
+    serve_bench_cmd.add_argument("--max-concurrency", type=int, default=4)
+    serve_bench_cmd.add_argument("--queue-depth", type=int, default=16)
+    serve_bench_cmd.add_argument("--max-sim-items", type=int, default=256)
+    serve_bench_cmd.add_argument(
+        "--faults",
+        type=float,
+        default=0.05,
+        help="chaos-phase fault-injection probability",
+    )
+    serve_bench_cmd.add_argument("--fault-seed", type=int, default=1234)
+    serve_bench_cmd.add_argument(
+        "--kill-device",
+        action="append",
+        default=None,
+        metavar="NAME[:N]",
+        help="chaos-phase device kill (default: first fleet device "
+        "after 3 launches)",
+    )
+    serve_bench_cmd.add_argument(
+        "--out",
+        default=None,
+        help="write the results JSON here (e.g. BENCH_serving.json)",
+    )
+
     bench_cmd = sub.add_parser(
         "bench",
         help="time the executor tiers (host interpreter vs per-item vs "
@@ -721,6 +1134,8 @@ _COMMANDS = {
     "tune": cmd_tune,
     "figures": cmd_figures,
     "run": cmd_run,
+    "serve": cmd_serve,
+    "serve-bench": cmd_serve_bench,
     "bench": cmd_bench,
     "trace": cmd_trace,
 }

@@ -396,13 +396,20 @@ class FleetOffloader:
             ``["gtx580", "hd5970"]``.
         policy: a :class:`repro.runtime.resilience.FleetPolicy` (or
             None for the defaults: health-ranked placement).
+        fleet: an existing :class:`repro.runtime.fleet.DeviceFleet` to
+            *share* instead of building one from ``devices`` — the
+            serving daemon passes its fleet here so every concurrent
+            session contends for the same devices and the same health
+            state. A shared fleet's monitor keeps whatever profile the
+            owner bound (fleet metrics are daemon-level, not
+            per-session), so ``compile_filter`` does not rebind it.
 
     The remaining keyword arguments mirror :class:`Offloader`.
     """
 
     def __init__(
         self,
-        devices,
+        devices=None,
         policy=None,
         config=None,
         comm=None,
@@ -413,10 +420,16 @@ class FleetOffloader:
         max_sim_items=None,
         sanitizer=None,
         exec_tier=None,
+        fleet=None,
     ):
         from repro.runtime.fleet import DeviceFleet
 
-        self.fleet = DeviceFleet(devices, policy=policy)
+        if fleet is not None:
+            self.fleet = fleet
+            self._owns_fleet = False
+        else:
+            self.fleet = DeviceFleet(devices, policy=policy)
+            self._owns_fleet = True
         self.config = config or OptimizationConfig()
         self.comm = comm or CommCostModel()
         self.marshaller = marshaller
@@ -441,7 +454,8 @@ class FleetOffloader:
         key = worker.qualified_name
         if key in self.compiled and self.compiled[key] is None:
             return None  # previously rejected
-        self.fleet.monitor.bind(profile)
+        if self._owns_fleet:
+            self.fleet.monitor.bind(profile)
         filters = {}
         try:
             for device_key in self.fleet.keys:

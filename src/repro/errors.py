@@ -199,6 +199,71 @@ class ValidationFault(SanitizerFault):
     stage = "validate"
 
 
+class ServingError(ReproError):
+    """Base class for serving-daemon errors (:mod:`repro.serving`).
+
+    Deliberately NOT a :class:`RuntimeFault`: admission decisions,
+    deadlines, quota exhaustion, and drain are *policy*, not device
+    failures. The resilience layer must never retry them and the task
+    graph must never wrap them as a :class:`TaskFault` — they propagate
+    verbatim from the item guard to the session runner.
+    """
+
+
+class AdmissionRejected(ServingError):
+    """A session was refused admission (load shedding, never a crash).
+
+    Attributes:
+        code: machine-readable reason — one of ``"queue_full"``,
+            ``"tenant_inflight"``, ``"tenant_budget"``, ``"draining"``,
+            or ``"duplicate"``.
+        tenant: the tenant that asked.
+        session: the session name that was refused.
+    """
+
+    def __init__(self, code, tenant, session, detail=""):
+        self.code = code
+        self.tenant = tenant
+        self.session = session
+        msg = "session '{}' (tenant '{}') rejected: {}".format(
+            session, tenant, code
+        )
+        if detail:
+            msg += " ({})".format(detail)
+        super().__init__(msg)
+
+
+class SessionAborted(ServingError):
+    """An admitted session was stopped at an item boundary.
+
+    Raised by the serving item guard inside the engine's worker chain;
+    the run journal records it as an ``aborted`` frame, so ``--resume``
+    can later continue the session bit-exactly.
+    """
+
+    reason = "aborted"
+
+
+class SessionDeadlineExceeded(SessionAborted):
+    """The session's wall-clock deadline elapsed mid-run."""
+
+    reason = "deadline"
+
+
+class TenantBudgetExceeded(SessionAborted):
+    """The tenant's cumulative simulated-time budget ran out while this
+    session was in flight (a sibling session spent the remainder)."""
+
+    reason = "budget"
+
+
+class SessionDrained(SessionAborted):
+    """The daemon is draining (SIGTERM/SIGINT or an explicit drain
+    request); in-flight sessions stop at the next item boundary."""
+
+    reason = "drained"
+
+
 class ControlFlowSignal(Exception):
     """Base for exceptions that are *control flow*, not failures.
 

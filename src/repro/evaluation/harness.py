@@ -78,6 +78,10 @@ class RunResult:
     metrics: dict = field(default_factory=dict)  # MetricsRegistry.as_dict()
     fleet: dict = field(default_factory=dict)  # HealthMonitor.snapshot()
     journal: dict = field(default_factory=dict)  # RunJournal.stats()
+    # The run's full metrics in MetricsRegistry.delta() form — a
+    # mergeable carve-out the serving daemon folds into per-tenant and
+    # global registries (MetricsRegistry.merge_delta).
+    metrics_delta: dict = field(default_factory=dict)
 
     @property
     def communication_ns(self):
@@ -103,6 +107,8 @@ def run_configuration(
     fleet_policy=None,
     journal=None,
     resume=False,
+    offloader=None,
+    item_guard=None,
 ):
     """Run one benchmark end to end against one target.
 
@@ -142,15 +148,29 @@ def run_configuration(
         resume: with ``journal``, recover the existing WAL (CRC-scan,
             torn-tail truncation, run-key check) and skip journaled
             items bit-exactly instead of recomputing them.
+        offloader: a pre-built offloader (e.g. a
+            :class:`repro.compiler.pipeline.FleetOffloader` over a
+            *shared* :class:`repro.runtime.fleet.DeviceFleet` from the
+            serving daemon); overrides the target/devices construction
+            above. ``target`` (a string) then only labels the result.
+        item_guard: optional callable ``guard(task_name)`` invoked
+            before every task-worker item — the serving layer's
+            deadline/budget/drain propagation point. May raise to abort
+            the run at an item boundary; the exception is journaled as
+            an ``aborted`` record before it propagates.
 
     Returns a :class:`RunResult` with simulated nanoseconds.
     """
-    if isinstance(target, str):
+    target_label = target if isinstance(target, str) else target.name
+    if isinstance(target, str) and (offloader is None or target in TARGETS):
         target = TARGETS[target]
     checked = bench.checked()
     inputs = bench.make_input(scale=scale)
     steps = steps if steps is not None else bench.steps
-    if devices:
+    if offloader is not None:
+        target_name = target_label
+        devices = None
+    elif devices:
         from repro.compiler.pipeline import FleetOffloader
         from repro.runtime.resilience import FleetPolicy
 
@@ -203,6 +223,7 @@ def run_configuration(
             resilience=resilience,
             tracer=tracer,
             journal=run_journal,
+            item_guard=item_guard,
         )
         checksum = engine.run_static(
             bench.main_class, bench.run_method, list(inputs) + [steps]
@@ -212,6 +233,15 @@ def run_configuration(
             journal_stats = run_journal.stats()
         else:
             journal_stats = {}
+    except Exception as err:
+        # A run dying mid-stream still leaves a recoverable journal:
+        # the abort record marks a clean boundary for a later --resume
+        # (the wall-deadline watchdog and SIGTERM paths do the same).
+        if run_journal is not None:
+            run_journal.record_aborted(
+                "{}: {}".format(type(err).__name__, err)
+            )
+        raise
     finally:
         if run_journal is not None:
             run_journal.close()
@@ -236,6 +266,11 @@ def run_configuration(
         faults=ledger.summary() if ledger.any_activity() else {},
         executor=engine.profile.executor_summary(),
         metrics=engine.profile.metrics.as_dict(),
-        fleet=offloader.fleet.snapshot() if devices else {},
+        fleet=(
+            offloader.fleet.snapshot()
+            if getattr(offloader, "fleet", None) is not None
+            else {}
+        ),
         journal=journal_stats,
+        metrics_delta=engine.profile.metrics.delta({}),
     )

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 import os
+import threading
 
 import numpy as np
 
@@ -1820,6 +1821,11 @@ class CompiledKernel:
         self.batch_supported, self.batch_reason = batch_eligibility(kernel)
         self.batch_source = None
         self._batch_fn = None
+        # Compiled kernels are shared across concurrent serving
+        # sessions via the content-addressed cache; the lazy variant
+        # builds are the only mutation after __init__, so one lock
+        # around them makes the whole object safely shareable.
+        self._lazy_lock = threading.Lock()
 
     def artifact(self):
         """A picklable snapshot for the content-addressed on-disk kernel
@@ -1896,24 +1902,28 @@ class CompiledKernel:
                 namespace,
             )
             self._batch_fn = namespace["_batch"]
+        self._lazy_lock = threading.Lock()
         return self
 
     def _sanitized_item(self):
         if self._sanitized_item_fn is None:
-            codegen = _Codegen(self.kernel, sanitize=True)
-            source, _segments, _sites = codegen.generate()
-            self.sanitized_source = source
-            namespace = dict(_GLOBALS)
-            exec(
-                compile(
-                    source,
-                    "<kernel:{}:sanitized>".format(self.kernel.name),
-                    "exec",
-                ),
-                namespace,
-            )
-            self._sanitized_item_fn = namespace["_item"]
-            _count_codegen()
+            with self._lazy_lock:
+                if self._sanitized_item_fn is not None:
+                    return self._sanitized_item_fn
+                codegen = _Codegen(self.kernel, sanitize=True)
+                source, _segments, _sites = codegen.generate()
+                self.sanitized_source = source
+                namespace = dict(_GLOBALS)
+                exec(
+                    compile(
+                        source,
+                        "<kernel:{}:sanitized>".format(self.kernel.name),
+                        "exec",
+                    ),
+                    namespace,
+                )
+                self._sanitized_item_fn = namespace["_item"]
+                _count_codegen()
         return self._sanitized_item_fn
 
     def _batch_callable(self):
@@ -1929,31 +1939,38 @@ class CompiledKernel:
         if not self.batch_supported:
             return None
         if self._batch_fn is None:
-            codegen = _BatchCodegen(self.kernel, _varying_vars(self.kernel))
-            try:
-                source, segments, sites = codegen.generate()
-            except DeviceError as err:
-                self.batch_supported = False
-                self.batch_reason = str(err)
-                return None
-            if segments != self.segments or sites != self.site_meta:
-                self.batch_supported = False
-                self.batch_reason = (
-                    "batch codegen diverged from per-item segments/sites"
+            with self._lazy_lock:
+                if not self.batch_supported:
+                    return None
+                if self._batch_fn is not None:
+                    return self._batch_fn
+                codegen = _BatchCodegen(
+                    self.kernel, _varying_vars(self.kernel)
                 )
-                return None
-            self.batch_source = source
-            namespace = dict(_GLOBALS)
-            exec(
-                compile(
-                    source,
-                    "<kernel:{}:batch>".format(self.kernel.name),
-                    "exec",
-                ),
-                namespace,
-            )
-            self._batch_fn = namespace["_batch"]
-            _count_codegen()
+                try:
+                    source, segments, sites = codegen.generate()
+                except DeviceError as err:
+                    self.batch_supported = False
+                    self.batch_reason = str(err)
+                    return None
+                if segments != self.segments or sites != self.site_meta:
+                    self.batch_supported = False
+                    self.batch_reason = (
+                        "batch codegen diverged from per-item segments/sites"
+                    )
+                    return None
+                self.batch_source = source
+                namespace = dict(_GLOBALS)
+                exec(
+                    compile(
+                        source,
+                        "<kernel:{}:batch>".format(self.kernel.name),
+                        "exec",
+                    ),
+                    namespace,
+                )
+                self._batch_fn = namespace["_batch"]
+                _count_codegen()
         return self._batch_fn
 
     def launch(

@@ -45,6 +45,7 @@ import enum
 import hashlib
 import os
 import pickle
+import threading
 from collections import OrderedDict
 
 from repro.backend import kernel_ir as K
@@ -214,12 +215,18 @@ class KernelCache:
         self.disk_hits = 0
         self.misses = 0
         self.evictions = 0
+        # The cache is shared by every concurrent serving session; one
+        # lock covers the LRU mutation *and* the compile-on-miss, so
+        # two sessions missing on the same kernel serialize (the
+        # second one hits) instead of compiling twice or corrupting
+        # the OrderedDict.
+        self._lock = threading.RLock()
 
     def __len__(self):
         return len(self._entries)
 
     def lookup(self, kernel, options="", sanitizer="", device="", store=None):
-        """Resolve ``kernel`` to a compiled entry.
+        """Resolve ``kernel`` to a compiled entry (thread-safe).
 
         Returns ``(entry, kind)`` where kind is ``"hit"`` (in-memory
         LRU), ``"disk"`` (loaded from ``store`` — no codegen ran), or
@@ -227,27 +234,28 @@ class KernelCache:
         one is given).
         """
         key = (kernel_fingerprint(kernel), options, sanitizer, device)
-        entry = self._entries.get(key)
-        if entry is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return entry, "hit"
-        kind = "miss"
-        if store is not None:
-            entry = store.load(key)
+        with self._lock:
+            entry = self._entries.get(key)
             if entry is not None:
-                kind = "disk"
-                self.disk_hits += 1
-        if entry is None:
-            self.misses += 1
-            entry = CompiledKernel(kernel)
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return entry, "hit"
+            kind = "miss"
             if store is not None:
-                store.store(key, entry)
-        self._entries[key] = entry
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-        return entry, kind
+                entry = store.load(key)
+                if entry is not None:
+                    kind = "disk"
+                    self.disk_hits += 1
+            if entry is None:
+                self.misses += 1
+                entry = CompiledKernel(kernel)
+                if store is not None:
+                    store.store(key, entry)
+            self._entries[key] = entry
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return entry, kind
 
     def get_or_compile(self, kernel, options="", sanitizer="", device=""):
         """Legacy bool-returning lookup (no disk store): ``(entry,

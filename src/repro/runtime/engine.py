@@ -62,6 +62,16 @@ class Engine:
             write-ahead-logs each completed stream item and, on a
             resumed run, serves journaled items without re-executing
             them. Host tasks recompute deterministically either way.
+        item_guard: optional callable ``guard(task_name)`` invoked
+            before *every* task-worker item (offloaded and host alike),
+            outside every other wrapper. This is the serving layer's
+            propagation point: a session deadline, tenant sim-time
+            budget, or daemon drain raises here, so a misbehaving
+            session is stopped at a clean item boundary — after the
+            in-flight item completed and was journaled — instead of
+            mid-fsync or mid-launch. ``None`` (the default) adds no
+            wrapper and leaves the worker chain byte-for-byte as
+            before.
     """
 
     def __init__(
@@ -73,11 +83,13 @@ class Engine:
         resilience=None,
         tracer=None,
         journal=None,
+        item_guard=None,
     ):
         self.checked = checked
         self.offloader = offloader
         self.resilience = resilience
         self.journal = journal
+        self.item_guard = item_guard
         self._journal_instances = {}
         self.java_cost_model = java_cost_model or JavaCostModel()
         self.cost = CostCounter()
@@ -167,6 +179,8 @@ class Engine:
                         journal=self.journal,
                         profile=self.profile,
                     )
+                if self.item_guard is not None:
+                    worker = _guarded(worker, name, self.item_guard)
                 self.offloaded_tasks.append(name)
                 self.profile.tracer.instant(
                     "task_created",
@@ -190,6 +204,8 @@ class Engine:
         worker = self._host_worker(
             interp, expr, env, method, is_source, bound_values
         )
+        if self.item_guard is not None:
+            worker = _guarded(worker, name, self.item_guard)
         return Task(
             worker=worker,
             name=name,
@@ -217,6 +233,18 @@ class Engine:
         return lambda value: interp.call_instance(
             instance, expr.method_name, [value]
         )
+
+
+def _guarded(worker, name, guard):
+    """Run ``guard(name)`` before each item of ``worker`` (source
+    workers take no value, stream workers take one — ``*args`` covers
+    both)."""
+
+    def invoke(*args):
+        guard(name)
+        return worker(*args)
+
+    return invoke
 
 
 def run_baseline(checked, class_name, method_name, args=(), printer=None):

@@ -33,6 +33,18 @@ checksum, device placement, sim-time stage deltas, metrics/ledger
 deltas, fleet placement events, worker state), ``aborted`` (clean
 watchdog abort), ``complete`` (run finished, with the final checksum).
 
+Concurrency guard
+-----------------
+A journal directory has exactly one writer. :meth:`RunJournal.open`
+takes an exclusive ``journal.lock`` file (``O_CREAT|O_EXCL``) holding
+the owner's pid; a second process — or a second journal in the same
+process — trying to open the same directory gets a typed
+:class:`JournalLockedError` instead of interleaving frames into the
+WAL. A lock whose pid is no longer alive (the owner crashed or was
+SIGKILLed) is *stale*: it is removed and re-taken, so crash-recovery
+resumes are never blocked by the corpse of the run they are
+recovering. The lock is released on :meth:`RunJournal.close`.
+
 Observability: ``journal.*`` counters (``items_journaled``,
 ``items_skipped``, ``items_recovered``, ``inflight_replayed``,
 ``torn_tail_truncated``, ``digest_mismatches``) land on the run's
@@ -58,6 +70,7 @@ from repro.ioutil import atomic_write
 
 JOURNAL_VERSION = 1
 JOURNAL_FILENAME = "journal.wal"
+LOCK_FILENAME = "journal.lock"
 
 # Test hook: SIGKILL the process after N fsynced "item" records — the
 # chaos harness uses this to crash a real subprocess at a deterministic
@@ -70,6 +83,31 @@ _FRAME = struct.Struct("<II")
 class JournalError(ReproError):
     """The journal cannot be used: wrong run configuration, or an
     unreadable head (a torn *tail* is handled, not raised)."""
+
+
+class JournalLockedError(JournalError):
+    """Another live process (or another journal in this process) holds
+    the exclusive lock on this journal directory. Two concurrent
+    writers would interleave WAL frames; the lock turns that silent
+    corruption into this typed refusal."""
+
+
+def _pid_alive(pid):
+    """Best-effort liveness probe for the pid in a lockfile. A pid we
+    cannot signal but that exists (EPERM) counts as alive; a recycled
+    pid is indistinguishable from the original owner — the guard is
+    about crashed-owner staleness, not cryptographic ownership."""
+    if pid is None or pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
 
 
 def run_key_for(descriptor):
@@ -139,6 +177,9 @@ class RunJournal:
         self.run_key = run_key
         self.descriptor = descriptor or {}
         self.path = os.path.join(self.directory, JOURNAL_FILENAME)
+        self.lock_path = os.path.join(self.directory, LOCK_FILENAME)
+        self._lock_held = False
+        self.stale_locks_broken = 0
         self.resumed = False
         self.torn_tail_truncated = 0
         self.prior_aborts = 0
@@ -149,7 +190,11 @@ class RunJournal:
         self._completed = {}
         self._inflight = {}
         self._fh = None
-        self._lock = threading.Lock()
+        # Reentrant: a SIGTERM/SIGINT handler appending an ``aborted``
+        # record may interrupt the main thread mid-``_append`` (each
+        # frame is a single ``write`` call, so the interrupted frame is
+        # already whole and the abort frame simply lands after it).
+        self._lock = threading.RLock()
         self._profile = None
         self._crash_after = int(
             os.environ.get(CRASH_AFTER_ITEMS_ENV, "0") or "0"
@@ -172,6 +217,14 @@ class RunJournal:
         run_key = run_key_for(descriptor)
         self = cls(directory, run_key, descriptor)
         os.makedirs(self.directory, exist_ok=True)
+        self._acquire_lock()
+        try:
+            return self._open_locked(descriptor, run_key, resume)
+        except BaseException:
+            self._release_lock()
+            raise
+
+    def _open_locked(self, descriptor, run_key, resume):
         records = []
         if resume and os.path.exists(self.path):
             with open(self.path, "rb") as fh:
@@ -223,12 +276,72 @@ class RunJournal:
         _ACTIVE = self
         return self
 
+    # -- the exclusive directory lock ---------------------------------------
+
+    def _acquire_lock(self):
+        """Take ``journal.lock`` exclusively, breaking a stale lock
+        whose owner pid is dead. Raises :class:`JournalLockedError`
+        when a live owner holds it."""
+        for _ in range(8):
+            try:
+                fd = os.open(
+                    self.lock_path,
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                )
+            except FileExistsError:
+                pid = self._read_lock_pid()
+                if _pid_alive(pid):
+                    raise JournalLockedError(
+                        "journal directory {} is locked by live pid {} "
+                        "({}); a second writer would corrupt the WAL — "
+                        "refusing".format(
+                            self.directory, pid, self.lock_path
+                        )
+                    )
+                # Stale: the owner crashed without releasing. Remove
+                # and retry (another waiter may win the retake — the
+                # O_EXCL loop keeps exactly one winner).
+                try:
+                    os.unlink(self.lock_path)
+                except FileNotFoundError:
+                    pass
+                self.stale_locks_broken += 1
+                continue
+            with os.fdopen(fd, "w") as fh:
+                fh.write("{}\n".format(os.getpid()))
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._lock_held = True
+            return
+        raise JournalLockedError(
+            "could not acquire {} after repeated stale-lock breaks".format(
+                self.lock_path
+            )
+        )
+
+    def _read_lock_pid(self):
+        try:
+            with open(self.lock_path) as fh:
+                return int(fh.read().strip() or "0")
+        except (OSError, ValueError):
+            return None
+
+    def _release_lock(self):
+        if not self._lock_held:
+            return
+        self._lock_held = False
+        try:
+            os.unlink(self.lock_path)
+        except OSError:
+            pass
+
     def close(self):
         global _ACTIVE
         with self._lock:
             if self._fh is not None:
                 self._fh.close()
                 self._fh = None
+        self._release_lock()
         if _ACTIVE is self:
             _ACTIVE = None
 
@@ -342,6 +455,7 @@ class RunJournal:
             "digest_mismatches": self.digest_mismatches,
             "torn_tail_truncated": self.torn_tail_truncated,
             "prior_aborts": self.prior_aborts,
+            "stale_locks_broken": self.stale_locks_broken,
         }
 
 

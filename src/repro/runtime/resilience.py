@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import random
 import statistics
+import threading
 from dataclasses import dataclass
 
 from repro.errors import DeviceOOM, LaunchFault, RuntimeFault, SanitizerFault, ValidationFault
@@ -377,6 +378,10 @@ class HealthMonitor:
         self.metrics = MetricsRegistry()
         self.tracer = NULL_TRACER
         self._seq = 0
+        # One monitor may serve many concurrent sessions (the serving
+        # daemon's shared fleet): observations and placement decisions
+        # mutate shared windows/breakers, so they serialize here.
+        self._lock = threading.RLock()
 
     def bind(self, profile):
         """Point health bookkeeping at a run's profile (metrics registry
@@ -403,6 +408,10 @@ class HealthMonitor:
     def observe_success(self, key, kernel_ns):
         """A stream item completed on ``key`` with ``kernel_ns`` of
         simulated kernel time."""
+        with self._lock:
+            self._observe_success(key, kernel_ns)
+
+    def _observe_success(self, key, kernel_ns):
         h = self.devices[key]
         probing = h.probing
         if probing:
@@ -427,6 +436,10 @@ class HealthMonitor:
 
     def observe_fault(self, key, stage=None):
         """A device-side fault on ``key`` (any stage)."""
+        with self._lock:
+            self._observe_fault(key, stage)
+
+    def _observe_fault(self, key, stage=None):
         h = self.devices[key]
         h.faults += 1
         tripped = h.breaker.record_fault()
@@ -478,6 +491,10 @@ class HealthMonitor:
         workload as its probe), then healthy devices — unexplored before
         scored, fastest median first — then the remaining demoted
         devices as failover targets of last resort."""
+        with self._lock:
+            return self._placement_order()
+
+    def _placement_order(self):
         seq = self._seq
         self._seq += 1
         healthy = [h for h in self.devices.values() if h.healthy]
@@ -513,6 +530,10 @@ class HealthMonitor:
 
     def snapshot(self):
         """JSON-able per-device health summary for RunResult / the CLI."""
+        with self._lock:
+            return self._snapshot()
+
+    def _snapshot(self):
         return {
             key: {
                 "state": h.state,
@@ -534,21 +555,22 @@ class HealthMonitor:
         deterministic function of the observation stream, so replaying
         it reproduces windows, breakers, probing, and idle counts
         exactly."""
-        saved_metrics, saved_tracer = self.metrics, self.tracer
-        self.metrics, self.tracer = MetricsRegistry(), NULL_TRACER
-        try:
-            for ev in events:
-                kind = ev[0]
-                if kind == "order":
-                    self.placement_order()
-                elif kind == "success":
-                    self.observe_success(ev[1], ev[2])
-                elif kind == "fault":
-                    self.observe_fault(
-                        ev[1], ev[2] if len(ev) > 2 else None
-                    )
-        finally:
-            self.metrics, self.tracer = saved_metrics, saved_tracer
+        with self._lock:
+            saved_metrics, saved_tracer = self.metrics, self.tracer
+            self.metrics, self.tracer = MetricsRegistry(), NULL_TRACER
+            try:
+                for ev in events:
+                    kind = ev[0]
+                    if kind == "order":
+                        self._placement_order()
+                    elif kind == "success":
+                        self._observe_success(ev[1], ev[2])
+                    elif kind == "fault":
+                        self._observe_fault(
+                            ev[1], ev[2] if len(ev) > 2 else None
+                        )
+            finally:
+                self.metrics, self.tracer = saved_metrics, saved_tracer
 
 
 class ResilientWorker:

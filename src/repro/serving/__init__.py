@@ -1,0 +1,51 @@
+"""Multi-tenant serving for the repro runtime.
+
+``repro serve`` turns the single-shot evaluation harness into a
+long-lived daemon: many named *sessions* — each an independent stream
+run — are admitted per-tenant, scheduled onto a bounded worker pool
+over one shared :class:`repro.runtime.fleet.DeviceFleet` and the shared
+kernel cache, and journaled per session so a drained or crashed daemon
+restores cleanly with ``--resume``.
+
+Layering:
+
+- :mod:`repro.serving.admission` — per-tenant quotas, typed load
+  shedding (:class:`repro.errors.AdmissionRejected`), per-tenant
+  metrics carve-out.
+- :mod:`repro.serving.session` — the session state machine and its
+  on-disk ``session.json`` descriptor.
+- :mod:`repro.serving.scheduler` — bounded queue + worker threads.
+- :mod:`repro.serving.server` — the daemon: shared fleet, drain
+  protocol, registry merging, report.
+- :mod:`repro.serving.loadgen` — the clean-vs-chaos serving benchmark
+  behind ``repro serve-bench`` (BENCH_serving.json).
+
+See docs/SERVING.md for the session lifecycle and overload semantics.
+"""
+
+from repro.errors import (
+    AdmissionRejected,
+    ServingError,
+    SessionAborted,
+    SessionDeadlineExceeded,
+    SessionDrained,
+    TenantBudgetExceeded,
+)
+from repro.serving.admission import AdmissionController, TenantQuota
+from repro.serving.server import ServeConfig, ServeDaemon
+from repro.serving.session import Session, SessionSpec
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServingError",
+    "Session",
+    "SessionAborted",
+    "SessionDeadlineExceeded",
+    "SessionDrained",
+    "SessionSpec",
+    "TenantBudgetExceeded",
+    "TenantQuota",
+]

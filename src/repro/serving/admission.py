@@ -1,0 +1,239 @@
+"""Per-tenant admission control, quotas, and load shedding.
+
+Every session belongs to a *tenant*. The :class:`AdmissionController`
+decides — under one lock, so decisions are atomic against concurrent
+submissions — whether a new session may enter the daemon:
+
+- ``draining`` — the daemon received SIGTERM (or an explicit drain):
+  nothing new is admitted.
+- ``tenant_inflight`` — the tenant already has ``max_inflight``
+  admitted-but-unfinished sessions.
+- ``tenant_budget`` — the tenant's cumulative *simulated* nanoseconds
+  across completed sessions exhausted its ``sim_budget_ns``.
+- ``queue_full`` — the scheduler's bounded queue is full (reported by
+  the scheduler through :meth:`AdmissionController.shed`).
+
+Rejection is always the typed :class:`repro.errors.AdmissionRejected` —
+overload sheds load explicitly; it never grows an unbounded queue and
+never crashes the daemon.
+
+Each tenant also owns a private
+:class:`repro.runtime.tracing.MetricsRegistry`. When a session
+finishes, its run's full metrics arrive as a
+``MetricsRegistry.delta({})`` (see ``RunResult.metrics_delta``) and are
+merged into the tenant registry under the controller lock. Because
+every session's counters land in exactly one tenant registry, the
+per-tenant registries sum to the daemon's global merge *exactly* —
+``tests/serving/test_tenant_metrics.py`` asserts this invariant.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import AdmissionRejected
+from repro.runtime.tracing import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Resource envelope for one tenant.
+
+    Args:
+        max_inflight: sessions a tenant may have admitted (queued or
+            running) at once; further submissions shed with
+            ``tenant_inflight``.
+        sim_budget_ns: cumulative simulated nanoseconds the tenant may
+            consume across its finished sessions; ``None`` = unlimited.
+            Exhaustion sheds new sessions with ``tenant_budget`` and
+            aborts the tenant's in-flight sessions at their next item
+            boundary (:class:`repro.errors.TenantBudgetExceeded`).
+    """
+
+    max_inflight: int = 4
+    sim_budget_ns: Optional[float] = None
+
+
+class TenantState:
+    """Mutable accounting for one tenant (guarded by the controller
+    lock)."""
+
+    def __init__(self, name, quota):
+        self.name = name
+        self.quota = quota
+        self.registry = MetricsRegistry()
+        self.inflight = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.aborted = 0
+        self.failed = 0
+        self.sim_ns_used = 0.0
+
+    def over_budget(self):
+        budget = self.quota.sim_budget_ns
+        return budget is not None and self.sim_ns_used >= budget
+
+    def snapshot(self):
+        return {
+            "quota": {
+                "max_inflight": self.quota.max_inflight,
+                "sim_budget_ns": self.quota.sim_budget_ns,
+            },
+            "inflight": self.inflight,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "aborted": self.aborted,
+            "failed": self.failed,
+            "sim_ns_used": self.sim_ns_used,
+            "metrics": self.registry.as_dict(),
+        }
+
+
+class AdmissionController:
+    """Thread-safe admission decisions plus per-tenant accounting.
+
+    Args:
+        default_quota: the :class:`TenantQuota` for tenants without an
+            explicit entry in ``quotas``.
+        quotas: ``{tenant name: TenantQuota}`` overrides.
+        metrics: the daemon-level registry ``serving.*`` counters land
+            in (the controller creates a private one when omitted —
+            convenient for tests).
+    """
+
+    def __init__(self, default_quota=None, quotas=None, metrics=None):
+        self._lock = threading.Lock()
+        self.default_quota = default_quota or TenantQuota()
+        self.quotas = dict(quotas or {})
+        self.tenants = {}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.draining = False
+
+    # -- tenant registry -------------------------------------------------------
+
+    def tenant(self, name):
+        """The (lazily created) :class:`TenantState` for ``name``."""
+        with self._lock:
+            return self._tenant(name)
+
+    def _tenant(self, name):
+        state = self.tenants.get(name)
+        if state is None:
+            quota = self.quotas.get(name, self.default_quota)
+            state = TenantState(name, quota)
+            self.tenants[name] = state
+        return state
+
+    # -- decisions -------------------------------------------------------------
+
+    def admit(self, tenant_name, session_name):
+        """Admit one session or raise :class:`AdmissionRejected`.
+
+        On success the tenant's in-flight count is already charged —
+        callers that subsequently fail to enqueue (bounded queue full)
+        must release it via :meth:`shed`.
+        """
+        with self._lock:
+            self.metrics.inc("serving.sessions.submitted")
+            state = self._tenant(tenant_name)
+            if self.draining:
+                raise self._reject("draining", state, session_name)
+            if state.inflight >= state.quota.max_inflight:
+                raise self._reject(
+                    "tenant_inflight",
+                    state,
+                    session_name,
+                    "{} in flight >= quota {}".format(
+                        state.inflight, state.quota.max_inflight
+                    ),
+                )
+            if state.over_budget():
+                raise self._reject(
+                    "tenant_budget",
+                    state,
+                    session_name,
+                    "{:.0f} sim ns used of {:.0f}".format(
+                        state.sim_ns_used, state.quota.sim_budget_ns
+                    ),
+                )
+            state.inflight += 1
+            state.admitted += 1
+            self.metrics.inc("serving.sessions.admitted")
+
+    def shed(self, tenant_name, session_name, code="queue_full", detail=""):
+        """Release an already-admitted session and raise the typed
+        rejection (the scheduler calls this when its bounded queue is
+        full)."""
+        with self._lock:
+            state = self._tenant(tenant_name)
+            state.inflight -= 1
+            state.admitted -= 1
+            self.metrics.inc("serving.sessions.admitted", -1)
+            raise self._reject(code, state, session_name, detail)
+
+    def reject(self, tenant_name, session_name, code, detail=""):
+        """Raise a typed rejection without touching in-flight counts
+        (duplicate names, pre-admission refusals)."""
+        with self._lock:
+            state = self._tenant(tenant_name)
+            raise self._reject(code, state, session_name, detail)
+
+    def _reject(self, code, state, session_name, detail=""):
+        state.rejected += 1
+        self.metrics.inc("serving.sessions.rejected")
+        self.metrics.inc("serving.rejected.{}".format(code))
+        return AdmissionRejected(code, state.name, session_name, detail)
+
+    # -- mid-run quota checks (called from the item guard) ---------------------
+
+    def tenant_over_budget(self, tenant_name):
+        """True when the tenant's *settled* sim-time spend exhausted its
+        budget — in-flight sessions should abort at the next item."""
+        with self._lock:
+            return self._tenant(tenant_name).over_budget()
+
+    # -- settlement ------------------------------------------------------------
+
+    def finish(self, tenant_name, outcome, sim_ns=0.0, metrics_delta=None):
+        """Settle one admitted session: release its in-flight slot,
+        charge its simulated time, fold its metrics into the tenant
+        registry.
+
+        Args:
+            outcome: ``"completed"`` | ``"aborted"`` | ``"drained"`` |
+                ``"failed"`` (drained counts as aborted for quota
+                purposes).
+            sim_ns: the run's simulated nanoseconds (0 when it died
+                before producing a result).
+            metrics_delta: ``RunResult.metrics_delta`` (or None).
+        """
+        with self._lock:
+            state = self._tenant(tenant_name)
+            state.inflight -= 1
+            state.sim_ns_used += float(sim_ns or 0.0)
+            if outcome == "completed":
+                state.completed += 1
+            elif outcome == "failed":
+                state.failed += 1
+            else:
+                state.aborted += 1
+            if metrics_delta:
+                state.registry.merge_delta(metrics_delta)
+
+    def start_drain(self):
+        with self._lock:
+            if not self.draining:
+                self.draining = True
+                self.metrics.inc("serving.drains")
+
+    def snapshot(self):
+        """Per-tenant accounting, JSON-able."""
+        with self._lock:
+            return {
+                name: state.snapshot()
+                for name, state in sorted(self.tenants.items())
+            }

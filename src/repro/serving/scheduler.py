@@ -1,0 +1,96 @@
+"""Bounded scheduling of admitted sessions onto worker threads.
+
+The scheduler is deliberately dumb: a :class:`queue.Queue` with a hard
+``maxsize`` and ``max_concurrency`` worker threads draining it. All
+policy lives elsewhere — admission decides *whether* a session enters,
+the daemon's item guard decides *when* a running session must stop.
+The queue being bounded is the load-shedding mechanism: a full queue
+makes :meth:`submit` return ``False`` immediately (the daemon converts
+that into ``AdmissionRejected(queue_full)``) instead of buffering
+unbounded work.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+
+class FleetScheduler:
+    """``max_concurrency`` workers draining a bounded session queue.
+
+    Args:
+        run_session: callable invoked with each dequeued session; must
+            never raise (the daemon's runner catches everything and
+            settles the session).
+        max_concurrency: worker thread count.
+        queue_depth: bound on *waiting* sessions (running sessions have
+            already left the queue).
+    """
+
+    def __init__(self, run_session, max_concurrency=4, queue_depth=16):
+        self.run_session = run_session
+        self.max_concurrency = max(1, int(max_concurrency))
+        self.queue_depth = max(1, int(queue_depth))
+        self._queue = queue.Queue(maxsize=self.queue_depth)
+        self._stop = threading.Event()
+        self._threads = []
+
+    def start(self):
+        if self._threads:
+            return
+        for idx in range(self.max_concurrency):
+            t = threading.Thread(
+                target=self._worker,
+                name="serve-worker-{}".format(idx),
+                daemon=True,
+            )
+            t.start()
+            self._threads.append(t)
+
+    def submit(self, session):
+        """Enqueue without blocking; False means the queue is full."""
+        try:
+            self._queue.put_nowait(session)
+        except queue.Full:
+            return False
+        return True
+
+    def depth(self):
+        """Approximate count of sessions waiting in the queue."""
+        return self._queue.qsize()
+
+    def drain_queued(self):
+        """Pull every still-queued session out un-run (daemon drain);
+        returns them in queue order."""
+        drained = []
+        while True:
+            try:
+                session = self._queue.get_nowait()
+            except queue.Empty:
+                return drained
+            drained.append(session)
+            self._queue.task_done()
+
+    def join(self):
+        """Block until every submitted session has been processed (or
+        pulled by :meth:`drain_queued`)."""
+        self._queue.join()
+
+    def stop(self):
+        """Stop the workers once the queue is idle."""
+        self._stop.set()
+        for t in self._threads:
+            t.join(timeout=5.0)
+        self._threads = []
+
+    def _worker(self):
+        while not self._stop.is_set():
+            try:
+                session = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            try:
+                self.run_session(session)
+            finally:
+                self._queue.task_done()

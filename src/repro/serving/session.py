@@ -1,0 +1,190 @@
+"""Sessions: one named stream run inside the serving daemon.
+
+A session's life::
+
+    PENDING --admit--> QUEUED --worker--> RUNNING --+--> COMPLETED
+       |                                            +--> ABORTED   (deadline/budget)
+       +--reject--> REJECTED                        +--> DRAINED   (daemon drain)
+                    (never entered the queue)       +--> FAILED    (unexpected error)
+
+    QUEUED --drain--> DRAINED   (pulled from the queue un-run)
+
+Transitions only move forward; every terminal state is recorded with a
+wall-clock latency so the load generator can report p50/p99.
+
+Each session persists a ``session.json`` descriptor next to its run
+journal (``<serve-dir>/sessions/<name>/``). A drained or killed daemon
+restarted with ``--resume`` re-reads those descriptors, re-admits the
+sessions, and each run's :class:`repro.runtime.journal.RunJournal`
+replays the journaled items bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+from repro.ioutil import atomic_write
+
+PENDING = "pending"
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETED = "completed"
+ABORTED = "aborted"
+DRAINED = "drained"
+FAILED = "failed"
+REJECTED = "rejected"
+
+TERMINAL_STATES = frozenset({COMPLETED, ABORTED, DRAINED, FAILED, REJECTED})
+
+SESSION_FILENAME = "session.json"
+SESSION_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Immutable description of one session's workload.
+
+    ``deadline_ms`` is the session's wall-clock budget measured from the
+    moment it starts running (queue time does not count); ``None``
+    disables the deadline.
+    """
+
+    name: str
+    benchmark: str
+    tenant: str = "default"
+    scale: float = 0.3
+    steps: Optional[int] = None
+    deadline_ms: Optional[float] = None
+
+    def to_json(self):
+        payload = asdict(self)
+        payload["version"] = SESSION_FORMAT_VERSION
+        return payload
+
+    @classmethod
+    def from_json(cls, payload):
+        payload = dict(payload)
+        payload.pop("version", None)
+        return cls(**payload)
+
+    @classmethod
+    def parse(cls, text, **defaults):
+        """Parse the CLI form ``NAME:BENCH[:TENANT]``."""
+        parts = text.split(":")
+        if len(parts) < 2 or len(parts) > 3 or not all(parts):
+            raise ValueError(
+                "expected NAME:BENCH[:TENANT], got {!r}".format(text)
+            )
+        name, benchmark = parts[0], parts[1]
+        tenant = parts[2] if len(parts) == 3 else "default"
+        return cls(name=name, benchmark=benchmark, tenant=tenant, **defaults)
+
+
+class Session:
+    """One session's mutable runtime state (owned by the daemon)."""
+
+    def __init__(self, spec, session_dir=None):
+        self.spec = spec
+        self.session_dir = session_dir
+        self.state = PENDING
+        self.result = None  # RunResult on COMPLETED
+        self.error = None  # str on ABORTED/DRAINED/FAILED/REJECTED
+        self.submitted_at = time.monotonic()
+        self.started_at = None
+        self.finished_at = None
+
+    @property
+    def name(self):
+        return self.spec.name
+
+    @property
+    def tenant(self):
+        return self.spec.tenant
+
+    @property
+    def terminal(self):
+        return self.state in TERMINAL_STATES
+
+    @property
+    def wall_ms(self):
+        """Submit-to-finish wall latency (None until terminal)."""
+        if self.finished_at is None:
+            return None
+        return (self.finished_at - self.submitted_at) * 1000.0
+
+    def mark_running(self):
+        self.state = RUNNING
+        self.started_at = time.monotonic()
+
+    def finish(self, state, result=None, error=None):
+        self.state = state
+        self.result = result
+        self.error = error
+        self.finished_at = time.monotonic()
+
+    def deadline_exceeded(self):
+        """True once the running session outlived ``deadline_ms``."""
+        deadline = self.spec.deadline_ms
+        if deadline is None or self.started_at is None:
+            return False
+        return (time.monotonic() - self.started_at) * 1000.0 > deadline
+
+    # -- persistence -----------------------------------------------------------
+
+    def journal_dir(self):
+        if self.session_dir is None:
+            return None
+        return os.path.join(self.session_dir, "journal")
+
+    def persist(self):
+        """Write ``session.json`` atomically (no-op without a dir)."""
+        if self.session_dir is None:
+            return
+        os.makedirs(self.session_dir, exist_ok=True)
+        path = os.path.join(self.session_dir, SESSION_FILENAME)
+        payload = json.dumps(self.spec.to_json(), indent=2, sort_keys=True)
+        atomic_write(path, (payload + "\n").encode("utf-8"))
+
+    def describe(self):
+        out = {
+            "name": self.name,
+            "tenant": self.tenant,
+            "benchmark": self.spec.benchmark,
+            "state": self.state,
+            "wall_ms": self.wall_ms,
+            "error": self.error,
+        }
+        if self.result is not None:
+            out["checksum"] = self.result.checksum
+            out["total_ns"] = self.result.total_ns
+            out["journal"] = self.result.journal
+            out["degraded"] = bool(
+                self.result.faults.get("recovery.fallbacks", 0)
+                or self.result.metrics_delta.get(
+                    "recovery.failovers", {}
+                ).get("inc", 0)
+            )
+        return out
+
+
+def load_session_specs(serve_dir):
+    """Recover the :class:`SessionSpec` list persisted under
+    ``<serve_dir>/sessions/`` (for ``repro serve --resume``). Sorted by
+    session name for deterministic re-submission order."""
+    sessions_root = os.path.join(serve_dir, "sessions")
+    specs = []
+    if not os.path.isdir(sessions_root):
+        return specs
+    for entry in sorted(os.listdir(sessions_root)):
+        path = os.path.join(sessions_root, entry, SESSION_FILENAME)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        specs.append(SessionSpec.from_json(payload))
+    return specs

@@ -1,0 +1,78 @@
+"""Journal concurrency guard (ISSUE 7 satellite).
+
+Two writers on one journal directory would interleave CRC frames and
+corrupt the WAL. ``RunJournal.open`` therefore takes an exclusive
+lockfile (O_CREAT|O_EXCL, pid inside) and raises the typed
+:class:`JournalLockedError` while the holder is alive — but a lock
+left by a SIGKILLed process (dead pid) is detected as stale and broken
+so crash recovery never wedges on its own leftovers.
+"""
+
+import os
+import subprocess
+
+import pytest
+
+from repro.runtime.journal import (
+    LOCK_FILENAME,
+    JournalLockedError,
+    RunJournal,
+)
+
+DESC = {"benchmark": "x", "scale": 1.0}
+
+
+def test_open_takes_and_close_releases_the_lock(tmp_path):
+    journal = RunJournal.open(str(tmp_path), DESC)
+    lock = tmp_path / LOCK_FILENAME
+    assert lock.exists()
+    assert int(lock.read_text().strip()) == os.getpid()
+    journal.close()
+    assert not lock.exists()
+
+
+def test_second_open_raises_typed_error_while_held(tmp_path):
+    journal = RunJournal.open(str(tmp_path), DESC)
+    try:
+        with pytest.raises(JournalLockedError) as exc:
+            RunJournal.open(str(tmp_path), DESC, resume=True)
+        assert str(os.getpid()) in str(exc.value)
+    finally:
+        journal.close()
+    # Released: a resume can now open it.
+    journal2 = RunJournal.open(str(tmp_path), DESC, resume=True)
+    journal2.close()
+
+
+def test_stale_lock_from_dead_pid_is_broken(tmp_path):
+    proc = subprocess.Popen(["true"])
+    proc.wait()
+    (tmp_path / LOCK_FILENAME).write_text("{}\n".format(proc.pid))
+    journal = RunJournal.open(str(tmp_path), DESC)
+    try:
+        assert journal.stale_locks_broken == 1
+        assert journal.stats()["stale_locks_broken"] == 1
+    finally:
+        journal.close()
+
+
+def test_garbage_lock_content_is_treated_as_stale(tmp_path):
+    (tmp_path / LOCK_FILENAME).write_text("not-a-pid\n")
+    journal = RunJournal.open(str(tmp_path), DESC)
+    try:
+        assert journal.stale_locks_broken == 1
+    finally:
+        journal.close()
+
+
+def test_lock_released_even_when_open_fails(tmp_path):
+    journal = RunJournal.open(str(tmp_path), DESC)
+    journal.record_complete(1.0)
+    journal.close()
+    # A resume against a *different* descriptor is refused — but the
+    # failed open must not leave the lockfile behind.
+    with pytest.raises(Exception):
+        RunJournal.open(str(tmp_path), {"benchmark": "y"}, resume=True)
+    assert not (tmp_path / LOCK_FILENAME).exists()
+    journal2 = RunJournal.open(str(tmp_path), DESC, resume=True)
+    journal2.close()

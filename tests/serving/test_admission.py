@@ -1,0 +1,111 @@
+"""Admission control: quotas, typed load shedding, drain, accounting.
+
+Pure controller tests — no benchmark runs, so every decision is
+deterministic and instantaneous.
+"""
+
+import pytest
+
+from repro.errors import AdmissionRejected
+from repro.serving.admission import AdmissionController, TenantQuota
+
+
+def admit_n(ctl, tenant, n, start=0):
+    for i in range(start, start + n):
+        ctl.admit(tenant, "s{}".format(i))
+
+
+def test_admits_within_quota_and_counts():
+    ctl = AdmissionController(default_quota=TenantQuota(max_inflight=2))
+    admit_n(ctl, "acme", 2)
+    state = ctl.tenant("acme")
+    assert state.inflight == 2
+    assert state.admitted == 2
+    assert ctl.metrics.get("serving.sessions.admitted") == 2
+    assert ctl.metrics.get("serving.sessions.submitted") == 2
+
+
+def test_inflight_quota_sheds_with_typed_code():
+    ctl = AdmissionController(default_quota=TenantQuota(max_inflight=1))
+    ctl.admit("acme", "s0")
+    with pytest.raises(AdmissionRejected) as exc:
+        ctl.admit("acme", "s1")
+    assert exc.value.code == "tenant_inflight"
+    assert exc.value.tenant == "acme"
+    assert exc.value.session == "s1"
+    assert ctl.metrics.get("serving.rejected.tenant_inflight") == 1
+    # Other tenants are unaffected.
+    ctl.admit("globex", "s2")
+
+
+def test_finish_releases_inflight_slot():
+    ctl = AdmissionController(default_quota=TenantQuota(max_inflight=1))
+    ctl.admit("acme", "s0")
+    ctl.finish("acme", "completed", sim_ns=100.0)
+    ctl.admit("acme", "s1")  # slot free again
+    state = ctl.tenant("acme")
+    assert state.completed == 1
+    assert state.sim_ns_used == 100.0
+
+
+def test_sim_budget_exhaustion_sheds():
+    ctl = AdmissionController(
+        default_quota=TenantQuota(max_inflight=8, sim_budget_ns=50.0)
+    )
+    ctl.admit("acme", "s0")
+    ctl.finish("acme", "completed", sim_ns=60.0)
+    assert ctl.tenant_over_budget("acme")
+    with pytest.raises(AdmissionRejected) as exc:
+        ctl.admit("acme", "s1")
+    assert exc.value.code == "tenant_budget"
+
+
+def test_queue_full_shed_releases_the_admitted_slot():
+    ctl = AdmissionController(default_quota=TenantQuota(max_inflight=1))
+    ctl.admit("acme", "s0")
+    with pytest.raises(AdmissionRejected) as exc:
+        ctl.shed("acme", "s0")
+    assert exc.value.code == "queue_full"
+    # The slot came back: the tenant can admit again.
+    ctl.admit("acme", "s1")
+
+
+def test_drain_rejects_everything_new():
+    ctl = AdmissionController()
+    ctl.start_drain()
+    with pytest.raises(AdmissionRejected) as exc:
+        ctl.admit("acme", "s0")
+    assert exc.value.code == "draining"
+    assert ctl.metrics.get("serving.drains") == 1
+    ctl.start_drain()  # idempotent
+    assert ctl.metrics.get("serving.drains") == 1
+
+
+def test_per_tenant_quota_overrides():
+    ctl = AdmissionController(
+        default_quota=TenantQuota(max_inflight=1),
+        quotas={"vip": TenantQuota(max_inflight=3)},
+    )
+    admit_n(ctl, "vip", 3)
+    ctl.admit("free", "s9")
+    with pytest.raises(AdmissionRejected):
+        ctl.admit("free", "s10")  # default quota is 1 in flight
+
+
+def test_metrics_delta_merges_into_tenant_registry():
+    ctl = AdmissionController()
+    ctl.admit("acme", "s0")
+    delta = {"recovery.faults": {"kind": "counter", "inc": 3}}
+    ctl.finish("acme", "completed", sim_ns=1.0, metrics_delta=delta)
+    assert ctl.tenant("acme").registry.get("recovery.faults") == 3
+
+
+def test_snapshot_is_jsonable_accounting():
+    import json
+
+    ctl = AdmissionController(default_quota=TenantQuota(max_inflight=2))
+    ctl.admit("acme", "s0")
+    snap = ctl.snapshot()
+    json.dumps(snap)
+    assert snap["acme"]["inflight"] == 1
+    assert snap["acme"]["quota"]["max_inflight"] == 2

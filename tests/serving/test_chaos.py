@@ -1,0 +1,115 @@
+"""The serving chaos acceptance test.
+
+ISSUE 7's bar: >= 4 concurrent sessions on a 2-device fleet with one
+device killed mid-serve — every admitted session finishes bit-exact
+with a solo run, the daemon never crashes, and overload produces typed
+``AdmissionRejected`` errors instead of queue growth.
+"""
+
+from repro.apps.registry import BENCHMARKS
+from repro.evaluation.harness import run_configuration
+from repro.serving.loadgen import serving_bench
+from repro.serving.server import ServeConfig, ServeDaemon
+from repro.serving.session import SessionSpec
+
+SCALE = 0.15
+STEPS = 3
+MAX_ITEMS = 128
+KNOWN_CODES = {
+    "queue_full",
+    "tenant_inflight",
+    "tenant_budget",
+    "draining",
+    "duplicate",
+}
+
+
+def chaos_config(**kw):
+    base = dict(
+        devices=["gtx580", "hd5970"],
+        max_concurrency=4,
+        queue_depth=16,
+        tenant_max_inflight=16,
+        max_sim_items=MAX_ITEMS,
+        fault_rate=0.05,
+        fault_seed=99,
+        kill_devices={"gtx580": 1},  # dies after its first launch
+    )
+    base.update(kw)
+    return ServeConfig(**base)
+
+
+def workload(n, benchmarks=("jg-series-single", "mosaic")):
+    return [
+        SessionSpec(
+            name="s{}".format(i),
+            benchmark=benchmarks[i % len(benchmarks)],
+            tenant="t{}".format(i % 2),
+            scale=SCALE,
+            steps=STEPS,
+        )
+        for i in range(n)
+    ]
+
+
+def test_device_death_mid_serve_keeps_sessions_bit_exact():
+    daemon = ServeDaemon(chaos_config())
+    specs = workload(4)
+    report = daemon.serve(specs)
+    assert report["counts"] == {"completed": 4}
+    # Ground truth: clean solo runs, single device, no faults.
+    want = {
+        b: run_configuration(
+            BENCHMARKS[b],
+            "gtx580",
+            scale=SCALE,
+            steps=STEPS,
+            max_sim_items=MAX_ITEMS,
+        ).checksum
+        for b in ("jg-series-single", "mosaic")
+    }
+    for s in specs:
+        assert report["sessions"][s.name]["checksum"] == want[s.benchmark]
+    # The kill actually bit: launches failed over to the survivor.
+    assert report["metrics"].get("recovery.failovers", 0) > 0
+
+
+def test_overload_under_chaos_sheds_typed_not_crashes():
+    daemon = ServeDaemon(chaos_config(max_concurrency=1, queue_depth=1))
+    report = daemon.serve(workload(6, benchmarks=("jg-series-single",)))
+    counts = report["counts"]
+    assert counts.get("failed", 0) == 0
+    assert set(counts) <= {"completed", "rejected"}
+    assert counts.get("rejected", 0) >= 1  # the bounded queue shed
+    for name, s in report["sessions"].items():
+        if s["state"] == "rejected":
+            assert s["error"] in KNOWN_CODES, name
+    rejected_metrics = {
+        k: v
+        for k, v in report["metrics"].items()
+        if k.startswith("serving.rejected.")
+    }
+    assert sum(rejected_metrics.values()) == counts.get("rejected", 0)
+
+
+def test_serving_bench_clean_vs_chaos_is_bit_exact(tmp_path):
+    out = tmp_path / "BENCH_serving.json"
+    payload = serving_bench(
+        sessions=4,
+        tenants=2,
+        apps=["jg-series-single", "mosaic"],
+        scale=SCALE,
+        steps=STEPS,
+        max_sim_items=MAX_ITEMS,
+        max_concurrency=3,
+        kill_devices={"gtx580": 1},
+        out_path=str(out),
+    )
+    assert payload["ok"], payload["bit_exact"]
+    assert out.exists()
+    for phase in ("clean", "chaos"):
+        stats = payload[phase]
+        assert stats["counts"] == {"completed": 4}
+        assert stats["sessions_per_sec"] > 0
+        assert stats["latency_ms"]["p99"] is not None
+    assert payload["chaos"]["recovery"]["failovers"] > 0

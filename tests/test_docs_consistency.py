@@ -72,7 +72,7 @@ def test_readme_flag_table_has_no_stale_flags():
         elif in_table:
             break  # first table after the heading only
     table_rows = re.findall(
-        r"^\| `(\w+)[^`]*` \| (.+) \|$", "\n".join(rows), re.M
+        r"^\| `([\w-]+)[^`]*` \| (.+) \|$", "\n".join(rows), re.M
     )
     assert table_rows, "README flag-reference table not found"
     commands = _subcommands()
