@@ -1,0 +1,144 @@
+"""Fleet concurrency gate: makespan scaling across device counts.
+
+The per-device command queues (docs/CONCURRENCY.md) exist to buy
+wall-clock — simulated wall-clock — on independent-item workloads: an
+N-queue fleet should drain a stream in roughly 1/N of the sequential
+schedule's time. This bench pins that win and fails CI if it erodes:
+
+- per-device-count (1..4) concurrent offload makespans, plus the
+  4-device sequential baseline, on a communication-dominated workload
+  (jg-crypt: per-item cost is mostly transfer, so queues stay evenly
+  loaded);
+- the gate: the 4-device concurrent makespan must be <= 0.4x the
+  sequential baseline — including when a device is killed mid-stream
+  and its items fail over;
+- bit-exactness: every configuration reproduces the sequential
+  checksum (the determinism contract's value clause).
+
+Results land in ``benchmarks/results/BENCH_fleet.json`` (uploaded by
+the fleet-concurrency CI job).
+"""
+
+import pytest
+
+from conftest import record_result
+
+from repro.apps.registry import BENCHMARKS
+from repro.evaluation.harness import run_configuration
+from repro.opencl import kernel_cache as kc
+from repro.runtime.resilience import FleetPolicy, ResiliencePolicy
+
+APP = "jg-crypt"
+STEPS = 16
+SCALE = 0.2
+MAX_ITEMS = 128
+DEVICES = ["gtx580", "hd5970", "gtx8800", "core-i7"]
+GATE = 0.4
+
+
+def _run(devices, schedule, kill=None):
+    kc.reset_global_cache()
+    resilience = ResiliencePolicy.from_flags(kill_devices=dict(kill or {}))
+    result = run_configuration(
+        BENCHMARKS[APP],
+        "gtx580",
+        scale=SCALE,
+        steps=STEPS,
+        max_sim_items=MAX_ITEMS,
+        devices=list(devices),
+        fleet_policy=FleetPolicy(schedule=schedule),
+        resilience=resilience,
+    )
+    return result
+
+
+def _offload_makespan(result):
+    return result.makespan_ns - result.host_compute_ns
+
+
+@pytest.fixture(scope="module")
+def fleet_bench():
+    sequential = _run(DEVICES, "sequential")
+    seq_makespan = _offload_makespan(sequential)
+    by_count = {}
+    for n in (1, 2, 3, 4):
+        r = _run(DEVICES[:n], "concurrent")
+        assert r.checksum == sequential.checksum
+        by_count[n] = {
+            "devices": DEVICES[:n],
+            "makespan_ns": _offload_makespan(r),
+            "total_ns": r.total_ns,
+            "queues": r.queues,
+        }
+    killed = {}
+    for label, kill in (
+        ("kill-hd5970-after-1", {"hd5970": 1}),
+        ("kill-gtx580-at-0", {"gtx580": 0}),
+    ):
+        r = _run(DEVICES, "concurrent", kill=kill)
+        assert r.checksum == sequential.checksum
+        killed[label] = {
+            "makespan_ns": _offload_makespan(r),
+            "failovers": int(
+                r.metrics.get("recovery.failovers", 0)
+            ),
+        }
+        assert killed[label]["failovers"] > 0
+    payload = {
+        "app": APP,
+        "steps": STEPS,
+        "scale": SCALE,
+        "gate": GATE,
+        "sequential_makespan_ns": seq_makespan,
+        "concurrent_by_device_count": by_count,
+        "kill_device": killed,
+    }
+    record_result("BENCH_fleet", payload)
+    yield payload
+    # Leave the in-process kernel cache as cold as we found it so the
+    # metrics-baseline capture (same pytest process) still sees a
+    # first-compile miss for this app.
+    kc.reset_global_cache()
+
+
+def test_concurrent_4dev_beats_gate(fleet_bench):
+    ratio = (
+        fleet_bench["concurrent_by_device_count"][4]["makespan_ns"]
+        / fleet_bench["sequential_makespan_ns"]
+    )
+    assert ratio <= GATE, (
+        "4-device concurrent makespan is {:.3f}x sequential "
+        "(gate {})".format(ratio, GATE)
+    )
+
+
+def test_makespan_shrinks_with_every_device(fleet_bench):
+    spans = [
+        fleet_bench["concurrent_by_device_count"][n]["makespan_ns"]
+        for n in (1, 2, 3, 4)
+    ]
+    for more, fewer in zip(spans[1:], spans):
+        assert more < fewer, (
+            "adding a device did not shrink the makespan: {}".format(spans)
+        )
+
+
+def test_single_queue_concurrent_equals_sequential_shape(fleet_bench):
+    """One device has nothing to overlap with: its concurrent makespan
+    is the whole offload time, anchoring the scaling curve."""
+    one = fleet_bench["concurrent_by_device_count"][1]
+    assert one["makespan_ns"] == pytest.approx(
+        sum(q["busy_ns"] for q in one["queues"].values())
+    )
+
+
+def test_gate_holds_under_device_kill(fleet_bench):
+    for label, entry in fleet_bench["kill_device"].items():
+        ratio = (
+            entry["makespan_ns"] / fleet_bench["sequential_makespan_ns"]
+        )
+        assert ratio <= GATE, (
+            "{}: makespan {:.3f}x sequential (gate {})".format(
+                label, ratio, GATE
+            )
+        )

@@ -315,6 +315,7 @@ def cmd_run(args):
         tracer=tracer,
         devices=devices,
         fleet_policy=args.fleet_policy,
+        fleet_schedule=args.fleet_schedule,
         journal=args.journal,
         resume=args.resume,
     )
@@ -364,6 +365,23 @@ def cmd_run(args):
                     h["median_launch_ns"],
                 )
             )
+        for key in sorted(result.queues):
+            q = result.queues[key]
+            print(
+                "  queue {:12s} submitted={} completed={} faulted={} "
+                "busy={:.0f}ns wait={:.0f}ns cursor={:.0f}ns".format(
+                    key,
+                    q["submitted"],
+                    q["completed"],
+                    q["faulted"],
+                    q["busy_ns"],
+                    q["wait_ns"],
+                    q["cursor_ns"],
+                )
+            )
+        print(
+            "  makespan {:>16.0f} simulated ns".format(result.makespan_ns)
+        )
     if result.journal:
         j = result.journal
         print(
@@ -453,6 +471,7 @@ def cmd_serve(args):
         devices=devices,
         target=args.target,
         fleet_policy=args.fleet_policy,
+        fleet_schedule=args.fleet_schedule,
         max_concurrency=args.max_concurrency,
         queue_depth=args.queue_depth,
         tenant_max_inflight=args.tenant_max_inflight,
@@ -765,6 +784,15 @@ def build_parser():
         "(median kernel time + fault history) or rotate round-robin",
     )
     run_cmd.add_argument(
+        "--fleet-schedule",
+        choices=["concurrent", "sequential"],
+        default="concurrent",
+        help="fleet dispatch schedule: overlap independent stream items "
+        "across per-device command queues (concurrent, the default) or "
+        "keep one item in flight fleet-wide (sequential) — results are "
+        "bit-exact either way, only the simulated makespan differs",
+    )
+    run_cmd.add_argument(
         "--kill-device",
         action="append",
         default=None,
@@ -933,6 +961,14 @@ def build_parser():
     serve_cmd.add_argument("--target", default="gtx580")
     serve_cmd.add_argument(
         "--fleet-policy", choices=["health", "round-robin"], default="health"
+    )
+    serve_cmd.add_argument(
+        "--fleet-schedule",
+        choices=["concurrent", "sequential"],
+        default="concurrent",
+        help="fleet dispatch schedule shared by every session: overlap "
+        "items across per-device command queues (concurrent) or one "
+        "item in flight fleet-wide (sequential)",
     )
     serve_cmd.add_argument("--scale", type=float, default=0.3)
     serve_cmd.add_argument(

@@ -487,7 +487,7 @@ class FleetOffloader:
         fleet_worker = FleetWorker(
             name=key,
             filters=filters,
-            monitor=self.fleet.monitor,
+            fleet=self.fleet,
             profile=profile,
         )
         self.compiled[key] = fleet_worker

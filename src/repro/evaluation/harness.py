@@ -78,6 +78,12 @@ class RunResult:
     metrics: dict = field(default_factory=dict)  # MetricsRegistry.as_dict()
     fleet: dict = field(default_factory=dict)  # HealthMonitor.snapshot()
     journal: dict = field(default_factory=dict)  # RunJournal.stats()
+    # Fleet command-queue accounting: per-device queue statistics
+    # (DeviceFleet.queues_snapshot()) and the run's makespan — host
+    # compute plus the furthest queue cursor. For single-device runs
+    # the makespan equals total_ns (one implicit queue, no overlap).
+    queues: dict = field(default_factory=dict)
+    makespan_ns: float = 0.0
     # The run's full metrics in MetricsRegistry.delta() form — a
     # mergeable carve-out the serving daemon folds into per-tenant and
     # global registries (MetricsRegistry.merge_delta).
@@ -105,6 +111,7 @@ def run_configuration(
     tracer=None,
     devices=None,
     fleet_policy=None,
+    fleet_schedule=None,
     journal=None,
     resume=False,
     offloader=None,
@@ -142,6 +149,12 @@ def run_configuration(
         fleet_policy: placement strategy for ``devices`` — a
             :class:`repro.runtime.resilience.FleetPolicy`, or the
             strategy name (``"health"`` / ``"round-robin"``).
+        fleet_schedule: dispatch schedule override for ``devices`` —
+            ``"concurrent"`` (per-device command queues overlap;
+            default) or ``"sequential"`` (one item in flight, the
+            bit-exact comparison baseline). Folded into the effective
+            :class:`~repro.runtime.resilience.FleetPolicy`, so the
+            journal run key refuses a resume across schedules.
         journal: optional directory path — write-ahead-log every
             offloaded stream item to a crash-consistent
             :class:`repro.runtime.journal.RunJournal` there.
@@ -167,16 +180,24 @@ def run_configuration(
     checked = bench.checked()
     inputs = bench.make_input(scale=scale)
     steps = steps if steps is not None else bench.steps
+    effective_policy = fleet_policy
     if offloader is not None:
         target_name = target_label
         devices = None
     elif devices:
+        from dataclasses import replace
+
         from repro.compiler.pipeline import FleetOffloader
         from repro.runtime.resilience import FleetPolicy
 
         policy = fleet_policy
         if isinstance(policy, str):
             policy = FleetPolicy(policy=policy)
+        if fleet_schedule is not None:
+            policy = replace(
+                policy or FleetPolicy(), schedule=fleet_schedule
+            )
+        effective_policy = policy
         offloader = FleetOffloader(
             devices,
             policy=policy,
@@ -212,7 +233,9 @@ def run_configuration(
             "sanitizer": sanitizer_key(sanitizer),
             "exec_tier": exec_tier,
             "devices": list(devices) if devices else None,
-            "fleet_policy": str(fleet_policy) if fleet_policy else None,
+            "fleet_policy": (
+                str(effective_policy) if effective_policy else None
+            ),
             "resilient": resilience is not None,
         }
         run_journal = RunJournal.open(journal, descriptor, resume=resume)
@@ -247,6 +270,14 @@ def run_configuration(
             run_journal.close()
     stages = engine.profile.stages.as_dict()
     stages["host_compute"] = engine.host_compute_ns()
+    fleet = getattr(offloader, "fleet", None)
+    if fleet is not None:
+        # The reduce point: merge the per-device queue cursors into the
+        # global clock so the synthetic host_compute span starts after
+        # the last queue drained and the trace covers the makespan.
+        clock = getattr(engine.profile.tracer, "clock", None)
+        if clock is not None:
+            clock.ns = max(clock.ns, fleet.makespan_ns())
     engine.profile.tracer.charge(
         "host_compute",
         engine.host_compute_ns(),
@@ -266,11 +297,9 @@ def run_configuration(
         faults=ledger.summary() if ledger.any_activity() else {},
         executor=engine.profile.executor_summary(),
         metrics=engine.profile.metrics.as_dict(),
-        fleet=(
-            offloader.fleet.snapshot()
-            if getattr(offloader, "fleet", None) is not None
-            else {}
-        ),
+        fleet=fleet.snapshot() if fleet is not None else {},
         journal=journal_stats,
+        queues=fleet.queues_snapshot() if fleet is not None else {},
+        makespan_ns=engine.makespan_ns(),
         metrics_delta=engine.profile.metrics.delta({}),
     )

@@ -122,8 +122,23 @@ class Engine:
         return self.java_cost_model.nanos(self.cost)
 
     def total_ns(self):
-        """End-to-end simulated time: host compute plus offload stages."""
+        """End-to-end simulated time: host compute plus offload stages.
+
+        This is the *work* total (every stage summed), invariant across
+        fleet dispatch schedules; see :meth:`makespan_ns` for the
+        schedule-dependent elapsed time."""
         return self.host_compute_ns() + self.profile.stages.total()
+
+    def makespan_ns(self):
+        """Elapsed simulated time: host compute plus the offload
+        makespan. With a device fleet the offload makespan is the
+        furthest per-device command-queue cursor (queues drain in
+        parallel under the concurrent schedule); without one it is the
+        summed stage time, so this equals :meth:`total_ns`."""
+        fleet = getattr(self.offloader, "fleet", None)
+        if fleet is not None:
+            return self.host_compute_ns() + fleet.makespan_ns()
+        return self.total_ns()
 
     # -- task materialization ------------------------------------------------------
 

@@ -1,35 +1,60 @@
-"""Health-aware multi-device scheduling with transparent failover.
+"""Health-aware multi-device scheduling with transparent failover and
+per-device command queues.
 
 A :class:`DeviceFleet` registers several simulated devices behind one
-offloaded task. Each stream item is placed on the healthiest eligible
-device (:class:`repro.runtime.resilience.HealthMonitor` scores devices
-from their observed ``kernel.launch_ns`` and fault history); when the
-placed device faults mid-item, the :class:`FleetWorker` replays the
-item's already-marshalled :class:`repro.backend.glue.LaunchRecord` on
-the next-best device — the marshal work is reused, only the bus
-transfer is paid again. Only when *every* fleet device fails does the
-fault surface to the wrapping
-:class:`repro.runtime.resilience.ResilientWorker`, whose retry/breaker/
-host-interpreter fallback remains the terminal tier.
+offloaded task. Every device owns a :class:`repro.runtime.queues
+.CommandQueue` — its own simulated-time cursor plus submission/
+completion bookkeeping — so independent stream items dispatched to
+different devices advance *in parallel* on the simulated timeline
+(the paper's asynchronous OpenCL command-queue model). Each stream
+item is placed on the device with the earliest estimated finish among
+the healthy candidates (:class:`repro.runtime.resilience
+.HealthMonitor` supplies the health-preference plan and observed
+medians); when the placed device faults mid-item, the
+:class:`FleetWorker` re-enqueues the item's already-marshalled
+:class:`repro.backend.glue.LaunchRecord` on the next-best queue — the
+marshal work is reused, only the bus transfer is paid again, and only
+the failing device's cursor absorbed the lost time. Only when *every*
+fleet device fails does the fault surface to the wrapping
+:class:`repro.runtime.resilience.ResilientWorker`, whose retry/
+breaker/host-interpreter fallback remains the terminal tier.
 
 The degradation ladder for one stream item is therefore::
 
-    best device -> next-best device -> ... -> retry -> host interpreter
+    best queue -> next-best queue -> ... -> retry -> host interpreter
 
 with every rung accounted in simulated time (failover re-transfers,
 retry backoff) and in the run's :class:`FailureLedger`
 (``recovery.failovers``, ``recovery.failovers.from.<device>``).
+
+Two dispatch schedules (``FleetPolicy.schedule``, see
+docs/CONCURRENCY.md):
+
+- ``"concurrent"`` (default): independent items are submitted at
+  dispatch time; queues drain in parallel and the run's makespan is
+  the maximum cursor, merged into the global clock at the reduce.
+- ``"sequential"``: each item is submitted when the previous one
+  completed anywhere in the fleet — one item in flight, the makespan
+  equals the summed stage time. The bit-exact comparison baseline.
+
+Either way the *values* are schedule-invariant: placement only moves
+simulated timestamps, never results, so a 4-device concurrent run is
+bit-exact with the 1-device sequential run.
 """
 
 from __future__ import annotations
 
+import random
+
 from repro.errors import RuntimeFault
 from repro.opencl.device import get_device
+from repro.runtime.queues import CommandQueue
 from repro.runtime.resilience import FleetPolicy, HealthMonitor
 
 
 class DeviceFleet:
-    """A named set of simulated devices plus their shared health state.
+    """A named set of simulated devices plus their shared health state
+    and per-device command queues.
 
     Args:
         keys: device short keys (``repro.opencl.device.DEVICES``), in
@@ -43,9 +68,27 @@ class DeviceFleet:
         self.devices = {key: get_device(key) for key in self.keys}
         self.policy = policy or FleetPolicy()
         self.monitor = HealthMonitor(self.keys, policy=self.policy)
+        self.queues = {key: CommandQueue(key) for key in self.keys}
+        # The sequential schedule's global serialization point: the
+        # completion time of the last finished item anywhere in the
+        # fleet, which is the next item's submission time.
+        self.stream_cursor_ns = 0.0
 
     def snapshot(self):
         return self.monitor.snapshot()
+
+    def queues_snapshot(self):
+        """Per-device queue statistics, canonically sorted."""
+        return {
+            key: self.queues[key].snapshot() for key in sorted(self.queues)
+        }
+
+    def makespan_ns(self):
+        """The fleet's offload makespan: the furthest cursor across the
+        per-device queues (the time the last queue drained)."""
+        return max(
+            (q.cursor_ns for q in self.queues.values()), default=0.0
+        )
 
 
 class FleetWorker:
@@ -53,26 +96,29 @@ class FleetWorker:
 
     Holds one compiled :class:`~repro.backend.glue.CompiledFilter` per
     device (same kernel, device-specific timing model and ``device_key``
-    tagging) and walks the monitor's placement order per stream item.
-    Drop-in replacement for a single ``CompiledFilter`` as the engine's
-    device worker: exposes the same ``injector``/``retry`` attributes
-    (fanned out to every per-device filter) so
+    tagging) and dispatches every stream item onto a device command
+    queue. Drop-in replacement for a single ``CompiledFilter`` as the
+    engine's device worker: exposes the same ``injector``/``retry``
+    attributes (fanned out to every per-device filter) so
     ``ResiliencePolicy.wrap`` composes unchanged.
     """
 
-    def __init__(self, name, filters, monitor, profile):
+    def __init__(self, name, filters, fleet, profile):
         self.name = name
         self.filters = dict(filters)  # device key -> CompiledFilter
-        self.monitor = monitor
+        self.fleet = fleet
+        self.monitor = fleet.monitor
         self.profile = profile
         self._injector = None
         self._retry = None
         self.items = 0
-        # When the recovery journal wraps this worker it installs a
-        # list here; the placement events of the current item are
-        # appended so a resumed run can replay them into the
-        # HealthMonitor (repro.runtime.journal).
+        # When the recovery journal wraps this worker it installs
+        # lists here; the placement events and queue attempt
+        # timestamps of the current item are appended so a resumed run
+        # can replay them into the HealthMonitor and the CommandQueues
+        # (repro.runtime.journal).
         self.journal_log = None
+        self.attempt_log = None
 
     @property
     def injector(self):
@@ -94,25 +140,99 @@ class FleetWorker:
         for filt in self.filters.values():
             filt.retry = value
 
+    # -- placement -----------------------------------------------------------
+
+    def _dispatch_order(self, submit_ns, seq):
+        """The per-item device attempt order.
+
+        Sequential schedule: the monitor's health-preference order,
+        unchanged. Concurrent schedule: the healthy candidates are
+        re-ranked by *earliest estimated finish* — queue cursor (or the
+        submission time, whichever is later) plus the device's observed
+        median launch time — so independent items spread across idle
+        queues instead of piling onto one device; health semantics are
+        preserved (a due probe keeps first claim on the item, benched
+        devices stay failover targets of last resort). A non-zero
+        ``dispatch_seed`` deterministically permutes the healthy
+        ranking per item (the schedule-exploration knob).
+        """
+        plan = [
+            entry
+            for entry in self.monitor.placement_plan()
+            if entry[0] in self.filters
+        ]
+        if self.journal_log is not None:
+            self.journal_log.append(["order"])
+        if self.fleet.policy.schedule != "concurrent":
+            return [key for key, _kind, _est in plan]
+        head = [e for e in plan if e[1] == "probe"][:1]
+        tail_probes = [e for e in plan if e[1] == "probe"][1:]
+        benched = [e for e in plan if e[1] == "benched"]
+        healthy = [e for e in plan if e[1] == "healthy"]
+        queues = self.fleet.queues
+        rank = {e[0]: i for i, e in enumerate(plan)}
+        healthy.sort(
+            key=lambda e: (
+                max(queues[e[0]].cursor_ns, submit_ns) + e[2],
+                queues[e[0]].inflight,
+                rank[e[0]],
+            )
+        )
+        if self.fleet.policy.dispatch_seed:
+            # Mix the per-item sequence number into the seed so every
+            # item gets its own deterministic permutation.
+            rng = random.Random(
+                self.fleet.policy.dispatch_seed * 0x9E3779B1 + seq
+            )
+            rng.shuffle(healthy)
+        return [
+            key
+            for key, _kind, _est in head + healthy + tail_probes + benched
+        ]
+
+    # -- dispatch ------------------------------------------------------------
+
     def __call__(self, value=None):
-        ledger = self.profile.faults
-        tracer = self.profile.tracer
-        # One "item" span per stream item, owned by the fleet worker so
-        # failover attempts on several devices nest under a single span.
-        with tracer.span(
-            "item", cat="task", task=self.name, seq=self.items
-        ):
-            order = [k for k in self.monitor.placement_order()
-                     if k in self.filters]
-            if self.journal_log is not None:
-                self.journal_log.append(["order"])
-            record = None
-            last_err = None
-            failed = None
-            for key in order:
-                filt = self.filters[key]
+        profile = self.profile
+        ledger = profile.faults
+        tracer = profile.tracer
+        metrics = profile.metrics
+        concurrent = self.fleet.policy.schedule == "concurrent"
+        seq = self.items
+        # Independent items are submitted the moment they are
+        # dispatched (the stream source costs no offload time), so
+        # concurrent queues overlap; the sequential baseline submits
+        # each item when the previous one completed anywhere.
+        submit_ns = 0.0 if concurrent else self.fleet.stream_cursor_ns
+        order = self._dispatch_order(submit_ns, seq)
+        record = None
+        last_err = None
+        failed = None
+        attempt = 0
+        for key in order:
+            filt = self.filters[key]
+            queue = self.fleet.queues[key]
+            if failed is not None:
+                ledger.record_failover(self.name, failed, key)
+                # A failover re-enqueues onto the next-best queue; the
+                # item is re-submitted at the moment the fault was
+                # observed (the failed queue's cursor), not at the
+                # original submission time.
+                submit_ns = max(
+                    submit_ns, self.fleet.queues[failed].cursor_ns
+                )
+            start_ns = queue.submit(submit_ns)
+            metrics.inc("queue.submitted.{}".format(key))
+            stages_before = (
+                record.stages.total() if record is not None else 0.0
+            )
+            recovery_before = profile.stages.recovery
+            ok = False
+            result = None
+            err_this = None
+            kernel_delta = 0.0
+            with tracer.queue_context(queue.clock, key):
                 if failed is not None:
-                    ledger.record_failover(self.name, failed, key)
                     tracer.instant(
                         "failover",
                         cat="recovery",
@@ -120,45 +240,87 @@ class FleetWorker:
                         device=failed,
                         to=key,
                     )
-                try:
-                    if record is None:
-                        record = filt.prepare(value)
-                    elif failed is not None:
-                        # Replaying marshalled inputs on a new device:
-                        # pay the bus transfer again, skip the marshal.
-                        filt.charge_failover(record)
-                    kernel_before = record.stages.kernel
-                    result = filt.run_prepared(record)
-                except RuntimeFault as err:
-                    stage = getattr(err, "stage", None) or "device"
-                    if self.journal_log is not None:
-                        self.journal_log.append(["fault", key, stage])
-                    self.monitor.observe_fault(key, stage)
-                    ledger.record_fault(self.name, stage)
-                    last_err = err
-                    failed = key
-                    if record is None or record.device_values is None:
-                        # The marshal itself failed; its time is lost
-                        # (the next device re-marshals from scratch).
-                        partial = getattr(err, "partial_stages", None)
-                        if partial is not None:
-                            ledger.add_time_lost(self.name, partial.total())
-                            self.profile.record_recovery(
-                                self.name, partial.total()
-                            )
-                        record = None
-                    continue
-                # Score this device on its own kernel time, not on time
-                # accumulated by earlier failed attempts.
-                if self.journal_log is not None:
-                    self.journal_log.append(
-                        ["success", key, record.stages.kernel - kernel_before]
+                # One "queue" span per attempt, on the device's own
+                # track at queue-local time: submit -> (wait) -> start
+                # -> complete. The attempt's stage charges nest inside.
+                with tracer.span(
+                    "queue",
+                    cat="queue",
+                    task=self.name,
+                    seq=seq,
+                    attempt=attempt,
+                    submit_ns=submit_ns,
+                    wait_ns=start_ns - submit_ns,
+                ):
+                    try:
+                        if record is None:
+                            record = filt.prepare(value)
+                        elif failed is not None:
+                            # Replaying marshalled inputs on a new
+                            # device: pay the bus transfer again, skip
+                            # the marshal.
+                            filt.charge_failover(record)
+                        kernel_before = record.stages.kernel
+                        result = filt.run_prepared(record)
+                        kernel_delta = record.stages.kernel - kernel_before
+                        ok = True
+                    except RuntimeFault as err:
+                        err_this = err
+                        stage = getattr(err, "stage", None) or "device"
+                        if self.journal_log is not None:
+                            self.journal_log.append(["fault", key, stage])
+                        self.monitor.observe_fault(key, stage)
+                        ledger.record_fault(self.name, stage)
+                        if record is None or record.device_values is None:
+                            # The marshal itself failed; its time is
+                            # lost (the next device re-marshals from
+                            # scratch).
+                            partial = getattr(err, "partial_stages", None)
+                            if partial is not None:
+                                ledger.add_time_lost(
+                                    self.name, partial.total()
+                                )
+                                profile.record_recovery(
+                                    self.name, partial.total()
+                                )
+                            record = None
+                    # Device time this attempt consumed, measured from
+                    # the stage deltas (identical traced or untraced):
+                    # the record's own stage growth plus any recovery
+                    # charged inside (partitioned-relaunch backoff, or
+                    # a failed marshal's lost partial stages).
+                    stages_now = (
+                        record.stages.total() if record is not None else 0.0
                     )
-                self.monitor.observe_success(
-                    key, record.stages.kernel - kernel_before
+                    attempt_ns = (stages_now - stages_before) + (
+                        profile.stages.recovery - recovery_before
+                    )
+                    queue.finish(start_ns, attempt_ns, ok)
+            metrics.counter("queue.busy_ns.{}".format(key)).inc(attempt_ns)
+            if start_ns > submit_ns:
+                metrics.counter("queue.wait_ns.{}".format(key)).inc(
+                    start_ns - submit_ns
                 )
-                self.items += 1
-                return result
+            if self.attempt_log is not None:
+                self.attempt_log.append(
+                    [key, submit_ns, start_ns, attempt_ns, ok]
+                )
+            attempt += 1
+            if not ok:
+                last_err = err_this
+                failed = key
+                continue
+            metrics.inc("queue.completed.{}".format(key))
+            # Score this device on its own kernel time, not on time
+            # accumulated by earlier failed attempts.
+            if self.journal_log is not None:
+                self.journal_log.append(["success", key, kernel_delta])
+            self.monitor.observe_success(key, kernel_delta)
+            self.items += 1
+            end_ns = start_ns + attempt_ns
+            if end_ns > self.fleet.stream_cursor_ns:
+                self.fleet.stream_cursor_ns = end_ns
+            return result
         # Every fleet device failed this item: surface the last fault to
         # the resilience layer (retry, then host interpreter).
         raise last_err

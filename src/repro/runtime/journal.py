@@ -30,8 +30,10 @@ Record types: ``meta`` (run identity), ``inflight`` (an item has
 started; carries its marshalled input so a crash mid-item can replay
 it), ``item`` (an item completed; input digest, output wire bytes +
 checksum, device placement, sim-time stage deltas, metrics/ledger
-deltas, fleet placement events, worker state), ``aborted`` (clean
-watchdog abort), ``complete`` (run finished, with the final checksum).
+deltas, fleet placement events, per-queue attempt timestamps so a
+resumed fleet run replays every command-queue cursor bit-exactly,
+worker state), ``aborted`` (clean watchdog abort), ``complete`` (run
+finished, with the final checksum).
 
 Concurrency guard
 -----------------
@@ -546,18 +548,49 @@ class JournaledWorker:
                 filt._prev_kernel_ns = state["prev_kernel_ns"]
         if self.resilient is not None and rec.get("worker_state"):
             self.resilient.restore_state(rec["worker_state"])
-        # Advance the simulated clock by exactly the restored stage
-        # time, inside a recovery span: trace coverage stays complete
+        # Advance the simulated clocks by exactly the restored stage
+        # time, inside recovery spans: trace coverage stays complete
         # and a traced resume shows where the journal saved time.
+        # Fleet items replay their recorded per-queue attempt
+        # timestamps, so every device cursor lands exactly where the
+        # original run left it; any residual stage time (host
+        # fallbacks, global retry backoff) stays on the main clock.
         total = sum(stages.values())
-        profile.tracer.charge(
-            "journal_replay",
-            total,
-            cat="recovery",
-            task=self.name,
-            seq=seq,
-            device=rec.get("device"),
-        )
+        tracer = profile.tracer
+        replayed = 0.0
+        attempts = rec.get("queue") or []
+        if self.fleet is not None and attempts:
+            fleet_obj = self.fleet.fleet
+            for dev, submit_ns, start_ns, busy_ns, ok in attempts:
+                queue = fleet_obj.queues.get(dev)
+                if queue is None:
+                    continue
+                queue.restore(submit_ns, start_ns, busy_ns, ok)
+                saved_ns = queue.clock.ns
+                queue.clock.ns = float(start_ns)
+                with tracer.queue_context(queue.clock, dev):
+                    tracer.charge(
+                        "journal_replay",
+                        busy_ns,
+                        cat="recovery",
+                        task=self.name,
+                        seq=seq,
+                    )
+                queue.clock.ns = max(queue.clock.ns, saved_ns)
+                replayed += busy_ns
+                end_ns = float(start_ns) + float(busy_ns)
+                if end_ns > fleet_obj.stream_cursor_ns:
+                    fleet_obj.stream_cursor_ns = end_ns
+        residual = total - replayed
+        if residual > 1e-9 or not attempts:
+            tracer.charge(
+                "journal_replay",
+                residual if attempts else total,
+                cat="recovery",
+                task=self.name,
+                seq=seq,
+                device=rec.get("device") if not attempts else None,
+            )
         self.journal.note_skip()
         return self.filt.result_from_wire(
             base64.b64decode(rec["output_wire"])
@@ -578,14 +611,18 @@ class JournaledWorker:
         )
         self.journal.record_inflight(self.key, seq, digest, wire)
         events = None
+        attempts = None
         if self.fleet is not None:
             events = []
+            attempts = []
             self.fleet.journal_log = events
+            self.fleet.attempt_log = attempts
         try:
             result = self.worker(value)
         finally:
             if self.fleet is not None:
                 self.fleet.journal_log = None
+                self.fleet.attempt_log = None
         out_wire = self.filt.result_wire(result)
         stages_after = _stage_snapshot(profile.stages)
         stage_delta = {
@@ -637,6 +674,11 @@ class JournaledWorker:
         }
         if events is not None:
             record["fleet_events"] = events
+        if attempts is not None:
+            # Per-queue attempt timestamps: [device, submit, start,
+            # busy, completed] — replayed on resume so every command
+            # queue's cursor is restored bit-exactly.
+            record["queue"] = attempts
         if self.resilient is not None:
             record["worker_state"] = self.resilient.snapshot_state()
         self.journal.record_item(record)

@@ -1,0 +1,139 @@
+"""Per-device command queues: independent simulated-time cursors.
+
+The paper's evaluation assumes devices execute asynchronously behind
+OpenCL command queues. Before this module the fleet placed one stream
+item at a time on the single shared :class:`~repro.runtime.tracing
+.SimClock`, so an N-device fleet had 1-device throughput. A
+:class:`CommandQueue` gives every fleet device its own simulated-time
+cursor plus submission/completion bookkeeping:
+
+- ``submit(submit_ns)`` reserves the device for one attempt. The
+  attempt *starts* at ``max(cursor, submit_ns)`` — the queue drains in
+  order, so work submitted while the device is busy waits, and the
+  wait is accounted (``queue.wait_ns.<key>``).
+- ``finish(start_ns, busy_ns, completed)`` retires the attempt:
+  the cursor advances to ``start + busy``, busy time accumulates, and
+  the queue's own :class:`~repro.runtime.tracing.SimClock` (the clock
+  a tracer swaps in while charging the attempt's stages) is realigned
+  to the cursor.
+
+Cursors never merge mid-stream: under the ``concurrent`` schedule
+every independent item is submitted at its dispatch time and the
+queues advance in parallel; the run's *makespan* is the maximum cursor
+across the fleet, merged into the global clock only at the reduce
+(:func:`repro.evaluation.harness.run_configuration`). All arithmetic
+is plain simulated-ns bookkeeping — deterministic for a seeded run —
+and :meth:`restore` replays journaled attempt timestamps so a resumed
+run reproduces identical cursors bit-exactly.
+
+Thread safety: the serving daemon shares one fleet (and therefore one
+set of queues) across concurrent sessions so they genuinely contend
+for fleet throughput; each queue serializes its own mutations behind
+an ``RLock``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.runtime.tracing import SimClock
+
+__all__ = ["CommandQueue"]
+
+
+class CommandQueue:
+    """One device's command queue: a simulated-time cursor plus
+    submission/completion statistics."""
+
+    __slots__ = (
+        "key",
+        "clock",
+        "submitted",
+        "completed",
+        "faulted",
+        "busy_ns",
+        "wait_ns",
+        "inflight",
+        "_lock",
+    )
+
+    def __init__(self, key):
+        self.key = key
+        # The queue-local simulated-time cursor. A tracer swaps this
+        # clock in while the attempt's stage charges run, so the spans
+        # land on this device's track at the queue's own timestamps.
+        self.clock = SimClock()
+        self.submitted = 0
+        self.completed = 0
+        self.faulted = 0
+        self.busy_ns = 0.0
+        self.wait_ns = 0.0
+        self.inflight = 0
+        self._lock = threading.RLock()
+
+    @property
+    def cursor_ns(self):
+        return self.clock.ns
+
+    def submit(self, submit_ns):
+        """Enqueue one attempt submitted at ``submit_ns``; returns the
+        attempt's start time ``max(cursor, submit_ns)`` and advances
+        the cursor to it (the wait is queue-occupancy, not idleness)."""
+        with self._lock:
+            self.submitted += 1
+            self.inflight += 1
+            start_ns = max(self.clock.ns, float(submit_ns))
+            self.wait_ns += start_ns - float(submit_ns)
+            self.clock.ns = start_ns
+            return start_ns
+
+    def finish(self, start_ns, busy_ns, completed):
+        """Retire the attempt begun at ``start_ns``: advance the cursor
+        past its ``busy_ns`` of device time and realign the queue clock
+        (charges during the attempt already advanced it; realigning
+        makes the measured stage deltas authoritative)."""
+        with self._lock:
+            self.inflight -= 1
+            end_ns = float(start_ns) + float(busy_ns)
+            self.busy_ns += float(busy_ns)
+            if completed:
+                self.completed += 1
+            else:
+                self.faulted += 1
+            # Monotonic: concurrent sessions share this queue (the
+            # serving daemon), so another session's cursor never moves
+            # back. Single-session runs always finish exactly at
+            # end_ns — the attempt's charges advanced this clock by
+            # precisely the measured stage deltas.
+            self.clock.ns = max(self.clock.ns, end_ns)
+            return end_ns
+
+    def restore(self, submit_ns, start_ns, busy_ns, completed):
+        """Journal replay: re-apply one recorded attempt's timestamps.
+
+        Items replay in journal order, so replaying every recorded
+        ``(submit, start, busy)`` tuple reproduces the cursor
+        trajectory of the original run exactly."""
+        with self._lock:
+            self.submitted += 1
+            self.wait_ns += float(start_ns) - float(submit_ns)
+            self.busy_ns += float(busy_ns)
+            if completed:
+                self.completed += 1
+            else:
+                self.faulted += 1
+            self.clock.ns = max(
+                self.clock.ns, float(start_ns) + float(busy_ns)
+            )
+
+    def snapshot(self):
+        """JSON-able queue statistics for RunResult / the CLI."""
+        with self._lock:
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "faulted": self.faulted,
+                "busy_ns": self.busy_ns,
+                "wait_ns": self.wait_ns,
+                "cursor_ns": self.clock.ns,
+            }

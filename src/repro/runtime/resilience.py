@@ -305,6 +305,23 @@ class FleetPolicy:
     ``partition_depth`` bounds the glue's OOM-partitioned relaunch: an
     out-of-memory NDRange is split in half at most this many times
     (≤ 2**depth chunks) before the OOM is surfaced to the retry layer.
+
+    ``schedule`` selects the fleet's dispatch model (see
+    docs/CONCURRENCY.md): ``"concurrent"`` (the default) submits every
+    independent stream item at its dispatch time and lets per-device
+    command queues advance in parallel — placement picks the earliest
+    estimated finish (queue cursor + observed median) among healthy
+    devices — while ``"sequential"`` serializes items globally (each
+    item is submitted when the previous one completed, placement
+    follows the health order unchanged), reproducing the
+    one-item-in-flight fleet as the makespan comparison baseline.
+    Checksums are schedule-invariant; only timestamps and placement
+    move.
+
+    ``dispatch_seed`` (non-zero) deterministically permutes the
+    concurrent schedule's healthy-candidate ranking per item — the
+    schedule-exploration knob the fuzz harness uses to assert that
+    results do not depend on dispatch order.
     """
 
     policy: str = "health"
@@ -314,6 +331,8 @@ class FleetPolicy:
     cooloff: int = 4
     breaker_threshold: int = 3
     partition_depth: int = 4
+    schedule: str = "concurrent"
+    dispatch_seed: int = 0
 
 
 class DeviceHealth:
@@ -492,9 +511,23 @@ class HealthMonitor:
         scored, fastest median first — then the remaining demoted
         devices as failover targets of last resort."""
         with self._lock:
-            return self._placement_order()
+            return [key for key, _kind, _est in self._placement_plan()]
+
+    def placement_plan(self):
+        """Like :meth:`placement_order` but annotated for the fleet's
+        concurrent dispatcher: a list of ``(key, kind, estimate_ns)``
+        tuples in health-preference order, where ``kind`` is
+        ``"probe"`` / ``"healthy"`` / ``"benched"`` and ``estimate_ns``
+        is the device's observed median launch time (0.0 when
+        unscored). Mutates the same probe/cooloff state as
+        :meth:`placement_order` — one call per stream item."""
+        with self._lock:
+            return self._placement_plan()
 
     def _placement_order(self):
+        return [key for key, _kind, _est in self._placement_plan()]
+
+    def _placement_plan(self):
         seq = self._seq
         self._seq += 1
         healthy = [h for h in self.devices.values() if h.healthy]
@@ -526,10 +559,24 @@ class HealthMonitor:
                 key=lambda h: (h.median_ns(), h.index),
             )
             ranked = fresh + scored
-        return [h.key for h in probes[:1] + ranked + probes[1:] + benched]
+        plan = []
+        for h in probes[:1]:
+            plan.append((h.key, "probe", h.median_ns()))
+        for h in ranked:
+            plan.append((h.key, "healthy", h.median_ns()))
+        for h in probes[1:]:
+            plan.append((h.key, "probe", h.median_ns()))
+        for h in benched:
+            plan.append((h.key, "benched", h.median_ns()))
+        return plan
 
     def snapshot(self):
-        """JSON-able per-device health summary for RunResult / the CLI."""
+        """JSON-able per-device health summary for RunResult / the CLI.
+
+        Keys are canonically sorted: registration order must not leak
+        into ``--json`` output or the serving daemon's report (two
+        fleets over the same device set in different order would
+        otherwise render different bytes)."""
         with self._lock:
             return self._snapshot()
 
@@ -544,7 +591,7 @@ class HealthMonitor:
                 "promotions": h.promotions,
                 "median_launch_ns": h.median_ns(),
             }
-            for key, h in self.devices.items()
+            for key, h in sorted(self.devices.items())
         }
 
     def replay(self, events):

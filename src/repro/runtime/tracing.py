@@ -177,6 +177,36 @@ class _NullSpanHandle:
 _NULL_HANDLE = _NullSpanHandle()
 
 
+class _QueueClockContext:
+    """Context manager swapping a tracer onto a per-device queue clock.
+
+    While active, every span/charge/instant draws its timestamps from
+    the queue's own :class:`SimClock` and is tagged with the device key
+    (``args["device"]``, unless the call site already set one), so the
+    attempt's whole stage breakdown lands on that device's Perfetto
+    track at queue-local time. Nests: the previous clock/device pair is
+    restored on exit."""
+
+    __slots__ = ("_tracer", "_clock", "_device", "_prev")
+
+    def __init__(self, tracer, clock, device):
+        self._tracer = tracer
+        self._clock = clock
+        self._device = device
+        self._prev = None
+
+    def __enter__(self):
+        tracer = self._tracer
+        self._prev = (tracer.clock, tracer.device_context)
+        tracer.clock = self._clock
+        tracer.device_context = self._device
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._tracer.clock, self._tracer.device_context = self._prev
+        return False
+
+
 class NullTracer:
     """The zero-overhead tracer installed when tracing is off.
 
@@ -203,6 +233,9 @@ class NullTracer:
     def now_ns(self):
         return 0.0
 
+    def queue_context(self, clock, device):
+        return _NULL_HANDLE
+
 
 NULL_TRACER = NullTracer()
 
@@ -226,8 +259,24 @@ class Tracer:
         self.events = []  # completed Spans + instants, in completion order
         self._stack = []  # open spans
         self._next_id = 1
+        # While a fleet attempt runs under queue_context(), every event
+        # is stamped with the attempt's device key (unless the call
+        # site already set one) so per-device tracks stay complete.
+        self.device_context = None
 
     # -- recording ---------------------------------------------------------
+
+    def queue_context(self, clock, device):
+        """Swap this tracer onto a per-device queue ``clock`` for the
+        duration of one fleet attempt; events emitted inside are tagged
+        with ``device``. Use as a context manager."""
+        return _QueueClockContext(self, clock, device)
+
+    def _args(self, args):
+        out = dict(args) if args else {}
+        if self.device_context is not None:
+            out.setdefault("device", self.device_context)
+        return out
 
     def span(self, name, cat="runtime", **args):
         """Open a nested span; use as a context manager. Simulated
@@ -240,7 +289,7 @@ class Tracer:
             cat=cat,
             ts_ns=self.clock.ns,
             dur_ns=0.0,
-            args=dict(args) if args else {},
+            args=self._args(args),
         )
         self._next_id += 1
         self._stack.append(span)
@@ -258,7 +307,7 @@ class Tracer:
             cat=cat,
             ts_ns=self.clock.ns,
             dur_ns=float(max(ns, 0.0)),
-            args=dict(args) if args else {},
+            args=self._args(args),
         )
         self._next_id += 1
         self.clock.advance(ns)
@@ -275,7 +324,7 @@ class Tracer:
             cat=cat,
             ts_ns=self.clock.ns,
             dur_ns=0.0,
-            args=dict(args) if args else {},
+            args=self._args(args),
             kind="instant",
         )
         self._next_id += 1
@@ -309,15 +358,37 @@ class Tracer:
 
     def coverage(self, total_ns=None):
         """Fraction of ``total_ns`` (default: the clock cursor) covered
-        by top-level spans — the acceptance metric for a trace."""
+        by top-level spans — the acceptance metric for a trace.
+
+        Top-level spans are grouped by track (their ``device`` arg, or
+        the main simulated-time track) and each track contributes the
+        *union* of its span intervals. On a sequential single-device
+        trace, where top-level spans never overlap, this equals the
+        plain sum of their durations; on a concurrent fleet trace the
+        per-device unions sum to the total busy time across queues, so
+        100% still means "no simulated nanosecond is unaccounted"."""
         total = total_ns if total_ns is not None else self.clock.ns
         if total <= 0:
             return 1.0
-        covered = sum(
-            s.dur_ns
-            for s in self.events
-            if s.kind == "span" and s.parent is None
-        )
+        tracks = {}
+        for s in self.events:
+            if s.kind == "span" and s.parent is None:
+                tracks.setdefault(s.args.get("device"), []).append(
+                    (s.ts_ns, s.end_ns())
+                )
+        covered = 0.0
+        for intervals in tracks.values():
+            intervals.sort()
+            cur_start, cur_end = None, None
+            for start, end in intervals:
+                if cur_end is None or start > cur_end:
+                    if cur_end is not None:
+                        covered += cur_end - cur_start
+                    cur_start, cur_end = start, end
+                else:
+                    cur_end = max(cur_end, end)
+            if cur_end is not None:
+                covered += cur_end - cur_start
         return covered / total
 
     # -- exporters ---------------------------------------------------------
@@ -911,8 +982,24 @@ def flame_summary(events, width=40, top=None, sort="self"):
     return "\n".join(lines)
 
 
+def _device_self_times(events):
+    """Per-device self simulated ns (spans carrying a ``device`` arg)."""
+    totals = {}
+    for span, self_ns in _self_times(events):
+        device = (span.get("args") or {}).get("device")
+        if device is not None:
+            totals[str(device)] = totals.get(str(device), 0.0) + self_ns
+    return totals
+
+
 def diff_traces(events_a, events_b, label_a="A", label_b="B", top=None):
-    """Compare two traces span-name by span-name on self time."""
+    """Compare two traces span-name by span-name on self time.
+
+    When either trace carries per-device spans (fleet runs), a
+    trailing per-device section compares device track totals; devices
+    are listed in canonical sorted order over the *union* of both
+    traces' device sets, so the diff is byte-stable even when the two
+    runs used different fleets."""
     agg_a = aggregate_spans(events_a)
     agg_b = aggregate_spans(events_b)
     names = sorted(set(agg_a) | set(agg_b))
@@ -950,4 +1037,21 @@ def diff_traces(events_a, events_b, label_a="A", label_b="B", top=None):
                 nw=name_w,
             )
         )
+    dev_a = _device_self_times(events_a)
+    dev_b = _device_self_times(events_b)
+    if dev_a or dev_b:
+        lines.append("per-device self simulated ns:")
+        for device in sorted(set(dev_a) | set(dev_b)):
+            a_ns = dev_a.get(device, 0.0)
+            b_ns = dev_b.get(device, 0.0)
+            lines.append(
+                "  device {:<{nw}s} {:>14.0f} -> {:>14.0f}  "
+                "{:>+14.0f} ns".format(
+                    device,
+                    a_ns,
+                    b_ns,
+                    b_ns - a_ns,
+                    nw=max(len(d) for d in set(dev_a) | set(dev_b)),
+                )
+            )
     return "\n".join(lines)

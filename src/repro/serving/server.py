@@ -71,6 +71,11 @@ class ServeConfig:
     devices: Optional[list] = None  # fleet keys; None = single target
     target: str = "gtx580"
     fleet_policy: Optional[str] = None
+    # dispatch schedule for the shared fleet's command queues:
+    # "concurrent" lets sessions genuinely share fleet throughput
+    # (each queue's cursor is monotonic across sessions), "sequential"
+    # keeps one item in flight per session.
+    fleet_schedule: str = "concurrent"
     # scheduling + admission
     max_concurrency: int = 4
     queue_depth: int = 16
@@ -111,9 +116,15 @@ class ServeDaemon:
         if config.devices:
             from repro.runtime.fleet import DeviceFleet
 
+            from dataclasses import replace
+
             policy = config.fleet_policy
             if isinstance(policy, str):
                 policy = FleetPolicy(policy=policy)
+            policy = replace(
+                policy or FleetPolicy(),
+                schedule=config.fleet_schedule or "concurrent",
+            )
             self.fleet = DeviceFleet(list(config.devices), policy=policy)
             self.fleet.monitor.bind(self.profile)
         self.scheduler = FleetScheduler(
@@ -389,6 +400,9 @@ class ServeDaemon:
             "tenants": self.controller.snapshot(),
             "metrics": self.metrics.as_dict(),
             "fleet": self.fleet.snapshot() if self.fleet else {},
+            "queues": (
+                self.fleet.queues_snapshot() if self.fleet else {}
+            ),
             "drained": self._drain.is_set(),
         }
 

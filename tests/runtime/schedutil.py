@@ -1,0 +1,202 @@
+"""Schedule-exploration harness for the fleet's command queues.
+
+One place for the machinery the concurrency suites share
+(``test_schedule_fuzz.py``, ``test_trace_invariants.py``, the
+makespan bench): running one benchmark under an explicit
+``FleetPolicy`` schedule, reading the journal's value bits back, and
+asserting the structural trace laws. The determinism contract these
+helpers check is written down in docs/CONCURRENCY.md:
+
+- *values* are schedule-INVARIANT (bit-exact across device count,
+  dispatch order, and recovered faults),
+- *timing* is schedule-DETERMINISTIC (same config + seeds -> same
+  cursors, metrics, journal bytes),
+- a resumed run replays every queue cursor bit-exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.apps.registry import BENCHMARKS
+from repro.evaluation.harness import run_configuration
+from repro.runtime.journal import JOURNAL_FILENAME, scan_frames
+from repro.runtime.resilience import FleetPolicy, ResiliencePolicy
+from repro.runtime.tracing import Tracer
+
+# Small-but-real shapes: several stream items, offloadable filters.
+SCALE = 0.2
+STEPS = 4
+MAX_ITEMS = 128
+
+# The four apps the fuzz suite sweeps: two compute-heavy, two
+# communication-heavy, all cheap enough for a CI matrix.
+FUZZ_APPS = ("jg-series-single", "jg-crypt", "mosaic", "nbody-single")
+
+# The full simulated catalog (repro.opencl.device.DEVICES).
+ALL_DEVICES = ("gtx8800", "gtx580", "hd5970", "core-i7")
+
+
+def run_workload(
+    app,
+    devices=None,
+    schedule="concurrent",
+    dispatch_seed=0,
+    fault_rate=0.0,
+    fault_seed=0,
+    kill_devices=None,
+    oom_bytes=0,
+    journal=None,
+    resume=False,
+    traced=False,
+    scale=SCALE,
+    steps=STEPS,
+    max_sim_items=MAX_ITEMS,
+):
+    """Run one benchmark under an explicit fleet schedule.
+
+    Returns ``(RunResult, Tracer-or-None)``.
+    """
+    # Fresh kernel cache per run: determinism comparisons (metrics,
+    # journal bytes) must not depend on what an earlier in-process run
+    # happened to compile.
+    from repro.opencl import kernel_cache as kc
+
+    kc.reset_global_cache()
+    policy = None
+    if devices:
+        policy = FleetPolicy(
+            schedule=schedule, dispatch_seed=dispatch_seed
+        )
+    resilience = ResiliencePolicy.from_flags(
+        fault_rate=fault_rate,
+        seed=fault_seed,
+        kill_devices=dict(kill_devices or {}),
+        oom_bytes=oom_bytes,
+    )
+    tracer = Tracer() if traced else None
+    result = run_configuration(
+        BENCHMARKS[app],
+        "gtx580",
+        scale=scale,
+        steps=steps,
+        max_sim_items=max_sim_items,
+        devices=list(devices) if devices else None,
+        fleet_policy=policy,
+        resilience=resilience,
+        tracer=tracer,
+        journal=os.fspath(journal) if journal is not None else None,
+        resume=resume,
+    )
+    return result, tracer
+
+
+# -- journal value bits ------------------------------------------------------
+
+
+def journal_items(journal_dir):
+    """The journal's ``item`` records, in WAL (stream) order."""
+    data = (Path(journal_dir) / JOURNAL_FILENAME).read_bytes()
+    records, _valid, _torn = scan_frames(data)
+    return [r for r in records if r.get("type") == "item"]
+
+
+def item_value_bits(records):
+    """The schedule-INVARIANT projection of journal item records: the
+    bits that identify *what* was computed, with every timing and
+    placement field (stages, metrics, queue timestamps, device)
+    stripped. Two runs of the same workload must agree on this exactly
+    whatever the schedule, device count, or dispatch permutation."""
+    return [
+        (
+            r["key"],
+            r["seq"],
+            r["input_sha"],
+            r["output_sha"],
+            r["output_wire"],
+        )
+        for r in records
+    ]
+
+
+def metric_counts(result, prefixes=("queue.submitted.", "queue.completed.")):
+    """Summed per-device counters, for conservation checks."""
+    totals = {}
+    for prefix in prefixes:
+        totals[prefix] = sum(
+            int(v)
+            for k, v in result.metrics.items()
+            if k.startswith(prefix)
+        )
+    return totals
+
+
+# -- trace structural laws ---------------------------------------------------
+
+
+def track_spans(events):
+    """Top-level spans grouped by device track (``None`` = the main
+    simulated-time track)."""
+    tracks = {}
+    for e in events:
+        if e.kind == "span" and e.parent is None:
+            tracks.setdefault(e.args.get("device"), []).append(e)
+    return tracks
+
+
+def assert_no_track_overlap(events):
+    """No two top-level spans on the same device track may overlap: a
+    command queue drains serially, whatever the cross-queue overlap."""
+    for device, spans in track_spans(events).items():
+        ordered = sorted(spans, key=lambda s: (s.ts_ns, s.end_ns(), s.id))
+        for a, b in zip(ordered, ordered[1:]):
+            assert a.end_ns() <= b.ts_ns + 1e-6, (
+                "track {!r}: span {}#{} [{:.0f}, {:.0f}] overlaps "
+                "{}#{} [{:.0f}, {:.0f}]".format(
+                    device,
+                    a.name,
+                    a.id,
+                    a.ts_ns,
+                    a.end_ns(),
+                    b.name,
+                    b.id,
+                    b.ts_ns,
+                    b.end_ns(),
+                )
+            )
+
+
+def assert_queue_spans_nest(events):
+    """Every ``queue`` span's descendants lie within its interval, and
+    its bookkeeping args are self-consistent: the span starts at the
+    attempt's queue start (``submit_ns + wait_ns``)."""
+    children = {}
+    for e in events:
+        if e.parent is not None:
+            children.setdefault(e.parent, []).append(e)
+    queue_spans = [
+        e for e in events if e.kind == "span" and e.name == "queue"
+    ]
+    assert queue_spans, "trace has no queue spans"
+    for q in queue_spans:
+        assert q.cat == "queue"
+        assert q.args.get("device") is not None
+        assert abs(
+            (q.args["submit_ns"] + q.args["wait_ns"]) - q.ts_ns
+        ) < 1e-6, "queue span start != submit + wait"
+        assert q.args["wait_ns"] >= 0.0
+        stack = list(children.get(q.id, []))
+        while stack:
+            e = stack.pop()
+            assert e.ts_ns >= q.ts_ns - 1e-6, (
+                "{} starts before its queue span".format(e.name)
+            )
+            assert e.end_ns() <= q.end_ns() + 1e-6, (
+                "{} ends after its queue span".format(e.name)
+            )
+            # Descendants inherit the attempt's device tag.
+            assert e.args.get("device") == q.args.get("device"), (
+                "{} lost its device tag inside a queue span".format(e.name)
+            )
+            stack.extend(children.get(e.id, []))

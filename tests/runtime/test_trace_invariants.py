@@ -1,0 +1,206 @@
+"""Structural laws of concurrent fleet traces.
+
+A fleet trace is only trustworthy if it obeys three invariants
+whatever the dispatch schedule, fault injection, or resume path:
+
+- no two spans on the same device track overlap (a command queue
+  drains serially);
+- every ``queue`` span brackets exactly its attempt — submit + wait =
+  start, and the attempt's stage charges nest inside with the
+  device tag intact;
+- coverage stays 100%: every simulated nanosecond is on some track,
+  including after a warm restart replays journaled cursors.
+"""
+
+import pytest
+
+from repro.runtime.tracing import (
+    SimClock,
+    Tracer,
+    diff_traces,
+    read_trace,
+)
+from tests.runtime.schedutil import (
+    ALL_DEVICES,
+    assert_no_track_overlap,
+    assert_queue_spans_nest,
+    run_workload,
+    track_spans,
+)
+
+
+def _tracks_overlap(events):
+    """True if any two top-level spans on *different* device tracks
+    overlap in simulated time — the signature of real concurrency."""
+    tracks = {
+        dev: spans
+        for dev, spans in track_spans(events).items()
+        if dev is not None
+    }
+    devs = sorted(tracks)
+    for i, a_dev in enumerate(devs):
+        for b_dev in devs[i + 1:]:
+            for a in tracks[a_dev]:
+                for b in tracks[b_dev]:
+                    if (
+                        a.ts_ns < b.end_ns() - 1e-6
+                        and b.ts_ns < a.end_ns() - 1e-6
+                    ):
+                        return True
+    return False
+
+
+def test_concurrent_trace_obeys_track_laws():
+    result, tracer = run_workload(
+        "jg-series-single", devices=list(ALL_DEVICES), traced=True
+    )
+    assert_no_track_overlap(tracer.events)
+    assert_queue_spans_nest(tracer.events)
+    assert tracer.coverage(result.total_ns) == pytest.approx(1.0)
+    # The whole point: device tracks genuinely overlap.
+    assert _tracks_overlap(tracer.events)
+    # And the makespan really is shorter than the serialized total.
+    assert result.makespan_ns < result.total_ns
+
+
+def test_sequential_trace_obeys_track_laws_without_overlap():
+    result, tracer = run_workload(
+        "jg-series-single",
+        devices=list(ALL_DEVICES),
+        schedule="sequential",
+        traced=True,
+    )
+    assert_no_track_overlap(tracer.events)
+    assert_queue_spans_nest(tracer.events)
+    assert tracer.coverage(result.total_ns) == pytest.approx(1.0)
+    # One item in flight fleet-wide: nothing overlaps, ever.
+    assert not _tracks_overlap(tracer.events)
+    assert result.makespan_ns == pytest.approx(result.total_ns)
+
+
+def test_failover_trace_stays_lawful():
+    """A killed device re-enqueues mid-item; the failed attempt stays
+    on the dead device's track, the retry lands on the survivor's, and
+    every law still holds."""
+    result, tracer = run_workload(
+        "jg-series-single",
+        devices=["gtx580", "hd5970"],
+        kill_devices={"gtx580": 1},
+        traced=True,
+    )
+    assert_no_track_overlap(tracer.events)
+    assert_queue_spans_nest(tracer.events)
+    assert tracer.coverage(result.total_ns) == pytest.approx(1.0)
+    failovers = [
+        e
+        for e in tracer.events
+        if e.kind == "instant" and e.name == "failover"
+    ]
+    assert failovers
+    for ev in failovers:
+        assert ev.args["device"] == "gtx580"
+        assert ev.args["to"] == "hd5970"
+    # Failed attempts are queue spans too, on the failed device's
+    # track, so the lost time is visible where it was lost.
+    queue_devices = {
+        e.args["device"]
+        for e in tracer.events
+        if e.kind == "span" and e.name == "queue"
+    }
+    assert queue_devices == {"gtx580", "hd5970"}
+
+
+def test_resumed_trace_keeps_full_coverage_and_cursors(tmp_path):
+    """A warm restart must replay every queue cursor bit-exactly and
+    keep the trace complete: journal_replay charges land on the
+    per-device tracks at the recorded attempt timestamps."""
+    jdir = tmp_path / "wal"
+    cold, _ = run_workload(
+        "jg-series-single", devices=list(ALL_DEVICES), journal=jdir
+    )
+    warm, tracer = run_workload(
+        "jg-series-single",
+        devices=list(ALL_DEVICES),
+        journal=jdir,
+        resume=True,
+        traced=True,
+    )
+    assert warm.journal["items_skipped"] > 0
+    assert warm.checksum == cold.checksum
+    assert warm.total_ns == pytest.approx(cold.total_ns)
+    # The tentpole acceptance: resumed cursors == cold cursors.
+    assert warm.queues == cold.queues
+    assert warm.makespan_ns == pytest.approx(cold.makespan_ns)
+    assert warm.fleet == cold.fleet
+    assert tracer.coverage(warm.total_ns) == pytest.approx(1.0)
+    assert_no_track_overlap(tracer.events)
+    # Replay charges carry the device tag of the queue they restore.
+    replay_devs = {
+        e.args.get("device")
+        for e in tracer.events
+        if e.name == "journal_replay"
+    }
+    assert replay_devs - {None}
+
+
+def test_coverage_unions_per_track():
+    """Two overlapping tracks each count in full; overlap within one
+    track is merged, not double-counted."""
+    tracer = Tracer(wallclock=lambda: 0)
+    a, b = SimClock(), SimClock()
+    with tracer.queue_context(a, "devA"):
+        tracer.charge("kernel", 100.0, cat="stage")
+    with tracer.queue_context(b, "devB"):
+        tracer.charge("kernel", 100.0, cat="stage")
+    # Both tracks span [0, 100): the union per track sums to 200.
+    assert tracer.coverage(200.0) == pytest.approx(1.0)
+    # A second charge on track A continues from its cursor.
+    with tracer.queue_context(a, "devA"):
+        tracer.charge("kernel", 50.0, cat="stage")
+    assert tracer.coverage(250.0) == pytest.approx(1.0)
+
+
+def test_trace_diff_device_section_sorted_over_union(tmp_path):
+    """The per-device diff section lists the union of both traces'
+    devices in sorted order — regression for the nondeterministic
+    dict-order rendering."""
+    tracer_a = Tracer(wallclock=lambda: 0)
+    with tracer_a.queue_context(SimClock(), "gtx580"):
+        tracer_a.charge("kernel", 100.0, cat="stage")
+    with tracer_a.queue_context(SimClock(), "core-i7"):
+        tracer_a.charge("kernel", 30.0, cat="stage")
+    tracer_b = Tracer(wallclock=lambda: 0)
+    with tracer_b.queue_context(SimClock(), "hd5970"):
+        tracer_b.charge("kernel", 70.0, cat="stage")
+    with tracer_b.queue_context(SimClock(), "gtx580"):
+        tracer_b.charge("kernel", 120.0, cat="stage")
+    tracer_a.write_jsonl(tmp_path / "a.jsonl")
+    tracer_b.write_jsonl(tmp_path / "b.jsonl")
+    text = diff_traces(
+        read_trace(tmp_path / "a.jsonl"),
+        read_trace(tmp_path / "b.jsonl"),
+        label_a="a",
+        label_b="b",
+    )
+    assert "per-device self simulated ns:" in text
+    section = text.split("per-device self simulated ns:", 1)[1]
+    listed = [
+        line.split()[1]
+        for line in section.splitlines()
+        if line.strip().startswith("device ")
+    ]
+    assert listed == sorted(["core-i7", "gtx580", "hd5970"])
+
+
+def test_single_device_diff_has_no_device_section(tmp_path):
+    tracer_a = Tracer(wallclock=lambda: 0)
+    tracer_a.charge("kernel", 100.0, cat="stage")
+    tracer_b = Tracer(wallclock=lambda: 0)
+    tracer_b.charge("kernel", 130.0, cat="stage")
+    tracer_a.write_jsonl(tmp_path / "a.jsonl")
+    tracer_b.write_jsonl(tmp_path / "b.jsonl")
+    text = diff_traces(
+        read_trace(tmp_path / "a.jsonl"),
+        read_trace(tmp_path / "b.jsonl"),
+    )
+    assert "per-device" not in text

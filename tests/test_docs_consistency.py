@@ -135,3 +135,40 @@ def test_observability_doc_exists_and_covers_span_taxonomy():
         assert metric in doc, (
             "metric '{}' undocumented in OBSERVABILITY.md".format(metric)
         )
+
+
+def test_observability_doc_covers_queue_instrumentation():
+    doc = (ROOT / "docs" / "OBSERVABILITY.md").read_text()
+    assert "`queue`" in doc, "queue span undocumented"
+    for metric in ("queue.submitted.", "queue.completed.",
+                   "queue.busy_ns.", "queue.wait_ns."):
+        assert metric in doc, (
+            "metric '{}' undocumented in OBSERVABILITY.md".format(metric)
+        )
+
+
+def test_concurrency_doc_covers_queue_model():
+    doc = (ROOT / "docs" / "CONCURRENCY.md").read_text()
+    # The queue model and both dispatch schedules.
+    for term in ("CommandQueue", "`concurrent`", "`sequential`",
+                 "makespan", "dispatch_seed", "--fleet-schedule",
+                 "queue_context"):
+        assert term in doc, (
+            "'{}' missing from docs/CONCURRENCY.md".format(term)
+        )
+    # The determinism contract's three clauses.
+    for term in ("schedule-INVARIANT", "schedule-DETERMINISTIC",
+                 "restore"):
+        assert term in doc, (
+            "determinism contract clause '{}' missing from "
+            "docs/CONCURRENCY.md".format(term)
+        )
+    # The harness the contract is enforced by.
+    for path in ("tests/runtime/schedutil.py",
+                 "tests/runtime/test_schedule_fuzz.py",
+                 "tests/runtime/test_trace_invariants.py",
+                 "benchmarks/perf/test_fleet_makespan.py"):
+        assert path in doc
+        assert (ROOT / path).exists(), (
+            "CONCURRENCY.md references missing file {}".format(path)
+        )
