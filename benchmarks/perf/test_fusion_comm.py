@@ -1,0 +1,131 @@
+"""Fusion communication gate: transfer bytes and marshal time across
+``--fuse`` modes.
+
+The paper's Figure 9 charges marshalling plus bus transfer as the
+dominant cost of several connected pipelines, and its §5.3 speculates
+the traffic between adjacent device filters is avoidable. The buffer
+planner (docs/FUSION.md) implements that fix; this bench measures it
+and fails CI if the win erodes:
+
+- per-app (pipeline3, the three-stage connected probe, and
+  parboil-rpes, the one Table 3 app with an interior device seam)
+  transfer bytes and marshal nanoseconds at ``off`` / ``resident`` /
+  ``kernel``;
+- the gate: pipeline3's resident transfer bytes must be <= 0.6x the
+  staged baseline (the interior seams are 2/3 of its bus traffic);
+- bit-exactness: every mode reproduces the ``off`` checksum.
+
+Results land in ``benchmarks/results/BENCH_fusion.json`` (uploaded by
+the fusion-equivalence CI job).
+"""
+
+import pytest
+
+from conftest import record_result
+
+from repro.apps.registry import ALL_BENCHMARKS
+from repro.evaluation.harness import run_configuration
+from repro.opencl import kernel_cache as kc
+
+APPS = ["pipeline3", "parboil-rpes"]
+SCALE = 0.5
+GATE = 0.6  # resident transfer bytes / off transfer bytes, pipeline3
+MODES = ("off", "resident", "kernel")
+
+
+def _run(app, mode):
+    kc.reset_global_cache()
+    return run_configuration(
+        ALL_BENCHMARKS[app], "gtx580", scale=SCALE, fuse=mode
+    )
+
+
+def _measure(result):
+    m = result.metrics
+    to_dev = int(m.get("transfer.bytes_to_device", 0))
+    from_dev = int(m.get("transfer.bytes_from_device", 0))
+    return {
+        "transfer_bytes": to_dev + from_dev,
+        "bytes_to_device": to_dev,
+        "bytes_from_device": from_dev,
+        "bytes_saved": int(m.get("transfer.bytes_saved", 0)),
+        "marshal_ns": result.stages.get("java_marshal", 0.0)
+        + result.stages.get("c_marshal", 0.0),
+        "total_ns": result.total_ns,
+    }
+
+
+@pytest.fixture(scope="module")
+def fusion_bench():
+    apps = {}
+    for app in APPS:
+        modes = {}
+        checksum = None
+        for mode in MODES:
+            r = _run(app, mode)
+            if checksum is None:
+                checksum = r.checksum
+            else:
+                assert r.checksum == checksum, (
+                    "{} at --fuse {} diverged from off".format(app, mode)
+                )
+            entry = _measure(r)
+            entry["fusion"] = r.fusion
+            modes[mode] = entry
+        apps[app] = {"checksum": repr(checksum), "modes": modes}
+    payload = {
+        "scale": SCALE,
+        "gate": GATE,
+        "apps": apps,
+    }
+    record_result("BENCH_fusion", payload)
+    yield payload
+    kc.reset_global_cache()
+
+
+def test_pipeline3_resident_meets_transfer_gate(fusion_bench):
+    modes = fusion_bench["apps"]["pipeline3"]["modes"]
+    ratio = (
+        modes["resident"]["transfer_bytes"]
+        / modes["off"]["transfer_bytes"]
+    )
+    assert ratio <= GATE, (
+        "pipeline3 resident transfer bytes are {:.3f}x the staged "
+        "baseline (gate {})".format(ratio, GATE)
+    )
+
+
+def test_pipeline3_reduction_is_at_least_forty_percent(fusion_bench):
+    modes = fusion_bench["apps"]["pipeline3"]["modes"]
+    saved = 1.0 - (
+        modes["resident"]["transfer_bytes"]
+        / modes["off"]["transfer_bytes"]
+    )
+    assert saved >= 0.40, (
+        "connected-pipeline transfer reduction fell to {:.1%}".format(saved)
+    )
+
+
+def test_pipeline3_marshal_time_shrinks(fusion_bench):
+    modes = fusion_bench["apps"]["pipeline3"]["modes"]
+    assert modes["resident"]["marshal_ns"] < modes["off"]["marshal_ns"]
+    # Equal when composition removes no further boundary (summation
+    # order differs, so compare with a float tolerance).
+    assert modes["kernel"]["marshal_ns"] <= modes["resident"][
+        "marshal_ns"
+    ] * (1.0 + 1e-9)
+
+
+def test_kernel_mode_fuses_the_pipeline(fusion_bench):
+    fused = fusion_bench["apps"]["pipeline3"]["modes"]["kernel"]["fusion"]
+    assert fused["fused_kernels"] >= 1
+    assert fused["chains"][0]["kind"] == "kernel"
+
+
+def test_rpes_interior_seam_saves_bytes(fusion_bench):
+    modes = fusion_bench["apps"]["parboil-rpes"]["modes"]
+    assert (
+        modes["resident"]["transfer_bytes"]
+        < modes["off"]["transfer_bytes"]
+    )
+    assert modes["resident"]["bytes_saved"] > 0

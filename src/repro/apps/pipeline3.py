@@ -1,0 +1,121 @@
+"""Pipeline3: a three-stage connected device pipeline.
+
+The nine Table 3 benchmarks stress single offloaded filters (RPES being
+the lone two-stage exception), so none of them shows what the paper's
+§5.3 calls the dominant avoidable cost: intermediate values of a
+``=>``-connected pipeline bouncing through host byte streams between
+device stages. This extra app is the communication-bound probe for the
+graph-level buffer planner (docs/FUSION.md): three adjacent elementwise
+filters whose intermediates are pure device-to-device traffic.
+
+- every stage is a branch-free scalar map (fusable at ``--fuse
+  kernel``: no barriers, rate-matched NDRanges, scalar seams);
+- per item at ``--fuse off``, the stream crosses the bus eight times
+  (h2d + d2h at each of three stages, plus nothing reusable between
+  them); at ``--fuse resident`` only the first h2d and the last d2h
+  remain — a 3x transfer-byte reduction, which is what the
+  ``BENCH_fusion.json`` CI gate pins;
+- the checksum consumes the first and last element, like the Table 3
+  sinks, so every mode is compared bit-exactly.
+
+Not part of ``BENCHMARKS`` (the nine-app Table 3 registry and its
+figure harnesses stay untouched); registered in ``EXTRA_BENCHMARKS``
+and reachable from the CLI and the fusion benches via
+``ALL_BENCHMARKS``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import Benchmark, freeze, rand
+
+LIME_SOURCE = """
+class Pipe {
+    float[[]] data;
+    int remaining;
+    static float checksum = 0.0f;
+
+    Pipe(float[[]] xs, int steps) {
+        data = xs;
+        remaining = steps;
+    }
+
+    float[[]] gen() {
+        if (remaining <= 0) { throw new UnderflowException(); }
+        remaining = remaining - 1;
+        return data;
+    }
+
+    static local float[[]] scale(float[[]] xs) {
+        return Pipe.scaleOne @ xs;
+    }
+
+    static local float scaleOne(float x) {
+        return x * 1.5f + 0.25f;
+    }
+
+    static local float[[]] smooth(float[[]] xs) {
+        return Pipe.smoothOne @ xs;
+    }
+
+    static local float smoothOne(float x) {
+        return x / (1.0f + x * x);
+    }
+
+    static local float[[]] sharpen(float[[]] xs) {
+        return Pipe.sharpenOne @ xs;
+    }
+
+    static local float sharpenOne(float x) {
+        return x * (1.0f + x * (0.5f - 0.125f * x));
+    }
+
+    static void consume(float[[]] xs) {
+        int last = xs.length - 1;
+        checksum = checksum + xs[0] + xs[last];
+    }
+
+    static float run(float[[]] xs, int steps) {
+        checksum = 0.0f;
+        var g = task Pipe(xs, steps).gen
+             => task Pipe.scale
+             => task Pipe.smooth
+             => task Pipe.sharpen
+             => task Pipe.consume;
+        g.finish();
+        return checksum;
+    }
+}
+"""
+
+
+def make_input(scale=1.0):
+    n = max(64, int(1024 * scale))
+    xs = rand((n,), np.float32, seed=73, lo=-1.0, hi=1.0)
+    return [freeze(xs)]
+
+
+def reference(xs):
+    # Mirror the simulator's precision model bit-exactly: in-register
+    # math at host (double) precision, rounded to float32 only at each
+    # intermediate buffer store.
+    x = np.asarray(xs, dtype=np.float64)
+    x = (x * 1.5 + 0.25).astype(np.float32).astype(np.float64)
+    x = (x / (1.0 + x * x)).astype(np.float32).astype(np.float64)
+    x = (x * (1.0 + x * (0.5 - 0.125 * x))).astype(np.float32)
+    return x
+
+
+PIPELINE3 = Benchmark(
+    name="pipeline3",
+    description="three-stage connected device pipeline (fusion probe)",
+    lime_source=LIME_SOURCE,
+    main_class="Pipe",
+    filter_method="scale",
+    run_method="run",
+    make_input=make_input,
+    reference=reference,
+    table3={"input": "synthetic", "output": "synthetic", "dtype": "Float"},
+    steps=6,
+)

@@ -140,7 +140,7 @@ class LaunchRecord:
     """
 
     __slots__ = ("value", "device_values", "stages", "payload_bytes",
-                 "deferred", "seq")
+                 "deferred", "seq", "elided")
 
     def __init__(self, value=None, seq=0):
         self.value = value
@@ -149,6 +149,13 @@ class LaunchRecord:
         self.payload_bytes = 0
         self.deferred = None  # _DeferredCharges on overlap filters
         self.seq = seq
+        # Parameters whose inbound marshal was elided because the value
+        # was already resident on this filter's device (--fuse): a list
+        # of (param_name, ResidentMeta). On failover to another device
+        # these are the params with *no* host wire to replay — the
+        # record re-materializes them from the host mirror, paying the
+        # deferred d2h plus the full h2d marshal (docs/FUSION.md).
+        self.elided = []
 
 
 class CompiledFilter:
@@ -221,6 +228,17 @@ class CompiledFilter:
         # launches run on. None outside fleet runs, which keeps kernel
         # charges arg-free and single-device traces byte-identical.
         self.device_key = device_key
+        # Graph-level buffer planning (--fuse, compiler/fusion.py). The
+        # planner flips these on legal => seams: emit_resident defers
+        # the output's d2h bill into a ResidentMeta instead of charging
+        # it; accept_resident elides the inbound marshal of a stream
+        # value already resident on this device. Both default off, so
+        # --fuse off is byte-identical to a build without the planner.
+        self.emit_resident = False
+        self.accept_resident = False
+        # Fused-chain identity ("A+B") for composite filters; stamps
+        # the per-item span so traces show the fused seam nesting.
+        self.chain = None
         # Fault-injection hook: installed by the resilience layer
         # (repro.runtime.resilience); None means every stage is clean.
         self.injector = None
@@ -252,9 +270,10 @@ class CompiledFilter:
         # nanoseconds the profiler records — so trace and profile can
         # never disagree. When tracing is off this is the NULL_TRACER
         # and every call here is a no-op.
-        with self.profile.tracer.span(
-            "item", cat="task", task=self.name, seq=self.launches
-        ):
+        span_args = {"task": self.name, "seq": self.launches}
+        if self.chain is not None:
+            span_args["chain"] = self.chain
+        with self.profile.tracer.span("item", cat="task", **span_args):
             record = self.prepare(value)
             return self.run_prepared(record)
 
@@ -320,24 +339,66 @@ class CompiledFilter:
     def charge_failover(self, record):
         """Account the re-transfer when ``record`` is replayed on this
         filter's device after a failover: the marshalled wire payload
-        crosses the bus again, but the marshal work itself is reused."""
-        if record.payload_bytes <= 0:
-            return
+        crosses the bus again, but the marshal work itself is reused.
+
+        Parameters whose inbound marshal was *elided* (``--fuse``: the
+        value was resident on the failed device) have no reusable wire —
+        they re-materialize from the last host-resident boundary: the
+        producer's deferred d2h is settled (paid once), then the full
+        h2d marshal + transfer is charged here. After that the param is
+        ordinary marshalled payload for any further failover."""
         sink = record.deferred or self.profile.tracer
-        tns = self.comm.transfer_ns(record.payload_bytes)
-        record.stages.transfer += tns
-        sink.charge(
-            "transfer",
-            tns,
-            cat="stage",
-            bytes=record.payload_bytes,
-            direction="h2d",
-            failover=True,
-        )
-        self.profile.bytes_to_device += record.payload_bytes
-        self.profile.metrics.inc(
-            "transfer.bytes_to_device", record.payload_bytes
-        )
+        if record.payload_bytes > 0:
+            tns = self.comm.transfer_ns(record.payload_bytes)
+            record.stages.transfer += tns
+            sink.charge(
+                "transfer",
+                tns,
+                cat="stage",
+                bytes=record.payload_bytes,
+                direction="h2d",
+                failover=True,
+            )
+            self.profile.bytes_to_device += record.payload_bytes
+            self.profile.metrics.inc(
+                "transfer.bytes_to_device", record.payload_bytes
+            )
+        if not record.elided:
+            return
+        for param_name, meta in record.elided:
+            marshal.settle_resident_meta(
+                meta, self.profile, reason="failover"
+            )
+            jns = self.comm.java_marshal_ns(meta.stats)
+            record.stages.java_marshal += jns
+            sink.charge(
+                "java_marshal", jns, cat="stage", param=param_name,
+                failover=True,
+            )
+            if not self.direct_marshal:
+                cns = self.comm.c_marshal_ns(meta.stats)
+                record.stages.c_marshal += cns
+                sink.charge(
+                    "c_marshal", cns, cat="stage", param=param_name,
+                    failover=True,
+                )
+            tns = self.comm.transfer_ns(meta.payload_bytes)
+            record.stages.transfer += tns
+            sink.charge(
+                "transfer",
+                tns,
+                cat="stage",
+                param=param_name,
+                bytes=meta.payload_bytes,
+                direction="h2d",
+                failover=True,
+            )
+            self.profile.bytes_to_device += meta.payload_bytes
+            self.profile.metrics.inc(
+                "transfer.bytes_to_device", meta.payload_bytes
+            )
+            record.payload_bytes += meta.payload_bytes
+        record.elided = []
 
     # -- journal wire format ---------------------------------------------------
     #
@@ -436,6 +497,10 @@ class CompiledFilter:
             items.append((self.stream_param.name, value))
         for param_name, host_value in items:
             lime_type = self.param_types[param_name]
+            if self.accept_resident and self._elide_inbound(
+                param_name, host_value, record, device_values
+            ):
+                continue
             data, stats = marshal.serialize(
                 host_value, lime_type, self.marshaller
             )
@@ -470,6 +535,44 @@ class CompiledFilter:
             )
             device_values[param_name] = device_value
         return device_values
+
+    def _elide_inbound(self, param_name, host_value, record, device_values):
+        """Skip the whole inbound path for a stream value that is
+        already resident on this filter's device (--fuse): no
+        serialize, no CRC transmit, no charges — the device buffer is
+        reused in place. Returns False when the value is host data,
+        settled, or resident on a *different* device (in which case the
+        deferred d2h is paid and the normal marshal path runs)."""
+        if (
+            self.stream_param is None
+            or param_name != self.stream_param.name
+        ):
+            return False
+        meta = marshal.resident_meta(host_value)
+        if meta is None:
+            return False
+        if meta.settled or meta.device_key != self.device_key:
+            # Resident elsewhere: force it back through the host
+            # mirror. Pays the producer's deferred d2h exactly once,
+            # then the consumer marshals normally.
+            marshal.settle_resident_meta(
+                meta, self.profile, reason="cross_device"
+            )
+            return False
+        device_values[param_name] = np.asarray(host_value)
+        record.elided.append((param_name, meta))
+        saved = 2 * meta.payload_bytes  # the skipped d2h + h2d crossings
+        self.profile.metrics.inc("transfer.bytes_saved", saved)
+        self.profile.metrics.inc("fusion.elisions")
+        self.profile.tracer.instant(
+            "marshal_elided",
+            cat="fusion",
+            task=self.name,
+            param=param_name,
+            producer=meta.producer,
+            bytes=saved,
+        )
+        return True
 
     def _index_space(self, device_values):
         """The kernel's logical size n (map elements / reduce length)."""
@@ -822,6 +925,8 @@ class CompiledFilter:
             return result
         if self.plan is not None and self.plan.output_row > 1:
             result = result.reshape(-1, self.plan.output_row)
+        if self.emit_resident:
+            return self._outbound_resident(result, return_type)
         data, c_stats = marshal.serialize(result, return_type, self.marshaller)
         data = self._transmit(data, "d2h")
         if not self.direct_marshal:
@@ -846,3 +951,33 @@ class CompiledFilter:
             direction="d2h",
         )
         return value
+
+    def _outbound_resident(self, result, return_type):
+        """The buffer-planner outbound (--fuse): the output buffer stays
+        on this device. The value still takes the full serialize →
+        deserialize round trip — the wire format is the canonical value
+        representation, so the host mirror is bit-exact with what the
+        normal path returns — but *nothing* is charged and no bytes
+        cross the bus; the d2h bill it would have paid is deferred into
+        the returned value's :class:`~repro.runtime.marshal
+        .ResidentMeta`, settled exactly once by whoever forces the
+        value back to the host (fused same-device consumers never do)."""
+        data, c_stats = marshal.serialize(
+            result, return_type, self.marshaller
+        )
+        value, j_stats = marshal.deserialize(
+            data, return_type, self.marshaller
+        )
+        d2h_c_ns = (
+            0.0 if self.direct_marshal else self.comm.c_marshal_ns(c_stats)
+        )
+        meta = marshal.ResidentMeta(
+            producer=self.name,
+            device_key=self.device_key,
+            payload_bytes=c_stats.payload_bytes,
+            stats=c_stats,
+            d2h_c_ns=d2h_c_ns,
+            d2h_j_ns=self.comm.java_marshal_ns(j_stats),
+            d2h_t_ns=self.comm.transfer_ns(c_stats.payload_bytes),
+        )
+        return marshal.make_resident(value, meta)

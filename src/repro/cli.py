@@ -237,17 +237,17 @@ def _parse_kill_specs(specs):
 
 
 def cmd_run(args):
-    from repro.apps.registry import BENCHMARKS
+    from repro.apps.registry import ALL_BENCHMARKS
     from repro.evaluation.harness import TARGETS, run_configuration
     from repro.evaluation.report import executor_report, failure_report
     from repro.runtime.resilience import ResiliencePolicy
     from repro.runtime.sanitizer import SanitizerConfig
 
     _install_run_signal_handlers()
-    if args.benchmark not in BENCHMARKS:
+    if args.benchmark not in ALL_BENCHMARKS:
         print(
             "unknown benchmark '{}' (choose from: {})".format(
-                args.benchmark, ", ".join(sorted(BENCHMARKS))
+                args.benchmark, ", ".join(sorted(ALL_BENCHMARKS))
             ),
             file=sys.stderr,
         )
@@ -304,7 +304,7 @@ def cmd_run(args):
     if args.wall_deadline_ms is not None:
         watchdog = _start_wall_watchdog(args.wall_deadline_ms)
     result = run_configuration(
-        BENCHMARKS[args.benchmark],
+        ALL_BENCHMARKS[args.benchmark],
         args.target,
         scale=args.scale,
         steps=args.steps,
@@ -318,6 +318,7 @@ def cmd_run(args):
         fleet_schedule=args.fleet_schedule,
         journal=args.journal,
         resume=args.resume,
+        fuse=args.fuse,
     )
     if watchdog is not None:
         watchdog.cancel()
@@ -382,6 +383,23 @@ def cmd_run(args):
         print(
             "  makespan {:>16.0f} simulated ns".format(result.makespan_ns)
         )
+    if result.fusion and result.fusion.get("mode", "off") != "off":
+        f = result.fusion
+        print(
+            "fusion:    mode={} chains={} fused_kernels={} elisions={} "
+            "bytes_saved={} rematerialized={}".format(
+                f["mode"],
+                len(f["chains"]),
+                f["fused_kernels"],
+                f["elisions"],
+                f["bytes_saved"],
+                f["rematerialized"],
+            )
+        )
+        for reason in sorted(f.get("declined", {})):
+            print(
+                "  declined {}: {}".format(reason, f["declined"][reason])
+            )
     if result.journal:
         j = result.journal
         print(
@@ -875,6 +893,15 @@ def build_parser():
         default=None,
         help="execution tier for kernel launches (default: "
         "REPRO_EXEC_TIER, then auto — batch where eligible)",
+    )
+    run_cmd.add_argument(
+        "--fuse",
+        choices=["off", "resident", "kernel"],
+        default=None,
+        help="graph-level buffer planner for => pipelines: 'resident' "
+        "keeps intermediates on-device across adjacent kernels, "
+        "'kernel' additionally fuses legal chains into one composite "
+        "kernel (default: REPRO_FUSE, then off)",
     )
     run_cmd.add_argument(
         "--trace-out",

@@ -1205,9 +1205,20 @@ def build_map_kernel(
         scope.define(spec.param_name, entry)
 
     fused_entries = []
-    for method, inner_specs in fused_inner or []:
+    for entry in fused_inner or []:
+        method, inner_specs = entry[0], entry[1]
+        # Cross-task fused seams (compiler/fusion.py) mark the entry
+        # with a third element: the chained scalar is rounded to its
+        # declared type, reproducing bit-exactly the store+load through
+        # the intermediate buffer the fusion eliminated. Within-filter
+        # nested maps never round (unchanged semantics).
+        round_seam = bool(entry[2]) if len(entry) > 2 else False
         fused_entries.append(
-            (method, [add_bound_spec(s, use_memplan=False) for s in inner_specs])
+            (
+                method,
+                [add_bound_spec(s, use_memplan=False) for s in inner_specs],
+                round_seam,
+            )
         )
     ctx.params.append(K.KParam("_n", _INT))
 
@@ -1339,12 +1350,22 @@ def build_map_kernel(
     # current element, its scalar result becoming the next element.
     if fused_inner:
         current = loop_body_lowerer.scope.lookup(elem_param.name)
-        for method, bound_entries in fused_entries:
+        for method, bound_entries, round_seam in fused_entries:
             result_t = ktype_of(method.return_type)
             value = loop_body_lowerer.inline_entries(
                 method, [current] + bound_entries, result_t
             )
             current = _ScalarVar(value.name, result_t)
+            if round_seam:
+                seam_name = ctx.fresh("seam")
+                loop_body_lowerer.out.append(
+                    K.KDecl(
+                        seam_name,
+                        result_t,
+                        K.KCast(K.KVar(value.name, result_t), result_t),
+                    )
+                )
+                current = _ScalarVar(seam_name, result_t)
         chain_scope = _Scope(loop_body_lowerer.scope)
         chain_scope.define(outer_elem_param.name, current)
         loop_body_lowerer.scope = chain_scope

@@ -312,6 +312,107 @@ def _compile_filter_traced(
     )
 
 
+def compile_fused_filter(
+    checked,
+    members,
+    device,
+    config=None,
+    comm=None,
+    profile=None,
+    marshaller=marshal.SPECIALIZED,
+    local_size=None,
+    direct_marshal=False,
+    overlap=False,
+    max_sim_items=None,
+    sanitizer=None,
+    exec_tier=None,
+    device_key=None,
+):
+    """Compile a legal chain of map filters into one composite
+    :class:`CompiledFilter` (cross-task kernel fusion, --fuse kernel).
+
+    ``members`` is a list of ``(worker MethodDecl, bound_values)``
+    pairs in pipeline order; legality is checked by
+    :func:`repro.compiler.fusion.build_fused_spec`, which raises
+    :class:`repro.errors.KernelRejected` with a typed reason. The
+    composite's per-element functions chain through
+    ``build_map_kernel``'s ``fused_inner`` machinery — exactly the
+    within-filter nested-map path, just fed across task boundaries —
+    and the result is cached content-addressed like any other kernel.
+    """
+    from repro.compiler.fusion import build_fused_spec
+    from repro.runtime.profiler import ExecutionProfile
+
+    config = config or OptimizationConfig()
+    comm = comm or CommCostModel()
+    profile = profile if profile is not None else ExecutionProfile()
+
+    spec = build_fused_spec(checked, members)
+    name = spec.worker.qualified_name
+    tracer = profile.tracer
+    span_args = {"worker": name, "target": device.name, "fused": True}
+    if device_key is not None:
+        span_args["device"] = device_key
+    with tracer.span("compile", cat="compile", **span_args):
+        mapped = spec.mapped_method
+        with tracer.span("analyze", cat="compile"):
+            patterns = analyze_worker(mapped)
+        with tracer.span("memplan", cat="compile"):
+            memplan = plan_memory(patterns, config, device)
+        with tracer.span("lower", cat="compile", kernel="map"):
+            plan = build_map_kernel(
+                checked=checked,
+                mapped_method=mapped,
+                source_type=spec.source_type,
+                source_is_iota=spec.source_is_iota,
+                bound_specs=spec.bound_specs,
+                config=config,
+                device=device,
+                kernel_name=name.replace(".", "_").replace("+", "__")
+                + "_kernel",
+                patterns=patterns,
+                memplan=memplan,
+                fused_inner=spec.fused_inner,
+            )
+        plan.kernel.meta["fused_tasks"] = list(spec.fused_names)
+        if spec.fused_inner:
+            plan.kernel.meta["fused"] = [
+                entry[0].qualified_name for entry in spec.fused_inner
+            ]
+        if spec.base_source.kind == "iota":
+            plan.kernel.meta["iota_source"] = {
+                "literal": spec.base_source.literal,
+                "param": spec.base_source.param_name,
+            }
+        else:
+            plan.kernel.meta["source_param"] = spec.base_source.param_name
+        compiled = cached_compile_kernel(
+            plan.kernel,
+            options=config.describe(),
+            sanitizer=sanitizer_key(sanitizer),
+            device=device.name,
+            profile=profile,
+        )
+        return CompiledFilter(
+            name=name,
+            worker=spec.worker,
+            plan=plan,
+            compiled_kernel=compiled,
+            device=device,
+            comm=comm,
+            profile=profile,
+            marshaller=marshaller,
+            local_size=local_size,
+            bound_values=spec.bound_values,
+            direct_marshal=direct_marshal,
+            overlap=overlap,
+            max_sim_items=max_sim_items,
+            sanitizer=sanitizer,
+            exec_tier=exec_tier,
+            device_key=device_key,
+        )
+
+
 class Offloader:
     """The engine-facing compilation service.
 
@@ -379,6 +480,27 @@ class Offloader:
             filter_worker = None
         self.compiled[key] = filter_worker
         return filter_worker
+
+    def compile_fused(self, checked, members, profile):
+        """Compile a composite filter for a fused task chain (--fuse
+        kernel). Raises :class:`KernelRejected` with a typed reason
+        when the chain is not kernel-fusable — the planner declines
+        the seam and falls back to buffer residency."""
+        return compile_fused_filter(
+            checked,
+            members,
+            device=self.device,
+            config=self.config,
+            comm=self.comm,
+            profile=profile,
+            marshaller=self.marshaller,
+            local_size=self.local_size,
+            direct_marshal=self.direct_marshal,
+            overlap=self.overlap,
+            max_sim_items=self.max_sim_items,
+            sanitizer=self.sanitizer,
+            exec_tier=self.exec_tier,
+        )
 
 
 class FleetOffloader:
@@ -492,3 +614,40 @@ class FleetOffloader:
         )
         self.compiled[key] = fleet_worker
         return fleet_worker
+
+    def compile_fused(self, checked, members, profile):
+        """Compile a composite filter chain once per fleet device and
+        return a :class:`repro.runtime.fleet.FleetWorker` over them —
+        a fused chain is dispatched like any other filter, but its
+        intermediates live inside one kernel, so there is nothing to
+        pin. Raises :class:`KernelRejected` on the first device that
+        refuses the chain (shape-based, so all devices agree)."""
+        from repro.runtime.fleet import FleetWorker
+
+        filters = {}
+        for device_key in self.fleet.keys:
+            filters[device_key] = compile_fused_filter(
+                checked,
+                members,
+                device=self.fleet.devices[device_key],
+                config=self.config,
+                comm=self.comm,
+                profile=profile,
+                marshaller=self.marshaller,
+                local_size=self.local_size,
+                direct_marshal=self.direct_marshal,
+                overlap=self.overlap,
+                max_sim_items=self.max_sim_items,
+                sanitizer=self.sanitizer,
+                exec_tier=self.exec_tier,
+                device_key=device_key,
+            )
+        for filt in filters.values():
+            filt.partition_depth = self.fleet.policy.partition_depth
+        name = filters[self.fleet.keys[0]].name
+        return FleetWorker(
+            name=name,
+            filters=filters,
+            fleet=self.fleet,
+            profile=profile,
+        )

@@ -88,6 +88,11 @@ class RunResult:
     # mergeable carve-out the serving daemon folds into per-tenant and
     # global registries (MetricsRegistry.merge_delta).
     metrics_delta: dict = field(default_factory=dict)
+    # Graph-level fusion report (FusionPlanner.summary()): mode,
+    # chains, fused kernels, elisions, bytes saved, declined seams by
+    # typed reason. Empty at --fuse off, so existing JSON consumers
+    # and the metrics baseline are unchanged.
+    fusion: dict = field(default_factory=dict)
 
     @property
     def communication_ns(self):
@@ -116,6 +121,7 @@ def run_configuration(
     resume=False,
     offloader=None,
     item_guard=None,
+    fuse=None,
 ):
     """Run one benchmark end to end against one target.
 
@@ -171,9 +177,18 @@ def run_configuration(
             deadline/budget/drain propagation point. May raise to abort
             the run at an item boundary; the exception is journaled as
             an ``aborted`` record before it propagates.
+        fuse: graph-level fusion mode — ``"off"`` (the byte-identical
+            seed path), ``"resident"`` (keep intermediate buffers
+            device-resident across ``=>`` seams), or ``"kernel"``
+            (additionally fuse legal chains into composite kernels);
+            ``None`` defers to the ``REPRO_FUSE`` environment variable,
+            then ``off``. See docs/FUSION.md.
 
     Returns a :class:`RunResult` with simulated nanoseconds.
     """
+    from repro.compiler.fusion import resolve_fuse_mode
+
+    fuse = resolve_fuse_mode(fuse)
     target_label = target if isinstance(target, str) else target.name
     if isinstance(target, str) and (offloader is None or target in TARGETS):
         target = TARGETS[target]
@@ -237,6 +252,7 @@ def run_configuration(
                 str(effective_policy) if effective_policy else None
             ),
             "resilient": resilience is not None,
+            "fuse": fuse,
         }
         run_journal = RunJournal.open(journal, descriptor, resume=resume)
     try:
@@ -247,6 +263,7 @@ def run_configuration(
             tracer=tracer,
             journal=run_journal,
             item_guard=item_guard,
+            fuse=fuse,
         )
         checksum = engine.run_static(
             bench.main_class, bench.run_method, list(inputs) + [steps]
@@ -302,4 +319,5 @@ def run_configuration(
         queues=fleet.queues_snapshot() if fleet is not None else {},
         makespan_ns=engine.makespan_ns(),
         metrics_delta=engine.profile.metrics.delta({}),
+        fusion=engine.fusion_summary(),
     )

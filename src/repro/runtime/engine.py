@@ -84,6 +84,7 @@ class Engine:
         tracer=None,
         journal=None,
         item_guard=None,
+        fuse=None,
     ):
         self.checked = checked
         self.offloader = offloader
@@ -96,6 +97,19 @@ class Engine:
         self.profile = ExecutionProfile(tracer=tracer)
         if journal is not None:
             journal.bind(self.profile)
+        # Graph-level buffer planning / cross-task fusion (--fuse,
+        # docs/FUSION.md). "off" (or no offloader) builds no planner at
+        # all, keeping the seed path byte-identical; otherwise every
+        # offloaded task gets a FusionCtx and TaskGraph.finish() hands
+        # each assembled pipeline to the planner.
+        self.fusion = None
+        if (fuse or "off") != "off" and offloader is not None:
+            from repro.compiler.fusion import FusionPlanner
+
+            self.fusion = FusionPlanner(
+                fuse, checked, offloader, self.profile
+            )
+            self.fusion.on_fused = self._record_fused
         self.interp = Interpreter(
             checked,
             cost=self.cost,
@@ -161,8 +175,8 @@ class Engine:
                 self.checked, method, self.profile, bound_values=bound_values
             )
             if device_worker is not None:
-                worker = device_worker
-                if self.resilience is not None:
+                host_factory = None
+                if self.resilience is not None or self.fusion is not None:
                     # The host interpreter computes the same results as
                     # the device, so the fallback is built lazily from
                     # the same expression and only on first fault.
@@ -178,24 +192,9 @@ class Engine:
                             interp, expr, env, method, is_source, bound_values
                         )
 
-                    worker = self.resilience.wrap(
-                        name, device_worker, host_factory, self.profile
-                    )
-                if self.journal is not None:
-                    from repro.runtime.journal import JournaledWorker
-
-                    idx = self._journal_instances.get(name, 0)
-                    self._journal_instances[name] = idx + 1
-                    worker = JournaledWorker(
-                        name=name,
-                        key="{}#{}".format(name, idx),
-                        worker=worker,
-                        device_worker=device_worker,
-                        journal=self.journal,
-                        profile=self.profile,
-                    )
-                if self.item_guard is not None:
-                    worker = _guarded(worker, name, self.item_guard)
+                worker = self._wrap_offloaded(
+                    name, device_worker, host_factory
+                )
                 self.offloaded_tasks.append(name)
                 self.profile.tracer.instant(
                     "task_created",
@@ -204,13 +203,26 @@ class Engine:
                     offloaded=True,
                     resilient=self.resilience is not None,
                 )
-                return Task(
+                task = Task(
                     worker=worker,
                     name=name,
                     is_source=is_source,
                     produces=produces,
                     isolated=True,
                 )
+                if self.fusion is not None:
+                    from repro.compiler.fusion import FusionCtx
+
+                    task.fusion = FusionCtx(
+                        planner=self.fusion,
+                        name=name,
+                        method=method,
+                        bound_values=bound_values,
+                        device_worker=device_worker,
+                        host_factory=host_factory,
+                        wrap=self._wrap_offloaded,
+                    )
+                return task
 
         self.host_tasks.append(name)
         self.profile.tracer.instant(
@@ -228,6 +240,51 @@ class Engine:
             produces=produces,
             isolated=task_type.isolated,
         )
+
+    def _wrap_offloaded(self, name, device_worker, host_factory):
+        """The offloaded-worker wrapper chain (resilience → journal →
+        item guard), shared by ordinary tasks and the fusion planner's
+        composite chains so both get identical fault/recovery/serving
+        semantics."""
+        worker = device_worker
+        if self.resilience is not None:
+            worker = self.resilience.wrap(
+                name, device_worker, host_factory, self.profile
+            )
+        if self.journal is not None:
+            from repro.runtime.journal import JournaledWorker
+
+            idx = self._journal_instances.get(name, 0)
+            self._journal_instances[name] = idx + 1
+            worker = JournaledWorker(
+                name=name,
+                key="{}#{}".format(name, idx),
+                worker=worker,
+                device_worker=device_worker,
+                journal=self.journal,
+                profile=self.profile,
+            )
+        if self.item_guard is not None:
+            worker = _guarded(worker, name, self.item_guard)
+        return worker
+
+    def _record_fused(self, chain_name, member_names):
+        """Planner hook: a composite task replaced ``member_names`` in
+        one graph; record it like any other offloaded task."""
+        self.offloaded_tasks.append(chain_name)
+        self.profile.tracer.instant(
+            "task_created",
+            cat="taskgraph",
+            task=chain_name,
+            offloaded=True,
+            fused=True,
+        )
+
+    def fusion_summary(self):
+        """The run's fusion report (empty dict when --fuse off)."""
+        if self.fusion is None:
+            return {}
+        return self.fusion.summary()
 
     def _host_worker(self, interp, expr, env, method, is_source, bound_values):
         if expr.is_static_worker:

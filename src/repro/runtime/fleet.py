@@ -119,6 +119,12 @@ class FleetWorker:
         # (repro.runtime.journal).
         self.journal_log = None
         self.attempt_log = None
+        # Set by the fusion planner on chain consumers (--fuse): an
+        # item whose stream value is device-resident is routed to the
+        # holding device first, so the elision actually fires; every
+        # other device stays a failover target (the record then
+        # re-materializes from the host mirror).
+        self.pin_resident = False
 
     @property
     def injector(self):
@@ -142,7 +148,7 @@ class FleetWorker:
 
     # -- placement -----------------------------------------------------------
 
-    def _dispatch_order(self, submit_ns, seq):
+    def _dispatch_order(self, submit_ns, seq, value=None):
         """The per-item device attempt order.
 
         Sequential schedule: the monitor's health-preference order,
@@ -164,7 +170,7 @@ class FleetWorker:
         if self.journal_log is not None:
             self.journal_log.append(["order"])
         if self.fleet.policy.schedule != "concurrent":
-            return [key for key, _kind, _est in plan]
+            return self._pin_first([key for key, _kind, _est in plan], value)
         head = [e for e in plan if e[1] == "probe"][:1]
         tail_probes = [e for e in plan if e[1] == "probe"][1:]
         benched = [e for e in plan if e[1] == "benched"]
@@ -185,10 +191,30 @@ class FleetWorker:
                 self.fleet.policy.dispatch_seed * 0x9E3779B1 + seq
             )
             rng.shuffle(healthy)
-        return [
-            key
-            for key, _kind, _est in head + healthy + tail_probes + benched
-        ]
+        return self._pin_first(
+            [
+                key
+                for key, _kind, _est in head + healthy + tail_probes + benched
+            ],
+            value,
+        )
+
+    def _pin_first(self, order, value):
+        """Move the device holding ``value``'s resident buffer to the
+        front of the attempt order (--fuse chain consumers): elision
+        only fires on the holding device, and a transfer skipped
+        outright beats any queue-balancing gain. No-op unless the
+        planner pinned this worker and the value is live-resident on a
+        dispatchable device."""
+        if not self.pin_resident or not order:
+            return order
+        from repro.runtime import marshal
+
+        meta = marshal.resident_meta(value)
+        if meta is None or meta.settled or meta.device_key not in order:
+            return order
+        order.remove(meta.device_key)
+        return [meta.device_key] + order
 
     # -- dispatch ------------------------------------------------------------
 
@@ -204,7 +230,7 @@ class FleetWorker:
         # concurrent queues overlap; the sequential baseline submits
         # each item when the previous one completed anywhere.
         submit_ns = 0.0 if concurrent else self.fleet.stream_cursor_ns
-        order = self._dispatch_order(submit_ns, seq)
+        order = self._dispatch_order(submit_ns, seq, value)
         record = None
         last_err = None
         failed = None

@@ -293,3 +293,128 @@ def serialize(value, t, marshaller=SPECIALIZED):
 
 def deserialize(data, t, marshaller=SPECIALIZED):
     return marshaller.deserialize(data, t)
+
+
+# -- device-resident boundary elision (docs/FUSION.md) -----------------------
+#
+# Under ``--fuse resident|kernel`` the graph-level buffer planner marks
+# legal ``=>`` seams so the producer's output buffer stays on its device.
+# The producer still runs the serialize -> deserialize round trip (the
+# wire format is the canonical value representation, so the host keeps a
+# bit-exact mirror and results cannot change) but charges *nothing* for
+# the d2h leg; instead the charges it would have paid are precomputed
+# into a :class:`ResidentMeta` riding on the value. Whoever forces the
+# value back to host-authoritative form — a fused consumer on another
+# device, a failover re-marshal, the host-interpreter fallback, or
+# differential validation — pays the deferred bill exactly once
+# (``meta.settled``). A consumer on the *same* device elides its whole
+# inbound path for that parameter and the two skipped bus crossings are
+# counted under ``transfer.bytes_saved``.
+
+
+class ResidentArray(np.ndarray):
+    """A frozen ndarray whose authoritative copy lives on a device.
+
+    Plain ndarray semantics everywhere — any view, copy, or arithmetic
+    result is an ordinary array again (``__array_finalize__`` drops the
+    meta), so only the exact object the producer returned carries the
+    device residency."""
+
+    _resident = None
+
+    def __array_finalize__(self, obj):
+        # Deliberately do NOT propagate _resident from `obj`: a slice
+        # of a resident value is host data, not a device buffer. (The
+        # meta also never pickles — ndarray's reduce protocol carries
+        # only the class and the data, so a round-tripped value wakes
+        # up with the class default of None.)
+        self._resident = getattr(self, "_resident", None)
+
+
+@dataclass
+class ResidentMeta:
+    """The deferred d2h bill and placement of a device-resident value.
+
+    ``stats`` is the producer-side :class:`MarshalStats` of the output
+    wire; a consumer that must re-marshal (failover to another device)
+    re-prices the h2d leg with its *own* comm model from these stats.
+    ``d2h_*_ns`` are the producer's precomputed outbound charges
+    (``d2h_c_ns`` is zero under direct-to-device marshalling).
+    ``settled`` flips exactly once, when the deferred bill is paid.
+    """
+
+    producer: str
+    device_key: object
+    payload_bytes: int
+    stats: MarshalStats
+    d2h_c_ns: float
+    d2h_j_ns: float
+    d2h_t_ns: float
+    settled: bool = False
+
+
+def make_resident(value, meta):
+    """Wrap a (frozen) array value as device-resident."""
+    arr = np.asarray(value).view(ResidentArray)
+    arr.setflags(write=False)
+    arr._resident = meta
+    return arr
+
+
+def resident_meta(value):
+    """The :class:`ResidentMeta` of ``value``, or None for host data."""
+    return getattr(value, "_resident", None)
+
+
+def settle_resident_meta(meta, profile, reason="host"):
+    """Pay the deferred d2h bill of a resident value, once.
+
+    Charges the producer's withheld ``c_marshal``/``java_marshal``/
+    ``transfer`` stage time (advancing the active clock) and the d2h
+    byte counters, then marks the meta settled. Idempotent: a second
+    settlement is a no-op, so the validation path, the host-fallback
+    path, and failover can all call it unconditionally.
+    """
+    if meta is None or meta.settled:
+        return False
+    meta.settled = True
+    from repro.runtime.cost import StageTimes
+
+    tracer = profile.tracer
+    delta = StageTimes()
+    if meta.d2h_c_ns:
+        delta.c_marshal = meta.d2h_c_ns
+        tracer.charge(
+            "c_marshal", meta.d2h_c_ns, cat="stage", direction="d2h",
+            task=meta.producer, resident_settle=reason,
+        )
+    delta.java_marshal = meta.d2h_j_ns
+    tracer.charge(
+        "java_marshal", meta.d2h_j_ns, cat="stage", direction="d2h",
+        task=meta.producer, resident_settle=reason,
+    )
+    delta.transfer = meta.d2h_t_ns
+    tracer.charge(
+        "transfer", meta.d2h_t_ns, cat="stage", direction="d2h",
+        bytes=meta.payload_bytes, task=meta.producer,
+        resident_settle=reason,
+    )
+    # Add to the producer's stage totals directly (not via
+    # profile.record, which would also log a phantom per-item invoke).
+    profile.stages.add(delta)
+    profile.task_stages(meta.producer).add(delta)
+    profile.bytes_from_device += meta.payload_bytes
+    profile.metrics.inc(
+        "transfer.bytes_from_device", meta.payload_bytes
+    )
+    profile.metrics.inc("fusion.rematerialized")
+    tracer.instant(
+        "resident_settle", cat="fusion", task=meta.producer,
+        reason=reason, bytes=meta.payload_bytes,
+    )
+    return True
+
+
+def settle_resident(value, profile, reason="host"):
+    """Settle ``value``'s deferred d2h bill if it is device-resident."""
+    return settle_resident_meta(resident_meta(value), profile, reason)

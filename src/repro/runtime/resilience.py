@@ -694,6 +694,13 @@ class ResilientWorker:
     def _host(self, value):
         if self._host_worker is None:
             self._host_worker = self._host_factory()
+        # A device-resident input (--fuse) crossing into the host
+        # interpreter — breaker-open demotion, retries-exhausted
+        # fallback, or differential validation — forces the producer's
+        # deferred d2h bill to be paid first (idempotent: settles once).
+        from repro.runtime import marshal
+
+        marshal.settle_resident(value, self.profile, reason="host_fallback")
         return self._host_worker(value)
 
     def _charge(self, lost_ns):

@@ -36,6 +36,11 @@ class Task:
         self.is_source = is_source
         self.produces = produces
         self.isolated = isolated
+        # Graph-level fusion handle (repro.compiler.fusion.FusionCtx):
+        # the engine attaches one to every offloaded task when --fuse
+        # is active; finish() hands the whole graph to the planner at
+        # the stage seams. None means the task never participates.
+        self.fusion = None
 
     def connect(self, downstream):
         """``self => downstream``."""
@@ -87,6 +92,16 @@ class TaskGraph:
                 "finish() requires the graph to start with a source task "
                 "(got {!r})".format(self.source)
             )
+        # Graph-level buffer planning (--fuse): before any item flows,
+        # let the fusion planner inspect the whole connected pipeline —
+        # the => seams are only knowable here, where the graph is
+        # finally assembled. A graph with no planned tasks skips this
+        # entirely (one attribute check per task).
+        for stage in self.tasks:
+            ctx = getattr(stage, "fusion", None)
+            if ctx is not None:
+                ctx.planner.apply(self)
+                break
         outputs = []
         produced = 0
         while max_items is None or produced < max_items:

@@ -1,0 +1,166 @@
+"""Marshal-boundary elision round-trip tests (--fuse).
+
+The risky part of keeping a ``=>`` intermediate on-device is every path
+that needs the host bytes back: a device death mid-chain, a host
+fallback, a journal replay. These tests pin the contract from
+docs/FUSION.md — an elided boundary is re-materialized bit-exactly,
+charged honestly (``fusion.rematerialized``), and ``--fuse off`` stays
+byte-identical to a run that never heard of the planner.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import ALL_BENCHMARKS
+from repro.evaluation.harness import run_configuration
+from repro.opencl import kernel_cache as kc
+from repro.runtime.resilience import ResiliencePolicy
+
+SCALE = 0.3
+BENCH = ALL_BENCHMARKS["pipeline3"]
+
+
+@pytest.fixture(autouse=True)
+def fresh_kernel_cache():
+    yield
+    kc.configure_disk_store(None)
+    kc.reset_global_cache()
+
+
+def run(fuse=None, **kw):
+    return run_configuration(
+        BENCH, "gtx580", scale=SCALE, fuse=fuse, **kw
+    )
+
+
+def transfer_bytes(result):
+    m = result.metrics
+    return (
+        m.get("transfer.bytes_to_device", 0)
+        + m.get("transfer.bytes_from_device", 0)
+    )
+
+
+# -- off is byte-identical ---------------------------------------------------
+
+
+def test_fuse_off_is_byte_identical_to_no_fuse():
+    kc.reset_global_cache()
+    baseline = run(fuse=None)
+    kc.reset_global_cache()
+    off = run(fuse="off")
+    assert off.checksum == baseline.checksum
+    assert off.metrics == baseline.metrics
+    assert off.stages == baseline.stages
+    assert off.fusion == {} and baseline.fusion == {}
+
+
+# -- elision round trip ------------------------------------------------------
+
+
+def test_resident_elides_interior_boundaries_bit_exactly():
+    baseline = run(fuse=None)
+    resident = run(fuse="resident")
+    assert resident.checksum == baseline.checksum
+    m = resident.metrics
+    assert m["fusion.elisions"] > 0
+    assert m["transfer.bytes_saved"] > 0
+    # Interior seams crossed the bus in the baseline; now they don't.
+    assert transfer_bytes(resident) < transfer_bytes(baseline)
+    assert resident.fusion["chains"][0]["tasks"] == [
+        "Pipe.scale", "Pipe.smooth", "Pipe.sharpen",
+    ]
+
+
+def test_kernel_mode_composes_the_whole_chain():
+    baseline = run(fuse=None)
+    fused = run(fuse="kernel")
+    assert fused.checksum == baseline.checksum
+    assert fused.fusion["fused_kernels"] == 1
+    assert "Pipe.scale+Pipe.smooth+Pipe.sharpen" in fused.offloaded
+    # The composite runs one launch per item where the staged pipeline
+    # ran three, and only the pipeline endpoints touch the bus.
+    assert transfer_bytes(fused) < transfer_bytes(baseline)
+
+
+# -- failover re-materialization ---------------------------------------------
+
+
+def test_device_death_rematerializes_from_last_host_boundary():
+    devices = ["gtx580", "hd5970"]
+    baseline = run(fuse=None, devices=devices)
+    dead = run(
+        fuse="resident",
+        devices=devices,
+        resilience=ResiliencePolicy.from_flags(
+            kill_devices={"gtx580": 2}
+        ),
+    )
+    assert dead.checksum == baseline.checksum
+    m = dead.metrics
+    assert m["fusion.elisions"] > 0
+    # At least one consumer found its resident input stranded on the
+    # dead device and re-marshalled it from the last host-resident
+    # boundary — charged, not free.
+    assert m["fusion.rematerialized"] >= 1
+    assert m["transfer.bytes_from_device"] > 0
+
+
+# -- journal resume mid-chain ------------------------------------------------
+
+
+class _Stop(Exception):
+    pass
+
+
+def _abort_after(n):
+    state = {"count": 0}
+
+    def guard(task_name):
+        state["count"] += 1
+        if state["count"] > n:
+            raise _Stop("deliberate mid-chain abort")
+
+    return guard
+
+
+def test_journal_resume_re_elides_after_mid_chain_abort(tmp_path):
+    journal = tmp_path / "journal"
+    baseline = run(fuse=None)
+    with pytest.raises(_Stop):
+        run(fuse="resident", journal=str(journal),
+            item_guard=_abort_after(10))
+    kc.configure_disk_store(None)
+    kc.reset_global_cache()
+    resumed = run(fuse="resident", journal=str(journal), resume=True)
+    assert resumed.checksum == baseline.checksum
+    assert resumed.journal["items_skipped"] > 0
+    # Replayed items re-enter from the journal's host-resident wire
+    # bytes; live items re-elide their interior seams.
+    assert resumed.metrics["fusion.elisions"] > 0
+
+
+def test_resume_refuses_a_different_fuse_mode(tmp_path):
+    from repro.runtime.journal import JournalError
+
+    journal = tmp_path / "journal"
+    run(fuse="resident", journal=str(journal))
+    kc.configure_disk_store(None)
+    kc.reset_global_cache()
+    with pytest.raises(JournalError):
+        run(fuse="kernel", journal=str(journal), resume=True)
+
+
+# -- resident values never leak host-writable aliases ------------------------
+
+
+def test_resident_checksum_matches_reference():
+    resident = run(fuse="resident")
+    xs = BENCH.make_input(SCALE)[0]
+    ref = BENCH.reference(xs)
+    # The host accumulator is evaluated at interpreter (double)
+    # precision; only the device-side array elements round to float32.
+    expected = 0.0
+    for _ in range(BENCH.steps):
+        expected = expected + np.float64(ref[0]) + np.float64(ref[-1])
+    assert resident.checksum == pytest.approx(expected, abs=0.0)

@@ -147,6 +147,63 @@ def test_observability_doc_covers_queue_instrumentation():
         )
 
 
+def test_observability_doc_covers_fusion_instrumentation():
+    doc = (ROOT / "docs" / "OBSERVABILITY.md").read_text()
+    for span in ("fusion_chain", "fusion_fused", "fusion_declined",
+                 "marshal_elided", "resident_settle"):
+        assert "`{}`".format(span) in doc, (
+            "span '{}' undocumented in OBSERVABILITY.md".format(span)
+        )
+    for metric in ("fusion.chains", "fusion.fused_kernels",
+                   "fusion.declined.", "fusion.elisions",
+                   "fusion.rematerialized", "transfer.bytes_saved"):
+        assert metric in doc, (
+            "metric '{}' undocumented in OBSERVABILITY.md".format(metric)
+        )
+
+
+def test_fusion_doc_covers_planner_contract():
+    doc = (ROOT / "docs" / "FUSION.md").read_text()
+    # The flag surface and the three modes.
+    for term in ("--fuse", "REPRO_FUSE", "`--fuse off`",
+                 "`--fuse resident`", "`--fuse kernel`"):
+        assert term in doc, "'{}' missing from docs/FUSION.md".format(term)
+    # Every typed decline reason the planner can emit.
+    for reason in ("scalar_boundary", "type_mismatch", "multi_consumer",
+                   "no_stream_param", "consumer_reduce", "rate_mismatch",
+                   "array_intermediate", "gather", "param_collision",
+                   "barrier", "divergence", "rejected"):
+        assert "`{}`".format(reason) in doc, (
+            "decline reason '{}' missing from docs/FUSION.md".format(reason)
+        )
+    # The buffer lifecycle and its settlement contract.
+    for term in ("plan", "acquire", "release", "settle_resident",
+                 "fusion.rematerialized", "transfer.bytes_saved",
+                 "ResidentMeta"):
+        assert term in doc, "'{}' missing from docs/FUSION.md".format(term)
+    # The harness the contract is enforced by.
+    for path in ("tests/compiler/test_fusion_pass.py",
+                 "tests/runtime/test_fusion_elision.py",
+                 "benchmarks/perf/test_fusion_comm.py"):
+        assert path in doc
+        assert (ROOT / path).exists(), (
+            "FUSION.md references missing file {}".format(path)
+        )
+
+
+def test_docs_index_lists_every_docs_file():
+    index = (ROOT / "docs" / "INDEX.md").read_text()
+    for doc in sorted((ROOT / "docs").glob("*.md")):
+        if doc.name == "INDEX.md":
+            continue
+        assert "[{}]({})".format(doc.name, doc.name) in index, (
+            "docs/{} is not linked from docs/INDEX.md".format(doc.name)
+        )
+    assert "docs/INDEX.md" in README, (
+        "README.md does not link the docs/INDEX.md landing page"
+    )
+
+
 def test_concurrency_doc_covers_queue_model():
     doc = (ROOT / "docs" / "CONCURRENCY.md").read_text()
     # The queue model and both dispatch schedules.
