@@ -710,6 +710,14 @@ class CompiledFilter:
             device=self.device_key,
         )
         timing = time_launch(trace, self.device)
+        if self.injector is not None:
+            # Straggler injection: a slow device's launches take longer
+            # before any accounting happens, so the histogram, the
+            # health monitor, and the hedge budget all see the
+            # degraded time.
+            timing.kernel_ns += self.injector.launch_latency_ns(
+                timing.kernel_ns, device=self.device_key
+            )
         self.last_timing = timing
         stages.kernel += timing.kernel_ns
         charge_args = self._device_args()
@@ -879,6 +887,10 @@ class CompiledFilter:
             device=self.device_key,
         )
         timing = time_launch(trace, self.device)
+        if self.injector is not None:
+            timing.kernel_ns += self.injector.launch_latency_ns(
+                timing.kernel_ns, device=self.device_key
+            )
         stages.kernel += timing.kernel_ns
         sink.charge(
             "kernel",

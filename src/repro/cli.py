@@ -236,6 +236,30 @@ def _parse_kill_specs(specs):
     return kill_devices
 
 
+def _parse_slow_specs(specs):
+    """Repeated NAME:FACTOR[:N] straggler flags -> dict mapping the
+    device key to (factor, after), or None + printed error."""
+    slow_devices = {}
+    for spec in specs or []:
+        name, _, rest = spec.partition(":")
+        factor, _, after = rest.partition(":")
+        try:
+            slow_devices[name] = (
+                float(factor),
+                int(after) if after else 0,
+            )
+            if slow_devices[name][0] < 1.0:
+                raise ValueError(factor)
+        except ValueError:
+            print(
+                "bad --slow-device spec '{}' (want NAME:FACTOR or "
+                "NAME:FACTOR:N with FACTOR >= 1.0)".format(spec),
+                file=sys.stderr,
+            )
+            return None
+    return slow_devices
+
+
 def cmd_run(args):
     from repro.apps.registry import ALL_BENCHMARKS
     from repro.evaluation.harness import TARGETS, run_configuration
@@ -268,6 +292,9 @@ def cmd_run(args):
     kill_devices = _parse_kill_specs(args.kill_device)
     if kill_devices is None:
         return 1
+    slow_devices = _parse_slow_specs(args.slow_device)
+    if slow_devices is None:
+        return 1
     sanitizer = SanitizerConfig.from_flags(
         sanitize=args.sanitize,
         deadline_ns=args.deadline_ns,
@@ -282,6 +309,9 @@ def cmd_run(args):
         sanitize=args.sanitize or args.deadline_ns is not None,
         kill_devices=kill_devices,
         oom_bytes=args.oom_bytes,
+        slow_devices=slow_devices,
+        slow_ramp=args.slow_ramp,
+        jitter=args.latency_jitter,
     )
     tracer = None
     if args.trace_out is not None:
@@ -818,6 +848,32 @@ def build_parser():
         help="fault injection: device NAME fails every launch after its "
         "first N (default 0 = from the start); repeatable, for fleet "
         "failover drills",
+    )
+    run_cmd.add_argument(
+        "--slow-device",
+        action="append",
+        default=None,
+        metavar="NAME:FACTOR[:N]",
+        help="fault injection: device NAME's kernel launches take "
+        "FACTOR x their modeled time starting at its launch N "
+        "(default 0 = from the start); repeatable — the seedable "
+        "straggler model behind health demotion and hedged launches",
+    )
+    run_cmd.add_argument(
+        "--slow-ramp",
+        type=int,
+        default=0,
+        help="degradation ramp: a --slow-device's factor climbs "
+        "linearly from 1.0 to FACTOR over this many launches instead "
+        "of stepping (0 = step change)",
+    )
+    run_cmd.add_argument(
+        "--latency-jitter",
+        type=float,
+        default=0.0,
+        help="fault injection: add up to this fraction of each kernel "
+        "launch's modeled time as deterministic per-device timing "
+        "noise (0 disables)",
     )
     run_cmd.add_argument(
         "--oom-bytes",

@@ -44,7 +44,8 @@ from __future__ import annotations
 import random
 import statistics
 import threading
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, replace
 
 from repro.errors import DeviceOOM, LaunchFault, RuntimeFault, SanitizerFault, ValidationFault
 from repro.runtime.sanitizer import values_equal
@@ -70,6 +71,17 @@ class FaultSpec:
     device with a hard memory ceiling (rather than a flaky allocator)
     and is what exercises the glue's partitioned-relaunch path — a
     launch split into small enough chunks always fits. 0 disables it.
+
+    ``slow``/``slow_after``/``slow_ramp``/``jitter`` are the *latency*
+    fault model (stragglers rather than failures): every kernel launch
+    on an affected device takes ``slow`` × its modeled time, starting
+    at launch number ``slow_after`` on that device; with a positive
+    ``slow_ramp`` the factor degrades linearly from 1.0 to ``slow``
+    over that many launches instead of stepping. ``jitter`` adds up to
+    that fraction of the modeled time as deterministic per-device
+    noise. Slow launches raise no exception — they are exactly what
+    the health monitor's slow-demotion and the fleet's hedged launches
+    exist to absorb.
     """
 
     transfer: float = 0.0
@@ -78,6 +90,10 @@ class FaultSpec:
     silent: float = 0.0
     seed: int = 0
     oom_bytes: int = 0
+    slow: float = 1.0
+    slow_after: int = 0
+    slow_ramp: int = 0
+    jitter: float = 0.0
 
     @classmethod
     def uniform(cls, p, seed=0, silent=0.0):
@@ -94,6 +110,8 @@ class FaultSpec:
             or self.oom > 0
             or self.silent > 0
             or self.oom_bytes > 0
+            or self.slow > 1.0
+            or self.jitter > 0
         )
 
 
@@ -119,7 +137,14 @@ class FaultInjector:
         self.kill_after = dict(kill_after or {})
         self._rng = random.Random(spec.seed)
         self._launches = {}  # device key -> launches attempted so far
-        self.injected = {"transfer": 0, "launch": 0, "oom": 0, "silent": 0}
+        self._timed = {}  # device key -> latency-scaled launches so far
+        # Jitter draws from per-device streams, separate from the
+        # shared fault stream: slowing one device must not reorder the
+        # transfer/launch/oom/silent decisions of the others.
+        self._jitter_rngs = {}
+        self.injected = {
+            "transfer": 0, "launch": 0, "oom": 0, "silent": 0, "latency": 0,
+        }
 
     def _fire(self, p):
         return p > 0.0 and self._rng.random() < p
@@ -167,6 +192,43 @@ class FaultInjector:
             raise LaunchFault(
                 "injected launch failure in kernel '{}'".format(kernel_name)
             )
+
+    def _slow_factor(self, spec, count):
+        if spec.slow <= 1.0 or count < spec.slow_after:
+            return 1.0
+        if spec.slow_ramp > 0:
+            step = count - spec.slow_after
+            if step < spec.slow_ramp:
+                return 1.0 + (spec.slow - 1.0) * (step + 1) / spec.slow_ramp
+        return spec.slow
+
+    def _jitter_rng(self, device):
+        rng = self._jitter_rngs.get(device)
+        if rng is None:
+            salt = zlib.crc32(repr(device).encode("utf-8"))
+            rng = random.Random((self.spec.seed << 32) ^ salt)
+            self._jitter_rngs[device] = rng
+        return rng
+
+    def launch_latency_ns(self, kernel_ns, device=None):
+        """Called by the glue after timing every kernel launch: the
+        extra simulated ns this launch takes beyond the analytic model
+        (the straggler fault — slow-device factors, degradation ramps,
+        per-device jitter). Never raises; 0.0 when the device is
+        unaffected."""
+        spec = self._spec_for(device)
+        count = self._timed.get(device, 0)
+        self._timed[device] = count + 1
+        extra = float(kernel_ns) * (self._slow_factor(spec, count) - 1.0)
+        if spec.jitter > 0.0:
+            extra += (
+                float(kernel_ns)
+                * spec.jitter
+                * self._jitter_rng(device).random()
+            )
+        if extra > 0.0:
+            self.injected["latency"] += 1
+        return extra
 
     def maybe_oom(self, task_name, nbytes, device=None):
         """Called by the glue after sizing a launch's buffers."""
@@ -856,18 +918,28 @@ class ResiliencePolicy:
         sanitize=False,
         kill_devices=None,
         oom_bytes=0,
+        slow_devices=None,
+        slow_ramp=0,
+        jitter=0.0,
     ):
         """Build from the CLI's resilience flags (``--faults``,
         ``--fault-seed``, ``--silent-faults``, ``--validate-every``,
         ``--breaker-cooloff``, ``--sanitize``, ``--kill-device``,
-        ``--oom-bytes``); returns None when every knob is off — the
-        seed-identical fast path. ``sanitize`` alone enables the policy
-        (without injection) so sanitizer trips are retried/demoted
-        instead of crashing the run. ``kill_devices`` maps a fleet
-        device key to the launch count after which it dies;
+        ``--oom-bytes``, ``--slow-device``, ``--slow-ramp``,
+        ``--latency-jitter``); returns None when every knob is off —
+        the seed-identical fast path. ``sanitize`` alone enables the
+        policy (without injection) so sanitizer trips are retried/
+        demoted instead of crashing the run. ``kill_devices`` maps a
+        fleet device key to the launch count after which it dies;
         ``oom_bytes`` is the deterministic per-allocation device memory
-        ceiling (0 = unlimited)."""
+        ceiling (0 = unlimited). ``slow_devices`` maps a device key to
+        its ``(factor, after)`` straggler spec (every launch from
+        number ``after`` on takes ``factor`` × its modeled time,
+        ramping in over ``slow_ramp`` launches); ``jitter`` adds up to
+        that fraction of deterministic per-device launch-time noise
+        fleet-wide."""
         kill_devices = dict(kill_devices or {})
+        slow_devices = dict(slow_devices or {})
         if (
             fault_rate <= 0.0
             and silent_rate <= 0.0
@@ -875,6 +947,8 @@ class ResiliencePolicy:
             and not sanitize
             and not kill_devices
             and oom_bytes <= 0
+            and not slow_devices
+            and jitter <= 0.0
         ):
             return None
         injector = None
@@ -883,6 +957,8 @@ class ResiliencePolicy:
             or silent_rate > 0.0
             or kill_devices
             or oom_bytes > 0
+            or slow_devices
+            or jitter > 0.0
         ):
             spec = FaultSpec(
                 transfer=fault_rate,
@@ -891,8 +967,20 @@ class ResiliencePolicy:
                 silent=silent_rate,
                 seed=seed,
                 oom_bytes=int(oom_bytes or 0),
+                jitter=float(jitter or 0.0),
             )
-            injector = FaultInjector(spec, kill_after=kill_devices)
+            device_specs = {
+                key: replace(
+                    spec,
+                    slow=float(factor),
+                    slow_after=int(after),
+                    slow_ramp=int(slow_ramp or 0),
+                )
+                for key, (factor, after) in slow_devices.items()
+            }
+            injector = FaultInjector(
+                spec, device_specs=device_specs, kill_after=kill_devices
+            )
         return cls(
             injector=injector,
             retry=retry,

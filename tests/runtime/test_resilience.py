@@ -91,7 +91,9 @@ def test_injector_zero_rate_passes_data_through_unchanged():
     assert inj.transmit(data, "h2d", "t") is data
     inj.maybe_fail_launch("k")
     inj.maybe_oom("t", 1 << 30)
-    assert inj.injected == {"transfer": 0, "launch": 0, "oom": 0, "silent": 0}
+    assert inj.injected == {
+        "transfer": 0, "launch": 0, "oom": 0, "silent": 0, "latency": 0,
+    }
 
 
 # -- RetryPolicy / CircuitBreaker ------------------------------------------
