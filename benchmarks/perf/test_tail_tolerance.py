@@ -1,0 +1,184 @@
+"""Tail-tolerance gate: hedged launches vs. an injected straggler.
+
+The hedging layer (docs/HEDGING.md) exists to buy back the *tail*: one
+slow device must not drag the whole stream's p99 with it. This bench
+pins that win and fails CI if it erodes:
+
+- a 4-device fleet runs a communication-heavy stream with the CPU
+  device straggling at 10x (``--slow-device core-i7:10``); per-item
+  completion latencies are read back from the journal's attempt rows;
+- the gate: the hedged run's p99 must be <= 0.5x the un-hedged run's —
+  the duplicate out-races the straggler instead of waiting it out;
+- bit-exactness: hedged and un-hedged checksums are identical (hedging
+  moves time, never values);
+- the voting probe: ``--redundancy vote`` under ``--silent-faults 1.0``
+  catches every corrupted launch deterministically — the checksum still
+  equals the clean run's, twice in a row.
+
+Results land in ``benchmarks/results/BENCH_tail.json`` (uploaded by
+the tail-tolerance CI job).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record_result
+
+from repro.apps.registry import BENCHMARKS
+from repro.evaluation.harness import run_configuration
+from repro.opencl import kernel_cache as kc
+from repro.runtime.journal import JOURNAL_FILENAME, scan_frames
+from repro.runtime.resilience import FleetPolicy, ResiliencePolicy
+
+APP = "jg-crypt"
+STEPS = 12
+SCALE = 0.2
+MAX_ITEMS = 128
+DEVICES = ["gtx580", "hd5970", "gtx8800", "core-i7"]
+SLOW = {"core-i7": (10.0, 0)}
+GATE = 0.5
+
+
+def _run(journal=None, hedge="off", slow=None, redundancy="off",
+         silent_rate=0.0, fault_seed=0):
+    kc.reset_global_cache()
+    resilience = ResiliencePolicy.from_flags(
+        slow_devices=dict(slow or {}),
+        silent_rate=silent_rate,
+        seed=fault_seed,
+    )
+    policy = FleetPolicy(
+        hedge=hedge,
+        hedge_min_samples=3,
+        hedge_factor=3.0,
+        redundancy=redundancy,
+    )
+    return run_configuration(
+        BENCHMARKS[APP],
+        "gtx580",
+        scale=SCALE,
+        steps=STEPS,
+        max_sim_items=MAX_ITEMS,
+        devices=list(DEVICES),
+        fleet_policy=policy,
+        resilience=resilience,
+        journal=str(journal) if journal is not None else None,
+    )
+
+
+def _completion_latencies(journal_dir):
+    """Per-item completion times from the journal's attempt rows: the
+    winning attempt's ``start + busy`` (hedge losers and vote replicas
+    excluded). Every item is submitted at t=0 under the concurrent
+    schedule, so completion time *is* latency."""
+    data = (journal_dir / JOURNAL_FILENAME).read_bytes()
+    records, _valid, _torn = scan_frames(data)
+    latencies = []
+    for rec in records:
+        if rec.get("type") != "item":
+            continue
+        ends = [
+            row[2] + row[3]
+            for row in rec.get("queue") or []
+            if row[4] and (len(row) < 6 or row[5] != "vote")
+        ]
+        if ends:
+            latencies.append(min(ends))
+    return latencies
+
+
+@pytest.fixture(scope="module")
+def tail_bench(tmp_path_factory):
+    base_dir = tmp_path_factory.mktemp("tail-unhedged")
+    hedged_dir = tmp_path_factory.mktemp("tail-hedged")
+    unhedged = _run(journal=base_dir, hedge="off", slow=SLOW)
+    hedged = _run(journal=hedged_dir, hedge="on", slow=SLOW)
+    p99_unhedged = float(
+        np.percentile(_completion_latencies(base_dir), 99)
+    )
+    p99_hedged = float(
+        np.percentile(_completion_latencies(hedged_dir), 99)
+    )
+
+    clean = _run()
+    voted = _run(redundancy="vote", silent_rate=1.0, fault_seed=7)
+    voted_again = _run(redundancy="vote", silent_rate=1.0, fault_seed=7)
+
+    payload = {
+        "app": APP,
+        "steps": STEPS,
+        "scale": SCALE,
+        "devices": DEVICES,
+        "slow_device": {k: list(v) for k, v in SLOW.items()},
+        "gate": GATE,
+        "p99_unhedged_ns": p99_unhedged,
+        "p99_hedged_ns": p99_hedged,
+        "p99_ratio": p99_hedged / p99_unhedged,
+        "hedge": {
+            k: v
+            for k, v in sorted(hedged.metrics.items())
+            if k.startswith("hedge.")
+        },
+        "queues_hedged": hedged.queues,
+        "vote": {
+            "mismatches": int(voted.metrics.get("vote.mismatch", 0)),
+            "trips": voted.faults["guards.trips"],
+            "checksum_equals_clean": voted.checksum == clean.checksum,
+        },
+        "checksums": {
+            "unhedged": unhedged.checksum,
+            "hedged": hedged.checksum,
+            "clean": clean.checksum,
+            "voted": voted.checksum,
+        },
+    }
+    record_result("BENCH_tail", payload)
+    yield {
+        "payload": payload,
+        "unhedged": unhedged,
+        "hedged": hedged,
+        "clean": clean,
+        "voted": voted,
+        "voted_again": voted_again,
+    }
+    # Leave the in-process kernel cache cold for the metrics-baseline
+    # capture (same pytest process).
+    kc.reset_global_cache()
+
+
+def test_hedged_p99_beats_gate(tail_bench):
+    payload = tail_bench["payload"]
+    assert payload["p99_ratio"] <= GATE, (
+        "hedged p99 is {:.3f}x un-hedged (gate {})".format(
+            payload["p99_ratio"], GATE
+        )
+    )
+
+
+def test_hedge_actually_fired(tail_bench):
+    hedged = tail_bench["hedged"]
+    assert hedged.metrics["hedge.launched"] >= 1
+    assert hedged.metrics.get("hedge.won", 0) >= 1
+    cancelled = sum(q["cancelled"] for q in hedged.queues.values())
+    assert cancelled == hedged.metrics["hedge.launched"]
+
+
+def test_hedging_moves_time_not_values(tail_bench):
+    assert (
+        tail_bench["hedged"].checksum == tail_bench["unhedged"].checksum
+    )
+
+
+def test_vote_catches_silent_corruption_deterministically(tail_bench):
+    voted = tail_bench["voted"]
+    clean = tail_bench["clean"]
+    assert voted.metrics["vote.mismatch"] >= 1
+    assert voted.faults["guards.trips"].get("vote", 0) >= 1
+    # The corrupted launches were caught and recomputed: the final
+    # checksum equals the clean run's.
+    assert voted.checksum == clean.checksum
+    # ... and the catch is deterministic, not probabilistic.
+    again = tail_bench["voted_again"]
+    assert again.metrics == voted.metrics
+    assert again.faults == voted.faults
+    assert again.checksum == voted.checksum

@@ -295,6 +295,20 @@ def cmd_run(args):
     slow_devices = _parse_slow_specs(args.slow_device)
     if slow_devices is None:
         return 1
+    fleet_policy = args.fleet_policy
+    if args.hedge != "off" or args.redundancy != "off":
+        from repro.runtime.resilience import FleetPolicy
+
+        # The tail-tolerance knobs live on the FleetPolicy so the
+        # journal's run key captures them (a hedged run refuses to
+        # resume as an un-hedged one and vice versa).
+        fleet_policy = FleetPolicy(
+            policy=args.fleet_policy,
+            hedge=args.hedge,
+            hedge_quantile=args.hedge_quantile,
+            hedge_factor=args.hedge_factor,
+            redundancy=args.redundancy,
+        )
     sanitizer = SanitizerConfig.from_flags(
         sanitize=args.sanitize,
         deadline_ns=args.deadline_ns,
@@ -344,7 +358,7 @@ def cmd_run(args):
         exec_tier=args.exec_tier,
         tracer=tracer,
         devices=devices,
-        fleet_policy=args.fleet_policy,
+        fleet_policy=fleet_policy,
         fleet_schedule=args.fleet_schedule,
         journal=args.journal,
         resume=args.resume,
@@ -400,14 +414,27 @@ def cmd_run(args):
             q = result.queues[key]
             print(
                 "  queue {:12s} submitted={} completed={} faulted={} "
-                "busy={:.0f}ns wait={:.0f}ns cursor={:.0f}ns".format(
+                "cancelled={} busy={:.0f}ns wait={:.0f}ns "
+                "cursor={:.0f}ns".format(
                     key,
                     q["submitted"],
                     q["completed"],
                     q["faulted"],
+                    q["cancelled"],
                     q["busy_ns"],
                     q["wait_ns"],
                     q["cursor_ns"],
+                )
+            )
+        hedged = int(result.metrics.get("hedge.launched", 0))
+        if hedged:
+            print(
+                "  hedges launched={} won={} cancelled={} "
+                "wasted={:.0f}ns".format(
+                    hedged,
+                    int(result.metrics.get("hedge.won", 0)),
+                    int(result.metrics.get("hedge.cancelled", 0)),
+                    result.metrics.get("hedge.wasted_ns", 0.0),
                 )
             )
         print(
@@ -520,6 +547,7 @@ def cmd_serve(args):
         target=args.target,
         fleet_policy=args.fleet_policy,
         fleet_schedule=args.fleet_schedule,
+        hedge=args.hedge,
         max_concurrency=args.max_concurrency,
         queue_depth=args.queue_depth,
         tenant_max_inflight=args.tenant_max_inflight,
@@ -876,6 +904,39 @@ def build_parser():
         "noise (0 disables)",
     )
     run_cmd.add_argument(
+        "--hedge",
+        choices=["off", "on"],
+        default="off",
+        help="tail tolerance: duplicate a straggling launch on the "
+        "next-best queue once it exceeds its latency budget; first "
+        "completion wins, the loser is cancelled with its queue "
+        "cursor credited (concurrent fleet schedule only, see "
+        "docs/HEDGING.md)",
+    )
+    run_cmd.add_argument(
+        "--hedge-quantile",
+        type=float,
+        default=0.95,
+        help="hedging latency budget quantile of the fleet-wide "
+        "kernel.launch_ns histogram (default 0.95)",
+    )
+    run_cmd.add_argument(
+        "--hedge-factor",
+        type=float,
+        default=3.0,
+        help="hedging budget multiplier: hedge once a launch exceeds "
+        "FACTOR x the --hedge-quantile estimate (default 3.0)",
+    )
+    run_cmd.add_argument(
+        "--redundancy",
+        choices=["off", "vote"],
+        default="off",
+        help="redundant execution: 'vote' re-runs each fleet item on a "
+        "second device and compares output digests — a disagreement "
+        "raises a typed VoteMismatchFault through the breaker/retry "
+        "machinery (catches silent corruption deterministically)",
+    )
+    run_cmd.add_argument(
         "--oom-bytes",
         type=int,
         default=0,
@@ -1052,6 +1113,14 @@ def build_parser():
         help="fleet dispatch schedule shared by every session: overlap "
         "items across per-device command queues (concurrent) or one "
         "item in flight fleet-wide (sequential)",
+    )
+    serve_cmd.add_argument(
+        "--hedge",
+        choices=["off", "on"],
+        default="off",
+        help="tail tolerance on the shared fleet: duplicate straggling "
+        "launches on the next-best queue; sessions near their "
+        "--session-deadline-ms hedge eagerly (docs/HEDGING.md)",
     )
     serve_cmd.add_argument("--scale", type=float, default=0.3)
     serve_cmd.add_argument(

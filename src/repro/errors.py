@@ -199,6 +199,16 @@ class ValidationFault(SanitizerFault):
     stage = "validate"
 
 
+class VoteMismatchFault(SanitizerFault):
+    """Redundant cross-device voting re-ran a stream item on a second
+    device and the marshalled output digests disagreed: one of the two
+    devices is silently corrupting results. Neither side is trusted —
+    the retry layer re-executes (and ultimately host-falls-back), and
+    the breaker/ledger record the trip like any sanitizer fault."""
+
+    stage = "vote"
+
+
 class ServingError(ReproError):
     """Base class for serving-daemon errors (:mod:`repro.serving`).
 

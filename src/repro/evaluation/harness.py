@@ -122,6 +122,7 @@ def run_configuration(
     offloader=None,
     item_guard=None,
     fuse=None,
+    hedge_urgency=None,
 ):
     """Run one benchmark end to end against one target.
 
@@ -183,6 +184,11 @@ def run_configuration(
             (additionally fuse legal chains into composite kernels);
             ``None`` defers to the ``REPRO_FUSE`` environment variable,
             then ``off``. See docs/FUSION.md.
+        hedge_urgency: optional zero-argument callable returning the
+            caller's deadline fraction (0.0 fresh → 1.0 at the
+            deadline); installed on every fleet device worker so
+            near-deadline serving sessions hedge eagerly
+            (docs/HEDGING.md).
 
     Returns a :class:`RunResult` with simulated nanoseconds.
     """
@@ -264,6 +270,7 @@ def run_configuration(
             journal=run_journal,
             item_guard=item_guard,
             fuse=fuse,
+            hedge_urgency=hedge_urgency,
         )
         checksum = engine.run_static(
             bench.main_class, bench.run_method, list(inputs) + [steps]

@@ -85,12 +85,16 @@ class Engine:
         journal=None,
         item_guard=None,
         fuse=None,
+        hedge_urgency=None,
     ):
         self.checked = checked
         self.offloader = offloader
         self.resilience = resilience
         self.journal = journal
         self.item_guard = item_guard
+        # Deadline-aware hedging (serving): a zero-argument deadline-
+        # fraction callable installed on every fleet device worker.
+        self.hedge_urgency = hedge_urgency
         self._journal_instances = {}
         self.java_cost_model = java_cost_model or JavaCostModel()
         self.cost = CostCounter()
@@ -247,6 +251,10 @@ class Engine:
         composite chains so both get identical fault/recovery/serving
         semantics."""
         worker = device_worker
+        if self.hedge_urgency is not None and hasattr(
+            device_worker, "hedge_urgency"
+        ):
+            device_worker.hedge_urgency = self.hedge_urgency
         if self.resilience is not None:
             worker = self.resilience.wrap(
                 name, device_worker, host_factory, self.profile

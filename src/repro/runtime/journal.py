@@ -561,11 +561,17 @@ class JournaledWorker:
         attempts = rec.get("queue") or []
         if self.fleet is not None and attempts:
             fleet_obj = self.fleet.fleet
-            for dev, submit_ns, start_ns, busy_ns, ok in attempts:
+            for row in attempts:
+                dev, submit_ns, start_ns, busy_ns, ok = row[:5]
+                kind = row[5] if len(row) > 5 else None
                 queue = fleet_obj.queues.get(dev)
                 if queue is None:
                     continue
-                queue.restore(submit_ns, start_ns, busy_ns, ok)
+                cancelled = kind in ("hedge-lost", "hedge-cancelled")
+                if cancelled:
+                    queue.restore_cancelled(submit_ns, start_ns, busy_ns)
+                else:
+                    queue.restore(submit_ns, start_ns, busy_ns, ok)
                 saved_ns = queue.clock.ns
                 queue.clock.ns = float(start_ns)
                 with tracer.queue_context(queue.clock, dev):
@@ -578,6 +584,11 @@ class JournaledWorker:
                     )
                 queue.clock.ns = max(queue.clock.ns, saved_ns)
                 replayed += busy_ns
+                if cancelled:
+                    # A hedge loser never advanced the live run's
+                    # stream cursor (its end can exceed the winner's);
+                    # only surviving attempts replay into it.
+                    continue
                 end_ns = float(start_ns) + float(busy_ns)
                 if end_ns > fleet_obj.stream_cursor_ns:
                     fleet_obj.stream_cursor_ns = end_ns

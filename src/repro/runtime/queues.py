@@ -51,6 +51,7 @@ class CommandQueue:
         "submitted",
         "completed",
         "faulted",
+        "cancelled",
         "busy_ns",
         "wait_ns",
         "inflight",
@@ -66,6 +67,7 @@ class CommandQueue:
         self.submitted = 0
         self.completed = 0
         self.faulted = 0
+        self.cancelled = 0
         self.busy_ns = 0.0
         self.wait_ns = 0.0
         self.inflight = 0
@@ -108,6 +110,27 @@ class CommandQueue:
             self.clock.ns = max(self.clock.ns, end_ns)
             return end_ns
 
+    def cancel(self, prior_ns, start_ns, burned_ns):
+        """Retire a *cancelled* attempt (the losing side of a hedged
+        launch). ``burned_ns`` is the device time the attempt consumed
+        before the cancel; it stays billed to this queue. An attempt
+        that never started (``burned_ns == 0`` with the cursor still at
+        its start) is rolled back outright: the cursor returns to
+        ``prior_ns``, so a cancelled hedge never advances the shared
+        serving cursor. The rollback is skipped if another session
+        already moved the cursor past the attempt's start."""
+        with self._lock:
+            self.inflight -= 1
+            self.cancelled += 1
+            burned = float(burned_ns)
+            self.busy_ns += burned
+            if burned <= 0.0 and self.clock.ns == float(start_ns):
+                self.clock.ns = float(prior_ns)
+                return float(prior_ns)
+            end_ns = float(start_ns) + burned
+            self.clock.ns = max(self.clock.ns, end_ns)
+            return end_ns
+
     def restore(self, submit_ns, start_ns, busy_ns, completed):
         """Journal replay: re-apply one recorded attempt's timestamps.
 
@@ -126,6 +149,23 @@ class CommandQueue:
                 self.clock.ns, float(start_ns) + float(busy_ns)
             )
 
+    def restore_cancelled(self, submit_ns, start_ns, burned_ns):
+        """Journal replay of one cancelled (losing) hedge attempt: the
+        statistics are re-applied, and the cursor advances only past
+        the burned time — a rolled-back attempt (``burned_ns == 0``)
+        leaves the cursor exactly where the live run's rollback left
+        it."""
+        with self._lock:
+            self.submitted += 1
+            self.cancelled += 1
+            self.wait_ns += float(start_ns) - float(submit_ns)
+            burned = float(burned_ns)
+            self.busy_ns += burned
+            if burned > 0.0:
+                self.clock.ns = max(
+                    self.clock.ns, float(start_ns) + burned
+                )
+
     def snapshot(self):
         """JSON-able queue statistics for RunResult / the CLI."""
         with self._lock:
@@ -133,6 +173,7 @@ class CommandQueue:
                 "submitted": self.submitted,
                 "completed": self.completed,
                 "faulted": self.faulted,
+                "cancelled": self.cancelled,
                 "busy_ns": self.busy_ns,
                 "wait_ns": self.wait_ns,
                 "cursor_ns": self.clock.ns,

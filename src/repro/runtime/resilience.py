@@ -384,6 +384,19 @@ class FleetPolicy:
     concurrent schedule's healthy-candidate ranking per item — the
     schedule-exploration knob the fuzz harness uses to assert that
     results do not depend on dispatch order.
+
+    ``hedge`` (``"on"`` under the concurrent schedule) arms tail
+    tolerance: when an attempt's measured launch time exceeds
+    ``hedge_factor`` × the ``hedge_quantile`` of the fleet-wide
+    ``kernel.launch_ns`` histogram (once it holds at least
+    ``hedge_min_samples`` observations), a duplicate is submitted to
+    the next-best queue and the first completion wins; the loser is
+    cancelled with its queue cursor credited (see docs/HEDGING.md).
+
+    ``redundancy`` (``"vote"``) executes selected launches on a second
+    device and compares output digests; a disagreement raises a typed
+    :class:`~repro.errors.VoteMismatchFault` through the normal
+    breaker/ledger machinery.
     """
 
     policy: str = "health"
@@ -395,6 +408,11 @@ class FleetPolicy:
     partition_depth: int = 4
     schedule: str = "concurrent"
     dispatch_seed: int = 0
+    hedge: str = "off"
+    hedge_quantile: float = 0.95
+    hedge_factor: float = 3.0
+    hedge_min_samples: int = 8
+    redundancy: str = "off"
 
 
 class DeviceHealth:
@@ -673,6 +691,11 @@ class HealthMonitor:
                     if kind == "order":
                         self._placement_order()
                     elif kind == "success":
+                        self._observe_success(ev[1], ev[2])
+                    elif kind == "vote":
+                        # A redundant voting replica is a real, clean
+                        # launch: its sample scores the device exactly
+                        # like a primary success.
                         self._observe_success(ev[1], ev[2])
                     elif kind == "fault":
                         self._observe_fault(

@@ -621,6 +621,26 @@ class Histogram:
             "max": self.max if self.max is not None else 0,
         }
 
+    def quantile(self, q):
+        """Deterministic quantile estimate from the bucket counts:
+        linear interpolation inside the bucket holding the ``q``-th
+        observation, clamped to the observed [min, max]. Coarse by
+        construction (decade buckets), which is fine for its consumer
+        — the hedge budget needs 'way past typical', not precision."""
+        if self.count == 0:
+            return 0.0
+        target = min(max(float(q), 0.0), 1.0) * self.count
+        seen = 0
+        lo = 0.0
+        for i, bound in enumerate(self.bounds):
+            n = self.bucket_counts[i]
+            if n and seen + n >= target:
+                est = lo + (bound - lo) * (target - seen) / n
+                return min(max(est, self.min), self.max)
+            seen += n
+            lo = bound
+        return self.max
+
 
 class MetricsRegistry:
     """A flat namespace of typed instruments under canonical dotted

@@ -85,6 +85,10 @@ class ServeConfig:
     max_sim_items: Optional[int] = None
     exec_tier: Optional[str] = None
     session_deadline_ms: Optional[float] = None
+    # tail tolerance: "on" arms hedged launches on the shared fleet;
+    # each session's deadline fraction shrinks its own hedge budget,
+    # so near-deadline sessions hedge eagerly (docs/HEDGING.md).
+    hedge: str = "off"
     # chaos
     fault_rate: float = 0.0
     fault_seed: int = 0
@@ -124,6 +128,7 @@ class ServeDaemon:
             policy = replace(
                 policy or FleetPolicy(),
                 schedule=config.fleet_schedule or "concurrent",
+                hedge=config.hedge or "off",
             )
             self.fleet = DeviceFleet(list(config.devices), policy=policy)
             self.fleet.monitor.bind(self.profile)
@@ -261,6 +266,7 @@ class ServeDaemon:
                 resume=cfg.resume,
                 offloader=offloader,
                 item_guard=self._item_guard(session),
+                hedge_urgency=session.deadline_fraction,
             )
         except SessionDrained as err:
             self._settle(session, sess.DRAINED, error=str(err))

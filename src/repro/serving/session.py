@@ -133,6 +133,18 @@ class Session:
             return False
         return (time.monotonic() - self.started_at) * 1000.0 > deadline
 
+    def deadline_fraction(self):
+        """How far through ``deadline_ms`` the running session is:
+        0.0 fresh (or with no deadline), 1.0 at the deadline, capped
+        there — past-deadline sessions are shed by the item guard, not
+        hedged harder. The fleet's hedge budget scales down by this
+        fraction (docs/HEDGING.md)."""
+        deadline = self.spec.deadline_ms
+        if deadline is None or self.started_at is None:
+            return 0.0
+        elapsed_ms = (time.monotonic() - self.started_at) * 1000.0
+        return min(1.0, elapsed_ms / float(deadline))
+
     # -- persistence -----------------------------------------------------------
 
     def journal_dir(self):

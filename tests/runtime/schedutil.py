@@ -47,6 +47,15 @@ def run_workload(
     fault_seed=0,
     kill_devices=None,
     oom_bytes=0,
+    slow_devices=None,
+    slow_ramp=0,
+    jitter=0.0,
+    silent_rate=0.0,
+    hedge="off",
+    hedge_quantile=0.95,
+    hedge_factor=3.0,
+    hedge_min_samples=8,
+    redundancy="off",
     journal=None,
     resume=False,
     traced=False,
@@ -67,13 +76,23 @@ def run_workload(
     policy = None
     if devices:
         policy = FleetPolicy(
-            schedule=schedule, dispatch_seed=dispatch_seed
+            schedule=schedule,
+            dispatch_seed=dispatch_seed,
+            hedge=hedge,
+            hedge_quantile=hedge_quantile,
+            hedge_factor=hedge_factor,
+            hedge_min_samples=hedge_min_samples,
+            redundancy=redundancy,
         )
     resilience = ResiliencePolicy.from_flags(
         fault_rate=fault_rate,
         seed=fault_seed,
         kill_devices=dict(kill_devices or {}),
         oom_bytes=oom_bytes,
+        slow_devices=dict(slow_devices or {}),
+        slow_ramp=slow_ramp,
+        jitter=jitter,
+        silent_rate=silent_rate,
     )
     tracer = Tracer() if traced else None
     result = run_configuration(

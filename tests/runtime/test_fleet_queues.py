@@ -75,6 +75,62 @@ class TestCommandQueue:
             replayed.restore(submit, start, busy, ok)
         assert replayed.snapshot() == live.snapshot()
 
+    def test_cancel_unstarted_rolls_cursor_back(self):
+        # The losing side of a hedge that never started: the cursor
+        # returns to the pre-hedge value, so a cancelled hedge never
+        # advances the shared serving cursor.
+        q = CommandQueue("d")
+        q.finish(q.submit(0.0), 100.0, True)
+        prior = q.cursor_ns
+        start = q.submit(150.0)
+        assert start == 150.0
+        end = q.cancel(prior, start, 0.0)
+        assert end == prior
+        assert q.cursor_ns == prior
+        assert q.cancelled == 1
+        assert q.inflight == 0
+        assert q.busy_ns == 100.0  # nothing burned
+
+    def test_cancel_started_bills_burned_time(self):
+        q = CommandQueue("d")
+        start = q.submit(0.0)
+        end = q.cancel(0.0, start, 40.0)
+        assert end == 40.0
+        assert q.cursor_ns == 40.0
+        assert q.busy_ns == 40.0
+        assert (q.completed, q.faulted, q.cancelled) == (0, 0, 1)
+
+    def test_cancel_rollback_skipped_when_cursor_moved(self):
+        # Another serving session already advanced the cursor past the
+        # attempt's start: rolling back would rewind *their* work.
+        q = CommandQueue("d")
+        start = q.submit(50.0)
+        q.submit(50.0)  # a second session's attempt holds the cursor
+        q.finish(start, 200.0, True)
+        assert q.cursor_ns == 250.0
+        q.cancel(0.0, 50.0, 0.0)
+        assert q.cursor_ns == 250.0  # no rollback
+        assert q.cancelled == 1
+
+    def test_restore_cancelled_reproduces_snapshot(self):
+        # Replay a live trajectory containing both cancel flavors:
+        # rolled-back (burned == 0) and billed (burned > 0).
+        live = CommandQueue("d")
+        live.finish(live.submit(0.0), 100.0, True)
+        prior = live.cursor_ns
+        s = live.submit(120.0)
+        live.cancel(prior, s, 0.0)  # rolled back
+        s = live.submit(100.0)
+        live.cancel(prior, s, 30.0)  # billed
+        live.finish(live.submit(0.0), 10.0, True)
+
+        replayed = CommandQueue("d")
+        replayed.restore(0.0, 0.0, 100.0, True)
+        replayed.restore_cancelled(120.0, 120.0, 0.0)
+        replayed.restore_cancelled(100.0, 100.0, 30.0)
+        replayed.restore(0.0, 130.0, 10.0, True)
+        assert replayed.snapshot() == live.snapshot()
+
     def test_snapshot_fields(self):
         q = CommandQueue("d")
         q.finish(q.submit(0.0), 10.0, True)
@@ -83,6 +139,7 @@ class TestCommandQueue:
             "submitted": 1,
             "completed": 1,
             "faulted": 0,
+            "cancelled": 0,
             "busy_ns": 10.0,
             "wait_ns": 0.0,
             "cursor_ns": 10.0,
@@ -272,6 +329,69 @@ class TestFailoverQueues:
                 assert nxt.args["submit_ns"] >= prev.end_ns() - 1e-6
                 resubmitted += 1
         assert resubmitted > 0
+
+
+class TestHedgedConservation:
+    """The hedged-run conservation law: every submission retires as
+    exactly one of completed / faulted / cancelled, and every hedge
+    launched accounts for exactly one cancellation fleet-wide (the
+    losing side, wherever it ran)."""
+
+    KWARGS = dict(
+        devices=["gtx580", "hd5970", "gtx8800"],
+        slow_devices={"gtx580": (10.0, 2)},
+        hedge="on",
+        hedge_min_samples=4,
+        hedge_factor=2.0,
+        steps=12,
+    )
+
+    def test_every_submission_retires_exactly_once(self):
+        from tests.runtime.schedutil import run_workload
+
+        result, _ = run_workload("jg-series-single", **self.KWARGS)
+        assert result.metrics["hedge.launched"] >= 1
+        for snap in result.queues.values():
+            assert snap["submitted"] == (
+                snap["completed"] + snap["faulted"] + snap["cancelled"]
+            )
+
+    def test_cancellations_equal_hedges_launched(self):
+        from tests.runtime.schedutil import run_workload
+
+        result, _ = run_workload("jg-series-single", **self.KWARGS)
+        cancelled = sum(q["cancelled"] for q in result.queues.values())
+        assert cancelled == result.metrics["hedge.launched"]
+        # ... split between the two losing flavors.
+        assert result.metrics["hedge.launched"] == (
+            result.metrics.get("hedge.won", 0)
+            + result.metrics.get("hedge.cancelled", 0)
+        )
+
+    def test_items_complete_exactly_once_despite_hedges(self):
+        from tests.runtime.schedutil import (
+            item_value_bits,
+            journal_items,
+            run_workload,
+        )
+
+        def completions(tmpdir):
+            result, _ = run_workload(
+                "jg-series-single", journal=tmpdir, **self.KWARGS
+            )
+            items = len(item_value_bits(journal_items(tmpdir)))
+            completed = sum(
+                q["completed"] for q in result.queues.values()
+            )
+            return items, completed, result
+
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmpdir:
+            items, completed, result = completions(tmpdir)
+        assert result.metrics["hedge.launched"] >= 1
+        fallbacks = int(result.metrics.get("recovery.fallbacks", 0))
+        assert completed + fallbacks == items
 
 
 class TestServingReport:

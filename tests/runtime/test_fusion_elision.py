@@ -164,3 +164,62 @@ def test_resident_checksum_matches_reference():
     for _ in range(BENCH.steps):
         expected = expected + np.float64(ref[0]) + np.float64(ref[-1])
     assert resident.checksum == pytest.approx(expected, abs=0.0)
+
+
+# -- hedging and voting against resident intermediates -----------------------
+
+
+def test_hedged_consumer_settles_resident_intermediate_exactly_once():
+    """A chain consumer whose resident input lives on the straggling
+    device hedges onto the other device: the duplicate cannot elide
+    the transfer, so the producer's deferred d2h settles — exactly one
+    ``fusion.rematerialized`` charge per hedge won, and the checksum
+    stays bit-identical to the un-hedged fused run."""
+    from repro.runtime.resilience import FleetPolicy
+
+    kc.reset_global_cache()
+    baseline = run(fuse="resident", steps=12, devices=["gtx580", "hd5970"])
+    kc.reset_global_cache()
+    hedged = run(
+        fuse="resident",
+        steps=12,
+        devices=["gtx580", "hd5970"],
+        fleet_policy=FleetPolicy(
+            hedge="on", hedge_min_samples=4, hedge_factor=2.0
+        ),
+        resilience=ResiliencePolicy.from_flags(
+            slow_devices={"gtx580": (30.0, 4)}
+        ),
+    )
+    assert hedged.checksum == baseline.checksum
+    m = hedged.metrics
+    assert m["hedge.launched"] == 1
+    assert m["hedge.won"] == 1
+    # Exactly one settle, attributable to the hedge alone: no device
+    # death or host fallback re-materialized anything else.
+    assert m["fusion.rematerialized"] == 1
+    assert m.get("recovery.failovers", 0) == 0
+    assert m.get("recovery.fallbacks", 0) == 0
+    assert m["fusion.elisions"] > 0
+
+
+def test_vote_skips_resident_consumers():
+    """--redundancy vote re-runs items on a second device — but a chain
+    consumer's input is device-resident, and re-materializing it just
+    to vote would defeat the elision. Those items skip the vote;
+    host-resident items (the chain producers) still vote."""
+    from repro.runtime.resilience import FleetPolicy
+
+    kc.reset_global_cache()
+    baseline = run(fuse="resident", devices=["gtx580", "hd5970"])
+    kc.reset_global_cache()
+    voted = run(
+        fuse="resident",
+        devices=["gtx580", "hd5970"],
+        fleet_policy=FleetPolicy(redundancy="vote"),
+    )
+    assert voted.checksum == baseline.checksum
+    m = voted.metrics
+    assert m["vote.skipped"] == m["fusion.elisions"]
+    assert m["vote.launched"] > 0
+    assert m["vote.agreed"] == m["vote.launched"]

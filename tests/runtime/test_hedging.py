@@ -1,0 +1,412 @@
+"""Tail-tolerant execution: hedged launches and redundant voting.
+
+A hedge is a *backdated duplicate*: simulated time is only known after
+a launch completes, so the fleet decides at completion whether the
+attempt exceeded the latency budget quoted before it ran, and if so
+submits a duplicate at ``start + budget`` on the next-best queue.
+Whichever side finishes first wins; the loser is cancelled and its
+burned device time stays billed. The contract tested here
+(docs/HEDGING.md):
+
+- the budget is quoted from the *pre-launch* histogram — a straggler
+  never judges itself against a distribution its own outlier sample
+  already widened;
+- values are hedge-invariant: the primary's result object is returned
+  whichever side wins, so checksums equal the un-hedged run bit-exactly;
+- a cancelled duplicate that never started rolls its queue cursor back
+  to the pre-hedge value (the conservation tests in
+  test_fleet_queues.py lean on this);
+- ``--redundancy vote`` re-runs each item on a second device and turns
+  a digest disagreement into a typed :class:`VoteMismatchFault` through
+  the normal retry/breaker machinery — catching silent corruption that
+  sampled checksums miss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.pipeline import compile_filter
+from repro.errors import VoteMismatchFault
+from repro.frontend import check_program, parse_program
+from repro.opencl import get_device
+from repro.runtime.fleet import DeviceFleet, FleetWorker
+from repro.runtime.profiler import ExecutionProfile
+from repro.runtime.resilience import FaultInjector, FaultSpec, FleetPolicy
+from repro.runtime.tracing import Histogram
+
+from tests.conftest import SAXPY_SOURCE
+from tests.runtime.schedutil import run_workload
+
+
+def fleet_worker(devices=("gtx580", "hd5970"), **policy_kw):
+    """A real two-device FleetWorker over the saxpy filter: per-device
+    compiled filters sharing one profile, exactly as
+    FleetOffloader.compile_filter builds them."""
+    checked = check_program(parse_program(SAXPY_SOURCE))
+    method = checked.lookup_method("Saxpy", "apply")
+    profile = ExecutionProfile()
+    fleet = DeviceFleet(list(devices), policy=FleetPolicy(**policy_kw))
+    filters = {
+        key: compile_filter(
+            checked,
+            method,
+            device=get_device(key),
+            local_size=8,
+            profile=profile,
+            device_key=key,
+        )
+        for key in devices
+    }
+    return FleetWorker("Saxpy.apply", filters, fleet, profile)
+
+
+def frozen(n=8):
+    xs = np.arange(n, dtype=np.float32)
+    xs.setflags(write=False)
+    return xs
+
+
+def warm(worker, value=50.0, n=8):
+    """Seed the fleet-wide launch histogram so the budget gate opens."""
+    hist = worker.profile.metrics.histogram("kernel.launch_ns")
+    for _ in range(n):
+        hist.observe(value)
+    return hist
+
+
+def straggling_worker(factor=50.0):
+    """Hedge-armed worker whose first-ranked device (gtx580) straggles
+    by ``factor`` on every launch."""
+    worker = fleet_worker(hedge="on", hedge_min_samples=4, hedge_factor=2.0)
+    warm(worker)
+    worker.injector = FaultInjector(
+        FaultSpec(), device_specs={"gtx580": FaultSpec(slow=factor)}
+    )
+    return worker
+
+
+# -- Histogram.quantile ------------------------------------------------------
+
+
+def test_quantile_empty_is_zero():
+    assert Histogram("h").quantile(0.95) == 0.0
+
+
+def test_quantile_single_sample_is_that_sample():
+    h = Histogram("h")
+    h.observe(1234.0)
+    for q in (0.0, 0.5, 0.95, 1.0):
+        assert h.quantile(q) == 1234.0
+
+
+def test_quantile_clamped_to_observed_range():
+    h = Histogram("h")
+    for v in (10.0, 20.0, 30.0):
+        h.observe(v)
+    assert h.quantile(0.0) >= 10.0
+    assert h.quantile(1.0) <= 30.0
+
+
+def test_quantile_monotone_in_q():
+    h = Histogram("h")
+    for v in (100.0, 1000.0, 10000.0, 100000.0):
+        h.observe(v)
+    qs = [h.quantile(q) for q in (0.1, 0.5, 0.9, 0.99)]
+    assert qs == sorted(qs)
+
+
+# -- _hedge_budget gating ----------------------------------------------------
+
+
+def test_budget_none_while_hedging_off():
+    worker = fleet_worker()
+    warm(worker)
+    assert worker._hedge_budget() is None
+
+
+def test_budget_requires_concurrent_schedule():
+    worker = fleet_worker(
+        schedule="sequential", hedge="on", hedge_min_samples=4
+    )
+    warm(worker)
+    assert worker._hedge_budget() is None
+
+
+def test_budget_waits_for_min_samples():
+    worker = fleet_worker(hedge="on", hedge_min_samples=4, hedge_factor=2.0)
+    hist = worker.profile.metrics.histogram("kernel.launch_ns")
+    for _ in range(3):
+        hist.observe(100.0)
+    assert worker._hedge_budget() is None
+    hist.observe(100.0)
+    assert worker._hedge_budget() == pytest.approx(200.0)
+
+
+def test_budget_is_quantile_times_factor():
+    worker = fleet_worker(
+        hedge="on",
+        hedge_min_samples=4,
+        hedge_quantile=0.95,
+        hedge_factor=3.0,
+    )
+    hist = warm(worker, value=100.0)
+    assert worker._hedge_budget() == pytest.approx(
+        hist.quantile(0.95) * 3.0
+    )
+
+
+def test_budget_shrinks_with_deadline_urgency():
+    """Serving installs a deadline-fraction callback: a session at
+    fraction u of its deadline scales the budget by (1 - u), floored
+    at 10% — near-deadline sessions hedge eagerly, but the budget
+    never collapses to hedge-everything."""
+    worker = fleet_worker(hedge="on", hedge_min_samples=4, hedge_factor=2.0)
+    warm(worker, value=100.0)
+    base = worker._hedge_budget()
+    worker.hedge_urgency = lambda: 0.5
+    assert worker._hedge_budget() == pytest.approx(base * 0.5)
+    worker.hedge_urgency = lambda: 1.0
+    assert worker._hedge_budget() == pytest.approx(base * 0.1)
+    worker.hedge_urgency = lambda: 0.0
+    assert worker._hedge_budget() == pytest.approx(base)
+
+
+# -- hedged launches: the three settlement paths -----------------------------
+
+
+def test_duplicate_wins_and_primary_is_cancelled():
+    worker = straggling_worker()
+    out = worker(frozen())
+    np.testing.assert_array_equal(out, fleet_worker()(frozen()))
+    m = worker.profile.metrics.as_dict()
+    assert m["hedge.launched"] == 1
+    assert m["hedge.won"] == 1
+    assert "hedge.cancelled" not in m
+    # The straggling primary retires as a cancellation where it ran;
+    # its full attempt is the hedge's wasted time.
+    prim = worker.fleet.queues["gtx580"].snapshot()
+    assert prim["submitted"] == 1
+    assert prim["completed"] == 0
+    assert prim["cancelled"] == 1
+    assert m["hedge.wasted_ns"] == pytest.approx(prim["busy_ns"])
+    # The duplicate completed on the candidate queue.
+    dup = worker.fleet.queues["hd5970"].snapshot()
+    assert dup["submitted"] == 1
+    assert dup["completed"] == 1
+    assert dup["cancelled"] == 0
+    assert m["queue.cancelled.gtx580"] == 1
+    assert m["queue.completed.hd5970"] == 1
+
+
+def test_straggler_sample_still_scores_its_device():
+    """A hedge-lost primary still feeds its kernel time to the health
+    monitor: the straggler sample is exactly what drives demotion."""
+    worker = straggling_worker()
+    worker(frozen())
+    snap = worker.fleet.snapshot()
+    assert snap["gtx580"]["launches"] == 1
+    assert snap["gtx580"]["median_launch_ns"] > 0
+
+
+def test_primary_wins_unstarted_duplicate_rolls_back():
+    """When the candidate queue is busy past the straggler's finish,
+    the duplicate never starts: the cancel rolls the cursor back to
+    the pre-hedge value and no hedge time is wasted."""
+    worker = straggling_worker()
+    queue = worker.fleet.queues["hd5970"]
+    busy_until = 10_000_000.0
+    queue.finish(queue.submit(0.0), busy_until, True)
+    out = worker(frozen())
+    np.testing.assert_array_equal(out, fleet_worker()(frozen()))
+    m = worker.profile.metrics.as_dict()
+    assert m["hedge.launched"] == 1
+    assert m["hedge.cancelled"] == 1
+    assert "hedge.won" not in m
+    assert m["hedge.wasted_ns"] == 0.0
+    snap = queue.snapshot()
+    assert snap["cancelled"] == 1
+    assert snap["cursor_ns"] == busy_until  # rolled back, not advanced
+    assert snap["busy_ns"] == busy_until  # nothing burned
+    # The primary completed normally on its own queue.
+    prim = worker.fleet.queues["gtx580"].snapshot()
+    assert prim["completed"] == 1
+    assert prim["cancelled"] == 0
+
+
+def test_primary_wins_started_duplicate_bills_burned_time():
+    """A duplicate cancelled mid-flight keeps its burned device time
+    billed to the candidate queue (no rollback: the queue really was
+    occupied)."""
+    # Learn the straggler's deterministic finish time first.
+    probe = straggling_worker()
+    probe(frozen())
+    end_p = probe.fleet.queues["gtx580"].snapshot()["cursor_ns"]
+
+    worker = straggling_worker()
+    queue = worker.fleet.queues["hd5970"]
+    # Busy until just before the primary finishes: the duplicate
+    # starts, but cannot beat the primary (margin << its estimate).
+    margin = 100.0
+    queue.finish(queue.submit(0.0), end_p - margin, True)
+    worker(frozen())
+    m = worker.profile.metrics.as_dict()
+    assert m["hedge.launched"] == 1
+    assert m["hedge.cancelled"] == 1
+    assert m["hedge.wasted_ns"] == pytest.approx(margin)
+    snap = queue.snapshot()
+    assert snap["cancelled"] == 1
+    assert snap["cursor_ns"] == pytest.approx(end_p)
+    assert snap["busy_ns"] == pytest.approx(end_p)
+
+
+def test_no_candidate_queue_means_no_hedge():
+    worker = straggling_worker()
+    # Strip the fleet down to the straggler alone: nothing to hedge onto.
+    del worker.filters["hd5970"]
+    worker(frozen())
+    assert "hedge.launched" not in worker.profile.metrics.as_dict()
+
+
+# -- hedging end-to-end ------------------------------------------------------
+
+GPU_TRIO = ["gtx580", "hd5970", "gtx8800"]
+
+
+def test_straggler_hedge_end_to_end():
+    """A mid-run 10x straggler on a homogeneous GPU trio triggers one
+    hedge whose duplicate wins; the checksum equals the un-hedged run
+    bit-exactly and the loser retires as a cancellation."""
+    base, _ = run_workload(
+        "jg-series-single",
+        devices=GPU_TRIO,
+        slow_devices={"gtx580": (10.0, 2)},
+        steps=12,
+    )
+    hedged, _ = run_workload(
+        "jg-series-single",
+        devices=GPU_TRIO,
+        slow_devices={"gtx580": (10.0, 2)},
+        hedge="on",
+        hedge_min_samples=4,
+        hedge_factor=2.0,
+        steps=12,
+    )
+    assert hedged.checksum == base.checksum
+    m = hedged.metrics
+    assert m["hedge.launched"] == 1
+    assert m["hedge.won"] == 1
+    assert m["hedge.wasted_ns"] > 0
+    assert m["queue.cancelled.gtx580"] == 1
+    snap = hedged.queues["gtx580"]
+    assert snap["cancelled"] == 1
+    assert snap["submitted"] == snap["completed"] + snap["cancelled"]
+
+
+def test_hedging_off_by_default():
+    result, _ = run_workload(
+        "jg-series-single",
+        devices=GPU_TRIO,
+        slow_devices={"gtx580": (10.0, 2)},
+        steps=12,
+    )
+    assert not any(k.startswith("hedge.") for k in result.metrics)
+    assert all(q["cancelled"] == 0 for q in result.queues.values())
+
+
+def test_hedged_run_is_deterministic():
+    kwargs = dict(
+        devices=GPU_TRIO,
+        slow_devices={"gtx580": (10.0, 2)},
+        hedge="on",
+        hedge_min_samples=4,
+        hedge_factor=2.0,
+        steps=12,
+    )
+    a, _ = run_workload("jg-series-single", **kwargs)
+    b, _ = run_workload("jg-series-single", **kwargs)
+    assert a.checksum == b.checksum
+    assert a.metrics == b.metrics
+    assert a.queues == b.queues
+    assert a.makespan_ns == b.makespan_ns
+
+
+# -- redundant cross-device voting -------------------------------------------
+
+
+def test_vote_agreement_on_clean_devices():
+    worker = fleet_worker(redundancy="vote")
+    out = worker(frozen())
+    np.testing.assert_array_equal(out, fleet_worker()(frozen()))
+    m = worker.profile.metrics.as_dict()
+    assert m["vote.launched"] == 1
+    assert m["vote.agreed"] == 1
+    # The replica is a real launch on its own queue.
+    assert worker.fleet.queues["hd5970"].snapshot()["completed"] == 1
+
+
+def test_vote_mismatch_raises_and_blames_both_devices():
+    """Silent corruption on the primary alone: the digests disagree,
+    the item raises a typed VoteMismatchFault, and *both* participants
+    take the health fault — neither side is trusted."""
+    worker = fleet_worker(redundancy="vote")
+    worker.injector = FaultInjector(
+        FaultSpec(), device_specs={"gtx580": FaultSpec(silent=1.0, seed=3)}
+    )
+    with pytest.raises(VoteMismatchFault) as err:
+        worker(frozen())
+    assert err.value.stage == "vote"
+    m = worker.profile.metrics.as_dict()
+    assert m["vote.mismatch"] == 1
+    assert "vote.agreed" not in m
+    snap = worker.fleet.snapshot()
+    assert snap["gtx580"]["faults"] == 1
+    assert snap["hd5970"]["faults"] == 1
+
+
+def test_vote_end_to_end_checksum_invariant():
+    base, _ = run_workload(
+        "jg-series-single", devices=["gtx580", "hd5970"]
+    )
+    voted, _ = run_workload(
+        "jg-series-single",
+        devices=["gtx580", "hd5970"],
+        redundancy="vote",
+    )
+    assert voted.checksum == base.checksum
+    m = voted.metrics
+    assert m["vote.launched"] > 0
+    assert m["vote.agreed"] == m["vote.launched"]
+    assert "vote.mismatch" not in m
+
+
+def test_vote_catches_silent_corruption_deterministically():
+    """The tentpole's reason to exist: jg-series' sampled checksum
+    reads two elements of a large buffer, so a single-element silent
+    corruption usually escapes it. The vote digests the full
+    marshalled wire, trips on every corrupted launch, and the breaker
+    demotes the task to the host — final checksum equals the clean
+    run."""
+    clean, _ = run_workload(
+        "jg-series-single", devices=["gtx580", "hd5970"]
+    )
+    caught, _ = run_workload(
+        "jg-series-single",
+        devices=["gtx580", "hd5970"],
+        redundancy="vote",
+        silent_rate=1.0,
+        fault_seed=7,
+    )
+    assert caught.checksum == clean.checksum
+    assert caught.metrics["vote.mismatch"] >= 1
+    assert caught.faults["guards.trips"].get("vote", 0) >= 1
+    assert caught.faults["recovery.faults"] >= 1
+    # Deterministic: the same seed catches the same corruptions.
+    again, _ = run_workload(
+        "jg-series-single",
+        devices=["gtx580", "hd5970"],
+        redundancy="vote",
+        silent_rate=1.0,
+        fault_seed=7,
+    )
+    assert again.metrics == caught.metrics
+    assert again.faults == caught.faults

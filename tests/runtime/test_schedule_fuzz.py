@@ -57,18 +57,21 @@ def _fault_flags(fault, devices, dispatch_seed):
 _BASELINES = {}
 
 
-def _baseline(app, tmp_path_factory):
+def _baseline(app, tmp_path_factory, steps=None):
     """The 1-device sequential run: checksum + journal value bits."""
-    if app not in _BASELINES:
-        jdir = tmp_path_factory.mktemp("base-{}".format(app))
+    key = (app, steps)
+    if key not in _BASELINES:
+        jdir = tmp_path_factory.mktemp("base-{}-{}".format(app, steps))
+        extra = {} if steps is None else {"steps": steps}
         result, _ = run_workload(
-            app, devices=["gtx580"], schedule="sequential", journal=jdir
+            app, devices=["gtx580"], schedule="sequential", journal=jdir,
+            **extra,
         )
-        _BASELINES[app] = (
+        _BASELINES[key] = (
             result.checksum,
             item_value_bits(journal_items(jdir)),
         )
-    return _BASELINES[app]
+    return _BASELINES[key]
 
 
 @pytest.mark.parametrize(
@@ -129,6 +132,118 @@ def test_fuzz_combo(app, ndev, dispatch_seed, fault, tmp_path,
     wal = (jdir / "journal.wal").read_bytes()
     wal2 = (jdir2 / "journal.wal").read_bytes()
     assert wal == wal2
+
+
+# -- hedged launches under fuzz ----------------------------------------------
+#
+# Hedging moves *time* (duplicates, cancellations, rolled-back
+# cursors) but never values: every hedged combo must stay bit-exact
+# against the same 1-device sequential baseline, and every submission
+# must retire as exactly one of completed/faulted/cancelled. The
+# straggler lives on a homogeneous GPU trio so the budget gate
+# actually opens (core-i7's legitimate slowness would widen the
+# fleet-wide quantile past any injected straggle).
+
+N_HEDGE_COMBOS = int(os.environ.get("REPRO_HEDGE_FUZZ_SEEDS", "20"))
+
+HEDGE_DEVICES = ("gtx580", "hd5970", "gtx8800")
+
+_HEDGE_SPACE = [
+    (app, ndev, dispatch_seed, slow_idx)
+    for app in FUZZ_APPS
+    for ndev in (2, 3)
+    for dispatch_seed in (0, 3, 7, 11, 13, 17)
+    for slow_idx in (0, 1)
+]
+random.Random(20260809).shuffle(_HEDGE_SPACE)
+HEDGE_COMBOS = _HEDGE_SPACE[:N_HEDGE_COMBOS]
+
+
+@pytest.mark.parametrize(
+    "app,ndev,dispatch_seed,slow_idx",
+    HEDGE_COMBOS,
+    ids=[
+        "{}-{}dev-seed{}-slow{}".format(*combo) for combo in HEDGE_COMBOS
+    ],
+)
+def test_hedged_combo_values_bit_exact(app, ndev, dispatch_seed,
+                                       slow_idx, tmp_path,
+                                       tmp_path_factory):
+    devices = list(HEDGE_DEVICES[:ndev])
+    base_checksum, base_bits = _baseline(app, tmp_path_factory, steps=12)
+
+    jdir = tmp_path / "run"
+    result, _ = run_workload(
+        app,
+        devices=devices,
+        schedule="concurrent",
+        dispatch_seed=dispatch_seed,
+        slow_devices={devices[slow_idx]: (10.0, 2)},
+        hedge="on",
+        hedge_min_samples=4,
+        hedge_factor=2.0,
+        steps=12,
+        journal=jdir,
+    )
+
+    # (1) hedging never moves values.
+    assert result.checksum == base_checksum
+    bits = item_value_bits(journal_items(jdir))
+    assert bits == base_bits
+
+    # (3) conservation with cancellations in the ledger.
+    fallbacks = int(result.metrics.get("recovery.fallbacks", 0))
+    completed = sum(q["completed"] for q in result.queues.values())
+    cancelled = sum(q["cancelled"] for q in result.queues.values())
+    assert completed + fallbacks == len(bits)
+    assert cancelled == int(result.metrics.get("hedge.launched", 0))
+    for snap in result.queues.values():
+        assert snap["submitted"] == (
+            snap["completed"] + snap["faulted"] + snap["cancelled"]
+        )
+
+
+def test_hedged_resume_replays_queues_and_winners(tmp_path):
+    """A journaled hedged run resumes bit-exactly: identical queue
+    snapshots (cancelled counters and rolled-back cursors included),
+    identical hedge metrics, and the journal's attempt rows preserve
+    the winner set (hedge-lost / hedge-won / hedge-cancelled kinds)."""
+    kwargs = dict(
+        devices=list(HEDGE_DEVICES),
+        schedule="concurrent",
+        slow_devices={"gtx580": (10.0, 2)},
+        hedge="on",
+        hedge_min_samples=4,
+        hedge_factor=2.0,
+        steps=12,
+    )
+    jdir = tmp_path / "journal"
+    live, _ = run_workload("jg-series-single", journal=jdir, **kwargs)
+    assert live.metrics["hedge.launched"] >= 1
+
+    hedge_rows = [
+        row
+        for rec in journal_items(jdir)
+        for row in rec.get("queue") or []
+        if len(row) > 5
+    ]
+    kinds = {row[5] for row in hedge_rows}
+    assert kinds & {"hedge-lost", "hedge-won", "hedge-cancelled"}
+    # A winning duplicate implies a losing primary and vice versa.
+    if "hedge-won" in kinds:
+        assert "hedge-lost" in kinds
+
+    resumed, _ = run_workload(
+        "jg-series-single", journal=jdir, resume=True, **kwargs
+    )
+    assert resumed.journal["items_skipped"] > 0
+    assert resumed.checksum == live.checksum
+    assert resumed.queues == live.queues
+    hedge_metrics = {
+        k: v for k, v in live.metrics.items() if k.startswith("hedge.")
+    }
+    for key, value in hedge_metrics.items():
+        assert resumed.metrics.get(key, 0) == value
 
 
 @pytest.mark.parametrize("app", FUZZ_APPS)

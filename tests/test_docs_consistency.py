@@ -229,3 +229,47 @@ def test_concurrency_doc_covers_queue_model():
         assert (ROOT / path).exists(), (
             "CONCURRENCY.md references missing file {}".format(path)
         )
+
+
+def test_observability_doc_covers_hedging_instrumentation():
+    doc = (ROOT / "docs" / "OBSERVABILITY.md").read_text()
+    for span in ("hedge", "vote_mismatch"):
+        assert "`{}`".format(span) in doc, (
+            "span '{}' undocumented in OBSERVABILITY.md".format(span)
+        )
+    for metric in ("hedge.launched", "hedge.won", "hedge.cancelled",
+                   "hedge.wasted_ns", "queue.cancelled.",
+                   "vote.launched", "vote.agreed", "vote.mismatch",
+                   "vote.skipped", "vote.errors"):
+        assert metric in doc, (
+            "metric '{}' undocumented in OBSERVABILITY.md".format(metric)
+        )
+
+
+def test_hedging_doc_covers_contract():
+    doc = (ROOT / "docs" / "HEDGING.md").read_text()
+    # The flag surface.
+    for flag in ("--hedge", "--hedge-quantile", "--hedge-factor",
+                 "--redundancy", "--slow-device"):
+        assert flag in doc, (
+            "'{}' missing from docs/HEDGING.md".format(flag)
+        )
+    # The budget, settlement, and conservation contract.
+    for term in ("kernel.launch_ns", "hedge_min_samples", "backdated",
+                 "hedge.wasted_ns", "queue.cancelled.",
+                 "fusion.rematerialized", "hedge-lost", "hedge-won",
+                 "hedge-cancelled", "VoteMismatchFault",
+                 "vote.skipped"):
+        assert term in doc, (
+            "'{}' missing from docs/HEDGING.md".format(term)
+        )
+    # The harness the contract is enforced by.
+    for path in ("tests/runtime/test_hedging.py",
+                 "tests/runtime/test_fleet_queues.py",
+                 "tests/runtime/test_latency_faults.py",
+                 "tests/runtime/test_schedule_fuzz.py",
+                 "benchmarks/perf/test_tail_tolerance.py"):
+        assert path in doc
+        assert (ROOT / path).exists(), (
+            "HEDGING.md references missing file {}".format(path)
+        )
